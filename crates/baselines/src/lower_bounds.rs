@@ -1,0 +1,310 @@
+//! Certified lower bounds used as ratio denominators.
+//!
+//! Every bound here is a *true* lower bound on the relevant OPT, so
+//! `ALG / bound` over-estimates the competitive ratio — measurements
+//! below the theorem curve genuinely validate the theorems.
+
+use osr_model::Instance;
+
+use crate::srpt::srpt_flow;
+
+/// The components of the flow-time lower bound and their maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowLowerBound {
+    /// Feasible-dual objective divided by 2 (the LP is a factor-2
+    /// relaxation); 0 when no dual was supplied.
+    pub dual_half: f64,
+    /// `Σ_j min_i p_ij` — every job must run somewhere.
+    pub trivial: f64,
+    /// Preemptive SRPT optimum (single-machine instances only).
+    pub srpt: Option<f64>,
+    /// The certified bound: max of the components.
+    pub value: f64,
+}
+
+/// Combines the available certified lower bounds on the optimal
+/// non-preemptive total flow-time. `dual_objective` is the §2
+/// algorithm's feasible dual objective when available.
+pub fn flow_lower_bound(instance: &Instance, dual_objective: Option<f64>) -> FlowLowerBound {
+    let dual_half = dual_objective.map_or(0.0, |d| (d / 2.0).max(0.0));
+    let trivial = instance.total_min_size();
+    let srpt = if instance.machines() == 1 { Some(srpt_flow(instance)) } else { None };
+    let value = dual_half.max(trivial).max(srpt.unwrap_or(0.0));
+    FlowLowerBound { dual_half, trivial, srpt, value }
+}
+
+/// Per-job alone-cost lower bound for the §3 objective: each job, run
+/// alone at the best constant speed `s* = (w/(α−1))^{1/α}` on its
+/// fastest machine, costs `w·p/s* + p·s*^{α−1}`. Queueing, contention
+/// and convexity only increase the true cost, and energy is
+/// superadditive under overlap, so the sum lower-bounds OPT (which
+/// must serve **all** jobs).
+pub fn energyflow_alone_lower_bound(instance: &Instance, alpha: f64) -> f64 {
+    assert!(alpha > 1.0);
+    instance
+        .jobs()
+        .iter()
+        .map(|j| {
+            let p = j.min_size();
+            let s = (j.weight / (alpha - 1.0)).powf(1.0 / alpha);
+            j.weight * p / s + p * s.powf(alpha - 1.0)
+        })
+        .sum()
+}
+
+/// Optimal preemptive single-machine energy via the YDS critical-
+/// interval algorithm — a lower bound on the §4 single-machine OPT
+/// (preemptive relaxation of the non-preemptive problem).
+///
+/// Classic peeling: repeatedly find the interval `[t1, t2]` maximizing
+/// intensity `g = (Σ volumes of jobs with [r, d] ⊆ [t1, t2]) / (t2−t1)`,
+/// charge those jobs energy `g^α · (t2−t1)`, remove them, and collapse
+/// the interval out of the remaining jobs' windows. The per-iteration
+/// critical-interval scan is `O(n²)` (incremental volume accumulation
+/// over deadline-sorted jobs for each left endpoint).
+pub fn yds_energy(instance: &Instance, alpha: f64) -> f64 {
+    assert_eq!(instance.machines(), 1, "YDS bound is single-machine only");
+    let jobs: Vec<(f64, f64, f64)> = instance
+        .jobs()
+        .iter()
+        .map(|j| (j.release, j.deadline.expect("energy instance"), j.sizes[0]))
+        .collect();
+    yds_from_tuples(jobs, alpha)
+}
+
+/// Pooled-YDS lower bound for **multi-machine** energy instances.
+///
+/// Given any `m`-machine schedule with machine speeds `s_i(t)`, a single
+/// pooled machine running at `Σ_i s_i(t)` can preemptively complete every
+/// job's *minimum* volume `min_i p_ij` within its window, so
+/// `YDS(min-volumes) ≤ Σ (Σ_i s_i)^α dt`. By the power-mean inequality
+/// `(Σ s_i)^α ≤ m^{α−1} Σ s_i^α`, hence
+///
+/// ```text
+/// OPT_m ≥ YDS(min-volumes) / m^{α−1}.
+/// ```
+///
+/// Tighter than the per-job bound whenever windows overlap heavily.
+pub fn pooled_yds_lower_bound(instance: &Instance, alpha: f64) -> f64 {
+    let jobs: Vec<(f64, f64, f64)> = instance
+        .jobs()
+        .iter()
+        .map(|j| (j.release, j.deadline.expect("energy instance"), j.min_size()))
+        .collect();
+    let m = instance.machines() as f64;
+    yds_from_tuples(jobs, alpha) / m.powf(alpha - 1.0)
+}
+
+/// Best available certified lower bound for a §4 instance: the max of
+/// the per-job bound and the pooled-YDS bound (which coincides with
+/// exact YDS on a single machine).
+pub fn energy_lower_bound(instance: &Instance, alpha: f64) -> f64 {
+    osr_core::energymin::per_job_energy_lower_bound(instance, alpha)
+        .max(pooled_yds_lower_bound(instance, alpha))
+}
+
+/// YDS over raw `(release, deadline, volume)` tuples.
+fn yds_from_tuples(mut jobs: Vec<(f64, f64, f64)>, alpha: f64) -> f64 {
+    let mut energy = 0.0f64;
+
+    while !jobs.is_empty() {
+        // Candidate interval endpoints: all releases and deadlines.
+        let mut points: Vec<f64> = Vec::with_capacity(jobs.len() * 2);
+        for &(r, d, _) in &jobs {
+            points.push(r);
+            points.push(d);
+        }
+        points.sort_by(f64::total_cmp);
+        points.dedup();
+
+        // Jobs sorted by deadline for incremental accumulation.
+        let mut by_deadline = jobs.clone();
+        by_deadline.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        let mut best = (0.0f64, 0.0f64, 0.0f64); // (intensity, t1, t2)
+        for &t1 in points.iter() {
+            // Sweep t2 rightward, accumulating volumes of jobs with
+            // r ≥ t1 whose deadline has been passed.
+            let mut vol = 0.0;
+            let mut k = 0usize;
+            for &t2 in points.iter() {
+                if t2 <= t1 {
+                    continue;
+                }
+                while k < by_deadline.len() && by_deadline[k].1 <= t2 {
+                    if by_deadline[k].0 >= t1 {
+                        vol += by_deadline[k].2;
+                    }
+                    k += 1;
+                }
+                let g = vol / (t2 - t1);
+                if g > best.0 {
+                    best = (g, t1, t2);
+                }
+            }
+        }
+        let (g, t1, t2) = best;
+        if g <= 0.0 {
+            break;
+        }
+        energy += g.powf(alpha) * (t2 - t1);
+        // Remove the critical jobs; collapse [t1, t2] for the rest.
+        let shrink = t2 - t1;
+        jobs.retain(|&(r, d, _)| !(r >= t1 && d <= t2));
+        for job in &mut jobs {
+            let map = |t: f64| {
+                if t <= t1 {
+                    t
+                } else if t >= t2 {
+                    t - shrink
+                } else {
+                    t1
+                }
+            };
+            job.0 = map(job.0);
+            job.1 = map(job.1);
+            debug_assert!(job.1 > job.0, "window must stay positive after collapse");
+        }
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{InstanceBuilder, InstanceKind};
+
+    #[test]
+    fn flow_lb_picks_the_max() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![2.0])
+            .job(0.0, vec![2.0])
+            .build()
+            .unwrap();
+        // trivial = 4; srpt = 2 + 4 = 6; dual: pretend 20 → half 10.
+        let lb = flow_lower_bound(&inst, Some(20.0));
+        assert_eq!(lb.trivial, 4.0);
+        assert_eq!(lb.srpt, Some(6.0));
+        assert_eq!(lb.dual_half, 10.0);
+        assert_eq!(lb.value, 10.0);
+        // Without dual, SRPT wins.
+        assert_eq!(flow_lower_bound(&inst, None).value, 6.0);
+    }
+
+    #[test]
+    fn negative_dual_clamped() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![3.0, 5.0])
+            .build()
+            .unwrap();
+        let lb = flow_lower_bound(&inst, Some(-7.0));
+        assert_eq!(lb.dual_half, 0.0);
+        assert_eq!(lb.value, 3.0);
+        assert!(lb.srpt.is_none(), "multi-machine has no SRPT component");
+    }
+
+    #[test]
+    fn yds_single_job_runs_at_density() {
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 4.0, vec![2.0])
+            .build()
+            .unwrap();
+        // g = 0.5 over [0,4]: energy = 0.5²·4 = 1 (α=2).
+        assert!((yds_energy(&inst, 2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yds_two_nested_jobs() {
+        // Tight inner job forces high speed only inside its window.
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 10.0, vec![2.0])
+            .deadline_job(4.0, 5.0, vec![2.0])
+            .build()
+            .unwrap();
+        let alpha = 2.0;
+        let e = yds_energy(&inst, alpha);
+        // Critical interval [4,5]: g = 2, energy 4. Remaining job: 2
+        // volume over collapsed window length 9: g = 2/9, energy
+        // (2/9)²·9 = 4/9.
+        assert!((e - (4.0 + 4.0 / 9.0)).abs() < 1e-9, "e = {e}");
+    }
+
+    #[test]
+    fn yds_is_below_any_feasible_energy() {
+        // Compare against the AVR-style schedule (each job at its own
+        // density, energies superadditive): YDS must not exceed it.
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 3.0, vec![2.0])
+            .deadline_job(1.0, 4.0, vec![2.0])
+            .deadline_job(2.0, 6.0, vec![1.0])
+            .build()
+            .unwrap();
+        let alpha = 3.0;
+        // AVR profile energy (feasible schedule).
+        let mut prof = osr_core::energymin::SpeedProfile::new();
+        for j in inst.jobs() {
+            let d = j.deadline.unwrap();
+            prof.add(j.release, d, j.sizes[0] / (d - j.release));
+        }
+        let avr = prof.energy(alpha);
+        let yds = yds_energy(&inst, alpha);
+        assert!(yds <= avr + 1e-9, "yds {yds} must lower-bound avr {avr}");
+        assert!(yds > 0.0);
+    }
+
+    #[test]
+    fn pooled_yds_matches_yds_on_single_machine() {
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 3.0, vec![2.0])
+            .deadline_job(1.0, 4.0, vec![2.0])
+            .build()
+            .unwrap();
+        let a = yds_energy(&inst, 2.5);
+        let b = pooled_yds_lower_bound(&inst, 2.5);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_yds_divides_by_power_mean_factor() {
+        // Same jobs on 2 identical machines: pooled bound = YDS/2^{α−1}.
+        let single = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 2.0, vec![4.0])
+            .build()
+            .unwrap();
+        let double = InstanceBuilder::new(2, InstanceKind::Energy)
+            .deadline_job(0.0, 2.0, vec![4.0, 4.0])
+            .build()
+            .unwrap();
+        let alpha = 3.0;
+        let a = yds_energy(&single, alpha);
+        let b = pooled_yds_lower_bound(&double, alpha);
+        assert!((b - a / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_lower_bound_takes_the_max_and_is_valid() {
+        use osr_core::energymin::{EnergyMinParams, EnergyMinScheduler};
+        let inst = InstanceBuilder::new(2, InstanceKind::Energy)
+            .deadline_job(0.0, 2.0, vec![1.0, 1.0])
+            .deadline_job(0.0, 2.0, vec![1.0, 1.0])
+            .deadline_job(0.5, 2.5, vec![1.0, 1.0])
+            .build()
+            .unwrap();
+        let alpha = 2.0;
+        let lb = energy_lower_bound(&inst, alpha);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        assert!(lb <= out.total_energy + 1e-9, "LB {lb} above a feasible schedule");
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn yds_disjoint_jobs_sum() {
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 1.0, vec![1.0])
+            .deadline_job(5.0, 6.0, vec![1.0])
+            .build()
+            .unwrap();
+        // Two unit-intensity intervals: energy 1 + 1 (α = 2).
+        assert!((yds_energy(&inst, 2.0) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! EXP-SCALE (part 1): end-to-end throughput of the §2 scheduler as
+//! the instance grows — the dispatcher should scale near-linearly
+//! thanks to the `O(log n)` treap queries behind `λ_ij`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use osr_core::{FlowParams, FlowScheduler};
+use osr_model::InstanceKind;
+use osr_workload::FlowWorkload;
+
+fn dispatch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_scheduler_scaling");
+    for &n in &[1_000usize, 5_000, 20_000, 50_000] {
+        let inst = FlowWorkload::standard(n, 8, 42).generate(InstanceKind::FlowTime);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("treap", n), &inst, |b, inst| {
+            let sched = FlowScheduler::new(FlowParams::new(0.25)).unwrap();
+            b.iter(|| sched.run(inst).log.rejected_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = dispatch_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! EXP-SCALE (part 2): the data-structure ablation DESIGN.md calls out
+//! — the full §2 algorithm with the `O(log n)` treap backend vs the
+//! `O(n)` sorted-vector backend, on a single hot machine (worst case
+//! for queue length), plus raw structure microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osr_core::{FlowParams, FlowScheduler, QueueBackend};
+use osr_dstruct::{AggTreap, NaiveAggQueue};
+use osr_model::InstanceKind;
+use osr_workload::{ArrivalModel, FlowWorkload};
+
+fn backend_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_backend_end_to_end");
+    for &n in &[2_000usize, 10_000] {
+        // Single machine + all-at-once arrivals = maximal queue length.
+        let mut w = FlowWorkload::standard(n, 1, 7);
+        w.arrivals = ArrivalModel::Batch { per_batch: n / 4, gap: 5.0 };
+        let inst = w.generate(InstanceKind::FlowTime);
+        for backend in [QueueBackend::Treap, QueueBackend::Naive] {
+            let mut params = FlowParams::new(0.25);
+            params.backend = backend;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend:?}"), n),
+                &inst,
+                |b, inst| {
+                    let sched = FlowScheduler::new(params).unwrap();
+                    b.iter(|| sched.run(inst).log.rejected_count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn raw_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_structures_raw");
+    let n = 10_000u32;
+    group.bench_function("treap_insert_query", |b| {
+        b.iter(|| {
+            let mut t = AggTreap::new();
+            let mut acc = 0usize;
+            for k in 0..n {
+                let key = (k.wrapping_mul(2654435761)) % 1000;
+                t.insert(key, key as f64);
+                acc += t.agg_le(&(key / 2)).count;
+            }
+            acc
+        });
+    });
+    group.bench_function("naive_insert_query", |b| {
+        b.iter(|| {
+            let mut t = NaiveAggQueue::new();
+            let mut acc = 0usize;
+            for k in 0..n {
+                let key = (k.wrapping_mul(2654435761)) % 1000;
+                t.insert(key, key as f64);
+                acc += t.agg_le(&(key / 2)).count;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = backend_ablation, raw_structures
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §4 strategy-search throughput: assignment cost as a function of the
+//! candidate-grid resolution (speeds × starts) — the discretization
+//! knob the paper trades against the `(1+ε)` loss.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osr_core::energymin::{EnergyMinParams, EnergyMinScheduler};
+use osr_workload::EnergyWorkload;
+
+fn search_cost(c: &mut Criterion) {
+    let inst = EnergyWorkload::standard(150, 2, 5).generate();
+    let mut group = c.benchmark_group("energymin_grid");
+    for &(speeds, starts) in &[(4usize, 4usize), (8, 8), (16, 16), (32, 32)] {
+        let params = EnergyMinParams {
+            alpha: 2.0,
+            speed_ratio: 1.25,
+            max_speeds: speeds,
+            start_grid: starts,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("grid", format!("{speeds}x{starts}")),
+            &inst,
+            |b, inst| {
+                let sched = EnergyMinScheduler::new(params).unwrap();
+                b.iter(|| sched.run(inst).total_energy);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = search_cost
+}
+criterion_main!(benches);

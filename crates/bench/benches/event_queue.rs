@@ -1,0 +1,78 @@
+//! Event-queue backend microbenchmark: the `std::collections::BinaryHeap`
+//! behind `osr_sim::EventQueue` vs the `osr_dstruct::PairingHeap`, on
+//! the push/pop burst pattern event-driven schedulers produce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osr_dstruct::{PairingHeap, TotalF64};
+use osr_sim::EventQueue;
+
+/// Deterministic pseudo-times.
+fn times(n: usize) -> Vec<f64> {
+    let mut s = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1_000_000) as f64 / 1000.0
+        })
+        .collect()
+}
+
+fn queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_backends");
+    for &n in &[10_000usize, 100_000] {
+        let ts = times(n);
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &ts, |b, ts| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Push/pop bursts of 8 — the scheduler pattern.
+                let mut popped = 0usize;
+                for chunk in ts.chunks(8) {
+                    for &t in chunk {
+                        q.push(t, ());
+                    }
+                    for _ in 0..4 {
+                        if q.pop().is_some() {
+                            popped += 1;
+                        }
+                    }
+                }
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                popped
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pairing_heap", n), &ts, |b, ts| {
+            b.iter(|| {
+                let mut q: PairingHeap<(TotalF64, u64)> = PairingHeap::new();
+                let mut seq = 0u64;
+                let mut popped = 0usize;
+                for chunk in ts.chunks(8) {
+                    for &t in chunk {
+                        q.push((TotalF64(t), seq));
+                        seq += 1;
+                    }
+                    for _ in 0..4 {
+                        if q.pop().is_some() {
+                            popped += 1;
+                        }
+                    }
+                }
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                popped
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = queues
+}
+criterion_main!(benches);

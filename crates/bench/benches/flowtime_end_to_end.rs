@@ -1,0 +1,41 @@
+//! Runtime comparison of the §2 algorithm against the greedy baselines
+//! (policy cost of the dual-fitting dispatch vs plain ECT) — the
+//! "price of the theory" in wall-clock terms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use osr_baselines::GreedyScheduler;
+use osr_core::{FlowParams, FlowScheduler};
+use osr_model::InstanceKind;
+use osr_sim::OnlineScheduler;
+use osr_workload::FlowWorkload;
+
+fn end_to_end(c: &mut Criterion) {
+    let n = 10_000usize;
+    let inst = FlowWorkload::standard(n, 4, 9).generate(InstanceKind::FlowTime);
+    let mut group = c.benchmark_group("flowtime_policies");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("spaa18_eps0.25", |b| {
+        let sched = FlowScheduler::new(FlowParams::new(0.25)).unwrap();
+        b.iter(|| sched.run(&inst).log.rejected_count());
+    });
+    group.bench_function("greedy_ect_spt", |b| {
+        b.iter(|| {
+            let mut g = GreedyScheduler::ect_spt();
+            g.schedule(&inst).rejected_count()
+        });
+    });
+    group.bench_function("greedy_ect_fifo", |b| {
+        b.iter(|| {
+            let mut g = GreedyScheduler::ect_fifo();
+            g.schedule(&inst).rejected_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = end_to_end
+}
+criterion_main!(benches);

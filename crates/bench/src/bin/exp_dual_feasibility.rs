@@ -1,0 +1,13 @@
+//! Thin wrapper: runs only the `dual_feasibility` experiment (accepts `--quick`).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (_, desc, runner) = osr_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _, _)| *id == "dual_feasibility")
+        .expect("registered experiment");
+    println!("### dual_feasibility — {desc}\n");
+    for table in runner(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Thin wrapper: runs only the `l1_immediate` experiment (accepts `--quick`).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (_, desc, runner) = osr_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _, _)| *id == "l1_immediate")
+        .expect("registered experiment");
+    println!("### l1_immediate — {desc}\n");
+    for table in runner(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Thin wrapper: runs only the `l2_energy` experiment (accepts `--quick`).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (_, desc, runner) = osr_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _, _)| *id == "l2_energy")
+        .expect("registered experiment");
+    println!("### l2_energy — {desc}\n");
+    for table in runner(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Thin wrapper: runs only the `smoothness` experiment (accepts `--quick`).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (_, desc, runner) = osr_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _, _)| *id == "smoothness")
+        .expect("registered experiment");
+    println!("### smoothness — {desc}\n");
+    for table in runner(quick) {
+        println!("{table}");
+    }
+}

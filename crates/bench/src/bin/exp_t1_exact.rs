@@ -1,0 +1,13 @@
+//! Thin wrapper: runs only the `t1_exact` experiment (accepts `--quick`).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (_, desc, runner) = osr_bench::all_experiments()
+        .into_iter()
+        .find(|(id, _, _)| *id == "t1_exact")
+        .expect("registered experiment");
+    println!("### t1_exact — {desc}\n");
+    for table in runner(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Runs every experiment and writes CSV artifacts to `results/`.
+//!
+//! ```text
+//! cargo run --release -p osr-bench --bin run_experiments [--quick] [ids…]
+//! ```
+//!
+//! With no ids, runs all experiments. `--quick` uses the reduced sizes
+//! (the same configuration the integration tests assert on).
+
+use std::fs;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    fs::create_dir_all("results").expect("create results dir");
+
+    let mut ran = 0;
+    for (id, description, runner) in osr_bench::all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
+            continue;
+        }
+        println!("\n### {id} — {description}\n");
+        let t0 = Instant::now();
+        let tables = runner(quick);
+        let dt = t0.elapsed();
+        for (k, table) in tables.iter().enumerate() {
+            println!("{table}");
+            let path = if tables.len() == 1 {
+                format!("results/{id}.csv")
+            } else {
+                format!("results/{id}_{k}.csv")
+            };
+            let mut f = fs::File::create(&path).expect("create csv");
+            f.write_all(table.to_csv().as_bytes()).expect("write csv");
+            println!("  -> {path}");
+        }
+        println!("  ({:.2}s)", dt.as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; known ids:");
+        for (id, desc, _) in osr_bench::all_experiments() {
+            eprintln!("  {id:<18} {desc}");
+        }
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Experiment implementations, one module per DESIGN.md entry.
+//!
+//! Every `run(quick) -> Vec<Table>` is deterministic (fixed seeds) and
+//! validates every schedule before measuring it — a scheduler bug
+//! yields a panic, never a silently wrong table.
+
+pub mod dual_feasibility;
+pub mod l1_immediate;
+pub mod l2_energy;
+pub mod load_sweep;
+pub mod rule_ablation;
+pub mod scale;
+pub mod smoothness;
+pub mod t1_baselines;
+pub mod t1_exact;
+pub mod t1_ratio;
+pub mod t2_ratio;
+pub mod t3_ratio;
+
+use osr_model::{FinishedLog, Instance, Metrics};
+use osr_sim::{validate_log, ValidationConfig};
+
+/// Validates a log or panics with the experiment id — experiments never
+/// report metrics for invalid schedules.
+pub(crate) fn must_validate(
+    exp: &str,
+    instance: &Instance,
+    log: &FinishedLog,
+    config: &ValidationConfig,
+) -> Metrics {
+    let report = validate_log(instance, log, config);
+    assert!(
+        report.is_valid(),
+        "{exp}: schedule failed validation: {:?}",
+        report.errors.first()
+    );
+    Metrics::compute(instance, log, 2.0)
+}
+
+/// Mean of a slice.
+pub(crate) fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Max of a slice.
+pub(crate) fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

@@ -1,0 +1,51 @@
+//! EXP-SMOOTH — Definition 1 / the smooth inequality of \[18\]:
+//! randomized audit that `P(s) = s^α` is `(λ(α), µ(α))`-smooth with the
+//! constants used by the Theorem 3 analysis.
+
+use osr_core::bounds::smooth_competitive_bound;
+use osr_core::smooth::{audit_smooth_inequality, lambda_alpha, mu_alpha};
+
+use crate::table::{fmt_g4, Table};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 2_000 } else { 50_000 };
+    let alphas = [1.2, 1.5, 2.0, 2.5, 3.0, 4.0];
+
+    let mut table = Table::new(
+        "EXP-SMOOTH: randomized audit of (lambda, mu)-smoothness of s^alpha",
+        &["alpha", "lambda", "mu", "trials", "violations", "worst_lhs/rhs", "ratio_bound"],
+    );
+    table.note("worst_lhs/rhs ≤ 1 certifies the sampled inequality; ratio_bound = lambda/(1-mu)");
+
+    for &alpha in &alphas {
+        let (worst, violations) = audit_smooth_inequality(alpha, trials, 16, 0xC0FFEE);
+        table.row(vec![
+            fmt_g4(alpha),
+            fmt_g4(lambda_alpha(alpha)),
+            fmt_g4(mu_alpha(alpha)),
+            trials.to_string(),
+            violations.len().to_string(),
+            fmt_g4(worst),
+            fmt_g4(smooth_competitive_bound(lambda_alpha(alpha), mu_alpha(alpha))),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_found() {
+        for t in run(true) {
+            for row in &t.rows {
+                assert_eq!(row[4], "0", "smoothness violated: {row:?}");
+                let worst: f64 = row[5].parse().unwrap();
+                assert!(worst <= 1.0 + 1e-9);
+                assert!(worst > 0.0, "audit must exercise the inequality");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! EXP-T3-RATIO — Theorem 3: the §4 greedy's energy vs the `α^α`
+//! bound, against the YDS preemptive optimum (single machine), the
+//! per-job bound (multi-machine) and the AVR baseline. Also sweeps the
+//! candidate-grid resolution (the paper's discretization knob).
+
+use osr_baselines::{energy_lower_bound, yds_energy, AvrScheduler};
+use osr_core::bounds::energymin_competitive_bound;
+use osr_core::energymin::{per_job_energy_lower_bound, EnergyMinParams, EnergyMinScheduler};
+use osr_sim::{validate_log, ValidationConfig};
+use osr_workload::EnergyWorkload;
+
+use crate::table::{fmt_g4, Table};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let alphas: &[f64] = if quick { &[2.0, 3.0] } else { &[1.5, 2.0, 2.5, 3.0] };
+    let n = if quick { 60 } else { 200 };
+
+    let mut table = Table::new(
+        "EXP-T3-RATIO: energy vs lower bounds and AVR",
+        &["alpha", "m", "greedy_ratio", "avr_ratio", "bound", "lb_kind"],
+    );
+    table.note("greedy/avr ratio = energy / LB; LB = YDS (m=1) or per-job ∨ pooled-YDS (m>1)");
+    table.note("multi-machine LBs under-estimate OPT under contention: those rows over-estimate the ratio");
+
+    for &alpha in alphas {
+        for &m in &[1usize, 3] {
+            let inst = EnergyWorkload::standard(n, m, 300 + m as u64).generate();
+            let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+            let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
+            assert!(report.is_valid(), "{:?}", report.errors.first());
+
+            let (lb, lb_kind) = if m == 1 {
+                (yds_energy(&inst, alpha), "yds")
+            } else {
+                // Combined per-job ∨ pooled-YDS/m^{α−1} bound. Still an
+                // under-estimate of OPT under contention, so these rows
+                // over-estimate the true ratio.
+                let combined = energy_lower_bound(&inst, alpha);
+                let kind = if combined > per_job_energy_lower_bound(&inst, alpha) {
+                    "pooled-yds"
+                } else {
+                    "per-job"
+                };
+                (combined, kind)
+            };
+            assert!(lb > 0.0);
+            let greedy_ratio = out.total_energy / lb;
+
+            let (avr_log, _, avr_energy) = AvrScheduler { alpha }.run(&inst);
+            let avr_report = validate_log(&inst, &avr_log, &ValidationConfig::energy());
+            assert!(avr_report.is_valid());
+            let avr_ratio = avr_energy / lb;
+
+            let bound = energymin_competitive_bound(alpha);
+            table.row(vec![
+                fmt_g4(alpha),
+                m.to_string(),
+                fmt_g4(greedy_ratio),
+                fmt_g4(avr_ratio),
+                fmt_g4(bound),
+                lb_kind.to_string(),
+            ]);
+        }
+    }
+
+    // Discretization ablation: grid resolution vs energy (single
+    // machine, alpha = 2).
+    let mut grid_table = Table::new(
+        "EXP-T3-GRID: candidate-grid resolution ablation",
+        &["speeds", "starts", "speed_ratio", "energy", "vs_finest"],
+    );
+    let inst = EnergyWorkload::standard(if quick { 40 } else { 120 }, 1, 999).generate();
+    let configs: &[(usize, usize, f64)] = &[
+        (4, 4, 2.0),
+        (8, 8, 1.5),
+        (16, 16, 1.25),
+        (32, 32, 1.1),
+    ];
+    let mut energies = Vec::new();
+    for &(speeds, starts, ratio) in configs {
+        let params = EnergyMinParams {
+            alpha: 2.0,
+            speed_ratio: ratio,
+            max_speeds: speeds,
+            start_grid: starts,
+        };
+        let out = EnergyMinScheduler::new(params).unwrap().run(&inst);
+        energies.push((speeds, starts, ratio, out.total_energy));
+    }
+    let finest = energies.last().unwrap().3;
+    for (speeds, starts, ratio, energy) in energies {
+        grid_table.row(vec![
+            speeds.to_string(),
+            starts.to_string(),
+            fmt_g4(ratio),
+            fmt_g4(energy),
+            fmt_g4(energy / finest),
+        ]);
+    }
+
+    vec![table, grid_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_within_bound_and_competitive_with_avr() {
+        let tables = run(true);
+        for row in &tables[0].rows {
+            let greedy: f64 = row[2].parse().unwrap();
+            let bound: f64 = row[4].parse().unwrap();
+            assert!(greedy >= 1.0 - 1e-9, "energy below a lower bound: {row:?}");
+            // The theorem bound is loose; greedy should beat it by far
+            // on random instances. Assert the hard claim only.
+            assert!(greedy <= bound * 2.0, "greedy {greedy} way above alpha^alpha {bound}");
+        }
+    }
+
+    #[test]
+    fn finer_grids_do_not_increase_energy_much() {
+        let tables = run(true);
+        let grid = &tables[1];
+        for row in &grid.rows {
+            let vs: f64 = row[4].parse().unwrap();
+            assert!(vs >= 0.95, "coarse grid cannot beat the finest by much: {row:?}");
+            assert!(vs < 2.0, "coarse grid should stay within 2x: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Aligned console tables + CSV serialization for experiment output.
+
+/// Formats a float with 4 significant digits (compact, table-friendly).
+pub fn fmt_g4(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (3 - mag).clamp(0, 9) as usize;
+    format!("{x:.decimals$}")
+}
+
+/// A titled table with fixed columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment/table title (becomes the CSV file stem).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table and embedded as CSV
+    /// comments.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// CSV rendering (notes as `#` comments).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let head: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", head.join("  "))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            let cells: Vec<String> =
+                r.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_g4_cases() {
+        assert_eq!(fmt_g4(0.0), "0");
+        assert_eq!(fmt_g4(1.23456), "1.235");
+        assert_eq!(fmt_g4(12345.6), "12346");
+        assert_eq!(fmt_g4(0.00123456), "0.001235");
+        assert_eq!(fmt_g4(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn table_renders_and_serializes() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("note: hello"));
+        let csv = t.to_csv();
+        assert!(csv.contains("a,bb\n1,2\n"));
+        assert!(csv.starts_with("# hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

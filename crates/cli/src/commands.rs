@@ -1,0 +1,541 @@
+//! CLI command implementations.
+//!
+//! Each command is a pure function `Args -> Result<String, String>`;
+//! file writes happen only for explicitly requested `--out`/`--log`
+//! paths. [`dispatch`] routes a parsed command line.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use osr_baselines::{flow_lower_bound, GreedyScheduler, SpeedAugScheduler};
+use osr_core::bounds;
+use osr_core::energyflow::{EnergyFlowParams, EnergyFlowScheduler};
+use osr_core::energymin::{EnergyMinParams, EnergyMinScheduler};
+use osr_core::flowtime::WeightedFlowScheduler;
+use osr_core::{FlowParams, FlowScheduler};
+use osr_model::{io, FinishedLog, Instance, InstanceKind, Metrics};
+use osr_sim::{render_gantt, validate_log, OnlineScheduler, ValidationConfig};
+use osr_workload::{
+    ArrivalModel, EnergyWorkload, FlowWorkload, MachineModel, SizeModel, TraceImport, WeightModel,
+};
+
+use crate::args::{split_spec, Args};
+
+/// Usage text printed on errors and `osr help`.
+pub const USAGE: &str = "\
+osr — online non-preemptive scheduling with rejections (SPAA'18)
+
+USAGE:
+  osr gen      --kind flowtime|flowenergy|energy --n N --machines M [--seed S]
+               [--from-trace FILE]   (import `release size [weight [deadline]]` rows)
+               [--arrivals poisson:RATE|bursty:B:W:G|batch:P:G|once]
+               [--sizes uniform:LO:HI|pareto:SHAPE:LO:HI|exp:MEAN|bimodal:S:L:P]
+               [--machine-model identical|related:F|unrelated:LO:HI|restricted:K]
+               [--weights unit|uniform:LO:HI] [--slack LO:HI] [--out FILE]
+  osr run      --algo SPEC --input FILE [--log FILE] [--gantt] [--alpha A]
+               SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
+                     | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
+  osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
+  osr compare  --input FILE [--eps E]
+  osr bounds   [--eps E] [--alpha A]
+  osr help
+";
+
+/// Routes a parsed command line to its implementation.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.subcommand() {
+        Some("gen") => cmd_gen(args),
+        Some("run") => cmd_run(args),
+        Some("validate") => cmd_validate(args),
+        Some("compare") => cmd_compare(args),
+        Some("bounds") => cmd_bounds(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<InstanceKind, String> {
+    match s {
+        "flowtime" => Ok(InstanceKind::FlowTime),
+        "flowenergy" => Ok(InstanceKind::FlowEnergy),
+        "energy" => Ok(InstanceKind::Energy),
+        other => Err(format!("unknown kind `{other}`")),
+    }
+}
+
+fn parse_arrivals(spec: &str) -> Result<ArrivalModel, String> {
+    let (head, v) = split_spec(spec);
+    match (head.as_str(), v.as_slice()) {
+        ("poisson", [rate]) => Ok(ArrivalModel::Poisson { rate: *rate }),
+        ("bursty", [b, w, g]) => {
+            Ok(ArrivalModel::Bursty { burst: *b as usize, within: *w, gap: *g })
+        }
+        ("batch", [p, g]) => Ok(ArrivalModel::Batch { per_batch: *p as usize, gap: *g }),
+        ("once", []) => Ok(ArrivalModel::AllAtOnce),
+        _ => Err(format!("bad arrivals spec `{spec}`")),
+    }
+}
+
+fn parse_sizes(spec: &str) -> Result<SizeModel, String> {
+    let (head, v) = split_spec(spec);
+    match (head.as_str(), v.as_slice()) {
+        ("uniform", [lo, hi]) => Ok(SizeModel::Uniform { lo: *lo, hi: *hi }),
+        ("pareto", [shape, lo, hi]) => {
+            Ok(SizeModel::BoundedPareto { shape: *shape, lo: *lo, hi: *hi })
+        }
+        ("exp", [mean]) => Ok(SizeModel::Exponential { mean: *mean }),
+        ("bimodal", [s, l, p]) => Ok(SizeModel::Bimodal { short: *s, long: *l, p_long: *p }),
+        _ => Err(format!("bad sizes spec `{spec}`")),
+    }
+}
+
+fn parse_machine_model(spec: &str) -> Result<MachineModel, String> {
+    let (head, v) = split_spec(spec);
+    match (head.as_str(), v.as_slice()) {
+        ("identical", []) => Ok(MachineModel::Identical),
+        ("related", [f]) => Ok(MachineModel::RelatedSpeeds { max_factor: *f }),
+        ("unrelated", [lo, hi]) => {
+            Ok(MachineModel::Unrelated { lo_factor: *lo, hi_factor: *hi })
+        }
+        ("restricted", [k]) => Ok(MachineModel::Restricted { avg_eligible: *k }),
+        _ => Err(format!("bad machine-model spec `{spec}`")),
+    }
+}
+
+fn parse_weights(spec: &str) -> Result<WeightModel, String> {
+    let (head, v) = split_spec(spec);
+    match (head.as_str(), v.as_slice()) {
+        ("unit", []) => Ok(WeightModel::Unit),
+        ("uniform", [lo, hi]) => Ok(WeightModel::Uniform { lo: *lo, hi: *hi }),
+        _ => Err(format!("bad weights spec `{spec}`")),
+    }
+}
+
+/// `osr gen` — generate an instance (random workload or trace import).
+pub fn cmd_gen(args: &Args) -> Result<String, String> {
+    // Trace import path: --from-trace FILE replaces the random models.
+    if let Some(path) = args.opt("from-trace") {
+        let machines: usize = args.opt_parse("machines", 1)?;
+        let seed: u64 = args.opt_parse("seed", 1)?;
+        let machine_model = match args.opt("machine-model") {
+            Some(spec) => parse_machine_model(spec)?,
+            None => MachineModel::Identical,
+        };
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let importer = TraceImport { machines, machine_model, seed };
+        let instance = importer.parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let out_text = io::instance_to_string(&instance);
+        return if let Some(out) = args.opt("out") {
+            fs::write(out, &out_text).map_err(|e| format!("writing {out}: {e}"))?;
+            Ok(format!(
+                "imported {} jobs ({}) from {path} to {out}\n",
+                instance.len(),
+                instance.kind()
+            ))
+        } else {
+            Ok(out_text)
+        };
+    }
+
+    let kind = parse_kind(args.opt("kind").unwrap_or("flowtime"))?;
+    let n: usize = args.opt_parse("n", 100)?;
+    let machines: usize = args.opt_parse("machines", 4)?;
+    let seed: u64 = args.opt_parse("seed", 1)?;
+
+    let mut spec = FlowWorkload::standard(n, machines, seed);
+    if let Some(s) = args.opt("arrivals") {
+        spec.arrivals = parse_arrivals(s)?;
+    }
+    if let Some(s) = args.opt("sizes") {
+        spec.sizes = parse_sizes(s)?;
+    }
+    if let Some(s) = args.opt("machine-model") {
+        spec.machine_model = parse_machine_model(s)?;
+    }
+    if let Some(s) = args.opt("weights") {
+        spec.weights = parse_weights(s)?;
+    }
+
+    let instance = if kind == InstanceKind::Energy {
+        let (lo, hi) = match args.opt("slack") {
+            Some(s) => {
+                let (_, v) = split_spec(&format!("x:{s}"));
+                match v.as_slice() {
+                    [lo, hi] => (*lo, *hi),
+                    _ => return Err(format!("bad slack spec `{s}` (want LO:HI)")),
+                }
+            }
+            None => (1.2, 3.0),
+        };
+        EnergyWorkload { base: spec, min_slack: lo, max_slack: hi }.generate()
+    } else {
+        spec.generate(kind)
+    };
+
+    let text = io::instance_to_string(&instance);
+    if let Some(path) = args.opt("out") {
+        fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        Ok(format!("wrote {} jobs on {} machines to {path}\n", instance.len(), machines))
+    } else {
+        Ok(text)
+    }
+}
+
+fn load_instance(args: &Args) -> Result<Instance, String> {
+    let path = args.require("input")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::instance_from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn config_for(instance: &Instance, speeds_vary: bool) -> ValidationConfig {
+    match instance.kind() {
+        InstanceKind::FlowTime if !speeds_vary => ValidationConfig::flow_time(),
+        InstanceKind::FlowTime => ValidationConfig::flow_energy(),
+        InstanceKind::FlowEnergy => ValidationConfig::flow_energy(),
+        InstanceKind::Energy => ValidationConfig::energy(),
+    }
+}
+
+/// Runs the algorithm named by `spec` on `instance`, returning the log,
+/// a display name, whether speeds deviate from 1, and an optional dual
+/// objective (flow algorithm only).
+fn run_algo(
+    spec: &str,
+    instance: &Instance,
+) -> Result<(FinishedLog, String, bool, Option<f64>), String> {
+    let (head, v) = split_spec(spec);
+    match (head.as_str(), v.as_slice()) {
+        ("flow", [eps]) => {
+            let sched = FlowScheduler::new(FlowParams::new(*eps))?;
+            let out = sched.run(instance);
+            Ok((out.log, sched.name(), false, Some(out.dual.objective())))
+        }
+        ("wflow", [eps]) => {
+            let sched = WeightedFlowScheduler::with_eps(*eps)?;
+            let name = sched.name();
+            Ok((sched.run(instance).log, name, false, None))
+        }
+        ("energyflow", [eps, alpha]) => {
+            let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(*eps, *alpha))?;
+            let name = sched.name();
+            Ok((sched.run(instance).log, name, true, None))
+        }
+        ("energymin", [alpha]) => {
+            let sched = EnergyMinScheduler::new(EnergyMinParams::new(*alpha))?;
+            let name = sched.name();
+            Ok((sched.run(instance).log, name, true, None))
+        }
+        ("greedy", _) => {
+            let mut sched = match spec {
+                "greedy:spt" => GreedyScheduler::ect_spt(),
+                "greedy:fifo" => GreedyScheduler::ect_fifo(),
+                other => return Err(format!("unknown greedy variant `{other}`")),
+            };
+            let name = sched.name();
+            Ok((sched.schedule(instance), name, false, None))
+        }
+        ("speedaug", [eps_s, eps_r]) => {
+            let sched = SpeedAugScheduler::new(*eps_s, *eps_r)?;
+            let name = sched.name();
+            Ok((sched.run(instance).0, name, true, None))
+        }
+        _ => Err(format!("unknown algo spec `{spec}`\n\n{USAGE}")),
+    }
+}
+
+/// `osr run` — run one scheduler on an instance.
+pub fn cmd_run(args: &Args) -> Result<String, String> {
+    let instance = load_instance(args)?;
+    let spec = args.opt("algo").unwrap_or("flow:0.25");
+    let alpha: f64 = args.opt_parse("alpha", 2.0)?;
+
+    let (log, name, speeds_vary, dual) = run_algo(spec, &instance)?;
+    let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
+    if !report.is_valid() {
+        return Err(format!(
+            "schedule failed validation: {}",
+            report.errors.first().map(|e| e.to_string()).unwrap_or_default()
+        ));
+    }
+    let metrics = Metrics::compute(&instance, &log, alpha);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm      : {name}");
+    let _ = writeln!(out, "jobs           : {} ({} completed, {} rejected)",
+        instance.len(), metrics.flow.completed, metrics.flow.rejected);
+    let _ = writeln!(out, "flow (served)  : {:.3}", metrics.flow.flow_served);
+    let _ = writeln!(out, "flow (all)     : {:.3}", metrics.flow.flow_all);
+    let _ = writeln!(out, "weighted flow  : {:.3}", metrics.flow.weighted_flow_served);
+    let _ = writeln!(out, "energy (α={alpha}) : {:.3}", metrics.energy.total());
+    let _ = writeln!(out, "makespan       : {:.3}", metrics.flow.makespan);
+    let _ = writeln!(out, "rejected frac  : {:.4} (weight {:.4})",
+        metrics.flow.rejected_fraction(), metrics.flow.rejected_weight_fraction());
+    if let Some(d) = dual {
+        let lb = flow_lower_bound(&instance, Some(d));
+        let _ = writeln!(out, "certified LB   : {:.3} → ratio ≤ {:.3}",
+            lb.value, metrics.flow.flow_all / lb.value);
+    }
+    if args.flag("gantt") {
+        let _ = writeln!(out, "\n{}", render_gantt(&instance, &log, 78));
+    }
+    if let Some(path) = args.opt("log") {
+        fs::write(path, io::log_to_string(&log)).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "log written to {path}");
+    }
+    Ok(out)
+}
+
+/// `osr validate` — validate a schedule log against its instance.
+pub fn cmd_validate(args: &Args) -> Result<String, String> {
+    let instance = load_instance(args)?;
+    let log_path = args.require("log")?;
+    let text = fs::read_to_string(log_path).map_err(|e| format!("reading {log_path}: {e}"))?;
+    let log = io::log_from_str(&text).map_err(|e| format!("{log_path}: {e}"))?;
+    let config = match args.opt("model") {
+        Some("flowtime") | None => ValidationConfig::flow_time(),
+        Some("flowenergy") => ValidationConfig::flow_energy(),
+        Some("energy") => ValidationConfig::energy(),
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    };
+    let report = validate_log(&instance, &log, &config);
+    if report.is_valid() {
+        Ok(format!(
+            "VALID — {} completed, {} rejected, all invariants hold\n",
+            report.completed, report.rejected
+        ))
+    } else {
+        let mut out = format!("INVALID — {} violation(s):\n", report.errors.len());
+        for e in report.errors.iter().take(10) {
+            let _ = writeln!(out, "  - {e}");
+        }
+        Err(out)
+    }
+}
+
+/// `osr compare` — run the standard policy lineup on one instance.
+pub fn cmd_compare(args: &Args) -> Result<String, String> {
+    let instance = load_instance(args)?;
+    if instance.kind() == InstanceKind::Energy {
+        return Err(
+            "compare runs flow-time policies; energy instances need `osr run --algo energymin:A`"
+                .into(),
+        );
+    }
+    let eps: f64 = args.opt_parse("eps", 0.25)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>9} {:>9}",
+        "policy", "flow(served)", "flow(all)", "rejected", "ratio/LB"
+    );
+
+    // Certified LB from the paper's algorithm.
+    let flow_out = FlowScheduler::new(FlowParams::new(eps))?.run(&instance);
+    let lb = flow_lower_bound(&instance, Some(flow_out.dual.objective())).value;
+
+    let specs = [
+        format!("flow:{eps}"),
+        "greedy:spt".to_string(),
+        "greedy:fifo".to_string(),
+        format!("speedaug:{eps}:{eps}"),
+    ];
+    for spec in &specs {
+        let (log, name, speeds_vary, _) = run_algo(spec, &instance)?;
+        let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
+        if !report.is_valid() {
+            return Err(format!("{name}: invalid schedule"));
+        }
+        let m = Metrics::compute(&instance, &log, 2.0);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.2} {:>12.2} {:>9} {:>9.3}",
+            name,
+            m.flow.flow_served,
+            m.flow.flow_all,
+            m.flow.rejected,
+            m.flow.flow_all / lb
+        );
+    }
+    let _ = writeln!(out, "\ncertified lower bound on OPT: {lb:.2}");
+    Ok(out)
+}
+
+/// `osr bounds` — print the paper's bounds for given parameters.
+pub fn cmd_bounds(args: &Args) -> Result<String, String> {
+    let eps: f64 = args.opt_parse("eps", 0.25)?;
+    let alpha: f64 = args.opt_parse("alpha", 2.0)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "parameters: eps = {eps}, alpha = {alpha}\n");
+    let _ = writeln!(out, "Theorem 1 (flow-time):");
+    let _ = writeln!(out, "  competitive ratio ≤ {:.3}", bounds::flowtime_competitive_bound(eps));
+    let _ = writeln!(out, "  rejected jobs     ≤ {:.3} · n", bounds::flowtime_rejection_budget(eps));
+    let _ = writeln!(out, "Theorem 2 (weighted flow + energy):");
+    let _ = writeln!(out, "  competitive ratio ≤ {:.3}", bounds::energyflow_competitive_bound(eps, alpha));
+    let _ = writeln!(out, "  rejected weight   ≤ {eps:.3} · W");
+    let _ = writeln!(out, "Theorem 3 (energy with deadlines):");
+    let _ = writeln!(out, "  competitive ratio ≤ α^α = {:.3}", bounds::energymin_competitive_bound(alpha));
+    let _ = writeln!(out, "Lemma 2 lower bound: ≥ (α/9)^α = {:.5}", bounds::energymin_lower_bound(alpha));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from), &["gantt"]).unwrap()
+    }
+
+    #[test]
+    fn gen_to_stdout_produces_parseable_instance() {
+        let out = cmd_gen(&args("gen --kind flowtime --n 20 --machines 2 --seed 5")).unwrap();
+        let inst = io::instance_from_str(&out).unwrap();
+        assert_eq!(inst.len(), 20);
+        assert_eq!(inst.machines(), 2);
+    }
+
+    #[test]
+    fn gen_energy_kind_has_deadlines() {
+        let out =
+            cmd_gen(&args("gen --kind energy --n 10 --machines 1 --slack 1.5:2.5")).unwrap();
+        let inst = io::instance_from_str(&out).unwrap();
+        assert!(inst.jobs().iter().all(|j| j.deadline.is_some()));
+    }
+
+    #[test]
+    fn gen_rejects_bad_specs() {
+        assert!(cmd_gen(&args("gen --kind nope")).is_err());
+        assert!(cmd_gen(&args("gen --sizes wat:1")).is_err());
+        assert!(cmd_gen(&args("gen --arrivals poisson")).is_err());
+        assert!(cmd_gen(&args("gen --machine-model related")).is_err());
+    }
+
+    #[test]
+    fn run_and_validate_round_trip_through_files() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let log_path = dir.join("log.csv");
+
+        let text =
+            cmd_gen(&args("gen --kind flowtime --n 30 --machines 2 --seed 9")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+
+        let run_out = cmd_run(&args(&format!(
+            "run --algo flow:0.25 --input {} --log {}",
+            inst_path.display(),
+            log_path.display()
+        )))
+        .unwrap();
+        assert!(run_out.contains("certified LB"));
+        assert!(run_out.contains("log written"));
+
+        let val_out = cmd_validate(&args(&format!(
+            "validate --input {} --log {} --model flowtime",
+            inst_path.display(),
+            log_path.display()
+        )))
+        .unwrap();
+        assert!(val_out.starts_with("VALID"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_lists_all_policies() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-cmp-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let text =
+            cmd_gen(&args("gen --kind flowtime --n 40 --machines 2 --seed 3")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        let out =
+            cmd_compare(&args(&format!("compare --input {} --eps 0.3", inst_path.display())))
+                .unwrap();
+        assert!(out.contains("spaa18-flow"));
+        assert!(out.contains("greedy"));
+        assert!(out.contains("esa16-speedaug"));
+        assert!(out.contains("certified lower bound"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_refuses_energy_instances() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-cmpe-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let text = cmd_gen(&args("gen --kind energy --n 5 --machines 1")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        let err =
+            cmd_compare(&args(&format!("compare --input {}", inst_path.display())));
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("energymin"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_from_trace_imports_rows() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-trace-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("jobs.trace");
+        fs::write(&trace_path, "# release size weight\n0 2 5\n1 3 1\n").unwrap();
+        let out = cmd_gen(&args(&format!(
+            "gen --from-trace {} --machines 2 --machine-model unrelated:1:3",
+            trace_path.display()
+        )))
+        .unwrap();
+        let inst = io::instance_from_str(&out).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.jobs()[0].weight, 5.0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounds_prints_all_theorems() {
+        let out = cmd_bounds(&args("bounds --eps 0.5 --alpha 3")).unwrap();
+        assert!(out.contains("Theorem 1"));
+        assert!(out.contains("18.000")); // 2(1.5/0.5)² = 18
+        assert!(out.contains("27.000")); // 3³
+        assert!(out.contains("Lemma 2"));
+    }
+
+    #[test]
+    fn dispatch_routes_and_help_works() {
+        assert!(dispatch(&args("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(&args("nonsense")).is_err());
+        assert!(dispatch(&args("bounds")).is_ok());
+    }
+
+    #[test]
+    fn run_energymin_on_energy_instance() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-em-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let text = cmd_gen(&args("gen --kind energy --n 15 --machines 1 --seed 2")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        let out = cmd_run(&args(&format!(
+            "run --algo energymin:2.0 --input {} --alpha 2.0",
+            inst_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("0 rejected"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_unknown_algo() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let text = cmd_gen(&args("gen --n 5 --machines 1")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        let err = cmd_run(&args(&format!(
+            "run --algo quantum:1 --input {}",
+            inst_path.display()
+        )));
+        assert!(err.is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! # osr-cli — command-line interface
+//!
+//! The `osr` binary wraps the workspace for shell use:
+//!
+//! ```text
+//! osr gen --kind flowtime --n 200 --machines 4 --seed 7 --out inst.csv
+//! osr run --algo flow:0.25 --input inst.csv --log sched.csv --gantt
+//! osr validate --input inst.csv --log sched.csv --model flowtime
+//! osr compare --input inst.csv --eps 0.25
+//! osr bounds --eps 0.25 --alpha 2.5
+//! ```
+//!
+//! All command logic lives in [`commands`] as pure functions from
+//! parsed [`args::Args`] to output strings, so the whole surface is
+//! unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+pub use commands::{dispatch, USAGE};

@@ -1,0 +1,21 @@
+//! `osr` binary entry point.
+
+use osr_cli::{dispatch, Args};
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(tokens, &["gantt"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", osr_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

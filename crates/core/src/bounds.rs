@@ -1,0 +1,161 @@
+//! Closed-form bounds from the paper's theorems and lemmas.
+//!
+//! Experiments plot measured competitive ratios against these curves;
+//! the paper's claims hold when measurements stay below the upper
+//! bounds (Theorems 1–3) and the adversarial constructions climb at
+//! least as fast as the lower bounds (Lemmas 1–2).
+
+/// Theorem 1 upper bound: `2((1+ε)/ε)²`.
+pub fn flowtime_competitive_bound(eps: f64) -> f64 {
+    let r = (1.0 + eps) / eps;
+    2.0 * r * r
+}
+
+/// Theorem 1 rejection budget: at most a `2ε` fraction of all jobs.
+pub fn flowtime_rejection_budget(eps: f64) -> f64 {
+    2.0 * eps
+}
+
+/// Theorem 2 competitive bound, computed by optimizing the speed factor
+/// `γ` in the proof's ratio
+///
+/// ```text
+///            2 + α/(γ(α−1)) + γ^α
+/// ratio(γ) = ─────────────────────────────────────────────────
+///            ε/(1+ε) − (α−1) · ( ε/(γ(1+ε)(α−1)) )^{α/(α−1)}
+/// ```
+///
+/// over `γ` with a positive denominator. The paper fixes one particular
+/// `γ` and reports the asymptotic `O((1+1/ε)^{α/(α−1)})`; optimizing
+/// numerically gives the tightest constant the same proof supports,
+/// which is the honest curve to compare measurements against.
+pub fn energyflow_competitive_bound(eps: f64, alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "speed scaling requires alpha > 1");
+    assert!(eps > 0.0, "eps must be positive");
+    let ratio = |gamma: f64| -> f64 {
+        let num = 2.0 + alpha / (gamma * (alpha - 1.0)) + gamma.powf(alpha);
+        let inner = eps / (gamma * (1.0 + eps) * (alpha - 1.0));
+        let den = eps / (1.0 + eps) - (alpha - 1.0) * inner.powf(alpha / (alpha - 1.0));
+        if den > 1e-12 {
+            num / den
+        } else {
+            f64::INFINITY
+        }
+    };
+    // Coarse-to-fine grid search: ratio(γ) is unimodal on the feasible
+    // region for the parameter ranges we use (α ∈ (1, 4], ε ∈ (0, 1]).
+    let mut best = f64::INFINITY;
+    let mut best_g = 1.0;
+    let mut lo: f64 = 1e-3;
+    let mut hi: f64 = 1e3;
+    for _ in 0..4 {
+        let steps = 400;
+        for k in 0..=steps {
+            // log-space sweep
+            let g = lo * (hi / lo).powf(k as f64 / steps as f64);
+            let r = ratio(g);
+            if r < best {
+                best = r;
+                best_g = g;
+            }
+        }
+        lo = best_g / 3.0;
+        hi = best_g * 3.0;
+    }
+    best
+}
+
+/// Theorem 2 asymptotic form `(1 + 1/ε)^{α/(α−1)}` (constant dropped);
+/// useful as a reference slope in plots.
+pub fn energyflow_asymptotic(eps: f64, alpha: f64) -> f64 {
+    (1.0 + 1.0 / eps).powf(alpha / (alpha - 1.0))
+}
+
+/// Theorem 3 bound for `P(s) = s^α`: `α^α`.
+pub fn energymin_competitive_bound(alpha: f64) -> f64 {
+    alpha.powf(alpha)
+}
+
+/// Theorem 3 general bound `λ/(1−µ)` for `(λ, µ)`-smooth powers.
+pub fn smooth_competitive_bound(lambda: f64, mu: f64) -> f64 {
+    assert!(mu < 1.0, "smoothness requires mu < 1");
+    lambda / (1.0 - mu)
+}
+
+/// Lemma 2 lower bound: any deterministic algorithm is at least
+/// `(α/9)^α`-competitive for non-preemptive energy minimization.
+pub fn energymin_lower_bound(alpha: f64) -> f64 {
+    (alpha / 9.0).powf(alpha)
+}
+
+/// Lemma 1 lower bound: immediate-rejection policies are
+/// `Ω(√Δ)`-competitive; this returns the `√Δ` reference curve (constant
+/// 1 — the experiment checks *growth*, not the constant).
+pub fn immediate_rejection_lower_bound(delta: f64) -> f64 {
+    delta.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flowtime_bound_matches_formula() {
+        assert!((flowtime_competitive_bound(1.0) - 8.0).abs() < 1e-12);
+        assert!((flowtime_competitive_bound(0.5) - 18.0).abs() < 1e-12);
+        // ε → 0 blows up quadratically.
+        assert!(flowtime_competitive_bound(0.01) > 2.0 * 100.0 * 100.0 * 0.99);
+    }
+
+    #[test]
+    fn flowtime_budget_is_two_eps() {
+        assert_eq!(flowtime_rejection_budget(0.25), 0.5);
+    }
+
+    #[test]
+    fn energyflow_bound_is_finite_and_decreasing_in_eps() {
+        let a = energyflow_competitive_bound(0.1, 2.0);
+        let b = energyflow_competitive_bound(0.5, 2.0);
+        let c = energyflow_competitive_bound(1.0, 2.0);
+        assert!(a.is_finite() && b.is_finite() && c.is_finite());
+        assert!(a > b && b > c, "bound must decrease as eps grows: {a} {b} {c}");
+    }
+
+    #[test]
+    fn energyflow_bound_exceeds_trivial_floor() {
+        // The ratio is at least numerator(γ*) ≥ 2 · (1+ε)/ε.
+        let b = energyflow_competitive_bound(0.5, 3.0);
+        assert!(b > 2.0 * 3.0);
+    }
+
+    #[test]
+    fn energyflow_asymptotic_scales() {
+        let x = energyflow_asymptotic(0.5, 2.0);
+        assert!((x - 9.0).abs() < 1e-9); // (1+2)^2
+    }
+
+    #[test]
+    fn energymin_bounds() {
+        assert!((energymin_competitive_bound(2.0) - 4.0).abs() < 1e-12);
+        assert!((energymin_competitive_bound(3.0) - 27.0).abs() < 1e-12);
+        assert!((energymin_lower_bound(9.0) - 1.0).abs() < 1e-12);
+        assert!(energymin_lower_bound(18.0) > 1.0);
+    }
+
+    #[test]
+    fn smooth_bound() {
+        assert!((smooth_competitive_bound(4.0, 0.5) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_rejection_curve_grows_as_sqrt() {
+        assert!((immediate_rejection_lower_bound(100.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_exceeds_lower_bound_for_energy() {
+        for &alpha in &[1.5, 2.0, 2.5, 3.0] {
+            assert!(energymin_competitive_bound(alpha) > energymin_lower_bound(alpha));
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! §3 — online non-preemptive weighted flow-time **plus energy**
+//! minimization under speed scaling (Theorem 2).
+//!
+//! ## Model
+//!
+//! Machines obey the power law `P(s) = s^α` (`α > 1`). A job `j` has a
+//! weight `w_j` and a machine-dependent *volume* `p_ij`; run at constant
+//! speed `s` it occupies the machine for `p_ij / s`. The objective is
+//! `Σ_j w_j F_j + Σ_i ∫ s_i(t)^α dt`.
+//!
+//! ## The algorithm
+//!
+//! * **Dispatch** — at arrival, send `j` to the machine minimizing
+//!
+//!   ```text
+//!   λ_ij = w_j ( p_ij/ε + Σ_{ℓ⪯j} p_iℓ/(γ·W_ℓ^{1/α}) )
+//!        + ( Σ_{ℓ≻j} w_ℓ ) · p_ij/(γ·W_j^{1/α})
+//!   ```
+//!
+//!   where pending jobs are ordered by **non-increasing density**
+//!   `δ_iℓ = w_ℓ/p_iℓ` (ties: earliest release) and `W_ℓ` is the prefix
+//!   weight up to `ℓ` inclusive.
+//! * **Scheduling** — when a machine goes idle, start the
+//!   highest-density pending job at speed
+//!   `s = γ·(Σ_{ℓ∈U_i(t)} w_ℓ)^{1/α}`, fixed until the job finishes.
+//! * **Rejection** — a weight counter `v_k` on the running job
+//!   accumulates the weight of jobs dispatched to the machine during
+//!   `k`'s run; when `v_k > w_k/ε` the job is interrupted and rejected.
+//!
+//! Theorem 2: `O((1+1/ε)^{α/(α-1)})`-competitive, rejecting total
+//! weight at most `ε·Σ_j w_j`.
+//!
+//! ## The speed factor `γ`
+//!
+//! The proof leaves `γ` free and then picks a value optimizing the
+//! ratio. The closed form printed in the paper degenerates for
+//! `α ≤ 2` (`ln(α−1) ≤ 0`), so [`EnergyFlowParams`] defaults to the
+//! numerically optimized `γ*` from the same ratio expression (see
+//! [`crate::bounds::energyflow_competitive_bound`]); callers may
+//! override it.
+
+pub mod dual;
+
+use osr_model::{
+    Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
+    ScheduleLog,
+};
+use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
+
+pub use dual::{check_energyflow_dual, EnergyFlowAudit};
+
+/// Parameters of the §3 algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyFlowParams {
+    /// Rejected-weight budget `ε ∈ (0, 1]`.
+    pub eps: f64,
+    /// Power exponent `α > 1`.
+    pub alpha: f64,
+    /// Speed factor; `None` → numerically optimized `γ*`.
+    pub gamma: Option<f64>,
+    /// Enable the rejection rule (ablation toggle).
+    pub reject: bool,
+}
+
+impl EnergyFlowParams {
+    /// Standard parameters.
+    pub fn new(eps: f64, alpha: f64) -> Self {
+        EnergyFlowParams { eps, alpha, gamma: None, reject: true }
+    }
+}
+
+/// Per-job record kept for the dual audit and experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyFlowJobRecord {
+    /// Machine the job was dispatched to.
+    pub machine: u32,
+    /// `λ_j = ε/(1+ε)·min_i λ_ij`.
+    pub lambda: f64,
+    /// Execution start (NaN if never started).
+    pub start: f64,
+    /// Constant execution speed (NaN if never started).
+    pub speed: f64,
+    /// Exit: completion or rejection time.
+    pub exit: f64,
+    /// Definitive finish time (≥ exit; §3's `Q_i` retention).
+    pub def_finish: f64,
+}
+
+/// Full outcome of a §3 run.
+#[derive(Debug)]
+pub struct EnergyFlowOutcome {
+    /// The schedule log.
+    pub log: FinishedLog,
+    /// Decision audit trail.
+    pub trace: DecisionTrace,
+    /// Per-job dual records.
+    pub records: Vec<EnergyFlowJobRecord>,
+    /// The `γ` actually used.
+    pub gamma: f64,
+    /// The parameters.
+    pub params: EnergyFlowParams,
+}
+
+impl EnergyFlowOutcome {
+    /// `Σ_j λ_j` of the constructed dual.
+    pub fn sum_lambda(&self) -> f64 {
+        self.records.iter().map(|r| r.lambda).sum()
+    }
+}
+
+/// The §3 scheduler.
+///
+/// ```
+/// use osr_core::energyflow::{EnergyFlowParams, EnergyFlowScheduler};
+/// use osr_model::{InstanceBuilder, InstanceKind, Metrics};
+///
+/// let instance = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+///     .weighted_job(0.0, 4.0, vec![2.0])
+///     .build()
+///     .unwrap();
+/// let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 2.0)).unwrap();
+/// let out = sched.run(&instance);
+/// let metrics = Metrics::compute(&instance, &out.log, 2.0);
+/// assert!(metrics.weighted_flow_plus_energy() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyFlowScheduler {
+    params: EnergyFlowParams,
+    gamma: f64,
+}
+
+/// A pending job on a machine, in density order.
+#[derive(Debug, Clone, Copy)]
+struct PendE {
+    job: JobId,
+    /// Volume on this machine.
+    p: f64,
+    w: f64,
+    /// Density `w/p` on this machine.
+    d: f64,
+    r: f64,
+}
+
+impl PendE {
+    /// `true` when `self` precedes `other` in the §3 order
+    /// (higher density first; ties earliest release, then id).
+    fn precedes(&self, other: &PendE) -> bool {
+        match self.d.total_cmp(&other.d) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match self.r.total_cmp(&other.r) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => self.job < other.job,
+            },
+        }
+    }
+}
+
+struct RunningE {
+    job: JobId,
+    start: f64,
+    completion: f64,
+    speed: f64,
+    /// Weight counter `v_k`.
+    v: f64,
+    w: f64,
+}
+
+struct MachineE {
+    /// Pending jobs sorted by `precedes` (highest density first).
+    pending: Vec<PendE>,
+    pending_weight: f64,
+    running: Option<RunningE>,
+    /// Rejection events `(time, q_ik(t)/s_k)` for definitive-finish
+    /// accounting, with prefix sums.
+    rej_times: Vec<f64>,
+    rej_prefix: Vec<f64>,
+}
+
+impl MachineE {
+    fn new() -> Self {
+        MachineE {
+            pending: Vec::new(),
+            pending_weight: 0.0,
+            running: None,
+            rej_times: Vec::new(),
+            rej_prefix: vec![0.0],
+        }
+    }
+
+    fn insert(&mut self, e: PendE) {
+        let pos = self.pending.partition_point(|x| x.precedes(&e));
+        self.pending.insert(pos, e);
+        self.pending_weight += e.w;
+    }
+
+    fn pop_first(&mut self) -> Option<PendE> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            let e = self.pending.remove(0);
+            self.pending_weight -= e.w;
+            Some(e)
+        }
+    }
+
+    fn push_rejection(&mut self, time: f64, delay: f64) {
+        self.rej_times.push(time);
+        let last = *self.rej_prefix.last().unwrap();
+        self.rej_prefix.push(last + delay);
+    }
+
+    /// Sum of rejection delays in `[lo, hi]`.
+    fn rejection_window(&self, lo: f64, hi: f64) -> f64 {
+        let a = self.rej_times.partition_point(|&t| t < lo);
+        let b = self.rej_times.partition_point(|&t| t <= hi);
+        self.rej_prefix[b] - self.rej_prefix[a]
+    }
+}
+
+impl EnergyFlowScheduler {
+    /// Validates parameters and resolves `γ`.
+    pub fn new(params: EnergyFlowParams) -> Result<Self, String> {
+        if !(params.eps > 0.0 && params.eps <= 1.0 && params.eps.is_finite()) {
+            return Err(format!("eps must be in (0, 1], got {}", params.eps));
+        }
+        if !(params.alpha > 1.0) || !params.alpha.is_finite() {
+            return Err(format!("alpha must exceed 1, got {}", params.alpha));
+        }
+        let gamma = match params.gamma {
+            Some(g) if g > 0.0 && g.is_finite() => g,
+            Some(g) => return Err(format!("gamma must be positive, got {g}")),
+            None => optimal_gamma(params.eps, params.alpha),
+        };
+        Ok(EnergyFlowScheduler { params, gamma })
+    }
+
+    /// The `γ` in effect.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Computes `λ_ij` for job `(p, w)` against machine state `ms`.
+    fn lambda_ij(&self, ms: &MachineE, p: f64, w: f64, r: f64, id: JobId) -> f64 {
+        let alpha = self.params.alpha;
+        let gamma = self.gamma;
+        let probe = PendE { job: id, p, w, d: w / p, r };
+        let mut lam = w * p / self.params.eps;
+        let mut prefix_w = 0.0;
+        let mut term_pre = 0.0;
+        let mut succ_w = 0.0;
+        for e in &ms.pending {
+            if e.precedes(&probe) {
+                prefix_w += e.w;
+                term_pre += e.p / (gamma * prefix_w.powf(1.0 / alpha));
+            } else {
+                succ_w += e.w;
+            }
+        }
+        let w_j = prefix_w + w;
+        term_pre += p / (gamma * w_j.powf(1.0 / alpha));
+        lam += w * term_pre;
+        lam += succ_w * p / (gamma * w_j.powf(1.0 / alpha));
+        lam
+    }
+
+    /// Runs the algorithm, producing the full outcome.
+    pub fn run(&self, instance: &Instance) -> EnergyFlowOutcome {
+        let m = instance.machines();
+        let n = instance.len();
+        let jobs = instance.jobs();
+        let alpha = self.params.alpha;
+        let gamma = self.gamma;
+        let eps = self.params.eps;
+
+        let mut machines: Vec<MachineE> = (0..m).map(|_| MachineE::new()).collect();
+        let mut log = ScheduleLog::new(m, n);
+        let mut trace = DecisionTrace::new();
+        let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
+        let mut records = vec![
+            EnergyFlowJobRecord {
+                machine: u32::MAX,
+                lambda: 0.0,
+                start: f64::NAN,
+                speed: f64::NAN,
+                exit: f64::NAN,
+                def_finish: f64::NAN,
+            };
+            n
+        ];
+
+        let mut next_arrival = 0usize;
+
+        // Start the highest-density pending job if the machine is idle.
+        let start_next = |mi: usize,
+                          t: f64,
+                          machines: &mut Vec<MachineE>,
+                          completions: &mut EventQueue<(usize, JobId)>,
+                          trace: &mut DecisionTrace,
+                          records: &mut Vec<EnergyFlowJobRecord>| {
+            let ms = &mut machines[mi];
+            if ms.running.is_some() || ms.pending.is_empty() {
+                return;
+            }
+            // Speed uses the total pending weight *including* the job
+            // about to start (it is in U_i(t) at this instant).
+            let speed = gamma * ms.pending_weight.powf(1.0 / alpha);
+            let e = ms.pop_first().expect("non-empty");
+            let completion = t + e.p / speed;
+            ms.running = Some(RunningE {
+                job: e.job,
+                start: t,
+                completion,
+                speed,
+                v: 0.0,
+                w: e.w,
+            });
+            completions.push(completion, (mi, e.job));
+            records[e.job.idx()].start = t;
+            records[e.job.idx()].speed = speed;
+            trace.push(DecisionEvent::Start {
+                time: t,
+                job: e.job,
+                machine: MachineId(mi as u32),
+                speed,
+            });
+        };
+
+        loop {
+            let ta = jobs.get(next_arrival).map(|j| j.release);
+            let tc = completions.peek_time();
+            let do_completion = match (ta, tc) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(c)) => c <= a,
+            };
+
+            if do_completion {
+                let (t, (mi, job)) = completions.pop().expect("peeked");
+                let matches = machines[mi].running.as_ref().is_some_and(|r| r.job == job);
+                if !matches {
+                    continue; // stale (job was rejected mid-run)
+                }
+                let r = machines[mi].running.take().expect("matched");
+                log.complete(
+                    job,
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start: r.start,
+                        completion: r.completion,
+                        speed: r.speed,
+                    },
+                );
+                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                let rj = instance.job(job).release;
+                records[job.idx()].exit = t;
+                records[job.idx()].def_finish = t + machines[mi].rejection_window(rj, t);
+                start_next(mi, t, &mut machines, &mut completions, &mut trace, &mut records);
+                continue;
+            }
+
+            // --- Arrival. ---
+            let job = &jobs[next_arrival];
+            next_arrival += 1;
+            let j = job.id;
+            let t = job.release;
+
+            let mut best: Option<(usize, f64)> = None;
+            for mi in 0..m {
+                let p = job.sizes[mi];
+                if !p.is_finite() {
+                    continue;
+                }
+                let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
+                if best.is_none_or(|(_, bl)| lam < bl) {
+                    best = Some((mi, lam));
+                }
+            }
+            let (mi, lam) = best.expect("eligible somewhere");
+            records[j.idx()].machine = mi as u32;
+            records[j.idx()].lambda = eps / (1.0 + eps) * lam;
+            trace.push(DecisionEvent::Dispatch {
+                time: t,
+                job: j,
+                machine: MachineId(mi as u32),
+                lambda: lam,
+                candidates: m,
+            });
+
+            let p_ij = job.sizes[mi];
+            machines[mi].insert(PendE {
+                job: j,
+                p: p_ij,
+                w: job.weight,
+                d: job.weight / p_ij,
+                r: t,
+            });
+
+            // Rejection rule: charge the arriving weight to the running
+            // job; reject it when the counter exceeds w_k/ε.
+            if let Some(run) = machines[mi].running.as_mut() {
+                run.v += job.weight;
+                if self.params.reject && run.v > run.w / eps {
+                    let run = machines[mi].running.take().expect("present");
+                    let k = run.job;
+                    let delay = (run.completion - t).max(0.0); // q_ik(t)/s_k
+                    log.reject(
+                        k,
+                        Rejection {
+                            time: t,
+                            reason: RejectReason::RuleOne,
+                            partial: Some(PartialRun {
+                                machine: MachineId(mi as u32),
+                                start: run.start,
+                                end: t,
+                                speed: run.speed,
+                            }),
+                        },
+                    );
+                    trace.push(DecisionEvent::Reject {
+                        time: t,
+                        job: k,
+                        machine: MachineId(mi as u32),
+                        reason: RejectReason::RuleOne,
+                        counter: run.v,
+                    });
+                    machines[mi].push_rejection(t, delay);
+                    let rk = instance.job(k).release;
+                    records[k.idx()].exit = t;
+                    records[k.idx()].def_finish = t + machines[mi].rejection_window(rk, t);
+                }
+            }
+
+            start_next(mi, t, &mut machines, &mut completions, &mut trace, &mut records);
+        }
+
+        let log = log.finish().expect("all jobs decided");
+        EnergyFlowOutcome { log, trace, records, gamma, params: self.params }
+    }
+}
+
+impl OnlineScheduler for EnergyFlowScheduler {
+    fn name(&self) -> String {
+        format!(
+            "spaa18-flow+energy(eps={}, alpha={}, gamma={:.3})",
+            self.params.eps, self.params.alpha, self.gamma
+        )
+    }
+
+    fn schedule(&mut self, instance: &Instance) -> FinishedLog {
+        self.run(instance).log
+    }
+}
+
+/// Numerically optimizes the proof's ratio over `γ` (same expression as
+/// [`crate::bounds::energyflow_competitive_bound`], returning the argmin
+/// instead of the minimum).
+pub fn optimal_gamma(eps: f64, alpha: f64) -> f64 {
+    let ratio = |gamma: f64| -> f64 {
+        let num = 2.0 + alpha / (gamma * (alpha - 1.0)) + gamma.powf(alpha);
+        let inner = eps / (gamma * (1.0 + eps) * (alpha - 1.0));
+        let den = eps / (1.0 + eps) - (alpha - 1.0) * inner.powf(alpha / (alpha - 1.0));
+        if den > 1e-12 {
+            num / den
+        } else {
+            f64::INFINITY
+        }
+    };
+    let mut best = f64::INFINITY;
+    let mut best_g = 1.0;
+    let mut lo: f64 = 1e-3;
+    let mut hi: f64 = 1e3;
+    for _ in 0..4 {
+        let steps = 400;
+        for k in 0..=steps {
+            let g = lo * (hi / lo).powf(k as f64 / steps as f64);
+            let r = ratio(g);
+            if r < best {
+                best = r;
+                best_g = g;
+            }
+        }
+        lo = best_g / 3.0;
+        hi = best_g * 3.0;
+    }
+    best_g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{InstanceBuilder, InstanceKind, Metrics};
+    use osr_sim::{validate_log, ValidationConfig};
+
+    fn assert_valid(inst: &Instance, out: &EnergyFlowOutcome) {
+        let rep = validate_log(inst, &out.log, &ValidationConfig::flow_energy());
+        assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    }
+
+    fn weighted_instance(n: usize, m: usize, seed: u64) -> Instance {
+        let mut b = InstanceBuilder::new(m, InstanceKind::FlowEnergy);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += (next() % 100) as f64 / 30.0;
+            let w = 1.0 + (next() % 8) as f64;
+            let sizes: Vec<f64> = (0..m).map(|_| 0.5 + (next() % 30) as f64 / 3.0).collect();
+            b = b.weighted_job(t, w, sizes);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_job_runs_at_gamma_weight_speed() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 8.0, vec![4.0])
+            .build()
+            .unwrap();
+        let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 2.0)).unwrap();
+        let out = sched.run(&inst);
+        assert_valid(&inst, &out);
+        let e = out.log.fate(JobId(0)).execution().unwrap();
+        let expect = sched.gamma() * 8.0f64.powf(0.5);
+        assert!((e.speed - expect).abs() < 1e-9, "speed {} vs {expect}", e.speed);
+        assert!((e.completion - 4.0 / expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn highest_density_first_order() {
+        // j0 (low density) starts immediately; j1 and j2 then queue. HDF
+        // must start the denser j2 before j1 once j0 finishes.
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 1.0, vec![10.0]) // density 0.1
+            .weighted_job(0.1, 1.0, vec![4.0]) // density 0.25
+            .weighted_job(0.2, 8.0, vec![4.0]) // density 2.0
+            .build()
+            .unwrap();
+        let params = EnergyFlowParams { eps: 1.0, alpha: 2.0, gamma: Some(1.0), reject: false };
+        let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
+        assert_valid(&inst, &out);
+        let s1 = out.log.fate(JobId(1)).execution().unwrap().start;
+        let s2 = out.log.fate(JobId(2)).execution().unwrap().start;
+        assert!(s2 < s1, "denser job must start first (j2 at {s2}, j1 at {s1})");
+    }
+
+    #[test]
+    fn rejection_budget_in_weight_respected() {
+        let inst = weighted_instance(300, 2, 17);
+        let total_w = inst.total_weight();
+        for eps in [0.1, 0.3, 0.6] {
+            let out = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, 2.5))
+                .unwrap()
+                .run(&inst);
+            assert_valid(&inst, &out);
+            let m = Metrics::compute(&inst, &out.log, 2.5);
+            assert!(
+                m.flow.rejected_weight <= eps * total_w + 1e-9,
+                "eps={eps}: rejected weight {} > {}",
+                m.flow.rejected_weight,
+                eps * total_w
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_counter_is_weight_based() {
+        // Running job weight 1, eps=0.5 → reject when accumulated
+        // arriving weight exceeds 2.
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 1.0, vec![100.0])
+            .weighted_job(1.0, 1.5, vec![1.0])
+            .weighted_job(2.0, 1.0, vec![1.0])
+            .build()
+            .unwrap();
+        let params = EnergyFlowParams { eps: 0.5, alpha: 2.0, gamma: Some(1.0), reject: true };
+        let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
+        assert_valid(&inst, &out);
+        let rej = out.log.fate(JobId(0)).rejection().expect("rejected");
+        // v = 1.5 at t=1 (≤ 2), v = 2.5 at t=2 (> 2) → rejected at 2.
+        assert_eq!(rej.time, 2.0);
+    }
+
+    #[test]
+    fn no_rejection_when_disabled() {
+        let inst = weighted_instance(100, 2, 3);
+        let params = EnergyFlowParams { eps: 0.1, alpha: 2.0, gamma: None, reject: false };
+        let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
+        assert_eq!(out.log.rejected_count(), 0);
+        assert_valid(&inst, &out);
+    }
+
+    #[test]
+    fn energy_accounting_matches_speeds() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 4.0, vec![2.0])
+            .build()
+            .unwrap();
+        let params = EnergyFlowParams { eps: 0.5, alpha: 3.0, gamma: Some(0.5), reject: true };
+        let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
+        let m = Metrics::compute(&inst, &out.log, 3.0);
+        let e = out.log.fate(JobId(0)).execution().unwrap();
+        let expected = (e.completion - e.start) * e.speed.powf(3.0);
+        assert!((m.energy.total() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_at_least_alone_cost_of_completed_jobs() {
+        let inst = weighted_instance(80, 2, 99);
+        let alpha = 2.0;
+        let out =
+            EnergyFlowScheduler::new(EnergyFlowParams::new(0.3, alpha)).unwrap().run(&inst);
+        assert_valid(&inst, &out);
+        let m = Metrics::compute(&inst, &out.log, alpha);
+        let obj = m.weighted_flow_plus_energy();
+        let mut floor = 0.0;
+        for (id, _e) in out.log.executions() {
+            let job = inst.job(id);
+            let p = job.min_size();
+            let s_star = (job.weight / (alpha - 1.0)).powf(1.0 / alpha);
+            floor += job.weight * p / s_star + p * s_star.powf(alpha - 1.0);
+        }
+        assert!(obj + 1e-9 >= floor, "objective {obj} below alone-cost floor {floor}");
+    }
+
+    #[test]
+    fn dispatch_splits_by_affinity() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 1.0, vec![1.0, 50.0])
+            .weighted_job(0.0, 1.0, vec![50.0, 1.0])
+            .build()
+            .unwrap();
+        let out =
+            EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 2.0)).unwrap().run(&inst);
+        let e0 = out.log.fate(JobId(0)).execution().unwrap();
+        let e1 = out.log.fate(JobId(1)).execution().unwrap();
+        assert_eq!(e0.machine, MachineId(0));
+        assert_eq!(e1.machine, MachineId(1));
+    }
+
+    #[test]
+    fn def_finish_dominates_exit() {
+        let inst = weighted_instance(150, 3, 41);
+        let out =
+            EnergyFlowScheduler::new(EnergyFlowParams::new(0.2, 2.0)).unwrap().run(&inst);
+        for r in &out.records {
+            assert!(r.def_finish + 1e-9 >= r.exit);
+            assert!(r.exit.is_finite());
+        }
+    }
+
+    #[test]
+    fn optimal_gamma_is_positive_and_stable() {
+        for &(eps, alpha) in &[(0.1, 2.0), (0.5, 2.0), (0.5, 3.0), (0.9, 1.5)] {
+            let g = optimal_gamma(eps, alpha);
+            assert!(g > 0.0 && g.is_finite(), "eps={eps} alpha={alpha} g={g}");
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(EnergyFlowScheduler::new(EnergyFlowParams::new(0.0, 2.0)).is_err());
+        assert!(EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 1.0)).is_err());
+        assert!(EnergyFlowScheduler::new(EnergyFlowParams {
+            eps: 0.5,
+            alpha: 2.0,
+            gamma: Some(-1.0),
+            reject: true
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn speed_accounts_for_queue_weight() {
+        // j0 starts alone (speed √3). While it runs, j1 and j2 queue up
+        // (weights 1 and 3). At j0's completion the next start must see
+        // pending weight 4 → speed √4 = 2.
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 3.0, vec![6.0])
+            .weighted_job(1.0, 1.0, vec![6.0])
+            .weighted_job(2.0, 3.0, vec![6.0])
+            .build()
+            .unwrap();
+        let params = EnergyFlowParams { eps: 1.0, alpha: 2.0, gamma: Some(1.0), reject: false };
+        let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
+        let e0 = out.log.fate(JobId(0)).execution().unwrap();
+        assert!((e0.speed - 3.0f64.sqrt()).abs() < 1e-9, "first speed {}", e0.speed);
+        // j2 (density 0.5) precedes j1 (density 1/6): it starts second.
+        let e2 = out.log.fate(JobId(2)).execution().unwrap();
+        assert!((e2.start - e0.completion).abs() < 1e-9);
+        assert!((e2.speed - 2.0).abs() < 1e-9, "second speed {}", e2.speed);
+    }
+
+    #[test]
+    fn lambda_j_recorded_for_every_job() {
+        let inst = weighted_instance(50, 2, 7);
+        let out =
+            EnergyFlowScheduler::new(EnergyFlowParams::new(0.4, 2.0)).unwrap().run(&inst);
+        for r in &out.records {
+            assert!(r.lambda > 0.0);
+            assert!(r.machine != u32::MAX);
+        }
+        assert!(out.sum_lambda() > 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Exact piecewise-constant machine speed profiles.
+//!
+//! §4 allows several jobs to run simultaneously on one machine; the
+//! machine's power at time `t` is `P(Σ running speeds)`. Rather than
+//! discretizing time into slots (which would make the marginal-energy
+//! oracle approximate), profiles are stored as breakpoint maps — the
+//! greedy's marginal-energy evaluations and the final energy integral
+//! are then **exact** for the chosen (start, speed) strategies. The
+//! paper's discretization appears only where it belongs: in the finite
+//! *candidate* strategy grid (see `energymin::mod`).
+
+use std::collections::BTreeMap;
+
+use osr_dstruct::TotalF64;
+
+/// Total machine speed as a step function of time.
+///
+/// Entries map a breakpoint `t` to the total speed on `[t, next)`;
+/// speed is 0 before the first breakpoint and after the last (the last
+/// entry always carries value 0).
+#[derive(Debug, Clone, Default)]
+pub struct SpeedProfile {
+    points: BTreeMap<TotalF64, f64>,
+}
+
+impl SpeedProfile {
+    /// Empty (all-idle) profile.
+    pub fn new() -> Self {
+        SpeedProfile { points: BTreeMap::new() }
+    }
+
+    /// Whether no job has ever been added.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Speed at time `t`.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        self.points
+            .range(..=TotalF64(t))
+            .next_back()
+            .map(|(_, &v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Ensures a breakpoint exists at `t` (splitting the segment).
+    fn ensure_breakpoint(&mut self, t: f64) {
+        let key = TotalF64(t);
+        if self.points.contains_key(&key) {
+            return;
+        }
+        let val = self.speed_at(t);
+        self.points.insert(key, val);
+    }
+
+    /// Adds speed `v` on `[start, end)`.
+    pub fn add(&mut self, start: f64, end: f64, v: f64) {
+        assert!(end > start, "empty or negative interval");
+        assert!(v > 0.0 && v.is_finite(), "speed must be positive");
+        self.ensure_breakpoint(start);
+        self.ensure_breakpoint(end);
+        for (_, val) in self
+            .points
+            .range_mut(TotalF64(start)..TotalF64(end))
+        {
+            *val += v;
+        }
+    }
+
+    /// Marginal energy of adding `v` on `[start, end)` under
+    /// `P(s) = s^alpha`: `Σ segments len·((u+v)^α − u^α)`, exact.
+    pub fn marginal_energy(&self, start: f64, end: f64, v: f64, alpha: f64) -> f64 {
+        debug_assert!(end > start);
+        let mut total = 0.0;
+        let mut cursor = start;
+        let mut current = self.speed_at(start);
+        for (&TotalF64(t), &val) in self.points.range((
+            std::ops::Bound::Excluded(TotalF64(start)),
+            std::ops::Bound::Excluded(TotalF64(end)),
+        )) {
+            total += (t - cursor) * ((current + v).powf(alpha) - current.powf(alpha));
+            cursor = t;
+            current = val;
+        }
+        total += (end - cursor) * ((current + v).powf(alpha) - current.powf(alpha));
+        total
+    }
+
+    /// Total energy `∫ u(t)^α dt` of the profile.
+    pub fn energy(&self, alpha: f64) -> f64 {
+        let mut total = 0.0;
+        let mut iter = self.points.iter().peekable();
+        while let Some((&TotalF64(t), &v)) = iter.next() {
+            if let Some((&TotalF64(t2), _)) = iter.peek() {
+                if v > 0.0 {
+                    total += (t2 - t) * v.powf(alpha);
+                }
+            }
+        }
+        total
+    }
+
+    /// Largest speed attained.
+    pub fn max_speed(&self) -> f64 {
+        self.points.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Breakpoint times (for candidate-start enumeration).
+    pub fn breakpoints(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.keys().map(|k| k.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_interval() {
+        let mut p = SpeedProfile::new();
+        p.add(1.0, 3.0, 2.0);
+        assert_eq!(p.speed_at(0.5), 0.0);
+        assert_eq!(p.speed_at(1.0), 2.0);
+        assert_eq!(p.speed_at(2.9), 2.0);
+        assert_eq!(p.speed_at(3.0), 0.0);
+        // Energy with alpha=2: 2 time units at speed 2 → 2·4 = 8.
+        assert_eq!(p.energy(2.0), 8.0);
+        assert_eq!(p.max_speed(), 2.0);
+    }
+
+    #[test]
+    fn overlapping_intervals_sum_speeds() {
+        let mut p = SpeedProfile::new();
+        p.add(0.0, 4.0, 1.0);
+        p.add(2.0, 6.0, 2.0);
+        assert_eq!(p.speed_at(1.0), 1.0);
+        assert_eq!(p.speed_at(3.0), 3.0);
+        assert_eq!(p.speed_at(5.0), 2.0);
+        // Energy (α=2): [0,2)·1 + [2,4)·9 + [4,6)·4 = 2 + 18 + 8.
+        assert_eq!(p.energy(2.0), 28.0);
+    }
+
+    #[test]
+    fn marginal_energy_matches_before_after_difference() {
+        let mut p = SpeedProfile::new();
+        p.add(0.0, 4.0, 1.0);
+        p.add(1.0, 2.0, 3.0);
+        let alpha = 2.5;
+        let before = p.energy(alpha);
+        let marg = p.marginal_energy(0.5, 3.5, 2.0, alpha);
+        p.add(0.5, 3.5, 2.0);
+        let after = p.energy(alpha);
+        assert!((after - before - marg).abs() < 1e-9, "marginal {marg} vs {}", after - before);
+    }
+
+    #[test]
+    fn marginal_on_idle_machine_is_plain_power() {
+        let p = SpeedProfile::new();
+        let marg = p.marginal_energy(2.0, 5.0, 2.0, 3.0);
+        assert_eq!(marg, 3.0 * 8.0);
+    }
+
+    #[test]
+    fn marginal_with_interior_breakpoints_exact() {
+        let mut p = SpeedProfile::new();
+        p.add(0.0, 1.0, 1.0);
+        p.add(1.0, 2.0, 2.0);
+        p.add(2.0, 3.0, 3.0);
+        let alpha = 2.0;
+        // add v=1 on [0.5, 2.5): segments [0.5,1)@1, [1,2)@2, [2,2.5)@3.
+        let expect = 0.5 * (4.0 - 1.0) + 1.0 * (9.0 - 4.0) + 0.5 * (16.0 - 9.0);
+        let marg = p.marginal_energy(0.5, 2.5, 1.0, alpha);
+        assert!((marg - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_of_empty_profile_is_zero() {
+        assert_eq!(SpeedProfile::new().energy(3.0), 0.0);
+    }
+
+    #[test]
+    fn breakpoints_listed() {
+        let mut p = SpeedProfile::new();
+        p.add(1.0, 2.0, 1.0);
+        p.add(5.0, 7.0, 1.0);
+        let bps: Vec<f64> = p.breakpoints().collect();
+        assert_eq!(bps, vec![1.0, 2.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn repeated_adds_accumulate() {
+        let mut p = SpeedProfile::new();
+        for _ in 0..5 {
+            p.add(0.0, 1.0, 1.0);
+        }
+        assert_eq!(p.speed_at(0.5), 5.0);
+        assert_eq!(p.energy(2.0), 25.0);
+    }
+}

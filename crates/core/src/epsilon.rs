@@ -1,0 +1,106 @@
+//! Rejection thresholds and the `1/ε` integrality convention.
+//!
+//! The paper phrases both rejection rules with exact counter equalities
+//! ("the first time when `v_j = 1/ε`", "the first time when
+//! `c_i = 1 + 1/ε`"), implicitly assuming `1/ε` integral. For arbitrary
+//! `ε ∈ (0, 1]` we use `⌈1/ε⌉`:
+//!
+//! * Rule 1 fires when `v_k` **reaches** `⌈1/ε⌉` — so at most one job is
+//!   rejected per `⌈1/ε⌉ ≥ 1/ε` dispatches during a single execution,
+//!   which only *tightens* the `ε`-fraction budget of the analysis;
+//! * Rule 2 fires when `c_i` **reaches** `1 + ⌈1/ε⌉`, same reasoning.
+//!
+//! `λ_ij` keeps the exact real `1/ε` coefficient — the dual analysis
+//! (Lemma 4) uses the real quantity, not the counter.
+
+/// Validated `ε` plus the derived integer thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// The rejection-budget parameter `ε ∈ (0, 1]`.
+    pub eps: f64,
+    /// Exact `1/ε` (used in `λ_ij`).
+    pub inv_eps: f64,
+    /// Rule 1 fires when the running job's counter reaches this.
+    pub rule1_at: u64,
+    /// Rule 2 fires when the machine counter reaches this.
+    pub rule2_at: u64,
+}
+
+impl Thresholds {
+    /// Builds thresholds for `eps`; `Err` when `eps ∉ (0, 1]`.
+    ///
+    /// `ε > 1` is rejected rather than clamped: the analysis allows any
+    /// `ε > 0` but the rejection budget `2ε` becomes vacuous past 1/2
+    /// and the paper's regime of interest is small `ε`.
+    pub fn new(eps: f64) -> Result<Self, String> {
+        if !(eps > 0.0 && eps <= 1.0 && eps.is_finite()) {
+            return Err(format!("eps must be in (0, 1], got {eps}"));
+        }
+        let inv_eps = 1.0 / eps;
+        // ceil with a tolerance so eps = 0.25 gives exactly 4, not 5, in
+        // the face of floating-point representation of 1/eps.
+        let rule1_at = (inv_eps - 1e-9).ceil().max(1.0) as u64;
+        Ok(Thresholds { eps, inv_eps, rule1_at, rule2_at: 1 + rule1_at })
+    }
+
+    /// The factor `ε/(1+ε)` used when setting `λ_j`.
+    #[inline]
+    pub fn lambda_scale(&self) -> f64 {
+        self.eps / (1.0 + self.eps)
+    }
+
+    /// The factor `ε/(1+ε)²` used when setting `β_i(t)`.
+    #[inline]
+    pub fn beta_scale(&self) -> f64 {
+        self.eps / ((1.0 + self.eps) * (1.0 + self.eps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_inverse_eps_is_exact() {
+        let t = Thresholds::new(0.25).unwrap();
+        assert_eq!(t.rule1_at, 4);
+        assert_eq!(t.rule2_at, 5);
+        assert_eq!(t.inv_eps, 4.0);
+    }
+
+    #[test]
+    fn non_integral_inverse_rounds_up() {
+        let t = Thresholds::new(0.3).unwrap();
+        // 1/0.3 = 3.33… → 4
+        assert_eq!(t.rule1_at, 4);
+        assert_eq!(t.rule2_at, 5);
+    }
+
+    #[test]
+    fn eps_one_gives_unit_thresholds() {
+        let t = Thresholds::new(1.0).unwrap();
+        assert_eq!(t.rule1_at, 1);
+        assert_eq!(t.rule2_at, 2);
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        assert!(Thresholds::new(0.0).is_err());
+        assert!(Thresholds::new(-0.5).is_err());
+        assert!(Thresholds::new(1.5).is_err());
+        assert!(Thresholds::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn scales_match_formulas() {
+        let t = Thresholds::new(0.5).unwrap();
+        assert!((t.lambda_scale() - 0.5 / 1.5).abs() < 1e-12);
+        assert!((t.beta_scale() - 0.5 / 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_eps_supported() {
+        let t = Thresholds::new(0.001).unwrap();
+        assert_eq!(t.rule1_at, 1000);
+    }
+}

@@ -1,0 +1,695 @@
+//! §2 — online non-preemptive total flow-time minimization with
+//! rejections (Theorem 1).
+//!
+//! ## The algorithm
+//!
+//! Every job is dispatched immediately at arrival to the machine
+//! minimizing
+//!
+//! ```text
+//! λ_ij = (1/ε)·p_ij + Σ_{ℓ⪯j} p_iℓ + Σ_{ℓ≻j} p_ij
+//! ```
+//!
+//! over the machine's pending queue ordered by processing time (ties:
+//! earliest release). Whenever a machine goes idle it starts the
+//! shortest pending job (SPT). Two rejection rules bound the damage a
+//! wrong non-preemptive commitment can cause:
+//!
+//! * **Rule 1** — a counter `v_k` on the running job `k` counts jobs
+//!   dispatched to the machine during `k`'s execution; when it reaches
+//!   `⌈1/ε⌉` the algorithm *interrupts and rejects* `k` (long jobs
+//!   cannot starve a burst of short arrivals).
+//! * **Rule 2** — a per-machine counter `c_i` counts dispatches; every
+//!   `1 + ⌈1/ε⌉` dispatches the *largest pending* job is rejected and
+//!   the counter resets (a surrogate for speed augmentation: the queue
+//!   drains faster than jobs arrive).
+//!
+//! Theorem 1: the result is `2((1+ε)/ε)²`-competitive for total
+//! flow-time while rejecting at most a `2ε` fraction of jobs.
+//!
+//! ## Dual accounting
+//!
+//! The run simultaneously constructs the dual solution of the paper's
+//! analysis: `λ_j = ε/(1+ε)·min_i λ_ij` at each arrival and the
+//! definitive-finish times `C̃_j` that define `β_i(t)`. By weak duality
+//! (and the factor-2 LP relaxation) this yields a **certified lower
+//! bound** `(Σλ_j − ∫Σβ)/2` on the optimal total flow-time of *any*
+//! non-preemptive schedule — the denominator of every competitive-ratio
+//! measurement in the experiments. See [`dual`].
+
+pub mod dual;
+pub mod queue;
+pub mod weighted;
+
+use osr_dstruct::TotalF64;
+use osr_model::{
+    Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
+    ScheduleLog,
+};
+use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
+
+use crate::epsilon::Thresholds;
+pub use dual::{check_dual_feasibility, DualAudit, FlowDual};
+pub use weighted::{WeightedFlowOutcome, WeightedFlowParams, WeightedFlowScheduler};
+pub use queue::QueueBackend;
+use queue::{lambda_ij, pend_key, PendKey, PendQueue};
+
+/// Parameters of the §2 algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowParams {
+    /// Rejection-budget parameter `ε ∈ (0, 1]`.
+    pub eps: f64,
+    /// Enable Rule 1 (ablation toggle; the theorem requires both rules).
+    pub rule1: bool,
+    /// Enable Rule 2 (ablation toggle).
+    pub rule2: bool,
+    /// Pending-queue backend.
+    pub backend: QueueBackend,
+}
+
+impl FlowParams {
+    /// Standard parameters: both rules on, treap backend.
+    pub fn new(eps: f64) -> Self {
+        FlowParams { eps, rule1: true, rule2: true, backend: QueueBackend::Treap }
+    }
+
+    /// Ablation constructor.
+    pub fn with_rules(eps: f64, rule1: bool, rule2: bool) -> Self {
+        FlowParams { eps, rule1, rule2, backend: QueueBackend::Treap }
+    }
+}
+
+/// Everything a run produces: the schedule, the dual solution, and the
+/// decision trace.
+#[derive(Debug)]
+pub struct FlowOutcome {
+    /// The validated-format schedule log.
+    pub log: FinishedLog,
+    /// Dual variables and the certified lower bound.
+    pub dual: FlowDual,
+    /// Decision audit trail.
+    pub trace: DecisionTrace,
+}
+
+/// The §2 scheduler. Construct via [`FlowScheduler::new`]; run via
+/// [`FlowScheduler::run`] (rich outcome) or the
+/// [`OnlineScheduler`] trait (log only).
+///
+/// ```
+/// use osr_core::FlowScheduler;
+/// use osr_model::{InstanceBuilder, InstanceKind};
+///
+/// let instance = InstanceBuilder::new(2, InstanceKind::FlowTime)
+///     .job(0.0, vec![3.0, 6.0])
+///     .job(1.0, vec![5.0, 2.0])
+///     .build()
+///     .unwrap();
+/// let outcome = FlowScheduler::with_eps(0.5).unwrap().run(&instance);
+/// assert_eq!(outcome.log.len(), 2);
+/// // The run certifies a dual-based lower bound on OPT.
+/// assert!(outcome.dual.opt_lower_bound() >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowScheduler {
+    params: FlowParams,
+    thresholds: Thresholds,
+}
+
+/// The job currently executing on a machine.
+struct Running {
+    job: JobId,
+    start: f64,
+    completion: f64,
+    /// Rule 1 counter `v_k`.
+    v: u64,
+}
+
+/// Per-machine online state.
+struct MachineState {
+    pending: PendQueue,
+    running: Option<Running>,
+    /// Rule 2 counter `c_i`.
+    c: u64,
+    /// Rule 1 rejection events `(time, remaining q_ik(r_{j_k}))`, in
+    /// time order, with a running prefix sum for `O(log)` window
+    /// queries when finalizing `C̃_j`.
+    rule1_times: Vec<f64>,
+    rule1_prefix: Vec<f64>,
+}
+
+impl MachineState {
+    fn new(backend: QueueBackend) -> Self {
+        MachineState {
+            pending: PendQueue::new(backend),
+            running: None,
+            c: 0,
+            rule1_times: Vec::new(),
+            rule1_prefix: vec![0.0],
+        }
+    }
+
+    fn push_rule1_event(&mut self, time: f64, remaining: f64) {
+        debug_assert!(self.rule1_times.last().is_none_or(|&t| t <= time));
+        self.rule1_times.push(time);
+        let last = *self.rule1_prefix.last().unwrap();
+        self.rule1_prefix.push(last + remaining);
+    }
+
+    /// Sum of remaining-times of Rule-1 rejections in `[lo, hi]`.
+    fn rule1_window(&self, lo: f64, hi: f64) -> f64 {
+        let a = self.rule1_times.partition_point(|&t| t < lo);
+        let b = self.rule1_times.partition_point(|&t| t <= hi);
+        self.rule1_prefix[b] - self.rule1_prefix[a]
+    }
+}
+
+impl FlowScheduler {
+    /// Validates `params` and builds the scheduler.
+    pub fn new(params: FlowParams) -> Result<Self, String> {
+        let thresholds = Thresholds::new(params.eps)?;
+        Ok(FlowScheduler { params, thresholds })
+    }
+
+    /// Convenience constructor with default parameters for `eps`.
+    pub fn with_eps(eps: f64) -> Result<Self, String> {
+        Self::new(FlowParams::new(eps))
+    }
+
+    /// The thresholds in effect.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Runs the algorithm over `instance`, producing the full outcome.
+    pub fn run(&self, instance: &Instance) -> FlowOutcome {
+        let th = self.thresholds;
+        let m = instance.machines();
+        let n = instance.len();
+        let jobs = instance.jobs();
+
+        let mut machines: Vec<MachineState> =
+            (0..m).map(|_| MachineState::new(self.params.backend)).collect();
+        let mut log = ScheduleLog::new(m, n);
+        let mut trace = DecisionTrace::new();
+        let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
+
+        // Dual bookkeeping.
+        let mut lambda = vec![0.0f64; n];
+        let mut exit = vec![f64::NAN; n];
+        let mut c_tilde = vec![f64::NAN; n];
+        let mut machine_of = vec![u32::MAX; n];
+
+        let mut next_arrival = 0usize;
+
+        // Starts the shortest pending job on machine `mi` if idle.
+        let start_next = |mi: usize,
+                          t: f64,
+                          machines: &mut Vec<MachineState>,
+                          completions: &mut EventQueue<(usize, JobId)>,
+                          trace: &mut DecisionTrace| {
+            let ms = &mut machines[mi];
+            if ms.running.is_some() {
+                return;
+            }
+            if let Some(((p, _r, id), _w)) = ms.pending.pop_first() {
+                let job = JobId(id);
+                let completion = t + p.get();
+                ms.running = Some(Running { job, start: t, completion, v: 0 });
+                completions.push(completion, (mi, job));
+                trace.push(DecisionEvent::Start {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                    speed: 1.0,
+                });
+            }
+        };
+
+        loop {
+            let ta = jobs.get(next_arrival).map(|j| j.release);
+            let tc = completions.peek_time();
+            let do_completion = match (ta, tc) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                // Completions at the same instant process first so an
+                // arriving job observes the machine as idle.
+                (Some(a), Some(c)) => c <= a,
+            };
+
+            if do_completion {
+                let (t, (mi, job)) = completions.pop().expect("peeked");
+                let ms = &mut machines[mi];
+                let matches = ms
+                    .running
+                    .as_ref()
+                    .is_some_and(|r| r.job == job);
+                if !matches {
+                    // Stale event: the job was Rule-1-rejected mid-run.
+                    continue;
+                }
+                let r = ms.running.take().expect("matched");
+                log.complete(
+                    job,
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start: r.start,
+                        completion: r.completion,
+                        speed: 1.0,
+                    },
+                );
+                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                // Finalize dual bookkeeping for the completed job: all
+                // Rule-1 events in [r_j, C_j] are in the past.
+                let rj = instance.job(job).release;
+                exit[job.idx()] = t;
+                c_tilde[job.idx()] = t + machines[mi].rule1_window(rj, t);
+                start_next(mi, t, &mut machines, &mut completions, &mut trace);
+                continue;
+            }
+
+            // --- Arrival of job j. ---
+            let job = &jobs[next_arrival];
+            next_arrival += 1;
+            let j = job.id;
+            let t = job.release;
+
+            // Dispatch: argmin over eligible machines of λ_ij.
+            let mut best: Option<(usize, f64)> = None;
+            for mi in 0..m {
+                let p = job.sizes[mi];
+                if !p.is_finite() {
+                    continue;
+                }
+                let key = pend_key(p, t, j);
+                let l = lambda_ij(&machines[mi].pending, &key, p, th.inv_eps);
+                if best.is_none_or(|(_, bl)| l < bl) {
+                    best = Some((mi, l));
+                }
+            }
+            let (mi, lam) = best.expect("job eligible on at least one machine");
+            lambda[j.idx()] = th.lambda_scale() * lam;
+            machine_of[j.idx()] = mi as u32;
+            trace.push(DecisionEvent::Dispatch {
+                time: t,
+                job: j,
+                machine: MachineId(mi as u32),
+                lambda: lam,
+                candidates: m,
+            });
+
+            let p_ij = job.sizes[mi];
+            machines[mi].pending.insert(pend_key(p_ij, t, j), p_ij);
+
+            // Rule 1: the dispatch counts against the running job.
+            if let Some(run) = machines[mi].running.as_mut() {
+                run.v += 1;
+                if self.params.rule1 && run.v >= th.rule1_at {
+                    let run = machines[mi].running.take().expect("present");
+                    let k = run.job;
+                    let remaining = run.completion - t;
+                    log.reject(
+                        k,
+                        Rejection {
+                            time: t,
+                            reason: RejectReason::RuleOne,
+                            partial: Some(PartialRun {
+                                machine: MachineId(mi as u32),
+                                start: run.start,
+                                end: t,
+                                speed: 1.0,
+                            }),
+                        },
+                    );
+                    trace.push(DecisionEvent::Reject {
+                        time: t,
+                        job: k,
+                        machine: MachineId(mi as u32),
+                        reason: RejectReason::RuleOne,
+                        counter: run.v as f64,
+                    });
+                    // D-bookkeeping: the rejected job's remaining time is
+                    // charged to every job whose [r, C] window covers t —
+                    // including k itself ("including j in case it is
+                    // rejected"): push the event before finalizing C̃_k.
+                    machines[mi].push_rule1_event(t, remaining);
+                    let rk = instance.job(k).release;
+                    exit[k.idx()] = t;
+                    c_tilde[k.idx()] = t + machines[mi].rule1_window(rk, t);
+                }
+            }
+
+            // Rule 2: every `1 + ⌈1/ε⌉` dispatches, drop the largest
+            // pending job.
+            machines[mi].c += 1;
+            if self.params.rule2 && machines[mi].c >= th.rule2_at {
+                machines[mi].c = 0;
+                if let Some(((p_max, _r, id), _w)) = machines[mi].pending.pop_last() {
+                    let jmax = JobId(id);
+                    log.reject(
+                        jmax,
+                        Rejection { time: t, reason: RejectReason::RuleTwo, partial: None },
+                    );
+                    trace.push(DecisionEvent::Reject {
+                        time: t,
+                        job: jmax,
+                        machine: MachineId(mi as u32),
+                        reason: RejectReason::RuleTwo,
+                        counter: th.rule2_at as f64,
+                    });
+                    // C̃ for a Rule-2 rejection adds the estimated
+                    // completion had it stayed: remaining of the running
+                    // job + pending work except the triggering arrival +
+                    // its own size (§2, definition of C̃_j).
+                    let ms = &machines[mi];
+                    let rem_running = ms.running.as_ref().map_or(0.0, |r| r.completion - t);
+                    let mut pend_sum = ms.pending.total().sum;
+                    if jmax != j {
+                        // The triggering arrival j is still pending;
+                        // exclude it (`ℓ ≠ j_j` in the paper's formula).
+                        pend_sum -= p_ij;
+                    }
+                    let term = rem_running + pend_sum + p_max.get();
+                    let rjmax = instance.job(jmax).release;
+                    exit[jmax.idx()] = t;
+                    c_tilde[jmax.idx()] = t + ms.rule1_window(rjmax, t) + term;
+                }
+            }
+
+            start_next(mi, t, &mut machines, &mut completions, &mut trace);
+        }
+
+        let log = log.finish().expect("every job completed or rejected");
+        let releases: Vec<f64> = jobs.iter().map(|j| j.release).collect();
+        let dual = FlowDual::assemble(th, lambda, releases, exit, c_tilde, machine_of);
+        FlowOutcome { log, dual, trace }
+    }
+}
+
+impl OnlineScheduler for FlowScheduler {
+    fn name(&self) -> String {
+        format!(
+            "spaa18-flow(eps={}, rules={}{})",
+            self.params.eps,
+            if self.params.rule1 { "1" } else { "-" },
+            if self.params.rule2 { "2" } else { "-" },
+        )
+    }
+
+    fn schedule(&mut self, instance: &Instance) -> FinishedLog {
+        self.run(instance).log
+    }
+}
+
+/// Key type re-export for tests and benches.
+pub type PendingKey = PendKey;
+
+/// Re-exported for benches that need raw keys.
+pub fn make_pend_key(p: f64, release: f64, id: JobId) -> PendKey {
+    (TotalF64(p), TotalF64(release), id.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{InstanceBuilder, InstanceKind, JobFate, Metrics};
+    use osr_sim::{validate_log, ValidationConfig};
+
+    fn run_eps(inst: &Instance, eps: f64) -> FlowOutcome {
+        FlowScheduler::with_eps(eps).unwrap().run(inst)
+    }
+
+    fn assert_valid(inst: &Instance, out: &FlowOutcome) {
+        let rep = validate_log(inst, &out.log, &ValidationConfig::flow_time());
+        assert!(rep.is_valid(), "invalid schedule: {:?}", rep.errors);
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![3.0])
+            .build()
+            .unwrap();
+        let out = run_eps(&inst, 0.5);
+        assert_valid(&inst, &out);
+        match out.log.fate(JobId(0)) {
+            JobFate::Completed(e) => {
+                assert_eq!(e.start, 0.0);
+                assert_eq!(e.completion, 3.0);
+            }
+            other => panic!("unexpected fate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spt_order_on_single_machine() {
+        // Three jobs at t=0 with eps=1 (rule2 threshold 2 → one Rule-2
+        // rejection of the largest on the second dispatch).
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![5.0])
+            .job(0.0, vec![1.0])
+            .job(0.0, vec![3.0])
+            .build()
+            .unwrap();
+        // Large eps disables rejections quickly? eps=1 → rule2 fires at
+        // every 2nd dispatch. Use tiny rejection pressure instead:
+        let sched = FlowScheduler::new(FlowParams::with_rules(0.5, false, false)).unwrap();
+        let out = sched.run(&inst);
+        assert_valid(&inst, &out);
+        // All complete; SPT after the first (j0 starts first at t=0
+        // since the queue then holds only j0 — arrival order matters:
+        // j0 arrives, starts immediately; j1, j2 queue up; after j0,
+        // SPT picks j1 then j2.
+        let c: Vec<f64> = (0..3)
+            .map(|k| out.log.fate(JobId(k)).execution().unwrap().completion)
+            .collect();
+        assert_eq!(c, vec![5.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn rule1_rejects_running_long_job() {
+        // eps = 0.5 → rule1 fires when v reaches 2.
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![100.0])
+            .job(1.0, vec![1.0])
+            .job(2.0, vec![1.0])
+            .build()
+            .unwrap();
+        let out = run_eps(&inst, 0.5);
+        assert_valid(&inst, &out);
+        let rej = out.log.fate(JobId(0)).rejection().expect("long job rejected");
+        assert_eq!(rej.reason, RejectReason::RuleOne);
+        assert_eq!(rej.time, 2.0);
+        let p = rej.partial.expect("was running");
+        assert_eq!(p.start, 0.0);
+        assert_eq!(p.end, 2.0);
+        // The same (third) dispatch also trips Rule 2 (c_i = 3 = 1+⌈1/ε⌉),
+        // which drops the largest pending job — the tie between the two
+        // unit jobs breaks towards the later release, j2.
+        let rej2 = out.log.fate(JobId(2)).rejection().expect("rule 2 victim");
+        assert_eq!(rej2.reason, RejectReason::RuleTwo);
+        // The surviving short job completes promptly after the rejection.
+        assert!(out.log.fate(JobId(1)).is_completed());
+        let m = Metrics::compute(&inst, &out.log, 2.0);
+        assert!(m.flow.flow_served < 10.0);
+    }
+
+    #[test]
+    fn rule2_rejects_largest_pending() {
+        // eps = 1 → rule2_at = 2: every second dispatch drops the
+        // largest pending job. Rule 1 fires at v=1: disable it to
+        // isolate Rule 2.
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![4.0])
+            .job(0.5, vec![9.0])
+            .job(1.0, vec![1.0])
+            .build()
+            .unwrap();
+        let sched = FlowScheduler::new(FlowParams::with_rules(1.0, false, true)).unwrap();
+        let out = sched.run(&inst);
+        assert_valid(&inst, &out);
+        // Dispatches: j0 (c=1, starts), j1 (c=2 → Rule 2 drops largest
+        // pending = j1 itself), j2 (c=1).
+        let rej = out.log.fate(JobId(1)).rejection().expect("largest rejected");
+        assert_eq!(rej.reason, RejectReason::RuleTwo);
+        assert_eq!(rej.time, 0.5);
+        assert!(rej.partial.is_none());
+        assert!(out.log.fate(JobId(0)).is_completed());
+        assert!(out.log.fate(JobId(2)).is_completed());
+    }
+
+    #[test]
+    fn rejection_budget_respected_on_burst() {
+        // n jobs at once; Theorem 1 allows at most 2ε·n rejections.
+        let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+        let n = 400;
+        for k in 0..n {
+            b = b.job(k as f64 * 0.01, vec![1.0 + (k % 7) as f64]);
+        }
+        let inst = b.build().unwrap();
+        for eps in [0.1, 0.25, 0.5] {
+            let out = run_eps(&inst, eps);
+            assert_valid(&inst, &out);
+            let rejected = out.log.rejected_count();
+            let budget = (2.0 * eps * n as f64).ceil() as usize;
+            assert!(
+                rejected <= budget,
+                "eps={eps}: rejected {rejected} > budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_machines_split_load() {
+        // Unrelated: j0 fast on m0, j1 fast on m1 — dispatch must
+        // separate them.
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![1.0, 10.0])
+            .job(0.0, vec![10.0, 1.0])
+            .build()
+            .unwrap();
+        let out = run_eps(&inst, 0.5);
+        assert_valid(&inst, &out);
+        let e0 = out.log.fate(JobId(0)).execution().unwrap();
+        let e1 = out.log.fate(JobId(1)).execution().unwrap();
+        assert_eq!(e0.machine, MachineId(0));
+        assert_eq!(e1.machine, MachineId(1));
+        assert_eq!(e0.completion, 1.0);
+        assert_eq!(e1.completion, 1.0);
+    }
+
+    #[test]
+    fn restricted_assignment_respected() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![f64::INFINITY, 2.0])
+            .job(0.0, vec![f64::INFINITY, 2.0])
+            .build()
+            .unwrap();
+        let out = run_eps(&inst, 0.5);
+        assert_valid(&inst, &out);
+        for (_, e) in out.log.executions() {
+            assert_eq!(e.machine, MachineId(1));
+        }
+    }
+
+    #[test]
+    fn dual_lower_bound_is_sane() {
+        let mut b = InstanceBuilder::new(2, InstanceKind::FlowTime);
+        for k in 0..60 {
+            b = b.job(k as f64 * 0.3, vec![1.0 + (k % 5) as f64, 2.0 + (k % 3) as f64]);
+        }
+        let inst = b.build().unwrap();
+        let out = run_eps(&inst, 0.25);
+        assert_valid(&inst, &out);
+        let metrics = Metrics::compute(&inst, &out.log, 2.0);
+        let lb = out.dual.opt_lower_bound();
+        assert!(lb >= 0.0);
+        // The algorithm's own cost (flow over all jobs) must be at least
+        // the certified lower bound on OPT.
+        assert!(
+            metrics.flow.flow_all + 1e-6 >= lb,
+            "algorithm cost {} below its own certified LB {lb}",
+            metrics.flow.flow_all
+        );
+        // And within the Theorem 1 factor of it (trivially true when lb
+        // is loose; the ratio experiments tighten this).
+        let bound = crate::bounds::flowtime_competitive_bound(0.25);
+        if lb > 0.0 {
+            assert!(metrics.flow.flow_all / lb <= bound * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn c_tilde_dominates_exit_times() {
+        let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+        for k in 0..100 {
+            b = b.job(k as f64 * 0.1, vec![0.5 + (k % 11) as f64]);
+        }
+        let inst = b.build().unwrap();
+        let out = run_eps(&inst, 0.2);
+        for j in 0..inst.len() {
+            assert!(out.dual.c_tilde[j] + 1e-9 >= out.dual.exit[j]);
+            assert!(out.dual.exit[j] >= out.dual.release[j]);
+        }
+    }
+
+    #[test]
+    fn theorem1_lambda_dominates_scaled_flow() {
+        // The analysis shows Σλ_j ≥ ε/(1+ε)·Σ(C̃_j − r_j). Verify on a
+        // random-ish instance.
+        let mut b = InstanceBuilder::new(2, InstanceKind::FlowTime);
+        for k in 0..150 {
+            let p = 0.5 + ((k * 7919) % 13) as f64;
+            b = b.job((k as f64) * 0.37, vec![p, ((k % 3) + 1) as f64 * p]);
+        }
+        let inst = b.build().unwrap();
+        for eps in [0.2, 0.5, 1.0] {
+            let out = run_eps(&inst, eps);
+            let sum_lambda: f64 = out.dual.lambda.iter().sum();
+            let sum_span: f64 = out
+                .dual
+                .c_tilde
+                .iter()
+                .zip(&out.dual.release)
+                .map(|(ct, r)| ct - r)
+                .sum();
+            let scale = eps / (1.0 + eps);
+            assert!(
+                sum_lambda + 1e-6 >= scale * sum_span,
+                "eps={eps}: Σλ={sum_lambda} < {}",
+                scale * sum_span
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_both_rules_never_rejects() {
+        let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+        for k in 0..50 {
+            b = b.job(k as f64 * 0.05, vec![1.0]);
+        }
+        let inst = b.build().unwrap();
+        let sched = FlowScheduler::new(FlowParams::with_rules(0.1, false, false)).unwrap();
+        let out = sched.run(&inst);
+        assert_eq!(out.log.rejected_count(), 0);
+        assert_valid(&inst, &out);
+    }
+
+    #[test]
+    fn naive_and_treap_backends_agree() {
+        let mut b = InstanceBuilder::new(3, InstanceKind::FlowTime);
+        for k in 0..200u64 {
+            let r = (k as f64) * 0.2;
+            let p1 = 0.5 + ((k.wrapping_mul(2654435761)) % 17) as f64;
+            let p2 = 0.5 + ((k.wrapping_mul(40503)) % 23) as f64;
+            let p3 = 0.5 + ((k.wrapping_mul(9176)) % 11) as f64;
+            b = b.job(r, vec![p1, p2, p3]);
+        }
+        let inst = b.build().unwrap();
+        let mut pt = FlowParams::new(0.3);
+        pt.backend = QueueBackend::Treap;
+        let mut pn = FlowParams::new(0.3);
+        pn.backend = QueueBackend::Naive;
+        let a = FlowScheduler::new(pt).unwrap().run(&inst);
+        let b2 = FlowScheduler::new(pn).unwrap().run(&inst);
+        assert_eq!(a.log, b2.log, "backends must produce identical schedules");
+        assert_eq!(a.dual.sum_lambda(), b2.dual.sum_lambda());
+    }
+
+    #[test]
+    fn arrival_at_completion_instant_sees_idle_machine() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![2.0])
+            .job(2.0, vec![1.0])
+            .build()
+            .unwrap();
+        let out = run_eps(&inst, 0.5);
+        assert_valid(&inst, &out);
+        // j1 arrives exactly when j0 completes: it must start at 2.0,
+        // and j0's Rule-1 counter must not have been incremented (it
+        // already completed).
+        assert!(out.log.fate(JobId(0)).is_completed());
+        let e1 = out.log.fate(JobId(1)).execution().unwrap();
+        assert_eq!(e1.start, 2.0);
+    }
+}

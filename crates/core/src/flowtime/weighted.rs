@@ -1,0 +1,447 @@
+//! **Extension beyond the paper**: weighted total flow-time with
+//! rejections (no energy term).
+//!
+//! The paper proves Theorem 1 for *unweighted* flow-time (§2) and
+//! handles weights only together with energy under speed scaling (§3).
+//! The natural gap — weighted flow-time on unit-speed machines — is a
+//! direct hybrid of the two algorithms, implemented here as an
+//! experimental feature:
+//!
+//! * local order: **highest density first** (`δ_ij = w_j/p_ij`, the
+//!   weighted analogue of SPT; ties earliest release) — from §3;
+//! * dispatch: the unit-speed specialization of §3's `λ_ij`:
+//!
+//!   ```text
+//!   λ_ij = w_j·p_ij/ε + w_j·Σ_{ℓ⪯j} p_iℓ + (Σ_{ℓ≻j} w_ℓ)·p_ij
+//!   ```
+//!
+//! * **Rule 1 (weighted)** — reject the running job `k` when the weight
+//!   dispatched during its run exceeds `w_k/ε` — from §3;
+//! * **Rule 2 (weighted)** — per machine, after every `(1+⌈1/ε⌉)·w̄`
+//!   of dispatched weight (`w̄` = running mean job weight), reject the
+//!   **lowest-density** pending job — the weighted analogue of "largest
+//!   processing time".
+//!
+//! **No competitive-ratio proof accompanies this variant.** Unlike the
+//! §2/§3 rules, the Rule-2 cadence does not by itself bound the
+//! rejected weight, so the implementation additionally *enforces* a
+//! hard `2ε` rejected-weight budget: a rule may only fire while
+//! `rejected weight ≤ 2ε · (arrived weight)`. Experiments treat it as a
+//! well-behaved heuristic; its value is letting users study the paper's
+//! mechanism on weighted workloads.
+
+use osr_model::{
+    Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
+    ScheduleLog,
+};
+use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
+
+/// Parameters for the weighted variant.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedFlowParams {
+    /// Budget parameter `ε ∈ (0, 1]`; enforced rejected-weight cap is
+    /// `2ε` of arrived weight.
+    pub eps: f64,
+}
+
+/// Outcome of a weighted run.
+#[derive(Debug)]
+pub struct WeightedFlowOutcome {
+    /// The schedule log.
+    pub log: FinishedLog,
+    /// Decision trail.
+    pub trace: DecisionTrace,
+}
+
+/// The weighted flow-time scheduler (extension; see module docs).
+#[derive(Debug, Clone)]
+pub struct WeightedFlowScheduler {
+    params: WeightedFlowParams,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendW {
+    job: JobId,
+    p: f64,
+    w: f64,
+    d: f64,
+    r: f64,
+}
+
+impl PendW {
+    /// Higher density first; ties earliest release then id.
+    fn precedes(&self, other: &PendW) -> bool {
+        match self.d.total_cmp(&other.d) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match self.r.total_cmp(&other.r) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => self.job < other.job,
+            },
+        }
+    }
+}
+
+struct RunningW {
+    job: JobId,
+    start: f64,
+    completion: f64,
+    v: f64,
+    w: f64,
+}
+
+struct MachW {
+    /// Sorted by `precedes` (densest first).
+    pending: Vec<PendW>,
+    running: Option<RunningW>,
+    /// Rule-2 weight counter.
+    c: f64,
+}
+
+impl WeightedFlowScheduler {
+    /// Validates `eps` and constructs the scheduler.
+    pub fn new(params: WeightedFlowParams) -> Result<Self, String> {
+        if !(params.eps > 0.0 && params.eps <= 1.0 && params.eps.is_finite()) {
+            return Err(format!("eps must be in (0, 1], got {}", params.eps));
+        }
+        Ok(WeightedFlowScheduler { params })
+    }
+
+    /// Convenience constructor.
+    pub fn with_eps(eps: f64) -> Result<Self, String> {
+        Self::new(WeightedFlowParams { eps })
+    }
+
+    fn lambda_ij(&self, ms: &MachW, p: f64, w: f64, r: f64, id: JobId) -> f64 {
+        let probe = PendW { job: id, p, w, d: w / p, r };
+        let mut lam = w * p / self.params.eps;
+        let mut pre_p = 0.0;
+        let mut succ_w = 0.0;
+        for e in &ms.pending {
+            if e.precedes(&probe) {
+                pre_p += e.p;
+            } else {
+                succ_w += e.w;
+            }
+        }
+        lam += w * (pre_p + p);
+        lam += succ_w * p;
+        lam
+    }
+
+    /// Runs the variant over `instance`.
+    pub fn run(&self, instance: &Instance) -> WeightedFlowOutcome {
+        let eps = self.params.eps;
+        let m = instance.machines();
+        let n = instance.len();
+        let jobs = instance.jobs();
+        let mut machines: Vec<MachW> = (0..m)
+            .map(|_| MachW { pending: Vec::new(), running: None, c: 0.0 })
+            .collect();
+        let mut log = ScheduleLog::new(m, n);
+        let mut trace = DecisionTrace::new();
+        let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
+
+        // Hard budget enforcement (extension-specific; see module docs).
+        let mut arrived_weight = 0.0f64;
+        let mut rejected_weight = 0.0f64;
+        let rule2_threshold = |mean_w: f64| (1.0 + (1.0 / eps).ceil()) * mean_w;
+
+        let start_next = |mi: usize,
+                          t: f64,
+                          machines: &mut Vec<MachW>,
+                          completions: &mut EventQueue<(usize, JobId)>,
+                          trace: &mut DecisionTrace| {
+            let ms = &mut machines[mi];
+            if ms.running.is_some() || ms.pending.is_empty() {
+                return;
+            }
+            let e = ms.pending.remove(0);
+            let completion = t + e.p;
+            ms.running =
+                Some(RunningW { job: e.job, start: t, completion, v: 0.0, w: e.w });
+            completions.push(completion, (mi, e.job));
+            trace.push(DecisionEvent::Start {
+                time: t,
+                job: e.job,
+                machine: MachineId(mi as u32),
+                speed: 1.0,
+            });
+        };
+
+        let mut next_arrival = 0usize;
+        loop {
+            let ta = jobs.get(next_arrival).map(|j| j.release);
+            let tc = completions.peek_time();
+            let do_completion = match (ta, tc) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(c)) => c <= a,
+            };
+
+            if do_completion {
+                let (t, (mi, job)) = completions.pop().expect("peeked");
+                let matches = machines[mi].running.as_ref().is_some_and(|r| r.job == job);
+                if !matches {
+                    continue;
+                }
+                let r = machines[mi].running.take().expect("matched");
+                log.complete(
+                    job,
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start: r.start,
+                        completion: r.completion,
+                        speed: 1.0,
+                    },
+                );
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
+                start_next(mi, t, &mut machines, &mut completions, &mut trace);
+                continue;
+            }
+
+            let job = &jobs[next_arrival];
+            next_arrival += 1;
+            let t = job.release;
+            arrived_weight += job.weight;
+            let mean_weight = arrived_weight / next_arrival as f64;
+
+            let mut best: Option<(usize, f64)> = None;
+            for (mi, ms) in machines.iter().enumerate() {
+                let p = job.sizes[mi];
+                if !p.is_finite() {
+                    continue;
+                }
+                let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
+                if best.is_none_or(|(_, bl)| lam < bl) {
+                    best = Some((mi, lam));
+                }
+            }
+            let (mi, lam) = best.expect("eligible somewhere");
+            trace.push(DecisionEvent::Dispatch {
+                time: t,
+                job: job.id,
+                machine: MachineId(mi as u32),
+                lambda: lam,
+                candidates: m,
+            });
+            let p_ij = job.sizes[mi];
+            let entry =
+                PendW { job: job.id, p: p_ij, w: job.weight, d: job.weight / p_ij, r: t };
+            let pos = machines[mi].pending.partition_point(|x| x.precedes(&entry));
+            machines[mi].pending.insert(pos, entry);
+
+            let budget_ok =
+                |rej: f64, arr: f64, extra: f64| rej + extra <= 2.0 * eps * arr + 1e-12;
+
+            // Weighted Rule 1.
+            if let Some(run) = machines[mi].running.as_mut() {
+                run.v += job.weight;
+                if run.v > run.w / eps && budget_ok(rejected_weight, arrived_weight, run.w) {
+                    let run = machines[mi].running.take().expect("present");
+                    rejected_weight += run.w;
+                    log.reject(
+                        run.job,
+                        Rejection {
+                            time: t,
+                            reason: RejectReason::RuleOne,
+                            partial: Some(PartialRun {
+                                machine: MachineId(mi as u32),
+                                start: run.start,
+                                end: t,
+                                speed: 1.0,
+                            }),
+                        },
+                    );
+                    trace.push(DecisionEvent::Reject {
+                        time: t,
+                        job: run.job,
+                        machine: MachineId(mi as u32),
+                        reason: RejectReason::RuleOne,
+                        counter: run.v,
+                    });
+                }
+            }
+
+            // Weighted Rule 2: fire on weight cadence; victim = lowest
+            // density pending.
+            machines[mi].c += job.weight;
+            let threshold = rule2_threshold(mean_weight);
+            if machines[mi].c >= threshold {
+                machines[mi].c = 0.0;
+                // Victim is the last in the density order.
+                if let Some(victim) = machines[mi].pending.last().copied() {
+                    if budget_ok(rejected_weight, arrived_weight, victim.w) {
+                        machines[mi].pending.pop();
+                        rejected_weight += victim.w;
+                        log.reject(
+                            victim.job,
+                            Rejection {
+                                time: t,
+                                reason: RejectReason::RuleTwo,
+                                partial: None,
+                            },
+                        );
+                        trace.push(DecisionEvent::Reject {
+                            time: t,
+                            job: victim.job,
+                            machine: MachineId(mi as u32),
+                            reason: RejectReason::RuleTwo,
+                            counter: threshold,
+                        });
+                    }
+                }
+            }
+
+            start_next(mi, t, &mut machines, &mut completions, &mut trace);
+        }
+
+        WeightedFlowOutcome { log: log.finish().expect("all decided"), trace }
+    }
+}
+
+impl OnlineScheduler for WeightedFlowScheduler {
+    fn name(&self) -> String {
+        format!("wflow-ext(eps={})", self.params.eps)
+    }
+
+    fn schedule(&mut self, instance: &Instance) -> FinishedLog {
+        self.run(instance).log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{InstanceBuilder, InstanceKind, Metrics};
+    use osr_sim::{validate_log, ValidationConfig};
+
+    fn weighted_instance(n: usize, m: usize, seed: u64) -> Instance {
+        let mut b = InstanceBuilder::new(m, InstanceKind::FlowEnergy);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += (next() % 100) as f64 / 40.0;
+            let w = 1.0 + (next() % 9) as f64;
+            let sizes: Vec<f64> = (0..m).map(|_| 0.5 + (next() % 25) as f64 / 2.0).collect();
+            b = b.weighted_job(t, w, sizes);
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_valid(inst: &Instance, out: &WeightedFlowOutcome) {
+        let rep = validate_log(inst, &out.log, &ValidationConfig::flow_time());
+        assert!(rep.is_valid(), "{:?}", rep.errors.first());
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let inst = weighted_instance(300, 3, 5);
+        for eps in [0.1, 0.3, 0.8] {
+            let out = WeightedFlowScheduler::with_eps(eps).unwrap().run(&inst);
+            assert_valid(&inst, &out);
+        }
+    }
+
+    #[test]
+    fn enforced_weight_budget_holds() {
+        let inst = weighted_instance(400, 2, 9);
+        let total = inst.total_weight();
+        for eps in [0.1, 0.25, 0.5] {
+            let out = WeightedFlowScheduler::with_eps(eps).unwrap().run(&inst);
+            let m = Metrics::compute(&inst, &out.log, 2.0);
+            assert!(
+                m.flow.rejected_weight <= 2.0 * eps * total + 1e-9,
+                "eps={eps}: {} > {}",
+                m.flow.rejected_weight,
+                2.0 * eps * total
+            );
+        }
+    }
+
+    #[test]
+    fn wspt_order_respected() {
+        // Dense (heavy, short) job must start before a light long one.
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 1.0, vec![10.0]) // starts first (alone)
+            .weighted_job(0.1, 1.0, vec![5.0]) // density 0.2
+            .weighted_job(0.2, 9.0, vec![3.0]) // density 3.0
+            .build()
+            .unwrap();
+        let out = WeightedFlowScheduler::with_eps(0.9).unwrap().run(&inst);
+        assert_valid(&inst, &out);
+        let s1 = out.log.fate(JobId(1)).execution().map(|e| e.start);
+        let s2 = out.log.fate(JobId(2)).execution().map(|e| e.start);
+        if let (Some(s1), Some(s2)) = (s1, s2) {
+            assert!(s2 < s1, "denser job must start first");
+        }
+    }
+
+    #[test]
+    fn beats_unweighted_variant_on_weighted_objective() {
+        // Heavy short jobs stuck behind light long ones: the weighted
+        // variant should achieve lower weighted flow than the paper's
+        // unweighted algorithm (which ignores weights entirely).
+        let mut b = InstanceBuilder::new(1, InstanceKind::FlowEnergy);
+        for k in 0..60 {
+            let t = k as f64 * 0.5;
+            if k % 3 == 0 {
+                b = b.weighted_job(t, 1.0, vec![20.0]);
+            } else {
+                b = b.weighted_job(t, 10.0, vec![1.0]);
+            }
+        }
+        let inst = b.build().unwrap();
+        let wout = WeightedFlowScheduler::with_eps(0.25).unwrap().run(&inst);
+        assert_valid(&inst, &wout);
+        let w_obj = Metrics::compute(&inst, &wout.log, 2.0).flow.weighted_flow_all;
+
+        let uout = crate::FlowScheduler::with_eps(0.25).unwrap().run(&inst);
+        let u_obj = Metrics::compute(&inst, &uout.log, 2.0).flow.weighted_flow_all;
+        assert!(
+            w_obj < u_obj,
+            "weighted variant {w_obj} should beat unweighted {u_obj} on weighted flow"
+        );
+    }
+
+    #[test]
+    fn rejections_target_low_density_jobs() {
+        let inst = weighted_instance(300, 1, 21);
+        let out = WeightedFlowScheduler::with_eps(0.2).unwrap().run(&inst);
+        // Mean density of rejected jobs must not exceed the mean density
+        // of all jobs (the rules prefer low-density victims; Rule 1 can
+        // catch anything that was running, so compare means, loosely).
+        let dens = |id: JobId| {
+            let j = inst.job(id);
+            j.weight / j.min_size()
+        };
+        let all_mean: f64 =
+            inst.jobs().iter().map(|j| j.weight / j.min_size()).sum::<f64>() / inst.len() as f64;
+        let rejected: Vec<f64> = out.log.rejections().map(|(id, _)| dens(id)).collect();
+        if rejected.len() >= 5 {
+            let rej_mean: f64 = rejected.iter().sum::<f64>() / rejected.len() as f64;
+            assert!(
+                rej_mean <= all_mean * 1.5,
+                "rejections should skew low-density: {rej_mean} vs {all_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        assert!(WeightedFlowScheduler::with_eps(0.0).is_err());
+        assert!(WeightedFlowScheduler::with_eps(1.5).is_err());
+    }
+}

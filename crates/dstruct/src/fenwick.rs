@@ -1,0 +1,180 @@
+//! Binary indexed (Fenwick) tree over `f64` values.
+//!
+//! Used by the §4 energy-minimization search to maintain per-time-slot
+//! aggregates, and generally useful wherever prefix sums over a *fixed*
+//! index space are needed. For dynamic key spaces (the online pending
+//! queues) use [`crate::treap::AggTreap`].
+
+/// A Fenwick tree supporting point update and prefix-sum query in
+/// `O(log n)` over a fixed-size array of `f64`.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    // tree[0] unused; classic 1-based layout.
+    tree: Vec<f64>,
+}
+
+impl Fenwick {
+    /// Creates a tree over indices `0..len`, all zeros.
+    pub fn new(len: usize) -> Self {
+        Fenwick { tree: vec![0.0; len + 1] }
+    }
+
+    /// Builds from an initial slice in `O(n)`.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut tree = vec![0.0; values.len() + 1];
+        for (i, &v) in values.iter().enumerate() {
+            let i = i + 1;
+            tree[i] += v;
+            let parent = i + (i & i.wrapping_neg());
+            if parent < tree.len() {
+                let add = tree[i];
+                tree[parent] += add;
+            }
+        }
+        Fenwick { tree }
+    }
+
+    /// Number of indexable slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Whether the tree has zero slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` at `index`.
+    pub fn add(&mut self, index: usize, delta: f64) {
+        assert!(index < self.len(), "fenwick index {index} out of bounds");
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over `0..=index` (inclusive prefix).
+    pub fn prefix(&self, index: usize) -> f64 {
+        assert!(index < self.len(), "fenwick index {index} out of bounds");
+        let mut i = index + 1;
+        let mut s = 0.0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the half-open range `lo..hi`.
+    pub fn range(&self, lo: usize, hi: usize) -> f64 {
+        assert!(lo <= hi && hi <= self.len(), "bad fenwick range {lo}..{hi}");
+        if lo == hi {
+            return 0.0;
+        }
+        let upper = self.prefix(hi - 1);
+        if lo == 0 {
+            upper
+        } else {
+            upper - self.prefix(lo - 1)
+        }
+    }
+
+    /// Total sum.
+    pub fn total(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.prefix(self.len() - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_updates_and_prefix_sums() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1.0);
+        f.add(3, 2.5);
+        f.add(7, 4.0);
+        assert_eq!(f.prefix(0), 1.0);
+        assert_eq!(f.prefix(2), 1.0);
+        assert_eq!(f.prefix(3), 3.5);
+        assert_eq!(f.prefix(7), 7.5);
+        assert_eq!(f.total(), 7.5);
+    }
+
+    #[test]
+    fn range_queries() {
+        let f = Fenwick::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.range(0, 4), 10.0);
+        assert_eq!(f.range(1, 3), 5.0);
+        assert_eq!(f.range(2, 2), 0.0);
+        assert_eq!(f.range(3, 4), 4.0);
+    }
+
+    #[test]
+    fn from_slice_matches_incremental() {
+        let vals = [0.5, -1.0, 2.0, 0.0, 3.25, 7.5, -0.25];
+        let built = Fenwick::from_slice(&vals);
+        let mut inc = Fenwick::new(vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            inc.add(i, v);
+        }
+        for i in 0..vals.len() {
+            assert!((built.prefix(i) - inc.prefix(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_deltas_supported() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 5.0);
+        f.add(1, -2.0);
+        assert_eq!(f.prefix(1), 3.0);
+        assert_eq!(f.range(1, 2), 3.0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_add_panics() {
+        let mut f = Fenwick::new(2);
+        f.add(2, 1.0);
+    }
+
+    #[test]
+    fn matches_naive_prefix_sums_randomized() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let n = 64;
+        let mut naive = vec![0.0f64; n];
+        let mut f = Fenwick::new(n);
+        for _ in 0..500 {
+            let idx = (next() * n as f64) as usize % n;
+            let delta = next() * 10.0 - 5.0;
+            naive[idx] += delta;
+            f.add(idx, delta);
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += naive[i];
+            assert!((f.prefix(i) - acc).abs() < 1e-9, "mismatch at {i}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # osr-dstruct — order-statistic and prefix-aggregate structures
+//!
+//! The SPAA'18 rejection-scheduling algorithms repeatedly answer, at every
+//! job arrival and **per machine**, queries of the form
+//!
+//! > over the pending jobs `ℓ` with processing time at most `p` — how many
+//! > are there and what is the sum of their processing times? how many
+//! > exceed `p`?
+//!
+//! (these terms assemble the dispatch quantity `λ_ij` of §2). A naive
+//! pending queue answers them in `O(|U_i|)`; the [`treap::AggTreap`] here
+//! answers them in `O(log |U_i|)` while also supporting min/max extraction
+//! for the SPT scheduling policy and Rule-2 rejections. The Criterion
+//! bench `dstruct_ablation` quantifies the difference.
+//!
+//! Contents:
+//!
+//! * [`total::TotalF64`] — `Ord` wrapper over finite-friendly `f64` keys;
+//! * [`fenwick::Fenwick`] — classic binary indexed tree over a fixed index
+//!   space (used for time-slot aggregation in the §4 energy search);
+//! * [`treap::AggTreap`] — randomized balanced BST augmented with subtree
+//!   `(count, weight-sum)` aggregates;
+//! * [`pairing::PairingHeap`] — amortized-O(1)-meld min-heap, an
+//!   alternative event queue backend (benchmarked against
+//!   `std::collections::BinaryHeap`);
+//! * [`naive::NaiveAggQueue`] — sorted-`Vec` reference implementation with
+//!   the same API as `AggTreap`, used for differential testing and as the
+//!   ablation baseline.
+
+// Stylistic lints intentionally not followed:
+// - `needless_range_loop`: machine loops index several parallel state
+//   arrays; iterator zips would obscure the shared index.
+// - `neg_cmp_op_on_partial_ord`: `!(x > 0.0)` deliberately treats NaN as
+//   invalid in parameter validation.
+#![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod fenwick;
+pub mod naive;
+pub mod pairing;
+pub mod total;
+pub mod treap;
+
+pub use fenwick::Fenwick;
+pub use naive::NaiveAggQueue;
+pub use pairing::PairingHeap;
+pub use total::TotalF64;
+pub use treap::AggTreap;

@@ -1,0 +1,114 @@
+//! A totally ordered `f64` wrapper for use as a search key.
+
+use std::cmp::Ordering;
+
+/// An `f64` with the IEEE-754 total order, usable as an `Ord` key in
+/// trees and heaps.
+///
+/// Scheduling keys in this workspace (processing times, densities,
+/// release times) are finite by instance validation, so the total order
+/// coincides with the usual numeric order everywhere it matters; the
+/// wrapper exists to satisfy `Ord` without `unsafe` or panicking
+/// comparators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalF64(pub f64);
+
+impl TotalF64 {
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(x: f64) -> Self {
+        TotalF64(x)
+    }
+}
+
+impl From<TotalF64> for f64 {
+    #[inline]
+    fn from(x: TotalF64) -> Self {
+        x.0
+    }
+}
+
+impl PartialEq for TotalF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for TotalF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Normalise -0.0 to 0.0 so Hash agrees with Eq for the values we
+        // actually use (total_cmp distinguishes them, but schedule keys
+        // never produce -0.0; bit-hash is fine and cheap).
+        let bits = if self.0 == 0.0 { 0.0f64.to_bits() } else { self.0.to_bits() };
+        bits.hash(state);
+    }
+}
+
+impl std::fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64_on_normal_values() {
+        let mut v = vec![TotalF64(3.0), TotalF64(-1.0), TotalF64(2.5)];
+        v.sort();
+        let back: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(back, vec![-1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn eq_and_ord_agree() {
+        assert_eq!(TotalF64(1.5), TotalF64(1.5));
+        assert!(TotalF64(1.0) < TotalF64(2.0));
+        assert!(TotalF64(f64::NEG_INFINITY) < TotalF64(0.0));
+        assert!(TotalF64(f64::INFINITY) > TotalF64(1e300));
+    }
+
+    #[test]
+    fn nan_is_consistent() {
+        // NaN equals itself under total order — required for Ord's
+        // contract; the model never produces NaN keys.
+        assert_eq!(TotalF64(f64::NAN), TotalF64(f64::NAN));
+        assert!(TotalF64(f64::NAN) > TotalF64(f64::INFINITY));
+    }
+
+    #[test]
+    fn usable_as_btreemap_key() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(TotalF64(2.0), "b");
+        m.insert(TotalF64(1.0), "a");
+        let ks: Vec<f64> = m.keys().map(|k| k.get()).collect();
+        assert_eq!(ks, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Randomized balanced BST augmented with `(count, weight-sum)` subtree
+//! aggregates.
+//!
+//! This is the engine behind the `O(log n)` evaluation of the paper's
+//! dispatch quantity `λ_ij` (§2): with pending jobs keyed by their
+//! processing-time order, `λ_ij` is
+//!
+//! ```text
+//! λ_ij = (1/ε) p_ij + Σ_{ℓ ⪯ j} p_iℓ + |{ℓ ≻ j}| · p_ij
+//!       = (1/ε) p_ij + agg_le(j).sum + (total().count − agg_le(j).count) · p_ij
+//! ```
+//!
+//! i.e. exactly one [`AggTreap::agg_le`] plus one [`AggTreap::total`]
+//! query. The same structure serves the SPT policy ([`AggTreap::pop_first`])
+//! and Rule 2 ([`AggTreap::pop_last`]).
+//!
+//! Duplicate keys are permitted (they cannot arise with the composite
+//! `(p, r, id)` keys used by the schedulers, but the structure does not
+//! rely on uniqueness).
+
+/// Aggregate over a set of entries: how many, and their total weight.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Agg {
+    /// Number of entries.
+    pub count: usize,
+    /// Sum of entry weights.
+    pub sum: f64,
+}
+
+impl Agg {
+    fn plus(self, other: Agg) -> Agg {
+        Agg { count: self.count + other.count, sum: self.sum + other.sum }
+    }
+}
+
+struct Node<K> {
+    key: K,
+    weight: f64,
+    pri: u64,
+    count: usize,
+    sum: f64,
+    left: Link<K>,
+    right: Link<K>,
+}
+
+type Link<K> = Option<Box<Node<K>>>;
+
+fn link_agg<K>(link: &Link<K>) -> Agg {
+    match link {
+        Some(n) => Agg { count: n.count, sum: n.sum },
+        None => Agg::default(),
+    }
+}
+
+impl<K> Node<K> {
+    fn update(&mut self) {
+        let l = link_agg(&self.left);
+        let r = link_agg(&self.right);
+        self.count = 1 + l.count + r.count;
+        self.sum = self.weight + l.sum + r.sum;
+    }
+}
+
+fn merge<K: Ord>(a: Link<K>, b: Link<K>) -> Link<K> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(mut a), Some(mut b)) => {
+            if a.pri >= b.pri {
+                a.right = merge(a.right.take(), Some(b));
+                a.update();
+                Some(a)
+            } else {
+                b.left = merge(Some(a), b.left.take());
+                b.update();
+                Some(b)
+            }
+        }
+    }
+}
+
+/// Splits `t` into `(keys ≤ key, keys > key)` when `inclusive`, else
+/// `(keys < key, keys ≥ key)`.
+fn split<K: Ord>(t: Link<K>, key: &K, inclusive: bool) -> (Link<K>, Link<K>) {
+    match t {
+        None => (None, None),
+        Some(mut n) => {
+            let goes_left = if inclusive { n.key <= *key } else { n.key < *key };
+            if goes_left {
+                let (mid, right) = split(n.right.take(), key, inclusive);
+                n.right = mid;
+                n.update();
+                (Some(n), right)
+            } else {
+                let (left, mid) = split(n.left.take(), key, inclusive);
+                n.left = mid;
+                n.update();
+                (left, Some(n))
+            }
+        }
+    }
+}
+
+/// Order-statistic treap with weight aggregates; see module docs.
+pub struct AggTreap<K: Ord> {
+    root: Link<K>,
+    rng: u64,
+}
+
+impl<K: Ord> Default for AggTreap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> AggTreap<K> {
+    /// Empty treap with a fixed default seed (deterministic shape).
+    pub fn new() -> Self {
+        Self::with_seed(0x9E3779B97F4A7C15)
+    }
+
+    /// Empty treap with an explicit priority seed.
+    pub fn with_seed(seed: u64) -> Self {
+        AggTreap { root: None, rng: seed | 1 }
+    }
+
+    fn next_pri(&mut self) -> u64 {
+        // xorshift64* — cheap, good enough for treap priorities.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        link_agg(&self.root).count
+    }
+
+    /// Whether the treap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Aggregate over all entries.
+    pub fn total(&self) -> Agg {
+        link_agg(&self.root)
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, key: K, weight: f64) {
+        let pri = self.next_pri();
+        let node = Some(Box::new(Node {
+            key,
+            weight,
+            pri,
+            count: 1,
+            sum: weight,
+            left: None,
+            right: None,
+        }));
+        let key_ref = &node.as_ref().unwrap().key;
+        // Split around the new key, then merge left + node + right.
+        let (l, r) = split(self.root.take(), key_ref, true);
+        self.root = merge(merge(l, node), r);
+    }
+
+    /// Removes one entry with exactly `key`; returns its weight.
+    pub fn remove(&mut self, key: &K) -> Option<f64> {
+        let (lt, ge) = split(self.root.take(), key, false);
+        let (eq, gt) = split(ge, key, true);
+        let (weight, eq_rest) = match eq {
+            None => (None, None),
+            Some(mut n) => {
+                // Drop the root of the equal-range; keep its children.
+                let w = n.weight;
+                let rest = merge(n.left.take(), n.right.take());
+                (Some(w), rest)
+            }
+        };
+        self.root = merge(merge(lt, eq_rest), gt);
+        weight
+    }
+
+    /// Whether an entry with `key` exists.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => cur = &n.left,
+                std::cmp::Ordering::Greater => cur = &n.right,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Smallest key.
+    pub fn first(&self) -> Option<&K> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(l) = cur.left.as_deref() {
+            cur = l;
+        }
+        Some(&cur.key)
+    }
+
+    /// Largest key.
+    pub fn last(&self) -> Option<&K> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(r) = cur.right.as_deref() {
+            cur = r;
+        }
+        Some(&cur.key)
+    }
+
+    /// Removes and returns the smallest entry.
+    pub fn pop_first(&mut self) -> Option<(K, f64)> {
+        fn pop_min<K: Ord>(link: &mut Link<K>) -> Option<(K, f64)> {
+            let node = link.as_mut()?;
+            if node.left.is_some() {
+                let out = pop_min(&mut node.left);
+                node.update();
+                out
+            } else {
+                let mut n = link.take().unwrap();
+                *link = n.right.take();
+                Some((n.key, n.weight))
+            }
+        }
+        pop_min(&mut self.root)
+    }
+
+    /// Removes and returns the largest entry.
+    pub fn pop_last(&mut self) -> Option<(K, f64)> {
+        fn pop_max<K: Ord>(link: &mut Link<K>) -> Option<(K, f64)> {
+            let node = link.as_mut()?;
+            if node.right.is_some() {
+                let out = pop_max(&mut node.right);
+                node.update();
+                out
+            } else {
+                let mut n = link.take().unwrap();
+                *link = n.left.take();
+                Some((n.key, n.weight))
+            }
+        }
+        pop_max(&mut self.root)
+    }
+
+    /// Aggregate over entries with key `≤ key`.
+    pub fn agg_le(&self, key: &K) -> Agg {
+        let mut acc = Agg::default();
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            if n.key <= *key {
+                acc = acc
+                    .plus(link_agg(&n.left))
+                    .plus(Agg { count: 1, sum: n.weight });
+                cur = &n.right;
+            } else {
+                cur = &n.left;
+            }
+        }
+        acc
+    }
+
+    /// Aggregate over entries with key `< key`.
+    pub fn agg_lt(&self, key: &K) -> Agg {
+        let mut acc = Agg::default();
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            if n.key < *key {
+                acc = acc
+                    .plus(link_agg(&n.left))
+                    .plus(Agg { count: 1, sum: n.weight });
+                cur = &n.right;
+            } else {
+                cur = &n.left;
+            }
+        }
+        acc
+    }
+
+    /// In-order iterator over `(&key, weight)`.
+    pub fn iter(&self) -> Iter<'_, K> {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left(&self.root);
+        it
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.root = None;
+    }
+}
+
+/// In-order iterator over an [`AggTreap`].
+pub struct Iter<'a, K: Ord> {
+    stack: Vec<&'a Node<K>>,
+}
+
+impl<'a, K: Ord> Iter<'a, K> {
+    fn push_left(&mut self, mut link: &'a Link<K>) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a, K: Ord> Iterator for Iter<'a, K> {
+    type Item = (&'a K, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left(&n.right);
+        Some((&n.key, n.weight))
+    }
+}
+
+impl<K: Ord + std::fmt::Debug> std::fmt::Debug for AggTreap<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggTreap")
+            .field("len", &self.len())
+            .field("total_sum", &self.total().sum)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys<K: Ord + Copy>(t: &AggTreap<K>) -> Vec<K> {
+        t.iter().map(|(k, _)| *k).collect()
+    }
+
+    #[test]
+    fn insert_iterates_in_order() {
+        let mut t = AggTreap::new();
+        for k in [5, 1, 4, 2, 3] {
+            t.insert(k, k as f64);
+        }
+        assert_eq!(keys(&t), vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.total().sum, 15.0);
+    }
+
+    #[test]
+    fn agg_le_and_lt() {
+        let mut t = AggTreap::new();
+        for k in 1..=10 {
+            t.insert(k, k as f64);
+        }
+        let le5 = t.agg_le(&5);
+        assert_eq!(le5.count, 5);
+        assert_eq!(le5.sum, 15.0);
+        let lt5 = t.agg_lt(&5);
+        assert_eq!(lt5.count, 4);
+        assert_eq!(lt5.sum, 10.0);
+        assert_eq!(t.agg_le(&0).count, 0);
+        assert_eq!(t.agg_le(&100).count, 10);
+    }
+
+    #[test]
+    fn first_last_pop() {
+        let mut t = AggTreap::new();
+        for k in [7, 3, 9, 1] {
+            t.insert(k, 1.0);
+        }
+        assert_eq!(t.first(), Some(&1));
+        assert_eq!(t.last(), Some(&9));
+        assert_eq!(t.pop_first(), Some((1, 1.0)));
+        assert_eq!(t.pop_last(), Some((9, 1.0)));
+        assert_eq!(keys(&t), vec![3, 7]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific_key() {
+        let mut t = AggTreap::new();
+        for k in 1..=5 {
+            t.insert(k, k as f64 * 2.0);
+        }
+        assert_eq!(t.remove(&3), Some(6.0));
+        assert_eq!(t.remove(&3), None);
+        assert_eq!(keys(&t), vec![1, 2, 4, 5]);
+        assert_eq!(t.total().sum, 2.0 + 4.0 + 8.0 + 10.0);
+    }
+
+    #[test]
+    fn duplicates_supported() {
+        let mut t = AggTreap::new();
+        t.insert(2, 1.0);
+        t.insert(2, 2.0);
+        t.insert(2, 3.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.agg_le(&2).count, 3);
+        // remove takes exactly one of them.
+        assert!(t.remove(&2).is_some());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn contains_lookup() {
+        let mut t = AggTreap::new();
+        t.insert(4, 1.0);
+        assert!(t.contains(&4));
+        assert!(!t.contains(&5));
+    }
+
+    #[test]
+    fn pop_on_empty_is_none() {
+        let mut t: AggTreap<i32> = AggTreap::new();
+        assert!(t.pop_first().is_none());
+        assert!(t.pop_last().is_none());
+        assert!(t.first().is_none());
+        assert!(t.last().is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = AggTreap::new();
+        t.insert(1, 1.0);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn composite_f64_keys_work() {
+        use crate::total::TotalF64;
+        let mut t: AggTreap<(TotalF64, u32)> = AggTreap::new();
+        t.insert((TotalF64(2.5), 0), 2.5);
+        t.insert((TotalF64(1.5), 1), 1.5);
+        t.insert((TotalF64(2.5), 2), 2.5);
+        assert_eq!(t.first().unwrap().1, 1);
+        let agg = t.agg_le(&(TotalF64(2.5), u32::MAX));
+        assert_eq!(agg.count, 3);
+        assert!((agg.sum - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_sequential_insert_stays_consistent() {
+        let mut t = AggTreap::new();
+        let n = 10_000;
+        for k in 0..n {
+            t.insert(k, 1.0);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert_eq!(t.agg_le(&(n / 2)).count, (n / 2 + 1) as usize);
+        for k in (0..n).step_by(2) {
+            assert_eq!(t.remove(&k), Some(1.0));
+        }
+        assert_eq!(t.len(), (n / 2) as usize);
+        assert_eq!(t.first(), Some(&1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based differential tests: the treap and pairing heap must
+//! agree with simple reference implementations on arbitrary operation
+//! sequences.
+
+use osr_dstruct::{AggTreap, Fenwick, NaiveAggQueue, PairingHeap, TotalF64};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32, f64),
+    Remove(i32),
+    AggLe(i32),
+    AggLt(i32),
+    PopFirst,
+    PopLast,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weights are a function of the key so that duplicate keys carry equal
+    // weights: `remove` on a duplicated key may pick a different victim in
+    // the two structures, which is fine for the schedulers (keys are unique
+    // composites there) but would make weight-sum comparison ambiguous here.
+    prop_oneof![
+        (-20i32..20).prop_map(|k| Op::Insert(k, k as f64 * 0.37 + 20.0)),
+        (-20i32..20).prop_map(Op::Remove),
+        (-25i32..25).prop_map(Op::AggLe),
+        (-25i32..25).prop_map(Op::AggLt),
+        Just(Op::PopFirst),
+        Just(Op::PopLast),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn treap_matches_naive_on_random_op_sequences(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut treap = AggTreap::new();
+        let mut naive = NaiveAggQueue::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, w) => {
+                    treap.insert(k, w);
+                    naive.insert(k, w);
+                }
+                Op::Remove(k) => {
+                    let a = treap.remove(&k);
+                    let b = naive.remove(&k);
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                }
+                Op::AggLe(k) => {
+                    let a = treap.agg_le(&k);
+                    let b = naive.agg_le(&k);
+                    prop_assert_eq!(a.count, b.count);
+                    prop_assert!((a.sum - b.sum).abs() < 1e-9);
+                }
+                Op::AggLt(k) => {
+                    let a = treap.agg_lt(&k);
+                    let b = naive.agg_lt(&k);
+                    prop_assert_eq!(a.count, b.count);
+                    prop_assert!((a.sum - b.sum).abs() < 1e-9);
+                }
+                Op::PopFirst => {
+                    let a = treap.pop_first();
+                    let b = naive.pop_first();
+                    prop_assert_eq!(a.map(|x| x.0), b.map(|x| x.0));
+                }
+                Op::PopLast => {
+                    let a = treap.pop_last();
+                    let b = naive.pop_last();
+                    prop_assert_eq!(a.map(|x| x.0), b.map(|x| x.0));
+                }
+            }
+            prop_assert_eq!(treap.len(), naive.len());
+            let (ta, na) = (treap.total(), naive.total());
+            prop_assert_eq!(ta.count, na.count);
+            prop_assert!((ta.sum - na.sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn treap_in_order_iteration_is_sorted(keys in prop::collection::vec(-1000i32..1000, 0..200)) {
+        let mut treap = AggTreap::new();
+        for &k in &keys {
+            treap.insert(k, 1.0);
+        }
+        let seen: Vec<i32> = treap.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn pairing_heap_sorts_arbitrary_input(mut xs in prop::collection::vec(any::<i64>(), 0..500)) {
+        let mut h = PairingHeap::new();
+        for &x in &xs {
+            h.push(x);
+        }
+        let mut out = Vec::with_capacity(xs.len());
+        while let Some(x) = h.pop() {
+            out.push(x);
+        }
+        xs.sort_unstable();
+        prop_assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn fenwick_matches_naive_prefix_sums(
+        updates in prop::collection::vec((0usize..32, -10.0f64..10.0), 0..200)
+    ) {
+        let mut naive = vec![0.0f64; 32];
+        let mut f = Fenwick::new(32);
+        for (i, d) in updates {
+            naive[i] += d;
+            f.add(i, d);
+        }
+        let mut acc = 0.0;
+        for (i, &v) in naive.iter().enumerate() {
+            acc += v;
+            prop_assert!((f.prefix(i) - acc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_f64_sort_matches_f64_sort(mut xs in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let mut wrapped: Vec<TotalF64> = xs.iter().copied().map(TotalF64).collect();
+        wrapped.sort();
+        xs.sort_by(f64::total_cmp);
+        let unwrapped: Vec<f64> = wrapped.into_iter().map(f64::from).collect();
+        prop_assert_eq!(unwrapped, xs);
+    }
+
+    #[test]
+    fn treap_agg_le_is_monotone(keys in prop::collection::vec(0i32..100, 1..100), probe in 0i32..100) {
+        let mut treap = AggTreap::new();
+        for &k in &keys {
+            treap.insert(k, k as f64);
+        }
+        let a = treap.agg_le(&probe);
+        let b = treap.agg_le(&(probe + 1));
+        prop_assert!(b.count >= a.count);
+        prop_assert!(b.sum >= a.sum - 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type shared by model construction and I/O.
+
+/// Errors produced while building, validating or (de)serializing model
+/// data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A structural invariant was violated (message explains which).
+    Invalid(String),
+    /// A textual instance/log file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure (message of the `std::io::Error`).
+    Io(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Invalid(m) => write!(f, "invalid model data: {m}"),
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ModelError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(ModelError::Parse { line: 3, message: "bad".into() }
+            .to_string()
+            .contains("line 3"));
+        assert!(ModelError::Io("gone".into()).to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: ModelError = io.into();
+        assert!(matches!(e, ModelError::Io(_)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Jobs and identifiers.
+
+use crate::time::{valid_magnitude, valid_positive};
+
+/// Identifier of a job within an [`crate::Instance`].
+///
+/// Job ids are dense indices `0..n` into `Instance::jobs`, so they can be
+/// used directly as `Vec` indices throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Identifier of a machine within an [`crate::Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A job in the unrelated-machines model.
+///
+/// `sizes[i]` is the processing requirement `p_ij` on machine `i`:
+///
+/// * in the flow-time problem (§2) it is a **processing time** — the job
+///   occupies machine `i` for exactly `sizes[i]` time units;
+/// * in the speed-scaling problems (§3, §4) it is a **volume** — running
+///   at constant speed `s`, the job occupies the machine for
+///   `sizes[i] / s` time units.
+///
+/// A size of `f64::INFINITY` encodes "job cannot run on this machine"
+/// (restricted-assignment workloads); at least one machine must be finite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Dense id; equals the job's index in its instance.
+    pub id: JobId,
+    /// Release time `r_j ≥ 0`. The job is unknown to the scheduler before
+    /// this instant.
+    pub release: f64,
+    /// Weight `w_j > 0` (§3). Flow-time workloads use weight `1.0`.
+    pub weight: f64,
+    /// Deadline `d_j` (§4 only). `None` for flow-time workloads.
+    pub deadline: Option<f64>,
+    /// Machine-dependent size `p_ij`, one entry per machine.
+    pub sizes: Vec<f64>,
+}
+
+impl Job {
+    /// Convenience constructor for an unweighted, deadline-free job.
+    pub fn new(id: u32, release: f64, sizes: Vec<f64>) -> Self {
+        Job { id: JobId(id), release, weight: 1.0, deadline: None, sizes }
+    }
+
+    /// Constructor with a weight (for §3 workloads).
+    pub fn weighted(id: u32, release: f64, weight: f64, sizes: Vec<f64>) -> Self {
+        Job { id: JobId(id), release, weight, deadline: None, sizes }
+    }
+
+    /// Constructor with a deadline (for §4 workloads).
+    pub fn with_deadline(id: u32, release: f64, deadline: f64, sizes: Vec<f64>) -> Self {
+        Job { id: JobId(id), release, weight: 1.0, deadline: Some(deadline), sizes }
+    }
+
+    /// Size `p_ij` of this job on machine `i`.
+    #[inline]
+    pub fn size_on(&self, machine: MachineId) -> f64 {
+        self.sizes[machine.idx()]
+    }
+
+    /// Whether the job may run on `machine` (finite size).
+    #[inline]
+    pub fn eligible_on(&self, machine: MachineId) -> bool {
+        self.sizes[machine.idx()].is_finite()
+    }
+
+    /// Smallest size over all machines (used by several lower bounds).
+    pub fn min_size(&self) -> f64 {
+        self.sizes.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Machine achieving [`Job::min_size`].
+    pub fn fastest_machine(&self) -> MachineId {
+        let (i, _) = self
+            .sizes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("job has at least one machine entry");
+        MachineId(i as u32)
+    }
+
+    /// Density `δ_ij = w_j / p_ij` on machine `i` (§3 ordering key).
+    #[inline]
+    pub fn density_on(&self, machine: MachineId) -> f64 {
+        self.weight / self.sizes[machine.idx()]
+    }
+
+    /// Deadline window length `d_j - r_j`; `None` when no deadline.
+    pub fn span(&self) -> Option<f64> {
+        self.deadline.map(|d| d - self.release)
+    }
+
+    /// Structural validity for `m` machines: finite non-negative release,
+    /// positive weight, at least one finite positive size, correct arity,
+    /// deadline after release when present.
+    pub fn validate(&self, machines: usize) -> Result<(), String> {
+        if !valid_magnitude(self.release) {
+            return Err(format!("{}: invalid release {}", self.id, self.release));
+        }
+        if !valid_positive(self.weight) {
+            return Err(format!("{}: invalid weight {}", self.id, self.weight));
+        }
+        if self.sizes.len() != machines {
+            return Err(format!(
+                "{}: has {} sizes, instance has {} machines",
+                self.id,
+                self.sizes.len(),
+                machines
+            ));
+        }
+        let mut any_finite = false;
+        for (i, &p) in self.sizes.iter().enumerate() {
+            if p.is_nan() || p < 0.0 {
+                return Err(format!("{}: invalid size {} on m{}", self.id, p, i));
+            }
+            if p.is_finite() {
+                if p <= 0.0 {
+                    return Err(format!("{}: non-positive size on m{}", self.id, i));
+                }
+                any_finite = true;
+            }
+        }
+        if !any_finite {
+            return Err(format!("{}: not eligible on any machine", self.id));
+        }
+        if let Some(d) = self.deadline {
+            if !d.is_finite() || d <= self.release {
+                return Err(format!("{}: deadline {} not after release {}", self.id, d, self.release));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(JobId(7).to_string(), "j7");
+        assert_eq!(MachineId(2).to_string(), "m2");
+        assert_eq!(JobId(7).idx(), 7);
+        assert_eq!(MachineId(2).idx(), 2);
+    }
+
+    #[test]
+    fn min_size_and_fastest_machine() {
+        let j = Job::new(0, 0.0, vec![5.0, 2.0, 9.0]);
+        assert_eq!(j.min_size(), 2.0);
+        assert_eq!(j.fastest_machine(), MachineId(1));
+    }
+
+    #[test]
+    fn restricted_assignment_eligibility() {
+        let j = Job::new(0, 0.0, vec![f64::INFINITY, 4.0]);
+        assert!(!j.eligible_on(MachineId(0)));
+        assert!(j.eligible_on(MachineId(1)));
+        assert_eq!(j.min_size(), 4.0);
+        assert!(j.validate(2).is_ok());
+    }
+
+    #[test]
+    fn density_uses_weight() {
+        let j = Job::weighted(0, 0.0, 3.0, vec![6.0]);
+        assert_eq!(j.density_on(MachineId(0)), 0.5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        assert!(Job::new(0, -1.0, vec![1.0]).validate(1).is_err());
+        assert!(Job::new(0, 0.0, vec![-1.0]).validate(1).is_err());
+        assert!(Job::new(0, 0.0, vec![f64::INFINITY]).validate(1).is_err());
+        assert!(Job::new(0, 0.0, vec![1.0, 1.0]).validate(1).is_err());
+        assert!(Job::weighted(0, 0.0, 0.0, vec![1.0]).validate(1).is_err());
+        assert!(Job::with_deadline(0, 5.0, 5.0, vec![1.0]).validate(1).is_err());
+        assert!(Job::with_deadline(0, 5.0, 6.0, vec![1.0]).validate(1).is_ok());
+    }
+
+    #[test]
+    fn span_is_deadline_window() {
+        let j = Job::with_deadline(0, 2.0, 10.0, vec![1.0]);
+        assert_eq!(j.span(), Some(8.0));
+        assert_eq!(Job::new(0, 2.0, vec![1.0]).span(), None);
+    }
+}

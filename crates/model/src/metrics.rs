@@ -1,0 +1,307 @@
+//! Objective computation: flow-time, weighted flow-time, energy.
+//!
+//! The paper's objectives (with the conventions it uses for rejected
+//! jobs):
+//!
+//! * §2 — total flow-time `Σ_j F_j` where `F_j = C_j - r_j`; for a
+//!   rejected job `F_j` is `rejection time − r_j`.
+//! * §3 — total *weighted* flow-time plus energy
+//!   `Σ_j w_j F_j + Σ_i ∫ s_i(t)^α dt`; rejected weight is budgeted
+//!   separately (at most an `ε` fraction of total weight).
+//! * §4 — total energy `Σ_i ∫ P_i(s_i(t)) dt` subject to deadlines.
+//!
+//! Because the algorithm's cost on *rejected* jobs is part of its flow
+//! accounting in the analysis but OPT serves **all** jobs, we expose both
+//! views: `flow_served` (completed jobs only) and `flow_all` (rejected
+//! jobs contribute until their rejection instant, as in the paper).
+
+use crate::instance::Instance;
+use crate::job::JobId;
+use crate::log::{FinishedLog, JobFate};
+
+/// Flow-time statistics of a finished schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowMetrics {
+    /// `Σ F_j` over completed jobs.
+    pub flow_served: f64,
+    /// `Σ F_j` over all jobs (rejected counted until rejection — the
+    /// paper's `F_j` for `j ∈ R`).
+    pub flow_all: f64,
+    /// `Σ w_j F_j` over completed jobs.
+    pub weighted_flow_served: f64,
+    /// `Σ w_j F_j` over all jobs.
+    pub weighted_flow_all: f64,
+    /// Number of completed jobs.
+    pub completed: usize,
+    /// Number of rejected jobs.
+    pub rejected: usize,
+    /// Weight of rejected jobs.
+    pub rejected_weight: f64,
+    /// Total weight of the instance.
+    pub total_weight: f64,
+    /// Maximum flow-time over completed jobs (0 if none).
+    pub max_flow: f64,
+    /// Latest completion time (makespan; 0 if nothing completed).
+    pub makespan: f64,
+}
+
+impl FlowMetrics {
+    /// Fraction of the job *count* that was rejected (Theorem 1 budgets
+    /// this at `2ε`).
+    pub fn rejected_fraction(&self) -> f64 {
+        let n = self.completed + self.rejected;
+        if n == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / n as f64
+        }
+    }
+
+    /// Fraction of total *weight* rejected (Theorem 2 budgets this at
+    /// `ε`).
+    pub fn rejected_weight_fraction(&self) -> f64 {
+        if self.total_weight == 0.0 {
+            0.0
+        } else {
+            self.rejected_weight / self.total_weight
+        }
+    }
+
+    /// Mean flow-time of completed jobs.
+    pub fn mean_flow(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.flow_served / self.completed as f64
+        }
+    }
+}
+
+/// Energy statistics of a finished schedule under `P(s) = s^alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyMetrics {
+    /// Energy of completed executions.
+    pub energy_completed: f64,
+    /// Energy wasted on partial runs of rejected jobs.
+    pub energy_partial: f64,
+    /// The exponent used.
+    pub alpha: f64,
+    /// Number of completed jobs that missed their deadline (must be 0
+    /// for a valid §4 schedule).
+    pub deadline_misses: usize,
+}
+
+impl EnergyMetrics {
+    /// Total energy including waste.
+    pub fn total(&self) -> f64 {
+        self.energy_completed + self.energy_partial
+    }
+}
+
+/// Computes every metric of interest for a finished log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Flow-time view.
+    pub flow: FlowMetrics,
+    /// Energy view (`alpha` as supplied; meaningless for §2 logs where
+    /// all speeds are 1 — energy then equals total busy time).
+    pub energy: EnergyMetrics,
+}
+
+impl Metrics {
+    /// Evaluates `log` against `instance` with power exponent `alpha`.
+    ///
+    /// Panics if the log length does not match the instance (that is a
+    /// programming error, not a data error).
+    pub fn compute(instance: &Instance, log: &FinishedLog, alpha: f64) -> Self {
+        assert_eq!(instance.len(), log.len(), "log does not cover the instance");
+        let mut flow_served = 0.0;
+        let mut flow_all = 0.0;
+        let mut wflow_served = 0.0;
+        let mut wflow_all = 0.0;
+        let mut completed = 0usize;
+        let mut rejected = 0usize;
+        let mut rejected_weight = 0.0;
+        let mut max_flow = 0.0f64;
+        let mut makespan = 0.0f64;
+        let mut energy_completed = 0.0;
+        let mut energy_partial = 0.0;
+        let mut deadline_misses = 0usize;
+
+        for (id, fate) in log.iter() {
+            let job = instance.job(id);
+            match fate {
+                JobFate::Completed(e) => {
+                    let f = e.completion - job.release;
+                    flow_served += f;
+                    flow_all += f;
+                    wflow_served += job.weight * f;
+                    wflow_all += job.weight * f;
+                    completed += 1;
+                    max_flow = max_flow.max(f);
+                    makespan = makespan.max(e.completion);
+                    energy_completed += e.energy(alpha);
+                    if let Some(d) = job.deadline {
+                        if e.completion > d + crate::time::EPS {
+                            deadline_misses += 1;
+                        }
+                    }
+                }
+                JobFate::Rejected(r) => {
+                    let f = r.time - job.release;
+                    flow_all += f;
+                    wflow_all += job.weight * f;
+                    rejected += 1;
+                    rejected_weight += job.weight;
+                    if let Some(p) = r.partial {
+                        energy_partial += p.energy(alpha);
+                    }
+                }
+            }
+        }
+
+        Metrics {
+            flow: FlowMetrics {
+                flow_served,
+                flow_all,
+                weighted_flow_served: wflow_served,
+                weighted_flow_all: wflow_all,
+                completed,
+                rejected,
+                rejected_weight,
+                total_weight: instance.total_weight(),
+                max_flow,
+                makespan,
+            },
+            energy: EnergyMetrics {
+                energy_completed,
+                energy_partial,
+                alpha,
+                deadline_misses,
+            },
+        }
+    }
+
+    /// §3 objective: weighted flow of completed jobs plus all energy.
+    pub fn weighted_flow_plus_energy(&self) -> f64 {
+        self.flow.weighted_flow_served + self.energy.total()
+    }
+
+    /// Per-job flow-time, `None` for rejected jobs.
+    pub fn job_flow(instance: &Instance, log: &FinishedLog, id: JobId) -> Option<f64> {
+        match log.fate(id) {
+            JobFate::Completed(e) => Some(e.completion - instance.job(id).release),
+            JobFate::Rejected(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, InstanceKind};
+    use crate::job::MachineId;
+    use crate::log::{Execution, PartialRun, RejectReason, Rejection, ScheduleLog};
+
+    fn toy() -> (Instance, FinishedLog) {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![2.0])
+            .job(1.0, vec![3.0])
+            .job(2.0, vec![10.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 3);
+        log.complete(
+            JobId(0),
+            Execution { machine: MachineId(0), start: 0.0, completion: 2.0, speed: 1.0 },
+        );
+        log.complete(
+            JobId(1),
+            Execution { machine: MachineId(0), start: 2.0, completion: 5.0, speed: 1.0 },
+        );
+        log.reject(
+            JobId(2),
+            Rejection { time: 4.0, reason: RejectReason::RuleTwo, partial: None },
+        );
+        (inst, log.finish().unwrap())
+    }
+
+    #[test]
+    fn flow_metrics_basic() {
+        let (inst, log) = toy();
+        let m = Metrics::compute(&inst, &log, 2.0);
+        // j0: F=2, j1: F=4 completed; j2 rejected at 4 → F=2 in flow_all.
+        assert_eq!(m.flow.flow_served, 6.0);
+        assert_eq!(m.flow.flow_all, 8.0);
+        assert_eq!(m.flow.completed, 2);
+        assert_eq!(m.flow.rejected, 1);
+        assert!((m.flow.rejected_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.flow.max_flow, 4.0);
+        assert_eq!(m.flow.makespan, 5.0);
+        assert_eq!(m.flow.mean_flow(), 3.0);
+    }
+
+    #[test]
+    fn energy_counts_partial_runs() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection {
+                time: 2.0,
+                reason: RejectReason::RuleOne,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 0.0,
+                    end: 2.0,
+                    speed: 3.0,
+                }),
+            },
+        );
+        let m = Metrics::compute(&inst, &log.finish().unwrap(), 2.0);
+        assert_eq!(m.energy.energy_partial, 2.0 * 9.0);
+        assert_eq!(m.energy.total(), 18.0);
+    }
+
+    #[test]
+    fn weighted_flow_uses_weights() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 5.0, vec![2.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(
+            JobId(0),
+            Execution { machine: MachineId(0), start: 0.0, completion: 2.0, speed: 1.0 },
+        );
+        let m = Metrics::compute(&inst, &log.finish().unwrap(), 2.0);
+        assert_eq!(m.flow.weighted_flow_served, 10.0);
+        assert!((m.weighted_flow_plus_energy() - 12.0).abs() < 1e-12);
+        assert_eq!(m.flow.rejected_weight_fraction(), 0.0);
+    }
+
+    #[test]
+    fn deadline_misses_detected() {
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 3.0, vec![4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(
+            JobId(0),
+            Execution { machine: MachineId(0), start: 0.0, completion: 4.0, speed: 1.0 },
+        );
+        let m = Metrics::compute(&inst, &log.finish().unwrap(), 2.0);
+        assert_eq!(m.energy.deadline_misses, 1);
+    }
+
+    #[test]
+    fn job_flow_lookup() {
+        let (inst, log) = toy();
+        assert_eq!(Metrics::job_flow(&inst, &log, JobId(1)), Some(4.0));
+        assert_eq!(Metrics::job_flow(&inst, &log, JobId(2)), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! ASCII Gantt rendering of finished schedules.
+//!
+//! Used by the examples and invaluable when debugging rejection-rule
+//! interactions. One row per machine; completed runs render as the job
+//! id, partial (rejected) runs as `x`.
+
+use osr_model::{FinishedLog, Instance};
+
+/// Renders `log` as an ASCII Gantt chart with `width` columns covering
+/// `[0, horizon]` (horizon = latest busy instant).
+pub fn render_gantt(instance: &Instance, log: &FinishedLog, width: usize) -> String {
+    let width = width.max(10);
+    let busy = log.busy_intervals();
+    let horizon = busy
+        .iter()
+        .map(|&(_, _, _, end, _)| end)
+        .fold(0.0f64, f64::max);
+    if horizon <= 0.0 {
+        return String::from("(empty schedule)\n");
+    }
+    let scale = width as f64 / horizon;
+    let mut out = String::new();
+    out.push_str(&format!("time 0 .. {horizon:.3} ({width} cols)\n"));
+    for m in 0..instance.machines() {
+        let mut row: Vec<char> = vec!['.'; width];
+        for &(machine, job, start, end, _speed) in &busy {
+            if machine.idx() != m {
+                continue;
+            }
+            let a = ((start * scale) as usize).min(width - 1);
+            let b = (((end * scale).ceil() as usize).max(a + 1)).min(width);
+            let rejected = log.fate(job).is_rejected();
+            let label: Vec<char> = if rejected {
+                vec!['x']
+            } else {
+                format!("{}", job.0).chars().collect()
+            };
+            for (k, slot) in row[a..b].iter_mut().enumerate() {
+                *slot = label[k % label.len()];
+            }
+        }
+        out.push_str(&format!("m{m:<3}|"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{
+        Execution, InstanceBuilder, InstanceKind, JobId, MachineId, PartialRun, RejectReason,
+        Rejection, ScheduleLog,
+    };
+
+    #[test]
+    fn renders_rows_per_machine() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![4.0, 8.0])
+            .job(0.0, vec![8.0, 4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(2, 2);
+        log.complete(
+            JobId(0),
+            Execution { machine: MachineId(0), start: 0.0, completion: 4.0, speed: 1.0 },
+        );
+        log.complete(
+            JobId(1),
+            Execution { machine: MachineId(1), start: 0.0, completion: 4.0, speed: 1.0 },
+        );
+        let fin = log.finish().unwrap();
+        let g = render_gantt(&inst, &fin, 40);
+        assert!(g.contains("m0"));
+        assert!(g.contains("m1"));
+        assert!(g.lines().count() >= 3);
+    }
+
+    #[test]
+    fn rejected_runs_render_as_x() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection {
+                time: 2.0,
+                reason: RejectReason::RuleOne,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 0.0,
+                    end: 2.0,
+                    speed: 1.0,
+                }),
+            },
+        );
+        let g = render_gantt(&inst, &log.finish().unwrap(), 20);
+        assert!(g.contains('x'));
+    }
+
+    #[test]
+    fn empty_schedule_handled() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![1.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection { time: 0.0, reason: RejectReason::Immediate, partial: None },
+        );
+        let g = render_gantt(&inst, &log.finish().unwrap(), 20);
+        assert!(g.contains("empty"));
+    }
+}

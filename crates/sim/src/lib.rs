@@ -1,0 +1,45 @@
+//! # osr-sim — discrete-event simulation substrate
+//!
+//! The paper's algorithms are *online*: decisions happen at job arrivals
+//! and at machine-idle instants. This crate provides the event-driven
+//! machinery those implementations (and all baselines) share, plus the
+//! independent correctness layer that makes experiment results
+//! trustworthy:
+//!
+//! * [`event::EventQueue`] — time-ordered queue with deterministic FIFO
+//!   tie-breaking (backed by `std::collections::BinaryHeap`; the
+//!   `osr-dstruct` pairing heap is a benchmarked alternative);
+//! * [`scheduler::OnlineScheduler`] — the trait every policy implements
+//!   (`osr-core` algorithms and `osr-baselines` comparators alike);
+//! * [`validate`] — checks a [`osr_model::log::FinishedLog`] against its
+//!   instance for **every** model invariant: non-preemption is implied by
+//!   the single-interval log format, so the validator focuses on release
+//!   respect, machine exclusivity, volume conservation, deadline
+//!   feasibility and speed sanity;
+//! * [`trace`] — optional decision traces (dispatch/start/reject events
+//!   with their `λ` values) for audits and the dual-feasibility
+//!   experiments;
+//! * [`gantt`] — ASCII Gantt rendering for examples and debugging;
+//! * [`stats`] — summary statistics (percentiles, histograms, machine
+//!   utilization) used by the experiment tables.
+//!
+//! Separating policy (who runs where, when) from mechanism (what a valid
+//! non-preemptive schedule even is) means a bug in an algorithm cannot
+//! silently corrupt an experiment: every log is re-validated from scratch
+//! before metrics are reported.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod gantt;
+pub mod scheduler;
+pub mod stats;
+pub mod trace;
+pub mod validate;
+
+pub use event::EventQueue;
+pub use gantt::render_gantt;
+pub use scheduler::{run_validated, OnlineScheduler, SimError};
+pub use stats::{MachineUtilization, SummaryStats};
+pub use trace::{DecisionEvent, DecisionTrace};
+pub use validate::{validate_log, ValidationConfig, ValidationError, ValidationReport};

@@ -1,0 +1,255 @@
+//! Summary statistics for experiment tables.
+
+use osr_model::{FinishedLog, Instance, JobFate};
+
+/// Order statistics and moments of a sample of non-negative values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryStats {
+    /// Sample size.
+    pub count: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Minimum (0 for empty samples).
+    pub min: f64,
+    /// Maximum (0 for empty samples).
+    pub max: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl SummaryStats {
+    /// Computes statistics of `values` (consumed; sorted internally).
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        if values.is_empty() {
+            return SummaryStats {
+                count: 0,
+                sum: 0.0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                stddev: 0.0,
+            };
+        }
+        values.sort_by(f64::total_cmp);
+        let count = values.len();
+        let sum: f64 = values.iter().sum();
+        let mean = sum / count as f64;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        SummaryStats {
+            count,
+            sum,
+            mean,
+            min: values[0],
+            max: values[count - 1],
+            p50: percentile(&values, 0.50),
+            p95: percentile(&values, 0.95),
+            p99: percentile(&values, 0.99),
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Flow-time statistics over completed jobs of a log.
+    pub fn flows(instance: &Instance, log: &FinishedLog) -> Self {
+        let flows: Vec<f64> = log
+            .iter()
+            .filter_map(|(id, fate)| match fate {
+                JobFate::Completed(e) => Some(e.completion - instance.job(id).release),
+                JobFate::Rejected(_) => None,
+            })
+            .collect();
+        Self::from_values(flows)
+    }
+}
+
+/// Nearest-rank percentile on a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Busy-time fraction per machine over `[0, makespan]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineUtilization {
+    /// Busy time per machine.
+    pub busy: Vec<f64>,
+    /// Latest busy instant across machines.
+    pub makespan: f64,
+}
+
+impl MachineUtilization {
+    /// Computes utilization from a finished log.
+    pub fn compute(instance: &Instance, log: &FinishedLog) -> Self {
+        let mut busy = vec![0.0f64; instance.machines()];
+        let mut makespan = 0.0f64;
+        for (machine, _job, start, end, _speed) in log.busy_intervals() {
+            busy[machine.idx()] += end - start;
+            makespan = makespan.max(end);
+        }
+        MachineUtilization { busy, makespan }
+    }
+
+    /// Utilization fraction of machine `i` (0 when nothing ran).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.busy[i] / self.makespan
+        }
+    }
+
+    /// Mean utilization over machines.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.busy.is_empty() {
+            0.0
+        } else {
+            self.busy.iter().map(|_| ()).count(); // length check only
+            (0..self.busy.len()).map(|i| self.fraction(i)).sum::<f64>() / self.busy.len() as f64
+        }
+    }
+}
+
+/// Fixed-width histogram over `[0, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket counts.
+    pub buckets: Vec<usize>,
+    /// Upper bound of the value range.
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `buckets` buckets covering `[0, max(values)]`.
+    pub fn from_values(values: &[f64], buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        let mut counts = vec![0usize; buckets];
+        if max > 0.0 {
+            for &v in values {
+                let b = ((v / max) * buckets as f64) as usize;
+                counts[b.min(buckets - 1)] += 1;
+            }
+        } else {
+            counts[0] = values.len();
+        }
+        Histogram { buckets: counts, max }
+    }
+
+    /// Renders as a one-line-per-bucket bar chart.
+    pub fn render(&self) -> String {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let lo = self.max * i as f64 / self.buckets.len() as f64;
+            let hi = self.max * (i + 1) as f64 / self.buckets.len() as f64;
+            let bar = "#".repeat(c * 40 / peak);
+            out.push_str(&format!("[{lo:10.3},{hi:10.3}) {c:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{Execution, InstanceBuilder, InstanceKind, JobId, MachineId, ScheduleLog};
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = SummaryStats::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 10.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 4.0);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroes() {
+        let s = SummaryStats::from_values(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 100.0);
+        assert_eq!(percentile(&v, 0.99), 100.0);
+        assert_eq!(percentile(&v, 0.10), 10.0);
+    }
+
+    #[test]
+    fn utilization_computed_from_log() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![4.0, 4.0])
+            .job(0.0, vec![2.0, 2.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(2, 2);
+        log.complete(
+            JobId(0),
+            Execution { machine: MachineId(0), start: 0.0, completion: 4.0, speed: 1.0 },
+        );
+        log.complete(
+            JobId(1),
+            Execution { machine: MachineId(1), start: 0.0, completion: 2.0, speed: 1.0 },
+        );
+        let u = MachineUtilization::compute(&inst, &log.finish().unwrap());
+        assert_eq!(u.makespan, 4.0);
+        assert_eq!(u.fraction(0), 1.0);
+        assert_eq!(u.fraction(1), 0.5);
+        assert_eq!(u.mean_fraction(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let h = Histogram::from_values(&[0.1, 0.2, 0.9, 1.0], 2);
+        assert_eq!(h.buckets.iter().sum::<usize>(), 4);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert!(h.render().contains('#'));
+    }
+
+    #[test]
+    fn flows_skip_rejected_jobs() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(0.0, vec![2.0])
+            .job(0.0, vec![3.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 2);
+        log.complete(
+            JobId(0),
+            Execution { machine: MachineId(0), start: 0.0, completion: 2.0, speed: 1.0 },
+        );
+        log.reject(
+            JobId(1),
+            osr_model::Rejection {
+                time: 0.0,
+                reason: osr_model::RejectReason::Immediate,
+                partial: None,
+            },
+        );
+        let s = SummaryStats::flows(&inst, &log.finish().unwrap());
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 2.0);
+    }
+}

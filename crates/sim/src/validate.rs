@@ -1,0 +1,465 @@
+//! Independent schedule validation.
+//!
+//! Every invariant of the paper's model is checked from the raw log, with
+//! no trust placed in the scheduler that produced it:
+//!
+//! 1. **release respect** — no run (complete or partial) starts before
+//!    its job's release;
+//! 2. **machine validity** — machine ids are in range, and restricted
+//!    assignment is honoured (`p_ij = ∞` jobs never run on `i`);
+//! 3. **volume conservation** — a completed execution processes exactly
+//!    `p_ij` at its recorded speed (`duration · speed = p_ij`);
+//! 4. **machine exclusivity** — busy intervals on one machine do not
+//!    overlap (the §3 model *permits* parallel execution, but the paper's
+//!    algorithm never uses it; a [`ValidationConfig`] flag relaxes the
+//!    check for schedules that legitimately do);
+//! 5. **non-preemption** — implied by the single-interval log format plus
+//!    (3); a partial run must end exactly at its rejection instant;
+//! 6. **deadline feasibility** — for §4 instances, completions meet
+//!    deadlines;
+//! 7. **speed sanity** — speeds are positive and finite; exactly `1` when
+//!    the config demands unit speeds (§2).
+
+use osr_model::{approx_eq, Instance, InstanceKind};
+use osr_model::{FinishedLog, JobFate, JobId, MachineId};
+
+/// What to check beyond the universal invariants.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ValidationConfig {
+    /// Require all speeds to equal 1.0 (the §2 flow-time model).
+    pub unit_speed: bool,
+    /// Allow overlapping busy intervals on a machine (§3 permits it).
+    pub allow_parallel: bool,
+    /// Require every job to be completed (no rejections at all).
+    pub forbid_rejections: bool,
+}
+
+
+impl ValidationConfig {
+    /// Strict §2 configuration: unit speeds, exclusive machines.
+    pub fn flow_time() -> Self {
+        ValidationConfig { unit_speed: true, allow_parallel: false, forbid_rejections: false }
+    }
+
+    /// §3 configuration: arbitrary speeds, exclusive machines (the
+    /// algorithm never runs jobs in parallel even though the model
+    /// allows it).
+    pub fn flow_energy() -> Self {
+        ValidationConfig::default()
+    }
+
+    /// §4 configuration: arbitrary speeds, parallel execution allowed
+    /// (machine speed is the *sum* of its running jobs' speeds).
+    pub fn energy() -> Self {
+        ValidationConfig { unit_speed: false, allow_parallel: true, forbid_rejections: true }
+    }
+}
+
+/// A single invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Offending job, when attributable.
+    pub job: Option<JobId>,
+    /// Offending machine, when attributable.
+    pub machine: Option<MachineId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.job, self.machine) {
+            (Some(j), Some(m)) => write!(f, "[{j}/{m}] {}", self.message),
+            (Some(j), None) => write!(f, "[{j}] {}", self.message),
+            (None, Some(m)) => write!(f, "[{m}] {}", self.message),
+            (None, None) => write!(f, "{}", self.message),
+        }
+    }
+}
+
+/// Outcome of validating a log.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// All violations found (empty ⇒ valid).
+    pub errors: Vec<ValidationError>,
+    /// Number of completed jobs seen.
+    pub completed: usize,
+    /// Number of rejected jobs seen.
+    pub rejected: usize,
+}
+
+impl ValidationReport {
+    /// Whether the schedule satisfied every invariant.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+fn err(
+    report: &mut ValidationReport,
+    job: Option<JobId>,
+    machine: Option<MachineId>,
+    message: String,
+) {
+    report.errors.push(ValidationError { job, machine, message });
+}
+
+/// Validates `log` against `instance` under `config`; see module docs
+/// for the invariant list.
+pub fn validate_log(
+    instance: &Instance,
+    log: &FinishedLog,
+    config: &ValidationConfig,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    if instance.len() != log.len() {
+        err(
+            &mut report,
+            None,
+            None,
+            format!("log covers {} jobs, instance has {}", log.len(), instance.len()),
+        );
+        return report;
+    }
+
+    let m = instance.machines();
+
+    for (id, fate) in log.iter() {
+        let job = instance.job(id);
+        match fate {
+            JobFate::Completed(e) => {
+                report.completed += 1;
+                if e.machine.idx() >= m {
+                    err(&mut report, Some(id), Some(e.machine), "machine out of range".into());
+                    continue;
+                }
+                if !job.eligible_on(e.machine) {
+                    err(
+                        &mut report,
+                        Some(id),
+                        Some(e.machine),
+                        "job ran on a machine it is not eligible for".into(),
+                    );
+                    continue;
+                }
+                if e.start + osr_model::EPS < job.release {
+                    err(
+                        &mut report,
+                        Some(id),
+                        Some(e.machine),
+                        format!("started at {} before release {}", e.start, job.release),
+                    );
+                }
+                if !(e.speed.is_finite() && e.speed > 0.0) {
+                    err(&mut report, Some(id), Some(e.machine), format!("bad speed {}", e.speed));
+                    continue;
+                }
+                if config.unit_speed && !approx_eq(e.speed, 1.0) {
+                    err(
+                        &mut report,
+                        Some(id),
+                        Some(e.machine),
+                        format!("speed {} but model requires unit speed", e.speed),
+                    );
+                }
+                let processed = e.volume();
+                let required = job.size_on(e.machine);
+                if !approx_eq(processed, required) {
+                    err(
+                        &mut report,
+                        Some(id),
+                        Some(e.machine),
+                        format!("processed volume {processed} ≠ required {required}"),
+                    );
+                }
+                if instance.kind() == InstanceKind::Energy {
+                    let d = job.deadline.expect("energy instances have deadlines");
+                    if e.completion > d + osr_model::EPS {
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(e.machine),
+                            format!("completed at {} after deadline {}", e.completion, d),
+                        );
+                    }
+                }
+            }
+            JobFate::Rejected(r) => {
+                report.rejected += 1;
+                if config.forbid_rejections {
+                    err(&mut report, Some(id), None, "rejection forbidden by config".into());
+                }
+                if r.time + osr_model::EPS < job.release {
+                    err(
+                        &mut report,
+                        Some(id),
+                        None,
+                        format!("rejected at {} before release {}", r.time, job.release),
+                    );
+                }
+                if let Some(p) = r.partial {
+                    if p.machine.idx() >= m {
+                        err(&mut report, Some(id), Some(p.machine), "machine out of range".into());
+                        continue;
+                    }
+                    if p.start + osr_model::EPS < job.release {
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(p.machine),
+                            "partial run starts before release".into(),
+                        );
+                    }
+                    if !approx_eq(p.end, r.time) {
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(p.machine),
+                            format!(
+                                "partial run ends at {} but rejection is at {} (non-preemption)",
+                                p.end, r.time
+                            ),
+                        );
+                    }
+                    if p.end < p.start {
+                        err(&mut report, Some(id), Some(p.machine), "negative partial run".into());
+                    }
+                    // The interrupted prefix must process *less* volume
+                    // than the full requirement (otherwise it completed).
+                    let processed = (p.end - p.start) * p.speed;
+                    let required = job.size_on(p.machine);
+                    if processed > required + osr_model::EPS && required.is_finite() {
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(p.machine),
+                            format!("partial run processed {processed} > requirement {required}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if !config.allow_parallel {
+        check_exclusivity(instance, log, &mut report);
+    }
+
+    report
+}
+
+/// Checks that busy intervals on each machine are pairwise disjoint.
+fn check_exclusivity(instance: &Instance, log: &FinishedLog, report: &mut ValidationReport) {
+    let busy = log.busy_intervals();
+    for w in busy.windows(2) {
+        let (m1, j1, _s1, e1, _) = w[0];
+        let (m2, j2, s2, _e2, _) = w[1];
+        if m1 == m2 && s2 + osr_model::EPS < e1 {
+            err(
+                report,
+                Some(j2),
+                Some(m2),
+                format!("{j2} starts at {s2} while {j1} still runs until {e1}"),
+            );
+        }
+    }
+    let _ = instance;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_model::{
+        Execution, InstanceBuilder, PartialRun, RejectReason, Rejection, ScheduleLog,
+    };
+
+    fn inst_one_machine(sizes: &[f64]) -> Instance {
+        let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+        for &p in sizes {
+            b = b.job(0.0, vec![p]);
+        }
+        b.build().unwrap()
+    }
+
+    fn exec(machine: u32, start: f64, completion: f64, speed: f64) -> Execution {
+        Execution { machine: MachineId(machine), start, completion, speed }
+    }
+
+    #[test]
+    fn valid_sequential_schedule_passes() {
+        let inst = inst_one_machine(&[2.0, 3.0]);
+        let mut log = ScheduleLog::new(1, 2);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
+        log.complete(JobId(1), exec(0, 2.0, 5.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(rep.is_valid(), "{:?}", rep.errors);
+        assert_eq!(rep.completed, 2);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let inst = inst_one_machine(&[2.0, 3.0]);
+        let mut log = ScheduleLog::new(1, 2);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
+        log.complete(JobId(1), exec(0, 1.0, 4.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(!rep.is_valid());
+        assert!(rep.errors[0].message.contains("still runs"));
+    }
+
+    #[test]
+    fn overlap_allowed_when_configured() {
+        let inst = inst_one_machine(&[2.0, 3.0]);
+        let mut log = ScheduleLog::new(1, 2);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
+        log.complete(JobId(1), exec(0, 1.0, 4.0, 1.0));
+        let mut cfg = ValidationConfig::flow_time();
+        cfg.allow_parallel = true;
+        let rep = validate_log(&inst, &log.finish().unwrap(), &cfg);
+        assert!(rep.is_valid(), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn early_start_detected() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(5.0, vec![1.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 4.0, 5.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(!rep.is_valid());
+        assert!(rep.errors[0].message.contains("before release"));
+    }
+
+    #[test]
+    fn volume_conservation_checked() {
+        let inst = inst_one_machine(&[4.0]);
+        let mut log = ScheduleLog::new(1, 1);
+        // Claims completion after only 3 time units at speed 1.
+        log.complete(JobId(0), exec(0, 0.0, 3.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(!rep.is_valid());
+        assert!(rep.errors[0].message.contains("volume"));
+    }
+
+    #[test]
+    fn speed_scaling_volume_ok() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowEnergy)
+            .job(0.0, vec![4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 2.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_energy());
+        assert!(rep.is_valid(), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn unit_speed_enforced_for_flow_time() {
+        let inst = inst_one_machine(&[4.0]);
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 2.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(rep.errors.iter().any(|e| e.message.contains("unit speed")));
+    }
+
+    #[test]
+    fn ineligible_machine_detected() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![f64::INFINITY, 2.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(2, 1);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(rep.errors.iter().any(|e| e.message.contains("not eligible")));
+    }
+
+    #[test]
+    fn partial_run_must_end_at_rejection() {
+        let inst = inst_one_machine(&[5.0]);
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection {
+                time: 3.0,
+                reason: RejectReason::RuleOne,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 0.0,
+                    end: 2.5,
+                    speed: 1.0,
+                }),
+            },
+        );
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(rep.errors.iter().any(|e| e.message.contains("non-preemption")));
+    }
+
+    #[test]
+    fn deadline_miss_detected_for_energy_instances() {
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 2.0, vec![4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 4.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::energy());
+        assert!(rep.errors.iter().any(|e| e.message.contains("deadline")));
+    }
+
+    #[test]
+    fn rejection_forbidden_by_energy_config() {
+        let inst = InstanceBuilder::new(1, InstanceKind::Energy)
+            .deadline_job(0.0, 8.0, vec![4.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection { time: 0.0, reason: RejectReason::Other, partial: None },
+        );
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::energy());
+        assert!(rep.errors.iter().any(|e| e.message.contains("forbidden")));
+    }
+
+    #[test]
+    fn rejection_before_release_detected() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(5.0, vec![1.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection { time: 1.0, reason: RejectReason::Immediate, partial: None },
+        );
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(!rep.is_valid());
+    }
+
+    #[test]
+    fn partial_run_overlap_with_execution_detected() {
+        let inst = inst_one_machine(&[5.0, 2.0]);
+        let mut log = ScheduleLog::new(1, 2);
+        log.reject(
+            JobId(0),
+            Rejection {
+                time: 3.0,
+                reason: RejectReason::RuleOne,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 0.0,
+                    end: 3.0,
+                    speed: 1.0,
+                }),
+            },
+        );
+        // Overlaps the partial run.
+        log.complete(JobId(1), exec(0, 2.0, 4.0, 1.0));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        assert!(!rep.is_valid());
+    }
+}

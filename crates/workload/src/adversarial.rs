@@ -1,0 +1,254 @@
+//! Adversarial constructions from the paper's lower-bound proofs.
+
+use osr_model::{Instance, InstanceBuilder, InstanceKind, Job};
+
+/// The Lemma 1 construction against **immediate-rejection** policies.
+///
+/// Phase 1 releases `⌈1/ε⌉` jobs of length `L` at time 0. The policy
+/// may reject at most one of them; let `t` be when it *starts* the
+/// first surviving big job.
+///
+/// * If `t > L²` the policy waited too long — its flow is `Θ(L²)`
+///   against OPT's `Θ(L)`.
+/// * Otherwise ([`lemma1_full_instance`]) the adversary releases
+///   `Θ(L²)` jobs of size `1/L`, one every `1/L`, during
+///   `[t, t + L]` — they all sit behind the committed big job and the
+///   policy (which cannot revoke its start) pays `Ω(L³)` against OPT's
+///   `Θ(L²)`.
+///
+/// Either way the ratio is `Ω(L) = Ω(√Δ)` with `Δ = L²`.
+///
+/// Returns the phase-1 instance; the caller runs the policy on it and
+/// feeds the observed first big-job start time into
+/// [`lemma1_full_instance`]. This two-phase protocol is sound for any
+/// policy that cannot see the future: its phase-1 decisions are
+/// unchanged by jobs released later.
+pub fn lemma1_big_jobs(eps: f64, big_len: f64) -> Instance {
+    assert!(eps > 0.0 && eps <= 1.0);
+    assert!(big_len > 1.0);
+    let count = (1.0 / eps).ceil() as usize;
+    let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+    for _ in 0..count {
+        b = b.job(0.0, vec![big_len]);
+    }
+    b.build().expect("valid construction")
+}
+
+/// Phase 2 of the Lemma 1 construction: big jobs plus the small-job
+/// flood starting at `first_start` (the observed start of the first
+/// big job in phase 1).
+pub fn lemma1_full_instance(eps: f64, big_len: f64, first_start: f64) -> Instance {
+    assert!(eps > 0.0 && eps <= 1.0);
+    assert!(big_len > 1.0);
+    let count = (1.0 / eps).ceil() as usize;
+    let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+    for _ in 0..count {
+        b = b.job(0.0, vec![big_len]);
+    }
+    let small = 1.0 / big_len;
+    // Θ(L²) small jobs, one every 1/L over [first_start, first_start+L].
+    let n_small = (big_len * big_len).ceil() as usize;
+    for k in 0..n_small {
+        // Strictly after the big job's start so the commitment stands.
+        let r = first_start + (k + 1) as f64 * small;
+        b = b.job(r, vec![small]);
+    }
+    b.build().expect("valid construction")
+}
+
+/// Flow-time of the offline strategy from the Lemma 1 proof on the
+/// full instance: serve the small jobs as they arrive (the machine is
+/// kept free for them), then the big jobs sequentially. An upper bound
+/// on OPT's total flow-time.
+pub fn lemma1_adversary_flow(eps: f64, big_len: f64, first_start: f64) -> f64 {
+    let count = (1.0 / eps).ceil();
+    let n_small = (big_len * big_len).ceil();
+    // Small jobs: each has flow 1/L (served immediately — they arrive
+    // 1/L apart and take 1/L each).
+    let small_flow = n_small * (1.0 / big_len);
+    // Big jobs wait until the flood ends at ≈ first_start + L + 1/L,
+    // then run sequentially.
+    let flood_end = first_start + big_len + 1.0 / big_len;
+    let big_flow = count * flood_end + (count * (count + 1.0) / 2.0) * big_len;
+    small_flow + big_flow
+}
+
+/// The long-job trap separating rejection-capable schedulers from
+/// no-rejection baselines (the motivating example of §1): one job of
+/// length `big_len` at time 0, then `n_small` jobs of length `small`
+/// arriving every `small` time units starting just after the long job
+/// would begin.
+pub fn long_job_trap(big_len: f64, n_small: usize, small: f64) -> Instance {
+    assert!(big_len > 0.0 && small > 0.0);
+    let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
+    b = b.job(0.0, vec![big_len]);
+    for k in 0..n_small {
+        b = b.job(0.5 * small + k as f64 * small, vec![small]);
+    }
+    b.build().expect("valid construction")
+}
+
+/// Result of driving a policy through the Lemma 2 adaptive adversary.
+#[derive(Debug, Clone)]
+pub struct Lemma2Run {
+    /// The jobs that were released, in order (ids dense).
+    pub jobs: Vec<Job>,
+    /// Upper bound on the adversary's (OPT's) energy: it runs every job
+    /// at speed 1 with no overlap, so energy ≤ Σ_j p_j.
+    pub adversary_energy: f64,
+    /// Number of jobs released.
+    pub rounds: usize,
+}
+
+impl Lemma2Run {
+    /// The jobs as a §4 instance (useful for replays and validation).
+    pub fn instance(&self) -> Instance {
+        let mut b = InstanceBuilder::new(1, InstanceKind::Energy);
+        for j in &self.jobs {
+            b = b.deadline_job(j.release, j.deadline.unwrap(), j.sizes.clone());
+        }
+        b.build().expect("adversary produces valid jobs")
+    }
+}
+
+/// Runs the Lemma 2 adaptive adversary against an online policy.
+///
+/// The policy is a callback: given the next job, it commits to a
+/// `(start, completion)` execution window (single machine). Following
+/// the proof: job 1 has span `[0, 3^{α+1}]` and volume `span/3`; after
+/// observing `(S_j, C_j)` the adversary releases job `j+1` with
+/// `r = S_j + 1`, `d = C_j`, `p = (d − r)/3`. The instance ends when
+/// `α` (rounded up) jobs are out or a span drops to ≤ 1.
+///
+/// The proof shows OPT pays ≤ `3^{α+1}` while any algorithm pays
+/// `≥ (α/3)^α` during the last span — a `(α/9)^α` ratio.
+pub fn lemma2_run<F>(alpha: f64, mut policy: F) -> Lemma2Run
+where
+    F: FnMut(&Job) -> (f64, f64),
+{
+    assert!(alpha > 1.0);
+    let max_jobs = alpha.ceil() as usize;
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut r = 0.0f64;
+    let mut d = 3.0f64.powf(alpha + 1.0);
+    let mut adversary_energy = 0.0;
+
+    for k in 0..max_jobs {
+        let span = d - r;
+        if span <= 1.0 {
+            break;
+        }
+        let p = span / 3.0;
+        let job = Job::with_deadline(k as u32, r, d, vec![p]);
+        adversary_energy += p; // speed-1 execution, no overlap
+        let (s, c) = policy(&job);
+        jobs.push(job);
+        debug_assert!(
+            s >= r - 1e-9 && c <= d + 1e-9 && c > s,
+            "policy returned invalid window [{s}, {c}] for span [{r}, {d}]"
+        );
+        // Next job nests strictly inside the observed execution.
+        r = s + 1.0;
+        d = c;
+        if d <= r {
+            break;
+        }
+    }
+
+    Lemma2Run { rounds: jobs.len(), jobs, adversary_energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_phase1_shape() {
+        let inst = lemma1_big_jobs(0.25, 10.0);
+        assert_eq!(inst.len(), 4);
+        assert!(inst.jobs().iter().all(|j| j.release == 0.0 && j.sizes[0] == 10.0));
+    }
+
+    #[test]
+    fn lemma1_full_shape_and_delta() {
+        let inst = lemma1_full_instance(0.5, 10.0, 3.0);
+        // 2 big + 100 small.
+        assert_eq!(inst.len(), 102);
+        // Δ = L² = 100: max size 10, min size 0.1.
+        assert!((inst.size_ratio() - 100.0).abs() < 1e-9);
+        // Small jobs arrive strictly after the first start.
+        let smalls: Vec<&Job> = inst.jobs().iter().filter(|j| j.sizes[0] < 1.0).collect();
+        assert!(smalls.iter().all(|j| j.release > 3.0));
+        assert_eq!(smalls.len(), 100);
+    }
+
+    #[test]
+    fn lemma1_adversary_flow_is_order_l_squared() {
+        // For fixed eps, the adversary's flow grows like L²: dominated
+        // by the big jobs waiting out the flood.
+        let f10 = lemma1_adversary_flow(0.5, 10.0, 0.0);
+        let f40 = lemma1_adversary_flow(0.5, 40.0, 0.0);
+        // Quadrupling L should grow the cost by ≈ 4-16×, not 64×.
+        assert!(f40 / f10 > 3.0 && f40 / f10 < 30.0, "growth {}", f40 / f10);
+    }
+
+    #[test]
+    fn long_job_trap_shape() {
+        let inst = long_job_trap(100.0, 50, 1.0);
+        assert_eq!(inst.len(), 51);
+        assert_eq!(inst.jobs()[0].sizes[0], 100.0);
+        assert!(inst.jobs()[1].release > 0.0);
+    }
+
+    #[test]
+    fn lemma2_respects_proof_parameters() {
+        // Cooperative policy: run each job at minimal feasible speed
+        // over its whole window.
+        let run = lemma2_run(3.0, |j| (j.release, j.deadline.unwrap()));
+        assert!(run.rounds >= 1 && run.rounds <= 3);
+        let j0 = &run.jobs[0];
+        assert_eq!(j0.release, 0.0);
+        assert!((j0.deadline.unwrap() - 81.0).abs() < 1e-9); // 3^4
+        assert!((j0.sizes[0] - 27.0).abs() < 1e-9);
+        // Nesting: each subsequent window sits inside the previous
+        // execution.
+        for w in run.jobs.windows(2) {
+            assert!(w[1].release > w[0].release);
+            assert!(w[1].deadline.unwrap() <= w[0].deadline.unwrap() + 1e-9);
+        }
+        assert!(run.adversary_energy <= 81.0 + 1e-9);
+        // The instance reconstruction is valid.
+        assert_eq!(run.instance().len(), run.rounds);
+    }
+
+    #[test]
+    fn lemma2_stops_on_small_span() {
+        // A policy that always squeezes into [r, r+1.05]: spans shrink
+        // fast, ending the instance early.
+        let run = lemma2_run(4.0, |j| {
+            let r = j.release;
+            (r, (r + 1.05).min(j.deadline.unwrap()))
+        });
+        assert!(run.rounds < 4);
+        let last = run.jobs.last().unwrap();
+        assert!(last.deadline.unwrap() - last.release > 1.0);
+    }
+
+    #[test]
+    fn lemma2_overlap_forced_on_algorithm() {
+        // Per the proof, every released job overlaps the previous
+        // execution window [S+1, C] — verify the windows nest.
+        let run = lemma2_run(3.0, |j| {
+            // Policy: run in the middle third at triple speed.
+            let r = j.release;
+            let d = j.deadline.unwrap();
+            let third = (d - r) / 3.0;
+            (r + third, d - third)
+        });
+        for w in run.jobs.windows(2) {
+            let (prev_r, prev_d) = (w[0].release, w[0].deadline.unwrap());
+            let (next_r, next_d) = (w[1].release, w[1].deadline.unwrap());
+            assert!(next_r > prev_r && next_d <= prev_d + 1e-9, "windows must nest");
+        }
+    }
+}

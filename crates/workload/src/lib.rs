@@ -1,0 +1,30 @@
+//! # osr-workload — workload generators and adaptive adversaries
+//!
+//! Everything the experiment harness feeds to schedulers:
+//!
+//! * [`gen`] — parameterized random workloads: arrival processes
+//!   (Poisson, bursty, batched), size distributions (uniform,
+//!   exponential, bounded Pareto, bimodal), unrelated-machine models
+//!   (identical, related speeds, iid unrelated, restricted
+//!   assignment), weight models and deadline slack — all seeded and
+//!   deterministic;
+//! * [`adversarial`] — the constructions behind the paper's lower
+//!   bounds: the Lemma 1 burst trap for immediate-rejection policies
+//!   (`Ω(√Δ)`), the Lemma 2 adaptive deadline chain for energy
+//!   minimization (`(α/9)^α`), and the long-job trap that separates
+//!   rejection-capable schedulers from no-rejection greedy baselines.
+//!
+//! All generators produce plain [`osr_model::Instance`] values; the
+//! adaptive adversaries interact with a policy through narrow callback
+//! interfaces so this crate depends only on `osr-model`.
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod gen;
+pub mod trace;
+
+pub use gen::{
+    ArrivalModel, EnergyWorkload, FlowWorkload, MachineModel, SizeModel, WeightModel,
+};
+pub use trace::TraceImport;

@@ -1,0 +1,74 @@
+//! The lower-bound constructions, live: Lemma 1's flood breaks
+//! immediate-rejection policies while hindsight rejection shrugs it
+//! off, and Lemma 2's adaptive deadline chain squeezes the §4 greedy.
+//!
+//! ```text
+//! cargo run --release --example adversarial_showdown
+//! ```
+
+use online_sched_rejection::prelude::*;
+use osr_core::energymin::EnergyMinOnline;
+use osr_workload::adversarial::{
+    lemma1_adversary_flow, lemma1_big_jobs, lemma1_full_instance, lemma2_run,
+};
+
+fn main() {
+    println!("=== Lemma 1: the cost of deciding rejections immediately ===\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>14}",
+        "L", "Delta", "immediate", "spaa18", "imm/sqrt(D)"
+    );
+    let eps = 0.5;
+    for l in [5.0, 10.0, 20.0, 40.0] {
+        // Phase 1: watch where the immediate policy commits.
+        let phase1 = lemma1_big_jobs(eps, l);
+        let imm = ImmediateRejectScheduler::above_mean(eps, 3.0);
+        let (log1, _) = imm.run(&phase1);
+        let first_start = log1
+            .executions()
+            .map(|(_, e)| e.start)
+            .fold(f64::INFINITY, f64::min);
+
+        // Phase 2: the adversary floods behind the commitment.
+        let full = lemma1_full_instance(eps, l, first_start);
+        let adv = lemma1_adversary_flow(eps, l, first_start);
+
+        let (imm_log, _) = imm.run(&full);
+        let imm_ratio = Metrics::compute(&full, &imm_log, 2.0).flow.flow_all / adv;
+
+        let spaa = FlowScheduler::with_eps(eps).unwrap().run(&full);
+        let spaa_ratio = Metrics::compute(&full, &spaa.log, 2.0).flow.flow_all / adv;
+
+        println!(
+            "{l:>6.0} {:>8.0} {imm_ratio:>12.2} {spaa_ratio:>12.2} {:>14.3}",
+            l * l,
+            imm_ratio / l
+        );
+    }
+    println!("\nThe immediate policy's column grows ~linearly in L = sqrt(Delta);");
+    println!("the SPAA'18 column stays flat — Rule 1 revokes the bad commitment.\n");
+
+    println!("=== Lemma 2: the adaptive deadline chain vs the section-4 greedy ===\n");
+    println!(
+        "{:>6} {:>7} {:>12} {:>12} {:>8} {:>12} {:>10}",
+        "alpha", "rounds", "alg energy", "adv energy", "ratio", "(a/9)^a", "a^a"
+    );
+    for alpha in [2.0, 3.0, 4.0, 6.0] {
+        let mut online = EnergyMinOnline::new(EnergyMinParams::new(alpha), 1).unwrap();
+        let run = lemma2_run(alpha, |job| {
+            let a = online.assign(job);
+            (a.start, a.completion)
+        });
+        let alg = online.total_energy();
+        println!(
+            "{alpha:>6.1} {:>7} {alg:>12.2} {:>12.2} {:>8.2} {:>12.4} {:>10.1}",
+            run.rounds,
+            run.adversary_energy,
+            alg / run.adversary_energy,
+            bounds::energymin_lower_bound(alpha),
+            bounds::energymin_competitive_bound(alpha),
+        );
+    }
+    println!("\nEach released job nests inside the previous execution window, forcing");
+    println!("overlap on the algorithm while the adversary runs everything at speed 1.");
+}

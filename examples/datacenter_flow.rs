@@ -1,0 +1,71 @@
+//! Datacenter scenario: a heterogeneous cluster (related speed tiers +
+//! restricted placement) absorbing a diurnal, heavy-tailed job stream.
+//! Compares the SPAA'18 rejection scheduler against no-rejection
+//! greedy dispatch — the paper's motivating comparison, on a workload
+//! shaped like the introduction's "desktops, servers and data centers".
+//!
+//! ```text
+//! cargo run --release --example datacenter_flow
+//! ```
+
+use online_sched_rejection::prelude::*;
+use osr_workload::{ArrivalModel, MachineModel, SizeModel};
+
+fn main() {
+    let machines = 12;
+    let n = 4000;
+
+    // Heavy-tailed service times (bounded Pareto), bursty arrivals, a
+    // cluster with 1–4× speed spread.
+    let mut spec = FlowWorkload::standard(n, machines, 2024);
+    spec.arrivals = ArrivalModel::Bursty { burst: 50, within: 0.02, gap: 12.0 };
+    spec.sizes = SizeModel::BoundedPareto { shape: 1.3, lo: 0.5, hi: 300.0 };
+    spec.machine_model = MachineModel::RelatedSpeeds { max_factor: 4.0 };
+    let instance = spec.generate(InstanceKind::FlowTime);
+    println!(
+        "cluster: {machines} machines, {} jobs, size ratio Δ = {:.0}",
+        instance.len(),
+        instance.size_ratio()
+    );
+
+    // The paper's algorithm across the ε spectrum.
+    println!("\n{:>6} {:>12} {:>12} {:>10} {:>10}", "eps", "flow(served)", "p99 flow", "rejected", "ratio/LB");
+    for eps in [0.1, 0.2, 0.4] {
+        let out = FlowScheduler::with_eps(eps).unwrap().run(&instance);
+        let report = validate_log(&instance, &out.log, &ValidationConfig::flow_time());
+        assert!(report.is_valid());
+        let m = Metrics::compute(&instance, &out.log, 2.0);
+        let stats = SummaryStats::flows(&instance, &out.log);
+        let lb = flow_lower_bound(&instance, Some(out.dual.objective()));
+        println!(
+            "{:>6.2} {:>12.0} {:>12.1} {:>10} {:>10.2}",
+            eps,
+            m.flow.flow_served,
+            stats.p99,
+            m.flow.rejected,
+            m.flow.flow_all / lb.value
+        );
+    }
+
+    // The no-rejection comparators on the same stream.
+    println!("\nbaselines (serve everything):");
+    for (name, mut sched) in [
+        ("greedy ECT+SPT", GreedyScheduler::ect_spt()),
+        ("greedy ECT+FIFO", GreedyScheduler::ect_fifo()),
+    ] {
+        let log = sched.schedule(&instance);
+        let report = validate_log(&instance, &log, &ValidationConfig::flow_time());
+        assert!(report.is_valid());
+        let m = Metrics::compute(&instance, &log, 2.0);
+        let stats = SummaryStats::flows(&instance, &log);
+        println!(
+            "  {name:<16} flow = {:>12.0}   p99 = {:>10.1}   max = {:>10.1}",
+            m.flow.flow_served, stats.p99, stats.max
+        );
+    }
+
+    println!(
+        "\nTakeaway: a few percent of rejections buys an order of magnitude on the tail —\n\
+         exactly the trade Theorem 1 formalizes."
+    );
+}

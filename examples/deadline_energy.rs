@@ -1,0 +1,74 @@
+//! §4 scenario: hard-deadline jobs on speed-scalable machines — the
+//! configuration-LP greedy picks each job's machine, start and speed
+//! once, minimizing marginal energy, and never misses a deadline.
+//! Compared against the AVR heuristic and the YDS preemptive optimum.
+//!
+//! ```text
+//! cargo run --release --example deadline_energy
+//! ```
+
+use online_sched_rejection::prelude::*;
+use osr_baselines::energy_lower_bound;
+
+fn main() {
+    let alpha = 3.0; // cube-root rule: dynamic power ≈ s³
+
+    // Single machine first: YDS gives the exact preemptive optimum.
+    let inst1 = EnergyWorkload::standard(120, 1, 99).generate();
+    let greedy = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap();
+    let out = greedy.run(&inst1);
+    let report = validate_log(&inst1, &out.log, &ValidationConfig::energy());
+    assert!(report.is_valid(), "deadline missed or invalid schedule");
+    let yds = yds_energy(&inst1, alpha);
+    let (_, _, avr_energy) = AvrScheduler { alpha }.run(&inst1);
+    println!("single machine, {} jobs, alpha = {alpha}", inst1.len());
+    println!("  YDS preemptive optimum (lower bound) : {yds:>10.2}");
+    println!("  SPAA'18 greedy                       : {:>10.2} ({:.2}x)", out.total_energy, out.total_energy / yds);
+    println!("  AVR heuristic                        : {avr_energy:>10.2} ({:.2}x)", avr_energy / yds);
+    println!("  Theorem-3 guarantee                  : {:>10.2}x", bounds::energymin_competitive_bound(alpha));
+    println!(
+        "  certified dual lower bound           : {:>10.2}",
+        out.certified_lower_bound()
+    );
+
+    // Multi-machine: the greedy spreads deadline pressure.
+    let inst4 = EnergyWorkload::standard(400, 4, 100).generate();
+    let out4 = greedy.run(&inst4);
+    let report4 = validate_log(&inst4, &out4.log, &ValidationConfig::energy());
+    assert!(report4.is_valid());
+    let lb4 = energy_lower_bound(&inst4, alpha);
+    let (_, _, avr4) = AvrScheduler { alpha }.run(&inst4);
+    println!("\n4 machines, {} jobs:", inst4.len());
+    println!("  pooled-YDS ∨ per-job lower bound : {lb4:>10.2}");
+    println!("  SPAA'18 greedy      : {:>10.2} ({:.2}x)", out4.total_energy, out4.total_energy / lb4);
+    println!("  AVR heuristic       : {:>10.2} ({:.2}x)", avr4, avr4 / lb4);
+
+    // Peek at one machine's committed speed profile.
+    let profile = &outcome_profile(&out4);
+    println!("\nmachine-0 speed profile breakpoints (first 10):");
+    for (k, t) in profile.iter().take(10).enumerate() {
+        println!("  [{k}] t = {t:>8.2}  speed = {:.3}", speed_of(&out4, *t));
+    }
+}
+
+/// Breakpoint times of machine 0, reconstructed from the log.
+fn outcome_profile(out: &osr_core::energymin::EnergyMinOutcome) -> Vec<f64> {
+    let mut prof = osr_core::energymin::SpeedProfile::new();
+    for (_, e) in out.log.executions() {
+        if e.machine.idx() == 0 {
+            prof.add(e.start, e.completion, e.speed);
+        }
+    }
+    prof.breakpoints().collect()
+}
+
+/// Machine-0 speed at `t`, reconstructed from the log.
+fn speed_of(out: &osr_core::energymin::EnergyMinOutcome, t: f64) -> f64 {
+    let mut prof = osr_core::energymin::SpeedProfile::new();
+    for (_, e) in out.log.executions() {
+        if e.machine.idx() == 0 {
+            prof.add(e.start, e.completion, e.speed);
+        }
+    }
+    prof.speed_at(t)
+}

@@ -1,0 +1,61 @@
+//! Quickstart: schedule a handful of jobs on two unrelated machines
+//! with the SPAA'18 rejection algorithm, inspect the schedule, metrics
+//! and the certified lower bound.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use online_sched_rejection::prelude::*;
+
+fn main() {
+    // Two machines; p_ij differs per machine (unrelated model). A long
+    // job lands first, then a burst of short ones — the scenario where
+    // non-preemptive schedulers traditionally die and rejection saves
+    // the day.
+    let mut builder = InstanceBuilder::new(2, InstanceKind::FlowTime).job(0.0, vec![25.0, 30.0]);
+    for k in 0..10 {
+        let t = 1.0 + k as f64 * 0.5;
+        builder = builder.job(t, vec![1.0 + (k % 3) as f64, 2.0 + (k % 2) as f64]);
+    }
+    let instance = builder.build().expect("valid instance");
+
+    // ε = 0.25: reject at most a 2ε = 50% fraction in the worst case;
+    // Theorem 1 then guarantees a 2((1+ε)/ε)² = 50-competitive schedule.
+    let eps = 0.25;
+    let scheduler = FlowScheduler::with_eps(eps).expect("valid eps");
+    let outcome = scheduler.run(&instance);
+
+    // Independent validation: the log satisfies every model invariant.
+    let report = validate_log(&instance, &outcome.log, &ValidationConfig::flow_time());
+    assert!(report.is_valid(), "algorithm produced an invalid schedule!?");
+
+    println!("== schedule ==\n{}", render_gantt(&instance, &outcome.log, 72));
+
+    let metrics = Metrics::compute(&instance, &outcome.log, 2.0);
+    println!("completed jobs : {}", metrics.flow.completed);
+    println!("rejected jobs  : {} (budget: {:.0}% of {})",
+        metrics.flow.rejected,
+        100.0 * bounds::flowtime_rejection_budget(eps),
+        instance.len());
+    println!("total flow-time: {:.2} (incl. rejected until rejection: {:.2})",
+        metrics.flow.flow_served, metrics.flow.flow_all);
+
+    // The run certifies a lower bound on ANY non-preemptive schedule's
+    // flow-time via its feasible dual solution.
+    let lb = flow_lower_bound(&instance, Some(outcome.dual.objective()));
+    println!(
+        "certified OPT lower bound: {:.2} (dual/2 = {:.2}, trivial = {:.2})",
+        lb.value, lb.dual_half, lb.trivial
+    );
+    println!(
+        "observed ratio {:.2} vs Theorem-1 bound {:.2}",
+        metrics.flow.flow_all / lb.value,
+        bounds::flowtime_competitive_bound(eps)
+    );
+
+    // What happened to the long job?
+    for (id, rej) in outcome.log.rejections() {
+        println!("rejected {id} at t={:.1} by {}", rej.time, rej.reason);
+    }
+}

@@ -1,0 +1,79 @@
+//! Importing an external trace and scheduling it.
+//!
+//! Real cluster traces reduce to `release size [weight]` rows; this
+//! example builds one inline (in practice: read a file), expands it to
+//! an unrelated 4-machine instance, and compares the paper's algorithm
+//! with the weighted extension and greedy on it.
+//!
+//! ```text
+//! cargo run --release --example trace_import
+//! ```
+
+use online_sched_rejection::prelude::*;
+use osr_core::flowtime::WeightedFlowScheduler;
+use osr_workload::{MachineModel, TraceImport};
+
+fn main() {
+    // A synthetic "trace file": bursty interactive jobs (weight 8),
+    // steady batch jobs (weight 1), one huge compaction job.
+    let mut trace = String::from("# release size weight\n");
+    for k in 0..200 {
+        let t = k as f64 * 0.7;
+        trace.push_str(&format!("{t} 1.5 8\n")); // interactive
+        if k % 4 == 0 {
+            trace.push_str(&format!("{} 6 1\n", t + 0.2)); // batch
+        }
+        if k == 30 {
+            trace.push_str(&format!("{} 300 1\n", t + 0.1)); // compaction
+        }
+    }
+
+    let importer = TraceImport {
+        machines: 4,
+        machine_model: MachineModel::Unrelated { lo_factor: 1.0, hi_factor: 3.0 },
+        seed: 7,
+    };
+    let instance = importer.parse(&trace).expect("well-formed trace");
+    println!(
+        "imported {} jobs ({}) onto {} machines, size ratio Δ = {:.0}\n",
+        instance.len(),
+        instance.kind(),
+        instance.machines(),
+        instance.size_ratio()
+    );
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}",
+        "policy", "flow (served)", "weighted flow", "rejected"
+    );
+    let eps = 0.2;
+
+    let out = FlowScheduler::with_eps(eps).unwrap().run(&instance);
+    assert!(validate_log(&instance, &out.log, &ValidationConfig::flow_time()).is_valid());
+    let m = Metrics::compute(&instance, &out.log, 2.0);
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>9}",
+        "spaa18 flow (unweighted)", m.flow.flow_served, m.flow.weighted_flow_served, m.flow.rejected
+    );
+
+    let wout = WeightedFlowScheduler::with_eps(eps).unwrap().run(&instance);
+    assert!(validate_log(&instance, &wout.log, &ValidationConfig::flow_time()).is_valid());
+    let wm = Metrics::compute(&instance, &wout.log, 2.0);
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>9}",
+        "wflow extension", wm.flow.flow_served, wm.flow.weighted_flow_served, wm.flow.rejected
+    );
+
+    let (glog, _) = GreedyScheduler::ect_spt().run(&instance);
+    let gm = Metrics::compute(&instance, &glog, 2.0);
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>9}",
+        "greedy ECT+SPT", gm.flow.flow_served, gm.flow.weighted_flow_served, 0
+    );
+
+    println!(
+        "\nThe compaction job is the trap: greedy commits a machine to it while\n\
+         interactive jobs pile up; both rejection schedulers drop it (or shed a\n\
+         few batch jobs) and keep the weighted flow an order of magnitude lower."
+    );
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration tests for the lower-bound constructions
+//! (Lemmas 1 and 2): the adversaries actually hurt the policies they
+//! target, and the paper's algorithm escapes Lemma 1.
+
+use online_sched_rejection::prelude::*;
+use osr_core::energymin::EnergyMinOnline;
+use osr_workload::adversarial::{
+    lemma1_adversary_flow, lemma1_big_jobs, lemma1_full_instance, lemma2_run, long_job_trap,
+};
+
+fn immediate_ratio(eps: f64, l: f64) -> (f64, f64) {
+    let imm = ImmediateRejectScheduler::above_mean(eps, 3.0);
+    let phase1 = lemma1_big_jobs(eps, l);
+    let (log1, _) = imm.run(&phase1);
+    let first_start = log1
+        .executions()
+        .map(|(_, e)| e.start)
+        .fold(f64::INFINITY, f64::min);
+    let full = lemma1_full_instance(eps, l, first_start);
+    let adv = lemma1_adversary_flow(eps, l, first_start);
+
+    let (imm_log, _) = imm.run(&full);
+    let report = validate_log(&full, &imm_log, &ValidationConfig::flow_time());
+    assert!(report.is_valid());
+    let imm_m = Metrics::compute(&full, &imm_log, 2.0);
+
+    let spaa = FlowScheduler::with_eps(eps).unwrap().run(&full);
+    let spaa_m = Metrics::compute(&full, &spaa.log, 2.0);
+
+    (imm_m.flow.flow_all / adv, spaa_m.flow.flow_all / adv)
+}
+
+#[test]
+fn lemma1_ratio_grows_linearly_in_sqrt_delta() {
+    let (imm_small, spaa_small) = immediate_ratio(0.5, 8.0);
+    let (imm_large, spaa_large) = immediate_ratio(0.5, 32.0);
+    // Immediate rejection: ratio scales ~linearly with L (=·√Δ).
+    assert!(
+        imm_large >= imm_small * 3.0,
+        "expected ~4x growth, got {imm_small} → {imm_large}"
+    );
+    // The SPAA'18 algorithm stays bounded (no growth beyond noise).
+    assert!(
+        spaa_large <= spaa_small * 2.0 + 0.5,
+        "spaa ratio should stay flat: {spaa_small} → {spaa_large}"
+    );
+}
+
+#[test]
+fn long_job_trap_separates_rejection_from_greedy() {
+    let inst = long_job_trap(100.0, 200, 0.5);
+    let spaa = FlowScheduler::with_eps(0.2).unwrap().run(&inst);
+    let spaa_flow = Metrics::compute(&inst, &spaa.log, 2.0).flow.flow_all;
+    let (fifo_log, _) = GreedyScheduler::ect_fifo().run(&inst);
+    let fifo_flow = Metrics::compute(&inst, &fifo_log, 2.0).flow.flow_served;
+    assert!(
+        spaa_flow * 5.0 < fifo_flow,
+        "rejection must win big on the trap: {spaa_flow} vs {fifo_flow}"
+    );
+}
+
+#[test]
+fn lemma2_ratio_grows_with_alpha() {
+    let ratio = |alpha: f64| {
+        let mut online = EnergyMinOnline::new(EnergyMinParams::new(alpha), 1).unwrap();
+        let run = lemma2_run(alpha, |job| {
+            let a = online.assign(job);
+            (a.start, a.completion)
+        });
+        online.total_energy() / run.adversary_energy
+    };
+    let r3 = ratio(3.0);
+    let r6 = ratio(6.0);
+    assert!(r6 > r3 * 2.0, "adversary should bite harder as alpha grows: {r3} → {r6}");
+    assert!(r6 > 1.0, "the adversary must actually beat the algorithm");
+    // And the algorithm never exceeds its own guarantee.
+    assert!(r6 <= bounds::energymin_competitive_bound(6.0));
+}
+
+#[test]
+fn lemma2_jobs_replay_as_a_valid_instance() {
+    let mut online = EnergyMinOnline::new(EnergyMinParams::new(3.0), 1).unwrap();
+    let run = lemma2_run(3.0, |job| {
+        let a = online.assign(job);
+        (a.start, a.completion)
+    });
+    let inst = run.instance();
+    // Replaying the reconstructed instance through the batch scheduler
+    // must produce a valid (deadline-feasible) schedule.
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(3.0)).unwrap().run(&inst);
+    let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
+    assert!(report.is_valid(), "{:?}", report.errors.first());
+}

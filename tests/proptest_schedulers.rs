@@ -1,0 +1,142 @@
+//! Property-based cross-crate tests: for *arbitrary* generated
+//! instances, every scheduler in the workspace produces a valid
+//! schedule, respects its budget, and the metric identities hold.
+
+use online_sched_rejection::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random flow-time instance.
+fn flow_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=30, any::<u64>()).prop_map(|(m, n, seed)| {
+        FlowWorkload::standard(n, m, seed).generate(InstanceKind::FlowTime)
+    })
+}
+
+/// Strategy: a small random weighted instance.
+fn weighted_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=25, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut w = FlowWorkload::standard(n, m, seed);
+        w.weights = osr_workload::WeightModel::Uniform { lo: 0.5, hi: 10.0 };
+        w.generate(InstanceKind::FlowEnergy)
+    })
+}
+
+/// Strategy: a small random deadline instance.
+fn deadline_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=2, 1usize..=20, any::<u64>())
+        .prop_map(|(m, n, seed)| EnergyWorkload::standard(n, m, seed).generate())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flow_scheduler_always_valid_and_within_budget(
+        inst in flow_instance(),
+        eps in 0.05f64..1.0,
+    ) {
+        let out = FlowScheduler::with_eps(eps).unwrap().run(&inst);
+        let report = validate_log(&inst, &out.log, &ValidationConfig::flow_time());
+        prop_assert!(report.is_valid(), "{:?}", report.errors.first());
+        let m = Metrics::compute(&inst, &out.log, 2.0);
+        prop_assert!(m.flow.rejected_fraction() <= 2.0 * eps + 1e-9);
+        // Metric identities.
+        prop_assert!(m.flow.flow_all + 1e-9 >= m.flow.flow_served);
+        prop_assert!(m.flow.completed + m.flow.rejected == inst.len());
+        // Dual bookkeeping is complete and ordered.
+        for j in 0..inst.len() {
+            prop_assert!(out.dual.exit[j].is_finite());
+            prop_assert!(out.dual.c_tilde[j] + 1e-9 >= out.dual.exit[j]);
+            prop_assert!(out.dual.lambda[j] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn energyflow_scheduler_always_valid_and_within_weight_budget(
+        inst in weighted_instance(),
+        eps in 0.05f64..1.0,
+        alpha in 1.2f64..3.5,
+    ) {
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha))
+            .unwrap()
+            .run(&inst);
+        let report = validate_log(&inst, &out.log, &ValidationConfig::flow_energy());
+        prop_assert!(report.is_valid(), "{:?}", report.errors.first());
+        let m = Metrics::compute(&inst, &out.log, alpha);
+        prop_assert!(m.flow.rejected_weight <= eps * inst.total_weight() + 1e-9);
+    }
+
+    #[test]
+    fn energymin_scheduler_always_meets_deadlines(
+        inst in deadline_instance(),
+        alpha in 1.2f64..3.5,
+    ) {
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
+        prop_assert!(report.is_valid(), "{:?}", report.errors.first());
+        prop_assert!(out.total_energy >= 0.0);
+        prop_assert!(out.certified_lower_bound() <= out.total_energy + 1e-9);
+    }
+
+    #[test]
+    fn baselines_always_produce_valid_schedules(inst in flow_instance()) {
+        for mut sched in [GreedyScheduler::ect_spt(), GreedyScheduler::ect_fifo()] {
+            let log = sched.schedule(&inst);
+            let report = validate_log(&inst, &log, &ValidationConfig::flow_time());
+            prop_assert!(report.is_valid(), "{}: {:?}", sched.name(), report.errors.first());
+            prop_assert_eq!(log.rejected_count(), 0);
+        }
+        let (log, _) = ImmediateRejectScheduler::above_mean(0.3, 4.0).run(&inst);
+        let report = validate_log(&inst, &log, &ValidationConfig::flow_time());
+        prop_assert!(report.is_valid());
+        let (log, _) = SpeedAugScheduler::new(0.3, 0.3).unwrap().run(&inst);
+        let report = validate_log(&inst, &log, &ValidationConfig::flow_energy());
+        prop_assert!(report.is_valid());
+    }
+
+    #[test]
+    fn certified_lb_never_exceeds_any_serving_schedule(inst in flow_instance()) {
+        // The greedy serves all jobs, so its flow upper-bounds OPT;
+        // the certified LB must stay below it.
+        let out = FlowScheduler::with_eps(0.3).unwrap().run(&inst);
+        let lb = flow_lower_bound(&inst, Some(out.dual.objective()));
+        let (glog, _) = GreedyScheduler::ect_spt().run(&inst);
+        let greedy_flow = Metrics::compute(&inst, &glog, 2.0).flow.flow_served;
+        prop_assert!(
+            lb.value <= greedy_flow + 1e-6,
+            "LB {} exceeds a feasible schedule's cost {}",
+            lb.value,
+            greedy_flow
+        );
+    }
+
+    #[test]
+    fn srpt_lower_bounds_single_machine_schedules(
+        n in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let inst = FlowWorkload::standard(n, 1, seed).generate(InstanceKind::FlowTime);
+        let srpt = srpt_flow(&inst);
+        let (glog, _) = GreedyScheduler::ect_spt().run(&inst);
+        let greedy_flow = Metrics::compute(&inst, &glog, 2.0).flow.flow_served;
+        prop_assert!(srpt <= greedy_flow + 1e-6);
+    }
+
+    #[test]
+    fn tiny_exact_opt_is_consistent(
+        n in 1usize..7,
+        m in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let inst = FlowWorkload::standard(n, m, seed).generate(InstanceKind::FlowTime);
+        let opt = optimal_flow(&inst);
+        // OPT ≥ trivial LB, and OPT ≤ greedy (a feasible schedule).
+        prop_assert!(opt + 1e-9 >= inst.total_min_size());
+        let (glog, _) = GreedyScheduler::ect_spt().run(&inst);
+        let greedy_flow = Metrics::compute(&inst, &glog, 2.0).flow.flow_served;
+        prop_assert!(opt <= greedy_flow + 1e-6);
+        if m == 1 {
+            prop_assert!(opt + 1e-9 >= srpt_flow(&inst));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests for Theorem 1 (§2): the flow-time
+//! algorithm's guarantees hold end-to-end — generated workload →
+//! scheduler → independent validator → metrics → certified bounds.
+
+use online_sched_rejection::prelude::*;
+use osr_core::flowtime::check_dual_feasibility;
+use osr_workload::{ArrivalModel, MachineModel, SizeModel};
+
+fn run_and_validate(inst: &Instance, eps: f64) -> (osr_core::FlowOutcome, Metrics) {
+    let out = FlowScheduler::with_eps(eps).unwrap().run(inst);
+    let report = validate_log(inst, &out.log, &ValidationConfig::flow_time());
+    assert!(report.is_valid(), "eps={eps}: {:?}", report.errors.first());
+    let m = Metrics::compute(inst, &out.log, 2.0);
+    (out, m)
+}
+
+#[test]
+fn rejection_budget_holds_across_workload_shapes() {
+    let shapes: Vec<(&str, FlowWorkload)> = vec![
+        ("standard", FlowWorkload::standard(800, 4, 1)),
+        ("all-at-once", {
+            let mut w = FlowWorkload::standard(400, 2, 2);
+            w.arrivals = ArrivalModel::AllAtOnce;
+            w
+        }),
+        ("restricted", {
+            let mut w = FlowWorkload::standard(600, 6, 3);
+            w.machine_model = MachineModel::Restricted { avg_eligible: 2.0 };
+            w
+        }),
+        ("heavy-tail", {
+            let mut w = FlowWorkload::standard(600, 3, 4);
+            w.sizes = SizeModel::BoundedPareto { shape: 1.1, lo: 1.0, hi: 500.0 };
+            w
+        }),
+    ];
+    for (name, spec) in shapes {
+        let inst = spec.generate(InstanceKind::FlowTime);
+        for eps in [0.1, 0.3, 0.7, 1.0] {
+            let (_, m) = run_and_validate(&inst, eps);
+            let budget = bounds::flowtime_rejection_budget(eps);
+            assert!(
+                m.flow.rejected_fraction() <= budget + 1e-9,
+                "{name}/eps={eps}: {} > {budget}",
+                m.flow.rejected_fraction()
+            );
+        }
+    }
+}
+
+#[test]
+fn certified_ratio_below_theorem_bound_on_standard_workloads() {
+    for seed in [10u64, 20, 30] {
+        let inst = FlowWorkload::standard(1000, 4, seed).generate(InstanceKind::FlowTime);
+        for eps in [0.2, 0.5] {
+            let (out, m) = run_and_validate(&inst, eps);
+            let lb = flow_lower_bound(&inst, Some(out.dual.objective()));
+            let ratio = m.flow.flow_all / lb.value;
+            let bound = bounds::flowtime_competitive_bound(eps);
+            assert!(
+                ratio <= bound,
+                "seed={seed}, eps={eps}: certified ratio {ratio} above bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dual_is_feasible_end_to_end() {
+    let inst = FlowWorkload::standard(300, 3, 77).generate(InstanceKind::FlowTime);
+    for eps in [0.25, 1.0] {
+        let (out, _) = run_and_validate(&inst, eps);
+        let audit = check_dual_feasibility(&inst, &out.dual, usize::MAX);
+        assert!(audit.is_feasible(), "eps={eps}: {:?}", audit.violations.first());
+        assert!(audit.min_margin >= -1e-7);
+    }
+}
+
+#[test]
+fn deterministic_across_runs_and_backends() {
+    let inst = FlowWorkload::standard(500, 3, 5).generate(InstanceKind::FlowTime);
+    let a = FlowScheduler::with_eps(0.3).unwrap().run(&inst);
+    let b = FlowScheduler::with_eps(0.3).unwrap().run(&inst);
+    assert_eq!(a.log, b.log, "same input must give the same schedule");
+
+    let mut pn = osr_core::FlowParams::new(0.3);
+    pn.backend = QueueBackend::Naive;
+    let c = FlowScheduler::new(pn).unwrap().run(&inst);
+    assert_eq!(a.log, c.log, "backends must agree exactly");
+}
+
+#[test]
+fn io_roundtrip_preserves_schedules() {
+    // Serialize the instance, parse it back, and verify the scheduler
+    // produces the identical schedule — the I/O layer is faithful.
+    let inst = FlowWorkload::standard(200, 2, 8).generate(InstanceKind::FlowTime);
+    let text = osr_model::io::instance_to_string(&inst);
+    let back = osr_model::io::instance_from_str(&text).unwrap();
+    assert_eq!(inst, back);
+    let a = FlowScheduler::with_eps(0.4).unwrap().run(&inst);
+    let b = FlowScheduler::with_eps(0.4).unwrap().run(&back);
+    assert_eq!(a.log, b.log);
+}
+
+#[test]
+fn exact_opt_confirms_the_bound_on_tiny_instances() {
+    use osr_baselines::optimal_flow;
+    for seed in 0..8u64 {
+        let mut w = FlowWorkload::standard(7, 2, 500 + seed);
+        w.sizes = SizeModel::Uniform { lo: 1.0, hi: 9.0 };
+        let inst = w.generate(InstanceKind::FlowTime);
+        let opt = optimal_flow(&inst);
+        for eps in [0.5, 1.0] {
+            let (_, m) = run_and_validate(&inst, eps);
+            let bound = bounds::flowtime_competitive_bound(eps);
+            assert!(
+                m.flow.flow_all <= bound * opt + 1e-9,
+                "seed={seed}, eps={eps}: {} > {bound}×{opt}",
+                m.flow.flow_all
+            );
+        }
+    }
+}
+
+#[test]
+fn rejected_jobs_have_consistent_records() {
+    let mut w = FlowWorkload::standard(500, 2, 13);
+    w.sizes = SizeModel::Bimodal { short: 1.0, long: 200.0, p_long: 0.1 };
+    let inst = w.generate(InstanceKind::FlowTime);
+    let (out, m) = run_and_validate(&inst, 0.2);
+    assert!(m.flow.rejected > 0, "this workload should trigger rejections");
+    for (id, rej) in out.log.rejections() {
+        let job = inst.job(id);
+        assert!(rej.time >= job.release);
+        match rej.reason {
+            osr_model::RejectReason::RuleOne => {
+                let p = rej.partial.expect("Rule 1 interrupts a running job");
+                assert!(p.end > p.start, "{id}: empty partial run");
+            }
+            osr_model::RejectReason::RuleTwo => {
+                assert!(rej.partial.is_none(), "{id}: Rule 2 rejects pending jobs only");
+            }
+            other => panic!("unexpected reason {other}"),
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_instances_handled() {
+    // Zero jobs: every scheduler completes trivially.
+    let empty = InstanceBuilder::new(2, InstanceKind::FlowTime).build().unwrap();
+    let out = FlowScheduler::with_eps(0.5).unwrap().run(&empty);
+    assert_eq!(out.log.len(), 0);
+    assert_eq!(out.dual.objective(), 0.0);
+
+    // One job: no rejection possible under any eps (thresholds ≥ 1
+    // dispatch beyond the running job).
+    let one = InstanceBuilder::new(1, InstanceKind::FlowTime)
+        .job(0.0, vec![5.0])
+        .build()
+        .unwrap();
+    for eps in [0.1, 1.0] {
+        let out = FlowScheduler::with_eps(eps).unwrap().run(&one);
+        assert_eq!(out.log.rejected_count(), 0, "eps={eps}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests for Theorem 2 (§3): weighted
+//! flow-time plus energy under speed scaling with weight-budget
+//! rejection.
+
+use online_sched_rejection::prelude::*;
+use osr_baselines::energyflow_alone_lower_bound;
+use osr_core::energyflow::check_energyflow_dual;
+use osr_workload::WeightModel;
+
+fn weighted_instance(n: usize, m: usize, seed: u64) -> Instance {
+    let mut w = FlowWorkload::standard(n, m, seed);
+    w.weights = WeightModel::Uniform { lo: 1.0, hi: 12.0 };
+    w.generate(InstanceKind::FlowEnergy)
+}
+
+#[test]
+fn weight_budget_holds_for_all_eps_and_alpha() {
+    let inst = weighted_instance(600, 3, 42);
+    let total = inst.total_weight();
+    for eps in [0.1, 0.25, 0.5, 1.0] {
+        for alpha in [1.5, 2.0, 3.0] {
+            let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha)).unwrap();
+            let out = sched.run(&inst);
+            let report = validate_log(&inst, &out.log, &ValidationConfig::flow_energy());
+            assert!(report.is_valid(), "{:?}", report.errors.first());
+            let m = Metrics::compute(&inst, &out.log, alpha);
+            assert!(
+                m.flow.rejected_weight <= eps * total + 1e-9,
+                "eps={eps}, alpha={alpha}: {} > {}",
+                m.flow.rejected_weight,
+                eps * total
+            );
+        }
+    }
+}
+
+#[test]
+fn objective_behaves_monotonically_in_the_budget() {
+    // More rejection freedom can only help this algorithm family on a
+    // congested heavy workload (not a theorem — a sanity property of
+    // the implementation on this seed; the bound itself is monotone).
+    let inst = weighted_instance(500, 2, 7);
+    let alpha = 2.5;
+    let obj = |eps: f64| {
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha))
+            .unwrap()
+            .run(&inst);
+        Metrics::compute(&inst, &out.log, alpha).weighted_flow_plus_energy()
+    };
+    let tight = obj(0.05);
+    let loose = obj(0.8);
+    assert!(
+        loose <= tight * 1.5,
+        "large budget should not catastrophically lose: {loose} vs {tight}"
+    );
+}
+
+#[test]
+fn speeds_follow_the_gamma_weight_law() {
+    let inst = weighted_instance(300, 2, 11);
+    let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(0.3, 2.0)).unwrap();
+    let gamma = sched.gamma();
+    let out = sched.run(&inst);
+    // Every recorded speed must be γ·(something)^{1/α} with the
+    // "something" at least the job's own weight (its queue contained at
+    // least itself at start).
+    for (id, e) in out.log.executions() {
+        let w = inst.job(id).weight;
+        assert!(
+            e.speed >= gamma * w.powf(0.5) - 1e-9,
+            "{id}: speed {} below the self-weight floor",
+            e.speed
+        );
+    }
+}
+
+#[test]
+fn dual_audit_passes_end_to_end() {
+    let inst = weighted_instance(120, 2, 23);
+    for &(eps, alpha) in &[(0.25, 2.0), (0.5, 3.0)] {
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha))
+            .unwrap()
+            .run(&inst);
+        let audit = check_energyflow_dual(&inst, &out, usize::MAX, 40);
+        assert!(
+            audit.is_feasible(),
+            "eps={eps}, alpha={alpha}: {:?}",
+            audit.violations.first()
+        );
+    }
+}
+
+#[test]
+fn ratio_against_alone_cost_is_moderate() {
+    // On stable random workloads the measured ratio (an over-estimate)
+    // should sit well below the worst-case curve. Keep slack generous —
+    // this guards against regressions, not constants.
+    let inst = weighted_instance(800, 4, 99);
+    let alpha = 2.0;
+    let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.25, alpha)).unwrap().run(&inst);
+    let m = Metrics::compute(&inst, &out.log, alpha);
+    let lb = energyflow_alone_lower_bound(&inst, alpha);
+    let ratio = m.weighted_flow_plus_energy() / lb;
+    let bound = bounds::energyflow_competitive_bound(0.25, alpha);
+    assert!(ratio < bound, "ratio {ratio} above worst-case bound {bound}?!");
+}
+
+#[test]
+fn rejection_rule_only_fires_against_running_jobs() {
+    let inst = weighted_instance(400, 2, 55);
+    let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.15, 2.0)).unwrap().run(&inst);
+    for (_, rej) in out.log.rejections() {
+        assert!(rej.partial.is_some(), "§3 rejection always interrupts a running job");
+    }
+}

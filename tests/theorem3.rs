@@ -1,0 +1,108 @@
+//! Cross-crate integration tests for Theorem 3 (§4): deadline-feasible
+//! energy minimization via the configuration-LP greedy.
+
+use online_sched_rejection::prelude::*;
+use osr_baselines::energy_lower_bound;
+use osr_core::energymin::per_job_energy_lower_bound;
+
+#[test]
+fn deadlines_met_on_every_slack_regime() {
+    for (min_slack, max_slack) in [(1.05, 1.3), (1.5, 2.5), (3.0, 6.0)] {
+        let mut w = EnergyWorkload::standard(150, 2, 17);
+        w.min_slack = min_slack;
+        w.max_slack = max_slack;
+        let inst = w.generate();
+        for alpha in [1.5, 2.0, 3.0] {
+            let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+            let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
+            assert!(
+                report.is_valid(),
+                "slack [{min_slack},{max_slack}], alpha={alpha}: {:?}",
+                report.errors.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_within_alpha_alpha_of_yds_on_single_machine() {
+    let inst = EnergyWorkload::standard(100, 1, 31).generate();
+    for alpha in [2.0, 3.0] {
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let lb = yds_energy(&inst, alpha);
+        assert!(lb > 0.0);
+        let ratio = out.total_energy / lb;
+        let bound = bounds::energymin_competitive_bound(alpha);
+        assert!(
+            ratio <= bound + 1e-9,
+            "alpha={alpha}: ratio {ratio} above alpha^alpha {bound}"
+        );
+        assert!(ratio >= 1.0 - 1e-9, "cannot beat the preemptive optimum");
+    }
+}
+
+#[test]
+fn certified_dual_bound_is_consistent() {
+    let inst = EnergyWorkload::standard(120, 2, 41).generate();
+    let alpha = 2.0;
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+    // Dual objective identity and bound direction.
+    let lb = out.certified_lower_bound();
+    assert!((out.dual_objective() - lb).abs() < 1e-6 * (1.0 + lb));
+    assert!(lb <= out.total_energy + 1e-9);
+    // And the per-job bound is a valid, independent lower bound that
+    // the greedy's energy must respect.
+    let per_job = per_job_energy_lower_bound(&inst, alpha);
+    assert!(out.total_energy >= per_job - 1e-9);
+}
+
+#[test]
+fn greedy_beats_avr_or_close_on_random_workloads() {
+    // AVR fixes start=release, speed=density; the greedy optimizes both
+    // — it should never lose by much and usually wins.
+    let inst = EnergyWorkload::standard(200, 2, 53).generate();
+    let alpha = 3.0;
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+    let (_, _, avr) = AvrScheduler { alpha }.run(&inst);
+    assert!(
+        out.total_energy <= avr * 1.1,
+        "greedy {} much worse than AVR {avr}",
+        out.total_energy
+    );
+}
+
+#[test]
+fn marginals_telescope_to_total_energy() {
+    let inst = EnergyWorkload::standard(80, 3, 67).generate();
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(2.5)).unwrap().run(&inst);
+    let marg_sum: f64 = out.assignments.iter().map(|a| a.marginal).sum();
+    assert!(
+        (marg_sum - out.total_energy).abs() < 1e-6 * (1.0 + out.total_energy),
+        "marginal telescope broken: {marg_sum} vs {}",
+        out.total_energy
+    );
+}
+
+#[test]
+fn multi_machine_energy_within_alpha_alpha_of_pooled_bound() {
+    let inst = EnergyWorkload::standard(120, 3, 83).generate();
+    for alpha in [2.0, 3.0] {
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let lb = energy_lower_bound(&inst, alpha);
+        assert!(lb > 0.0);
+        let ratio = out.total_energy / lb;
+        let bound = bounds::energymin_competitive_bound(alpha);
+        assert!(
+            ratio <= bound + 1e-9,
+            "alpha={alpha}, m=3: ratio {ratio} above alpha^alpha {bound}"
+        );
+    }
+}
+
+#[test]
+fn deterministic_assignments() {
+    let inst = EnergyWorkload::standard(100, 2, 71).generate();
+    let a = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+    let b = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+    assert_eq!(a.assignments, b.assignments);
+}

@@ -1,0 +1,212 @@
+//! Deep behavioural tests: replay the §2 scheduler's decision trace and
+//! verify the rejection rules fired *exactly* as the paper specifies —
+//! not just that budgets hold, but that every individual rejection has
+//! the right cause, counter value and victim.
+
+use online_sched_rejection::prelude::*;
+use osr_core::Thresholds;
+use osr_model::RejectReason;
+use osr_sim::DecisionEvent;
+use osr_workload::{ArrivalModel, SizeModel};
+
+fn traced_run(inst: &Instance, eps: f64) -> (osr_core::FlowOutcome, Thresholds) {
+    let sched = FlowScheduler::with_eps(eps).unwrap();
+    let th = sched.thresholds();
+    (sched.run(inst), th)
+}
+
+fn stress_instance(seed: u64) -> Instance {
+    let mut w = FlowWorkload::standard(500, 3, seed);
+    w.arrivals = ArrivalModel::Bursty { burst: 30, within: 0.02, gap: 8.0 };
+    w.sizes = SizeModel::Bimodal { short: 1.0, long: 60.0, p_long: 0.1 };
+    w.generate(InstanceKind::FlowTime)
+}
+
+/// Rule 1: a job rejected while running must have seen exactly `⌈1/ε⌉`
+/// dispatches to its machine strictly inside its execution window.
+#[test]
+fn rule1_rejections_fire_at_exactly_the_threshold() {
+    let inst = stress_instance(7);
+    let (out, th) = traced_run(&inst, 0.25);
+    let events = out.trace.events();
+
+    let mut checked = 0;
+    for e in events {
+        let DecisionEvent::Reject { time, job, machine, reason, counter } = e else {
+            continue;
+        };
+        if *reason != RejectReason::RuleOne {
+            continue;
+        }
+        assert_eq!(*counter, th.rule1_at as f64, "recorded counter must equal ⌈1/ε⌉");
+        // Find the victim's start on that machine.
+        let start = events
+            .iter()
+            .find_map(|ev| match ev {
+                DecisionEvent::Start { time: t, job: j, machine: m, .. }
+                    if j == job && m == machine =>
+                {
+                    Some(*t)
+                }
+                _ => None,
+            })
+            .expect("rule-1 victim must have started");
+        // Count dispatches to that machine during (start, time].
+        let dispatched = events
+            .iter()
+            .filter(|ev| match ev {
+                DecisionEvent::Dispatch { time: t, machine: m, .. } => {
+                    m == machine && *t > start && *t <= *time
+                }
+                _ => false,
+            })
+            .count() as u64;
+        assert_eq!(
+            dispatched, th.rule1_at,
+            "{job}: saw {dispatched} dispatches during its run, threshold {}",
+            th.rule1_at
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "workload must trigger Rule 1 rejections");
+}
+
+/// Rule 2: rejections occur exactly every `1 + ⌈1/ε⌉` dispatches per
+/// machine (counter resets on firing), and the victim is never running.
+#[test]
+fn rule2_cadence_matches_the_counter_semantics() {
+    let inst = stress_instance(11);
+    let (out, th) = traced_run(&inst, 0.25);
+    let m = inst.machines();
+
+    let mut checked = 0;
+    for mi in 0..m {
+        // Replay this machine's dispatch/reject stream.
+        let mut c = 0u64;
+        for e in out.trace.events() {
+            match e {
+                DecisionEvent::Dispatch { machine, .. } if machine.idx() == mi => {
+                    c += 1;
+                }
+                DecisionEvent::Reject { machine, reason, counter, .. }
+                    if machine.idx() == mi && *reason == RejectReason::RuleTwo =>
+                {
+                    assert_eq!(
+                        c, th.rule2_at,
+                        "m{mi}: Rule 2 fired after {c} dispatches, expected {}",
+                        th.rule2_at
+                    );
+                    assert_eq!(*counter, th.rule2_at as f64);
+                    c = 0;
+                    checked += 1;
+                }
+                _ => {}
+            }
+        }
+        // Between firings the counter never exceeds the threshold.
+        assert!(c < th.rule2_at, "m{mi}: counter {c} left above threshold");
+    }
+    assert!(checked > 0, "workload must trigger Rule 2 rejections");
+}
+
+/// Rule 2 victims are the largest pending job at the firing instant:
+/// no job that is still pending at that moment on that machine may have
+/// a strictly larger processing time (ties broken by release/id).
+#[test]
+fn rule2_victim_is_the_largest_pending() {
+    let inst = stress_instance(13);
+    let (out, _) = traced_run(&inst, 0.25);
+    let events = out.trace.events();
+
+    // Pending reconstruction: dispatched, not started, not completed,
+    // not rejected, at a given event index, per machine.
+    let mut checked = 0;
+    for (k, e) in events.iter().enumerate() {
+        let DecisionEvent::Reject { job, machine, reason, .. } = e else {
+            continue;
+        };
+        if *reason != RejectReason::RuleTwo {
+            continue;
+        }
+        let mut pending: Vec<JobId> = Vec::new();
+        for prev in &events[..k] {
+            match prev {
+                DecisionEvent::Dispatch { job: j, machine: m, .. } if m == machine => {
+                    pending.push(*j);
+                }
+                DecisionEvent::Start { job: j, machine: m, .. } if m == machine => {
+                    pending.retain(|x| x != j);
+                }
+                DecisionEvent::Reject { job: j, machine: m, .. } if m == machine => {
+                    pending.retain(|x| x != j);
+                }
+                _ => {}
+            }
+        }
+        assert!(pending.contains(job), "victim {job} must be pending");
+        let p_victim = inst.job(*job).size_on(*machine);
+        for other in &pending {
+            let p_other = inst.job(*other).size_on(*machine);
+            assert!(
+                p_other <= p_victim + 1e-9,
+                "{other} (p={p_other}) was pending and larger than victim {job} (p={p_victim})"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+/// Work conservation: every Start happens either at the job's own
+/// dispatch instant (idle machine) or at a completion/rejection instant
+/// on the same machine — machines never sit idle with pending work.
+#[test]
+fn starts_are_work_conserving() {
+    let inst = stress_instance(17);
+    let (out, _) = traced_run(&inst, 0.3);
+    let events = out.trace.events();
+
+    for e in events {
+        let DecisionEvent::Start { time, job, machine, .. } = e else {
+            continue;
+        };
+        let at_own_dispatch = events.iter().any(|ev| {
+            matches!(ev, DecisionEvent::Dispatch { time: t, job: j, .. }
+                if j == job && (t - time).abs() < 1e-9)
+        });
+        let at_machine_release = events.iter().any(|ev| match ev {
+            DecisionEvent::Complete { time: t, machine: m, .. } => {
+                m == machine && (t - time).abs() < 1e-9
+            }
+            DecisionEvent::Reject { time: t, machine: m, reason, .. } => {
+                m == machine
+                    && *reason == RejectReason::RuleOne
+                    && (t - time).abs() < 1e-9
+            }
+            _ => false,
+        });
+        assert!(
+            at_own_dispatch || at_machine_release,
+            "{job} started at {time} with no releasing event"
+        );
+    }
+}
+
+/// The dispatch-time λ recorded in the trace matches λ_j / (ε/(1+ε))
+/// stored in the dual record — the two bookkeeping paths agree.
+#[test]
+fn trace_lambda_agrees_with_dual_lambda() {
+    let inst = stress_instance(19);
+    let eps = 0.4;
+    let (out, th) = traced_run(&inst, eps);
+    for e in out.trace.events() {
+        if let DecisionEvent::Dispatch { job, lambda, .. } = e {
+            let expected = th.lambda_scale() * lambda;
+            let stored = out.dual.lambda[job.idx()];
+            assert!(
+                (expected - stored).abs() <= 1e-9 * (1.0 + stored.abs()),
+                "{job}: trace λ {lambda} vs dual λ {stored}"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests of the independent validation layer: corruptions
+//! of *real* scheduler output must be caught. This is what makes every
+//! experiment number trustworthy — metrics are only computed on logs
+//! that pass these checks.
+
+use online_sched_rejection::prelude::*;
+use osr_model::{Execution, PartialRun, RejectReason, Rejection};
+
+fn real_log() -> (Instance, osr_model::FinishedLog) {
+    let inst = FlowWorkload::standard(60, 2, 3).generate(InstanceKind::FlowTime);
+    let out = FlowScheduler::with_eps(0.3).unwrap().run(&inst);
+    (inst, out.log)
+}
+
+/// Rebuilds a log with one job's fate replaced.
+fn with_fate(
+    inst: &Instance,
+    log: &osr_model::FinishedLog,
+    victim: JobId,
+    fate: osr_model::JobFate,
+) -> osr_model::FinishedLog {
+    let mut new = ScheduleLog::new(inst.machines(), inst.len());
+    for (id, f) in log.iter() {
+        let f = if id == victim { fate } else { *f };
+        match f {
+            osr_model::JobFate::Completed(e) => new.complete(id, e),
+            osr_model::JobFate::Rejected(r) => new.reject(id, r),
+        }
+    }
+    new.finish().unwrap()
+}
+
+#[test]
+fn clean_log_validates() {
+    let (inst, log) = real_log();
+    let report = validate_log(&inst, &log, &ValidationConfig::flow_time());
+    assert!(report.is_valid());
+    assert_eq!(report.completed + report.rejected, inst.len());
+}
+
+#[test]
+fn early_start_corruption_caught() {
+    let (inst, log) = real_log();
+    let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
+    let bad = Execution { start: inst.job(victim).release - 1.0, ..exec };
+    let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
+    // Shift completion to keep the volume plausible — the release check
+    // must fire on its own.
+    let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
+    assert!(!report.is_valid());
+}
+
+#[test]
+fn shortened_execution_caught() {
+    let (inst, log) = real_log();
+    let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
+    let bad = Execution { completion: exec.completion - 0.5 * exec.duration(), ..exec };
+    let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
+    let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
+    assert!(report
+        .errors
+        .iter()
+        .any(|e| e.message.contains("volume")));
+}
+
+#[test]
+fn teleported_machine_caught() {
+    let (inst, log) = real_log();
+    let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
+    let other = MachineId((exec.machine.0 + 1) % inst.machines() as u32);
+    // Moving to another machine generally breaks volume conservation
+    // (unrelated sizes) and may overlap — either way it must not pass.
+    let bad = Execution { machine: other, ..exec };
+    let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
+    let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
+    assert!(!report.is_valid());
+}
+
+#[test]
+fn phantom_rejection_with_bad_partial_caught() {
+    let (inst, log) = real_log();
+    let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
+    let bad = Rejection {
+        time: exec.start + 0.1,
+        reason: RejectReason::RuleOne,
+        partial: Some(PartialRun {
+            machine: exec.machine,
+            start: exec.start,
+            end: exec.start + 0.2, // ends after the claimed rejection
+            speed: 1.0,
+        }),
+    };
+    let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Rejected(bad));
+    let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
+    assert!(report.errors.iter().any(|e| e.message.contains("non-preemption")));
+}
+
+#[test]
+fn speed_forgery_caught_in_unit_speed_mode() {
+    let (inst, log) = real_log();
+    let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
+    // Double speed, halve duration: volume conserves, but §2 demands
+    // unit speeds.
+    let bad = Execution {
+        completion: exec.start + exec.duration() / 2.0,
+        speed: 2.0,
+        ..exec
+    };
+    let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
+    let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
+    assert!(report.errors.iter().any(|e| e.message.contains("unit speed")));
+}
+
+#[test]
+fn energy_rejections_rejected_by_config() {
+    let inst = EnergyWorkload::standard(30, 1, 9).generate();
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+    // Forge a rejection into the (rejection-free) §4 log.
+    let victim = JobId(0);
+    let mut new = ScheduleLog::new(inst.machines(), inst.len());
+    for (id, f) in out.log.iter() {
+        if id == victim {
+            new.reject(
+                id,
+                Rejection {
+                    time: inst.job(id).release,
+                    reason: RejectReason::Other,
+                    partial: None,
+                },
+            );
+        } else {
+            match f {
+                osr_model::JobFate::Completed(e) => new.complete(id, *e),
+                osr_model::JobFate::Rejected(r) => new.reject(id, *r),
+            }
+        }
+    }
+    let corrupted = new.finish().unwrap();
+    let report = validate_log(&inst, &corrupted, &ValidationConfig::energy());
+    assert!(report.errors.iter().any(|e| e.message.contains("forbidden")));
+}
