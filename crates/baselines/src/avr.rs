@@ -9,9 +9,7 @@
 //! AVR fixes the strategy shape, §4 optimizes it.
 
 use osr_core::energymin::SpeedProfile;
-use osr_model::{
-    Execution, FinishedLog, Instance, InstanceKind, MachineId, ScheduleLog,
-};
+use osr_model::{Execution, FinishedLog, Instance, InstanceKind, MachineId, ScheduleLog};
 use osr_sim::{DecisionEvent, DecisionTrace, OnlineScheduler};
 
 /// AVR baseline scheduler.
@@ -56,7 +54,12 @@ impl AvrScheduler {
             });
             log.complete(
                 job.id,
-                Execution { machine: MachineId(mi as u32), start: r, completion: d, speed: v },
+                Execution {
+                    machine: MachineId(mi as u32),
+                    start: r,
+                    completion: d,
+                    speed: v,
+                },
             );
         }
 
@@ -131,6 +134,9 @@ mod tests {
             .build()
             .unwrap();
         let (log, _, _) = AvrScheduler { alpha: 2.0 }.run(&inst);
-        assert_eq!(log.fate(JobId(0)).execution().unwrap().machine, MachineId(1));
+        assert_eq!(
+            log.fate(JobId(0)).execution().unwrap().machine,
+            MachineId(1)
+        );
     }
 }

@@ -41,12 +41,18 @@ pub struct GreedyScheduler {
 impl GreedyScheduler {
     /// ECT dispatch + SPT order — the strongest of the family.
     pub fn ect_spt() -> Self {
-        GreedyScheduler { dispatch: DispatchRule::EarliestCompletion, order: LocalOrder::Spt }
+        GreedyScheduler {
+            dispatch: DispatchRule::EarliestCompletion,
+            order: LocalOrder::Spt,
+        }
     }
 
     /// ECT dispatch + FIFO order.
     pub fn ect_fifo() -> Self {
-        GreedyScheduler { dispatch: DispatchRule::EarliestCompletion, order: LocalOrder::Fifo }
+        GreedyScheduler {
+            dispatch: DispatchRule::EarliestCompletion,
+            order: LocalOrder::Fifo,
+        }
     }
 
     /// Runs the baseline, returning the log and the decision trace.
@@ -64,8 +70,12 @@ impl GreedyScheduler {
             pending: Vec<(f64, JobId, f64)>,
             running: Option<(JobId, f64, f64)>, // job, start, completion
         }
-        let mut machines: Vec<Mach> =
-            (0..m).map(|_| Mach { pending: Vec::new(), running: None }).collect();
+        let mut machines: Vec<Mach> = (0..m)
+            .map(|_| Mach {
+                pending: Vec::new(),
+                running: None,
+            })
+            .collect();
 
         let queue_volume = |ms: &Mach, t: f64| -> f64 {
             let pend: f64 = ms.pending.iter().map(|&(_, _, p)| p).sum();
@@ -115,9 +125,18 @@ impl GreedyScheduler {
                 let (_, start, completion) = machines[mi].running.take().unwrap();
                 log.complete(
                     job,
-                    Execution { machine: MachineId(mi as u32), start, completion, speed: 1.0 },
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start,
+                        completion,
+                        speed: 1.0,
+                    },
                 );
-                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
                 start_next(mi, t, &mut machines, &mut completions, &mut trace);
                 continue;
             }
@@ -254,7 +273,10 @@ mod tests {
             .job(0.0, vec![1.0, 1.1])
             .build()
             .unwrap();
-        let s = GreedyScheduler { dispatch: DispatchRule::MinSize, order: LocalOrder::Spt };
+        let s = GreedyScheduler {
+            dispatch: DispatchRule::MinSize,
+            order: LocalOrder::Spt,
+        };
         let log = check(&inst, &s);
         for (_, e) in log.executions() {
             assert_eq!(e.machine, MachineId(0));

@@ -43,7 +43,10 @@ pub struct ImmediateRejectScheduler {
 impl ImmediateRejectScheduler {
     /// Standard subject for EXP-L1: reject big jobs above the mean.
     pub fn above_mean(eps: f64, factor: f64) -> Self {
-        ImmediateRejectScheduler { eps, policy: ImmediatePolicy::AboveMean { factor } }
+        ImmediateRejectScheduler {
+            eps,
+            policy: ImmediatePolicy::AboveMean { factor },
+        }
     }
 
     /// Runs the policy.
@@ -59,8 +62,12 @@ impl ImmediateRejectScheduler {
             pending: Vec<(f64, JobId, f64)>, // (size key, id, size) — SPT
             running: Option<(JobId, f64, f64)>,
         }
-        let mut machines: Vec<Mach> =
-            (0..m).map(|_| Mach { pending: Vec::new(), running: None }).collect();
+        let mut machines: Vec<Mach> = (0..m)
+            .map(|_| Mach {
+                pending: Vec::new(),
+                running: None,
+            })
+            .collect();
 
         let mut arrivals = 0usize;
         let mut rejected = 0usize;
@@ -107,9 +114,18 @@ impl ImmediateRejectScheduler {
                 let (_, start, completion) = machines[mi].running.take().unwrap();
                 log.complete(
                     job,
-                    Execution { machine: MachineId(mi as u32), start, completion, speed: 1.0 },
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start,
+                        completion,
+                        speed: 1.0,
+                    },
                 );
-                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
                 start_next(mi, t, &mut machines, &mut completions, &mut trace);
                 continue;
             }
@@ -119,7 +135,11 @@ impl ImmediateRejectScheduler {
             let t = job.release;
             arrivals += 1;
             let p_min = job.min_size();
-            let mean = if arrivals > 1 { size_sum / (arrivals - 1) as f64 } else { 0.0 };
+            let mean = if arrivals > 1 {
+                size_sum / (arrivals - 1) as f64
+            } else {
+                0.0
+            };
             size_sum += p_min;
 
             // Decide rejection *now or never*.
@@ -133,7 +153,11 @@ impl ImmediateRejectScheduler {
                 rejected += 1;
                 log.reject(
                     job.id,
-                    Rejection { time: t, reason: RejectReason::Immediate, partial: None },
+                    Rejection {
+                        time: t,
+                        reason: RejectReason::Immediate,
+                        partial: None,
+                    },
                 );
                 trace.push(DecisionEvent::Reject {
                     time: t,
@@ -153,7 +177,9 @@ impl ImmediateRejectScheduler {
                     continue;
                 }
                 let pend: f64 = machines[mi].pending.iter().map(|&(_, _, q)| q).sum();
-                let rem = machines[mi].running.map_or(0.0, |(_, _, c)| (c - t).max(0.0));
+                let rem = machines[mi]
+                    .running
+                    .map_or(0.0, |(_, _, c)| (c - t).max(0.0));
                 let score = pend + rem + p;
                 if best.is_none_or(|(_, s)| score < s) {
                     best = Some((mi, score));
@@ -169,7 +195,9 @@ impl ImmediateRejectScheduler {
             });
             let p = job.sizes[mi];
             let ms = &mut machines[mi];
-            let pos = ms.pending.partition_point(|&(k, id, _)| (k, id) <= (p, job.id));
+            let pos = ms
+                .pending
+                .partition_point(|&(k, id, _)| (k, id) <= (p, job.id));
             ms.pending.insert(pos, (p, job.id, p));
             start_next(mi, t, &mut machines, &mut completions, &mut trace);
         }
@@ -208,8 +236,15 @@ mod tests {
         let (log, _) = s.run(&inst);
         let rep = validate_log(&inst, &log, &ValidationConfig::flow_time());
         assert!(rep.is_valid(), "{:?}", rep.errors);
-        assert!(log.rejected_count() <= 10, "rejected {}", log.rejected_count());
-        assert!(log.rejected_count() > 0, "policy should have used its budget");
+        assert!(
+            log.rejected_count() <= 10,
+            "rejected {}",
+            log.rejected_count()
+        );
+        assert!(
+            log.rejected_count() > 0,
+            "policy should have used its budget"
+        );
     }
 
     #[test]
@@ -219,7 +254,10 @@ mod tests {
             b = b.job(k as f64 * 0.1, vec![5.0]);
         }
         let inst = b.build().unwrap();
-        let s = ImmediateRejectScheduler { eps: 0.5, policy: ImmediatePolicy::Never };
+        let s = ImmediateRejectScheduler {
+            eps: 0.5,
+            policy: ImmediatePolicy::Never,
+        };
         let (log, _) = s.run(&inst);
         assert_eq!(log.rejected_count(), 0);
     }
@@ -235,7 +273,12 @@ mod tests {
         let inst = b.build().unwrap();
         let s = ImmediateRejectScheduler::above_mean(0.2, 10.0);
         let (log, _) = s.run(&inst);
-        let giant = inst.jobs().iter().find(|j| j.sizes[0] == 1000.0).unwrap().id;
+        let giant = inst
+            .jobs()
+            .iter()
+            .find(|j| j.sizes[0] == 1000.0)
+            .unwrap()
+            .id;
         assert!(matches!(log.fate(giant), JobFate::Rejected(_)));
         assert_eq!(log.rejected_count(), 1);
     }

@@ -28,9 +28,18 @@ pub struct FlowLowerBound {
 pub fn flow_lower_bound(instance: &Instance, dual_objective: Option<f64>) -> FlowLowerBound {
     let dual_half = dual_objective.map_or(0.0, |d| (d / 2.0).max(0.0));
     let trivial = instance.total_min_size();
-    let srpt = if instance.machines() == 1 { Some(srpt_flow(instance)) } else { None };
+    let srpt = if instance.machines() == 1 {
+        Some(srpt_flow(instance))
+    } else {
+        None
+    };
     let value = dual_half.max(trivial).max(srpt.unwrap_or(0.0));
-    FlowLowerBound { dual_half, trivial, srpt, value }
+    FlowLowerBound {
+        dual_half,
+        trivial,
+        srpt,
+        value,
+    }
 }
 
 /// Per-job alone-cost lower bound for the §3 objective: each job, run
@@ -89,7 +98,13 @@ pub fn pooled_yds_lower_bound(instance: &Instance, alpha: f64) -> f64 {
     let jobs: Vec<(f64, f64, f64)> = instance
         .jobs()
         .iter()
-        .map(|j| (j.release, j.deadline.expect("energy instance"), j.min_size()))
+        .map(|j| {
+            (
+                j.release,
+                j.deadline.expect("energy instance"),
+                j.min_size(),
+            )
+        })
         .collect();
     let m = instance.machines() as f64;
     yds_from_tuples(jobs, alpha) / m.powf(alpha - 1.0)
@@ -292,8 +307,13 @@ mod tests {
             .unwrap();
         let alpha = 2.0;
         let lb = energy_lower_bound(&inst, alpha);
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
-        assert!(lb <= out.total_energy + 1e-9, "LB {lb} above a feasible schedule");
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+            .unwrap()
+            .run(&inst);
+        assert!(
+            lb <= out.total_energy + 1e-9,
+            "LB {lb} above a feasible schedule"
+        );
         assert!(lb > 0.0);
     }
 

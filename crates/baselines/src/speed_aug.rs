@@ -51,11 +51,15 @@ impl SpeedAugScheduler {
         let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
 
         struct Mach {
-            pending: Vec<(f64, JobId, f64)>, // (size, id, size) — SPT
+            pending: Vec<(f64, JobId, f64)>,         // (size, id, size) — SPT
             running: Option<(JobId, f64, f64, u64)>, // job, start, completion, v
         }
-        let mut machines: Vec<Mach> =
-            (0..m).map(|_| Mach { pending: Vec::new(), running: None }).collect();
+        let mut machines: Vec<Mach> = (0..m)
+            .map(|_| Mach {
+                pending: Vec::new(),
+                running: None,
+            })
+            .collect();
 
         let start_next = |mi: usize,
                           t: f64,
@@ -98,9 +102,18 @@ impl SpeedAugScheduler {
                 let (_, start, completion, _) = machines[mi].running.take().unwrap();
                 log.complete(
                     job,
-                    Execution { machine: MachineId(mi as u32), start, completion, speed },
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start,
+                        completion,
+                        speed,
+                    },
                 );
-                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
                 start_next(mi, t, &mut machines, &mut completions, &mut trace);
                 continue;
             }
@@ -134,7 +147,9 @@ impl SpeedAugScheduler {
             });
             let p = job.sizes[mi];
             let ms = &mut machines[mi];
-            let pos = ms.pending.partition_point(|&(k, id, _)| (k, id) <= (p, job.id));
+            let pos = ms
+                .pending
+                .partition_point(|&(k, id, _)| (k, id) <= (p, job.id));
             ms.pending.insert(pos, (p, job.id, p));
 
             // Rule-1-style rejection of the running job.
@@ -198,7 +213,7 @@ mod tests {
         let (log, _) = s.run(&inst);
         let e = log.fate(JobId(0)).execution().unwrap();
         assert!((e.completion - 2.0).abs() < 1e-9); // 3 / 1.5
-        // Volume conservation holds with the augmented speed.
+                                                    // Volume conservation holds with the augmented speed.
         let mut cfg = ValidationConfig::flow_energy();
         cfg.allow_parallel = false;
         let rep = validate_log(&inst, &log, &cfg);
@@ -228,10 +243,12 @@ mod tests {
         let inst = b.build().unwrap();
         let slow = SpeedAugScheduler::new(0.0, 1e-9_f64.max(0.01)).unwrap();
         let fast = SpeedAugScheduler::new(0.5, 0.01).unwrap();
-        let f_slow =
-            Metrics::compute(&inst, &slow.run(&inst).0, 2.0).flow.flow_all;
-        let f_fast =
-            Metrics::compute(&inst, &fast.run(&inst).0, 2.0).flow.flow_all;
+        let f_slow = Metrics::compute(&inst, &slow.run(&inst).0, 2.0)
+            .flow
+            .flow_all;
+        let f_fast = Metrics::compute(&inst, &fast.run(&inst).0, 2.0)
+            .flow
+            .flow_all;
         assert!(f_fast < f_slow, "augmented {f_fast} vs plain {f_slow}");
     }
 

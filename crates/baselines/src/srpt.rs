@@ -11,7 +11,11 @@ use osr_model::Instance;
 /// instance (uses `sizes[0]`). Panics if the instance has more than one
 /// machine — the optimality argument is single-machine only.
 pub fn srpt_flow(instance: &Instance) -> f64 {
-    assert_eq!(instance.machines(), 1, "SRPT lower bound is single-machine only");
+    assert_eq!(
+        instance.machines(),
+        1,
+        "SRPT lower bound is single-machine only"
+    );
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -31,14 +35,21 @@ pub fn srpt_flow(instance: &Instance) -> f64 {
         }
         // Admit all arrivals at or before t.
         while next < jobs.len() && jobs[next].release <= t {
-            heap.push(Reverse((osr_dstruct::TotalF64(jobs[next].sizes[0]), jobs[next].id.0)));
+            heap.push(Reverse((
+                osr_dstruct::TotalF64(jobs[next].sizes[0]),
+                jobs[next].id.0,
+            )));
             next += 1;
         }
         let Some(Reverse((rem, id))) = heap.pop() else {
             continue;
         };
         let rem = rem.get();
-        let horizon = if next < jobs.len() { jobs[next].release } else { f64::INFINITY };
+        let horizon = if next < jobs.len() {
+            jobs[next].release
+        } else {
+            f64::INFINITY
+        };
         if t + rem <= horizon {
             // Runs to completion before the next arrival.
             t += rem;

@@ -2,10 +2,16 @@
 //! — the full §2 algorithm with the `O(log n)` treap backend vs the
 //! `O(n)` sorted-vector backend, on a single hot machine (worst case
 //! for queue length), plus raw structure microbenchmarks.
+//!
+//! The raw group also runs the **arena vs boxed** treap head-to-head:
+//! the superseded `Box`-per-node implementation is kept in
+//! `osr_dstruct::treap_boxed` precisely so this bench can keep
+//! quantifying what the allocation-free arena buys (see BENCH.md for
+//! recorded baselines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osr_core::{FlowParams, FlowScheduler, QueueBackend};
-use osr_dstruct::{AggTreap, NaiveAggQueue};
+use osr_dstruct::{AggTreap, BoxedAggTreap, NaiveAggQueue};
 use osr_model::InstanceKind;
 use osr_workload::{ArrivalModel, FlowWorkload};
 
@@ -14,7 +20,10 @@ fn backend_ablation(c: &mut Criterion) {
     for &n in &[2_000usize, 10_000] {
         // Single machine + all-at-once arrivals = maximal queue length.
         let mut w = FlowWorkload::standard(n, 1, 7);
-        w.arrivals = ArrivalModel::Batch { per_batch: n / 4, gap: 5.0 };
+        w.arrivals = ArrivalModel::Batch {
+            per_batch: n / 4,
+            gap: 5.0,
+        };
         let inst = w.generate(InstanceKind::FlowTime);
         for backend in [QueueBackend::Treap, QueueBackend::Naive] {
             let mut params = FlowParams::new(0.25);
@@ -32,39 +41,128 @@ fn backend_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dispatch-shaped microbench: interleaved inserts and `agg_le`
+/// probes over a bounded key universe (steady-state queue churn).
+fn insert_query<T, I, Q>(n: u32, mut insert: I, mut query: Q, mut t: T) -> usize
+where
+    I: FnMut(&mut T, u32, f64),
+    Q: FnMut(&T, u32) -> usize,
+{
+    let mut acc = 0usize;
+    for k in 0..n {
+        let key = (k.wrapping_mul(2654435761)) % 1000;
+        insert(&mut t, key, key as f64);
+        acc += query(&t, key / 2);
+    }
+    acc
+}
+
 fn raw_structures(c: &mut Criterion) {
     let mut group = c.benchmark_group("agg_structures_raw");
-    let n = 10_000u32;
-    group.bench_function("treap_insert_query", |b| {
-        b.iter(|| {
-            let mut t = AggTreap::new();
-            let mut acc = 0usize;
-            for k in 0..n {
-                let key = (k.wrapping_mul(2654435761)) % 1000;
-                t.insert(key, key as f64);
-                acc += t.agg_le(&(key / 2)).count;
-            }
-            acc
+    for &n in &[10_000u32, 100_000] {
+        group.bench_with_input(BenchmarkId::new("arena_treap", n), &n, |b, &n| {
+            b.iter(|| {
+                insert_query(
+                    n,
+                    |t: &mut AggTreap<u32>, k, w| t.insert(k, w),
+                    |t, k| t.agg_le(&k).count,
+                    AggTreap::new(),
+                )
+            });
         });
-    });
-    group.bench_function("naive_insert_query", |b| {
-        b.iter(|| {
-            let mut t = NaiveAggQueue::new();
-            let mut acc = 0usize;
-            for k in 0..n {
-                let key = (k.wrapping_mul(2654435761)) % 1000;
-                t.insert(key, key as f64);
-                acc += t.agg_le(&(key / 2)).count;
-            }
-            acc
+        group.bench_with_input(BenchmarkId::new("boxed_treap", n), &n, |b, &n| {
+            b.iter(|| {
+                insert_query(
+                    n,
+                    |t: &mut BoxedAggTreap<u32>, k, w| t.insert(k, w),
+                    |t, k| t.agg_le(&k).count,
+                    BoxedAggTreap::new(),
+                )
+            });
         });
-    });
+        // The naive baseline is O(n) per op — cap it at the smaller size
+        // to keep the suite's wall clock sane.
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("naive_vec", n), &n, |b, &n| {
+                b.iter(|| {
+                    insert_query(
+                        n,
+                        |t: &mut NaiveAggQueue<u32>, k, w| t.insert(k, w),
+                        |t, k| t.agg_le(&k).count,
+                        NaiveAggQueue::new(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Steady-state churn: a warm queue of fixed size absorbing
+/// pop-first + insert pairs — the free-list reuse path the dispatch
+/// loop actually exercises.
+fn steady_state_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treap_steady_churn");
+    for &live in &[1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("arena", live), &live, |b, &live| {
+            let mut t = AggTreap::from_sorted((0..live).map(|k| (k, 1.0)));
+            let mut next_key = live;
+            b.iter(|| {
+                let popped = t.pop_first().unwrap().0;
+                t.insert(next_key, 1.0);
+                next_key = next_key.wrapping_add(1);
+                popped
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("boxed", live), &live, |b, &live| {
+            let mut t = BoxedAggTreap::new();
+            for k in 0..live {
+                t.insert(k, 1.0);
+            }
+            let mut next_key = live;
+            b.iter(|| {
+                let popped = t.pop_first().unwrap().0;
+                t.insert(next_key, 1.0);
+                next_key = next_key.wrapping_add(1);
+                popped
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Bulk construction: `from_sorted` vs n incremental inserts.
+fn bulk_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treap_bulk_build");
+    for &n in &[10_000u32, 100_000] {
+        let entries: Vec<(u32, f64)> = (0..n).map(|k| (k, k as f64)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("from_sorted", n),
+            &entries,
+            |b, entries| {
+                b.iter(|| AggTreap::from_sorted(entries.iter().copied()).len());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", n),
+            &entries,
+            |b, entries| {
+                b.iter(|| {
+                    let mut t = AggTreap::with_capacity(entries.len());
+                    for &(k, w) in entries {
+                        t.insert(k, w);
+                    }
+                    t.len()
+                });
+            },
+        );
+    }
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, raw_structures
+    targets = backend_ablation, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Event-queue backend microbenchmark: the `std::collections::BinaryHeap`
-//! behind `osr_sim::EventQueue` vs the `osr_dstruct::PairingHeap`, on
-//! the push/pop burst pattern event-driven schedulers produce.
+//! Event-queue backend microbenchmark: `osr_sim::EventQueue` on its
+//! `std::collections::BinaryHeap` backend vs the `osr_dstruct`
+//! pairing-heap backend, at 10³ / 10⁵ / 10⁶ events, on the push/pop
+//! burst pattern event-driven schedulers produce. Both backends honor
+//! the identical (time, FIFO) ordering contract, so this is a pure
+//! like-for-like throughput comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use osr_dstruct::{PairingHeap, TotalF64};
-use osr_sim::EventQueue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use osr_sim::{EventBackend, EventQueue};
 
 /// Deterministic pseudo-times.
 fn times(n: usize) -> Vec<f64> {
@@ -19,53 +21,39 @@ fn times(n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Push/pop bursts of 8 — the scheduler pattern — then drain.
+fn drive(backend: EventBackend, ts: &[f64]) -> usize {
+    let mut q = EventQueue::with_backend(backend);
+    let mut popped = 0usize;
+    for chunk in ts.chunks(8) {
+        for &t in chunk {
+            q.push(t, ());
+        }
+        for _ in 0..4 {
+            if q.pop().is_some() {
+                popped += 1;
+            }
+        }
+    }
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    popped
+}
+
 fn queues(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue_backends");
-    for &n in &[10_000usize, 100_000] {
+    for &n in &[1_000usize, 100_000, 1_000_000] {
         let ts = times(n);
-        group.bench_with_input(BenchmarkId::new("binary_heap", n), &ts, |b, ts| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                // Push/pop bursts of 8 — the scheduler pattern.
-                let mut popped = 0usize;
-                for chunk in ts.chunks(8) {
-                    for &t in chunk {
-                        q.push(t, ());
-                    }
-                    for _ in 0..4 {
-                        if q.pop().is_some() {
-                            popped += 1;
-                        }
-                    }
-                }
-                while q.pop().is_some() {
-                    popped += 1;
-                }
-                popped
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, backend) in [
+            ("binary_heap", EventBackend::BinaryHeap),
+            ("pairing_heap", EventBackend::PairingHeap),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &ts, |b, ts| {
+                b.iter(|| drive(backend, ts));
             });
-        });
-        group.bench_with_input(BenchmarkId::new("pairing_heap", n), &ts, |b, ts| {
-            b.iter(|| {
-                let mut q: PairingHeap<(TotalF64, u64)> = PairingHeap::new();
-                let mut seq = 0u64;
-                let mut popped = 0usize;
-                for chunk in ts.chunks(8) {
-                    for &t in chunk {
-                        q.push((TotalF64(t), seq));
-                        seq += 1;
-                    }
-                    for _ in 0..4 {
-                        if q.pop().is_some() {
-                            popped += 1;
-                        }
-                    }
-                }
-                while q.pop().is_some() {
-                    popped += 1;
-                }
-                popped
-            });
-        });
+        }
     }
     group.finish();
 }

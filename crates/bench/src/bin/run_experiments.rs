@@ -1,11 +1,16 @@
 //! Runs every experiment and writes CSV artifacts to `results/`.
 //!
 //! ```text
-//! cargo run --release -p osr-bench --bin run_experiments [--quick] [ids…]
+//! cargo run --release -p osr-bench --bin run_experiments -- \
+//!     [--quick] [--jobs N] [ids…]
 //! ```
 //!
 //! With no ids, runs all experiments. `--quick` uses the reduced sizes
-//! (the same configuration the integration tests assert on).
+//! (the same configuration the integration tests assert on). `--jobs N`
+//! sets the worker count for each experiment's replicate fan-out;
+//! whatever the value, the emitted tables and CSVs are **byte-identical**
+//! (see `osr_bench::experiments` for the determinism contract), so
+//! `--jobs` trades wall-clock only.
 
 use std::fs;
 use std::io::Write as _;
@@ -14,13 +19,46 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut wanted: Vec<String> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--jobs" => {
+                let v = iter.next().unwrap_or_else(|| {
+                    eprintln!("--jobs needs a value");
+                    std::process::exit(2);
+                });
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            s if s.starts_with("--") => {
+                eprintln!("unknown flag {s}");
+                std::process::exit(2);
+            }
+            s => wanted.push(s.to_string()),
+        }
+    }
+
+    if let Some(n) = jobs {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure worker pool");
+    }
 
     fs::create_dir_all("results").expect("create results dir");
 
     let mut ran = 0;
     for (id, description, runner) in osr_bench::all_experiments() {
-        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
             continue;
         }
         println!("\n### {id} — {description}\n");

@@ -10,25 +10,35 @@
 use osr_baselines::ImmediateRejectScheduler;
 use osr_core::FlowScheduler;
 use osr_sim::ValidationConfig;
-use osr_workload::adversarial::{
-    lemma1_adversary_flow, lemma1_big_jobs, lemma1_full_instance,
-};
+use osr_workload::adversarial::{lemma1_adversary_flow, lemma1_big_jobs, lemma1_full_instance};
 
-use super::must_validate;
+use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
     let eps = 0.5;
-    let ls: &[f64] = if quick { &[5.0, 10.0, 20.0] } else { &[5.0, 10.0, 20.0, 40.0, 80.0] };
+    let ls: &[f64] = if quick {
+        &[5.0, 10.0, 20.0]
+    } else {
+        &[5.0, 10.0, 20.0, 40.0, 80.0]
+    };
 
     let mut table = Table::new(
         "EXP-L1: immediate rejection vs hindsight rejection on the Lemma-1 instance",
-        &["L", "delta", "sqrt_delta", "imm_ratio", "spaa_ratio", "imm/sqrt_delta"],
+        &[
+            "L",
+            "delta",
+            "sqrt_delta",
+            "imm_ratio",
+            "spaa_ratio",
+            "imm/sqrt_delta",
+        ],
     );
     table.note("ratio = flow_all / adversary schedule cost; Lemma 1 predicts imm_ratio = Omega(sqrt(delta))");
 
-    for &l in ls {
+    // The L sweep fans out; each point runs its own two-phase protocol.
+    for row in par_replicates(ls.to_vec(), |l| {
         // Phase 1: where does the immediate policy start its first big
         // job?
         let phase1 = lemma1_big_jobs(eps, l);
@@ -53,14 +63,16 @@ pub fn run(quick: bool) -> Vec<Table> {
         let spaa_ratio = spaa_m.flow.flow_all / adv;
 
         let delta = l * l;
-        table.row(vec![
+        vec![
             fmt_g4(l),
             fmt_g4(delta),
             fmt_g4(delta.sqrt()),
             fmt_g4(imm_ratio),
             fmt_g4(spaa_ratio),
             fmt_g4(imm_ratio / delta.sqrt()),
-        ]);
+        ]
+    }) {
+        table.row(row);
     }
     vec![table]
 }

@@ -15,7 +15,7 @@ use osr_model::InstanceKind;
 use osr_sim::{SummaryStats, ValidationConfig};
 use osr_workload::{ArrivalModel, FlowWorkload, SizeModel};
 
-use super::must_validate;
+use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
 
 /// Runs the experiment.
@@ -23,19 +23,33 @@ pub fn run(quick: bool) -> Vec<Table> {
     let eps = 0.25;
     let n = if quick { 400 } else { 2000 };
     let machines = 4;
-    let rhos: &[f64] =
-        if quick { &[0.5, 1.0, 1.5] } else { &[0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0] };
+    let rhos: &[f64] = if quick {
+        &[0.5, 1.0, 1.5]
+    } else {
+        &[0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0]
+    };
 
     let mut table = Table::new(
         "EXP-LOAD: behaviour vs offered load (eps = 0.25, m = 4)",
-        &["rho", "ratio", "rej_frac", "budget", "mean_flow", "p99_flow", "wflow_ext_ratio"],
+        &[
+            "rho",
+            "ratio",
+            "rej_frac",
+            "budget",
+            "mean_flow",
+            "p99_flow",
+            "wflow_ext_ratio",
+        ],
     );
     table.note("rho = arrival rate × mean size / machine count; rho > 1 is overload");
-    table.note("wflow_ext_ratio: the weighted-extension scheduler on the same instance (unit weights)");
+    table.note(
+        "wflow_ext_ratio: the weighted-extension scheduler on the same instance (unit weights)",
+    );
 
-    // Mean size of Uniform[1, 5] is 3.
+    // Mean size of Uniform[1, 5] is 3. Load points fan out; each one
+    // regenerates its instance from the same fixed seed.
     let mean_size = 3.0;
-    for &rho in rhos {
+    for row in par_replicates(rhos.to_vec(), |rho| {
         let rate = rho * machines as f64 / mean_size;
         let mut w = FlowWorkload::standard(n, machines, 12345);
         w.arrivals = ArrivalModel::Poisson { rate };
@@ -50,7 +64,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         let wout = WeightedFlowScheduler::with_eps(eps).unwrap().run(&inst);
         let wm = must_validate("load", &inst, &wout.log, &ValidationConfig::flow_time());
 
-        table.row(vec![
+        assert!(
+            m.flow.rejected_fraction() <= 2.0 * eps + 1e-9,
+            "budget violated at rho={rho}"
+        );
+
+        vec![
             fmt_g4(rho),
             fmt_g4(m.flow.flow_all / lb),
             fmt_g4(m.flow.rejected_fraction()),
@@ -58,12 +77,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt_g4(stats.mean),
             fmt_g4(stats.p99),
             fmt_g4(wm.flow.flow_all / lb),
-        ]);
-
-        assert!(
-            m.flow.rejected_fraction() <= 2.0 * eps + 1e-9,
-            "budget violated at rho={rho}"
-        );
+        ]
+    }) {
+        table.row(row);
     }
     vec![table]
 }
@@ -96,6 +112,9 @@ mod tests {
         // queueing a no-rejection scheduler would suffer.
         let first: f64 = t.rows.first().unwrap()[4].parse().unwrap();
         let last: f64 = t.rows.last().unwrap()[4].parse().unwrap();
-        assert!(last < first * 500.0, "overload flow exploded: {first} → {last}");
+        assert!(
+            last < first * 500.0,
+            "overload flow exploded: {first} → {last}"
+        );
     }
 }

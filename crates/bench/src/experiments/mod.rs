@@ -3,6 +3,24 @@
 //! Every `run(quick) -> Vec<Table>` is deterministic (fixed seeds) and
 //! validates every schedule before measuring it — a scheduler bug
 //! yields a panic, never a silently wrong table.
+//!
+//! ## Parallel replicates, deterministic tables
+//!
+//! Each experiment's replicate work — the cross product of seeds ×
+//! instances × policies that fills one table — fans out over the rayon
+//! pool via [`par_replicates`]. The determinism contract:
+//!
+//! 1. every replicate derives its RNG stream from its **own explicit
+//!    seed** (never from shared mutable state or thread identity), and
+//! 2. results come back **in input order**, and rows are appended only
+//!    after the fan-out completes.
+//!
+//! Together these make the emitted tables (and therefore the CSV
+//! artifacts) byte-identical for any `--jobs` value, including 1 —
+//! asserted end-to-end by the `parallel_determinism` integration test.
+//! The only exception is `scale`, which measures wall-clock time and
+//! must therefore run its replicates serially on an otherwise idle
+//! pool.
 
 pub mod dual_feasibility;
 pub mod l1_immediate;
@@ -19,6 +37,19 @@ pub mod t3_ratio;
 
 use osr_model::{FinishedLog, Instance, Metrics};
 use osr_sim::{validate_log, ValidationConfig};
+use rayon::prelude::*;
+
+/// Runs `f` over `inputs` on the rayon pool, returning results in input
+/// order — the fan-out primitive behind every experiment's replicate
+/// loop (see the module docs for the determinism contract).
+pub(crate) fn par_replicates<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync + Send,
+{
+    inputs.into_par_iter().map(f).collect()
+}
 
 /// Validates a log or panics with the experiment id — experiments never
 /// report metrics for invalid schedules.

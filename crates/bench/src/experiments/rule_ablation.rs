@@ -14,7 +14,7 @@ use osr_sim::ValidationConfig;
 use osr_workload::adversarial::long_job_trap;
 use osr_workload::{ArrivalModel, FlowWorkload, SizeModel};
 
-use super::must_validate;
+use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
 
 fn workloads(quick: bool) -> Vec<(String, Instance)> {
@@ -22,17 +22,32 @@ fn workloads(quick: bool) -> Vec<(String, Instance)> {
     let mut out = Vec::new();
     // Rule-1 bait: rare huge jobs + steady small traffic.
     let mut heavy = FlowWorkload::standard(n, 2, 31);
-    heavy.sizes = SizeModel::Bimodal { short: 1.0, long: 150.0, p_long: 0.04 };
+    heavy.sizes = SizeModel::Bimodal {
+        short: 1.0,
+        long: 150.0,
+        p_long: 0.04,
+    };
     out.push(("heavy-tail".into(), heavy.generate(InstanceKind::FlowTime)));
     // Rule-2 bait: overload bursts where the queue itself is the
     // problem.
     let mut burst = FlowWorkload::standard(n, 2, 32);
-    burst.arrivals = ArrivalModel::Bursty { burst: 60, within: 0.01, gap: 20.0 };
+    burst.arrivals = ArrivalModel::Bursty {
+        burst: 60,
+        within: 0.01,
+        gap: 20.0,
+    };
     burst.sizes = SizeModel::Uniform { lo: 1.0, hi: 12.0 };
-    out.push(("overload-burst".into(), burst.generate(InstanceKind::FlowTime)));
+    out.push((
+        "overload-burst".into(),
+        burst.generate(InstanceKind::FlowTime),
+    ));
     out.push((
         "long-job-trap".into(),
-        long_job_trap(if quick { 60.0 } else { 250.0 }, if quick { 120 } else { 500 }, 0.5),
+        long_job_trap(
+            if quick { 60.0 } else { 250.0 },
+            if quick { 120 } else { 500 },
+            0.5,
+        ),
     ));
     out
 }
@@ -51,24 +66,35 @@ pub fn run(quick: bool) -> Vec<Table> {
         "EXP-RULES: rejection-rule ablation",
         &["workload", "rules", "flow_ratio", "rejected", "rej_frac"],
     );
-    table.note(format!("eps = {eps}; flow_ratio = flow_all / certified LB of the both-rules run"));
+    table.note(format!(
+        "eps = {eps}; flow_ratio = flow_all / certified LB of the both-rules run"
+    ));
 
-    for (name, inst) in workloads(quick) {
+    // Workloads fan out; the four rule configurations of one workload
+    // share its certified LB, so they stay grouped in one replicate.
+    for rows in par_replicates(workloads(quick), |(name, inst)| {
         // Certified LB from the canonical (both-rules) run.
         let canonical = FlowScheduler::new(FlowParams::new(eps)).unwrap().run(&inst);
         let lb = flow_lower_bound(&inst, Some(canonical.dual.objective())).value;
 
-        for (label, r1, r2) in configs {
-            let sched = FlowScheduler::new(FlowParams::with_rules(eps, r1, r2)).unwrap();
-            let out = sched.run(&inst);
-            let m = must_validate("rules", &inst, &out.log, &ValidationConfig::flow_time());
-            table.row(vec![
-                name.clone(),
-                label.to_string(),
-                fmt_g4(m.flow.flow_all / lb),
-                m.flow.rejected.to_string(),
-                fmt_g4(m.flow.rejected_fraction()),
-            ]);
+        configs
+            .iter()
+            .map(|&(label, r1, r2)| {
+                let sched = FlowScheduler::new(FlowParams::with_rules(eps, r1, r2)).unwrap();
+                let out = sched.run(&inst);
+                let m = must_validate("rules", &inst, &out.log, &ValidationConfig::flow_time());
+                vec![
+                    name.clone(),
+                    label.to_string(),
+                    fmt_g4(m.flow.flow_all / lb),
+                    m.flow.rejected.to_string(),
+                    fmt_g4(m.flow.rejected_fraction()),
+                ]
+            })
+            .collect::<Vec<_>>()
+    }) {
+        for row in rows {
+            table.row(row);
         }
     }
     vec![table]
@@ -93,7 +119,10 @@ mod tests {
         // On the long-job trap, having Rule 1 must beat having no rules.
         let both = get("long-job-trap", "both");
         let none = get("long-job-trap", "none");
-        assert!(both < none, "rules must help on the trap: both={both} none={none}");
+        assert!(
+            both < none,
+            "rules must help on the trap: both={both} none={none}"
+        );
         // rule1-only also beats none there (it is the trap-specific rule).
         let r1 = get("long-job-trap", "rule1-only");
         assert!(r1 < none, "rule1 must help on the trap: {r1} vs {none}");

@@ -2,6 +2,12 @@
 //! treap-vs-naive queue ablation, as a table (the Criterion benches
 //! `dispatch_scaling` / `dstruct_ablation` give the rigorous version;
 //! this one runs in seconds and lands in the CSV artifacts).
+//!
+//! Deliberately **serial**: these rows are wall-clock measurements, and
+//! fanning them out across the rayon pool would have replicates contend
+//! for cores and corrupt each other's timings. (Its CSV is also the one
+//! artifact exempt from the byte-identical `--jobs` contract — timing
+//! columns vary run to run regardless.)
 
 use std::time::Instant;
 
@@ -26,7 +32,11 @@ fn time_run(inst: &osr_model::Instance, backend: QueueBackend) -> f64 {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[1_000, 5_000] } else { &[1_000, 5_000, 20_000, 100_000] };
+    let sizes: &[usize] = if quick {
+        &[1_000, 5_000]
+    } else {
+        &[1_000, 5_000, 20_000, 100_000]
+    };
 
     let mut scaling = Table::new(
         "EXP-SCALE: section-2 scheduler throughput vs n (8 machines)",
@@ -35,11 +45,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     for &n in sizes {
         let inst = FlowWorkload::standard(n, 8, 42).generate(InstanceKind::FlowTime);
         let dt = time_run(&inst, QueueBackend::Treap);
-        scaling.row(vec![
-            n.to_string(),
-            fmt_g4(dt),
-            fmt_g4(n as f64 / dt),
-        ]);
+        scaling.row(vec![n.to_string(), fmt_g4(dt), fmt_g4(n as f64 / dt)]);
     }
 
     let mut ablation = Table::new(
@@ -47,10 +53,17 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["n", "treap_s", "naive_s", "speedup"],
     );
     ablation.note("single machine, batched arrivals → queue length Θ(n); backends produce identical schedules");
-    let ab_sizes: &[usize] = if quick { &[2_000] } else { &[2_000, 10_000, 40_000] };
+    let ab_sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[2_000, 10_000, 40_000]
+    };
     for &n in ab_sizes {
         let mut w = FlowWorkload::standard(n, 1, 7);
-        w.arrivals = ArrivalModel::Batch { per_batch: n / 4, gap: 5.0 };
+        w.arrivals = ArrivalModel::Batch {
+            per_batch: n / 4,
+            gap: 5.0,
+        };
         let inst = w.generate(InstanceKind::FlowTime);
         let t_treap = time_run(&inst, QueueBackend::Treap);
         let t_naive = time_run(&inst, QueueBackend::Naive);

@@ -5,6 +5,7 @@
 use osr_core::bounds::smooth_competitive_bound;
 use osr_core::smooth::{audit_smooth_inequality, lambda_alpha, mu_alpha};
 
+use super::par_replicates;
 use crate::table::{fmt_g4, Table};
 
 /// Runs the experiment.
@@ -14,21 +15,35 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "EXP-SMOOTH: randomized audit of (lambda, mu)-smoothness of s^alpha",
-        &["alpha", "lambda", "mu", "trials", "violations", "worst_lhs/rhs", "ratio_bound"],
+        &[
+            "alpha",
+            "lambda",
+            "mu",
+            "trials",
+            "violations",
+            "worst_lhs/rhs",
+            "ratio_bound",
+        ],
     );
     table.note("worst_lhs/rhs ≤ 1 certifies the sampled inequality; ratio_bound = lambda/(1-mu)");
 
-    for &alpha in &alphas {
+    // Alphas fan out; the audit's sampling RNG is seeded per call.
+    for row in par_replicates(alphas.to_vec(), |alpha| {
         let (worst, violations) = audit_smooth_inequality(alpha, trials, 16, 0xC0FFEE);
-        table.row(vec![
+        vec![
             fmt_g4(alpha),
             fmt_g4(lambda_alpha(alpha)),
             fmt_g4(mu_alpha(alpha)),
             trials.to_string(),
             violations.len().to_string(),
             fmt_g4(worst),
-            fmt_g4(smooth_competitive_bound(lambda_alpha(alpha), mu_alpha(alpha))),
-        ]);
+            fmt_g4(smooth_competitive_bound(
+                lambda_alpha(alpha),
+                mu_alpha(alpha),
+            )),
+        ]
+    }) {
+        table.row(row);
     }
     vec![table]
 }

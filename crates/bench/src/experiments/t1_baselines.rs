@@ -13,7 +13,7 @@ use osr_sim::ValidationConfig;
 use osr_workload::adversarial::long_job_trap;
 use osr_workload::{ArrivalModel, FlowWorkload, SizeModel};
 
-use super::must_validate;
+use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
 
 fn workloads(quick: bool) -> Vec<(String, Instance)> {
@@ -24,14 +24,32 @@ fn workloads(quick: bool) -> Vec<(String, Instance)> {
         FlowWorkload::standard(n, 4, 11).generate(InstanceKind::FlowTime),
     ));
     let mut bursty = FlowWorkload::standard(n, 4, 12);
-    bursty.arrivals = ArrivalModel::Bursty { burst: 40, within: 0.01, gap: 30.0 };
-    out.push(("bursty".to_string(), bursty.generate(InstanceKind::FlowTime)));
+    bursty.arrivals = ArrivalModel::Bursty {
+        burst: 40,
+        within: 0.01,
+        gap: 30.0,
+    };
+    out.push((
+        "bursty".to_string(),
+        bursty.generate(InstanceKind::FlowTime),
+    ));
     let mut bimodal = FlowWorkload::standard(n, 2, 13);
-    bimodal.sizes = SizeModel::Bimodal { short: 1.0, long: 120.0, p_long: 0.05 };
-    out.push(("bimodal".to_string(), bimodal.generate(InstanceKind::FlowTime)));
+    bimodal.sizes = SizeModel::Bimodal {
+        short: 1.0,
+        long: 120.0,
+        p_long: 0.05,
+    };
+    out.push((
+        "bimodal".to_string(),
+        bimodal.generate(InstanceKind::FlowTime),
+    ));
     out.push((
         "long-job-trap".to_string(),
-        long_job_trap(if quick { 50.0 } else { 200.0 }, if quick { 100 } else { 400 }, 0.5),
+        long_job_trap(
+            if quick { 50.0 } else { 200.0 },
+            if quick { 100 } else { 400 },
+            0.5,
+        ),
     ));
     out
 }
@@ -41,13 +59,25 @@ pub fn run(quick: bool) -> Vec<Table> {
     let eps = 0.2;
     let mut table = Table::new(
         "EXP-T1-BASE: SPAA'18 vs no-rejection and speed-augmented baselines",
-        &["workload", "n", "spaa18", "greedy_spt", "greedy_fifo", "speedaug", "spaa18_rejfrac"],
+        &[
+            "workload",
+            "n",
+            "spaa18",
+            "greedy_spt",
+            "greedy_fifo",
+            "speedaug",
+            "spaa18_rejfrac",
+        ],
     );
-    table.note(format!("cells are flow_all / certified LB; spaa18 eps = {eps}; speedaug = (1.2-speed, eps_r=0.2)"));
+    table.note(format!(
+        "cells are flow_all / certified LB; spaa18 eps = {eps}; speedaug = (1.2-speed, eps_r=0.2)"
+    ));
     table.note("speedaug runs 1.2x machines — reference point, not a feasible unit-speed schedule");
     table.note("rejection-capable ratios may drop below 1: the LB prices serving ALL jobs");
 
-    for (name, inst) in workloads(quick) {
+    // Workloads fan out; each replicate runs all four policies on its
+    // instance so the shared certified LB stays local.
+    for row in par_replicates(workloads(quick), |(name, inst)| {
         let out = FlowScheduler::with_eps(eps).unwrap().run(&inst);
         let spaa = must_validate("t1_base", &inst, &out.log, &ValidationConfig::flow_time());
         let lb = flow_lower_bound(&inst, Some(out.dual.objective())).value;
@@ -56,8 +86,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         let g_spt = must_validate("t1_base", &inst, &g_spt_log, &ValidationConfig::flow_time());
 
         let (g_fifo_log, _) = GreedyScheduler::ect_fifo().run(&inst);
-        let g_fifo =
-            must_validate("t1_base", &inst, &g_fifo_log, &ValidationConfig::flow_time());
+        let g_fifo = must_validate(
+            "t1_base",
+            &inst,
+            &g_fifo_log,
+            &ValidationConfig::flow_time(),
+        );
 
         let (aug_log, _) = SpeedAugScheduler::new(0.2, 0.2).unwrap().run(&inst);
         // Speed-augmented logs have speed 1.2 — validate with the
@@ -69,7 +103,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             Metrics::compute(&inst, &aug_log, 2.0)
         };
 
-        table.row(vec![
+        vec![
             name,
             inst.len().to_string(),
             fmt_g4(spaa.flow.flow_all / lb),
@@ -77,7 +111,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt_g4(g_fifo.flow.flow_served / lb),
             fmt_g4(aug.flow.flow_all / lb),
             fmt_g4(spaa.flow.rejected_fraction()),
-        ]);
+        ]
+    }) {
+        table.row(row);
     }
     vec![table]
 }
@@ -90,7 +126,11 @@ mod tests {
     fn spaa18_beats_fifo_on_the_trap() {
         let tables = run(true);
         let t = &tables[0];
-        let trap = t.rows.iter().find(|r| r[0] == "long-job-trap").expect("trap row");
+        let trap = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "long-job-trap")
+            .expect("trap row");
         let spaa: f64 = trap[2].parse().unwrap();
         let fifo: f64 = trap[4].parse().unwrap();
         assert!(

@@ -7,7 +7,6 @@
 //! trivial and (for `m = 1`) SRPT bounds — so the reported ratio is an
 //! upper estimate of the true competitive ratio.
 
-use crossbeam::thread;
 use osr_baselines::flow_lower_bound;
 use osr_core::bounds::{flowtime_competitive_bound, flowtime_rejection_budget};
 use osr_core::{FlowParams, FlowScheduler};
@@ -15,7 +14,7 @@ use osr_model::InstanceKind;
 use osr_sim::ValidationConfig;
 use osr_workload::FlowWorkload;
 
-use super::{max, mean, must_validate};
+use super::{max, mean, must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
 
 /// Runs the experiment; `quick` trims sizes for tests.
@@ -23,54 +22,55 @@ pub fn run(quick: bool) -> Vec<Table> {
     let eps_sweep = [0.1, 0.2, 1.0 / 3.0, 0.5, 0.75, 1.0];
     let machine_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 10] };
     let n = if quick { 300 } else { 2000 };
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
 
     let mut table = Table::new(
         "EXP-T1-RATIO: flow-time competitive ratio vs eps",
         &[
-            "eps", "m", "n", "ratio_mean", "ratio_max", "bound", "rej_frac", "budget",
+            "eps",
+            "m",
+            "n",
+            "ratio_mean",
+            "ratio_max",
+            "bound",
+            "rej_frac",
+            "budget",
             "lb_kind",
         ],
     );
-    table.note("ratio = flow_all / certified LB (dual/2 ∨ trivial ∨ SRPT); upper estimate of true ratio");
+    table.note(
+        "ratio = flow_all / certified LB (dual/2 ∨ trivial ∨ SRPT); upper estimate of true ratio",
+    );
 
     for &m in machine_counts {
         for &eps in &eps_sweep {
-            // Seeds run in parallel (crossbeam scoped threads).
-            let results: Vec<(f64, f64, &'static str)> = thread::scope(|scope| {
-                let handles: Vec<_> = seeds
-                    .iter()
-                    .map(|&seed| {
-                        scope.spawn(move |_| {
-                            let inst = FlowWorkload::standard(n, m, seed)
-                                .generate(InstanceKind::FlowTime);
-                            let sched = FlowScheduler::new(FlowParams::new(eps)).unwrap();
-                            let out = sched.run(&inst);
-                            let metrics = must_validate(
-                                "t1_ratio",
-                                &inst,
-                                &out.log,
-                                &ValidationConfig::flow_time(),
-                            );
-                            let lb = flow_lower_bound(&inst, Some(out.dual.objective()));
-                            let kind = if lb.value == lb.dual_half {
-                                "dual"
-                            } else if Some(lb.value) == lb.srpt {
-                                "srpt"
-                            } else {
-                                "trivial"
-                            };
-                            (
-                                metrics.flow.flow_all / lb.value,
-                                metrics.flow.rejected_fraction(),
-                                kind,
-                            )
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+            // Seeds fan out on the rayon pool; each replicate's RNG
+            // stream comes from its own seed, so the table is identical
+            // for any worker count.
+            let results: Vec<(f64, f64, &'static str)> = par_replicates(seeds.clone(), |seed| {
+                let inst = FlowWorkload::standard(n, m, seed).generate(InstanceKind::FlowTime);
+                let sched = FlowScheduler::new(FlowParams::new(eps)).unwrap();
+                let out = sched.run(&inst);
+                let metrics =
+                    must_validate("t1_ratio", &inst, &out.log, &ValidationConfig::flow_time());
+                let lb = flow_lower_bound(&inst, Some(out.dual.objective()));
+                let kind = if lb.value == lb.dual_half {
+                    "dual"
+                } else if Some(lb.value) == lb.srpt {
+                    "srpt"
+                } else {
+                    "trivial"
+                };
+                (
+                    metrics.flow.flow_all / lb.value,
+                    metrics.flow.rejected_fraction(),
+                    kind,
+                )
+            });
 
             let ratios: Vec<f64> = results.iter().map(|r| r.0).collect();
             let rejs: Vec<f64> = results.iter().map(|r| r.1).collect();
@@ -112,8 +112,8 @@ mod tests {
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         assert_eq!(t.rows.len(), 2 * 6); // 2 machine counts × 6 eps values
-        // Every measured mean ratio must sit below the theorem curve —
-        // the certified LB is tight enough on these workloads.
+                                         // Every measured mean ratio must sit below the theorem curve —
+                                         // the certified LB is tight enough on these workloads.
         for row in &t.rows {
             let ratio: f64 = row[3].parse().unwrap();
             let bound: f64 = row[5].parse().unwrap();

@@ -9,21 +9,38 @@ use osr_model::{InstanceKind, Metrics};
 use osr_sim::{validate_log, ValidationConfig};
 use osr_workload::{FlowWorkload, SizeModel, WeightModel};
 
-use super::{max, mean};
+use super::{max, mean, par_replicates};
 use crate::table::{fmt_g4, Table};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let eps_sweep: &[f64] = if quick { &[0.2, 0.5, 1.0] } else { &[0.1, 0.2, 1.0 / 3.0, 0.5, 0.75, 1.0] };
-    let alphas: &[f64] = if quick { &[2.0, 3.0] } else { &[1.5, 2.0, 2.5, 3.0] };
+    let eps_sweep: &[f64] = if quick {
+        &[0.2, 0.5, 1.0]
+    } else {
+        &[0.1, 0.2, 1.0 / 3.0, 0.5, 0.75, 1.0]
+    };
+    let alphas: &[f64] = if quick {
+        &[2.0, 3.0]
+    } else {
+        &[1.5, 2.0, 2.5, 3.0]
+    };
     let n = if quick { 200 } else { 1200 };
     let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4] };
 
     let mut ratio_table = Table::new(
         "EXP-T2-RATIO: weighted flow + energy vs eps and alpha",
-        &["alpha", "eps", "ratio_mean", "ratio_max", "bound", "wrej_frac", "budget"],
+        &[
+            "alpha",
+            "eps",
+            "ratio_mean",
+            "ratio_max",
+            "bound",
+            "wrej_frac",
+            "budget",
+        ],
     );
-    ratio_table.note("ratio = (weighted flow of served + all energy) / alone-cost LB over all jobs");
+    ratio_table
+        .note("ratio = (weighted flow of served + all energy) / alone-cost LB over all jobs");
     ratio_table.note("rejection may push ratios slightly below 1: the LB prices serving ALL jobs");
 
     let mut base_table = Table::new(
@@ -34,27 +51,26 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     for &alpha in alphas {
         for &eps in eps_sweep {
-            let mut ratios = Vec::new();
-            let mut wrejs = Vec::new();
-            for &seed in &seeds {
+            // Seeds fan out; each replicate is self-seeded.
+            let results: Vec<(f64, f64)> = par_replicates(seeds.clone(), |seed| {
                 let mut w = FlowWorkload::standard(n, 3, 100 + seed);
                 w.weights = WeightModel::Uniform { lo: 1.0, hi: 8.0 };
                 let inst = w.generate(InstanceKind::FlowEnergy);
-                let sched =
-                    EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha)).unwrap();
+                let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha)).unwrap();
                 let out = sched.run(&inst);
                 let report = validate_log(&inst, &out.log, &ValidationConfig::flow_energy());
                 assert!(report.is_valid(), "{:?}", report.errors.first());
                 let m = Metrics::compute(&inst, &out.log, alpha);
                 let lb = energyflow_alone_lower_bound(&inst, alpha);
-                ratios.push(m.weighted_flow_plus_energy() / lb);
                 let frac = m.flow.rejected_weight_fraction();
-                wrejs.push(frac);
                 assert!(
                     frac <= eps + 1e-9,
                     "weight budget violated: {frac} > {eps} (alpha={alpha}, seed={seed})"
                 );
-            }
+                (m.weighted_flow_plus_energy() / lb, frac)
+            });
+            let ratios: Vec<f64> = results.iter().map(|r| r.0).collect();
+            let wrejs: Vec<f64> = results.iter().map(|r| r.1).collect();
             ratio_table.row(vec![
                 fmt_g4(alpha),
                 fmt_g4(eps),
@@ -69,7 +85,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         // Baseline comparison at eps = 0.2 on a stressful workload.
         let mut w = FlowWorkload::standard(n, 2, 777);
         w.weights = WeightModel::Uniform { lo: 1.0, hi: 8.0 };
-        w.sizes = SizeModel::Bimodal { short: 1.0, long: 80.0, p_long: 0.08 };
+        w.sizes = SizeModel::Bimodal {
+            short: 1.0,
+            long: 80.0,
+            p_long: 0.08,
+        };
         let inst = w.generate(InstanceKind::FlowEnergy);
         let lb = energyflow_alone_lower_bound(&inst, alpha);
 

@@ -9,59 +9,82 @@ use osr_core::energymin::{per_job_energy_lower_bound, EnergyMinParams, EnergyMin
 use osr_sim::{validate_log, ValidationConfig};
 use osr_workload::EnergyWorkload;
 
+use super::par_replicates;
 use crate::table::{fmt_g4, Table};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let alphas: &[f64] = if quick { &[2.0, 3.0] } else { &[1.5, 2.0, 2.5, 3.0] };
+    let alphas: &[f64] = if quick {
+        &[2.0, 3.0]
+    } else {
+        &[1.5, 2.0, 2.5, 3.0]
+    };
     let n = if quick { 60 } else { 200 };
 
     let mut table = Table::new(
         "EXP-T3-RATIO: energy vs lower bounds and AVR",
-        &["alpha", "m", "greedy_ratio", "avr_ratio", "bound", "lb_kind"],
+        &[
+            "alpha",
+            "m",
+            "greedy_ratio",
+            "avr_ratio",
+            "bound",
+            "lb_kind",
+        ],
     );
     table.note("greedy/avr ratio = energy / LB; LB = YDS (m=1) or per-job ∨ pooled-YDS (m>1)");
-    table.note("multi-machine LBs under-estimate OPT under contention: those rows over-estimate the ratio");
+    table.note(
+        "multi-machine LBs under-estimate OPT under contention: those rows over-estimate the ratio",
+    );
 
+    // The alpha × m grid fans out; instances are self-seeded by m.
+    let mut cells: Vec<(f64, usize)> = Vec::new();
     for &alpha in alphas {
         for &m in &[1usize, 3] {
-            let inst = EnergyWorkload::standard(n, m, 300 + m as u64).generate();
-            let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
-            let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
-            assert!(report.is_valid(), "{:?}", report.errors.first());
-
-            let (lb, lb_kind) = if m == 1 {
-                (yds_energy(&inst, alpha), "yds")
-            } else {
-                // Combined per-job ∨ pooled-YDS/m^{α−1} bound. Still an
-                // under-estimate of OPT under contention, so these rows
-                // over-estimate the true ratio.
-                let combined = energy_lower_bound(&inst, alpha);
-                let kind = if combined > per_job_energy_lower_bound(&inst, alpha) {
-                    "pooled-yds"
-                } else {
-                    "per-job"
-                };
-                (combined, kind)
-            };
-            assert!(lb > 0.0);
-            let greedy_ratio = out.total_energy / lb;
-
-            let (avr_log, _, avr_energy) = AvrScheduler { alpha }.run(&inst);
-            let avr_report = validate_log(&inst, &avr_log, &ValidationConfig::energy());
-            assert!(avr_report.is_valid());
-            let avr_ratio = avr_energy / lb;
-
-            let bound = energymin_competitive_bound(alpha);
-            table.row(vec![
-                fmt_g4(alpha),
-                m.to_string(),
-                fmt_g4(greedy_ratio),
-                fmt_g4(avr_ratio),
-                fmt_g4(bound),
-                lb_kind.to_string(),
-            ]);
+            cells.push((alpha, m));
         }
+    }
+    for row in par_replicates(cells, |(alpha, m)| {
+        let inst = EnergyWorkload::standard(n, m, 300 + m as u64).generate();
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+            .unwrap()
+            .run(&inst);
+        let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
+        assert!(report.is_valid(), "{:?}", report.errors.first());
+
+        let (lb, lb_kind) = if m == 1 {
+            (yds_energy(&inst, alpha), "yds")
+        } else {
+            // Combined per-job ∨ pooled-YDS/m^{α−1} bound. Still an
+            // under-estimate of OPT under contention, so these rows
+            // over-estimate the true ratio.
+            let combined = energy_lower_bound(&inst, alpha);
+            let kind = if combined > per_job_energy_lower_bound(&inst, alpha) {
+                "pooled-yds"
+            } else {
+                "per-job"
+            };
+            (combined, kind)
+        };
+        assert!(lb > 0.0);
+        let greedy_ratio = out.total_energy / lb;
+
+        let (avr_log, _, avr_energy) = AvrScheduler { alpha }.run(&inst);
+        let avr_report = validate_log(&inst, &avr_log, &ValidationConfig::energy());
+        assert!(avr_report.is_valid());
+        let avr_ratio = avr_energy / lb;
+
+        let bound = energymin_competitive_bound(alpha);
+        vec![
+            fmt_g4(alpha),
+            m.to_string(),
+            fmt_g4(greedy_ratio),
+            fmt_g4(avr_ratio),
+            fmt_g4(bound),
+            lb_kind.to_string(),
+        ]
+    }) {
+        table.row(row);
     }
 
     // Discretization ablation: grid resolution vs energy (single
@@ -71,23 +94,19 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["speeds", "starts", "speed_ratio", "energy", "vs_finest"],
     );
     let inst = EnergyWorkload::standard(if quick { 40 } else { 120 }, 1, 999).generate();
-    let configs: &[(usize, usize, f64)] = &[
-        (4, 4, 2.0),
-        (8, 8, 1.5),
-        (16, 16, 1.25),
-        (32, 32, 1.1),
-    ];
-    let mut energies = Vec::new();
-    for &(speeds, starts, ratio) in configs {
-        let params = EnergyMinParams {
-            alpha: 2.0,
-            speed_ratio: ratio,
-            max_speeds: speeds,
-            start_grid: starts,
-        };
-        let out = EnergyMinScheduler::new(params).unwrap().run(&inst);
-        energies.push((speeds, starts, ratio, out.total_energy));
-    }
+    let configs: &[(usize, usize, f64)] =
+        &[(4, 4, 2.0), (8, 8, 1.5), (16, 16, 1.25), (32, 32, 1.1)];
+    let energies: Vec<(usize, usize, f64, f64)> =
+        par_replicates(configs.to_vec(), |(speeds, starts, ratio)| {
+            let params = EnergyMinParams {
+                alpha: 2.0,
+                speed_ratio: ratio,
+                max_speeds: speeds,
+                start_grid: starts,
+            };
+            let out = EnergyMinScheduler::new(params).unwrap().run(&inst);
+            (speeds, starts, ratio, out.total_energy)
+        });
     let finest = energies.last().unwrap().3;
     for (speeds, starts, ratio, energy) in energies {
         grid_table.row(vec![
@@ -115,7 +134,10 @@ mod tests {
             assert!(greedy >= 1.0 - 1e-9, "energy below a lower bound: {row:?}");
             // The theorem bound is loose; greedy should beat it by far
             // on random instances. Assert the hard claim only.
-            assert!(greedy <= bound * 2.0, "greedy {greedy} way above alpha^alpha {bound}");
+            assert!(
+                greedy <= bound * 2.0,
+                "greedy {greedy} way above alpha^alpha {bound}"
+            );
         }
     }
 
@@ -125,7 +147,10 @@ mod tests {
         let grid = &tables[1];
         for row in &grid.rows {
             let vs: f64 = row[4].parse().unwrap();
-            assert!(vs >= 0.95, "coarse grid cannot beat the finest by much: {row:?}");
+            assert!(
+                vs >= 0.95,
+                "coarse grid cannot beat the finest by much: {row:?}"
+            );
             assert!(vs < 2.0, "coarse grid should stay within 2x: {row:?}");
         }
     }

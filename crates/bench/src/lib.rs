@@ -8,6 +8,26 @@
 //! All experiments run in **quick** mode (seconds, used by integration
 //! tests and CI) or **full** mode (the numbers recorded in
 //! EXPERIMENTS.md).
+//!
+//! ## Parallelism and determinism
+//!
+//! Each experiment's replicate cross product (seeds × instances ×
+//! policies) fans out over a rayon worker pool; `run_experiments
+//! --jobs N` sets the worker count. Output is **byte-identical for any
+//! `N`** — every replicate derives its RNG stream from its own explicit
+//! seed and results are collected in input order (see
+//! [`experiments`] for the full contract; `scale`, which measures
+//! wall-clock, is the one deliberately-serial exception). CI pins this
+//! with a `--jobs 1` vs `--jobs 8` CSV diff, and the
+//! `parallel_determinism` integration test does the same in-process.
+//!
+//! ## Perf baselines
+//!
+//! The Criterion suites under `benches/` track the dispatch hot path
+//! (`dstruct_ablation`, `dispatch_scaling`) and the event queue
+//! (`event_queue`). `src/bin/bench_summary.rs` runs the dispatch suites
+//! and distills `BENCH_dispatch.json`; BENCH.md explains how to record
+//! a new baseline and keeps the narrative history.
 
 // Stylistic lints intentionally not followed:
 // - `needless_range_loop`: machine loops index several parallel state

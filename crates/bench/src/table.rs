@@ -40,7 +40,12 @@ impl Table {
 
     /// Appends a row; panics on arity mismatch.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.title);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -84,8 +89,11 @@ impl std::fmt::Display for Table {
         let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         writeln!(f, "{}", "-".repeat(total))?;
         for r in &self.rows {
-            let cells: Vec<String> =
-                r.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let cells: Vec<String> = r
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             writeln!(f, "{}", cells.join("  "))?;
         }
         for n in &self.notes {

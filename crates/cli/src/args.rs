@@ -63,7 +63,8 @@ impl Args {
 
     /// Required option value.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.opt(name).ok_or_else(|| format!("missing required option --{name}"))
+        self.opt(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
     }
 
     /// Option parsed as `T`, with a default.

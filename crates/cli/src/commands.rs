@@ -67,10 +67,15 @@ fn parse_arrivals(spec: &str) -> Result<ArrivalModel, String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
         ("poisson", [rate]) => Ok(ArrivalModel::Poisson { rate: *rate }),
-        ("bursty", [b, w, g]) => {
-            Ok(ArrivalModel::Bursty { burst: *b as usize, within: *w, gap: *g })
-        }
-        ("batch", [p, g]) => Ok(ArrivalModel::Batch { per_batch: *p as usize, gap: *g }),
+        ("bursty", [b, w, g]) => Ok(ArrivalModel::Bursty {
+            burst: *b as usize,
+            within: *w,
+            gap: *g,
+        }),
+        ("batch", [p, g]) => Ok(ArrivalModel::Batch {
+            per_batch: *p as usize,
+            gap: *g,
+        }),
         ("once", []) => Ok(ArrivalModel::AllAtOnce),
         _ => Err(format!("bad arrivals spec `{spec}`")),
     }
@@ -80,11 +85,17 @@ fn parse_sizes(spec: &str) -> Result<SizeModel, String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
         ("uniform", [lo, hi]) => Ok(SizeModel::Uniform { lo: *lo, hi: *hi }),
-        ("pareto", [shape, lo, hi]) => {
-            Ok(SizeModel::BoundedPareto { shape: *shape, lo: *lo, hi: *hi })
-        }
+        ("pareto", [shape, lo, hi]) => Ok(SizeModel::BoundedPareto {
+            shape: *shape,
+            lo: *lo,
+            hi: *hi,
+        }),
         ("exp", [mean]) => Ok(SizeModel::Exponential { mean: *mean }),
-        ("bimodal", [s, l, p]) => Ok(SizeModel::Bimodal { short: *s, long: *l, p_long: *p }),
+        ("bimodal", [s, l, p]) => Ok(SizeModel::Bimodal {
+            short: *s,
+            long: *l,
+            p_long: *p,
+        }),
         _ => Err(format!("bad sizes spec `{spec}`")),
     }
 }
@@ -94,9 +105,10 @@ fn parse_machine_model(spec: &str) -> Result<MachineModel, String> {
     match (head.as_str(), v.as_slice()) {
         ("identical", []) => Ok(MachineModel::Identical),
         ("related", [f]) => Ok(MachineModel::RelatedSpeeds { max_factor: *f }),
-        ("unrelated", [lo, hi]) => {
-            Ok(MachineModel::Unrelated { lo_factor: *lo, hi_factor: *hi })
-        }
+        ("unrelated", [lo, hi]) => Ok(MachineModel::Unrelated {
+            lo_factor: *lo,
+            hi_factor: *hi,
+        }),
         ("restricted", [k]) => Ok(MachineModel::Restricted { avg_eligible: *k }),
         _ => Err(format!("bad machine-model spec `{spec}`")),
     }
@@ -121,9 +133,12 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
             Some(spec) => parse_machine_model(spec)?,
             None => MachineModel::Identical,
         };
-        let text =
-            fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let importer = TraceImport { machines, machine_model, seed };
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let importer = TraceImport {
+            machines,
+            machine_model,
+            seed,
+        };
         let instance = importer.parse(&text).map_err(|e| format!("{path}: {e}"))?;
         let out_text = io::instance_to_string(&instance);
         return if let Some(out) = args.opt("out") {
@@ -168,7 +183,12 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
             }
             None => (1.2, 3.0),
         };
-        EnergyWorkload { base: spec, min_slack: lo, max_slack: hi }.generate()
+        EnergyWorkload {
+            base: spec,
+            min_slack: lo,
+            max_slack: hi,
+        }
+        .generate()
     } else {
         spec.generate(kind)
     };
@@ -176,7 +196,11 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
     let text = io::instance_to_string(&instance);
     if let Some(path) = args.opt("out") {
         fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
-        Ok(format!("wrote {} jobs on {} machines to {path}\n", instance.len(), machines))
+        Ok(format!(
+            "wrote {} jobs on {} machines to {path}\n",
+            instance.len(),
+            machines
+        ))
     } else {
         Ok(text)
     }
@@ -255,26 +279,47 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
     if !report.is_valid() {
         return Err(format!(
             "schedule failed validation: {}",
-            report.errors.first().map(|e| e.to_string()).unwrap_or_default()
+            report
+                .errors
+                .first()
+                .map(|e| e.to_string())
+                .unwrap_or_default()
         ));
     }
     let metrics = Metrics::compute(&instance, &log, alpha);
 
     let mut out = String::new();
     let _ = writeln!(out, "algorithm      : {name}");
-    let _ = writeln!(out, "jobs           : {} ({} completed, {} rejected)",
-        instance.len(), metrics.flow.completed, metrics.flow.rejected);
+    let _ = writeln!(
+        out,
+        "jobs           : {} ({} completed, {} rejected)",
+        instance.len(),
+        metrics.flow.completed,
+        metrics.flow.rejected
+    );
     let _ = writeln!(out, "flow (served)  : {:.3}", metrics.flow.flow_served);
     let _ = writeln!(out, "flow (all)     : {:.3}", metrics.flow.flow_all);
-    let _ = writeln!(out, "weighted flow  : {:.3}", metrics.flow.weighted_flow_served);
+    let _ = writeln!(
+        out,
+        "weighted flow  : {:.3}",
+        metrics.flow.weighted_flow_served
+    );
     let _ = writeln!(out, "energy (α={alpha}) : {:.3}", metrics.energy.total());
     let _ = writeln!(out, "makespan       : {:.3}", metrics.flow.makespan);
-    let _ = writeln!(out, "rejected frac  : {:.4} (weight {:.4})",
-        metrics.flow.rejected_fraction(), metrics.flow.rejected_weight_fraction());
+    let _ = writeln!(
+        out,
+        "rejected frac  : {:.4} (weight {:.4})",
+        metrics.flow.rejected_fraction(),
+        metrics.flow.rejected_weight_fraction()
+    );
     if let Some(d) = dual {
         let lb = flow_lower_bound(&instance, Some(d));
-        let _ = writeln!(out, "certified LB   : {:.3} → ratio ≤ {:.3}",
-            lb.value, metrics.flow.flow_all / lb.value);
+        let _ = writeln!(
+            out,
+            "certified LB   : {:.3} → ratio ≤ {:.3}",
+            lb.value,
+            metrics.flow.flow_all / lb.value
+        );
     }
     if args.flag("gantt") {
         let _ = writeln!(out, "\n{}", render_gantt(&instance, &log, 78));
@@ -369,14 +414,34 @@ pub fn cmd_bounds(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "parameters: eps = {eps}, alpha = {alpha}\n");
     let _ = writeln!(out, "Theorem 1 (flow-time):");
-    let _ = writeln!(out, "  competitive ratio ≤ {:.3}", bounds::flowtime_competitive_bound(eps));
-    let _ = writeln!(out, "  rejected jobs     ≤ {:.3} · n", bounds::flowtime_rejection_budget(eps));
+    let _ = writeln!(
+        out,
+        "  competitive ratio ≤ {:.3}",
+        bounds::flowtime_competitive_bound(eps)
+    );
+    let _ = writeln!(
+        out,
+        "  rejected jobs     ≤ {:.3} · n",
+        bounds::flowtime_rejection_budget(eps)
+    );
     let _ = writeln!(out, "Theorem 2 (weighted flow + energy):");
-    let _ = writeln!(out, "  competitive ratio ≤ {:.3}", bounds::energyflow_competitive_bound(eps, alpha));
+    let _ = writeln!(
+        out,
+        "  competitive ratio ≤ {:.3}",
+        bounds::energyflow_competitive_bound(eps, alpha)
+    );
     let _ = writeln!(out, "  rejected weight   ≤ {eps:.3} · W");
     let _ = writeln!(out, "Theorem 3 (energy with deadlines):");
-    let _ = writeln!(out, "  competitive ratio ≤ α^α = {:.3}", bounds::energymin_competitive_bound(alpha));
-    let _ = writeln!(out, "Lemma 2 lower bound: ≥ (α/9)^α = {:.5}", bounds::energymin_lower_bound(alpha));
+    let _ = writeln!(
+        out,
+        "  competitive ratio ≤ α^α = {:.3}",
+        bounds::energymin_competitive_bound(alpha)
+    );
+    let _ = writeln!(
+        out,
+        "Lemma 2 lower bound: ≥ (α/9)^α = {:.5}",
+        bounds::energymin_lower_bound(alpha)
+    );
     Ok(out)
 }
 
@@ -398,8 +463,10 @@ mod tests {
 
     #[test]
     fn gen_energy_kind_has_deadlines() {
-        let out =
-            cmd_gen(&args("gen --kind energy --n 10 --machines 1 --slack 1.5:2.5")).unwrap();
+        let out = cmd_gen(&args(
+            "gen --kind energy --n 10 --machines 1 --slack 1.5:2.5",
+        ))
+        .unwrap();
         let inst = io::instance_from_str(&out).unwrap();
         assert!(inst.jobs().iter().all(|j| j.deadline.is_some()));
     }
@@ -419,8 +486,7 @@ mod tests {
         let inst_path = dir.join("inst.csv");
         let log_path = dir.join("log.csv");
 
-        let text =
-            cmd_gen(&args("gen --kind flowtime --n 30 --machines 2 --seed 9")).unwrap();
+        let text = cmd_gen(&args("gen --kind flowtime --n 30 --machines 2 --seed 9")).unwrap();
         fs::write(&inst_path, text).unwrap();
 
         let run_out = cmd_run(&args(&format!(
@@ -447,12 +513,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("osr-cli-cmp-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let inst_path = dir.join("inst.csv");
-        let text =
-            cmd_gen(&args("gen --kind flowtime --n 40 --machines 2 --seed 3")).unwrap();
+        let text = cmd_gen(&args("gen --kind flowtime --n 40 --machines 2 --seed 3")).unwrap();
         fs::write(&inst_path, text).unwrap();
-        let out =
-            cmd_compare(&args(&format!("compare --input {} --eps 0.3", inst_path.display())))
-                .unwrap();
+        let out = cmd_compare(&args(&format!(
+            "compare --input {} --eps 0.3",
+            inst_path.display()
+        )))
+        .unwrap();
         assert!(out.contains("spaa18-flow"));
         assert!(out.contains("greedy"));
         assert!(out.contains("esa16-speedaug"));
@@ -467,8 +534,7 @@ mod tests {
         let inst_path = dir.join("inst.csv");
         let text = cmd_gen(&args("gen --kind energy --n 5 --machines 1")).unwrap();
         fs::write(&inst_path, text).unwrap();
-        let err =
-            cmd_compare(&args(&format!("compare --input {}", inst_path.display())));
+        let err = cmd_compare(&args(&format!("compare --input {}", inst_path.display())));
         assert!(err.is_err());
         assert!(err.unwrap_err().contains("energymin"));
         fs::remove_dir_all(&dir).ok();

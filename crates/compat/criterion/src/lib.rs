@@ -1,0 +1,358 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_with_input`/`bench_function`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros —
+//! on top of a small but honest measurement loop:
+//!
+//! 1. warm up, then calibrate an iteration count so one sample takes
+//!    roughly `target_sample_time`;
+//! 2. collect `sample_size` samples of mean-ns-per-iteration;
+//! 3. report `[min median max]`, plus throughput when configured.
+//!
+//! Environment knobs (used by the `bench_summary` binary in
+//! `osr-bench`):
+//!
+//! * `OSR_BENCH_QUICK=1` — 5 samples of ~5 ms instead of the default
+//!   sample budget; seconds per suite instead of minutes.
+//! * `OSR_BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"group":…,"bench":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…}`.
+//!
+//! The binary also understands the arguments `cargo bench`/`cargo test`
+//! pass (`--bench`, `--test`, a filter substring); `--test` runs every
+//! benchmark body once without timing.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and run context.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("OSR_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        Criterion {
+            sample_size: if quick { 5 } else { 20 },
+            target_sample_time: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(40)
+            },
+            filter: None,
+            test_mode: false,
+            json_path: std::env::var("OSR_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (filter substring, `--test`).
+    /// Called by [`criterion_main!`]; follows `cargo bench` conventions.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                "--test" => self.test_mode = true,
+                "--quick" => {
+                    self.sample_size = 5;
+                    self.target_sample_time = Duration::from_millis(5);
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            c: self,
+        }
+    }
+
+    fn run_one<F>(&mut self, group: &str, bench: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{group}/{bench}");
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("{full}: ok (test mode)");
+            return;
+        }
+
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes at least target_sample_time.
+        let mut iters: u64 = 1;
+        loop {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= self.target_sample_time || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                let need =
+                    self.target_sample_time.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64;
+                need.clamp(1.2, 16.0)
+            };
+            iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let min = samples_ns[0];
+        let max = *samples_ns.last().unwrap();
+        let median = median_of_sorted(&samples_ns);
+
+        let mut line = format!(
+            "{full:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let eps = *n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+        }
+        if let Some(Throughput::Bytes(n)) = throughput {
+            let bps = *n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {bps:.0} B/s"));
+        }
+        println!("{line}");
+
+        if let Some(path) = &self.json_path {
+            let json = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{median},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{}}}\n",
+                escape(group),
+                escape(bench),
+                samples_ns.len()
+            );
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("OSR_BENCH_JSON {path}: {e}"));
+            file.write_all(json.as_bytes()).expect("write bench json");
+        }
+    }
+}
+
+fn median_of_sorted(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let throughput = self.throughput.clone();
+        self.c
+            .run_one(&self.name, &id.0, throughput.as_ref(), |b| f(b, input));
+    }
+
+    /// Benchmarks `f` under the given name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let throughput = self.throughput.clone();
+        self.c
+            .run_one(&self.name, &name, throughput.as_ref(), |b| f(b));
+    }
+
+    /// Ends the group (upstream parity; nothing to finalize here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Per-iteration throughput declaration.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().sample_size(3);
+        c.target_sample_time = Duration::from_micros(200);
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Default::default()
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| 1u64);
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("treap", 1000).0, "treap/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1.0, 3.0, 5.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the API subset the `osr-bench` experiment harness uses:
+//! `par_iter()` / `into_par_iter()` on slices, `Vec`, and `Range<usize>`,
+//! a `map(...).collect::<Vec<_>>()` pipeline, and
+//! [`ThreadPoolBuilder::build_global`] for `--jobs` control.
+//!
+//! Execution model: each `collect` statically partitions the items into
+//! one contiguous chunk per worker and runs the chunks on
+//! `std::thread::scope` threads. **Results are always returned in input
+//! order**, whatever the worker count — the determinism contract the
+//! experiment tables rely on (`--jobs N` output is byte-identical to
+//! `--jobs 1`). Static partitioning (no work stealing) is a fine trade
+//! for the harness: replicates within one experiment cost roughly the
+//! same, so stealing would buy little.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = unset (use available parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count the next parallel call will use.
+pub fn current_num_threads() -> usize {
+    let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]; mirrors upstream's
+/// "already initialized" failure mode, though this shim never errors.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global worker count, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; 0 means auto.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Unlike upstream this may be
+    /// called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Order-preserving parallel map over owned items.
+fn par_map_vec<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Static partition into contiguous chunks, one per worker, so the
+    // concatenated results are in input order.
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let chunk_results: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// An unindexed parallel iterator holding its items eagerly.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps every item through `f` (lazily; runs at `collect`).
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Upstream tuning knob; a no-op under static partitioning.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Runs the pipeline across the global worker count and collects
+    /// results **in input order**.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Parallel iterator over the items.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over borrowed items.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type produced.
+    type Item: Send;
+    /// Parallel iterator over the borrowed items.
+    fn par_iter(&'data self) -> IntoParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> IntoParIter<&'data T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> IntoParIter<&'data T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// One-stop imports mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let xs = vec![1u64, 2, 3, 4, 5];
+        let sq: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(sq, vec![1, 4, 9, 16, 25]);
+        assert_eq!(xs.len(), 5);
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let serial: Vec<usize> = {
+            crate::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build_global()
+                .unwrap();
+            (0..257usize).into_par_iter().map(|i| i * 3 + 1).collect()
+        };
+        let parallel: Vec<usize> = {
+            crate::ThreadPoolBuilder::new()
+                .num_threads(8)
+                .build_global()
+                .unwrap();
+            (0..257usize).into_par_iter().map(|i| i * 3 + 1).collect()
+        };
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

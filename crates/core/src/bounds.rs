@@ -118,7 +118,10 @@ mod tests {
         let b = energyflow_competitive_bound(0.5, 2.0);
         let c = energyflow_competitive_bound(1.0, 2.0);
         assert!(a.is_finite() && b.is_finite() && c.is_finite());
-        assert!(a > b && b > c, "bound must decrease as eps grows: {a} {b} {c}");
+        assert!(
+            a > b && b > c,
+            "bound must decrease as eps grows: {a} {b} {c}"
+        );
     }
 
     #[test]

@@ -59,14 +59,7 @@ impl EnergyFlowAudit {
 
 /// Remaining volume `q_iℓ(t)` of job `ℓ` (dispatched to its machine) at
 /// time `t`, given its record and the full size `p`.
-fn remaining_volume(
-    t: f64,
-    p: f64,
-    start: f64,
-    speed: f64,
-    exit: f64,
-    completed: bool,
-) -> f64 {
+fn remaining_volume(t: f64, p: f64, start: f64, speed: f64, exit: f64, completed: bool) -> f64 {
     if start.is_nan() || t < start {
         // Not yet started (or never started before rejection).
         p
@@ -259,7 +252,11 @@ mod tests {
         let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.3, 2.0))
             .unwrap()
             .run(&inst);
-        let horizon = out.records.iter().map(|r| r.def_finish).fold(0.0f64, f64::max);
+        let horizon = out
+            .records
+            .iter()
+            .map(|r| r.def_finish)
+            .fold(0.0f64, f64::max);
         assert_eq!(v_i(&inst, &out, 0, horizon + 1.0), 0.0);
     }
 }

@@ -65,7 +65,12 @@ pub struct EnergyFlowParams {
 impl EnergyFlowParams {
     /// Standard parameters.
     pub fn new(eps: f64, alpha: f64) -> Self {
-        EnergyFlowParams { eps, alpha, gamma: None, reject: true }
+        EnergyFlowParams {
+            eps,
+            alpha,
+            gamma: None,
+            reject: true,
+        }
     }
 }
 
@@ -245,7 +250,13 @@ impl EnergyFlowScheduler {
     fn lambda_ij(&self, ms: &MachineE, p: f64, w: f64, r: f64, id: JobId) -> f64 {
         let alpha = self.params.alpha;
         let gamma = self.gamma;
-        let probe = PendE { job: id, p, w, d: w / p, r };
+        let probe = PendE {
+            job: id,
+            p,
+            w,
+            d: w / p,
+            r,
+        };
         let mut lam = w * p / self.params.eps;
         let mut prefix_w = 0.0;
         let mut term_pre = 0.0;
@@ -353,11 +364,22 @@ impl EnergyFlowScheduler {
                         speed: r.speed,
                     },
                 );
-                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
                 let rj = instance.job(job).release;
                 records[job.idx()].exit = t;
                 records[job.idx()].def_finish = t + machines[mi].rejection_window(rj, t);
-                start_next(mi, t, &mut machines, &mut completions, &mut trace, &mut records);
+                start_next(
+                    mi,
+                    t,
+                    &mut machines,
+                    &mut completions,
+                    &mut trace,
+                    &mut records,
+                );
                 continue;
             }
 
@@ -433,11 +455,24 @@ impl EnergyFlowScheduler {
                 }
             }
 
-            start_next(mi, t, &mut machines, &mut completions, &mut trace, &mut records);
+            start_next(
+                mi,
+                t,
+                &mut machines,
+                &mut completions,
+                &mut trace,
+                &mut records,
+            );
         }
 
         let log = log.finish().expect("all jobs decided");
-        EnergyFlowOutcome { log, trace, records, gamma, params: self.params }
+        EnergyFlowOutcome {
+            log,
+            trace,
+            records,
+            gamma,
+            params: self.params,
+        }
     }
 }
 
@@ -529,7 +564,11 @@ mod tests {
         assert_valid(&inst, &out);
         let e = out.log.fate(JobId(0)).execution().unwrap();
         let expect = sched.gamma() * 8.0f64.powf(0.5);
-        assert!((e.speed - expect).abs() < 1e-9, "speed {} vs {expect}", e.speed);
+        assert!(
+            (e.speed - expect).abs() < 1e-9,
+            "speed {} vs {expect}",
+            e.speed
+        );
         assert!((e.completion - 4.0 / expect).abs() < 1e-9);
     }
 
@@ -543,12 +582,20 @@ mod tests {
             .weighted_job(0.2, 8.0, vec![4.0]) // density 2.0
             .build()
             .unwrap();
-        let params = EnergyFlowParams { eps: 1.0, alpha: 2.0, gamma: Some(1.0), reject: false };
+        let params = EnergyFlowParams {
+            eps: 1.0,
+            alpha: 2.0,
+            gamma: Some(1.0),
+            reject: false,
+        };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         assert_valid(&inst, &out);
         let s1 = out.log.fate(JobId(1)).execution().unwrap().start;
         let s2 = out.log.fate(JobId(2)).execution().unwrap().start;
-        assert!(s2 < s1, "denser job must start first (j2 at {s2}, j1 at {s1})");
+        assert!(
+            s2 < s1,
+            "denser job must start first (j2 at {s2}, j1 at {s1})"
+        );
     }
 
     #[test]
@@ -580,7 +627,12 @@ mod tests {
             .weighted_job(2.0, 1.0, vec![1.0])
             .build()
             .unwrap();
-        let params = EnergyFlowParams { eps: 0.5, alpha: 2.0, gamma: Some(1.0), reject: true };
+        let params = EnergyFlowParams {
+            eps: 0.5,
+            alpha: 2.0,
+            gamma: Some(1.0),
+            reject: true,
+        };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         assert_valid(&inst, &out);
         let rej = out.log.fate(JobId(0)).rejection().expect("rejected");
@@ -591,7 +643,12 @@ mod tests {
     #[test]
     fn no_rejection_when_disabled() {
         let inst = weighted_instance(100, 2, 3);
-        let params = EnergyFlowParams { eps: 0.1, alpha: 2.0, gamma: None, reject: false };
+        let params = EnergyFlowParams {
+            eps: 0.1,
+            alpha: 2.0,
+            gamma: None,
+            reject: false,
+        };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         assert_eq!(out.log.rejected_count(), 0);
         assert_valid(&inst, &out);
@@ -603,7 +660,12 @@ mod tests {
             .weighted_job(0.0, 4.0, vec![2.0])
             .build()
             .unwrap();
-        let params = EnergyFlowParams { eps: 0.5, alpha: 3.0, gamma: Some(0.5), reject: true };
+        let params = EnergyFlowParams {
+            eps: 0.5,
+            alpha: 3.0,
+            gamma: Some(0.5),
+            reject: true,
+        };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         let m = Metrics::compute(&inst, &out.log, 3.0);
         let e = out.log.fate(JobId(0)).execution().unwrap();
@@ -615,8 +677,9 @@ mod tests {
     fn objective_at_least_alone_cost_of_completed_jobs() {
         let inst = weighted_instance(80, 2, 99);
         let alpha = 2.0;
-        let out =
-            EnergyFlowScheduler::new(EnergyFlowParams::new(0.3, alpha)).unwrap().run(&inst);
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.3, alpha))
+            .unwrap()
+            .run(&inst);
         assert_valid(&inst, &out);
         let m = Metrics::compute(&inst, &out.log, alpha);
         let obj = m.weighted_flow_plus_energy();
@@ -627,7 +690,10 @@ mod tests {
             let s_star = (job.weight / (alpha - 1.0)).powf(1.0 / alpha);
             floor += job.weight * p / s_star + p * s_star.powf(alpha - 1.0);
         }
-        assert!(obj + 1e-9 >= floor, "objective {obj} below alone-cost floor {floor}");
+        assert!(
+            obj + 1e-9 >= floor,
+            "objective {obj} below alone-cost floor {floor}"
+        );
     }
 
     #[test]
@@ -637,8 +703,9 @@ mod tests {
             .weighted_job(0.0, 1.0, vec![50.0, 1.0])
             .build()
             .unwrap();
-        let out =
-            EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 2.0)).unwrap().run(&inst);
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 2.0))
+            .unwrap()
+            .run(&inst);
         let e0 = out.log.fate(JobId(0)).execution().unwrap();
         let e1 = out.log.fate(JobId(1)).execution().unwrap();
         assert_eq!(e0.machine, MachineId(0));
@@ -648,8 +715,9 @@ mod tests {
     #[test]
     fn def_finish_dominates_exit() {
         let inst = weighted_instance(150, 3, 41);
-        let out =
-            EnergyFlowScheduler::new(EnergyFlowParams::new(0.2, 2.0)).unwrap().run(&inst);
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.2, 2.0))
+            .unwrap()
+            .run(&inst);
         for r in &out.records {
             assert!(r.def_finish + 1e-9 >= r.exit);
             assert!(r.exit.is_finite());
@@ -688,10 +756,19 @@ mod tests {
             .weighted_job(2.0, 3.0, vec![6.0])
             .build()
             .unwrap();
-        let params = EnergyFlowParams { eps: 1.0, alpha: 2.0, gamma: Some(1.0), reject: false };
+        let params = EnergyFlowParams {
+            eps: 1.0,
+            alpha: 2.0,
+            gamma: Some(1.0),
+            reject: false,
+        };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         let e0 = out.log.fate(JobId(0)).execution().unwrap();
-        assert!((e0.speed - 3.0f64.sqrt()).abs() < 1e-9, "first speed {}", e0.speed);
+        assert!(
+            (e0.speed - 3.0f64.sqrt()).abs() < 1e-9,
+            "first speed {}",
+            e0.speed
+        );
         // j2 (density 0.5) precedes j1 (density 1/6): it starts second.
         let e2 = out.log.fate(JobId(2)).execution().unwrap();
         assert!((e2.start - e0.completion).abs() < 1e-9);
@@ -701,8 +778,9 @@ mod tests {
     #[test]
     fn lambda_j_recorded_for_every_job() {
         let inst = weighted_instance(50, 2, 7);
-        let out =
-            EnergyFlowScheduler::new(EnergyFlowParams::new(0.4, 2.0)).unwrap().run(&inst);
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.4, 2.0))
+            .unwrap()
+            .run(&inst);
         for r in &out.records {
             assert!(r.lambda > 0.0);
             assert!(r.machine != u32::MAX);

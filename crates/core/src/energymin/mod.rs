@@ -41,9 +41,7 @@
 
 pub mod profile;
 
-use osr_model::{
-    Execution, FinishedLog, Instance, InstanceKind, Job, MachineId, ScheduleLog,
-};
+use osr_model::{Execution, FinishedLog, Instance, InstanceKind, Job, MachineId, ScheduleLog};
 use osr_sim::{DecisionEvent, DecisionTrace, OnlineScheduler};
 
 use crate::smooth::{lambda_alpha, mu_alpha};
@@ -66,7 +64,12 @@ pub struct EnergyMinParams {
 impl EnergyMinParams {
     /// Reasonable defaults: ratio 1.25, 16 speeds, 16 uniform starts.
     pub fn new(alpha: f64) -> Self {
-        EnergyMinParams { alpha, speed_ratio: 1.25, max_speeds: 16, start_grid: 16 }
+        EnergyMinParams {
+            alpha,
+            speed_ratio: 1.25,
+            max_speeds: 16,
+            start_grid: 16,
+        }
     }
 }
 
@@ -101,12 +104,18 @@ impl EnergyMinOnline {
             return Err(format!("alpha must exceed 1, got {}", params.alpha));
         }
         if !(params.speed_ratio > 1.0) {
-            return Err(format!("speed_ratio must exceed 1, got {}", params.speed_ratio));
+            return Err(format!(
+                "speed_ratio must exceed 1, got {}",
+                params.speed_ratio
+            ));
         }
         if params.max_speeds == 0 || machines == 0 {
             return Err("need at least one speed and one machine".into());
         }
-        Ok(EnergyMinOnline { params, profiles: (0..machines).map(|_| SpeedProfile::new()).collect() })
+        Ok(EnergyMinOnline {
+            params,
+            profiles: (0..machines).map(|_| SpeedProfile::new()).collect(),
+        })
     }
 
     /// The machine profiles accumulated so far.
@@ -116,7 +125,10 @@ impl EnergyMinOnline {
 
     /// Total energy of the committed schedule.
     pub fn total_energy(&self) -> f64 {
-        self.profiles.iter().map(|p| p.energy(self.params.alpha)).sum()
+        self.profiles
+            .iter()
+            .map(|p| p.energy(self.params.alpha))
+            .sum()
     }
 
     /// Greedily assigns `job` (which must carry a deadline), committing
@@ -342,7 +354,9 @@ mod tests {
         for _ in 0..n {
             t += (next() % 100) as f64 / 25.0;
             let p = 0.5 + (next() % 20) as f64 / 4.0;
-            let sizes: Vec<f64> = (0..m).map(|_| p * (1.0 + (next() % 3) as f64 * 0.5)).collect();
+            let sizes: Vec<f64> = (0..m)
+                .map(|_| p * (1.0 + (next() % 3) as f64 * 0.5))
+                .collect();
             let window = p * slack * (1.0 + (next() % 4) as f64 / 4.0);
             b = b.deadline_job(t, t + window, sizes);
         }
@@ -357,7 +371,9 @@ mod tests {
             .deadline_job(0.0, 4.0, vec![2.0])
             .build()
             .unwrap();
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+            .unwrap()
+            .run(&inst);
         assert_valid(&inst, &out);
         let e = out.log.fate(JobId(0)).execution().unwrap();
         assert!((e.speed - 0.5).abs() < 1e-9, "speed {}", e.speed);
@@ -369,7 +385,9 @@ mod tests {
     fn deadlines_always_met() {
         for slack in [1.05, 1.5, 3.0] {
             let inst = deadline_instance(60, 2, 77, slack);
-            let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+            let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+                .unwrap()
+                .run(&inst);
             assert_valid(&inst, &out);
         }
     }
@@ -386,7 +404,9 @@ mod tests {
             .deadline_job(0.0, 10.0, vec![1.0])
             .build()
             .unwrap();
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+            .unwrap()
+            .run(&inst);
         assert_valid(&inst, &out);
         let opt = 10.0 * 0.2f64.powf(alpha);
         assert!(
@@ -403,7 +423,9 @@ mod tests {
             .deadline_job(0.0, 1.0, vec![1.0, 1.0])
             .build()
             .unwrap();
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+            .unwrap()
+            .run(&inst);
         assert_valid(&inst, &out);
         let e0 = out.log.fate(JobId(0)).execution().unwrap();
         let e1 = out.log.fate(JobId(1)).execution().unwrap();
@@ -413,7 +435,9 @@ mod tests {
     #[test]
     fn total_energy_matches_profile_integral() {
         let inst = deadline_instance(40, 2, 5, 2.0);
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.5)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.5))
+            .unwrap()
+            .run(&inst);
         // Recompute energy from scratch profiles.
         let mut profs: Vec<SpeedProfile> =
             (0..inst.machines()).map(|_| SpeedProfile::new()).collect();
@@ -430,7 +454,9 @@ mod tests {
         // energy, which holds exactly because strategies never change:
         // Σ marginal_j = E_final. Hence dual = ((1−µ)/λ)·ALG.
         let inst = deadline_instance(50, 2, 13, 1.8);
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+            .unwrap()
+            .run(&inst);
         let marg_sum: f64 = out.assignments.iter().map(|a| a.marginal).sum();
         assert!(
             (marg_sum - out.total_energy).abs() < 1e-6 * (1.0 + out.total_energy),
@@ -449,7 +475,9 @@ mod tests {
         // the per-job bound, certainly within α^α.
         let inst = deadline_instance(40, 2, 23, 4.0);
         let alpha = 2.0;
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+            .unwrap()
+            .run(&inst);
         let lb = per_job_energy_lower_bound(&inst, alpha);
         assert!(lb > 0.0);
         let ratio = out.total_energy / lb;
@@ -461,7 +489,9 @@ mod tests {
     #[test]
     fn marginal_recorded_matches_assignment() {
         let inst = deadline_instance(20, 1, 3, 2.0);
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+            .unwrap()
+            .run(&inst);
         for a in &out.assignments {
             assert!(a.marginal >= 0.0);
             assert!(a.completion > a.start);

@@ -26,7 +26,9 @@ pub struct SpeedProfile {
 impl SpeedProfile {
     /// Empty (all-idle) profile.
     pub fn new() -> Self {
-        SpeedProfile { points: BTreeMap::new() }
+        SpeedProfile {
+            points: BTreeMap::new(),
+        }
     }
 
     /// Whether no job has ever been added.
@@ -59,10 +61,7 @@ impl SpeedProfile {
         assert!(v > 0.0 && v.is_finite(), "speed must be positive");
         self.ensure_breakpoint(start);
         self.ensure_breakpoint(end);
-        for (_, val) in self
-            .points
-            .range_mut(TotalF64(start)..TotalF64(end))
-        {
+        for (_, val) in self.points.range_mut(TotalF64(start)..TotalF64(end)) {
             *val += v;
         }
     }
@@ -150,7 +149,11 @@ mod tests {
         let marg = p.marginal_energy(0.5, 3.5, 2.0, alpha);
         p.add(0.5, 3.5, 2.0);
         let after = p.energy(alpha);
-        assert!((after - before - marg).abs() < 1e-9, "marginal {marg} vs {}", after - before);
+        assert!(
+            (after - before - marg).abs() < 1e-9,
+            "marginal {marg} vs {}",
+            after - before
+        );
     }
 
     #[test]

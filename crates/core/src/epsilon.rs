@@ -40,7 +40,12 @@ impl Thresholds {
         // ceil with a tolerance so eps = 0.25 gives exactly 4, not 5, in
         // the face of floating-point representation of 1/eps.
         let rule1_at = (inv_eps - 1e-9).ceil().max(1.0) as u64;
-        Ok(Thresholds { eps, inv_eps, rule1_at, rule2_at: 1 + rule1_at })
+        Ok(Thresholds {
+            eps,
+            inv_eps,
+            rule1_at,
+            rule2_at: 1 + rule1_at,
+        })
     }
 
     /// The factor `ε/(1+ε)` used when setting `λ_j`.

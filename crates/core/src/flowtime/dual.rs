@@ -59,7 +59,14 @@ impl FlowDual {
         debug_assert_eq!(lambda.len(), exit.len());
         debug_assert_eq!(lambda.len(), c_tilde.len());
         debug_assert_eq!(lambda.len(), machine_of.len());
-        FlowDual { thresholds, lambda, release, exit, c_tilde, machine_of }
+        FlowDual {
+            thresholds,
+            lambda,
+            release,
+            exit,
+            c_tilde,
+            machine_of,
+        }
     }
 
     /// `Σ_j λ_j`.
@@ -147,11 +154,7 @@ impl DualAudit {
 ///
 /// `max_jobs` caps the number of (smallest-index) jobs audited to keep
 /// the `O(n·m·n)` cost manageable in experiments.
-pub fn check_dual_feasibility(
-    instance: &Instance,
-    dual: &FlowDual,
-    max_jobs: usize,
-) -> DualAudit {
+pub fn check_dual_feasibility(instance: &Instance, dual: &FlowDual, max_jobs: usize) -> DualAudit {
     let m = instance.machines();
     let n = dual.len().min(max_jobs);
     let beta_scale = dual.thresholds.beta_scale();

@@ -50,9 +50,9 @@ use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
 
 use crate::epsilon::Thresholds;
 pub use dual::{check_dual_feasibility, DualAudit, FlowDual};
-pub use weighted::{WeightedFlowOutcome, WeightedFlowParams, WeightedFlowScheduler};
 pub use queue::QueueBackend;
 use queue::{lambda_ij, pend_key, PendKey, PendQueue};
+pub use weighted::{WeightedFlowOutcome, WeightedFlowParams, WeightedFlowScheduler};
 
 /// Parameters of the §2 algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -70,12 +70,22 @@ pub struct FlowParams {
 impl FlowParams {
     /// Standard parameters: both rules on, treap backend.
     pub fn new(eps: f64) -> Self {
-        FlowParams { eps, rule1: true, rule2: true, backend: QueueBackend::Treap }
+        FlowParams {
+            eps,
+            rule1: true,
+            rule2: true,
+            backend: QueueBackend::Treap,
+        }
     }
 
     /// Ablation constructor.
     pub fn with_rules(eps: f64, rule1: bool, rule2: bool) -> Self {
-        FlowParams { eps, rule1, rule2, backend: QueueBackend::Treap }
+        FlowParams {
+            eps,
+            rule1,
+            rule2,
+            backend: QueueBackend::Treap,
+        }
     }
 }
 
@@ -138,9 +148,9 @@ struct MachineState {
 }
 
 impl MachineState {
-    fn new(backend: QueueBackend) -> Self {
+    fn new(backend: QueueBackend, cap_hint: usize) -> Self {
         MachineState {
-            pending: PendQueue::new(backend),
+            pending: PendQueue::with_capacity(backend, cap_hint),
             running: None,
             c: 0,
             rule1_times: Vec::new(),
@@ -187,8 +197,13 @@ impl FlowScheduler {
         let n = instance.len();
         let jobs = instance.jobs();
 
-        let mut machines: Vec<MachineState> =
-            (0..m).map(|_| MachineState::new(self.params.backend)).collect();
+        // Preallocate each machine's pending arena for an even share of
+        // the jobs (clamped: adversarial instances can pile everything
+        // onto one machine, which then grows once past the hint).
+        let cap_hint = (n / m + 1).min(1 << 16);
+        let mut machines: Vec<MachineState> = (0..m)
+            .map(|_| MachineState::new(self.params.backend, cap_hint))
+            .collect();
         let mut log = ScheduleLog::new(m, n);
         let mut trace = DecisionTrace::new();
         let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
@@ -214,7 +229,12 @@ impl FlowScheduler {
             if let Some(((p, _r, id), _w)) = ms.pending.pop_first() {
                 let job = JobId(id);
                 let completion = t + p.get();
-                ms.running = Some(Running { job, start: t, completion, v: 0 });
+                ms.running = Some(Running {
+                    job,
+                    start: t,
+                    completion,
+                    v: 0,
+                });
                 completions.push(completion, (mi, job));
                 trace.push(DecisionEvent::Start {
                     time: t,
@@ -240,10 +260,7 @@ impl FlowScheduler {
             if do_completion {
                 let (t, (mi, job)) = completions.pop().expect("peeked");
                 let ms = &mut machines[mi];
-                let matches = ms
-                    .running
-                    .as_ref()
-                    .is_some_and(|r| r.job == job);
+                let matches = ms.running.as_ref().is_some_and(|r| r.job == job);
                 if !matches {
                     // Stale event: the job was Rule-1-rejected mid-run.
                     continue;
@@ -258,7 +275,11 @@ impl FlowScheduler {
                         speed: 1.0,
                     },
                 );
-                trace.push(DecisionEvent::Complete { time: t, job, machine: MachineId(mi as u32) });
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
                 // Finalize dual bookkeeping for the completed job: all
                 // Rule-1 events in [r_j, C_j] are in the past.
                 let rj = instance.job(job).release;
@@ -348,7 +369,11 @@ impl FlowScheduler {
                     let jmax = JobId(id);
                     log.reject(
                         jmax,
-                        Rejection { time: t, reason: RejectReason::RuleTwo, partial: None },
+                        Rejection {
+                            time: t,
+                            reason: RejectReason::RuleTwo,
+                            partial: None,
+                        },
                     );
                     trace.push(DecisionEvent::Reject {
                         time: t,
@@ -477,7 +502,11 @@ mod tests {
             .unwrap();
         let out = run_eps(&inst, 0.5);
         assert_valid(&inst, &out);
-        let rej = out.log.fate(JobId(0)).rejection().expect("long job rejected");
+        let rej = out
+            .log
+            .fate(JobId(0))
+            .rejection()
+            .expect("long job rejected");
         assert_eq!(rej.reason, RejectReason::RuleOne);
         assert_eq!(rej.time, 2.0);
         let p = rej.partial.expect("was running");
@@ -510,7 +539,11 @@ mod tests {
         assert_valid(&inst, &out);
         // Dispatches: j0 (c=1, starts), j1 (c=2 → Rule 2 drops largest
         // pending = j1 itself), j2 (c=1).
-        let rej = out.log.fate(JobId(1)).rejection().expect("largest rejected");
+        let rej = out
+            .log
+            .fate(JobId(1))
+            .rejection()
+            .expect("largest rejected");
         assert_eq!(rej.reason, RejectReason::RuleTwo);
         assert_eq!(rej.time, 0.5);
         assert!(rej.partial.is_none());
@@ -576,7 +609,10 @@ mod tests {
     fn dual_lower_bound_is_sane() {
         let mut b = InstanceBuilder::new(2, InstanceKind::FlowTime);
         for k in 0..60 {
-            b = b.job(k as f64 * 0.3, vec![1.0 + (k % 5) as f64, 2.0 + (k % 3) as f64]);
+            b = b.job(
+                k as f64 * 0.3,
+                vec![1.0 + (k % 5) as f64, 2.0 + (k % 3) as f64],
+            );
         }
         let inst = b.build().unwrap();
         let out = run_eps(&inst, 0.25);

@@ -37,10 +37,14 @@ pub enum QueueBackend {
 
 /// A pending queue with the aggregate API, dispatching to the selected
 /// backend.
+///
+/// The treap variant is held inline: the arena [`AggTreap`] is a few
+/// `Vec`s plus small scalars, so no indirection is needed (the old
+/// `Box`-per-node treap was boxed here to keep the enum slim).
 #[derive(Debug)]
 pub enum PendQueue {
     /// Treap-backed queue.
-    Treap(Box<AggTreap<PendKey>>),
+    Treap(AggTreap<PendKey>),
     /// Sorted-vector-backed queue.
     Naive(NaiveAggQueue<PendKey>),
 }
@@ -48,8 +52,15 @@ pub enum PendQueue {
 impl PendQueue {
     /// Creates an empty queue with the given backend.
     pub fn new(backend: QueueBackend) -> Self {
+        Self::with_capacity(backend, 0)
+    }
+
+    /// Creates an empty queue preallocated for `cap` pending jobs, so
+    /// the arrival hot path never grows the backing storage below that
+    /// high-water mark.
+    pub fn with_capacity(backend: QueueBackend, cap: usize) -> Self {
         match backend {
-            QueueBackend::Treap => PendQueue::Treap(Box::new(AggTreap::new())),
+            QueueBackend::Treap => PendQueue::Treap(AggTreap::with_capacity(cap)),
             QueueBackend::Naive => PendQueue::Naive(NaiveAggQueue::new()),
         }
     }

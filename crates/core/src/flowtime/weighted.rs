@@ -114,7 +114,13 @@ impl WeightedFlowScheduler {
     }
 
     fn lambda_ij(&self, ms: &MachW, p: f64, w: f64, r: f64, id: JobId) -> f64 {
-        let probe = PendW { job: id, p, w, d: w / p, r };
+        let probe = PendW {
+            job: id,
+            p,
+            w,
+            d: w / p,
+            r,
+        };
         let mut lam = w * p / self.params.eps;
         let mut pre_p = 0.0;
         let mut succ_w = 0.0;
@@ -137,7 +143,11 @@ impl WeightedFlowScheduler {
         let n = instance.len();
         let jobs = instance.jobs();
         let mut machines: Vec<MachW> = (0..m)
-            .map(|_| MachW { pending: Vec::new(), running: None, c: 0.0 })
+            .map(|_| MachW {
+                pending: Vec::new(),
+                running: None,
+                c: 0.0,
+            })
             .collect();
         let mut log = ScheduleLog::new(m, n);
         let mut trace = DecisionTrace::new();
@@ -159,8 +169,13 @@ impl WeightedFlowScheduler {
             }
             let e = ms.pending.remove(0);
             let completion = t + e.p;
-            ms.running =
-                Some(RunningW { job: e.job, start: t, completion, v: 0.0, w: e.w });
+            ms.running = Some(RunningW {
+                job: e.job,
+                start: t,
+                completion,
+                v: 0.0,
+                w: e.w,
+            });
             completions.push(completion, (mi, e.job));
             trace.push(DecisionEvent::Start {
                 time: t,
@@ -232,13 +247,17 @@ impl WeightedFlowScheduler {
                 candidates: m,
             });
             let p_ij = job.sizes[mi];
-            let entry =
-                PendW { job: job.id, p: p_ij, w: job.weight, d: job.weight / p_ij, r: t };
+            let entry = PendW {
+                job: job.id,
+                p: p_ij,
+                w: job.weight,
+                d: job.weight / p_ij,
+                r: t,
+            };
             let pos = machines[mi].pending.partition_point(|x| x.precedes(&entry));
             machines[mi].pending.insert(pos, entry);
 
-            let budget_ok =
-                |rej: f64, arr: f64, extra: f64| rej + extra <= 2.0 * eps * arr + 1e-12;
+            let budget_ok = |rej: f64, arr: f64, extra: f64| rej + extra <= 2.0 * eps * arr + 1e-12;
 
             // Weighted Rule 1.
             if let Some(run) = machines[mi].running.as_mut() {
@@ -302,7 +321,10 @@ impl WeightedFlowScheduler {
             start_next(mi, t, &mut machines, &mut completions, &mut trace);
         }
 
-        WeightedFlowOutcome { log: log.finish().expect("all decided"), trace }
+        WeightedFlowOutcome {
+            log: log.finish().expect("all decided"),
+            trace,
+        }
     }
 }
 
@@ -406,10 +428,14 @@ mod tests {
         let inst = b.build().unwrap();
         let wout = WeightedFlowScheduler::with_eps(0.25).unwrap().run(&inst);
         assert_valid(&inst, &wout);
-        let w_obj = Metrics::compute(&inst, &wout.log, 2.0).flow.weighted_flow_all;
+        let w_obj = Metrics::compute(&inst, &wout.log, 2.0)
+            .flow
+            .weighted_flow_all;
 
         let uout = crate::FlowScheduler::with_eps(0.25).unwrap().run(&inst);
-        let u_obj = Metrics::compute(&inst, &uout.log, 2.0).flow.weighted_flow_all;
+        let u_obj = Metrics::compute(&inst, &uout.log, 2.0)
+            .flow
+            .weighted_flow_all;
         assert!(
             w_obj < u_obj,
             "weighted variant {w_obj} should beat unweighted {u_obj} on weighted flow"
@@ -427,8 +453,12 @@ mod tests {
             let j = inst.job(id);
             j.weight / j.min_size()
         };
-        let all_mean: f64 =
-            inst.jobs().iter().map(|j| j.weight / j.min_size()).sum::<f64>() / inst.len() as f64;
+        let all_mean: f64 = inst
+            .jobs()
+            .iter()
+            .map(|j| j.weight / j.min_size())
+            .sum::<f64>()
+            / inst.len() as f64;
         let rejected: Vec<f64> = out.log.rejections().map(|(id, _)| dens(id)).collect();
         if rejected.len() >= 5 {
             let rej_mean: f64 = rejected.iter().sum::<f64>() / rejected.len() as f64;

@@ -89,8 +89,12 @@ pub fn audit_smooth_inequality(
         // Mix scales so both a-dominated and b-dominated regimes are hit.
         let scale_a = 10f64.powi((next() % 5) as i32 - 2);
         let scale_b = 10f64.powi((next() % 5) as i32 - 2);
-        let a: Vec<f64> = (0..len).map(|_| scale_a * (next() % 1000) as f64 / 1000.0).collect();
-        let b: Vec<f64> = (0..len).map(|_| scale_b * (next() % 1000) as f64 / 1000.0).collect();
+        let a: Vec<f64> = (0..len)
+            .map(|_| scale_a * (next() % 1000) as f64 / 1000.0)
+            .collect();
+        let b: Vec<f64> = (0..len)
+            .map(|_| scale_b * (next() % 1000) as f64 / 1000.0)
+            .collect();
         let lhs = smooth_lhs(&a, &b, alpha);
         let rhs = smooth_rhs(&a, &b, alpha);
         if rhs > 0.0 {
@@ -99,7 +103,11 @@ pub fn audit_smooth_inequality(
                 worst_ratio = ratio;
             }
             if lhs > rhs * (1.0 + 1e-9) {
-                violations.push(SmoothViolation { a, b, excess: lhs - rhs });
+                violations.push(SmoothViolation {
+                    a,
+                    b,
+                    excess: lhs - rhs,
+                });
             }
         }
     }
@@ -145,7 +153,11 @@ mod tests {
     fn randomized_audit_finds_no_violations() {
         for &alpha in &[1.5, 2.0, 3.0] {
             let (worst, violations) = audit_smooth_inequality(alpha, 3000, 12, 0xABCD);
-            assert!(violations.is_empty(), "alpha={alpha}: {:?}", violations.first());
+            assert!(
+                violations.is_empty(),
+                "alpha={alpha}: {:?}",
+                violations.first()
+            );
             assert!(worst <= 1.0 + 1e-9);
             assert!(worst > 0.0, "audit must exercise non-trivial cases");
         }
@@ -155,7 +167,8 @@ mod tests {
     fn mu_below_one_keeps_ratio_finite() {
         for &alpha in &[1.1, 2.0, 3.0, 4.0] {
             assert!(mu_alpha(alpha) < 1.0);
-            let bound = crate::bounds::smooth_competitive_bound(lambda_alpha(alpha), mu_alpha(alpha));
+            let bound =
+                crate::bounds::smooth_competitive_bound(lambda_alpha(alpha), mu_alpha(alpha));
             assert!(bound.is_finite() && bound > 0.0);
         }
     }

@@ -16,7 +16,9 @@ pub struct Fenwick {
 impl Fenwick {
     /// Creates a tree over indices `0..len`, all zeros.
     pub fn new(len: usize) -> Self {
-        Fenwick { tree: vec![0.0; len + 1] }
+        Fenwick {
+            tree: vec![0.0; len + 1],
+        }
     }
 
     /// Builds from an initial slice in `O(n)`.
@@ -159,7 +161,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let n = 64;

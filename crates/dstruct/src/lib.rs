@@ -13,16 +13,26 @@
 //! for the SPT scheduling policy and Rule-2 rejections. The Criterion
 //! bench `dstruct_ablation` quantifies the difference.
 //!
+//! Because these queries run on **every arrival per machine**, the treap
+//! is the dispatch hot path, and it is built for it: an index-based
+//! **arena** (`Vec<Node>` + `u32` links) with a free list, so
+//! steady-state insert/remove churn performs zero heap allocations, plus
+//! iterative (explicit-stack) split/merge and `O(n)` bulk construction
+//! via [`treap::AggTreap::from_sorted`]. See the `treap` module docs for
+//! the layout.
+//!
 //! Contents:
 //!
 //! * [`total::TotalF64`] — `Ord` wrapper over finite-friendly `f64` keys;
 //! * [`fenwick::Fenwick`] — classic binary indexed tree over a fixed index
 //!   space (used for time-slot aggregation in the §4 energy search);
-//! * [`treap::AggTreap`] — randomized balanced BST augmented with subtree
-//!   `(count, weight-sum)` aggregates;
+//! * [`treap::AggTreap`] — arena-allocated randomized balanced BST
+//!   augmented with subtree `(count, weight-sum)` aggregates;
+//! * [`treap_boxed::BoxedAggTreap`] — the superseded `Box`-per-node
+//!   treap, kept only as the `dstruct_ablation` bench baseline;
 //! * [`pairing::PairingHeap`] — amortized-O(1)-meld min-heap, an
-//!   alternative event queue backend (benchmarked against
-//!   `std::collections::BinaryHeap`);
+//!   alternative event queue backend (selectable in `osr-sim` and
+//!   benchmarked against `std::collections::BinaryHeap`);
 //! * [`naive::NaiveAggQueue`] — sorted-`Vec` reference implementation with
 //!   the same API as `AggTreap`, used for differential testing and as the
 //!   ablation baseline.
@@ -40,9 +50,11 @@ pub mod naive;
 pub mod pairing;
 pub mod total;
 pub mod treap;
+pub mod treap_boxed;
 
 pub use fenwick::Fenwick;
 pub use naive::NaiveAggQueue;
 pub use pairing::PairingHeap;
 pub use total::TotalF64;
 pub use treap::AggTreap;
+pub use treap_boxed::BoxedAggTreap;

@@ -19,7 +19,9 @@ pub struct NaiveAggQueue<K: Ord> {
 impl<K: Ord> NaiveAggQueue<K> {
     /// Empty queue.
     pub fn new() -> Self {
-        NaiveAggQueue { entries: Vec::new() }
+        NaiveAggQueue {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of entries.

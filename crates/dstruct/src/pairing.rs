@@ -46,7 +46,10 @@ impl<T: Ord> PairingHeap<T> {
 
     /// Pushes an item in `O(1)`.
     pub fn push(&mut self, item: T) {
-        let node = Box::new(Node { item, children: Vec::new() });
+        let node = Box::new(Node {
+            item,
+            children: Vec::new(),
+        });
         self.root = Some(match self.root.take() {
             None => node,
             Some(root) => Self::meld(root, node),
@@ -61,6 +64,12 @@ impl<T: Ord> PairingHeap<T> {
         let Node { item, children } = *root;
         self.root = Self::merge_pairs(children);
         Some(item)
+    }
+
+    /// Drops all items.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
     }
 
     /// Melds another heap into this one in `O(1)`.
@@ -102,6 +111,14 @@ impl<T: Ord> PairingHeap<T> {
             acc = Self::meld(next, acc);
         }
         Some(acc)
+    }
+}
+
+impl<T: Ord> std::fmt::Debug for PairingHeap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairingHeap")
+            .field("len", &self.len)
+            .finish()
     }
 }
 

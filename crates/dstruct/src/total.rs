@@ -63,7 +63,11 @@ impl std::hash::Hash for TotalF64 {
         // Normalise -0.0 to 0.0 so Hash agrees with Eq for the values we
         // actually use (total_cmp distinguishes them, but schedule keys
         // never produce -0.0; bit-hash is fine and cheap).
-        let bits = if self.0 == 0.0 { 0.0f64.to_bits() } else { self.0.to_bits() };
+        let bits = if self.0 == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.0.to_bits()
+        };
         bits.hash(state);
     }
 }

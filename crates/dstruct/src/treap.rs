@@ -1,5 +1,5 @@
 //! Randomized balanced BST augmented with `(count, weight-sum)` subtree
-//! aggregates.
+//! aggregates — **index-based arena layout**.
 //!
 //! This is the engine behind the `O(log n)` evaluation of the paper's
 //! dispatch quantity `λ_ij` (§2): with pending jobs keyed by their
@@ -13,6 +13,33 @@
 //! i.e. exactly one [`AggTreap::agg_le`] plus one [`AggTreap::total`]
 //! query. The same structure serves the SPT policy ([`AggTreap::pop_first`])
 //! and Rule 2 ([`AggTreap::pop_last`]).
+//!
+//! ## Arena layout
+//!
+//! Nodes live in one contiguous `Vec<Node<K>>`; links are `u32` slot
+//! indices (`NIL = u32::MAX`) instead of `Box` pointers. Removed slots
+//! go onto an explicit **free list** and are reused by later inserts, so
+//! a steady-state queue (the dispatch hot path: insert on arrival, pop
+//! on start/rejection) performs **zero heap allocations** — the arena
+//! grows only when the high-water mark of pending jobs does, and
+//! [`AggTreap::with_capacity`] can prereserve even that.
+//!
+//! All mutating walks are **iterative** with a reusable scratch stack
+//! (no recursion, no per-op allocation), so degenerate priority
+//! sequences can slow the treap down but can never overflow the call
+//! stack. Insert descends once to the priority-determined attachment
+//! point and splits only the subtree below it; remove descends once to
+//! the victim and merges only its two subtrees — cheaper than the
+//! classic full split + merge at the root, which the superseded
+//! implementation (preserved as [`crate::treap_boxed::BoxedAggTreap`]
+//! for the `dstruct_ablation` bench) still does.
+//!
+//! [`AggTreap::from_sorted`] bulk-builds from pre-sorted entries in
+//! `O(n)` via the rightmost-spine construction.
+//!
+//! Vacated slots keep their last key until reuse (pops return a clone —
+//! free for the `Copy` composite keys every scheduler uses), which is
+//! why extraction methods carry a `K: Clone` bound.
 //!
 //! Duplicate keys are permitted (they cannot arise with the composite
 //! `(p, r, id)` keys used by the schedulers, but the structure does not
@@ -28,83 +55,40 @@ pub struct Agg {
 }
 
 impl Agg {
-    fn plus(self, other: Agg) -> Agg {
-        Agg { count: self.count + other.count, sum: self.sum + other.sum }
+    pub(crate) fn plus(self, other: Agg) -> Agg {
+        Agg {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
     }
 }
 
+/// Sentinel "no node" index.
+const NIL: u32 = u32::MAX;
+
+/// One arena slot. A slot on the free list keeps its stale `key` until
+/// reuse (see module docs).
 struct Node<K> {
     key: K,
     weight: f64,
     pri: u64,
-    count: usize,
     sum: f64,
-    left: Link<K>,
-    right: Link<K>,
-}
-
-type Link<K> = Option<Box<Node<K>>>;
-
-fn link_agg<K>(link: &Link<K>) -> Agg {
-    match link {
-        Some(n) => Agg { count: n.count, sum: n.sum },
-        None => Agg::default(),
-    }
-}
-
-impl<K> Node<K> {
-    fn update(&mut self) {
-        let l = link_agg(&self.left);
-        let r = link_agg(&self.right);
-        self.count = 1 + l.count + r.count;
-        self.sum = self.weight + l.sum + r.sum;
-    }
-}
-
-fn merge<K: Ord>(a: Link<K>, b: Link<K>) -> Link<K> {
-    match (a, b) {
-        (None, b) => b,
-        (a, None) => a,
-        (Some(mut a), Some(mut b)) => {
-            if a.pri >= b.pri {
-                a.right = merge(a.right.take(), Some(b));
-                a.update();
-                Some(a)
-            } else {
-                b.left = merge(Some(a), b.left.take());
-                b.update();
-                Some(b)
-            }
-        }
-    }
-}
-
-/// Splits `t` into `(keys ≤ key, keys > key)` when `inclusive`, else
-/// `(keys < key, keys ≥ key)`.
-fn split<K: Ord>(t: Link<K>, key: &K, inclusive: bool) -> (Link<K>, Link<K>) {
-    match t {
-        None => (None, None),
-        Some(mut n) => {
-            let goes_left = if inclusive { n.key <= *key } else { n.key < *key };
-            if goes_left {
-                let (mid, right) = split(n.right.take(), key, inclusive);
-                n.right = mid;
-                n.update();
-                (Some(n), right)
-            } else {
-                let (left, mid) = split(n.left.take(), key, inclusive);
-                n.left = mid;
-                n.update();
-                (left, Some(n))
-            }
-        }
-    }
+    count: u32,
+    left: u32,
+    right: u32,
 }
 
 /// Order-statistic treap with weight aggregates; see module docs.
 pub struct AggTreap<K: Ord> {
-    root: Link<K>,
+    nodes: Vec<Node<K>>,
+    free: Vec<u32>,
+    root: u32,
     rng: u64,
+    /// Reusable stack for the iterative split/merge stitching walks.
+    scratch: Vec<u32>,
+    /// Reusable stack for descent paths (insert/remove/pop may run a
+    /// split or merge mid-operation, which owns `scratch`).
+    descent: Vec<u32>,
 }
 
 impl<K: Ord> Default for AggTreap<K> {
@@ -121,7 +105,70 @@ impl<K: Ord> AggTreap<K> {
 
     /// Empty treap with an explicit priority seed.
     pub fn with_seed(seed: u64) -> Self {
-        AggTreap { root: None, rng: seed | 1 }
+        AggTreap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: seed | 1,
+            scratch: Vec::new(),
+            descent: Vec::new(),
+        }
+    }
+
+    /// Empty treap with arena space for `cap` entries preallocated —
+    /// inserts up to the high-water mark `cap` never touch the
+    /// allocator.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut t = Self::new();
+        t.nodes.reserve(cap);
+        t
+    }
+
+    /// Builds a treap from entries **sorted by key** (non-decreasing) in
+    /// `O(n)` via the rightmost-spine construction — no splits, no
+    /// merges, one arena allocation.
+    ///
+    /// # Panics
+    /// Panics when the input is out of order.
+    pub fn from_sorted<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (K, f64)>,
+    {
+        let entries = entries.into_iter();
+        let mut t = Self::with_capacity(entries.size_hint().0);
+        // The right spine: nodes whose right link may still grow, root
+        // first.
+        let mut spine: Vec<u32> = Vec::new();
+        for (key, weight) in entries {
+            if let Some(&top) = spine.last() {
+                assert!(
+                    t.nodes[top as usize].key <= key,
+                    "AggTreap::from_sorted: entries out of order"
+                );
+            }
+            let x = t.alloc(key, weight);
+            let mut last_popped = NIL;
+            while let Some(&top) = spine.last() {
+                if t.nodes[top as usize].pri < t.nodes[x as usize].pri {
+                    spine.pop();
+                    // `top`'s subtree is final once it leaves the spine.
+                    t.update(top);
+                    last_popped = top;
+                } else {
+                    break;
+                }
+            }
+            t.nodes[x as usize].left = last_popped;
+            match spine.last() {
+                Some(&p) => t.nodes[p as usize].right = x,
+                None => t.root = x,
+            }
+            spine.push(x);
+        }
+        for &i in spine.iter().rev() {
+            t.update(i);
+        }
+        t
     }
 
     fn next_pri(&mut self) -> u64 {
@@ -136,61 +183,299 @@ impl<K: Ord> AggTreap<K> {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        link_agg(&self.root).count
+        self.agg(self.root).count
     }
 
     /// Whether the treap is empty.
     pub fn is_empty(&self) -> bool {
-        self.root.is_none()
+        self.root == NIL
+    }
+
+    /// Number of entries the arena can hold before growing.
+    pub fn capacity(&self) -> usize {
+        self.nodes.capacity()
     }
 
     /// Aggregate over all entries.
     pub fn total(&self) -> Agg {
-        link_agg(&self.root)
+        self.agg(self.root)
     }
 
-    /// Inserts an entry.
-    pub fn insert(&mut self, key: K, weight: f64) {
+    #[inline]
+    fn node(&self, i: u32) -> &Node<K> {
+        &self.nodes[i as usize]
+    }
+
+    #[inline]
+    fn agg(&self, i: u32) -> Agg {
+        if i == NIL {
+            Agg::default()
+        } else {
+            let n = self.node(i);
+            Agg {
+                count: n.count as usize,
+                sum: n.sum,
+            }
+        }
+    }
+
+    /// Recomputes `i`'s aggregates from its children.
+    #[inline]
+    fn update(&mut self, i: u32) {
+        let (l, r) = {
+            let n = self.node(i);
+            (n.left, n.right)
+        };
+        let la = self.agg(l);
+        let ra = self.agg(r);
+        let n = &mut self.nodes[i as usize];
+        n.count = 1 + (la.count + ra.count) as u32;
+        n.sum = n.weight + la.sum + ra.sum;
+    }
+
+    /// Takes a slot off the free list (or grows the arena) and
+    /// initializes it as a singleton.
+    fn alloc(&mut self, key: K, weight: f64) -> u32 {
         let pri = self.next_pri();
-        let node = Some(Box::new(Node {
-            key,
-            weight,
-            pri,
-            count: 1,
-            sum: weight,
-            left: None,
-            right: None,
-        }));
-        let key_ref = &node.as_ref().unwrap().key;
-        // Split around the new key, then merge left + node + right.
-        let (l, r) = split(self.root.take(), key_ref, true);
-        self.root = merge(merge(l, node), r);
+        match self.free.pop() {
+            Some(i) => {
+                let n = &mut self.nodes[i as usize];
+                n.key = key;
+                n.weight = weight;
+                n.pri = pri;
+                n.sum = weight;
+                n.count = 1;
+                n.left = NIL;
+                n.right = NIL;
+                i
+            }
+            None => {
+                let i = self.nodes.len();
+                assert!(i < NIL as usize, "AggTreap arena full");
+                self.nodes.push(Node {
+                    key,
+                    weight,
+                    pri,
+                    sum: weight,
+                    count: 1,
+                    left: NIL,
+                    right: NIL,
+                });
+                i as u32
+            }
+        }
     }
 
-    /// Removes one entry with exactly `key`; returns its weight.
+    /// Splits the subtree at `t` around the key of node `pivot` into
+    /// `(keys ≤ pivot, keys > pivot)`. Iterative: stitches the two
+    /// result trees top-down along the search path, then fixes
+    /// aggregates bottom-up over the recorded path. (Index-based pivot
+    /// so the pivot key can live inside the arena being mutated.)
+    fn split_below(&mut self, mut t: u32, pivot: u32) -> (u32, u32) {
+        let mut path = std::mem::take(&mut self.scratch);
+        debug_assert!(path.is_empty());
+        let (mut l, mut r) = (NIL, NIL);
+        let (mut l_tail, mut r_tail) = (NIL, NIL);
+        while t != NIL {
+            path.push(t);
+            let goes_left = self.node(t).key <= self.node(pivot).key;
+            if goes_left {
+                if l_tail == NIL {
+                    l = t;
+                } else {
+                    self.nodes[l_tail as usize].right = t;
+                }
+                l_tail = t;
+                t = self.node(t).right;
+            } else {
+                if r_tail == NIL {
+                    r = t;
+                } else {
+                    self.nodes[r_tail as usize].left = t;
+                }
+                r_tail = t;
+                t = self.node(t).left;
+            }
+        }
+        if l_tail != NIL {
+            self.nodes[l_tail as usize].right = NIL;
+        }
+        if r_tail != NIL {
+            self.nodes[r_tail as usize].left = NIL;
+        }
+        for &i in path.iter().rev() {
+            self.update(i);
+        }
+        path.clear();
+        self.scratch = path;
+        (l, r)
+    }
+
+    /// Merges two subtrees where every key in `a` precedes every key in
+    /// `b`. Iterative counterpart of the usual recursive merge.
+    fn merge(&mut self, mut a: u32, mut b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        let mut path = std::mem::take(&mut self.scratch);
+        debug_assert!(path.is_empty());
+        let mut root = NIL;
+        let mut tail = NIL;
+        let mut tail_right = false;
+        loop {
+            if a == NIL || b == NIL {
+                let rest = if a == NIL { b } else { a };
+                if tail == NIL {
+                    root = rest;
+                } else if tail_right {
+                    self.nodes[tail as usize].right = rest;
+                } else {
+                    self.nodes[tail as usize].left = rest;
+                }
+                break;
+            }
+            let pick_a = self.node(a).pri >= self.node(b).pri;
+            let x = if pick_a { a } else { b };
+            if tail == NIL {
+                root = x;
+            } else if tail_right {
+                self.nodes[tail as usize].right = x;
+            } else {
+                self.nodes[tail as usize].left = x;
+            }
+            path.push(x);
+            tail = x;
+            tail_right = pick_a;
+            if pick_a {
+                a = self.node(x).right;
+            } else {
+                b = self.node(x).left;
+            }
+        }
+        for &i in path.iter().rev() {
+            self.update(i);
+        }
+        path.clear();
+        self.scratch = path;
+        root
+    }
+
+    /// Reattaches `child` where the descent left off: under `parent` on
+    /// the recorded side, or at the root.
+    #[inline]
+    fn reattach(&mut self, parent: u32, went_right: bool, child: u32) {
+        if parent == NIL {
+            self.root = child;
+        } else if went_right {
+            self.nodes[parent as usize].right = child;
+        } else {
+            self.nodes[parent as usize].left = child;
+        }
+    }
+
+    /// Inserts an entry. Steady state (slot available on the free list)
+    /// allocates nothing.
+    ///
+    /// Single descent: walks down while the resident priority wins,
+    /// then splits only the subtree below the attachment point.
+    pub fn insert(&mut self, key: K, weight: f64) {
+        let x = self.alloc(key, weight);
+        let xpri = self.node(x).pri;
+        let mut path = std::mem::take(&mut self.descent);
+        debug_assert!(path.is_empty());
+        let mut cur = self.root;
+        let mut parent = NIL;
+        let mut went_right = false;
+        while cur != NIL && self.node(cur).pri >= xpri {
+            path.push(cur);
+            // Equal keys: the new entry goes after existing ones.
+            let go_right = self.node(cur).key <= self.node(x).key;
+            parent = cur;
+            went_right = go_right;
+            cur = if go_right {
+                self.node(cur).right
+            } else {
+                self.node(cur).left
+            };
+        }
+        let (l, r) = self.split_below(cur, x);
+        self.nodes[x as usize].left = l;
+        self.nodes[x as usize].right = r;
+        self.update(x);
+        self.reattach(parent, went_right, x);
+        // Ancestors gained the new entry: recompute bottom-up (full
+        // recompute, not `sum += w` patching, so aggregate sums stay
+        // bit-identical to a fresh build — the naive-backend-equality
+        // contract the schedulers test for).
+        for &i in path.iter().rev() {
+            self.update(i);
+        }
+        path.clear();
+        self.descent = path;
+    }
+
+    /// Removes one entry with exactly `key`; returns its weight. The
+    /// slot goes to the free list for reuse.
+    ///
+    /// Single descent to the victim, then one merge of its subtrees.
     pub fn remove(&mut self, key: &K) -> Option<f64> {
-        let (lt, ge) = split(self.root.take(), key, false);
-        let (eq, gt) = split(ge, key, true);
-        let (weight, eq_rest) = match eq {
-            None => (None, None),
-            Some(mut n) => {
-                // Drop the root of the equal-range; keep its children.
-                let w = n.weight;
-                let rest = merge(n.left.take(), n.right.take());
-                (Some(w), rest)
+        let mut path = std::mem::take(&mut self.descent);
+        debug_assert!(path.is_empty());
+        let mut cur = self.root;
+        let mut parent = NIL;
+        let mut went_right = false;
+        let found = loop {
+            if cur == NIL {
+                break false;
+            }
+            match key.cmp(&self.node(cur).key) {
+                std::cmp::Ordering::Equal => break true,
+                ord => {
+                    path.push(cur);
+                    let go_right = ord == std::cmp::Ordering::Greater;
+                    parent = cur;
+                    went_right = go_right;
+                    cur = if go_right {
+                        self.node(cur).right
+                    } else {
+                        self.node(cur).left
+                    };
+                }
             }
         };
-        self.root = merge(merge(lt, eq_rest), gt);
-        weight
+        if !found {
+            path.clear();
+            self.descent = path;
+            return None;
+        }
+        let weight = self.node(cur).weight;
+        let (l, r) = {
+            let n = self.node(cur);
+            (n.left, n.right)
+        };
+        let merged = self.merge(l, r);
+        self.reattach(parent, went_right, merged);
+        self.free.push(cur);
+        // Ancestors lost the victim: full bottom-up recompute (see
+        // `insert` for why not `sum -= w` patching).
+        for &i in path.iter().rev() {
+            self.update(i);
+        }
+        path.clear();
+        self.descent = path;
+        Some(weight)
     }
 
     /// Whether an entry with `key` exists.
     pub fn contains(&self, key: &K) -> bool {
-        let mut cur = &self.root;
-        while let Some(n) = cur {
-            match key.cmp(&n.key) {
-                std::cmp::Ordering::Less => cur = &n.left,
-                std::cmp::Ordering::Greater => cur = &n.right,
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(&self.node(cur).key) {
+                std::cmp::Ordering::Less => cur = self.node(cur).left,
+                std::cmp::Ordering::Greater => cur = self.node(cur).right,
                 std::cmp::Ordering::Equal => return true,
             }
         }
@@ -199,85 +484,123 @@ impl<K: Ord> AggTreap<K> {
 
     /// Smallest key.
     pub fn first(&self) -> Option<&K> {
-        let mut cur = self.root.as_deref()?;
-        while let Some(l) = cur.left.as_deref() {
-            cur = l;
+        if self.root == NIL {
+            return None;
         }
-        Some(&cur.key)
+        let mut cur = self.root;
+        while self.node(cur).left != NIL {
+            cur = self.node(cur).left;
+        }
+        Some(&self.node(cur).key)
     }
 
     /// Largest key.
     pub fn last(&self) -> Option<&K> {
-        let mut cur = self.root.as_deref()?;
-        while let Some(r) = cur.right.as_deref() {
-            cur = r;
+        if self.root == NIL {
+            return None;
         }
-        Some(&cur.key)
+        let mut cur = self.root;
+        while self.node(cur).right != NIL {
+            cur = self.node(cur).right;
+        }
+        Some(&self.node(cur).key)
+    }
+
+    /// Removes and returns the entry on the given side (`true` = min).
+    fn pop_end(&mut self, min: bool) -> Option<(K, f64)>
+    where
+        K: Clone,
+    {
+        if self.root == NIL {
+            return None;
+        }
+        let mut path = std::mem::take(&mut self.scratch);
+        debug_assert!(path.is_empty());
+        let mut cur = self.root;
+        loop {
+            let next = if min {
+                self.node(cur).left
+            } else {
+                self.node(cur).right
+            };
+            if next == NIL {
+                break;
+            }
+            path.push(cur);
+            cur = next;
+        }
+        // The end node keeps at most one child, on the opposite side.
+        let orphan = if min {
+            self.node(cur).right
+        } else {
+            self.node(cur).left
+        };
+        let weight = self.node(cur).weight;
+        match path.last() {
+            Some(&p) => {
+                if min {
+                    self.nodes[p as usize].left = orphan;
+                } else {
+                    self.nodes[p as usize].right = orphan;
+                }
+            }
+            None => self.root = orphan,
+        }
+        // Full bottom-up recompute; see `insert` for why.
+        for &i in path.iter().rev() {
+            self.update(i);
+        }
+        path.clear();
+        self.scratch = path;
+        let key = self.node(cur).key.clone();
+        self.free.push(cur);
+        Some((key, weight))
     }
 
     /// Removes and returns the smallest entry.
-    pub fn pop_first(&mut self) -> Option<(K, f64)> {
-        fn pop_min<K: Ord>(link: &mut Link<K>) -> Option<(K, f64)> {
-            let node = link.as_mut()?;
-            if node.left.is_some() {
-                let out = pop_min(&mut node.left);
-                node.update();
-                out
-            } else {
-                let mut n = link.take().unwrap();
-                *link = n.right.take();
-                Some((n.key, n.weight))
-            }
-        }
-        pop_min(&mut self.root)
+    pub fn pop_first(&mut self) -> Option<(K, f64)>
+    where
+        K: Clone,
+    {
+        self.pop_end(true)
     }
 
     /// Removes and returns the largest entry.
-    pub fn pop_last(&mut self) -> Option<(K, f64)> {
-        fn pop_max<K: Ord>(link: &mut Link<K>) -> Option<(K, f64)> {
-            let node = link.as_mut()?;
-            if node.right.is_some() {
-                let out = pop_max(&mut node.right);
-                node.update();
-                out
-            } else {
-                let mut n = link.take().unwrap();
-                *link = n.left.take();
-                Some((n.key, n.weight))
-            }
-        }
-        pop_max(&mut self.root)
+    pub fn pop_last(&mut self) -> Option<(K, f64)>
+    where
+        K: Clone,
+    {
+        self.pop_end(false)
     }
 
     /// Aggregate over entries with key `≤ key`.
     pub fn agg_le(&self, key: &K) -> Agg {
-        let mut acc = Agg::default();
-        let mut cur = &self.root;
-        while let Some(n) = cur {
-            if n.key <= *key {
-                acc = acc
-                    .plus(link_agg(&n.left))
-                    .plus(Agg { count: 1, sum: n.weight });
-                cur = &n.right;
-            } else {
-                cur = &n.left;
-            }
-        }
-        acc
+        self.agg_bound(key, true)
     }
 
     /// Aggregate over entries with key `< key`.
     pub fn agg_lt(&self, key: &K) -> Agg {
+        self.agg_bound(key, false)
+    }
+
+    fn agg_bound(&self, key: &K, inclusive: bool) -> Agg {
         let mut acc = Agg::default();
-        let mut cur = &self.root;
-        while let Some(n) = cur {
-            if n.key < *key {
-                acc = acc
-                    .plus(link_agg(&n.left))
-                    .plus(Agg { count: 1, sum: n.weight });
-                cur = &n.right;
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = self.node(cur);
+            let in_range = if inclusive {
+                n.key <= *key
             } else {
-                cur = &n.left;
+                n.key < *key
+            };
+            if in_range {
+                acc = acc.plus(self.agg(n.left)).plus(Agg {
+                    count: 1,
+                    sum: n.weight,
+                });
+                cur = n.right;
+            } else {
+                cur = n.left;
             }
         }
         acc
@@ -285,27 +608,33 @@ impl<K: Ord> AggTreap<K> {
 
     /// In-order iterator over `(&key, weight)`.
     pub fn iter(&self) -> Iter<'_, K> {
-        let mut it = Iter { stack: Vec::new() };
-        it.push_left(&self.root);
+        let mut it = Iter {
+            treap: self,
+            stack: Vec::new(),
+        };
+        it.push_left(self.root);
         it
     }
 
-    /// Drops all entries.
+    /// Drops all entries and the arena's contents.
     pub fn clear(&mut self) {
-        self.root = None;
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
     }
 }
 
 /// In-order iterator over an [`AggTreap`].
 pub struct Iter<'a, K: Ord> {
-    stack: Vec<&'a Node<K>>,
+    treap: &'a AggTreap<K>,
+    stack: Vec<u32>,
 }
 
-impl<'a, K: Ord> Iter<'a, K> {
-    fn push_left(&mut self, mut link: &'a Link<K>) {
-        while let Some(n) = link {
-            self.stack.push(n);
-            link = &n.left;
+impl<K: Ord> Iter<'_, K> {
+    fn push_left(&mut self, mut i: u32) {
+        while i != NIL {
+            self.stack.push(i);
+            i = self.treap.node(i).left;
         }
     }
 }
@@ -314,8 +643,9 @@ impl<'a, K: Ord> Iterator for Iter<'a, K> {
     type Item = (&'a K, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let n = self.stack.pop()?;
-        self.push_left(&n.right);
+        let i = self.stack.pop()?;
+        let n = &self.treap.nodes[i as usize];
+        self.push_left(n.right);
         Some((&n.key, n.weight))
     }
 }
@@ -325,6 +655,8 @@ impl<K: Ord + std::fmt::Debug> std::fmt::Debug for AggTreap<K> {
         f.debug_struct("AggTreap")
             .field("len", &self.len())
             .field("total_sum", &self.total().sum)
+            .field("arena_slots", &self.nodes.len())
+            .field("free_slots", &self.free.len())
             .finish()
     }
 }
@@ -337,6 +669,51 @@ mod tests {
         t.iter().map(|(k, _)| *k).collect()
     }
 
+    /// Recomputes every reachable node's aggregates and checks the
+    /// stored values, the BST order, and the heap property.
+    fn check_invariants<K: Ord + Copy + std::fmt::Debug>(t: &AggTreap<K>) {
+        fn walk<K: Ord + Copy + std::fmt::Debug>(
+            t: &AggTreap<K>,
+            i: u32,
+            lo: Option<K>,
+            hi: Option<K>,
+        ) -> Agg {
+            if i == NIL {
+                return Agg::default();
+            }
+            let n = &t.nodes[i as usize];
+            if let Some(lo) = lo {
+                assert!(n.key >= lo, "BST order violated at {:?}", n.key);
+            }
+            if let Some(hi) = hi {
+                assert!(n.key <= hi, "BST order violated at {:?}", n.key);
+            }
+            for child in [n.left, n.right] {
+                if child != NIL {
+                    assert!(
+                        t.nodes[child as usize].pri <= n.pri,
+                        "heap property violated"
+                    );
+                }
+            }
+            let la = walk(t, n.left, lo, Some(n.key));
+            let ra = walk(t, n.right, Some(n.key), hi);
+            let expect = 1 + la.count + ra.count;
+            assert_eq!(n.count as usize, expect, "stale count at {:?}", n.key);
+            assert!(
+                (n.sum - (n.weight + la.sum + ra.sum)).abs() < 1e-9,
+                "stale sum at {:?}",
+                n.key
+            );
+            Agg {
+                count: expect,
+                sum: n.sum,
+            }
+        }
+        let total = walk(t, t.root, None, None);
+        assert_eq!(total.count, t.len());
+    }
+
     #[test]
     fn insert_iterates_in_order() {
         let mut t = AggTreap::new();
@@ -346,6 +723,7 @@ mod tests {
         assert_eq!(keys(&t), vec![1, 2, 3, 4, 5]);
         assert_eq!(t.len(), 5);
         assert_eq!(t.total().sum, 15.0);
+        check_invariants(&t);
     }
 
     #[test]
@@ -376,6 +754,7 @@ mod tests {
         assert_eq!(t.pop_last(), Some((9, 1.0)));
         assert_eq!(keys(&t), vec![3, 7]);
         assert_eq!(t.len(), 2);
+        check_invariants(&t);
     }
 
     #[test]
@@ -388,6 +767,7 @@ mod tests {
         assert_eq!(t.remove(&3), None);
         assert_eq!(keys(&t), vec![1, 2, 4, 5]);
         assert_eq!(t.total().sum, 2.0 + 4.0 + 8.0 + 10.0);
+        check_invariants(&t);
     }
 
     #[test]
@@ -401,6 +781,7 @@ mod tests {
         // remove takes exactly one of them.
         assert!(t.remove(&2).is_some());
         assert_eq!(t.len(), 2);
+        check_invariants(&t);
     }
 
     #[test]
@@ -455,5 +836,139 @@ mod tests {
         }
         assert_eq!(t.len(), (n / 2) as usize);
         assert_eq!(t.first(), Some(&1));
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn randomized_ops_preserve_invariants() {
+        let mut t = AggTreap::new();
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            for _ in 0..50 {
+                let k = (next() % 100) as i64;
+                match next() % 5 {
+                    0 | 1 => t.insert(k, (k % 7) as f64 + 0.5),
+                    2 => {
+                        t.remove(&k);
+                    }
+                    3 => {
+                        t.pop_first();
+                    }
+                    _ => {
+                        t.pop_last();
+                    }
+                }
+            }
+            check_invariants(&t);
+            let _ = round;
+        }
+    }
+
+    #[test]
+    fn free_list_reuse_keeps_arena_flat() {
+        let mut t = AggTreap::with_capacity(64);
+        // Steady-state churn: the live set never exceeds 64 entries, so
+        // after warm-up the arena must stop growing — every insert must
+        // land on a freed slot.
+        for k in 0..64 {
+            t.insert(k, 1.0);
+        }
+        let slots_after_warmup = t.nodes.len();
+        for round in 0i64..200 {
+            for k in 0..16 {
+                t.pop_first();
+                t.insert(1000 + round * 16 + k, 1.0);
+            }
+            assert_eq!(t.len(), 64);
+            assert_eq!(
+                t.nodes.len(),
+                slots_after_warmup,
+                "arena grew at round {round}"
+            );
+        }
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn with_capacity_does_not_grow_under_cap() {
+        let mut t = AggTreap::with_capacity(1000);
+        let cap = t.capacity();
+        assert!(cap >= 1000);
+        for k in 0..1000 {
+            t.insert(k, 1.0);
+        }
+        assert_eq!(t.capacity(), cap);
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental_build() {
+        let entries: Vec<(i32, f64)> = (0..500).map(|k| (k, k as f64 * 0.5)).collect();
+        let bulk = AggTreap::from_sorted(entries.clone());
+        check_invariants(&bulk);
+        let mut inc = AggTreap::new();
+        for &(k, w) in &entries {
+            inc.insert(k, w);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        assert_eq!(keys(&bulk), keys(&inc));
+        for probe in [-1, 0, 17, 250, 499, 500] {
+            assert_eq!(bulk.agg_le(&probe).count, inc.agg_le(&probe).count);
+            assert!((bulk.agg_le(&probe).sum - inc.agg_le(&probe).sum).abs() < 1e-9);
+        }
+        assert!((bulk.total().sum - inc.total().sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_sorted_then_mutate() {
+        let mut t = AggTreap::from_sorted((0..100).map(|k| (k, 1.0)));
+        assert_eq!(t.pop_first(), Some((0, 1.0)));
+        assert_eq!(t.pop_last(), Some((99, 1.0)));
+        t.insert(-5, 1.0);
+        t.insert(500, 1.0);
+        assert_eq!(t.remove(&50), Some(1.0));
+        assert_eq!(t.len(), 99);
+        assert_eq!(t.first(), Some(&-5));
+        assert_eq!(t.last(), Some(&500));
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn from_sorted_accepts_duplicates_and_empty() {
+        let t: AggTreap<i32> = AggTreap::from_sorted(std::iter::empty());
+        assert!(t.is_empty());
+        let t = AggTreap::from_sorted([(3, 1.0), (3, 2.0), (3, 3.0)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.agg_le(&3).sum, 6.0);
+        check_invariants(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = AggTreap::from_sorted([(2, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn deep_monotone_inserts_do_not_overflow_stack() {
+        // The iterative walks must survive any depth; 200k monotone
+        // inserts + full drain exercises long spines.
+        let mut t = AggTreap::new();
+        let n = 200_000i64;
+        for k in 0..n {
+            t.insert(k, 1.0);
+        }
+        assert_eq!(t.len(), n as usize);
+        let mut prev = -1;
+        while let Some((k, _)) = t.pop_first() {
+            assert!(k > prev);
+            prev = k;
+        }
+        assert!(t.is_empty());
     }
 }

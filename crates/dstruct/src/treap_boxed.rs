@@ -1,0 +1,276 @@
+//! The original `Box`-per-node augmented treap, preserved verbatim (one
+//! struct rename) as the **ablation baseline** for the arena rewrite in
+//! [`crate::treap`].
+//!
+//! Every insert allocates, every rotation chases heap pointers, and
+//! split/merge recurse. The `dstruct_ablation` Criterion bench runs this
+//! implementation head-to-head against [`crate::AggTreap`] to quantify
+//! what the arena layout buys on the dispatch hot path; nothing else in
+//! the workspace should use it.
+
+use crate::treap::Agg;
+
+struct Node<K> {
+    key: K,
+    weight: f64,
+    pri: u64,
+    count: usize,
+    sum: f64,
+    left: Link<K>,
+    right: Link<K>,
+}
+
+type Link<K> = Option<Box<Node<K>>>;
+
+fn link_agg<K>(link: &Link<K>) -> Agg {
+    match link {
+        Some(n) => Agg {
+            count: n.count,
+            sum: n.sum,
+        },
+        None => Agg::default(),
+    }
+}
+
+impl<K> Node<K> {
+    fn update(&mut self) {
+        let l = link_agg(&self.left);
+        let r = link_agg(&self.right);
+        self.count = 1 + l.count + r.count;
+        self.sum = self.weight + l.sum + r.sum;
+    }
+}
+
+fn merge<K: Ord>(a: Link<K>, b: Link<K>) -> Link<K> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(mut a), Some(mut b)) => {
+            if a.pri >= b.pri {
+                a.right = merge(a.right.take(), Some(b));
+                a.update();
+                Some(a)
+            } else {
+                b.left = merge(Some(a), b.left.take());
+                b.update();
+                Some(b)
+            }
+        }
+    }
+}
+
+/// Splits `t` into `(keys ≤ key, keys > key)` when `inclusive`, else
+/// `(keys < key, keys ≥ key)`.
+fn split<K: Ord>(t: Link<K>, key: &K, inclusive: bool) -> (Link<K>, Link<K>) {
+    match t {
+        None => (None, None),
+        Some(mut n) => {
+            let goes_left = if inclusive {
+                n.key <= *key
+            } else {
+                n.key < *key
+            };
+            if goes_left {
+                let (mid, right) = split(n.right.take(), key, inclusive);
+                n.right = mid;
+                n.update();
+                (Some(n), right)
+            } else {
+                let (left, mid) = split(n.left.take(), key, inclusive);
+                n.left = mid;
+                n.update();
+                (left, Some(n))
+            }
+        }
+    }
+}
+
+/// Pointer-per-node order-statistic treap; see module docs for why this
+/// is kept around.
+pub struct BoxedAggTreap<K: Ord> {
+    root: Link<K>,
+    rng: u64,
+}
+
+impl<K: Ord> Default for BoxedAggTreap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> BoxedAggTreap<K> {
+    /// Empty treap with a fixed default seed (deterministic shape).
+    pub fn new() -> Self {
+        Self::with_seed(0x9E3779B97F4A7C15)
+    }
+
+    /// Empty treap with an explicit priority seed.
+    pub fn with_seed(seed: u64) -> Self {
+        BoxedAggTreap {
+            root: None,
+            rng: seed | 1,
+        }
+    }
+
+    fn next_pri(&mut self) -> u64 {
+        // xorshift64* — cheap, good enough for treap priorities.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        link_agg(&self.root).count
+    }
+
+    /// Whether the treap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Aggregate over all entries.
+    pub fn total(&self) -> Agg {
+        link_agg(&self.root)
+    }
+
+    /// Inserts an entry (one heap allocation).
+    pub fn insert(&mut self, key: K, weight: f64) {
+        let pri = self.next_pri();
+        let node = Some(Box::new(Node {
+            key,
+            weight,
+            pri,
+            count: 1,
+            sum: weight,
+            left: None,
+            right: None,
+        }));
+        let key_ref = &node.as_ref().unwrap().key;
+        // Split around the new key, then merge left + node + right.
+        let (l, r) = split(self.root.take(), key_ref, true);
+        self.root = merge(merge(l, node), r);
+    }
+
+    /// Removes one entry with exactly `key`; returns its weight.
+    pub fn remove(&mut self, key: &K) -> Option<f64> {
+        let (lt, ge) = split(self.root.take(), key, false);
+        let (eq, gt) = split(ge, key, true);
+        let (weight, eq_rest) = match eq {
+            None => (None, None),
+            Some(mut n) => {
+                // Drop the root of the equal-range; keep its children.
+                let w = n.weight;
+                let rest = merge(n.left.take(), n.right.take());
+                (Some(w), rest)
+            }
+        };
+        self.root = merge(merge(lt, eq_rest), gt);
+        weight
+    }
+
+    /// Removes and returns the smallest entry.
+    pub fn pop_first(&mut self) -> Option<(K, f64)> {
+        fn pop_min<K: Ord>(link: &mut Link<K>) -> Option<(K, f64)> {
+            let node = link.as_mut()?;
+            if node.left.is_some() {
+                let out = pop_min(&mut node.left);
+                node.update();
+                out
+            } else {
+                let mut n = link.take().unwrap();
+                *link = n.right.take();
+                Some((n.key, n.weight))
+            }
+        }
+        pop_min(&mut self.root)
+    }
+
+    /// Removes and returns the largest entry.
+    pub fn pop_last(&mut self) -> Option<(K, f64)> {
+        fn pop_max<K: Ord>(link: &mut Link<K>) -> Option<(K, f64)> {
+            let node = link.as_mut()?;
+            if node.right.is_some() {
+                let out = pop_max(&mut node.right);
+                node.update();
+                out
+            } else {
+                let mut n = link.take().unwrap();
+                *link = n.left.take();
+                Some((n.key, n.weight))
+            }
+        }
+        pop_max(&mut self.root)
+    }
+
+    /// Aggregate over entries with key `≤ key`.
+    pub fn agg_le(&self, key: &K) -> Agg {
+        let mut acc = Agg::default();
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            if n.key <= *key {
+                acc = acc.plus(link_agg(&n.left)).plus(Agg {
+                    count: 1,
+                    sum: n.weight,
+                });
+                cur = &n.right;
+            } else {
+                cur = &n.left;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggTreap;
+
+    #[test]
+    fn boxed_matches_arena_on_interleaved_ops() {
+        let mut boxed = BoxedAggTreap::new();
+        let mut arena = AggTreap::new();
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..3000 {
+            let key = (next() % 64) as i64;
+            match next() % 5 {
+                0 | 1 => {
+                    let w = (key % 7) as f64 + 1.0;
+                    boxed.insert(key, w);
+                    arena.insert(key, w);
+                }
+                2 => {
+                    assert_eq!(
+                        boxed.remove(&key).is_some(),
+                        arena.remove(&key).is_some(),
+                        "step {step}"
+                    );
+                }
+                3 => {
+                    assert_eq!(
+                        boxed.pop_first().map(|x| x.0),
+                        arena.pop_first().map(|x| x.0),
+                        "step {step}"
+                    );
+                }
+                _ => {
+                    let a = boxed.agg_le(&key);
+                    let b = arena.agg_le(&key);
+                    assert_eq!(a.count, b.count, "step {step}");
+                    assert!((a.sum - b.sum).abs() < 1e-9, "step {step}");
+                }
+            }
+            assert_eq!(boxed.len(), arena.len(), "step {step}");
+        }
+    }
+}

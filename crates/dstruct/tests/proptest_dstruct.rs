@@ -2,7 +2,7 @@
 //! agree with simple reference implementations on arbitrary operation
 //! sequences.
 
-use osr_dstruct::{AggTreap, Fenwick, NaiveAggQueue, PairingHeap, TotalF64};
+use osr_dstruct::{AggTreap, BoxedAggTreap, Fenwick, NaiveAggQueue, PairingHeap, TotalF64};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -74,6 +74,94 @@ proptest! {
             prop_assert_eq!(ta.count, na.count);
             prop_assert!((ta.sum - na.sum).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn arena_free_list_reuse_stays_differential(
+        warmup in prop::collection::vec(-30i32..30, 8..64),
+        churn in prop::collection::vec((0u8..4, -30i32..30), 64..600),
+    ) {
+        // Heavy pop/insert churn over a bounded live set: by the end of
+        // warm-up the arena has its high-water mark of slots, so almost
+        // every later insert lands on a freed slot — the reuse path the
+        // dispatch loop runs in steady state. The boxed treap (fresh
+        // allocation per insert, no arena) rides along as a second
+        // reference with identical ordering semantics.
+        let mut arena = AggTreap::with_capacity(warmup.len());
+        let mut boxed = BoxedAggTreap::new();
+        let mut naive = NaiveAggQueue::new();
+        for &k in &warmup {
+            let w = (k.rem_euclid(5)) as f64 + 1.0;
+            arena.insert(k, w);
+            boxed.insert(k, w);
+            naive.insert(k, w);
+        }
+        for (op, k) in churn {
+            match op {
+                0 => {
+                    let w = (k.rem_euclid(5)) as f64 + 1.0;
+                    arena.insert(k, w);
+                    boxed.insert(k, w);
+                    naive.insert(k, w);
+                }
+                1 => {
+                    let a = arena.pop_first();
+                    let b = boxed.pop_first();
+                    let c = naive.pop_first();
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, c);
+                }
+                2 => {
+                    let a = arena.pop_last();
+                    let b = boxed.pop_last();
+                    let c = naive.pop_last();
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, c);
+                }
+                _ => {
+                    let a = arena.remove(&k);
+                    let b = boxed.remove(&k);
+                    let c = naive.remove(&k);
+                    prop_assert_eq!(a.is_some(), c.is_some());
+                    prop_assert_eq!(b.is_some(), c.is_some());
+                    let q = arena.agg_le(&k);
+                    let r = naive.agg_le(&k);
+                    prop_assert_eq!(q.count, r.count);
+                    prop_assert!((q.sum - r.sum).abs() < 1e-9);
+                }
+            }
+            prop_assert_eq!(arena.len(), naive.len());
+            prop_assert_eq!(arena.first(), naive.first());
+            prop_assert_eq!(arena.last(), naive.last());
+        }
+        // Full in-order sweep at the end: slot reuse must never corrupt
+        // the key order or the stored weights.
+        let a: Vec<(i32, f64)> = arena.iter().map(|(k, w)| (*k, w)).collect();
+        let n: Vec<(i32, f64)> = naive.iter().map(|(k, w)| (*k, w)).collect();
+        prop_assert_eq!(a, n);
+    }
+
+    #[test]
+    fn from_sorted_agrees_with_incremental(
+        mut entries in prop::collection::vec((-100i32..100, 0.5f64..9.5), 0..300),
+        probes in prop::collection::vec(-110i32..110, 1..20),
+    ) {
+        entries.sort_by_key(|e| e.0);
+        let bulk = AggTreap::from_sorted(entries.clone());
+        let mut inc = AggTreap::new();
+        for &(k, w) in &entries {
+            inc.insert(k, w);
+        }
+        prop_assert_eq!(bulk.len(), inc.len());
+        for p in probes {
+            let a = bulk.agg_le(&p);
+            let b = inc.agg_le(&p);
+            prop_assert_eq!(a.count, b.count);
+            prop_assert!((a.sum - b.sum).abs() < 1e-9);
+        }
+        let a: Vec<i32> = bulk.iter().map(|(k, _)| *k).collect();
+        let b: Vec<i32> = inc.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(a, b);
     }
 
     #[test]

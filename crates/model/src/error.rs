@@ -43,10 +43,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ModelError::Invalid("x".into()).to_string().contains("invalid"));
-        assert!(ModelError::Parse { line: 3, message: "bad".into() }
+        assert!(ModelError::Invalid("x".into())
             .to_string()
-            .contains("line 3"));
+            .contains("invalid"));
+        assert!(ModelError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
         assert!(ModelError::Io("gone".into()).to_string().contains("i/o"));
     }
 

@@ -47,7 +47,11 @@ pub struct Instance {
 impl Instance {
     /// Builds an instance from parts, validating all invariants.
     pub fn new(machines: usize, jobs: Vec<Job>, kind: InstanceKind) -> Result<Self, ModelError> {
-        let inst = Instance { machines, jobs, kind };
+        let inst = Instance {
+            machines,
+            jobs,
+            kind,
+        };
         inst.validate()?;
         Ok(inst)
     }
@@ -191,7 +195,11 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Starts a builder for `machines` machines.
     pub fn new(machines: usize, kind: InstanceKind) -> Self {
-        InstanceBuilder { machines, kind, pending: Vec::new() }
+        InstanceBuilder {
+            machines,
+            kind,
+            pending: Vec::new(),
+        }
     }
 
     /// Adds an unweighted, deadline-free job.
@@ -243,8 +251,7 @@ impl InstanceBuilder {
 
     /// Sorts by release (stable), assigns dense ids, validates.
     pub fn build(mut self) -> Result<Instance, ModelError> {
-        self.pending
-            .sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.pending.sort_by(|a, b| a.0.total_cmp(&b.0));
         let jobs = self
             .pending
             .into_iter()
@@ -312,7 +319,9 @@ mod tests {
 
     #[test]
     fn zero_machines_rejected() {
-        assert!(InstanceBuilder::new(0, InstanceKind::FlowTime).build().is_err());
+        assert!(InstanceBuilder::new(0, InstanceKind::FlowTime)
+            .build()
+            .is_err());
     }
 
     #[test]

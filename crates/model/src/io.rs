@@ -53,9 +53,10 @@ pub fn instance_to_string(inst: &Instance) -> String {
 /// Parses an instance previously written by [`write_instance`].
 pub fn read_instance<R: BufRead>(r: R) -> Result<Instance, ModelError> {
     let mut lines = r.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ModelError::Parse { line: 1, message: "empty input".into() })?;
+    let (_, header) = lines.next().ok_or_else(|| ModelError::Parse {
+        line: 1,
+        message: "empty input".into(),
+    })?;
     let header = header?;
     let (kind, machines) = parse_header(&header)?;
     let mut builder = InstanceBuilder::new(machines, kind);
@@ -94,7 +95,10 @@ pub fn instance_from_str(s: &str) -> Result<Instance, ModelError> {
 }
 
 fn parse_header(header: &str) -> Result<(InstanceKind, usize), ModelError> {
-    let err = |m: &str| ModelError::Parse { line: 1, message: m.to_string() };
+    let err = |m: &str| ModelError::Parse {
+        line: 1,
+        message: m.to_string(),
+    };
     if !header.starts_with("# osr-instance v1") {
         return Err(err("missing `# osr-instance v1` header"));
     }
@@ -212,11 +216,15 @@ pub fn read_log<R: BufRead>(r: R) -> Result<crate::log::FinishedLog, ModelError>
     use crate::{Execution, JobId, MachineId};
 
     let mut lines = r.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ModelError::Parse { line: 1, message: "empty input".into() })?;
+    let (_, header) = lines.next().ok_or_else(|| ModelError::Parse {
+        line: 1,
+        message: "empty input".into(),
+    })?;
     let header = header?;
-    let err1 = |m: &str| ModelError::Parse { line: 1, message: m.to_string() };
+    let err1 = |m: &str| ModelError::Parse {
+        line: 1,
+        message: m.to_string(),
+    };
     if !header.starts_with("# osr-log v1") {
         return Err(err1("missing `# osr-log v1` header"));
     }
@@ -299,7 +307,11 @@ pub fn read_log<R: BufRead>(r: R) -> Result<crate::log::FinishedLog, ModelError>
                 };
                 log.reject(
                     JobId(id),
-                    Rejection { time: parse_f64(f[4], lineno)?, reason, partial },
+                    Rejection {
+                        time: parse_f64(f[4], lineno)?,
+                        reason,
+                        partial,
+                    },
                 );
             }
             other => {
@@ -332,7 +344,10 @@ impl<W: Write> CsvWriter<W> {
     /// Writes the header row and fixes the column count.
     pub fn new(mut sink: W, header: &[&str]) -> Result<Self, ModelError> {
         writeln!(sink, "{}", header.join(","))?;
-        Ok(CsvWriter { sink, columns: header.len() })
+        Ok(CsvWriter {
+            sink,
+            columns: header.len(),
+        })
     }
 
     /// Writes one data row; panics on arity mismatch (programming error).
@@ -429,7 +444,12 @@ mod tests {
         let mut log = ScheduleLog::new(2, 3);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(1), start: 0.5, completion: 2.75, speed: 1.5 },
+            Execution {
+                machine: MachineId(1),
+                start: 0.5,
+                completion: 2.75,
+                speed: 1.5,
+            },
         );
         log.reject(
             JobId(1),
@@ -446,7 +466,11 @@ mod tests {
         );
         log.reject(
             JobId(2),
-            Rejection { time: 4.0, reason: RejectReason::RuleTwo, partial: None },
+            Rejection {
+                time: 4.0,
+                reason: RejectReason::RuleTwo,
+                partial: None,
+            },
         );
         let fin = log.finish().unwrap();
         let text = log_to_string(&fin);

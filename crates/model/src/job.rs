@@ -71,17 +71,35 @@ pub struct Job {
 impl Job {
     /// Convenience constructor for an unweighted, deadline-free job.
     pub fn new(id: u32, release: f64, sizes: Vec<f64>) -> Self {
-        Job { id: JobId(id), release, weight: 1.0, deadline: None, sizes }
+        Job {
+            id: JobId(id),
+            release,
+            weight: 1.0,
+            deadline: None,
+            sizes,
+        }
     }
 
     /// Constructor with a weight (for §3 workloads).
     pub fn weighted(id: u32, release: f64, weight: f64, sizes: Vec<f64>) -> Self {
-        Job { id: JobId(id), release, weight, deadline: None, sizes }
+        Job {
+            id: JobId(id),
+            release,
+            weight,
+            deadline: None,
+            sizes,
+        }
     }
 
     /// Constructor with a deadline (for §4 workloads).
     pub fn with_deadline(id: u32, release: f64, deadline: f64, sizes: Vec<f64>) -> Self {
-        Job { id: JobId(id), release, weight: 1.0, deadline: Some(deadline), sizes }
+        Job {
+            id: JobId(id),
+            release,
+            weight: 1.0,
+            deadline: Some(deadline),
+            sizes,
+        }
     }
 
     /// Size `p_ij` of this job on machine `i`.
@@ -158,7 +176,10 @@ impl Job {
         }
         if let Some(d) = self.deadline {
             if !d.is_finite() || d <= self.release {
-                return Err(format!("{}: deadline {} not after release {}", self.id, d, self.release));
+                return Err(format!(
+                    "{}: deadline {} not after release {}",
+                    self.id, d, self.release
+                ));
             }
         }
         Ok(())
@@ -206,8 +227,12 @@ mod tests {
         assert!(Job::new(0, 0.0, vec![f64::INFINITY]).validate(1).is_err());
         assert!(Job::new(0, 0.0, vec![1.0, 1.0]).validate(1).is_err());
         assert!(Job::weighted(0, 0.0, 0.0, vec![1.0]).validate(1).is_err());
-        assert!(Job::with_deadline(0, 5.0, 5.0, vec![1.0]).validate(1).is_err());
-        assert!(Job::with_deadline(0, 5.0, 6.0, vec![1.0]).validate(1).is_ok());
+        assert!(Job::with_deadline(0, 5.0, 5.0, vec![1.0])
+            .validate(1)
+            .is_err());
+        assert!(Job::with_deadline(0, 5.0, 6.0, vec![1.0])
+            .validate(1)
+            .is_ok());
     }
 
     #[test]

@@ -163,7 +163,10 @@ pub struct ScheduleLog {
 impl ScheduleLog {
     /// Creates an empty log for `jobs` jobs on `machines` machines.
     pub fn new(machines: usize, jobs: usize) -> Self {
-        ScheduleLog { machines, fates: vec![None; jobs] }
+        ScheduleLog {
+            machines,
+            fates: vec![None; jobs],
+        }
     }
 
     /// Number of machines the log refers to.
@@ -214,12 +217,14 @@ impl ScheduleLog {
 
     /// All completed executions with their job ids.
     pub fn executions(&self) -> impl Iterator<Item = (JobId, &Execution)> {
-        self.iter().filter_map(|(id, f)| f.execution().map(|e| (id, e)))
+        self.iter()
+            .filter_map(|(id, f)| f.execution().map(|e| (id, e)))
     }
 
     /// All rejections with their job ids.
     pub fn rejections(&self) -> impl Iterator<Item = (JobId, &Rejection)> {
-        self.iter().filter_map(|(id, f)| f.rejection().map(|r| (id, r)))
+        self.iter()
+            .filter_map(|(id, f)| f.rejection().map(|r| (id, r)))
     }
 
     /// Count of rejected jobs.
@@ -278,17 +283,22 @@ impl FinishedLog {
 
     /// Iterates `(JobId, &JobFate)`.
     pub fn iter(&self) -> impl Iterator<Item = (JobId, &JobFate)> {
-        self.fates.iter().enumerate().map(|(k, f)| (JobId(k as u32), f))
+        self.fates
+            .iter()
+            .enumerate()
+            .map(|(k, f)| (JobId(k as u32), f))
     }
 
     /// All completed executions.
     pub fn executions(&self) -> impl Iterator<Item = (JobId, &Execution)> {
-        self.iter().filter_map(|(id, f)| f.execution().map(|e| (id, e)))
+        self.iter()
+            .filter_map(|(id, f)| f.execution().map(|e| (id, e)))
     }
 
     /// All rejections.
     pub fn rejections(&self) -> impl Iterator<Item = (JobId, &Rejection)> {
-        self.iter().filter_map(|(id, f)| f.rejection().map(|r| (id, r)))
+        self.iter()
+            .filter_map(|(id, f)| f.rejection().map(|r| (id, r)))
     }
 
     /// Count of rejected jobs.
@@ -303,9 +313,7 @@ impl FinishedLog {
         let mut out = Vec::new();
         for (id, fate) in self.iter() {
             match fate {
-                JobFate::Completed(e) => {
-                    out.push((e.machine, id, e.start, e.completion, e.speed))
-                }
+                JobFate::Completed(e) => out.push((e.machine, id, e.start, e.completion, e.speed)),
                 JobFate::Rejected(r) => {
                     if let Some(p) = r.partial {
                         out.push((p.machine, id, p.start, p.end, p.speed));
@@ -323,12 +331,22 @@ mod tests {
     use super::*;
 
     fn exec(machine: u32, start: f64, completion: f64) -> Execution {
-        Execution { machine: MachineId(machine), start, completion, speed: 1.0 }
+        Execution {
+            machine: MachineId(machine),
+            start,
+            completion,
+            speed: 1.0,
+        }
     }
 
     #[test]
     fn execution_derived_quantities() {
-        let e = Execution { machine: MachineId(0), start: 1.0, completion: 4.0, speed: 2.0 };
+        let e = Execution {
+            machine: MachineId(0),
+            start: 1.0,
+            completion: 4.0,
+            speed: 2.0,
+        };
         assert_eq!(e.duration(), 3.0);
         assert_eq!(e.volume(), 6.0);
         assert_eq!(e.energy(3.0), 3.0 * 8.0);
@@ -340,7 +358,11 @@ mod tests {
         log.complete(JobId(0), exec(0, 0.0, 2.0));
         log.reject(
             JobId(1),
-            Rejection { time: 1.0, reason: RejectReason::RuleTwo, partial: None },
+            Rejection {
+                time: 1.0,
+                reason: RejectReason::RuleTwo,
+                partial: None,
+            },
         );
         assert_eq!(log.rejected_count(), 1);
         let fin = log.finish().unwrap();

@@ -213,15 +213,29 @@ mod tests {
         let mut log = ScheduleLog::new(1, 3);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(0), start: 0.0, completion: 2.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 0.0,
+                completion: 2.0,
+                speed: 1.0,
+            },
         );
         log.complete(
             JobId(1),
-            Execution { machine: MachineId(0), start: 2.0, completion: 5.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 2.0,
+                completion: 5.0,
+                speed: 1.0,
+            },
         );
         log.reject(
             JobId(2),
-            Rejection { time: 4.0, reason: RejectReason::RuleTwo, partial: None },
+            Rejection {
+                time: 4.0,
+                reason: RejectReason::RuleTwo,
+                partial: None,
+            },
         );
         (inst, log.finish().unwrap())
     }
@@ -275,7 +289,12 @@ mod tests {
         let mut log = ScheduleLog::new(1, 1);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(0), start: 0.0, completion: 2.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 0.0,
+                completion: 2.0,
+                speed: 1.0,
+            },
         );
         let m = Metrics::compute(&inst, &log.finish().unwrap(), 2.0);
         assert_eq!(m.flow.weighted_flow_served, 10.0);
@@ -292,7 +311,12 @@ mod tests {
         let mut log = ScheduleLog::new(1, 1);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(0), start: 0.0, completion: 4.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 0.0,
+                completion: 4.0,
+                speed: 1.0,
+            },
         );
         let m = Metrics::compute(&inst, &log.finish().unwrap(), 2.0);
         assert_eq!(m.energy.deadline_misses, 1);

@@ -1,7 +1,10 @@
-//! Time-ordered event queue with deterministic tie-breaking.
+//! Time-ordered event queue with deterministic tie-breaking and a
+//! selectable heap backend.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+
+use osr_dstruct::PairingHeap;
 
 /// One scheduled event.
 #[derive(Debug, Clone)]
@@ -30,16 +33,39 @@ impl<P> Ord for Entry<P> {
     }
 }
 
+/// Which heap implementation backs an [`EventQueue`].
+///
+/// Both backends observe the identical ordering contract (min time,
+/// FIFO within a time), so simulations are bit-identical across them;
+/// the `event_queue` Criterion bench compares their throughput on the
+/// push/pop burst pattern event-driven schedulers produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventBackend {
+    /// `std::collections::BinaryHeap` (implicit d-ary array heap).
+    #[default]
+    BinaryHeap,
+    /// `osr_dstruct::PairingHeap` (O(1) insert/meld, amortized
+    /// O(log n) pop).
+    PairingHeap,
+}
+
+#[derive(Debug)]
+enum Heap<P> {
+    Binary(BinaryHeap<Reverse<Entry<P>>>),
+    Pairing(PairingHeap<Entry<P>>),
+}
+
 /// Min-queue of `(time, payload)` events.
 ///
 /// Events at equal times pop in **insertion order** (FIFO), which makes
 /// every simulation in the workspace deterministic — a requirement both
 /// for reproducible experiments and for the adaptive adversaries of
 /// Lemma 1/Lemma 2, whose constructions reason about the exact order in
-/// which the algorithm observes events.
+/// which the algorithm observes events. The guarantee holds for every
+/// [`EventBackend`].
 #[derive(Debug)]
 pub struct EventQueue<P> {
-    heap: BinaryHeap<Reverse<Entry<P>>>,
+    heap: Heap<P>,
     seq: u64,
 }
 
@@ -50,24 +76,48 @@ impl<P> Default for EventQueue<P> {
 }
 
 impl<P> EventQueue<P> {
-    /// Empty queue.
+    /// Empty queue on the default backend.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        Self::with_backend(EventBackend::default())
     }
 
-    /// Empty queue with reserved capacity.
+    /// Empty queue on an explicit backend.
+    pub fn with_backend(backend: EventBackend) -> Self {
+        let heap = match backend {
+            EventBackend::BinaryHeap => Heap::Binary(BinaryHeap::new()),
+            EventBackend::PairingHeap => Heap::Pairing(PairingHeap::new()),
+        };
+        EventQueue { heap, seq: 0 }
+    }
+
+    /// Empty queue with reserved capacity (meaningful for the binary
+    /// backend; the pairing heap allocates per node).
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), seq: 0 }
+        EventQueue {
+            heap: Heap::Binary(BinaryHeap::with_capacity(cap)),
+            seq: 0,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> EventBackend {
+        match self.heap {
+            Heap::Binary(_) => EventBackend::BinaryHeap,
+            Heap::Pairing(_) => EventBackend::PairingHeap,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.heap {
+            Heap::Binary(h) => h.len(),
+            Heap::Pairing(h) => h.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `payload` at `time`. Panics on NaN times (programming
@@ -76,22 +126,36 @@ impl<P> EventQueue<P> {
         assert!(!time.is_nan(), "event time is NaN");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, payload }));
+        let entry = Entry { time, seq, payload };
+        match &mut self.heap {
+            Heap::Binary(h) => h.push(Reverse(entry)),
+            Heap::Pairing(h) => h.push(entry),
+        }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        match &self.heap {
+            Heap::Binary(h) => h.peek().map(|Reverse(e)| e.time),
+            Heap::Pairing(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Pops the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(f64, P)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+        let entry = match &mut self.heap {
+            Heap::Binary(h) => h.pop().map(|Reverse(e)| e),
+            Heap::Pairing(h) => h.pop(),
+        }?;
+        Some((entry.time, entry.payload))
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.heap {
+            Heap::Binary(h) => h.clear(),
+            Heap::Pairing(h) => h.clear(),
+        }
     }
 }
 
@@ -99,48 +163,82 @@ impl<P> EventQueue<P> {
 mod tests {
     use super::*;
 
+    const BACKENDS: [EventBackend; 2] = [EventBackend::BinaryHeap, EventBackend::PairingHeap];
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(3.0, "c");
-        q.push(1.0, "a");
-        q.push(2.0, "b");
-        assert_eq!(q.pop(), Some((1.0, "a")));
-        assert_eq!(q.pop(), Some((2.0, "b")));
-        assert_eq!(q.pop(), Some((3.0, "c")));
-        assert_eq!(q.pop(), None);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(3.0, "c");
+            q.push(1.0, "a");
+            q.push(2.0, "b");
+            assert_eq!(q.pop(), Some((1.0, "a")), "{backend:?}");
+            assert_eq!(q.pop(), Some((2.0, "b")), "{backend:?}");
+            assert_eq!(q.pop(), Some((3.0, "c")), "{backend:?}");
+            assert_eq!(q.pop(), None, "{backend:?}");
+        }
     }
 
     #[test]
     fn equal_times_pop_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..10 {
-            q.push(5.0, i);
-        }
-        for i in 0..10 {
-            assert_eq!(q.pop(), Some((5.0, i)));
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..10 {
+                q.push(5.0, i);
+            }
+            for i in 0..10 {
+                assert_eq!(q.pop(), Some((5.0, i)), "{backend:?}");
+            }
         }
     }
 
     #[test]
     fn peek_time_sees_min() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(7.0, ());
-        q.push(2.0, ());
-        assert_eq!(q.peek_time(), Some(2.0));
-        assert_eq!(q.len(), 2);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.peek_time(), None);
+            q.push(7.0, ());
+            q.push(2.0, ());
+            assert_eq!(q.peek_time(), Some(2.0), "{backend:?}");
+            assert_eq!(q.len(), 2, "{backend:?}");
+        }
     }
 
     #[test]
     fn interleaving_preserves_fifo_within_time() {
-        let mut q = EventQueue::new();
-        q.push(1.0, "first@1");
-        q.push(0.5, "only@0.5");
-        q.push(1.0, "second@1");
-        assert_eq!(q.pop().unwrap().1, "only@0.5");
-        assert_eq!(q.pop().unwrap().1, "first@1");
-        assert_eq!(q.pop().unwrap().1, "second@1");
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(1.0, "first@1");
+            q.push(0.5, "only@0.5");
+            q.push(1.0, "second@1");
+            assert_eq!(q.pop().unwrap().1, "only@0.5", "{backend:?}");
+            assert_eq!(q.pop().unwrap().1, "first@1", "{backend:?}");
+            assert_eq!(q.pop().unwrap().1, "second@1", "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_random_streams() {
+        let mut a = EventQueue::with_backend(EventBackend::BinaryHeap);
+        let mut b = EventQueue::with_backend(EventBackend::PairingHeap);
+        let mut state = 0xFEEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5000 {
+            if next() % 3 != 0 {
+                let t = (next() % 1000) as f64 / 8.0;
+                a.push(t, step);
+                b.push(t, step);
+            } else {
+                assert_eq!(a.pop(), b.pop(), "step {step}");
+            }
+            assert_eq!(a.len(), b.len(), "step {step}");
+            assert_eq!(a.peek_time(), b.peek_time(), "step {step}");
+        }
     }
 
     #[test]
@@ -152,9 +250,17 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut q = EventQueue::new();
-        q.push(1.0, ());
-        q.clear();
-        assert!(q.is_empty());
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(1.0, ());
+            q.clear();
+            assert!(q.is_empty(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn default_backend_is_binary() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend(), EventBackend::BinaryHeap);
     }
 }

@@ -64,11 +64,21 @@ mod tests {
         let mut log = ScheduleLog::new(2, 2);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(0), start: 0.0, completion: 4.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 0.0,
+                completion: 4.0,
+                speed: 1.0,
+            },
         );
         log.complete(
             JobId(1),
-            Execution { machine: MachineId(1), start: 0.0, completion: 4.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(1),
+                start: 0.0,
+                completion: 4.0,
+                speed: 1.0,
+            },
         );
         let fin = log.finish().unwrap();
         let g = render_gantt(&inst, &fin, 40);
@@ -110,7 +120,11 @@ mod tests {
         let mut log = ScheduleLog::new(1, 1);
         log.reject(
             JobId(0),
-            Rejection { time: 0.0, reason: RejectReason::Immediate, partial: None },
+            Rejection {
+                time: 0.0,
+                reason: RejectReason::Immediate,
+                partial: None,
+            },
         );
         let g = render_gantt(&inst, &log.finish().unwrap(), 20);
         assert!(g.contains("empty"));

@@ -7,8 +7,10 @@
 //! trustworthy:
 //!
 //! * [`event::EventQueue`] — time-ordered queue with deterministic FIFO
-//!   tie-breaking (backed by `std::collections::BinaryHeap`; the
-//!   `osr-dstruct` pairing heap is a benchmarked alternative);
+//!   tie-breaking and a selectable backend ([`event::EventBackend`]:
+//!   `std::collections::BinaryHeap` by default, the `osr-dstruct`
+//!   pairing heap as a benchmarked alternative — both observe the same
+//!   ordering contract, so simulations are backend-independent);
 //! * [`scheduler::OnlineScheduler`] — the trait every policy implements
 //!   (`osr-core` algorithms and `osr-baselines` comparators alike);
 //! * [`validate`] — checks a [`osr_model::log::FinishedLog`] against its
@@ -37,7 +39,7 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
-pub use event::EventQueue;
+pub use event::{EventBackend, EventQueue};
 pub use gantt::render_gantt;
 pub use scheduler::{run_validated, OnlineScheduler, SimError};
 pub use stats::{MachineUtilization, SummaryStats};

@@ -71,9 +71,7 @@ pub fn run_validated<S: OnlineScheduler>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use osr_model::{
-        Execution, InstanceBuilder, InstanceKind, MachineId, ScheduleLog,
-    };
+    use osr_model::{Execution, InstanceBuilder, InstanceKind, MachineId, ScheduleLog};
 
     /// Trivial FIFO-on-machine-0 scheduler used to exercise the helper.
     struct Fifo0;
@@ -91,7 +89,12 @@ mod tests {
                 let completion = start + job.sizes[0];
                 log.complete(
                     job.id,
-                    Execution { machine: MachineId(0), start, completion, speed: 1.0 },
+                    Execution {
+                        machine: MachineId(0),
+                        start,
+                        completion,
+                        speed: 1.0,
+                    },
                 );
                 free = completion;
             }

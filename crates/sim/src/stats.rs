@@ -45,8 +45,7 @@ impl SummaryStats {
         let count = values.len();
         let sum: f64 = values.iter().sum();
         let mean = sum / count as f64;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         SummaryStats {
             count,
             sum,
@@ -144,7 +143,10 @@ impl Histogram {
         } else {
             counts[0] = values.len();
         }
-        Histogram { buckets: counts, max }
+        Histogram {
+            buckets: counts,
+            max,
+        }
     }
 
     /// Renders as a one-line-per-bucket bar chart.
@@ -206,11 +208,21 @@ mod tests {
         let mut log = ScheduleLog::new(2, 2);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(0), start: 0.0, completion: 4.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 0.0,
+                completion: 4.0,
+                speed: 1.0,
+            },
         );
         log.complete(
             JobId(1),
-            Execution { machine: MachineId(1), start: 0.0, completion: 2.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(1),
+                start: 0.0,
+                completion: 2.0,
+                speed: 1.0,
+            },
         );
         let u = MachineUtilization::compute(&inst, &log.finish().unwrap());
         assert_eq!(u.makespan, 4.0);
@@ -238,7 +250,12 @@ mod tests {
         let mut log = ScheduleLog::new(1, 2);
         log.complete(
             JobId(0),
-            Execution { machine: MachineId(0), start: 0.0, completion: 2.0, speed: 1.0 },
+            Execution {
+                machine: MachineId(0),
+                start: 0.0,
+                completion: 2.0,
+                speed: 1.0,
+            },
         );
         log.reject(
             JobId(1),

@@ -100,7 +100,9 @@ impl DecisionTrace {
     /// order (debug-asserted; simulations are already time-ordered).
     pub fn push(&mut self, event: DecisionEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.time() <= event.time() + osr_model::EPS),
+            self.events
+                .last()
+                .is_none_or(|last| last.time() <= event.time() + osr_model::EPS),
             "trace events out of order"
         );
         self.events.push(event);
@@ -162,7 +164,12 @@ mod tests {
             lambda: 1.5,
             candidates: 2,
         });
-        t.push(DecisionEvent::Start { time: 0.0, job: JobId(0), machine: MachineId(0), speed: 1.0 });
+        t.push(DecisionEvent::Start {
+            time: 0.0,
+            job: JobId(0),
+            machine: MachineId(0),
+            speed: 1.0,
+        });
         t.push(DecisionEvent::Reject {
             time: 2.0,
             job: JobId(0),
@@ -197,6 +204,10 @@ mod tests {
     #[should_panic(expected = "out of order")]
     fn out_of_order_push_debug_panics() {
         let mut t = sample();
-        t.push(DecisionEvent::Complete { time: 1.0, job: JobId(0), machine: MachineId(0) });
+        t.push(DecisionEvent::Complete {
+            time: 1.0,
+            job: JobId(0),
+            machine: MachineId(0),
+        });
     }
 }

@@ -24,8 +24,7 @@ use osr_model::{approx_eq, Instance, InstanceKind};
 use osr_model::{FinishedLog, JobFate, JobId, MachineId};
 
 /// What to check beyond the universal invariants.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ValidationConfig {
     /// Require all speeds to equal 1.0 (the §2 flow-time model).
     pub unit_speed: bool,
@@ -35,11 +34,14 @@ pub struct ValidationConfig {
     pub forbid_rejections: bool,
 }
 
-
 impl ValidationConfig {
     /// Strict §2 configuration: unit speeds, exclusive machines.
     pub fn flow_time() -> Self {
-        ValidationConfig { unit_speed: true, allow_parallel: false, forbid_rejections: false }
+        ValidationConfig {
+            unit_speed: true,
+            allow_parallel: false,
+            forbid_rejections: false,
+        }
     }
 
     /// §3 configuration: arbitrary speeds, exclusive machines (the
@@ -52,7 +54,11 @@ impl ValidationConfig {
     /// §4 configuration: arbitrary speeds, parallel execution allowed
     /// (machine speed is the *sum* of its running jobs' speeds).
     pub fn energy() -> Self {
-        ValidationConfig { unit_speed: false, allow_parallel: true, forbid_rejections: true }
+        ValidationConfig {
+            unit_speed: false,
+            allow_parallel: true,
+            forbid_rejections: true,
+        }
     }
 }
 
@@ -102,7 +108,11 @@ fn err(
     machine: Option<MachineId>,
     message: String,
 ) {
-    report.errors.push(ValidationError { job, machine, message });
+    report.errors.push(ValidationError {
+        job,
+        machine,
+        message,
+    });
 }
 
 /// Validates `log` against `instance` under `config`; see module docs
@@ -118,7 +128,11 @@ pub fn validate_log(
             &mut report,
             None,
             None,
-            format!("log covers {} jobs, instance has {}", log.len(), instance.len()),
+            format!(
+                "log covers {} jobs, instance has {}",
+                log.len(),
+                instance.len()
+            ),
         );
         return report;
     }
@@ -131,7 +145,12 @@ pub fn validate_log(
             JobFate::Completed(e) => {
                 report.completed += 1;
                 if e.machine.idx() >= m {
-                    err(&mut report, Some(id), Some(e.machine), "machine out of range".into());
+                    err(
+                        &mut report,
+                        Some(id),
+                        Some(e.machine),
+                        "machine out of range".into(),
+                    );
                     continue;
                 }
                 if !job.eligible_on(e.machine) {
@@ -152,7 +171,12 @@ pub fn validate_log(
                     );
                 }
                 if !(e.speed.is_finite() && e.speed > 0.0) {
-                    err(&mut report, Some(id), Some(e.machine), format!("bad speed {}", e.speed));
+                    err(
+                        &mut report,
+                        Some(id),
+                        Some(e.machine),
+                        format!("bad speed {}", e.speed),
+                    );
                     continue;
                 }
                 if config.unit_speed && !approx_eq(e.speed, 1.0) {
@@ -188,7 +212,12 @@ pub fn validate_log(
             JobFate::Rejected(r) => {
                 report.rejected += 1;
                 if config.forbid_rejections {
-                    err(&mut report, Some(id), None, "rejection forbidden by config".into());
+                    err(
+                        &mut report,
+                        Some(id),
+                        None,
+                        "rejection forbidden by config".into(),
+                    );
                 }
                 if r.time + osr_model::EPS < job.release {
                     err(
@@ -200,7 +229,12 @@ pub fn validate_log(
                 }
                 if let Some(p) = r.partial {
                     if p.machine.idx() >= m {
-                        err(&mut report, Some(id), Some(p.machine), "machine out of range".into());
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(p.machine),
+                            "machine out of range".into(),
+                        );
                         continue;
                     }
                     if p.start + osr_model::EPS < job.release {
@@ -223,7 +257,12 @@ pub fn validate_log(
                         );
                     }
                     if p.end < p.start {
-                        err(&mut report, Some(id), Some(p.machine), "negative partial run".into());
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(p.machine),
+                            "negative partial run".into(),
+                        );
                     }
                     // The interrupted prefix must process *less* volume
                     // than the full requirement (otherwise it completed).
@@ -251,7 +290,18 @@ pub fn validate_log(
 
 /// Checks that busy intervals on each machine are pairwise disjoint.
 fn check_exclusivity(instance: &Instance, log: &FinishedLog, report: &mut ValidationReport) {
-    let busy = log.busy_intervals();
+    let all = log.busy_intervals();
+    // Zero-measure runs are legitimate at interval *boundaries*: Rule 1
+    // can interrupt a job at the very instant it started (an
+    // all-at-once pileup does this), leaving a `[t, t]` partial run
+    // that coincides with the next job's start. They are separated out
+    // here both because they would break the sorted-adjacency overlap
+    // argument below and because they need their own check: a `[t, t]`
+    // run strictly *inside* another job's interval still means the
+    // machine started two jobs while busy.
+    let (busy, instants): (Vec<_>, Vec<_>) = all
+        .into_iter()
+        .partition(|&(_, _, s, e, _)| e - s > osr_model::EPS);
     for w in busy.windows(2) {
         let (m1, j1, _s1, e1, _) = w[0];
         let (m2, j2, s2, _e2, _) = w[1];
@@ -264,15 +314,26 @@ fn check_exclusivity(instance: &Instance, log: &FinishedLog, report: &mut Valida
             );
         }
     }
+    for &(m, j, t, _, _) in &instants {
+        let interior = busy.iter().any(|&(m2, _, s2, e2, _)| {
+            m2 == m && s2 + osr_model::EPS < t && t + osr_model::EPS < e2
+        });
+        if interior {
+            err(
+                report,
+                Some(j),
+                Some(m),
+                format!("{j} ran (zero-length) at {t} inside another job's busy interval"),
+            );
+        }
+    }
     let _ = instance;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use osr_model::{
-        Execution, InstanceBuilder, PartialRun, RejectReason, Rejection, ScheduleLog,
-    };
+    use osr_model::{Execution, InstanceBuilder, PartialRun, RejectReason, Rejection, ScheduleLog};
 
     fn inst_one_machine(sizes: &[f64]) -> Instance {
         let mut b = InstanceBuilder::new(1, InstanceKind::FlowTime);
@@ -283,7 +344,12 @@ mod tests {
     }
 
     fn exec(machine: u32, start: f64, completion: f64, speed: f64) -> Execution {
-        Execution { machine: MachineId(machine), start, completion, speed }
+        Execution {
+            machine: MachineId(machine),
+            start,
+            completion,
+            speed,
+        }
     }
 
     #[test]
@@ -292,7 +358,11 @@ mod tests {
         let mut log = ScheduleLog::new(1, 2);
         log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
         log.complete(JobId(1), exec(0, 2.0, 5.0, 1.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(rep.is_valid(), "{:?}", rep.errors);
         assert_eq!(rep.completed, 2);
     }
@@ -303,7 +373,11 @@ mod tests {
         let mut log = ScheduleLog::new(1, 2);
         log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
         log.complete(JobId(1), exec(0, 1.0, 4.0, 1.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(!rep.is_valid());
         assert!(rep.errors[0].message.contains("still runs"));
     }
@@ -328,7 +402,11 @@ mod tests {
             .unwrap();
         let mut log = ScheduleLog::new(1, 1);
         log.complete(JobId(0), exec(0, 4.0, 5.0, 1.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(!rep.is_valid());
         assert!(rep.errors[0].message.contains("before release"));
     }
@@ -339,7 +417,11 @@ mod tests {
         let mut log = ScheduleLog::new(1, 1);
         // Claims completion after only 3 time units at speed 1.
         log.complete(JobId(0), exec(0, 0.0, 3.0, 1.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(!rep.is_valid());
         assert!(rep.errors[0].message.contains("volume"));
     }
@@ -352,7 +434,11 @@ mod tests {
             .unwrap();
         let mut log = ScheduleLog::new(1, 1);
         log.complete(JobId(0), exec(0, 0.0, 2.0, 2.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_energy());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_energy(),
+        );
         assert!(rep.is_valid(), "{:?}", rep.errors);
     }
 
@@ -361,7 +447,11 @@ mod tests {
         let inst = inst_one_machine(&[4.0]);
         let mut log = ScheduleLog::new(1, 1);
         log.complete(JobId(0), exec(0, 0.0, 2.0, 2.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(rep.errors.iter().any(|e| e.message.contains("unit speed")));
     }
 
@@ -373,8 +463,15 @@ mod tests {
             .unwrap();
         let mut log = ScheduleLog::new(2, 1);
         log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
-        assert!(rep.errors.iter().any(|e| e.message.contains("not eligible")));
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| e.message.contains("not eligible")));
     }
 
     #[test]
@@ -394,8 +491,15 @@ mod tests {
                 }),
             },
         );
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
-        assert!(rep.errors.iter().any(|e| e.message.contains("non-preemption")));
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| e.message.contains("non-preemption")));
     }
 
     #[test]
@@ -419,7 +523,11 @@ mod tests {
         let mut log = ScheduleLog::new(1, 1);
         log.reject(
             JobId(0),
-            Rejection { time: 0.0, reason: RejectReason::Other, partial: None },
+            Rejection {
+                time: 0.0,
+                reason: RejectReason::Other,
+                partial: None,
+            },
         );
         let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::energy());
         assert!(rep.errors.iter().any(|e| e.message.contains("forbidden")));
@@ -434,9 +542,17 @@ mod tests {
         let mut log = ScheduleLog::new(1, 1);
         log.reject(
             JobId(0),
-            Rejection { time: 1.0, reason: RejectReason::Immediate, partial: None },
+            Rejection {
+                time: 1.0,
+                reason: RejectReason::Immediate,
+                partial: None,
+            },
         );
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(!rep.is_valid());
     }
 
@@ -459,7 +575,69 @@ mod tests {
         );
         // Overlaps the partial run.
         log.complete(JobId(1), exec(0, 2.0, 4.0, 1.0));
-        let rep = validate_log(&inst, &log.finish().unwrap(), &ValidationConfig::flow_time());
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
         assert!(!rep.is_valid());
+    }
+
+    #[test]
+    fn zero_length_partial_at_boundary_is_legal() {
+        // Rule 1 can interrupt a job at the instant it started; the
+        // resulting [t, t] partial run coincides with the next job's
+        // start and must not be flagged as an overlap.
+        let inst = inst_one_machine(&[5.0, 2.0]);
+        let mut log = ScheduleLog::new(1, 2);
+        log.reject(
+            JobId(0),
+            Rejection {
+                time: 0.0,
+                reason: RejectReason::RuleOne,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 0.0,
+                    end: 0.0,
+                    speed: 1.0,
+                }),
+            },
+        );
+        log.complete(JobId(1), exec(0, 0.0, 2.0, 1.0));
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
+        assert!(rep.is_valid(), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn zero_length_partial_inside_busy_interval_is_flagged() {
+        // A [t, t] run strictly inside another job's interval means the
+        // machine started two jobs while busy — still a bug.
+        let inst = inst_one_machine(&[5.0, 2.0]);
+        let mut log = ScheduleLog::new(1, 2);
+        log.complete(JobId(0), exec(0, 0.0, 5.0, 1.0));
+        log.reject(
+            JobId(1),
+            Rejection {
+                time: 2.5,
+                reason: RejectReason::RuleOne,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 2.5,
+                    end: 2.5,
+                    speed: 1.0,
+                }),
+            },
+        );
+        let rep = validate_log(
+            &inst,
+            &log.finish().unwrap(),
+            &ValidationConfig::flow_time(),
+        );
+        assert!(!rep.is_valid());
+        assert!(rep.errors[0].message.contains("zero-length"));
     }
 }

@@ -155,7 +155,11 @@ where
         }
     }
 
-    Lemma2Run { rounds: jobs.len(), jobs, adversary_energy }
+    Lemma2Run {
+        rounds: jobs.len(),
+        jobs,
+        adversary_energy,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +170,10 @@ mod tests {
     fn lemma1_phase1_shape() {
         let inst = lemma1_big_jobs(0.25, 10.0);
         assert_eq!(inst.len(), 4);
-        assert!(inst.jobs().iter().all(|j| j.release == 0.0 && j.sizes[0] == 10.0));
+        assert!(inst
+            .jobs()
+            .iter()
+            .all(|j| j.release == 0.0 && j.sizes[0] == 10.0));
     }
 
     #[test]
@@ -248,7 +255,10 @@ mod tests {
         for w in run.jobs.windows(2) {
             let (prev_r, prev_d) = (w[0].release, w[0].deadline.unwrap());
             let (next_r, next_d) = (w[1].release, w[1].deadline.unwrap());
-            assert!(next_r > prev_r && next_d <= prev_d + 1e-9, "windows must nest");
+            assert!(
+                next_r > prev_r && next_d <= prev_d + 1e-9,
+                "windows must nest"
+            );
         }
     }
 }

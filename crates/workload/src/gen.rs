@@ -143,8 +143,15 @@ impl FlowWorkload {
             machines,
             seed,
             arrivals: ArrivalModel::Poisson { rate },
-            sizes: SizeModel::BoundedPareto { shape: 1.5, lo: 1.0, hi: 100.0 },
-            machine_model: MachineModel::Unrelated { lo_factor: 1.0, hi_factor: 4.0 },
+            sizes: SizeModel::BoundedPareto {
+                shape: 1.5,
+                lo: 1.0,
+                hi: 100.0,
+            },
+            machine_model: MachineModel::Unrelated {
+                lo_factor: 1.0,
+                hi_factor: 4.0,
+            },
             weights: WeightModel::Unit,
         }
     }
@@ -152,7 +159,11 @@ impl FlowWorkload {
     /// Generates the instance with the given kind (flow-time or
     /// flow+energy).
     pub fn generate(&self, kind: InstanceKind) -> Instance {
-        assert_ne!(kind, InstanceKind::Energy, "use EnergyWorkload for deadlines");
+        assert_ne!(
+            kind,
+            InstanceKind::Energy,
+            "use EnergyWorkload for deadlines"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let factors = machine_factors(&mut rng, self.machines, self.machine_model);
         let mut b = InstanceBuilder::new(self.machines, kind);
@@ -204,7 +215,11 @@ impl EnergyWorkload {
             t = next_arrival(&mut rng, t, k, self.base.arrivals);
             let base = draw_size(&mut rng, self.base.sizes);
             let sizes = draw_row(&mut rng, base, &factors, self.base.machine_model);
-            let p_min = sizes.iter().copied().filter(|p| p.is_finite()).fold(f64::INFINITY, f64::min);
+            let p_min = sizes
+                .iter()
+                .copied()
+                .filter(|p| p.is_finite())
+                .fold(f64::INFINITY, f64::min);
             let slack = rng.gen_range(self.min_slack..=self.max_slack);
             b = b.deadline_job(t, t + slack * p_min, sizes);
         }
@@ -251,7 +266,11 @@ fn draw_size(rng: &mut StdRng, model: SizeModel) -> f64 {
             let ha = hi.powf(shape);
             (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / shape)
         }
-        SizeModel::Bimodal { short, long, p_long } => {
+        SizeModel::Bimodal {
+            short,
+            long,
+            p_long,
+        } => {
             if rng.gen_bool(p_long.clamp(0.0, 1.0)) {
                 long
             } else {
@@ -281,7 +300,10 @@ fn draw_row(rng: &mut StdRng, base: f64, factors: &[f64], model: MachineModel) -
     match model {
         MachineModel::Identical => vec![base; factors.len()],
         MachineModel::RelatedSpeeds { .. } => factors.iter().map(|f| base * f).collect(),
-        MachineModel::Unrelated { lo_factor, hi_factor } => factors
+        MachineModel::Unrelated {
+            lo_factor,
+            hi_factor,
+        } => factors
             .iter()
             .map(|_| base * rng.gen_range(lo_factor..=hi_factor))
             .collect(),
@@ -325,15 +347,29 @@ mod tests {
         fast.arrivals = ArrivalModel::Poisson { rate: 10.0 };
         let mut slow = FlowWorkload::standard(500, 1, 7);
         slow.arrivals = ArrivalModel::Poisson { rate: 0.1 };
-        let tf = fast.generate(InstanceKind::FlowTime).jobs().last().unwrap().release;
-        let ts = slow.generate(InstanceKind::FlowTime).jobs().last().unwrap().release;
+        let tf = fast
+            .generate(InstanceKind::FlowTime)
+            .jobs()
+            .last()
+            .unwrap()
+            .release;
+        let ts = slow
+            .generate(InstanceKind::FlowTime)
+            .jobs()
+            .last()
+            .unwrap()
+            .release;
         assert!(ts > tf * 10.0, "slow horizon {ts} vs fast {tf}");
     }
 
     #[test]
     fn bounded_pareto_respects_bounds() {
         let mut w = FlowWorkload::standard(2000, 1, 3);
-        w.sizes = SizeModel::BoundedPareto { shape: 1.1, lo: 2.0, hi: 50.0 };
+        w.sizes = SizeModel::BoundedPareto {
+            shape: 1.1,
+            lo: 2.0,
+            hi: 50.0,
+        };
         w.machine_model = MachineModel::Identical;
         let inst = w.generate(InstanceKind::FlowTime);
         let mut seen_small = false;
@@ -354,7 +390,11 @@ mod tests {
     #[test]
     fn bimodal_produces_both_modes() {
         let mut w = FlowWorkload::standard(500, 1, 9);
-        w.sizes = SizeModel::Bimodal { short: 1.0, long: 64.0, p_long: 0.2 };
+        w.sizes = SizeModel::Bimodal {
+            short: 1.0,
+            long: 64.0,
+            p_long: 0.2,
+        };
         w.machine_model = MachineModel::Identical;
         let inst = w.generate(InstanceKind::FlowTime);
         let longs = inst.jobs().iter().filter(|j| j.sizes[0] == 64.0).count();
@@ -367,7 +407,11 @@ mod tests {
         w.machine_model = MachineModel::Restricted { avg_eligible: 2.0 };
         let inst = w.generate(InstanceKind::FlowTime);
         for j in inst.jobs() {
-            assert!(j.sizes.iter().any(|p| p.is_finite()), "{} has no machine", j.id);
+            assert!(
+                j.sizes.iter().any(|p| p.is_finite()),
+                "{} has no machine",
+                j.id
+            );
         }
         // Restriction should actually bite on most jobs.
         let restricted = inst
@@ -396,7 +440,10 @@ mod tests {
     #[test]
     fn batch_arrivals_collide() {
         let mut w = FlowWorkload::standard(40, 1, 5);
-        w.arrivals = ArrivalModel::Batch { per_batch: 10, gap: 7.0 };
+        w.arrivals = ArrivalModel::Batch {
+            per_batch: 10,
+            gap: 7.0,
+        };
         let inst = w.generate(InstanceKind::FlowTime);
         let r: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
         assert_eq!(r[0], 0.0);
@@ -427,7 +474,11 @@ mod tests {
     #[test]
     fn bursty_arrivals_alternate() {
         let mut w = FlowWorkload::standard(20, 1, 5);
-        w.arrivals = ArrivalModel::Bursty { burst: 5, within: 0.1, gap: 10.0 };
+        w.arrivals = ArrivalModel::Bursty {
+            burst: 5,
+            within: 0.1,
+            gap: 10.0,
+        };
         let inst = w.generate(InstanceKind::FlowTime);
         let r: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
         assert!(r[4] - r[0] < 1.0);

@@ -24,7 +24,5 @@ pub mod adversarial;
 pub mod gen;
 pub mod trace;
 
-pub use gen::{
-    ArrivalModel, EnergyWorkload, FlowWorkload, MachineModel, SizeModel, WeightModel,
-};
+pub use gen::{ArrivalModel, EnergyWorkload, FlowWorkload, MachineModel, SizeModel, WeightModel};
 pub use trace::TraceImport;

@@ -36,7 +36,11 @@ pub struct TraceImport {
 impl TraceImport {
     /// Identical machines (sizes used as-is).
     pub fn identical(machines: usize) -> Self {
-        TraceImport { machines, machine_model: MachineModel::Identical, seed: 0 }
+        TraceImport {
+            machines,
+            machine_model: MachineModel::Identical,
+            seed: 0,
+        }
     }
 
     /// Parses trace text into an instance. The kind is inferred from
@@ -79,8 +83,16 @@ impl TraceImport {
             };
             let release = num(fields[0])?;
             let size = num(fields[1])?;
-            let weight = if fields.len() >= 3 { num(fields[2])? } else { 1.0 };
-            let deadline = if fields.len() == 4 { Some(num(fields[3])?) } else { None };
+            let weight = if fields.len() >= 3 {
+                num(fields[2])?
+            } else {
+                1.0
+            };
+            let deadline = if fields.len() == 4 {
+                Some(num(fields[3])?)
+            } else {
+                None
+            };
             rows.push((release, size, weight, deadline));
         }
         let kind = match columns {
@@ -91,9 +103,9 @@ impl TraceImport {
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let factors: Vec<f64> = match self.machine_model {
-            MachineModel::RelatedSpeeds { max_factor } => {
-                (0..self.machines).map(|_| rng.gen_range(1.0..=max_factor)).collect()
-            }
+            MachineModel::RelatedSpeeds { max_factor } => (0..self.machines)
+                .map(|_| rng.gen_range(1.0..=max_factor))
+                .collect(),
             _ => vec![1.0; self.machines],
         };
 
@@ -101,10 +113,11 @@ impl TraceImport {
         for (release, size, weight, deadline) in rows {
             let sizes: Vec<f64> = match self.machine_model {
                 MachineModel::Identical => vec![size; self.machines],
-                MachineModel::RelatedSpeeds { .. } => {
-                    factors.iter().map(|f| size * f).collect()
-                }
-                MachineModel::Unrelated { lo_factor, hi_factor } => (0..self.machines)
+                MachineModel::RelatedSpeeds { .. } => factors.iter().map(|f| size * f).collect(),
+                MachineModel::Unrelated {
+                    lo_factor,
+                    hi_factor,
+                } => (0..self.machines)
                     .map(|_| size * rng.gen_range(lo_factor..=hi_factor))
                     .collect(),
                 MachineModel::Restricted { avg_eligible } => {
@@ -180,7 +193,10 @@ mod tests {
     fn unrelated_expansion_is_seeded() {
         let imp = TraceImport {
             machines: 3,
-            machine_model: MachineModel::Unrelated { lo_factor: 1.0, hi_factor: 4.0 },
+            machine_model: MachineModel::Unrelated {
+                lo_factor: 1.0,
+                hi_factor: 4.0,
+            },
             seed: 9,
         };
         let a = imp.parse("0 2\n1 3\n").unwrap();

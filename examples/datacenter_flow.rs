@@ -18,8 +18,16 @@ fn main() {
     // Heavy-tailed service times (bounded Pareto), bursty arrivals, a
     // cluster with 1–4× speed spread.
     let mut spec = FlowWorkload::standard(n, machines, 2024);
-    spec.arrivals = ArrivalModel::Bursty { burst: 50, within: 0.02, gap: 12.0 };
-    spec.sizes = SizeModel::BoundedPareto { shape: 1.3, lo: 0.5, hi: 300.0 };
+    spec.arrivals = ArrivalModel::Bursty {
+        burst: 50,
+        within: 0.02,
+        gap: 12.0,
+    };
+    spec.sizes = SizeModel::BoundedPareto {
+        shape: 1.3,
+        lo: 0.5,
+        hi: 300.0,
+    };
     spec.machine_model = MachineModel::RelatedSpeeds { max_factor: 4.0 };
     let instance = spec.generate(InstanceKind::FlowTime);
     println!(
@@ -29,7 +37,10 @@ fn main() {
     );
 
     // The paper's algorithm across the ε spectrum.
-    println!("\n{:>6} {:>12} {:>12} {:>10} {:>10}", "eps", "flow(served)", "p99 flow", "rejected", "ratio/LB");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "eps", "flow(served)", "p99 flow", "rejected", "ratio/LB"
+    );
     for eps in [0.1, 0.2, 0.4] {
         let out = FlowScheduler::with_eps(eps).unwrap().run(&instance);
         let report = validate_log(&instance, &out.log, &ValidationConfig::flow_time());

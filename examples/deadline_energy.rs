@@ -23,9 +23,19 @@ fn main() {
     let (_, _, avr_energy) = AvrScheduler { alpha }.run(&inst1);
     println!("single machine, {} jobs, alpha = {alpha}", inst1.len());
     println!("  YDS preemptive optimum (lower bound) : {yds:>10.2}");
-    println!("  SPAA'18 greedy                       : {:>10.2} ({:.2}x)", out.total_energy, out.total_energy / yds);
-    println!("  AVR heuristic                        : {avr_energy:>10.2} ({:.2}x)", avr_energy / yds);
-    println!("  Theorem-3 guarantee                  : {:>10.2}x", bounds::energymin_competitive_bound(alpha));
+    println!(
+        "  SPAA'18 greedy                       : {:>10.2} ({:.2}x)",
+        out.total_energy,
+        out.total_energy / yds
+    );
+    println!(
+        "  AVR heuristic                        : {avr_energy:>10.2} ({:.2}x)",
+        avr_energy / yds
+    );
+    println!(
+        "  Theorem-3 guarantee                  : {:>10.2}x",
+        bounds::energymin_competitive_bound(alpha)
+    );
     println!(
         "  certified dual lower bound           : {:>10.2}",
         out.certified_lower_bound()
@@ -40,8 +50,16 @@ fn main() {
     let (_, _, avr4) = AvrScheduler { alpha }.run(&inst4);
     println!("\n4 machines, {} jobs:", inst4.len());
     println!("  pooled-YDS ∨ per-job lower bound : {lb4:>10.2}");
-    println!("  SPAA'18 greedy      : {:>10.2} ({:.2}x)", out4.total_energy, out4.total_energy / lb4);
-    println!("  AVR heuristic       : {:>10.2} ({:.2}x)", avr4, avr4 / lb4);
+    println!(
+        "  SPAA'18 greedy      : {:>10.2} ({:.2}x)",
+        out4.total_energy,
+        out4.total_energy / lb4
+    );
+    println!(
+        "  AVR heuristic       : {:>10.2} ({:.2}x)",
+        avr4,
+        avr4 / lb4
+    );
 
     // Peek at one machine's committed speed profile.
     let profile = &outcome_profile(&out4);

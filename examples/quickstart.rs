@@ -28,18 +28,28 @@ fn main() {
 
     // Independent validation: the log satisfies every model invariant.
     let report = validate_log(&instance, &outcome.log, &ValidationConfig::flow_time());
-    assert!(report.is_valid(), "algorithm produced an invalid schedule!?");
+    assert!(
+        report.is_valid(),
+        "algorithm produced an invalid schedule!?"
+    );
 
-    println!("== schedule ==\n{}", render_gantt(&instance, &outcome.log, 72));
+    println!(
+        "== schedule ==\n{}",
+        render_gantt(&instance, &outcome.log, 72)
+    );
 
     let metrics = Metrics::compute(&instance, &outcome.log, 2.0);
     println!("completed jobs : {}", metrics.flow.completed);
-    println!("rejected jobs  : {} (budget: {:.0}% of {})",
+    println!(
+        "rejected jobs  : {} (budget: {:.0}% of {})",
         metrics.flow.rejected,
         100.0 * bounds::flowtime_rejection_budget(eps),
-        instance.len());
-    println!("total flow-time: {:.2} (incl. rejected until rejection: {:.2})",
-        metrics.flow.flow_served, metrics.flow.flow_all);
+        instance.len()
+    );
+    println!(
+        "total flow-time: {:.2} (incl. rejected until rejection: {:.2})",
+        metrics.flow.flow_served, metrics.flow.flow_all
+    );
 
     // The run certifies a lower bound on ANY non-preemptive schedule's
     // flow-time via its feasible dual solution.

@@ -15,7 +15,11 @@ fn main() {
     let alpha = 2.5;
     let mut spec = FlowWorkload::standard(1500, 4, 7);
     spec.weights = WeightModel::Uniform { lo: 1.0, hi: 10.0 };
-    spec.sizes = SizeModel::Bimodal { short: 2.0, long: 90.0, p_long: 0.06 };
+    spec.sizes = SizeModel::Bimodal {
+        short: 2.0,
+        long: 90.0,
+        p_long: 0.06,
+    };
     let instance = spec.generate(InstanceKind::FlowEnergy);
     let lb = energyflow_alone_lower_bound(&instance, alpha);
     println!(
@@ -58,8 +62,8 @@ fn main() {
     .unwrap();
     let obj_with =
         Metrics::compute(&instance, &with.run(&instance).log, alpha).weighted_flow_plus_energy();
-    let obj_without = Metrics::compute(&instance, &without.run(&instance).log, alpha)
-        .weighted_flow_plus_energy();
+    let obj_without =
+        Metrics::compute(&instance, &without.run(&instance).log, alpha).weighted_flow_plus_energy();
     println!(
         "\nrejection off: objective {:.0}; rejection on: {:.0} ({:.1}x)",
         obj_without,

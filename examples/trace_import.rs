@@ -30,7 +30,10 @@ fn main() {
 
     let importer = TraceImport {
         machines: 4,
-        machine_model: MachineModel::Unrelated { lo_factor: 1.0, hi_factor: 3.0 },
+        machine_model: MachineModel::Unrelated {
+            lo_factor: 1.0,
+            hi_factor: 3.0,
+        },
         seed: 7,
     };
     let instance = importer.parse(&trace).expect("well-formed trace");
@@ -53,7 +56,10 @@ fn main() {
     let m = Metrics::compute(&instance, &out.log, 2.0);
     println!(
         "{:<26} {:>14.0} {:>14.0} {:>9}",
-        "spaa18 flow (unweighted)", m.flow.flow_served, m.flow.weighted_flow_served, m.flow.rejected
+        "spaa18 flow (unweighted)",
+        m.flow.flow_served,
+        m.flow.weighted_flow_served,
+        m.flow.rejected
     );
 
     let wout = WeightedFlowScheduler::with_eps(eps).unwrap().run(&instance);

@@ -59,15 +59,13 @@ pub mod prelude {
     };
     pub use osr_core::energyflow::{EnergyFlowParams, EnergyFlowScheduler};
     pub use osr_core::energymin::{EnergyMinParams, EnergyMinScheduler};
-    pub use osr_core::{
-        bounds, FlowOutcome, FlowParams, FlowScheduler, QueueBackend, Thresholds,
-    };
+    pub use osr_core::{bounds, FlowOutcome, FlowParams, FlowScheduler, QueueBackend, Thresholds};
     pub use osr_model::{
         Instance, InstanceBuilder, InstanceKind, Job, JobId, MachineId, Metrics, ScheduleLog,
     };
     pub use osr_sim::{
-        render_gantt, run_validated, validate_log, DecisionTrace, OnlineScheduler,
-        SummaryStats, ValidationConfig,
+        render_gantt, run_validated, validate_log, DecisionTrace, OnlineScheduler, SummaryStats,
+        ValidationConfig,
     };
     pub use osr_workload::{EnergyWorkload, FlowWorkload};
 }

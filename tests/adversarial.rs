@@ -71,7 +71,10 @@ fn lemma2_ratio_grows_with_alpha() {
     };
     let r3 = ratio(3.0);
     let r6 = ratio(6.0);
-    assert!(r6 > r3 * 2.0, "adversary should bite harder as alpha grows: {r3} → {r6}");
+    assert!(
+        r6 > r3 * 2.0,
+        "adversary should bite harder as alpha grows: {r3} → {r6}"
+    );
     assert!(r6 > 1.0, "the adversary must actually beat the algorithm");
     // And the algorithm never exceeds its own guarantee.
     assert!(r6 <= bounds::energymin_competitive_bound(6.0));
@@ -87,7 +90,9 @@ fn lemma2_jobs_replay_as_a_valid_instance() {
     let inst = run.instance();
     // Replaying the reconstructed instance through the batch scheduler
     // must produce a valid (deadline-feasible) schedule.
-    let out = EnergyMinScheduler::new(EnergyMinParams::new(3.0)).unwrap().run(&inst);
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(3.0))
+        .unwrap()
+        .run(&inst);
     let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
     assert!(report.is_valid(), "{:?}", report.errors.first());
 }

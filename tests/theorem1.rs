@@ -30,7 +30,11 @@ fn rejection_budget_holds_across_workload_shapes() {
         }),
         ("heavy-tail", {
             let mut w = FlowWorkload::standard(600, 3, 4);
-            w.sizes = SizeModel::BoundedPareto { shape: 1.1, lo: 1.0, hi: 500.0 };
+            w.sizes = SizeModel::BoundedPareto {
+                shape: 1.1,
+                lo: 1.0,
+                hi: 500.0,
+            };
             w
         }),
     ];
@@ -71,7 +75,11 @@ fn dual_is_feasible_end_to_end() {
     for eps in [0.25, 1.0] {
         let (out, _) = run_and_validate(&inst, eps);
         let audit = check_dual_feasibility(&inst, &out.dual, usize::MAX);
-        assert!(audit.is_feasible(), "eps={eps}: {:?}", audit.violations.first());
+        assert!(
+            audit.is_feasible(),
+            "eps={eps}: {:?}",
+            audit.violations.first()
+        );
         assert!(audit.min_margin >= -1e-7);
     }
 }
@@ -125,10 +133,17 @@ fn exact_opt_confirms_the_bound_on_tiny_instances() {
 #[test]
 fn rejected_jobs_have_consistent_records() {
     let mut w = FlowWorkload::standard(500, 2, 13);
-    w.sizes = SizeModel::Bimodal { short: 1.0, long: 200.0, p_long: 0.1 };
+    w.sizes = SizeModel::Bimodal {
+        short: 1.0,
+        long: 200.0,
+        p_long: 0.1,
+    };
     let inst = w.generate(InstanceKind::FlowTime);
     let (out, m) = run_and_validate(&inst, 0.2);
-    assert!(m.flow.rejected > 0, "this workload should trigger rejections");
+    assert!(
+        m.flow.rejected > 0,
+        "this workload should trigger rejections"
+    );
     for (id, rej) in out.log.rejections() {
         let job = inst.job(id);
         assert!(rej.time >= job.release);
@@ -138,7 +153,10 @@ fn rejected_jobs_have_consistent_records() {
                 assert!(p.end > p.start, "{id}: empty partial run");
             }
             osr_model::RejectReason::RuleTwo => {
-                assert!(rej.partial.is_none(), "{id}: Rule 2 rejects pending jobs only");
+                assert!(
+                    rej.partial.is_none(),
+                    "{id}: Rule 2 rejects pending jobs only"
+                );
             }
             other => panic!("unexpected reason {other}"),
         }
@@ -148,7 +166,9 @@ fn rejected_jobs_have_consistent_records() {
 #[test]
 fn empty_and_singleton_instances_handled() {
     // Zero jobs: every scheduler completes trivially.
-    let empty = InstanceBuilder::new(2, InstanceKind::FlowTime).build().unwrap();
+    let empty = InstanceBuilder::new(2, InstanceKind::FlowTime)
+        .build()
+        .unwrap();
     let out = FlowScheduler::with_eps(0.5).unwrap().run(&empty);
     assert_eq!(out.log.len(), 0);
     assert_eq!(out.dual.objective(), 0.0);

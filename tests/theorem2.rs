@@ -97,19 +97,29 @@ fn ratio_against_alone_cost_is_moderate() {
     // this guards against regressions, not constants.
     let inst = weighted_instance(800, 4, 99);
     let alpha = 2.0;
-    let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.25, alpha)).unwrap().run(&inst);
+    let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.25, alpha))
+        .unwrap()
+        .run(&inst);
     let m = Metrics::compute(&inst, &out.log, alpha);
     let lb = energyflow_alone_lower_bound(&inst, alpha);
     let ratio = m.weighted_flow_plus_energy() / lb;
     let bound = bounds::energyflow_competitive_bound(0.25, alpha);
-    assert!(ratio < bound, "ratio {ratio} above worst-case bound {bound}?!");
+    assert!(
+        ratio < bound,
+        "ratio {ratio} above worst-case bound {bound}?!"
+    );
 }
 
 #[test]
 fn rejection_rule_only_fires_against_running_jobs() {
     let inst = weighted_instance(400, 2, 55);
-    let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.15, 2.0)).unwrap().run(&inst);
+    let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.15, 2.0))
+        .unwrap()
+        .run(&inst);
     for (_, rej) in out.log.rejections() {
-        assert!(rej.partial.is_some(), "§3 rejection always interrupts a running job");
+        assert!(
+            rej.partial.is_some(),
+            "§3 rejection always interrupts a running job"
+        );
     }
 }

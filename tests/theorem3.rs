@@ -13,7 +13,9 @@ fn deadlines_met_on_every_slack_regime() {
         w.max_slack = max_slack;
         let inst = w.generate();
         for alpha in [1.5, 2.0, 3.0] {
-            let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+            let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+                .unwrap()
+                .run(&inst);
             let report = validate_log(&inst, &out.log, &ValidationConfig::energy());
             assert!(
                 report.is_valid(),
@@ -28,7 +30,9 @@ fn deadlines_met_on_every_slack_regime() {
 fn energy_within_alpha_alpha_of_yds_on_single_machine() {
     let inst = EnergyWorkload::standard(100, 1, 31).generate();
     for alpha in [2.0, 3.0] {
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+            .unwrap()
+            .run(&inst);
         let lb = yds_energy(&inst, alpha);
         assert!(lb > 0.0);
         let ratio = out.total_energy / lb;
@@ -45,7 +49,9 @@ fn energy_within_alpha_alpha_of_yds_on_single_machine() {
 fn certified_dual_bound_is_consistent() {
     let inst = EnergyWorkload::standard(120, 2, 41).generate();
     let alpha = 2.0;
-    let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+        .unwrap()
+        .run(&inst);
     // Dual objective identity and bound direction.
     let lb = out.certified_lower_bound();
     assert!((out.dual_objective() - lb).abs() < 1e-6 * (1.0 + lb));
@@ -62,7 +68,9 @@ fn greedy_beats_avr_or_close_on_random_workloads() {
     // — it should never lose by much and usually wins.
     let inst = EnergyWorkload::standard(200, 2, 53).generate();
     let alpha = 3.0;
-    let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+        .unwrap()
+        .run(&inst);
     let (_, _, avr) = AvrScheduler { alpha }.run(&inst);
     assert!(
         out.total_energy <= avr * 1.1,
@@ -74,7 +82,9 @@ fn greedy_beats_avr_or_close_on_random_workloads() {
 #[test]
 fn marginals_telescope_to_total_energy() {
     let inst = EnergyWorkload::standard(80, 3, 67).generate();
-    let out = EnergyMinScheduler::new(EnergyMinParams::new(2.5)).unwrap().run(&inst);
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(2.5))
+        .unwrap()
+        .run(&inst);
     let marg_sum: f64 = out.assignments.iter().map(|a| a.marginal).sum();
     assert!(
         (marg_sum - out.total_energy).abs() < 1e-6 * (1.0 + out.total_energy),
@@ -87,7 +97,9 @@ fn marginals_telescope_to_total_energy() {
 fn multi_machine_energy_within_alpha_alpha_of_pooled_bound() {
     let inst = EnergyWorkload::standard(120, 3, 83).generate();
     for alpha in [2.0, 3.0] {
-        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha)).unwrap().run(&inst);
+        let out = EnergyMinScheduler::new(EnergyMinParams::new(alpha))
+            .unwrap()
+            .run(&inst);
         let lb = energy_lower_bound(&inst, alpha);
         assert!(lb > 0.0);
         let ratio = out.total_energy / lb;
@@ -102,7 +114,11 @@ fn multi_machine_energy_within_alpha_alpha_of_pooled_bound() {
 #[test]
 fn deterministic_assignments() {
     let inst = EnergyWorkload::standard(100, 2, 71).generate();
-    let a = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
-    let b = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+    let a = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+        .unwrap()
+        .run(&inst);
+    let b = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+        .unwrap()
+        .run(&inst);
     assert_eq!(a.assignments, b.assignments);
 }

@@ -17,8 +17,16 @@ fn traced_run(inst: &Instance, eps: f64) -> (osr_core::FlowOutcome, Thresholds) 
 
 fn stress_instance(seed: u64) -> Instance {
     let mut w = FlowWorkload::standard(500, 3, seed);
-    w.arrivals = ArrivalModel::Bursty { burst: 30, within: 0.02, gap: 8.0 };
-    w.sizes = SizeModel::Bimodal { short: 1.0, long: 60.0, p_long: 0.1 };
+    w.arrivals = ArrivalModel::Bursty {
+        burst: 30,
+        within: 0.02,
+        gap: 8.0,
+    };
+    w.sizes = SizeModel::Bimodal {
+        short: 1.0,
+        long: 60.0,
+        p_long: 0.1,
+    };
     w.generate(InstanceKind::FlowTime)
 }
 
@@ -32,22 +40,33 @@ fn rule1_rejections_fire_at_exactly_the_threshold() {
 
     let mut checked = 0;
     for e in events {
-        let DecisionEvent::Reject { time, job, machine, reason, counter } = e else {
+        let DecisionEvent::Reject {
+            time,
+            job,
+            machine,
+            reason,
+            counter,
+        } = e
+        else {
             continue;
         };
         if *reason != RejectReason::RuleOne {
             continue;
         }
-        assert_eq!(*counter, th.rule1_at as f64, "recorded counter must equal ⌈1/ε⌉");
+        assert_eq!(
+            *counter, th.rule1_at as f64,
+            "recorded counter must equal ⌈1/ε⌉"
+        );
         // Find the victim's start on that machine.
         let start = events
             .iter()
             .find_map(|ev| match ev {
-                DecisionEvent::Start { time: t, job: j, machine: m, .. }
-                    if j == job && m == machine =>
-                {
-                    Some(*t)
-                }
+                DecisionEvent::Start {
+                    time: t,
+                    job: j,
+                    machine: m,
+                    ..
+                } if j == job && m == machine => Some(*t),
                 _ => None,
             })
             .expect("rule-1 victim must have started");
@@ -55,9 +74,11 @@ fn rule1_rejections_fire_at_exactly_the_threshold() {
         let dispatched = events
             .iter()
             .filter(|ev| match ev {
-                DecisionEvent::Dispatch { time: t, machine: m, .. } => {
-                    m == machine && *t > start && *t <= *time
-                }
+                DecisionEvent::Dispatch {
+                    time: t,
+                    machine: m,
+                    ..
+                } => m == machine && *t > start && *t <= *time,
                 _ => false,
             })
             .count() as u64;
@@ -88,9 +109,12 @@ fn rule2_cadence_matches_the_counter_semantics() {
                 DecisionEvent::Dispatch { machine, .. } if machine.idx() == mi => {
                     c += 1;
                 }
-                DecisionEvent::Reject { machine, reason, counter, .. }
-                    if machine.idx() == mi && *reason == RejectReason::RuleTwo =>
-                {
+                DecisionEvent::Reject {
+                    machine,
+                    reason,
+                    counter,
+                    ..
+                } if machine.idx() == mi && *reason == RejectReason::RuleTwo => {
                     assert_eq!(
                         c, th.rule2_at,
                         "m{mi}: Rule 2 fired after {c} dispatches, expected {}",
@@ -122,7 +146,13 @@ fn rule2_victim_is_the_largest_pending() {
     // not rejected, at a given event index, per machine.
     let mut checked = 0;
     for (k, e) in events.iter().enumerate() {
-        let DecisionEvent::Reject { job, machine, reason, .. } = e else {
+        let DecisionEvent::Reject {
+            job,
+            machine,
+            reason,
+            ..
+        } = e
+        else {
             continue;
         };
         if *reason != RejectReason::RuleTwo {
@@ -131,13 +161,19 @@ fn rule2_victim_is_the_largest_pending() {
         let mut pending: Vec<JobId> = Vec::new();
         for prev in &events[..k] {
             match prev {
-                DecisionEvent::Dispatch { job: j, machine: m, .. } if m == machine => {
+                DecisionEvent::Dispatch {
+                    job: j, machine: m, ..
+                } if m == machine => {
                     pending.push(*j);
                 }
-                DecisionEvent::Start { job: j, machine: m, .. } if m == machine => {
+                DecisionEvent::Start {
+                    job: j, machine: m, ..
+                } if m == machine => {
                     pending.retain(|x| x != j);
                 }
-                DecisionEvent::Reject { job: j, machine: m, .. } if m == machine => {
+                DecisionEvent::Reject {
+                    job: j, machine: m, ..
+                } if m == machine => {
                     pending.retain(|x| x != j);
                 }
                 _ => {}
@@ -167,7 +203,10 @@ fn starts_are_work_conserving() {
     let events = out.trace.events();
 
     for e in events {
-        let DecisionEvent::Start { time, job, machine, .. } = e else {
+        let DecisionEvent::Start {
+            time, job, machine, ..
+        } = e
+        else {
             continue;
         };
         let at_own_dispatch = events.iter().any(|ev| {
@@ -175,14 +214,17 @@ fn starts_are_work_conserving() {
                 if j == job && (t - time).abs() < 1e-9)
         });
         let at_machine_release = events.iter().any(|ev| match ev {
-            DecisionEvent::Complete { time: t, machine: m, .. } => {
-                m == machine && (t - time).abs() < 1e-9
-            }
-            DecisionEvent::Reject { time: t, machine: m, reason, .. } => {
-                m == machine
-                    && *reason == RejectReason::RuleOne
-                    && (t - time).abs() < 1e-9
-            }
+            DecisionEvent::Complete {
+                time: t,
+                machine: m,
+                ..
+            } => m == machine && (t - time).abs() < 1e-9,
+            DecisionEvent::Reject {
+                time: t,
+                machine: m,
+                reason,
+                ..
+            } => m == machine && *reason == RejectReason::RuleOne && (t - time).abs() < 1e-9,
             _ => false,
         });
         assert!(

@@ -42,7 +42,10 @@ fn clean_log_validates() {
 fn early_start_corruption_caught() {
     let (inst, log) = real_log();
     let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
-    let bad = Execution { start: inst.job(victim).release - 1.0, ..exec };
+    let bad = Execution {
+        start: inst.job(victim).release - 1.0,
+        ..exec
+    };
     let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
     // Shift completion to keep the volume plausible — the release check
     // must fire on its own.
@@ -54,13 +57,13 @@ fn early_start_corruption_caught() {
 fn shortened_execution_caught() {
     let (inst, log) = real_log();
     let (victim, exec) = log.executions().next().map(|(i, e)| (i, *e)).unwrap();
-    let bad = Execution { completion: exec.completion - 0.5 * exec.duration(), ..exec };
+    let bad = Execution {
+        completion: exec.completion - 0.5 * exec.duration(),
+        ..exec
+    };
     let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
     let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
-    assert!(report
-        .errors
-        .iter()
-        .any(|e| e.message.contains("volume")));
+    assert!(report.errors.iter().any(|e| e.message.contains("volume")));
 }
 
 #[test]
@@ -70,7 +73,10 @@ fn teleported_machine_caught() {
     let other = MachineId((exec.machine.0 + 1) % inst.machines() as u32);
     // Moving to another machine generally breaks volume conservation
     // (unrelated sizes) and may overlap — either way it must not pass.
-    let bad = Execution { machine: other, ..exec };
+    let bad = Execution {
+        machine: other,
+        ..exec
+    };
     let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
     let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
     assert!(!report.is_valid());
@@ -92,7 +98,10 @@ fn phantom_rejection_with_bad_partial_caught() {
     };
     let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Rejected(bad));
     let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
-    assert!(report.errors.iter().any(|e| e.message.contains("non-preemption")));
+    assert!(report
+        .errors
+        .iter()
+        .any(|e| e.message.contains("non-preemption")));
 }
 
 #[test]
@@ -108,13 +117,18 @@ fn speed_forgery_caught_in_unit_speed_mode() {
     };
     let corrupted = with_fate(&inst, &log, victim, osr_model::JobFate::Completed(bad));
     let report = validate_log(&inst, &corrupted, &ValidationConfig::flow_time());
-    assert!(report.errors.iter().any(|e| e.message.contains("unit speed")));
+    assert!(report
+        .errors
+        .iter()
+        .any(|e| e.message.contains("unit speed")));
 }
 
 #[test]
 fn energy_rejections_rejected_by_config() {
     let inst = EnergyWorkload::standard(30, 1, 9).generate();
-    let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0)).unwrap().run(&inst);
+    let out = EnergyMinScheduler::new(EnergyMinParams::new(2.0))
+        .unwrap()
+        .run(&inst);
     // Forge a rejection into the (rejection-free) §4 log.
     let victim = JobId(0);
     let mut new = ScheduleLog::new(inst.machines(), inst.len());
@@ -137,5 +151,8 @@ fn energy_rejections_rejected_by_config() {
     }
     let corrupted = new.finish().unwrap();
     let report = validate_log(&inst, &corrupted, &ValidationConfig::energy());
-    assert!(report.errors.iter().any(|e| e.message.contains("forbidden")));
+    assert!(report
+        .errors
+        .iter()
+        .any(|e| e.message.contains("forbidden")));
 }
