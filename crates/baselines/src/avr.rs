@@ -43,7 +43,10 @@ impl AvrScheduler {
                     best = Some((mi, v, marginal));
                 }
             }
-            let (mi, v, marginal) = best.expect("eligible somewhere");
+            let Some((mi, v, marginal)) = best else {
+                osr_sim::reject_ineligible(&mut log, &mut trace, job.id, r);
+                continue;
+            };
             profiles[mi].add(r, d, v);
             trace.push(DecisionEvent::Dispatch {
                 time: r,

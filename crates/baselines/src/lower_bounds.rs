@@ -53,6 +53,7 @@ pub fn energyflow_alone_lower_bound(instance: &Instance, alpha: f64) -> f64 {
     instance
         .jobs()
         .iter()
+        .filter(|j| j.min_size().is_finite()) // everywhere-ineligible: servable by no schedule
         .map(|j| {
             let p = j.min_size();
             let s = (j.weight / (alpha - 1.0)).powf(1.0 / alpha);
@@ -98,6 +99,7 @@ pub fn pooled_yds_lower_bound(instance: &Instance, alpha: f64) -> f64 {
     let jobs: Vec<(f64, f64, f64)> = instance
         .jobs()
         .iter()
+        .filter(|j| j.min_size().is_finite()) // see energyflow_alone_lower_bound
         .map(|j| {
             (
                 j.release,

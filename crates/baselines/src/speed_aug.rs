@@ -137,7 +137,10 @@ impl SpeedAugScheduler {
                     best = Some((mi, score));
                 }
             }
-            let (mi, score) = best.expect("eligible somewhere");
+            let Some((mi, score)) = best else {
+                osr_sim::reject_ineligible(&mut log, &mut trace, job.id, t);
+                continue;
+            };
             trace.push(DecisionEvent::Dispatch {
                 time: t,
                 job: job.id,

@@ -33,12 +33,16 @@ pub fn srpt_flow(instance: &Instance) -> f64 {
             }
             t = t.max(jobs[next].release);
         }
-        // Admit all arrivals at or before t.
+        // Admit all arrivals at or before t. Jobs the machine cannot
+        // process (infinite size) are served by no schedule — skip them
+        // rather than poisoning the flow sum with ∞.
         while next < jobs.len() && jobs[next].release <= t {
-            heap.push(Reverse((
-                osr_dstruct::TotalF64(jobs[next].sizes[0]),
-                jobs[next].id.0,
-            )));
+            if jobs[next].sizes[0].is_finite() {
+                heap.push(Reverse((
+                    osr_dstruct::TotalF64(jobs[next].sizes[0]),
+                    jobs[next].id.0,
+                )));
+            }
             next += 1;
         }
         let Some(Reverse((rem, id))) = heap.pop() else {

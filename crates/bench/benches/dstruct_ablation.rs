@@ -10,10 +10,10 @@
 //! recorded baselines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use osr_core::{FlowParams, FlowScheduler, QueueBackend};
+use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_dstruct::{AggTreap, BoxedAggTreap, NaiveAggQueue};
 use osr_model::InstanceKind;
-use osr_workload::{ArrivalModel, FlowWorkload};
+use osr_workload::{ArrivalModel, FlowWorkload, MachineModel};
 
 fn backend_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue_backend_end_to_end");
@@ -30,6 +30,46 @@ fn backend_ablation(c: &mut Criterion) {
             params.backend = backend;
             group.bench_with_input(
                 BenchmarkId::new(format!("{backend:?}"), n),
+                &inst,
+                |b, inst| {
+                    let sched = FlowScheduler::new(params).unwrap();
+                    b.iter(|| sched.run(inst).log.rejected_count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The machine-count sweep of the dispatch argmin: full §2 scheduler
+/// on identical machines with Poisson arrivals ∝ m, pruned
+/// (tournament-index) vs linear dispatch. Linear is capped at
+/// m ≤ 1024 — beyond that its `n·m` exact `λ_ij` evaluations take the
+/// suite from seconds to minutes (the `m_scale` experiment records the
+/// full-mode numbers).
+fn dispatch_m_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_m_sweep");
+    for &(m, n) in &[
+        (4usize, 2_000usize),
+        (64, 2_000),
+        (1_024, 4_096),
+        (16_384, 2_048),
+    ] {
+        let mut w = FlowWorkload::standard(n, m, 42);
+        w.machine_model = MachineModel::Identical;
+        let inst = w.generate(InstanceKind::FlowTime);
+        for dispatch in [DispatchIndex::Pruned, DispatchIndex::Linear] {
+            if dispatch == DispatchIndex::Linear && m > 1_024 {
+                continue;
+            }
+            let mut params = FlowParams::new(0.25);
+            params.dispatch = dispatch;
+            let label = match dispatch {
+                DispatchIndex::Pruned => "pruned",
+                DispatchIndex::Linear => "linear",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_m{m}"), n),
                 &inst,
                 |b, inst| {
                     let sched = FlowScheduler::new(params).unwrap();
@@ -163,6 +203,6 @@ fn bulk_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, raw_structures, steady_state_churn, bulk_build
+    targets = backend_ablation, dispatch_m_sweep, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p osr-bench --bin run_experiments -- \
-//!     [--quick] [--jobs N] [ids…]
+//!     [--quick] [--jobs N] [--dispatch pruned|linear] [ids…]
 //! ```
 //!
 //! With no ids, runs all experiments. `--quick` uses the reduced sizes
@@ -10,7 +10,10 @@
 //! sets the worker count for each experiment's replicate fan-out;
 //! whatever the value, the emitted tables and CSVs are **byte-identical**
 //! (see `osr_bench::experiments` for the determinism contract), so
-//! `--jobs` trades wall-clock only.
+//! `--jobs` trades wall-clock only. `--dispatch` overrides the
+//! process-default dispatch-argmin strategy for every scheduler the
+//! experiments construct; because the pruned index is exact, CSVs are
+//! byte-identical for either value too (CI diffs both knobs).
 
 use std::fs;
 use std::io::Write as _;
@@ -26,6 +29,24 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => {}
+            "--dispatch" => {
+                let v = iter.next().unwrap_or_else(|| {
+                    eprintln!("--dispatch needs a value (pruned|linear)");
+                    std::process::exit(2);
+                });
+                match v.as_str() {
+                    "pruned" => {
+                        osr_core::set_default_dispatch_index(osr_core::DispatchIndex::Pruned)
+                    }
+                    "linear" => {
+                        osr_core::set_default_dispatch_index(osr_core::DispatchIndex::Linear)
+                    }
+                    other => {
+                        eprintln!("--dispatch wants pruned|linear, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 let v = iter.next().unwrap_or_else(|| {
                     eprintln!("--jobs needs a value");

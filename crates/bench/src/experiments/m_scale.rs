@@ -1,0 +1,121 @@
+//! EXP-M-SCALE — the dispatch-index ablation across machine counts:
+//! `Pruned` (tournament-tree best-first argmin) vs `Linear` (exact
+//! `λ_ij` on every machine) on a dispatch-shaped workload — many
+//! identical machines, Poisson arrivals scaled with `m`, so queues stay
+//! short and per-arrival dispatch dominates the run.
+//!
+//! Two tables:
+//!
+//! 1. **equivalence fingerprint** (all modes) — runs *both* strategies
+//!    on every row and asserts the schedules are identical before
+//!    reporting; its columns are pure schedule facts, so it is
+//!    byte-identical across `--jobs` *and* across
+//!    `--dispatch pruned|linear` (CI diffs both).
+//! 2. **wall-clock m-sweep** (`--full` only) — pruned vs linear
+//!    medians-of-one; timing columns are exempt from the determinism
+//!    contract exactly like `scale`'s, which is why they are not
+//!    emitted in quick mode (the mode CI diffs).
+//!
+//! Deliberately **serial** (wall-clock honesty), like `scale`.
+
+use std::time::Instant;
+
+use osr_core::{DispatchIndex, FlowParams, FlowScheduler};
+use osr_model::{FinishedLog, InstanceKind};
+use osr_workload::{FlowWorkload, MachineModel};
+
+use crate::table::{fmt_g4, Table};
+
+fn run_with(inst: &osr_model::Instance, dispatch: DispatchIndex) -> (FinishedLog, f64, f64) {
+    let mut params = FlowParams::new(0.25);
+    params.dispatch = dispatch;
+    let sched = FlowScheduler::new(params).unwrap();
+    let _ = sched.run(inst); // warm-up
+    let t0 = Instant::now();
+    let out = sched.run(inst);
+    let dt = t0.elapsed().as_secs_f64();
+    (out.log, out.dual.sum_lambda(), dt)
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    // (m, n): n scales sublinearly at the top so the size matrix
+    // (n·m f64s) stays within CI memory.
+    let sweeps: &[(usize, usize)] = if quick {
+        &[(4, 200), (64, 400), (256, 512)]
+    } else {
+        &[(4, 2_000), (64, 4_000), (1_024, 4_096), (16_384, 2_048)]
+    };
+
+    let mut fingerprint = Table::new(
+        "EXP-M-SCALE: pruned vs linear dispatch — schedule fingerprint (asserted identical)",
+        &["m", "n", "flow_all", "rejected", "sum_lambda", "identical"],
+    );
+    fingerprint.note(
+        "identical machines, Poisson arrivals ∝ m; both dispatch strategies run on every row",
+    );
+    let mut timing = Table::new(
+        "EXP-M-SCALE: pruned vs linear dispatch — wall clock",
+        &["m", "n", "pruned_s", "linear_s", "speedup"],
+    );
+    timing.note(
+        "timing columns vary run to run (exempt from the --jobs determinism contract, like scale)",
+    );
+
+    for &(m, n) in sweeps {
+        let mut w = FlowWorkload::standard(n, m, 4242);
+        w.machine_model = MachineModel::Identical;
+        let inst = w.generate(InstanceKind::FlowTime);
+
+        let (log_p, lam_p, dt_p) = run_with(&inst, DispatchIndex::Pruned);
+        let (log_l, lam_l, dt_l) = run_with(&inst, DispatchIndex::Linear);
+        assert_eq!(
+            log_p, log_l,
+            "m_scale: pruned and linear dispatch diverged at m={m}"
+        );
+        assert_eq!(lam_p, lam_l, "m_scale: dual diverged at m={m}");
+        let metrics = super::must_validate(
+            "m_scale",
+            &inst,
+            &log_p,
+            &osr_sim::ValidationConfig::flow_time(),
+        );
+
+        fingerprint.row(vec![
+            m.to_string(),
+            n.to_string(),
+            fmt_g4(metrics.flow.flow_all),
+            metrics.flow.rejected.to_string(),
+            fmt_g4(lam_p),
+            "yes".to_string(),
+        ]);
+        timing.row(vec![
+            m.to_string(),
+            n.to_string(),
+            fmt_g4(dt_p),
+            fmt_g4(dt_l),
+            fmt_g4(dt_l / dt_p),
+        ]);
+    }
+
+    if quick {
+        vec![fingerprint]
+    } else {
+        vec![fingerprint, timing]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_emits_only_the_deterministic_table() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 3);
+        for row in &tables[0].rows {
+            assert_eq!(row[5], "yes");
+        }
+    }
+}

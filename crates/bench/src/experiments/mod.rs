@@ -26,6 +26,7 @@ pub mod dual_feasibility;
 pub mod l1_immediate;
 pub mod l2_energy;
 pub mod load_sweep;
+pub mod m_scale;
 pub mod rule_ablation;
 pub mod scale;
 pub mod smoothness;

@@ -98,10 +98,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         let m_with = Metrics::compute(&inst, &out_with.log, alpha);
 
         let without = EnergyFlowScheduler::new(EnergyFlowParams {
-            eps: 0.2,
-            alpha,
-            gamma: None,
             reject: false,
+            ..EnergyFlowParams::new(0.2, alpha)
         })
         .unwrap();
         let out_wo = without.run(&inst);

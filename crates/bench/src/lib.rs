@@ -108,5 +108,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Wall-clock scalability and treap-vs-naive queue ablation",
             experiments::scale::run,
         ),
+        (
+            "m_scale",
+            "Dispatch-index ablation across machine counts (pruned vs linear)",
+            experiments::m_scale::run,
+        ),
     ]
 }

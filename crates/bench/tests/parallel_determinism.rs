@@ -27,11 +27,15 @@ fn quick_tables_are_byte_identical_across_worker_counts() {
     // The timing-exempt experiment aside, every experiment must honor
     // the contract; run the cheapest representative subset covering all
     // fan-out shapes (seeds, cross products, workloads, sweeps).
+    // `m_scale` is covered through its quick-mode fingerprint table
+    // (its timing table exists only in full mode, precisely so the
+    // quick output stays byte-identical here and in the CI diffs).
     let subset = [
         "t1_ratio",
         "dual_feasibility",
         "load_sweep",
         "rule_ablation",
+        "m_scale",
     ];
     let experiments: Vec<_> = osr_bench::all_experiments()
         .into_iter()

@@ -11,10 +11,10 @@ use osr_baselines::{flow_lower_bound, GreedyScheduler, SpeedAugScheduler};
 use osr_core::bounds;
 use osr_core::energyflow::{EnergyFlowParams, EnergyFlowScheduler};
 use osr_core::energymin::{EnergyMinParams, EnergyMinScheduler};
-use osr_core::flowtime::WeightedFlowScheduler;
-use osr_core::{FlowParams, FlowScheduler};
+use osr_core::flowtime::{WeightedFlowParams, WeightedFlowScheduler};
+use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_model::{io, FinishedLog, Instance, InstanceKind, Metrics};
-use osr_sim::{render_gantt, validate_log, OnlineScheduler, ValidationConfig};
+use osr_sim::{render_gantt, validate_log, EventBackend, OnlineScheduler, ValidationConfig};
 use osr_workload::{
     ArrivalModel, EnergyWorkload, FlowWorkload, MachineModel, SizeModel, TraceImport, WeightModel,
 };
@@ -33,6 +33,9 @@ USAGE:
                [--machine-model identical|related:F|unrelated:LO:HI|restricted:K]
                [--weights unit|uniform:LO:HI] [--slack LO:HI] [--out FILE]
   osr run      --algo SPEC --input FILE [--log FILE] [--gantt] [--alpha A]
+               [--queue-backend treap|naive]      (flow only: pending-queue structure)
+               [--event-backend binary|pairing]   (flow/wflow/energyflow)
+               [--dispatch-index pruned|linear]   (flow/wflow/energyflow)
                SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
                      | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
   osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
@@ -120,6 +123,70 @@ fn parse_weights(spec: &str) -> Result<WeightModel, String> {
         ("unit", []) => Ok(WeightModel::Unit),
         ("uniform", [lo, hi]) => Ok(WeightModel::Uniform { lo: *lo, hi: *hi }),
         _ => Err(format!("bad weights spec `{spec}`")),
+    }
+}
+
+/// Backend selections for `osr run`, parsed once from the options so
+/// bad values surface through the command's error path (exit code 1),
+/// never a panic.
+#[derive(Debug, Clone, Copy, Default)]
+struct BackendOpts {
+    queue: Option<QueueBackend>,
+    events: Option<EventBackend>,
+    dispatch: Option<DispatchIndex>,
+}
+
+impl BackendOpts {
+    fn parse(args: &Args) -> Result<Self, String> {
+        let queue = match args.opt("queue-backend") {
+            None => None,
+            Some("treap") => Some(QueueBackend::Treap),
+            Some("naive") => Some(QueueBackend::Naive),
+            Some(other) => {
+                return Err(format!(
+                    "bad value `{other}` for --queue-backend (want treap|naive)"
+                ))
+            }
+        };
+        let events = match args.opt("event-backend") {
+            None => None,
+            Some("binary") => Some(EventBackend::BinaryHeap),
+            Some("pairing") => Some(EventBackend::PairingHeap),
+            Some(other) => {
+                return Err(format!(
+                    "bad value `{other}` for --event-backend (want binary|pairing)"
+                ))
+            }
+        };
+        let dispatch = match args.opt("dispatch-index") {
+            None => None,
+            Some("pruned") => Some(DispatchIndex::Pruned),
+            Some("linear") => Some(DispatchIndex::Linear),
+            Some(other) => {
+                return Err(format!(
+                    "bad value `{other}` for --dispatch-index (want pruned|linear)"
+                ))
+            }
+        };
+        Ok(BackendOpts {
+            queue,
+            events,
+            dispatch,
+        })
+    }
+
+    /// Errors when an option was given but the chosen algorithm cannot
+    /// honor it — silent drops would defeat the ablation's point.
+    fn reject_unsupported(&self, spec: &str, queue_ok: bool, rest_ok: bool) -> Result<(), String> {
+        if self.queue.is_some() && !queue_ok {
+            return Err(format!("--queue-backend does not apply to `{spec}`"));
+        }
+        if (self.events.is_some() || self.dispatch.is_some()) && !rest_ok {
+            return Err(format!(
+                "--event-backend/--dispatch-index do not apply to `{spec}`"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -227,30 +294,59 @@ fn config_for(instance: &Instance, speeds_vary: bool) -> ValidationConfig {
 fn run_algo(
     spec: &str,
     instance: &Instance,
+    opts: BackendOpts,
 ) -> Result<(FinishedLog, String, bool, Option<f64>), String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
         ("flow", [eps]) => {
-            let sched = FlowScheduler::new(FlowParams::new(*eps))?;
+            let mut params = FlowParams::new(*eps);
+            if let Some(q) = opts.queue {
+                params.backend = q;
+            }
+            if let Some(e) = opts.events {
+                params.events = e;
+            }
+            if let Some(d) = opts.dispatch {
+                params.dispatch = d;
+            }
+            let sched = FlowScheduler::new(params)?;
             let out = sched.run(instance);
             Ok((out.log, sched.name(), false, Some(out.dual.objective())))
         }
         ("wflow", [eps]) => {
-            let sched = WeightedFlowScheduler::with_eps(*eps)?;
+            opts.reject_unsupported(spec, false, true)?;
+            let mut params = WeightedFlowParams::new(*eps);
+            if let Some(e) = opts.events {
+                params.events = e;
+            }
+            if let Some(d) = opts.dispatch {
+                params.dispatch = d;
+            }
+            let sched = WeightedFlowScheduler::new(params)?;
             let name = sched.name();
             Ok((sched.run(instance).log, name, false, None))
         }
         ("energyflow", [eps, alpha]) => {
-            let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(*eps, *alpha))?;
+            opts.reject_unsupported(spec, false, true)?;
+            let mut params = EnergyFlowParams::new(*eps, *alpha);
+            if let Some(e) = opts.events {
+                params.events = e;
+            }
+            if let Some(d) = opts.dispatch {
+                params.dispatch = d;
+            }
+            let sched = EnergyFlowScheduler::new(params)?;
             let name = sched.name();
             Ok((sched.run(instance).log, name, true, None))
         }
         ("energymin", [alpha]) => {
+            opts.reject_unsupported(spec, false, false)?;
             let sched = EnergyMinScheduler::new(EnergyMinParams::new(*alpha))?;
             let name = sched.name();
             Ok((sched.run(instance).log, name, true, None))
         }
         ("greedy", _) => {
+            opts.reject_unsupported(spec, false, false)?;
             let mut sched = match spec {
                 "greedy:spt" => GreedyScheduler::ect_spt(),
                 "greedy:fifo" => GreedyScheduler::ect_fifo(),
@@ -260,6 +356,7 @@ fn run_algo(
             Ok((sched.schedule(instance), name, false, None))
         }
         ("speedaug", [eps_s, eps_r]) => {
+            opts.reject_unsupported(spec, false, false)?;
             let sched = SpeedAugScheduler::new(*eps_s, *eps_r)?;
             let name = sched.name();
             Ok((sched.run(instance).0, name, true, None))
@@ -273,8 +370,9 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
     let instance = load_instance(args)?;
     let spec = args.opt("algo").unwrap_or("flow:0.25");
     let alpha: f64 = args.opt_parse("alpha", 2.0)?;
+    let opts = BackendOpts::parse(args)?;
 
-    let (log, name, speeds_vary, dual) = run_algo(spec, &instance)?;
+    let (log, name, speeds_vary, dual) = run_algo(spec, &instance, opts)?;
     let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
     if !report.is_valid() {
         return Err(format!(
@@ -387,7 +485,7 @@ pub fn cmd_compare(args: &Args) -> Result<String, String> {
         format!("speedaug:{eps}:{eps}"),
     ];
     for spec in &specs {
-        let (log, name, speeds_vary, _) = run_algo(spec, &instance)?;
+        let (log, name, speeds_vary, _) = run_algo(spec, &instance, BackendOpts::default())?;
         let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
         if !report.is_valid() {
             return Err(format!("{name}: invalid schedule"));
@@ -587,6 +685,78 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("0 rejected"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_backend_options_select_and_agree() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-bk-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        // ≥ PRUNED_MIN_MACHINES machines so `--dispatch-index pruned`
+        // actually engages the tournament index (a smaller m would test
+        // the linear fallback against itself).
+        let text = cmd_gen(&args("gen --kind flowtime --n 80 --machines 12 --seed 11")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        // Every backend combination must run and report identical
+        // schedules (they are all exact implementations of the same
+        // algorithm).
+        let mut outs = Vec::new();
+        for extra in [
+            "",
+            "--queue-backend naive",
+            "--event-backend pairing",
+            "--dispatch-index linear",
+            "--queue-backend treap --event-backend binary --dispatch-index pruned",
+        ] {
+            let out = cmd_run(&args(&format!(
+                "run --algo flow:0.25 --input {} {extra}",
+                inst_path.display()
+            )))
+            .unwrap();
+            outs.push(out);
+        }
+        for o in &outs[1..] {
+            assert_eq!(o, &outs[0], "backend choice changed the schedule report");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_backend_options_report_bad_values_and_misuse() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-bkerr-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let text = cmd_gen(&args("gen --kind flowtime --n 10 --machines 2 --seed 1")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        let run = |extra: &str| {
+            cmd_run(&args(&format!(
+                "run --algo flow:0.25 --input {} {extra}",
+                inst_path.display()
+            )))
+        };
+        for (extra, needle) in [
+            ("--queue-backend quantum", "--queue-backend"),
+            ("--event-backend fibonacci", "--event-backend"),
+            ("--dispatch-index psychic", "--dispatch-index"),
+        ] {
+            let err = run(extra).unwrap_err();
+            assert!(err.contains(needle), "{extra}: {err}");
+        }
+        // Options that an algorithm cannot honor are an error, not a
+        // silent no-op.
+        let err = cmd_run(&args(&format!(
+            "run --algo greedy:spt --input {} --dispatch-index linear",
+            inst_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("do not apply"), "{err}");
+        let err = cmd_run(&args(&format!(
+            "run --algo wflow:0.25 --input {} --queue-backend naive",
+            inst_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--queue-backend"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,234 @@
+//! Dispatch-argmin strategy shared by all three schedulers: the
+//! [`DispatchIndex`] toggle and the per-machine `λ_ij` **lower bounds**
+//! that drive the pruned best-first search
+//! ([`osr_dstruct::MachineIndex`]).
+//!
+//! ## Why a toggle
+//!
+//! Every scheduler dispatches an arriving job to `argmin_i λ_ij`. The
+//! historical implementation is a linear scan — one exact `λ_ij`
+//! evaluation per machine, `O(m·log n)` per arrival in §2. The pruned
+//! strategy visits machines in increasing lower-bound order and
+//! evaluates the exact `λ_ij` lazily, stopping once no remaining bound
+//! can beat (or lower-index-tie) the best exact value. Both strategies
+//! return **bit-identical** results — machine choice, `λ` value, and
+//! therefore every downstream schedule, dual variable, and experiment
+//! table — which CI pins by diffing full experiment runs under both
+//! settings. `Linear` survives as the ablation baseline
+//! (`dstruct_ablation`/`m_scale` quantify the gap).
+//!
+//! ## Bound soundness, including under floating point
+//!
+//! Pruning is only sound if a bound never exceeds the exact `λ_ij` *as
+//! actually computed in `f64`*. Two mechanisms guarantee this:
+//!
+//! * **§2 (`flow_lambda_bound`)** mirrors the exact evaluation's
+//!   expression shape and exploits monotonicity of IEEE-754
+//!   round-to-nearest: `fl(a + b) ≥ fl(a + c)` for `b ≥ c`, and the
+//!   aggregate sums it understates are fl-sums of non-negative terms
+//!   (each partial `≥` any single term). For an **empty queue** the
+//!   bound is the *same expression* as the exact `λ_ij` — equality to
+//!   the bit — which is what lets the search stop immediately after
+//!   evaluating the lowest-indexed idle machine in the common
+//!   many-idle-machines regime.
+//! * **§3 / weighted (`energy_lambda_bound`, `weighted_lambda_bound`)**
+//!   involve incremental weight-sum caches (subject to `±` rounding
+//!   drift) and `powf`; busy-machine bounds are deflated by
+//!   [`BOUND_SAFETY`], a relative margin (`1e-7`) many orders of
+//!   magnitude above any achievable accumulation error for queues that
+//!   fit in memory. Empty-queue bounds again mirror the exact
+//!   expression bit-for-bit and are **not** deflated, preserving the
+//!   idle-machine fast path.
+//!
+//! A too-small bound can never change the argmin — it only costs extra
+//! exact evaluations — so every approximation here errs low.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How a scheduler locates `argmin_i λ_ij` at each arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchIndex {
+    /// Exact `λ_ij` on every machine, lowest index wins ties — the
+    /// `O(m)` reference path, kept as the ablation baseline.
+    Linear,
+    /// Best-first bound-pruned search over a tournament tree
+    /// ([`osr_dstruct::MachineIndex`]); bit-identical results to
+    /// [`DispatchIndex::Linear`].
+    #[default]
+    Pruned,
+}
+
+/// Below this machine count even `Pruned` uses the plain scan: the
+/// tree walk plus heap traffic costs more than `m` cheap evaluations.
+/// (Results are identical either way; this is purely a constant-factor
+/// crossover.)
+pub const PRUNED_MIN_MACHINES: usize = 8;
+
+/// Relative deflation applied to busy-machine bounds whose inputs pass
+/// through incremental caches or `powf` (see module docs).
+pub(crate) const BOUND_SAFETY: f64 = 1.0 - 1e-7;
+
+const DISPATCH_LINEAR: u8 = 0;
+const DISPATCH_PRUNED: u8 = 1;
+
+/// Process-wide default consulted by the `*Params::new` constructors,
+/// so harnesses (e.g. `run_experiments --dispatch linear`) can ablate
+/// the whole experiment suite without touching every call site.
+/// Explicitly set `dispatch` fields always win.
+static DEFAULT_DISPATCH: AtomicU8 = AtomicU8::new(DISPATCH_PRUNED);
+
+/// Sets the process-wide default dispatch strategy.
+pub fn set_default_dispatch_index(d: DispatchIndex) {
+    let v = match d {
+        DispatchIndex::Linear => DISPATCH_LINEAR,
+        DispatchIndex::Pruned => DISPATCH_PRUNED,
+    };
+    DEFAULT_DISPATCH.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default dispatch strategy (`Pruned` unless
+/// overridden via [`set_default_dispatch_index`]).
+pub fn default_dispatch_index() -> DispatchIndex {
+    match DEFAULT_DISPATCH.load(Ordering::Relaxed) {
+        DISPATCH_LINEAR => DispatchIndex::Linear,
+        _ => DispatchIndex::Pruned,
+    }
+}
+
+/// Lower bound on the §2 dispatch quantity
+/// `λ_ij = (1/ε)·p + (Σ_{ℓ⪯j} p_iℓ + p) + |{ℓ≻j}|·p`
+/// from a machine's (or subtree's) cached stats.
+///
+/// Case split on whether `j`'s prefix in the pending order is empty:
+///
+/// * prefix empty → every pending job succeeds `j`, so the exact value
+///   is `(1/ε)p + (0 + p) + count·p`; with the subtree-min `count`
+///   this is a lower bound, and for a single empty machine it **is**
+///   the exact `λ_ij` expression, bit for bit;
+/// * prefix non-empty → the prefix sum contains the queue minimum, so
+///   `λ_ij ≥ (1/ε)p + (min_size + p)` (the successor term is `≥ 0`).
+///
+/// Each case only ever drops or understates non-negative addends of
+/// the exact fl-expression, so fl-monotonicity keeps the bound `≤` the
+/// exact `f64` value — no safety margin needed.
+#[inline]
+pub(crate) fn flow_lambda_bound(min_count: u64, min_size: f64, p: f64, inv_eps: f64) -> f64 {
+    let prefix_empty = inv_eps * p + (0.0 + p) + (min_count as f64) * p;
+    let prefix_nonempty = inv_eps * p + (min_size + p);
+    prefix_empty.min(prefix_nonempty)
+}
+
+/// Lower bound on the weighted-extension dispatch quantity
+/// `λ_ij = w·p/ε + w·(Σ_{ℓ⪯j} p_iℓ + p) + (Σ_{ℓ≻j} w_ℓ)·p`
+/// (pending ordered by density). Same case split as
+/// [`flow_lambda_bound`]; the weight sum comes from an incrementally
+/// maintained cache, so busy bounds carry [`BOUND_SAFETY`].
+#[inline]
+pub(crate) fn weighted_lambda_bound(
+    min_count: u64,
+    min_wsum: f64,
+    min_size: f64,
+    p: f64,
+    w: f64,
+    eps: f64,
+) -> f64 {
+    if min_count == 0 {
+        // Mirrors `WeightedFlowScheduler::lambda_ij` on an empty queue.
+        let mut lam = w * p / eps;
+        lam += w * (0.0 + p);
+        lam += 0.0 * p;
+        return lam;
+    }
+    let prefix_empty = w * p / eps + w * (0.0 + p) + min_wsum * p;
+    let prefix_nonempty = w * p / eps + w * (min_size + p);
+    prefix_empty.min(prefix_nonempty) * BOUND_SAFETY
+}
+
+/// Lower bound on the §3 dispatch quantity
+/// `λ_ij = w(p/ε + Σ_{ℓ⪯j} p_iℓ/(γW_ℓ^{1/α})) + (Σ_{ℓ≻j} w_ℓ)·p/(γW_j^{1/α})`.
+///
+/// **Unlike §2, pending work can *lower* λ here** — more queued weight
+/// means a higher speed and smaller per-volume terms — so an idle
+/// machine's λ is *not* a lower bound for a busy one and there is no
+/// empty-queue shortcut. The two prefix cases instead:
+///
+/// * prefix empty → `W_j = w` exactly and the successors are the whole
+///   queue: `λ ≥ w·p/ε + w·p/(γw^{1/α}) + min_wsum·p/(γw^{1/α})`.
+///   With `min_wsum = 0` (an idle machine, or a subtree containing
+///   one) this expression *is* the idle-machine λ, mirrored bit for
+///   bit, and is left undeflated so idle-tie pruning stays exact.
+/// * prefix non-empty → every prefix denominator satisfies
+///   `W_ℓ ≤ W_j ≤ max_wsum + w`, and the prefix sizes contain the queue
+///   minimum: `λ ≥ w·p/ε + w·(min_size + p)/(γ(max_wsum + w)^{1/α})`.
+///
+/// Bounds whose inputs pass through the incremental weight cache or
+/// `powf` carry [`BOUND_SAFETY`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn energy_lambda_bound(
+    min_wsum: f64,
+    max_wsum: f64,
+    min_size: f64,
+    p: f64,
+    w: f64,
+    eps: f64,
+    gamma: f64,
+    alpha: f64,
+) -> f64 {
+    // Mirrors `EnergyFlowScheduler::lambda_ij`'s empty-queue shape when
+    // `min_wsum == 0`: `w_j = 0.0 + w`, `term_pre = 0.0 + p/(γ·w_j^{1/α})`.
+    let own = p / (gamma * (0.0 + w).powf(1.0 / alpha));
+    let a = w * p / eps + w * (0.0 + own) + min_wsum * own;
+    let prefix_empty = if min_wsum > 0.0 { a * BOUND_SAFETY } else { a };
+    let prefix_nonempty = (w * p / eps
+        + w * ((min_size + p) / (gamma * (max_wsum + w).powf(1.0 / alpha))))
+        * BOUND_SAFETY;
+    prefix_empty.min(prefix_nonempty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_toggle_round_trips() {
+        assert_eq!(default_dispatch_index(), DispatchIndex::Pruned);
+        set_default_dispatch_index(DispatchIndex::Linear);
+        assert_eq!(default_dispatch_index(), DispatchIndex::Linear);
+        set_default_dispatch_index(DispatchIndex::Pruned);
+        assert_eq!(default_dispatch_index(), DispatchIndex::Pruned);
+    }
+
+    #[test]
+    fn flow_bound_matches_exact_lambda_on_empty_queue() {
+        // The empty-queue case must be the *same expression* as
+        // `lambda_ij` with before.sum = 0, succ = 0.
+        for p in [0.1, 1.0, 3.7, 250.0] {
+            for inv_eps in [1.0, 4.0, 10.0] {
+                let exact = inv_eps * p + (0.0 + p) + 0.0 * p;
+                assert_eq!(flow_lambda_bound(0, f64::INFINITY, p, inv_eps), exact);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_bound_understates_busy_queues() {
+        // Pending sizes {2, 5}; job p = 3 ⇒ exact λ = 4p + (2+3) + 1·3.
+        let inv_eps = 4.0;
+        let exact = inv_eps * 3.0 + (2.0 + 3.0) + 1.0 * 3.0;
+        let bound = flow_lambda_bound(2, 2.0, 3.0, inv_eps);
+        assert!(bound <= exact, "{bound} > {exact}");
+        assert!(bound > 0.0);
+    }
+
+    #[test]
+    fn busy_bounds_carry_the_safety_margin() {
+        let b = weighted_lambda_bound(3, 10.0, 1.0, 2.0, 1.0, 0.5);
+        let raw = f64::min(
+            1.0 * 2.0 / 0.5 + 1.0 * (0.0 + 2.0) + 10.0 * 2.0,
+            1.0 * 2.0 / 0.5 + 1.0 * (1.0 + 2.0),
+        );
+        assert!(b < raw);
+        assert!(b > raw * (1.0 - 1e-6));
+    }
+}

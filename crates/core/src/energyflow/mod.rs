@@ -41,11 +41,14 @@
 
 pub mod dual;
 
+use osr_dstruct::{MachineIndex, MachineStats};
 use osr_model::{
     Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
     ScheduleLog,
 };
-use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
+use osr_sim::{DecisionEvent, DecisionTrace, EventBackend, EventQueue, OnlineScheduler};
+
+use crate::dispatch::{self, DispatchIndex, PRUNED_MIN_MACHINES};
 
 pub use dual::{check_energyflow_dual, EnergyFlowAudit};
 
@@ -60,16 +63,22 @@ pub struct EnergyFlowParams {
     pub gamma: Option<f64>,
     /// Enable the rejection rule (ablation toggle).
     pub reject: bool,
+    /// Dispatch argmin strategy (identical results; `Linear` ablation).
+    pub dispatch: DispatchIndex,
+    /// Completion event-queue backend.
+    pub events: EventBackend,
 }
 
 impl EnergyFlowParams {
-    /// Standard parameters.
+    /// Standard parameters (process-default dispatch strategy).
     pub fn new(eps: f64, alpha: f64) -> Self {
         EnergyFlowParams {
             eps,
             alpha,
             gamma: None,
             reject: true,
+            dispatch: dispatch::default_dispatch_index(),
+            events: EventBackend::default(),
         }
     }
 }
@@ -175,7 +184,13 @@ struct RunningE {
 struct MachineE {
     /// Pending jobs sorted by `precedes` (highest density first).
     pending: Vec<PendE>,
+    /// Cached Σ of pending weights (reset to exactly 0 when the queue
+    /// empties so incremental drift cannot accumulate across busy
+    /// periods).
     pending_weight: f64,
+    /// Lazy lower bound on the smallest pending volume (see the
+    /// weighted twin); feeds the pruned dispatch bound.
+    pending_min_p: f64,
     running: Option<RunningE>,
     /// Rejection events `(time, q_ik(t)/s_k)` for definitive-finish
     /// accounting, with prefix sums.
@@ -188,6 +203,7 @@ impl MachineE {
         MachineE {
             pending: Vec::new(),
             pending_weight: 0.0,
+            pending_min_p: f64::INFINITY,
             running: None,
             rej_times: Vec::new(),
             rej_prefix: vec![0.0],
@@ -198,6 +214,7 @@ impl MachineE {
         let pos = self.pending.partition_point(|x| x.precedes(&e));
         self.pending.insert(pos, e);
         self.pending_weight += e.w;
+        self.pending_min_p = self.pending_min_p.min(e.p);
     }
 
     fn pop_first(&mut self) -> Option<PendE> {
@@ -206,7 +223,19 @@ impl MachineE {
         } else {
             let e = self.pending.remove(0);
             self.pending_weight -= e.w;
+            if self.pending.is_empty() {
+                self.pending_weight = 0.0;
+                self.pending_min_p = f64::INFINITY;
+            }
             Some(e)
+        }
+    }
+
+    fn stats(&self) -> MachineStats {
+        MachineStats {
+            count: self.pending.len() as u64,
+            wsum: self.pending_weight,
+            min_size: self.pending_min_p,
         }
     }
 
@@ -288,7 +317,16 @@ impl EnergyFlowScheduler {
         let mut machines: Vec<MachineE> = (0..m).map(|_| MachineE::new()).collect();
         let mut log = ScheduleLog::new(m, n);
         let mut trace = DecisionTrace::new();
-        let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
+        let mut completions: EventQueue<(usize, JobId)> =
+            EventQueue::with_backend(self.params.events);
+        let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
+            && m >= PRUNED_MIN_MACHINES)
+            .then(|| MachineIndex::new(m));
+        let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, ms: &MachineE| {
+            if let Some(ix) = dindex {
+                ix.update(mi, ms.stats());
+            }
+        };
         let mut records = vec![
             EnergyFlowJobRecord {
                 machine: u32::MAX,
@@ -309,7 +347,8 @@ impl EnergyFlowScheduler {
                           machines: &mut Vec<MachineE>,
                           completions: &mut EventQueue<(usize, JobId)>,
                           trace: &mut DecisionTrace,
-                          records: &mut Vec<EnergyFlowJobRecord>| {
+                          records: &mut Vec<EnergyFlowJobRecord>,
+                          dindex: &mut Option<MachineIndex>| {
             let ms = &mut machines[mi];
             if ms.running.is_some() || ms.pending.is_empty() {
                 return;
@@ -336,6 +375,7 @@ impl EnergyFlowScheduler {
                 machine: MachineId(mi as u32),
                 speed,
             });
+            sync_index(dindex, mi, &machines[mi]);
         };
 
         loop {
@@ -379,6 +419,7 @@ impl EnergyFlowScheduler {
                     &mut completions,
                     &mut trace,
                     &mut records,
+                    &mut dindex,
                 );
                 continue;
             }
@@ -389,18 +430,65 @@ impl EnergyFlowScheduler {
             let j = job.id;
             let t = job.release;
 
-            let mut best: Option<(usize, f64)> = None;
-            for mi in 0..m {
-                let p = job.sizes[mi];
-                if !p.is_finite() {
-                    continue;
+            let best: Option<(usize, f64)> = match dindex.as_mut() {
+                Some(ix) => {
+                    let p_hat = job
+                        .sizes
+                        .iter()
+                        .copied()
+                        .filter(|p| p.is_finite())
+                        .fold(f64::INFINITY, f64::min);
+                    if p_hat.is_finite() {
+                        let w = job.weight;
+                        ix.search(
+                            |s| {
+                                dispatch::energy_lambda_bound(
+                                    s.min_wsum, s.max_wsum, s.min_size, p_hat, w, eps, gamma, alpha,
+                                )
+                            },
+                            |mi, s| {
+                                let p = job.sizes[mi];
+                                if p.is_finite() {
+                                    dispatch::energy_lambda_bound(
+                                        s.min_wsum, s.max_wsum, s.min_size, p, w, eps, gamma, alpha,
+                                    )
+                                } else {
+                                    f64::INFINITY
+                                }
+                            },
+                            |mi| {
+                                let p = job.sizes[mi];
+                                p.is_finite()
+                                    .then(|| self.lambda_ij(&machines[mi], p, w, t, j))
+                            },
+                        )
+                    } else {
+                        None
+                    }
                 }
-                let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
-                if best.is_none_or(|(_, bl)| lam < bl) {
-                    best = Some((mi, lam));
+                None => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for mi in 0..m {
+                        let p = job.sizes[mi];
+                        if !p.is_finite() {
+                            continue;
+                        }
+                        let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
+                        if best.is_none_or(|(_, bl)| lam < bl) {
+                            best = Some((mi, lam));
+                        }
+                    }
+                    best
                 }
-            }
-            let (mi, lam) = best.expect("eligible somewhere");
+            };
+            let Some((mi, lam)) = best else {
+                // Eligible nowhere: reject at arrival, λ_j = 0, and the
+                // job never enters any machine's U_i.
+                osr_sim::reject_ineligible(&mut log, &mut trace, j, t);
+                records[j.idx()].exit = t;
+                records[j.idx()].def_finish = t;
+                continue;
+            };
             records[j.idx()].machine = mi as u32;
             records[j.idx()].lambda = eps / (1.0 + eps) * lam;
             trace.push(DecisionEvent::Dispatch {
@@ -419,6 +507,7 @@ impl EnergyFlowScheduler {
                 d: job.weight / p_ij,
                 r: t,
             });
+            sync_index(&mut dindex, mi, &machines[mi]);
 
             // Rejection rule: charge the arriving weight to the running
             // job; reject it when the counter exceeds w_k/ε.
@@ -462,6 +551,7 @@ impl EnergyFlowScheduler {
                 &mut completions,
                 &mut trace,
                 &mut records,
+                &mut dindex,
             );
         }
 
@@ -583,10 +673,9 @@ mod tests {
             .build()
             .unwrap();
         let params = EnergyFlowParams {
-            eps: 1.0,
-            alpha: 2.0,
             gamma: Some(1.0),
             reject: false,
+            ..EnergyFlowParams::new(1.0, 2.0)
         };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         assert_valid(&inst, &out);
@@ -628,10 +717,8 @@ mod tests {
             .build()
             .unwrap();
         let params = EnergyFlowParams {
-            eps: 0.5,
-            alpha: 2.0,
             gamma: Some(1.0),
-            reject: true,
+            ..EnergyFlowParams::new(0.5, 2.0)
         };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         assert_valid(&inst, &out);
@@ -644,10 +731,8 @@ mod tests {
     fn no_rejection_when_disabled() {
         let inst = weighted_instance(100, 2, 3);
         let params = EnergyFlowParams {
-            eps: 0.1,
-            alpha: 2.0,
-            gamma: None,
             reject: false,
+            ..EnergyFlowParams::new(0.1, 2.0)
         };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         assert_eq!(out.log.rejected_count(), 0);
@@ -661,10 +746,8 @@ mod tests {
             .build()
             .unwrap();
         let params = EnergyFlowParams {
-            eps: 0.5,
-            alpha: 3.0,
             gamma: Some(0.5),
-            reject: true,
+            ..EnergyFlowParams::new(0.5, 3.0)
         };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         let m = Metrics::compute(&inst, &out.log, 3.0);
@@ -737,10 +820,8 @@ mod tests {
         assert!(EnergyFlowScheduler::new(EnergyFlowParams::new(0.0, 2.0)).is_err());
         assert!(EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 1.0)).is_err());
         assert!(EnergyFlowScheduler::new(EnergyFlowParams {
-            eps: 0.5,
-            alpha: 2.0,
             gamma: Some(-1.0),
-            reject: true
+            ..EnergyFlowParams::new(0.5, 2.0)
         })
         .is_err());
     }
@@ -757,10 +838,9 @@ mod tests {
             .build()
             .unwrap();
         let params = EnergyFlowParams {
-            eps: 1.0,
-            alpha: 2.0,
             gamma: Some(1.0),
             reject: false,
+            ..EnergyFlowParams::new(1.0, 2.0)
         };
         let out = EnergyFlowScheduler::new(params).unwrap().run(&inst);
         let e0 = out.log.fate(JobId(0)).execution().unwrap();
@@ -773,6 +853,42 @@ mod tests {
         let e2 = out.log.fate(JobId(2)).execution().unwrap();
         assert!((e2.start - e0.completion).abs() < 1e-9);
         assert!((e2.speed - 2.0).abs() < 1e-9, "second speed {}", e2.speed);
+    }
+
+    #[test]
+    fn pruned_and_linear_dispatch_agree() {
+        let inst = weighted_instance(300, 9, 71);
+        for (eps, alpha) in [(0.2, 2.0), (0.5, 2.5)] {
+            let mut pp = EnergyFlowParams::new(eps, alpha);
+            pp.dispatch = crate::DispatchIndex::Pruned;
+            let mut pl = EnergyFlowParams::new(eps, alpha);
+            pl.dispatch = crate::DispatchIndex::Linear;
+            let a = EnergyFlowScheduler::new(pp).unwrap().run(&inst);
+            let b = EnergyFlowScheduler::new(pl).unwrap().run(&inst);
+            assert_eq!(a.log, b.log, "eps={eps} alpha={alpha}");
+            assert_eq!(a.sum_lambda(), b.sum_lambda());
+        }
+    }
+
+    #[test]
+    fn everywhere_ineligible_job_is_rejected_not_a_panic() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 1.0, vec![2.0, 3.0])
+            .weighted_job(1.0, 4.0, vec![f64::INFINITY, f64::INFINITY])
+            .build()
+            .unwrap();
+        let out = EnergyFlowScheduler::new(EnergyFlowParams::new(0.4, 2.0))
+            .unwrap()
+            .run(&inst);
+        assert_valid(&inst, &out);
+        let rej = out.log.fate(JobId(1)).rejection().expect("dropped");
+        assert_eq!(rej.reason, RejectReason::Ineligible);
+        let rec = &out.records[1];
+        assert_eq!(rec.machine, u32::MAX);
+        assert_eq!(rec.lambda, 0.0);
+        assert_eq!(rec.exit, 1.0);
+        assert_eq!(rec.def_finish, 1.0);
+        assert!(out.log.fate(JobId(0)).is_completed());
     }
 
     #[test]

@@ -134,6 +134,14 @@ impl EnergyMinOnline {
     /// Greedily assigns `job` (which must carry a deadline), committing
     /// the cheapest feasible strategy. Returns the assignment.
     pub fn assign(&mut self, job: &Job) -> Assignment {
+        self.try_assign(job)
+            .expect("a feasible strategy always exists (v_min at r)")
+    }
+
+    /// Like [`EnergyMinOnline::assign`], but returns `None` for a job
+    /// that is eligible on no machine (`p_ij = ∞` everywhere) instead
+    /// of panicking; the scheduler rejects such jobs at arrival.
+    pub fn try_assign(&mut self, job: &Job) -> Option<Assignment> {
         let alpha = self.params.alpha;
         let r = job.release;
         let d = job.deadline.expect("§4 jobs carry deadlines");
@@ -183,9 +191,9 @@ impl EnergyMinOnline {
                 v *= self.params.speed_ratio;
             }
         }
-        let a = best.expect("a feasible strategy always exists (v_min at r)");
+        let a = best?;
         self.profiles[a.machine.idx()].add(a.start, a.completion, a.speed);
-        a
+        Some(a)
     }
 }
 
@@ -266,7 +274,13 @@ impl EnergyMinScheduler {
         let mut assignments = Vec::with_capacity(instance.len());
 
         for job in instance.jobs() {
-            let a = online.assign(job);
+            let Some(a) = online.try_assign(job) else {
+                // Eligible nowhere: drop the job instead of aborting.
+                // (§4 forbids rejections, so validation of such a log
+                // will flag it — but the run completes and reports.)
+                osr_sim::reject_ineligible(&mut log, &mut trace, job.id, job.release);
+                continue;
+            };
             trace.push(DecisionEvent::Dispatch {
                 time: job.release,
                 job: job.id,

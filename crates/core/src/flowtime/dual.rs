@@ -160,10 +160,15 @@ pub fn check_dual_feasibility(instance: &Instance, dual: &FlowDual, max_jobs: us
     let beta_scale = dual.thresholds.beta_scale();
 
     // Per-machine β step function: +1 at r_j, −1 at C̃_j for each job
-    // dispatched there. Sorted event lists of (time, delta).
+    // dispatched there. Sorted event lists of (time, delta). Jobs that
+    // were never dispatched (ineligible everywhere, machine sentinel
+    // `u32::MAX`) carry λ_j = 0 and contribute to no machine's β.
     let mut events: Vec<Vec<(f64, i64)>> = vec![Vec::new(); m];
     for j in 0..dual.len() {
         let mi = dual.machine_of[j] as usize;
+        if mi >= m {
+            continue;
+        }
         events[mi].push((dual.release[j], 1));
         events[mi].push((dual.c_tilde[j], -1));
     }

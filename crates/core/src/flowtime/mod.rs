@@ -41,13 +41,14 @@ pub mod dual;
 pub mod queue;
 pub mod weighted;
 
-use osr_dstruct::TotalF64;
+use osr_dstruct::{MachineIndex, MachineStats, TotalF64};
 use osr_model::{
     Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
     ScheduleLog,
 };
-use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
+use osr_sim::{DecisionEvent, DecisionTrace, EventBackend, EventQueue, OnlineScheduler};
 
+use crate::dispatch::{self, DispatchIndex, PRUNED_MIN_MACHINES};
 use crate::epsilon::Thresholds;
 pub use dual::{check_dual_feasibility, DualAudit, FlowDual};
 pub use queue::QueueBackend;
@@ -65,26 +66,34 @@ pub struct FlowParams {
     pub rule2: bool,
     /// Pending-queue backend.
     pub backend: QueueBackend,
+    /// Dispatch argmin strategy (results are identical either way;
+    /// `Linear` is the ablation baseline).
+    pub dispatch: DispatchIndex,
+    /// Completion event-queue backend.
+    pub events: EventBackend,
 }
 
 impl FlowParams {
-    /// Standard parameters: both rules on, treap backend.
+    /// Standard parameters: both rules on, treap backend, the
+    /// process-default dispatch strategy
+    /// ([`crate::dispatch::default_dispatch_index`]).
     pub fn new(eps: f64) -> Self {
         FlowParams {
             eps,
             rule1: true,
             rule2: true,
             backend: QueueBackend::Treap,
+            dispatch: dispatch::default_dispatch_index(),
+            events: EventBackend::default(),
         }
     }
 
     /// Ablation constructor.
     pub fn with_rules(eps: f64, rule1: bool, rule2: bool) -> Self {
         FlowParams {
-            eps,
             rule1,
             rule2,
-            backend: QueueBackend::Treap,
+            ..FlowParams::new(eps)
         }
     }
 }
@@ -206,13 +215,36 @@ impl FlowScheduler {
             .collect();
         let mut log = ScheduleLog::new(m, n);
         let mut trace = DecisionTrace::new();
-        let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
+        let mut completions: EventQueue<(usize, JobId)> =
+            EventQueue::with_backend(self.params.events);
 
         // Dual bookkeeping.
         let mut lambda = vec![0.0f64; n];
         let mut exit = vec![f64::NAN; n];
         let mut c_tilde = vec![f64::NAN; n];
         let mut machine_of = vec![u32::MAX; n];
+
+        // Pruned dispatch: a tournament tree over per-machine stats.
+        // Below the crossover the plain scan is cheaper than any
+        // bookkeeping (results are identical either way).
+        let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
+            && m >= PRUNED_MIN_MACHINES)
+            .then(|| MachineIndex::new(m));
+
+        // Pushes machine `mi`'s refreshed queue stats into the index;
+        // call after every pending-queue mutation.
+        let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, q: &PendQueue| {
+            if let Some(ix) = dindex {
+                ix.update(
+                    mi,
+                    MachineStats {
+                        count: q.len() as u64,
+                        wsum: q.total().sum,
+                        min_size: q.min_size(),
+                    },
+                );
+            }
+        };
 
         let mut next_arrival = 0usize;
 
@@ -221,7 +253,8 @@ impl FlowScheduler {
                           t: f64,
                           machines: &mut Vec<MachineState>,
                           completions: &mut EventQueue<(usize, JobId)>,
-                          trace: &mut DecisionTrace| {
+                          trace: &mut DecisionTrace,
+                          dindex: &mut Option<MachineIndex>| {
             let ms = &mut machines[mi];
             if ms.running.is_some() {
                 return;
@@ -242,6 +275,7 @@ impl FlowScheduler {
                     machine: MachineId(mi as u32),
                     speed: 1.0,
                 });
+                sync_index(dindex, mi, &ms.pending);
             }
         };
 
@@ -285,7 +319,14 @@ impl FlowScheduler {
                 let rj = instance.job(job).release;
                 exit[job.idx()] = t;
                 c_tilde[job.idx()] = t + machines[mi].rule1_window(rj, t);
-                start_next(mi, t, &mut machines, &mut completions, &mut trace);
+                start_next(
+                    mi,
+                    t,
+                    &mut machines,
+                    &mut completions,
+                    &mut trace,
+                    &mut dindex,
+                );
                 continue;
             }
 
@@ -295,20 +336,70 @@ impl FlowScheduler {
             let j = job.id;
             let t = job.release;
 
-            // Dispatch: argmin over eligible machines of λ_ij.
-            let mut best: Option<(usize, f64)> = None;
-            for mi in 0..m {
-                let p = job.sizes[mi];
-                if !p.is_finite() {
-                    continue;
+            // Dispatch: argmin over eligible machines of λ_ij (lowest
+            // index on ties). The pruned path and the linear scan are
+            // bit-identical; see `crate::dispatch` for the bound
+            // soundness argument.
+            let best: Option<(usize, f64)> = match dindex.as_mut() {
+                Some(ix) => {
+                    // Cheapest eligible size — the job-side input to
+                    // subtree-level bounds (sizes vary per machine).
+                    let p_hat = job
+                        .sizes
+                        .iter()
+                        .copied()
+                        .filter(|p| p.is_finite())
+                        .fold(f64::INFINITY, f64::min);
+                    if p_hat.is_finite() {
+                        let inv_eps = th.inv_eps;
+                        ix.search(
+                            |s| {
+                                dispatch::flow_lambda_bound(s.min_count, s.min_size, p_hat, inv_eps)
+                            },
+                            |mi, s| {
+                                let p = job.sizes[mi];
+                                if p.is_finite() {
+                                    dispatch::flow_lambda_bound(s.min_count, s.min_size, p, inv_eps)
+                                } else {
+                                    f64::INFINITY
+                                }
+                            },
+                            |mi| {
+                                let p = job.sizes[mi];
+                                p.is_finite().then(|| {
+                                    lambda_ij(&machines[mi].pending, &pend_key(p, t, j), p, inv_eps)
+                                })
+                            },
+                        )
+                    } else {
+                        None
+                    }
                 }
-                let key = pend_key(p, t, j);
-                let l = lambda_ij(&machines[mi].pending, &key, p, th.inv_eps);
-                if best.is_none_or(|(_, bl)| l < bl) {
-                    best = Some((mi, l));
+                None => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for mi in 0..m {
+                        let p = job.sizes[mi];
+                        if !p.is_finite() {
+                            continue;
+                        }
+                        let key = pend_key(p, t, j);
+                        let l = lambda_ij(&machines[mi].pending, &key, p, th.inv_eps);
+                        if best.is_none_or(|(_, bl)| l < bl) {
+                            best = Some((mi, l));
+                        }
+                    }
+                    best
                 }
-            }
-            let (mi, lam) = best.expect("job eligible on at least one machine");
+            };
+            let Some((mi, lam)) = best else {
+                // No machine can process j (`p_ij = ∞` everywhere):
+                // reject it at arrival instead of aborting the run. It
+                // contributes nothing to the dual (λ_j = 0, C̃_j = r_j).
+                osr_sim::reject_ineligible(&mut log, &mut trace, j, t);
+                exit[j.idx()] = t;
+                c_tilde[j.idx()] = t;
+                continue;
+            };
             lambda[j.idx()] = th.lambda_scale() * lam;
             machine_of[j.idx()] = mi as u32;
             trace.push(DecisionEvent::Dispatch {
@@ -321,6 +412,7 @@ impl FlowScheduler {
 
             let p_ij = job.sizes[mi];
             machines[mi].pending.insert(pend_key(p_ij, t, j), p_ij);
+            sync_index(&mut dindex, mi, &machines[mi].pending);
 
             // Rule 1: the dispatch counts against the running job.
             if let Some(run) = machines[mi].running.as_mut() {
@@ -366,6 +458,7 @@ impl FlowScheduler {
             if self.params.rule2 && machines[mi].c >= th.rule2_at {
                 machines[mi].c = 0;
                 if let Some(((p_max, _r, id), _w)) = machines[mi].pending.pop_last() {
+                    sync_index(&mut dindex, mi, &machines[mi].pending);
                     let jmax = JobId(id);
                     log.reject(
                         jmax,
@@ -401,7 +494,14 @@ impl FlowScheduler {
                 }
             }
 
-            start_next(mi, t, &mut machines, &mut completions, &mut trace);
+            start_next(
+                mi,
+                t,
+                &mut machines,
+                &mut completions,
+                &mut trace,
+                &mut dindex,
+            );
         }
 
         let log = log.finish().expect("every job completed or rejected");
@@ -710,6 +810,96 @@ mod tests {
         let b2 = FlowScheduler::new(pn).unwrap().run(&inst);
         assert_eq!(a.log, b2.log, "backends must produce identical schedules");
         assert_eq!(a.dual.sum_lambda(), b2.dual.sum_lambda());
+    }
+
+    #[test]
+    fn pruned_and_linear_dispatch_are_bit_identical() {
+        // Tie-heavy: many machines with *identical* sizes, plus an
+        // unrelated stretch — both regimes must agree exactly, machine
+        // choices and λ values included.
+        for (m, identical) in [(12usize, true), (16, false)] {
+            let mut b = InstanceBuilder::new(m, InstanceKind::FlowTime);
+            let mut s = 0x5EEDu64 | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut t = 0.0;
+            for _ in 0..300 {
+                t += (next() % 40) as f64 / 20.0;
+                let base = 1.0 + (next() % 4) as f64;
+                let sizes: Vec<f64> = (0..m)
+                    .map(|k| {
+                        if identical {
+                            base
+                        } else {
+                            base * (1.0 + (next().wrapping_add(k as u64) % 5) as f64 / 2.0)
+                        }
+                    })
+                    .collect();
+                b = b.job(t, sizes);
+            }
+            let inst = b.build().unwrap();
+            for eps in [0.2, 0.5] {
+                let mut pp = FlowParams::new(eps);
+                pp.dispatch = crate::DispatchIndex::Pruned;
+                let mut pl = FlowParams::new(eps);
+                pl.dispatch = crate::DispatchIndex::Linear;
+                let a = FlowScheduler::new(pp).unwrap().run(&inst);
+                let b2 = FlowScheduler::new(pl).unwrap().run(&inst);
+                assert_eq!(a.log, b2.log, "m={m} identical={identical} eps={eps}");
+                assert_eq!(a.dual.lambda, b2.dual.lambda);
+                assert_eq!(a.dual.c_tilde, b2.dual.c_tilde);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_dispatch_locks_lowest_index_tie_break() {
+        // All machines identical and idle: every λ_ij ties exactly, and
+        // the winner must be machine 0 — the contract the linear scan
+        // established and the pruned index must preserve.
+        let m = 8; // ≥ PRUNED_MIN_MACHINES so the index actually engages
+        let inst = InstanceBuilder::new(m, InstanceKind::FlowTime)
+            .job(0.0, vec![3.0; 8])
+            .build()
+            .unwrap();
+        let mut params = FlowParams::with_rules(0.5, false, false);
+        params.dispatch = crate::DispatchIndex::Pruned;
+        let out = FlowScheduler::new(params).unwrap().run(&inst);
+        let e = out.log.fate(JobId(0)).execution().unwrap();
+        assert_eq!(e.machine, MachineId(0));
+    }
+
+    #[test]
+    fn everywhere_ineligible_job_is_rejected_not_a_panic() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![2.0, 3.0])
+            .job(1.0, vec![f64::INFINITY, f64::INFINITY])
+            .job(2.0, vec![1.0, 4.0])
+            .build()
+            .unwrap();
+        for dispatch in [crate::DispatchIndex::Linear, crate::DispatchIndex::Pruned] {
+            let mut params = FlowParams::new(0.5);
+            params.dispatch = dispatch;
+            let out = FlowScheduler::new(params).unwrap().run(&inst);
+            assert_valid(&inst, &out);
+            let rej = out.log.fate(JobId(1)).rejection().expect("dropped");
+            assert_eq!(rej.reason, RejectReason::Ineligible);
+            assert_eq!(rej.time, 1.0);
+            assert!(rej.partial.is_none());
+            // The dual ignores it: λ_j = 0, C̃_j = r_j.
+            assert_eq!(out.dual.lambda[1], 0.0);
+            assert_eq!(out.dual.c_tilde[1], 1.0);
+            // Other jobs are unaffected.
+            assert!(out.log.fate(JobId(0)).is_completed());
+            assert!(out.log.fate(JobId(2)).is_completed());
+            // The feasibility audit must not index the sentinel machine.
+            let audit = check_dual_feasibility(&inst, &out.dual, usize::MAX);
+            assert!(audit.is_feasible(), "{:?}", audit.violations.first());
+        }
     }
 
     #[test]

@@ -57,11 +57,11 @@ impl PendQueue {
 
     /// Creates an empty queue preallocated for `cap` pending jobs, so
     /// the arrival hot path never grows the backing storage below that
-    /// high-water mark.
+    /// high-water mark (honored by **both** backends).
     pub fn with_capacity(backend: QueueBackend, cap: usize) -> Self {
         match backend {
             QueueBackend::Treap => PendQueue::Treap(AggTreap::with_capacity(cap)),
-            QueueBackend::Naive => PendQueue::Naive(NaiveAggQueue::new()),
+            QueueBackend::Naive => PendQueue::Naive(NaiveAggQueue::with_capacity(cap)),
         }
     }
 
@@ -124,6 +124,17 @@ impl PendQueue {
             PendQueue::Treap(t) => t.total(),
             PendQueue::Naive(q) => q.total(),
         }
+    }
+
+    /// Smallest pending processing time (`∞` when empty) — the queue
+    /// is keyed by `(p, r, id)`, so this is the first key's size. Feeds
+    /// the pruned dispatch index's per-machine `λ̂` lower bound.
+    pub fn min_size(&self) -> f64 {
+        let first = match self {
+            PendQueue::Treap(t) => t.first(),
+            PendQueue::Naive(q) => q.first(),
+        };
+        first.map_or(f64::INFINITY, |k| k.0 .0)
     }
 }
 
@@ -205,6 +216,29 @@ mod tests {
         let (k, _) = q.pop_first().unwrap();
         assert_eq!(k.1, TotalF64(1.0));
         assert_eq!(k.2, 9);
+    }
+
+    #[test]
+    fn min_size_tracks_first_key() {
+        for backend in [QueueBackend::Treap, QueueBackend::Naive] {
+            let mut q = PendQueue::new(backend);
+            assert_eq!(q.min_size(), f64::INFINITY);
+            q.insert(key(5.0, 1), 5.0);
+            q.insert(key(2.0, 2), 2.0);
+            assert_eq!(q.min_size(), 2.0, "{backend:?}");
+            q.pop_first();
+            assert_eq!(q.min_size(), 5.0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn naive_with_capacity_reaches_backing_store() {
+        // The hint used to be silently dropped for the naive backend.
+        let q = PendQueue::with_capacity(QueueBackend::Naive, 32);
+        match q {
+            PendQueue::Naive(inner) => assert!(inner.capacity() >= 32),
+            PendQueue::Treap(_) => unreachable!(),
+        }
     }
 
     #[test]

@@ -30,11 +30,14 @@
 //! well-behaved heuristic; its value is letting users study the paper's
 //! mechanism on weighted workloads.
 
+use osr_dstruct::{MachineIndex, MachineStats};
 use osr_model::{
     Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
     ScheduleLog,
 };
-use osr_sim::{DecisionEvent, DecisionTrace, EventQueue, OnlineScheduler};
+use osr_sim::{DecisionEvent, DecisionTrace, EventBackend, EventQueue, OnlineScheduler};
+
+use crate::dispatch::{self, DispatchIndex, PRUNED_MIN_MACHINES};
 
 /// Parameters for the weighted variant.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +45,21 @@ pub struct WeightedFlowParams {
     /// Budget parameter `ε ∈ (0, 1]`; enforced rejected-weight cap is
     /// `2ε` of arrived weight.
     pub eps: f64,
+    /// Dispatch argmin strategy (identical results; `Linear` ablation).
+    pub dispatch: DispatchIndex,
+    /// Completion event-queue backend.
+    pub events: EventBackend,
+}
+
+impl WeightedFlowParams {
+    /// Standard parameters for `eps` (process-default dispatch).
+    pub fn new(eps: f64) -> Self {
+        WeightedFlowParams {
+            eps,
+            dispatch: dispatch::default_dispatch_index(),
+            events: EventBackend::default(),
+        }
+    }
 }
 
 /// Outcome of a weighted run.
@@ -97,6 +115,41 @@ struct MachW {
     running: Option<RunningW>,
     /// Rule-2 weight counter.
     c: f64,
+    /// Cached Σ of pending weights (reset to exactly 0 when the queue
+    /// empties so incremental `±` drift cannot accumulate across busy
+    /// periods).
+    pend_wsum: f64,
+    /// Lazy lower bound on the smallest pending size: tightened on
+    /// insert, left alone on removal (a stale-low value only loosens
+    /// the dispatch bound, never breaks it), reset to `∞` on empty.
+    pend_min_p: f64,
+}
+
+impl MachW {
+    fn insert(&mut self, e: PendW) {
+        let pos = self.pending.partition_point(|x| x.precedes(&e));
+        self.pending.insert(pos, e);
+        self.pend_wsum += e.w;
+        self.pend_min_p = self.pend_min_p.min(e.p);
+    }
+
+    fn remove_at(&mut self, pos: usize) -> PendW {
+        let e = self.pending.remove(pos);
+        self.pend_wsum -= e.w;
+        if self.pending.is_empty() {
+            self.pend_wsum = 0.0;
+            self.pend_min_p = f64::INFINITY;
+        }
+        e
+    }
+
+    fn stats(&self) -> MachineStats {
+        MachineStats {
+            count: self.pending.len() as u64,
+            wsum: self.pend_wsum,
+            min_size: self.pend_min_p,
+        }
+    }
 }
 
 impl WeightedFlowScheduler {
@@ -110,7 +163,7 @@ impl WeightedFlowScheduler {
 
     /// Convenience constructor.
     pub fn with_eps(eps: f64) -> Result<Self, String> {
-        Self::new(WeightedFlowParams { eps })
+        Self::new(WeightedFlowParams::new(eps))
     }
 
     fn lambda_ij(&self, ms: &MachW, p: f64, w: f64, r: f64, id: JobId) -> f64 {
@@ -147,14 +200,28 @@ impl WeightedFlowScheduler {
                 pending: Vec::new(),
                 running: None,
                 c: 0.0,
+                pend_wsum: 0.0,
+                pend_min_p: f64::INFINITY,
             })
             .collect();
         let mut log = ScheduleLog::new(m, n);
         let mut trace = DecisionTrace::new();
-        let mut completions: EventQueue<(usize, JobId)> = EventQueue::new();
+        let mut completions: EventQueue<(usize, JobId)> =
+            EventQueue::with_backend(self.params.events);
+        let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
+            && m >= PRUNED_MIN_MACHINES)
+            .then(|| MachineIndex::new(m));
+        let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, ms: &MachW| {
+            if let Some(ix) = dindex {
+                ix.update(mi, ms.stats());
+            }
+        };
 
-        // Hard budget enforcement (extension-specific; see module docs).
+        // Hard budget enforcement (extension-specific; see module
+        // docs). Only *dispatchable* arrivals count: an ineligible job
+        // never enters any queue and must not widen the budget.
         let mut arrived_weight = 0.0f64;
+        let mut dispatched_jobs = 0usize;
         let mut rejected_weight = 0.0f64;
         let rule2_threshold = |mean_w: f64| (1.0 + (1.0 / eps).ceil()) * mean_w;
 
@@ -162,12 +229,13 @@ impl WeightedFlowScheduler {
                           t: f64,
                           machines: &mut Vec<MachW>,
                           completions: &mut EventQueue<(usize, JobId)>,
-                          trace: &mut DecisionTrace| {
+                          trace: &mut DecisionTrace,
+                          dindex: &mut Option<MachineIndex>| {
             let ms = &mut machines[mi];
             if ms.running.is_some() || ms.pending.is_empty() {
                 return;
             }
-            let e = ms.pending.remove(0);
+            let e = ms.remove_at(0);
             let completion = t + e.p;
             ms.running = Some(RunningW {
                 job: e.job,
@@ -183,6 +251,7 @@ impl WeightedFlowScheduler {
                 machine: MachineId(mi as u32),
                 speed: 1.0,
             });
+            sync_index(dindex, mi, &machines[mi]);
         };
 
         let mut next_arrival = 0usize;
@@ -217,28 +286,94 @@ impl WeightedFlowScheduler {
                     job,
                     machine: MachineId(mi as u32),
                 });
-                start_next(mi, t, &mut machines, &mut completions, &mut trace);
+                start_next(
+                    mi,
+                    t,
+                    &mut machines,
+                    &mut completions,
+                    &mut trace,
+                    &mut dindex,
+                );
                 continue;
             }
 
             let job = &jobs[next_arrival];
             next_arrival += 1;
             let t = job.release;
-            arrived_weight += job.weight;
-            let mean_weight = arrived_weight / next_arrival as f64;
 
-            let mut best: Option<(usize, f64)> = None;
-            for (mi, ms) in machines.iter().enumerate() {
-                let p = job.sizes[mi];
-                if !p.is_finite() {
-                    continue;
+            let best: Option<(usize, f64)> = match dindex.as_mut() {
+                Some(ix) => {
+                    let p_hat = job
+                        .sizes
+                        .iter()
+                        .copied()
+                        .filter(|p| p.is_finite())
+                        .fold(f64::INFINITY, f64::min);
+                    if p_hat.is_finite() {
+                        let w = job.weight;
+                        ix.search(
+                            |s| {
+                                dispatch::weighted_lambda_bound(
+                                    s.min_count,
+                                    s.min_wsum,
+                                    s.min_size,
+                                    p_hat,
+                                    w,
+                                    eps,
+                                )
+                            },
+                            |mi, s| {
+                                let p = job.sizes[mi];
+                                if p.is_finite() {
+                                    dispatch::weighted_lambda_bound(
+                                        s.min_count,
+                                        s.min_wsum,
+                                        s.min_size,
+                                        p,
+                                        w,
+                                        eps,
+                                    )
+                                } else {
+                                    f64::INFINITY
+                                }
+                            },
+                            |mi| {
+                                let p = job.sizes[mi];
+                                p.is_finite()
+                                    .then(|| self.lambda_ij(&machines[mi], p, w, t, job.id))
+                            },
+                        )
+                    } else {
+                        None
+                    }
                 }
-                let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
-                if best.is_none_or(|(_, bl)| lam < bl) {
-                    best = Some((mi, lam));
+                None => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for (mi, ms) in machines.iter().enumerate() {
+                        let p = job.sizes[mi];
+                        if !p.is_finite() {
+                            continue;
+                        }
+                        let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
+                        if best.is_none_or(|(_, bl)| lam < bl) {
+                            best = Some((mi, lam));
+                        }
+                    }
+                    best
                 }
-            }
-            let (mi, lam) = best.expect("eligible somewhere");
+            };
+            let Some((mi, lam)) = best else {
+                // Eligible nowhere: drop the job instead of aborting.
+                // Crucially *before* the budget accounting below — an
+                // undispatchable job must not inflate `arrived_weight`
+                // (that would let the rules reject extra servable
+                // weight past the documented 2ε cap).
+                osr_sim::reject_ineligible(&mut log, &mut trace, job.id, t);
+                continue;
+            };
+            arrived_weight += job.weight;
+            dispatched_jobs += 1;
+            let mean_weight = arrived_weight / dispatched_jobs as f64;
             trace.push(DecisionEvent::Dispatch {
                 time: t,
                 job: job.id,
@@ -247,15 +382,14 @@ impl WeightedFlowScheduler {
                 candidates: m,
             });
             let p_ij = job.sizes[mi];
-            let entry = PendW {
+            machines[mi].insert(PendW {
                 job: job.id,
                 p: p_ij,
                 w: job.weight,
                 d: job.weight / p_ij,
                 r: t,
-            };
-            let pos = machines[mi].pending.partition_point(|x| x.precedes(&entry));
-            machines[mi].pending.insert(pos, entry);
+            });
+            sync_index(&mut dindex, mi, &machines[mi]);
 
             let budget_ok = |rej: f64, arr: f64, extra: f64| rej + extra <= 2.0 * eps * arr + 1e-12;
 
@@ -297,7 +431,9 @@ impl WeightedFlowScheduler {
                 // Victim is the last in the density order.
                 if let Some(victim) = machines[mi].pending.last().copied() {
                     if budget_ok(rejected_weight, arrived_weight, victim.w) {
-                        machines[mi].pending.pop();
+                        let last = machines[mi].pending.len() - 1;
+                        machines[mi].remove_at(last);
+                        sync_index(&mut dindex, mi, &machines[mi]);
                         rejected_weight += victim.w;
                         log.reject(
                             victim.job,
@@ -318,7 +454,14 @@ impl WeightedFlowScheduler {
                 }
             }
 
-            start_next(mi, t, &mut machines, &mut completions, &mut trace);
+            start_next(
+                mi,
+                t,
+                &mut machines,
+                &mut completions,
+                &mut trace,
+                &mut dindex,
+            );
         }
 
         WeightedFlowOutcome {
@@ -473,5 +616,33 @@ mod tests {
     fn invalid_eps_rejected() {
         assert!(WeightedFlowScheduler::with_eps(0.0).is_err());
         assert!(WeightedFlowScheduler::with_eps(1.5).is_err());
+    }
+
+    #[test]
+    fn pruned_and_linear_dispatch_agree() {
+        let inst = weighted_instance(400, 10, 33);
+        for eps in [0.15, 0.4] {
+            let mut pp = WeightedFlowParams::new(eps);
+            pp.dispatch = crate::DispatchIndex::Pruned;
+            let mut pl = WeightedFlowParams::new(eps);
+            pl.dispatch = crate::DispatchIndex::Linear;
+            let a = WeightedFlowScheduler::new(pp).unwrap().run(&inst);
+            let b = WeightedFlowScheduler::new(pl).unwrap().run(&inst);
+            assert_eq!(a.log, b.log, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn everywhere_ineligible_job_is_rejected_not_a_panic() {
+        let inst = InstanceBuilder::new(2, InstanceKind::FlowEnergy)
+            .weighted_job(0.0, 2.0, vec![1.0, 2.0])
+            .weighted_job(0.5, 5.0, vec![f64::INFINITY, f64::INFINITY])
+            .build()
+            .unwrap();
+        let out = WeightedFlowScheduler::with_eps(0.3).unwrap().run(&inst);
+        assert_valid(&inst, &out);
+        let rej = out.log.fate(JobId(1)).rejection().expect("dropped");
+        assert_eq!(rej.reason, RejectReason::Ineligible);
+        assert!(out.log.fate(JobId(0)).is_completed());
     }
 }

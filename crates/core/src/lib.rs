@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod dispatch;
 pub mod energyflow;
 pub mod energymin;
 pub mod epsilon;
@@ -48,6 +49,9 @@ pub mod smooth;
 pub use bounds::{
     energyflow_competitive_bound, energymin_competitive_bound, energymin_lower_bound,
     flowtime_competitive_bound, flowtime_rejection_budget, immediate_rejection_lower_bound,
+};
+pub use dispatch::{
+    default_dispatch_index, set_default_dispatch_index, DispatchIndex, PRUNED_MIN_MACHINES,
 };
 pub use energyflow::{EnergyFlowOutcome, EnergyFlowParams, EnergyFlowScheduler};
 pub use energymin::{

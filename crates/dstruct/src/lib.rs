@@ -35,7 +35,11 @@
 //!   benchmarked against `std::collections::BinaryHeap`);
 //! * [`naive::NaiveAggQueue`] — sorted-`Vec` reference implementation with
 //!   the same API as `AggTreap`, used for differential testing and as the
-//!   ablation baseline.
+//!   ablation baseline;
+//! * [`tournament::MachineIndex`] — tournament tree over per-machine
+//!   dispatch statistics, powering the best-first *pruned* `λ_ij`
+//!   argmin that replaces the schedulers' `O(m)`-per-arrival machine
+//!   scan (selectable via `osr-core`'s `DispatchIndex`).
 
 // Stylistic lints intentionally not followed:
 // - `needless_range_loop`: machine loops index several parallel state
@@ -49,6 +53,7 @@ pub mod fenwick;
 pub mod naive;
 pub mod pairing;
 pub mod total;
+pub mod tournament;
 pub mod treap;
 pub mod treap_boxed;
 
@@ -56,5 +61,6 @@ pub use fenwick::Fenwick;
 pub use naive::NaiveAggQueue;
 pub use pairing::PairingHeap;
 pub use total::TotalF64;
+pub use tournament::{MachineIndex, MachineStats, NodeStats};
 pub use treap::AggTreap;
 pub use treap_boxed::BoxedAggTreap;

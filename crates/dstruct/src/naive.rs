@@ -24,9 +24,23 @@ impl<K: Ord> NaiveAggQueue<K> {
         }
     }
 
+    /// Empty queue preallocated for `cap` entries, so inserts below
+    /// that high-water mark never grow the backing vector (the same
+    /// contract as [`crate::AggTreap::with_capacity`]).
+    pub fn with_capacity(cap: usize) -> Self {
+        NaiveAggQueue {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of entries the backing vector can hold before growing.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
     }
 
     /// Whether the queue is empty.
@@ -139,6 +153,17 @@ mod tests {
         assert_eq!(q.pop_first(), Some((1, 1.0)));
         assert_eq!(q.pop_last(), Some((5, 5.0)));
         assert_eq!(q.total().count, 2);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: NaiveAggQueue<i64> = NaiveAggQueue::with_capacity(64);
+        let cap = q.entries.capacity();
+        assert!(cap >= 64);
+        for k in 0..64 {
+            q.insert(k, 1.0);
+        }
+        assert_eq!(q.entries.capacity(), cap, "insert below hint reallocated");
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! Tournament (segment) tree over per-machine dispatch statistics —
+//! the engine behind the **best-first pruned argmin** that replaces the
+//! schedulers' `O(m)`-per-arrival linear scan of `λ_ij`.
+//!
+//! ## The problem shape
+//!
+//! Every arrival must find `argmin_i λ_ij` over all `m` machines, with
+//! ties broken towards the **lowest machine index** (the contract the
+//! linear scan establishes and every downstream artifact depends on).
+//! Evaluating one exact `λ_ij` is expensive — an `O(log n)` aggregate
+//! query against the machine's pending queue (§2), or an `O(|U_i|)`
+//! walk of the pending vector (§3 and the weighted extension). But a
+//! *lower bound* on `λ_ij` is cheap: it needs only a few cached
+//! per-machine scalars (pending count, pending weight sum, smallest
+//! pending size) plus the arriving job's own parameters.
+//!
+//! ## The structure
+//!
+//! [`MachineIndex`] is a flat perfect binary tree (a tournament
+//! bracket) with one leaf per machine. Each leaf holds that machine's
+//! [`MachineStats`]; each internal node holds the componentwise
+//! extremes ([`NodeStats`]) over its subtree, maintained in `O(log m)`
+//! by [`MachineIndex::update`] whenever a pending queue changes.
+//!
+//! [`MachineIndex::search`] then runs a best-first branch-and-bound:
+//! nodes are popped from a min-heap ordered by `(bound, first machine
+//! index)`; leaves evaluate the exact `λ_ij` lazily; a node is pruned
+//! as soon as its bound can no longer beat the best exact value found
+//! (or can only tie it at a higher machine index). Because every
+//! pruned subtree provably contains no better-or-lower-indexed
+//! candidate, the result is **identical to the full linear scan** —
+//! the caller supplies bounds that are true lower bounds (see the
+//! callers in `osr-core::dispatch` for the floating-point-safety
+//! argument), and the search itself degrades gracefully to visiting
+//! every leaf when the bounds prune nothing.
+//!
+//! The caller-facing contract, precisely:
+//!
+//! * `node_bound(s)` must be `≤ leaf_bound(i, leaf_i)` for every leaf
+//!   `i` under a node with aggregate stats `s`;
+//! * `leaf_bound(i, s_i)` must be `≤ eval(i)` whenever `eval(i)` is
+//!   `Some`;
+//! * then `search` returns exactly
+//!   `min_{i : eval(i).is_some()} (eval(i), i)` under lexicographic
+//!   `(value, index)` order — the lowest-index argmin.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::total::TotalF64;
+
+/// Cached dispatch statistics of one machine's pending queue.
+///
+/// All three schedulers derive their `λ_ij` lower bounds from these
+/// three scalars (each scheduler uses the subset its formula needs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineStats {
+    /// Number of pending jobs `|U_i|` (sans the running job).
+    pub count: u64,
+    /// Sum of pending weights (processing times in §2, where `w = p`).
+    pub wsum: f64,
+    /// Smallest pending size, or a lower bound on it
+    /// (`f64::INFINITY` when the queue is empty). A *stale-low* value
+    /// is allowed: bounds derived from it stay valid lower bounds.
+    pub min_size: f64,
+}
+
+impl MachineStats {
+    /// Stats of an empty pending queue.
+    pub const EMPTY: MachineStats = MachineStats {
+        count: 0,
+        wsum: 0.0,
+        min_size: f64::INFINITY,
+    };
+}
+
+/// Componentwise extremes of [`MachineStats`] over a subtree.
+///
+/// `min_*` fields bound formulas that grow with the statistic;
+/// `max_wsum` exists for the §3 bound, whose prefix-weight denominator
+/// *shrinks* the bound as weight grows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStats {
+    /// Minimum pending count over the subtree.
+    pub min_count: u64,
+    /// Minimum pending weight sum over the subtree.
+    pub min_wsum: f64,
+    /// Maximum pending weight sum over the subtree.
+    pub max_wsum: f64,
+    /// Minimum `min_size` over the subtree.
+    pub min_size: f64,
+}
+
+impl NodeStats {
+    /// Identity element for [`NodeStats::combine`] (used by padding
+    /// leaves beyond `m`): neutral for every component given that real
+    /// stats have `count ≥ 0`, `wsum ≥ 0`, `min_size ≤ ∞`.
+    const IDENTITY: NodeStats = NodeStats {
+        min_count: u64::MAX,
+        min_wsum: f64::INFINITY,
+        max_wsum: 0.0,
+        min_size: f64::INFINITY,
+    };
+
+    fn leaf(s: MachineStats) -> NodeStats {
+        NodeStats {
+            min_count: s.count,
+            min_wsum: s.wsum,
+            max_wsum: s.wsum,
+            min_size: s.min_size,
+        }
+    }
+
+    fn combine(a: NodeStats, b: NodeStats) -> NodeStats {
+        NodeStats {
+            min_count: a.min_count.min(b.min_count),
+            min_wsum: a.min_wsum.min(b.min_wsum),
+            max_wsum: a.max_wsum.max(b.max_wsum),
+            min_size: a.min_size.min(b.min_size),
+        }
+    }
+}
+
+/// Heap entry of the best-first search. Min-ordered by
+/// `(bound, lo, node)` — the `lo` tiebreak makes the search reach the
+/// lowest-index machine first among equal bounds, which is what lets
+/// equal-bound subtrees to its right be pruned wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Frontier {
+    bound: TotalF64,
+    lo: u32,
+    node: u32,
+    span: u32,
+}
+
+/// Tournament tree over per-machine dispatch stats; see module docs.
+#[derive(Debug)]
+pub struct MachineIndex {
+    m: usize,
+    /// Leaf capacity: smallest power of two `≥ m`.
+    cap: usize,
+    /// Implicit tree: root at 1, children of `k` at `2k`/`2k+1`,
+    /// leaf `i` at `cap + i`.
+    nodes: Vec<NodeStats>,
+    /// Reusable frontier heap (no per-search allocation once warm).
+    heap: BinaryHeap<Reverse<Frontier>>,
+}
+
+impl MachineIndex {
+    /// Index over `m` machines, all starting with empty queues.
+    ///
+    /// # Panics
+    /// Panics when `m == 0` (instances always have a machine).
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "MachineIndex needs at least one machine");
+        let cap = m.next_power_of_two();
+        let mut nodes = vec![NodeStats::IDENTITY; 2 * cap];
+        for leaf in 0..m {
+            nodes[cap + leaf] = NodeStats::leaf(MachineStats::EMPTY);
+        }
+        for k in (1..cap).rev() {
+            nodes[k] = NodeStats::combine(nodes[2 * k], nodes[2 * k + 1]);
+        }
+        MachineIndex {
+            m,
+            cap,
+            nodes,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of machines indexed.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the index covers no machines (never true; see [`Self::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Current leaf stats of machine `i` (aggregate view).
+    pub fn stats(&self, i: usize) -> &NodeStats {
+        &self.nodes[self.cap + i]
+    }
+
+    /// Replaces machine `i`'s stats and rebuilds the `O(log m)`
+    /// ancestors. Call after every pending-queue mutation.
+    pub fn update(&mut self, i: usize, stats: MachineStats) {
+        debug_assert!(i < self.m);
+        let mut k = self.cap + i;
+        self.nodes[k] = NodeStats::leaf(stats);
+        k /= 2;
+        while k >= 1 {
+            self.nodes[k] = NodeStats::combine(self.nodes[2 * k], self.nodes[2 * k + 1]);
+            k /= 2;
+        }
+    }
+
+    /// Best-first pruned argmin; see the module docs for the bound
+    /// contract. Returns `(machine, exact value)` for the
+    /// lowest-index machine minimizing `eval`, or `None` when `eval`
+    /// returns `None` everywhere (no eligible machine).
+    pub fn search<NB, LB, EV>(
+        &mut self,
+        node_bound: NB,
+        leaf_bound: LB,
+        mut eval: EV,
+    ) -> Option<(usize, f64)>
+    where
+        NB: Fn(&NodeStats) -> f64,
+        LB: Fn(usize, &NodeStats) -> f64,
+        EV: FnMut(usize) -> Option<f64>,
+    {
+        // (value, index) under lexicographic order; `TotalF64` keeps
+        // NaN-poisoned bounds from corrupting comparisons.
+        let mut best: Option<(f64, usize)> = None;
+        let beats = |cand: f64, idx: usize, best: &Option<(f64, usize)>| -> bool {
+            match best {
+                None => true,
+                Some((bv, bi)) => match TotalF64(cand).cmp(&TotalF64(*bv)) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => idx < *bi,
+                    std::cmp::Ordering::Greater => false,
+                },
+            }
+        };
+
+        self.heap.clear();
+        self.heap.push(Reverse(Frontier {
+            bound: TotalF64(node_bound(&self.nodes[1])),
+            lo: 0,
+            node: 1,
+            span: self.cap as u32,
+        }));
+
+        while let Some(Reverse(e)) = self.heap.pop() {
+            if let Some((bv, bi)) = best {
+                // The heap is min-ordered by (bound, lo): once the head
+                // cannot beat or lower-index-tie the incumbent, nothing
+                // behind it can either.
+                let cmp = e.bound.cmp(&TotalF64(bv));
+                if cmp == std::cmp::Ordering::Greater
+                    || (cmp == std::cmp::Ordering::Equal && e.lo as usize >= bi)
+                {
+                    break;
+                }
+            }
+            if e.node as usize >= self.cap {
+                let idx = e.node as usize - self.cap;
+                if idx >= self.m {
+                    continue; // padding leaf
+                }
+                let lb = leaf_bound(idx, &self.nodes[e.node as usize]);
+                if !beats(lb, idx, &best) {
+                    continue;
+                }
+                if let Some(val) = eval(idx) {
+                    if beats(val, idx, &best) {
+                        best = Some((val, idx));
+                    }
+                }
+            } else {
+                let half = e.span / 2;
+                for (child, lo) in [(2 * e.node, e.lo), (2 * e.node + 1, e.lo + half)] {
+                    let b = node_bound(&self.nodes[child as usize]);
+                    if beats(b, lo as usize, &best) {
+                        self.heap.push(Reverse(Frontier {
+                            bound: TotalF64(b),
+                            lo,
+                            node: child,
+                            span: half,
+                        }));
+                    }
+                }
+            }
+        }
+        best.map(|(v, i)| (i, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy(count: u64, wsum: f64, min: f64) -> MachineStats {
+        MachineStats {
+            count,
+            wsum,
+            min_size: min,
+        }
+    }
+
+    /// Exhaustive reference: lowest-index argmin over eval.
+    fn linear_argmin(values: &[Option<f64>]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                if best.is_none_or(|(_, bv)| *v < bv) {
+                    best = Some((i, *v));
+                }
+            }
+        }
+        best
+    }
+
+    /// Searches with bounds equal to the exact values (tightest legal).
+    fn search_exact(ix: &mut MachineIndex, values: &[Option<f64>]) -> Option<(usize, f64)> {
+        // Node bound: no per-leaf info, so use the global min value —
+        // a legal (if clairvoyant) lower bound.
+        let global = values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        ix.search(
+            |_| global,
+            |i, _| values[i].unwrap_or(f64::INFINITY),
+            |i| values[i],
+        )
+    }
+
+    #[test]
+    fn aggregates_maintained_bottom_up() {
+        let mut ix = MachineIndex::new(5);
+        ix.update(2, busy(3, 7.5, 1.25));
+        ix.update(4, busy(1, 2.0, 2.0));
+        assert_eq!(ix.stats(2).min_count, 3);
+        assert_eq!(ix.nodes[1].min_count, 0); // machines 0,1,3 empty
+        assert_eq!(ix.nodes[1].max_wsum, 7.5);
+        assert_eq!(ix.nodes[1].min_size, 1.25);
+        ix.update(2, MachineStats::EMPTY);
+        assert_eq!(ix.nodes[1].max_wsum, 2.0);
+        assert_eq!(ix.nodes[1].min_size, 2.0);
+    }
+
+    #[test]
+    fn search_finds_lowest_index_argmin_on_ties() {
+        for m in [1usize, 2, 3, 7, 8, 9, 30] {
+            let mut ix = MachineIndex::new(m);
+            // All machines tie at 5.0 → index 0 must win.
+            let values: Vec<Option<f64>> = vec![Some(5.0); m];
+            assert_eq!(search_exact(&mut ix, &values), Some((0, 5.0)));
+            // A strict winner beats an earlier tie.
+            if m >= 3 {
+                let mut v = vec![Some(5.0); m];
+                v[m - 1] = Some(4.0);
+                assert_eq!(search_exact(&mut ix, &v), Some((m - 1, 4.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn search_skips_ineligible_and_handles_none() {
+        let mut ix = MachineIndex::new(4);
+        let values = vec![None, Some(9.0), None, Some(9.0)];
+        assert_eq!(search_exact(&mut ix, &values), Some((1, 9.0)));
+        let none: Vec<Option<f64>> = vec![None; 4];
+        assert_eq!(search_exact(&mut ix, &none), None);
+    }
+
+    #[test]
+    fn loose_bounds_never_change_the_answer() {
+        // Deterministic pseudo-random cross-check: arbitrary stats,
+        // arbitrary values, bounds that understate by varying slack.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let m = 1 + (next() % 33) as usize;
+            let values: Vec<Option<f64>> = (0..m)
+                .map(|_| {
+                    if next() % 5 == 0 {
+                        None
+                    } else {
+                        Some((next() % 1000) as f64 / 10.0)
+                    }
+                })
+                .collect();
+            let slack = (next() % 50) as f64 / 10.0;
+            let mut ix = MachineIndex::new(m);
+            let expected = linear_argmin(&values);
+            let got = ix.search(
+                |_| 0.0,
+                |i, _| values[i].map_or(f64::INFINITY, |v| (v - slack).max(0.0)),
+                |i| values[i],
+            );
+            assert_eq!(got, expected, "trial {trial} m {m} slack {slack}");
+        }
+    }
+
+    #[test]
+    fn pruning_skips_exact_evaluations() {
+        // One cheap machine among many expensive ones: with tight
+        // bounds, the search must not evaluate every leaf.
+        let m = 64;
+        let mut ix = MachineIndex::new(m);
+        for i in 0..m {
+            ix.update(
+                i,
+                if i == 5 {
+                    MachineStats::EMPTY
+                } else {
+                    busy(10, 100.0, 10.0)
+                },
+            );
+        }
+        let mut evals = 0usize;
+        let got = ix.search(
+            // Bound from stats: empty queues promise 1.0, busy ones 50.0.
+            |s| if s.min_count == 0 { 1.0 } else { 50.0 },
+            |_, s| if s.min_count == 0 { 1.0 } else { 50.0 },
+            |i| {
+                evals += 1;
+                Some(if i == 5 { 1.0 } else { 50.0 })
+            },
+        );
+        assert_eq!(got, Some((5, 1.0)));
+        assert!(evals < m / 2, "pruning ineffective: {evals} evals");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        let _ = MachineIndex::new(0);
+    }
+}

@@ -103,9 +103,17 @@ impl Instance {
     }
 
     /// Sum over jobs of the smallest size `Σ_j min_i p_ij` — a trivial
-    /// lower bound on total flow-time (§2 workloads).
+    /// lower bound on total flow-time (§2 workloads). Jobs eligible on
+    /// no machine contribute nothing: they cannot be served by any
+    /// schedule (every scheduler rejects them at arrival for zero
+    /// flow), so summing their infinite `min_size` would poison the
+    /// bound.
     pub fn total_min_size(&self) -> f64 {
-        self.jobs.iter().map(|j| j.min_size()).sum()
+        self.jobs
+            .iter()
+            .map(|j| j.min_size())
+            .filter(|p| p.is_finite())
+            .sum()
     }
 
     /// Ratio `Δ` of the largest to the smallest finite size in the

@@ -165,7 +165,8 @@ pub fn fmt_f64(x: f64) -> String {
 ///
 /// `kind` is `c` (completed: machine/start/end/speed filled) or `r`
 /// (rejected: `end` holds the rejection time, `reason` one of
-/// `rule-1|rule-2|immediate|other`, `p_*` the partial run or `-`).
+/// `rule-1|rule-2|immediate|ineligible|other`, `p_*` the partial run
+/// or `-`).
 pub fn write_log<W: Write>(w: &mut W, log: &crate::log::FinishedLog) -> Result<(), ModelError> {
     use crate::log::JobFate;
     writeln!(w, "# osr-log v1 m={} n={}", log.machines(), log.len())?;
@@ -283,6 +284,7 @@ pub fn read_log<R: BufRead>(r: R) -> Result<crate::log::FinishedLog, ModelError>
                     "rule-1" => RejectReason::RuleOne,
                     "rule-2" => RejectReason::RuleTwo,
                     "immediate" => RejectReason::Immediate,
+                    "ineligible" => RejectReason::Ineligible,
                     "other" => RejectReason::Other,
                     other => {
                         return Err(ModelError::Parse {

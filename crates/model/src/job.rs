@@ -52,7 +52,11 @@ impl std::fmt::Display for MachineId {
 ///   `sizes[i] / s` time units.
 ///
 /// A size of `f64::INFINITY` encodes "job cannot run on this machine"
-/// (restricted-assignment workloads); at least one machine must be finite.
+/// (restricted-assignment workloads). A job may be infinite on *every*
+/// machine — such a job is representable input (it can arrive over the
+/// wire in a trace) and schedulers reject it at arrival with
+/// [`crate::RejectReason::Ineligible`] rather than refusing the whole
+/// instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Dense id; equals the job's index in its instance.
@@ -142,8 +146,14 @@ impl Job {
     }
 
     /// Structural validity for `m` machines: finite non-negative release,
-    /// positive weight, at least one finite positive size, correct arity,
+    /// positive weight, sizes positive-or-infinite with correct arity,
     /// deadline after release when present.
+    ///
+    /// A job that is ineligible **everywhere** (all sizes infinite) is
+    /// structurally valid — schedulers reject it at arrival with
+    /// [`crate::RejectReason::Ineligible`] instead of the instance
+    /// being unrepresentable (which used to abort whole runs arriving
+    /// at the dispatch argmin with no candidate).
     pub fn validate(&self, machines: usize) -> Result<(), String> {
         if !valid_magnitude(self.release) {
             return Err(format!("{}: invalid release {}", self.id, self.release));
@@ -159,20 +169,13 @@ impl Job {
                 machines
             ));
         }
-        let mut any_finite = false;
         for (i, &p) in self.sizes.iter().enumerate() {
             if p.is_nan() || p < 0.0 {
                 return Err(format!("{}: invalid size {} on m{}", self.id, p, i));
             }
-            if p.is_finite() {
-                if p <= 0.0 {
-                    return Err(format!("{}: non-positive size on m{}", self.id, i));
-                }
-                any_finite = true;
+            if p.is_finite() && p <= 0.0 {
+                return Err(format!("{}: non-positive size on m{}", self.id, i));
             }
-        }
-        if !any_finite {
-            return Err(format!("{}: not eligible on any machine", self.id));
         }
         if let Some(d) = self.deadline {
             if !d.is_finite() || d <= self.release {
@@ -215,6 +218,16 @@ mod tests {
     }
 
     #[test]
+    fn everywhere_ineligible_job_is_representable() {
+        // Schedulers must be able to *see* such a job to reject it with
+        // RejectReason::Ineligible (instead of the instance being
+        // unconstructible and the dispatch argmin panicking).
+        let j = Job::new(0, 0.0, vec![f64::INFINITY]);
+        assert!(j.validate(1).is_ok());
+        assert!(!j.eligible_on(MachineId(0)));
+    }
+
+    #[test]
     fn density_uses_weight() {
         let j = Job::weighted(0, 0.0, 3.0, vec![6.0]);
         assert_eq!(j.density_on(MachineId(0)), 0.5);
@@ -224,7 +237,6 @@ mod tests {
     fn validation_rejects_bad_jobs() {
         assert!(Job::new(0, -1.0, vec![1.0]).validate(1).is_err());
         assert!(Job::new(0, 0.0, vec![-1.0]).validate(1).is_err());
-        assert!(Job::new(0, 0.0, vec![f64::INFINITY]).validate(1).is_err());
         assert!(Job::new(0, 0.0, vec![1.0, 1.0]).validate(1).is_err());
         assert!(Job::weighted(0, 0.0, 0.0, vec![1.0]).validate(1).is_err());
         assert!(Job::with_deadline(0, 5.0, 5.0, vec![1.0])

@@ -20,6 +20,10 @@ pub enum RejectReason {
     /// A baseline policy rejected the job immediately upon arrival
     /// (the policies ruled out by Lemma 1).
     Immediate,
+    /// The job is eligible on no machine (`p_ij = ∞` everywhere) — no
+    /// scheduler can serve it; it is dropped at arrival rather than
+    /// aborting the run. Counts against no rule's budget.
+    Ineligible,
     /// Any other baseline-specific reason.
     Other,
 }
@@ -30,6 +34,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::RuleOne => write!(f, "rule-1"),
             RejectReason::RuleTwo => write!(f, "rule-2"),
             RejectReason::Immediate => write!(f, "immediate"),
+            RejectReason::Ineligible => write!(f, "ineligible"),
             RejectReason::Other => write!(f, "other"),
         }
     }

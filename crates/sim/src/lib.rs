@@ -41,7 +41,7 @@ pub mod validate;
 
 pub use event::{EventBackend, EventQueue};
 pub use gantt::render_gantt;
-pub use scheduler::{run_validated, OnlineScheduler, SimError};
+pub use scheduler::{reject_ineligible, run_validated, OnlineScheduler, SimError};
 pub use stats::{MachineUtilization, SummaryStats};
 pub use trace::{DecisionEvent, DecisionTrace};
 pub use validate::{validate_log, ValidationConfig, ValidationError, ValidationReport};

@@ -1,8 +1,37 @@
-//! The scheduler trait and the validated execution helper.
+//! The scheduler trait, the validated execution helper, and the shared
+//! ineligible-job rejection used by every dispatch argmin.
 
-use osr_model::{FinishedLog, Instance, Metrics};
+use osr_model::{
+    FinishedLog, Instance, JobId, MachineId, Metrics, RejectReason, Rejection, ScheduleLog,
+};
 
+use crate::trace::{DecisionEvent, DecisionTrace};
 use crate::validate::{validate_log, ValidationConfig, ValidationError};
+
+/// Records the standard outcome for a job that is eligible on **no**
+/// machine (`p_ij = ∞` everywhere): rejected at its arrival instant
+/// with [`RejectReason::Ineligible`], no partial run, zero counter. The
+/// trace event uses machine 0 as the conventional "no machine"
+/// sentinel, matching the immediate-rejection baselines. Every
+/// scheduler and baseline funnels its empty-argmin case through here so
+/// the bookkeeping cannot drift between implementations.
+pub fn reject_ineligible(log: &mut ScheduleLog, trace: &mut DecisionTrace, job: JobId, t: f64) {
+    log.reject(
+        job,
+        Rejection {
+            time: t,
+            reason: RejectReason::Ineligible,
+            partial: None,
+        },
+    );
+    trace.push(DecisionEvent::Reject {
+        time: t,
+        job,
+        machine: MachineId(0),
+        reason: RejectReason::Ineligible,
+        counter: 0.0,
+    });
+}
 
 /// Errors surfaced by [`run_validated`].
 #[derive(Debug, Clone)]

@@ -54,10 +54,8 @@ fn main() {
     // Ablation: what does the rejection rule buy?
     let with = EnergyFlowScheduler::new(EnergyFlowParams::new(0.25, alpha)).unwrap();
     let without = EnergyFlowScheduler::new(EnergyFlowParams {
-        eps: 0.25,
-        alpha,
-        gamma: None,
         reject: false,
+        ..EnergyFlowParams::new(0.25, alpha)
     })
     .unwrap();
     let obj_with =

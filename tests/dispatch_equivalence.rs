@@ -1,0 +1,139 @@
+//! Pruned-vs-linear dispatch equivalence: the tournament-index argmin
+//! (`DispatchIndex::Pruned`) must be **bit-identical** to the linear
+//! scan on arbitrary instances — machine choices, λ values, schedules,
+//! and dual variables — with the lowest-index tie-break locked.
+//!
+//! The generated instances are deliberately **tie-heavy**: machine
+//! counts at or above `PRUNED_MIN_MACHINES` (so the index actually
+//! engages), sizes drawn from a tiny value set, and a biased coin that
+//! makes whole jobs identical across machines — the regime where an
+//! argmin with a sloppy tie-break would diverge immediately.
+
+use online_sched_rejection::prelude::*;
+use osr_core::{DispatchIndex, PRUNED_MIN_MACHINES};
+use proptest::prelude::*;
+
+/// A tie-heavy flow-time instance: m ≥ PRUNED_MIN_MACHINES machines,
+/// sizes from {1, 2, 3} (half the jobs identical on every machine).
+fn tie_heavy_instance() -> impl Strategy<Value = Instance> {
+    (8usize..=24, 20usize..=160, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut b = InstanceBuilder::new(m, InstanceKind::FlowTime);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += (next() % 3) as f64 / 2.0; // frequent identical releases
+            let base = 1.0 + (next() % 3) as f64;
+            let identical = next() % 2 == 0;
+            let sizes: Vec<f64> = (0..m)
+                .map(|_| {
+                    if identical {
+                        base
+                    } else if next() % 7 == 0 {
+                        f64::INFINITY // restricted assignment
+                    } else {
+                        1.0 + (next() % 3) as f64
+                    }
+                })
+                .collect();
+            // Guarantee at least one finite machine per job.
+            let mut sizes = sizes;
+            if sizes.iter().all(|p| !p.is_finite()) {
+                sizes[0] = base;
+            }
+            b = b.job(t, sizes);
+        }
+        b.build().unwrap()
+    })
+}
+
+fn flow_with(inst: &Instance, eps: f64, dispatch: DispatchIndex) -> osr_core::FlowOutcome {
+    let mut params = osr_core::FlowParams::new(eps);
+    params.dispatch = dispatch;
+    osr_core::FlowScheduler::new(params).unwrap().run(inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pruned_argmin_is_bit_identical_to_linear(
+        inst in tie_heavy_instance(),
+        eps in 0.1f64..1.0,
+    ) {
+        let a = flow_with(&inst, eps, DispatchIndex::Pruned);
+        let b = flow_with(&inst, eps, DispatchIndex::Linear);
+        // Same machine choice and λ for every job (machine_of pins the
+        // argmin index; lambda pins the value), hence the same schedule
+        // and dual solution, bit for bit.
+        prop_assert_eq!(&a.dual.machine_of, &b.dual.machine_of);
+        prop_assert_eq!(&a.dual.lambda, &b.dual.lambda);
+        prop_assert_eq!(&a.dual.c_tilde, &b.dual.c_tilde);
+        prop_assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn weighted_and_energy_schedulers_agree_too(
+        m in 8usize..=16,
+        n in 10usize..=80,
+        seed in any::<u64>(),
+        eps in 0.1f64..1.0,
+    ) {
+        let mut w = FlowWorkload::standard(n, m, seed);
+        w.weights = osr_workload::WeightModel::Uniform { lo: 0.5, hi: 8.0 };
+        let inst = w.generate(InstanceKind::FlowEnergy);
+
+        let mut wp = osr_core::flowtime::WeightedFlowParams::new(eps);
+        wp.dispatch = DispatchIndex::Pruned;
+        let mut wl = osr_core::flowtime::WeightedFlowParams::new(eps);
+        wl.dispatch = DispatchIndex::Linear;
+        let a = osr_core::flowtime::WeightedFlowScheduler::new(wp).unwrap().run(&inst);
+        let b = osr_core::flowtime::WeightedFlowScheduler::new(wl).unwrap().run(&inst);
+        prop_assert_eq!(a.log, b.log);
+
+        let mut ep = osr_core::EnergyFlowParams::new(eps, 2.2);
+        ep.dispatch = DispatchIndex::Pruned;
+        let mut el = osr_core::EnergyFlowParams::new(eps, 2.2);
+        el.dispatch = DispatchIndex::Linear;
+        let a = osr_core::EnergyFlowScheduler::new(ep).unwrap().run(&inst);
+        let b = osr_core::EnergyFlowScheduler::new(el).unwrap().run(&inst);
+        prop_assert_eq!(a.log, b.log);
+        prop_assert_eq!(a.sum_lambda(), b.sum_lambda());
+    }
+}
+
+/// The tie-break contract, pinned as a plain unit test: with every
+/// machine idle and the job identical everywhere, all `λ_ij` tie
+/// exactly and the dispatch must pick machine 0 — then, as machine 0's
+/// queue grows, the argmin must move to machine 1, never to an
+/// arbitrary equal-λ machine.
+#[test]
+fn lowest_index_tie_break_is_locked() {
+    let m = PRUNED_MIN_MACHINES; // smallest m where the index engages
+    let mut b = InstanceBuilder::new(m, InstanceKind::FlowTime);
+    // A burst of identical jobs at t = 0.
+    for _ in 0..4 {
+        b = b.job(0.0, vec![5.0; PRUNED_MIN_MACHINES]);
+    }
+    let inst = b.build().unwrap();
+    for dispatch in [DispatchIndex::Pruned, DispatchIndex::Linear] {
+        let mut params = osr_core::FlowParams::with_rules(0.5, false, false);
+        params.dispatch = dispatch;
+        let out = osr_core::FlowScheduler::new(params).unwrap().run(&inst);
+        // j0 ties everywhere → machine 0; it starts immediately, so j1
+        // ties everywhere again (pending queues all empty) → machine 0;
+        // j2 then sees one pending job on machine 0 (λ strictly larger
+        // there) → machine 1; j3 likewise → machine 1 busy+pending …
+        let mi: Vec<u32> = (0..4).map(|k| out.dual.machine_of[k as usize]).collect();
+        assert_eq!(mi[0], 0, "{dispatch:?}");
+        assert_eq!(mi[1], 0, "{dispatch:?}");
+        assert_eq!(mi[2], 1, "{dispatch:?}");
+        let rep = validate_log(&inst, &out.log, &ValidationConfig::flow_time());
+        assert!(rep.is_valid());
+    }
+}
