@@ -13,14 +13,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_dstruct::{AggTreap, BoxedAggTreap, NaiveAggQueue};
 use osr_model::InstanceKind;
-use osr_workload::{ArrivalModel, FlowWorkload, MachineModel};
+use osr_workload::{ArrivalSpec, FlowWorkload, MachineSpec};
 
 fn backend_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue_backend_end_to_end");
     for &n in &[2_000usize, 10_000] {
         // Single machine + all-at-once arrivals = maximal queue length.
         let mut w = FlowWorkload::standard(n, 1, 7);
-        w.arrivals = ArrivalModel::Batch {
+        w.arrivals = ArrivalSpec::Batch {
             per_batch: n / 4,
             gap: 5.0,
         };
@@ -56,7 +56,7 @@ fn dispatch_m_sweep(c: &mut Criterion) {
         (16_384, 2_048),
     ] {
         let mut w = FlowWorkload::standard(n, m, 42);
-        w.machine_model = MachineModel::Identical;
+        w.machine_model = MachineSpec::Identical;
         let inst = w.generate(InstanceKind::FlowTime);
         for dispatch in [DispatchIndex::Pruned, DispatchIndex::Linear] {
             if dispatch == DispatchIndex::Linear && m > 1_024 {
@@ -138,6 +138,43 @@ fn raw_structures(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 3 p̂ ablation: per-arrival `O(m)` rescan of `job.sizes`
+/// (what every scheduler did before the precompute) vs the cached
+/// `Job::p_hat()` lookup, over a whole instance's arrivals. The cached
+/// path is what the dispatch hot loop now executes per arrival.
+fn p_hat_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p_hat_precompute");
+    for &(m, n) in &[(64usize, 2_000usize), (1_024, 2_000), (16_384, 512)] {
+        let inst = FlowWorkload::standard(n, m, 42).generate(InstanceKind::FlowTime);
+        group.bench_with_input(
+            BenchmarkId::new(format!("scan_m{m}"), n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    inst.jobs()
+                        .iter()
+                        .map(|j| {
+                            j.sizes
+                                .iter()
+                                .copied()
+                                .filter(|p| p.is_finite())
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .sum::<f64>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("cached_m{m}"), n),
+            &inst,
+            |b, inst| {
+                b.iter(|| inst.jobs().iter().map(|j| j.p_hat()).sum::<f64>());
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Steady-state churn: a warm queue of fixed size absorbing
 /// pop-first + insert pairs — the free-list reuse path the dispatch
 /// loop actually exercises.
@@ -203,6 +240,6 @@ fn bulk_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, dispatch_m_sweep, raw_structures, steady_state_churn, bulk_build
+    targets = backend_ablation, dispatch_m_sweep, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

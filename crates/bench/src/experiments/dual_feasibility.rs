@@ -5,7 +5,7 @@
 use osr_core::energyflow::{check_energyflow_dual, EnergyFlowParams, EnergyFlowScheduler};
 use osr_core::flowtime::{check_dual_feasibility, FlowScheduler};
 use osr_model::InstanceKind;
-use osr_workload::{FlowWorkload, WeightModel};
+use osr_workload::{FlowWorkload, WeightSpec};
 
 use super::par_replicates;
 use crate::table::{fmt_g4, Table};
@@ -81,7 +81,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     }
     for row in par_replicates(cells, |(eps, alpha, seed)| {
         let mut w = FlowWorkload::standard(n.min(150), 2, 50 + seed);
-        w.weights = WeightModel::Uniform { lo: 1.0, hi: 6.0 };
+        w.weights = WeightSpec::Uniform { lo: 1.0, hi: 6.0 };
         let inst = w.generate(InstanceKind::FlowEnergy);
         let out = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha))
             .unwrap()

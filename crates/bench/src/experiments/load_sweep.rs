@@ -13,7 +13,7 @@ use osr_core::flowtime::WeightedFlowScheduler;
 use osr_core::FlowScheduler;
 use osr_model::InstanceKind;
 use osr_sim::{SummaryStats, ValidationConfig};
-use osr_workload::{ArrivalModel, FlowWorkload, SizeModel};
+use osr_workload::{ArrivalSpec, FlowWorkload, SizeSpec};
 
 use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
@@ -52,8 +52,8 @@ pub fn run(quick: bool) -> Vec<Table> {
     for row in par_replicates(rhos.to_vec(), |rho| {
         let rate = rho * machines as f64 / mean_size;
         let mut w = FlowWorkload::standard(n, machines, 12345);
-        w.arrivals = ArrivalModel::Poisson { rate };
-        w.sizes = SizeModel::Uniform { lo: 1.0, hi: 5.0 };
+        w.arrivals = ArrivalSpec::Poisson { rate };
+        w.sizes = SizeSpec::Uniform { lo: 1.0, hi: 5.0 };
         let inst = w.generate(InstanceKind::FlowTime);
 
         let out = FlowScheduler::with_eps(eps).unwrap().run(&inst);

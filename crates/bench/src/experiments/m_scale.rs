@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use osr_core::{DispatchIndex, FlowParams, FlowScheduler};
 use osr_model::{FinishedLog, InstanceKind};
-use osr_workload::{FlowWorkload, MachineModel};
+use osr_workload::{FlowWorkload, MachineSpec};
 
 use crate::table::{fmt_g4, Table};
 
@@ -64,7 +64,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     for &(m, n) in sweeps {
         let mut w = FlowWorkload::standard(n, m, 4242);
-        w.machine_model = MachineModel::Identical;
+        w.machine_model = MachineSpec::Identical;
         let inst = w.generate(InstanceKind::FlowTime);
 
         let (log_p, lam_p, dt_p) = run_with(&inst, DispatchIndex::Pruned);

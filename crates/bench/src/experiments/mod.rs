@@ -8,7 +8,7 @@
 //!
 //! Each experiment's replicate work — the cross product of seeds ×
 //! instances × policies that fills one table — fans out over the rayon
-//! pool via [`par_replicates`]. The determinism contract:
+//! pool via `par_replicates` (crate-private). The determinism contract:
 //!
 //! 1. every replicate derives its RNG stream from its **own explicit
 //!    seed** (never from shared mutable state or thread identity), and
@@ -35,6 +35,7 @@ pub mod t1_exact;
 pub mod t1_ratio;
 pub mod t2_ratio;
 pub mod t3_ratio;
+pub mod workload_sweep;
 
 use osr_model::{FinishedLog, Instance, Metrics};
 use osr_sim::{validate_log, ValidationConfig};

@@ -12,7 +12,7 @@ use osr_core::{FlowParams, FlowScheduler};
 use osr_model::{Instance, InstanceKind};
 use osr_sim::ValidationConfig;
 use osr_workload::adversarial::long_job_trap;
-use osr_workload::{ArrivalModel, FlowWorkload, SizeModel};
+use osr_workload::{ArrivalSpec, FlowWorkload, SizeSpec};
 
 use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
@@ -22,7 +22,7 @@ fn workloads(quick: bool) -> Vec<(String, Instance)> {
     let mut out = Vec::new();
     // Rule-1 bait: rare huge jobs + steady small traffic.
     let mut heavy = FlowWorkload::standard(n, 2, 31);
-    heavy.sizes = SizeModel::Bimodal {
+    heavy.sizes = SizeSpec::Bimodal {
         short: 1.0,
         long: 150.0,
         p_long: 0.04,
@@ -31,12 +31,12 @@ fn workloads(quick: bool) -> Vec<(String, Instance)> {
     // Rule-2 bait: overload bursts where the queue itself is the
     // problem.
     let mut burst = FlowWorkload::standard(n, 2, 32);
-    burst.arrivals = ArrivalModel::Bursty {
+    burst.arrivals = ArrivalSpec::Bursty {
         burst: 60,
         within: 0.01,
         gap: 20.0,
     };
-    burst.sizes = SizeModel::Uniform { lo: 1.0, hi: 12.0 };
+    burst.sizes = SizeSpec::Uniform { lo: 1.0, hi: 12.0 };
     out.push((
         "overload-burst".into(),
         burst.generate(InstanceKind::FlowTime),

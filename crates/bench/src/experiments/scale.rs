@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use osr_core::{FlowParams, FlowScheduler, QueueBackend};
 use osr_model::InstanceKind;
-use osr_workload::{ArrivalModel, FlowWorkload};
+use osr_workload::{ArrivalSpec, FlowWorkload};
 
 use crate::table::{fmt_g4, Table};
 
@@ -60,7 +60,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
     for &n in ab_sizes {
         let mut w = FlowWorkload::standard(n, 1, 7);
-        w.arrivals = ArrivalModel::Batch {
+        w.arrivals = ArrivalSpec::Batch {
             per_batch: n / 4,
             gap: 5.0,
         };

@@ -11,7 +11,7 @@ use osr_core::FlowScheduler;
 use osr_model::{Instance, InstanceKind, Metrics};
 use osr_sim::ValidationConfig;
 use osr_workload::adversarial::long_job_trap;
-use osr_workload::{ArrivalModel, FlowWorkload, SizeModel};
+use osr_workload::{ArrivalSpec, FlowWorkload, SizeSpec};
 
 use super::{must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
@@ -24,7 +24,7 @@ fn workloads(quick: bool) -> Vec<(String, Instance)> {
         FlowWorkload::standard(n, 4, 11).generate(InstanceKind::FlowTime),
     ));
     let mut bursty = FlowWorkload::standard(n, 4, 12);
-    bursty.arrivals = ArrivalModel::Bursty {
+    bursty.arrivals = ArrivalSpec::Bursty {
         burst: 40,
         within: 0.01,
         gap: 30.0,
@@ -34,7 +34,7 @@ fn workloads(quick: bool) -> Vec<(String, Instance)> {
         bursty.generate(InstanceKind::FlowTime),
     ));
     let mut bimodal = FlowWorkload::standard(n, 2, 13);
-    bimodal.sizes = SizeModel::Bimodal {
+    bimodal.sizes = SizeSpec::Bimodal {
         short: 1.0,
         long: 120.0,
         p_long: 0.05,

@@ -10,7 +10,7 @@ use osr_core::bounds::flowtime_competitive_bound;
 use osr_core::FlowScheduler;
 use osr_model::InstanceKind;
 use osr_sim::ValidationConfig;
-use osr_workload::{FlowWorkload, SizeModel};
+use osr_workload::{FlowWorkload, SizeSpec};
 
 use super::{max, mean, must_validate, par_replicates};
 use crate::table::{fmt_g4, Table};
@@ -55,7 +55,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             // most from `--jobs`.
             let results: Vec<(f64, f64)> = par_replicates(seeds.clone(), |seed| {
                 let mut w = FlowWorkload::standard(n, m, 1000 + seed);
-                w.sizes = SizeModel::Uniform { lo: 1.0, hi: 10.0 };
+                w.sizes = SizeSpec::Uniform { lo: 1.0, hi: 10.0 };
                 let inst = w.generate(InstanceKind::FlowTime);
                 let opt = optimal_flow(&inst);
                 let out = FlowScheduler::with_eps(eps).unwrap().run(&inst);

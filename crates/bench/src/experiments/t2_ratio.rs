@@ -7,7 +7,7 @@ use osr_core::bounds::energyflow_competitive_bound;
 use osr_core::energyflow::{EnergyFlowParams, EnergyFlowScheduler};
 use osr_model::{InstanceKind, Metrics};
 use osr_sim::{validate_log, ValidationConfig};
-use osr_workload::{FlowWorkload, SizeModel, WeightModel};
+use osr_workload::{FlowWorkload, SizeSpec, WeightSpec};
 
 use super::{max, mean, par_replicates};
 use crate::table::{fmt_g4, Table};
@@ -54,7 +54,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             // Seeds fan out; each replicate is self-seeded.
             let results: Vec<(f64, f64)> = par_replicates(seeds.clone(), |seed| {
                 let mut w = FlowWorkload::standard(n, 3, 100 + seed);
-                w.weights = WeightModel::Uniform { lo: 1.0, hi: 8.0 };
+                w.weights = WeightSpec::Uniform { lo: 1.0, hi: 8.0 };
                 let inst = w.generate(InstanceKind::FlowEnergy);
                 let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(eps, alpha)).unwrap();
                 let out = sched.run(&inst);
@@ -84,8 +84,8 @@ pub fn run(quick: bool) -> Vec<Table> {
 
         // Baseline comparison at eps = 0.2 on a stressful workload.
         let mut w = FlowWorkload::standard(n, 2, 777);
-        w.weights = WeightModel::Uniform { lo: 1.0, hi: 8.0 };
-        w.sizes = SizeModel::Bimodal {
+        w.weights = WeightSpec::Uniform { lo: 1.0, hi: 8.0 };
+        w.sizes = SizeSpec::Bimodal {
             short: 1.0,
             long: 80.0,
             p_long: 0.08,

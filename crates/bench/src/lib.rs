@@ -113,5 +113,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Dispatch-index ablation across machine counts (pruned vs linear)",
             experiments::m_scale::run,
         ),
+        (
+            "workload_sweep",
+            "Scenario grid (arrivals x sizes x machines) across the full policy lineup",
+            experiments::workload_sweep::run,
+        ),
     ]
 }

@@ -16,7 +16,7 @@ use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_model::{io, FinishedLog, Instance, InstanceKind, Metrics};
 use osr_sim::{render_gantt, validate_log, EventBackend, OnlineScheduler, ValidationConfig};
 use osr_workload::{
-    ArrivalModel, EnergyWorkload, FlowWorkload, MachineModel, SizeModel, TraceImport, WeightModel,
+    ArrivalSpec, EnergyWorkload, FlowWorkload, MachineSpec, SizeSpec, TraceImport, WeightSpec,
 };
 
 use crate::args::{split_spec, Args};
@@ -28,9 +28,11 @@ osr — online non-preemptive scheduling with rejections (SPAA'18)
 USAGE:
   osr gen      --kind flowtime|flowenergy|energy --n N --machines M [--seed S]
                [--from-trace FILE]   (import `release size [weight [deadline]]` rows)
-               [--arrivals poisson:RATE|bursty:B:W:G|batch:P:G|once]
+               [--scenario NAME]     (named grid point `<arrivals>-<sizes>-<machines>`,
+                                      e.g. mmpp-pareto-affinity; axes below override it)
+               [--arrivals poisson:RATE|bursty:B:W:G|mmpp:ON:BURST:OFF|batch:P:G|once]
                [--sizes uniform:LO:HI|pareto:SHAPE:LO:HI|exp:MEAN|bimodal:S:L:P]
-               [--machine-model identical|related:F|unrelated:LO:HI|restricted:K]
+               [--machine-model identical|related:F|unrelated:LO:HI|restricted:K|affinity:G:P]
                [--weights unit|uniform:LO:HI] [--slack LO:HI] [--out FILE]
   osr run      --algo SPEC --input FILE [--log FILE] [--gantt] [--alpha A]
                [--queue-backend treap|naive]      (flow only: pending-queue structure)
@@ -66,35 +68,53 @@ fn parse_kind(s: &str) -> Result<InstanceKind, String> {
     }
 }
 
-fn parse_arrivals(spec: &str) -> Result<ArrivalModel, String> {
+fn parse_arrivals(spec: &str) -> Result<ArrivalSpec, String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
-        ("poisson", [rate]) => Ok(ArrivalModel::Poisson { rate: *rate }),
-        ("bursty", [b, w, g]) => Ok(ArrivalModel::Bursty {
+        ("poisson", [rate]) => Ok(ArrivalSpec::Poisson { rate: *rate }),
+        ("bursty", [b, w, g]) => Ok(ArrivalSpec::Bursty {
             burst: *b as usize,
             within: *w,
             gap: *g,
         }),
-        ("batch", [p, g]) => Ok(ArrivalModel::Batch {
+        ("mmpp", [on, burst, off]) => {
+            // Validated here so bad values surface through the error
+            // path (exit 1), never the generator's asserts.
+            if !(*on > 0.0 && on.is_finite()) {
+                return Err(format!("mmpp on-rate must be positive, got {on}"));
+            }
+            if !(*burst >= 1.0 && burst.is_finite()) {
+                return Err(format!("mmpp burst mean must be >= 1, got {burst}"));
+            }
+            if !(*off >= 0.0 && off.is_finite()) {
+                return Err(format!("mmpp off mean must be non-negative, got {off}"));
+            }
+            Ok(ArrivalSpec::Mmpp {
+                on_rate: *on,
+                burst_mean: *burst,
+                off_mean: *off,
+            })
+        }
+        ("batch", [p, g]) => Ok(ArrivalSpec::Batch {
             per_batch: *p as usize,
             gap: *g,
         }),
-        ("once", []) => Ok(ArrivalModel::AllAtOnce),
+        ("once", []) => Ok(ArrivalSpec::AllAtOnce),
         _ => Err(format!("bad arrivals spec `{spec}`")),
     }
 }
 
-fn parse_sizes(spec: &str) -> Result<SizeModel, String> {
+fn parse_sizes(spec: &str) -> Result<SizeSpec, String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
-        ("uniform", [lo, hi]) => Ok(SizeModel::Uniform { lo: *lo, hi: *hi }),
-        ("pareto", [shape, lo, hi]) => Ok(SizeModel::BoundedPareto {
+        ("uniform", [lo, hi]) => Ok(SizeSpec::Uniform { lo: *lo, hi: *hi }),
+        ("pareto", [shape, lo, hi]) => Ok(SizeSpec::BoundedPareto {
             shape: *shape,
             lo: *lo,
             hi: *hi,
         }),
-        ("exp", [mean]) => Ok(SizeModel::Exponential { mean: *mean }),
-        ("bimodal", [s, l, p]) => Ok(SizeModel::Bimodal {
+        ("exp", [mean]) => Ok(SizeSpec::Exponential { mean: *mean }),
+        ("bimodal", [s, l, p]) => Ok(SizeSpec::Bimodal {
             short: *s,
             long: *l,
             p_long: *p,
@@ -103,25 +123,39 @@ fn parse_sizes(spec: &str) -> Result<SizeModel, String> {
     }
 }
 
-fn parse_machine_model(spec: &str) -> Result<MachineModel, String> {
+fn parse_machine_model(spec: &str) -> Result<MachineSpec, String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
-        ("identical", []) => Ok(MachineModel::Identical),
-        ("related", [f]) => Ok(MachineModel::RelatedSpeeds { max_factor: *f }),
-        ("unrelated", [lo, hi]) => Ok(MachineModel::Unrelated {
+        ("identical", []) => Ok(MachineSpec::Identical),
+        ("related", [f]) => Ok(MachineSpec::RelatedSpeeds { max_factor: *f }),
+        ("unrelated", [lo, hi]) => Ok(MachineSpec::Unrelated {
             lo_factor: *lo,
             hi_factor: *hi,
         }),
-        ("restricted", [k]) => Ok(MachineModel::Restricted { avg_eligible: *k }),
+        ("restricted", [k]) => Ok(MachineSpec::Restricted { avg_eligible: *k }),
+        ("affinity", [g, p]) => {
+            if *g < 1.0 {
+                return Err(format!("affinity group count must be >= 1, got {g}"));
+            }
+            if !(0.0..=1.0).contains(p) {
+                return Err(format!(
+                    "affinity drop probability must be in [0,1], got {p}"
+                ));
+            }
+            Ok(MachineSpec::Affinity {
+                groups: *g as usize,
+                drop_prob: *p,
+            })
+        }
         _ => Err(format!("bad machine-model spec `{spec}`")),
     }
 }
 
-fn parse_weights(spec: &str) -> Result<WeightModel, String> {
+fn parse_weights(spec: &str) -> Result<WeightSpec, String> {
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
-        ("unit", []) => Ok(WeightModel::Unit),
-        ("uniform", [lo, hi]) => Ok(WeightModel::Uniform { lo: *lo, hi: *hi }),
+        ("unit", []) => Ok(WeightSpec::Unit),
+        ("uniform", [lo, hi]) => Ok(WeightSpec::Uniform { lo: *lo, hi: *hi }),
         _ => Err(format!("bad weights spec `{spec}`")),
     }
 }
@@ -198,7 +232,7 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
         let seed: u64 = args.opt_parse("seed", 1)?;
         let machine_model = match args.opt("machine-model") {
             Some(spec) => parse_machine_model(spec)?,
-            None => MachineModel::Identical,
+            None => MachineSpec::Identical,
         };
         let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let importer = TraceImport {
@@ -225,7 +259,12 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
     let machines: usize = args.opt_parse("machines", 4)?;
     let seed: u64 = args.opt_parse("seed", 1)?;
 
-    let mut spec = FlowWorkload::standard(n, machines, seed);
+    // A named scenario fixes all three axes; the explicit per-axis
+    // options below still override individual choices.
+    let mut spec = match args.opt("scenario") {
+        Some(name) => osr_workload::Scenario::named(name, n, machines, seed)?,
+        None => FlowWorkload::standard(n, machines, seed),
+    };
     if let Some(s) = args.opt("arrivals") {
         spec.arrivals = parse_arrivals(s)?;
     }
@@ -575,6 +614,67 @@ mod tests {
         assert!(cmd_gen(&args("gen --sizes wat:1")).is_err());
         assert!(cmd_gen(&args("gen --arrivals poisson")).is_err());
         assert!(cmd_gen(&args("gen --machine-model related")).is_err());
+        assert!(cmd_gen(&args("gen --scenario warp-pareto-identical")).is_err());
+        // Out-of-range values for the new tokens are errors, not the
+        // generator's asserts.
+        assert!(cmd_gen(&args("gen --arrivals mmpp:0:5:5")).is_err());
+        assert!(cmd_gen(&args("gen --arrivals mmpp:4:0.5:5")).is_err());
+        assert!(cmd_gen(&args("gen --arrivals mmpp:4:5:-1")).is_err());
+        assert!(cmd_gen(&args("gen --machine-model affinity:0:0.1")).is_err());
+        assert!(cmd_gen(&args("gen --machine-model affinity:2:1.5")).is_err());
+    }
+
+    #[test]
+    fn gen_scenario_resolves_named_grid_points() {
+        let out = cmd_gen(&args(
+            "gen --scenario mmpp-pareto-affinity --n 200 --machines 8 --seed 3",
+        ))
+        .unwrap();
+        let inst = io::instance_from_str(&out).unwrap();
+        assert_eq!(inst.len(), 200);
+        assert_eq!(inst.machines(), 8);
+        // Affinity restricts eligibility; the restriction must survive
+        // serialization (`inf` entries).
+        assert!(inst
+            .jobs()
+            .iter()
+            .any(|j| j.sizes.iter().any(|p| !p.is_finite())));
+        // Same scenario, same seed → identical output text.
+        let again = cmd_gen(&args(
+            "gen --scenario mmpp-pareto-affinity --n 200 --machines 8 --seed 3",
+        ))
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn gen_scenario_axis_overrides_apply() {
+        // --machine-model beats the scenario's machine token: no inf
+        // entries survive when overridden to identical.
+        let out = cmd_gen(&args(
+            "gen --scenario poisson-uniform-restricted --machine-model identical --n 50 --machines 4",
+        ))
+        .unwrap();
+        let inst = io::instance_from_str(&out).unwrap();
+        assert!(inst
+            .jobs()
+            .iter()
+            .all(|j| j.sizes.iter().all(|p| p.is_finite())));
+    }
+
+    #[test]
+    fn gen_new_spec_tokens_parse() {
+        let out = cmd_gen(&args(
+            "gen --arrivals mmpp:4:16:20 --machine-model affinity:2:0 --n 40 --machines 4",
+        ))
+        .unwrap();
+        let inst = io::instance_from_str(&out).unwrap();
+        assert_eq!(inst.len(), 40);
+        // drop_prob 0 → every job eligible somewhere, but only within
+        // its rack (2 of 4 machines).
+        for j in inst.jobs() {
+            assert_eq!(j.sizes.iter().filter(|p| p.is_finite()).count(), 2);
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! * **§3 / weighted (`energy_lambda_bound`, `weighted_lambda_bound`)**
 //!   involve incremental weight-sum caches (subject to `±` rounding
 //!   drift) and `powf`; busy-machine bounds are deflated by
-//!   [`BOUND_SAFETY`], a relative margin (`1e-7`) many orders of
+//!   `BOUND_SAFETY`, a relative margin (`1e-7`) many orders of
 //!   magnitude above any achievable accumulation error for queues that
 //!   fit in memory. Empty-queue bounds again mirror the exact
 //!   expression bit-for-bit and are **not** deflated, preserving the
@@ -42,6 +42,20 @@
 //!
 //! A too-small bound can never change the argmin — it only costs extra
 //! exact evaluations — so every approximation here errs low.
+//!
+//! ## The job-side input `p̂`
+//!
+//! Subtree-level bounds need the *cheapest eligible size*
+//! `p̂_j = min_i { p_ij < ∞ }` (sizes vary per machine, so a subtree
+//! covering several machines can only be bounded with the job's best
+//! case). Since PR 3 this value is **precomputed at generation time**
+//! and cached on [`osr_model::Job`] (`Job::p_hat`, alongside an
+//! eligibility bitmask), so the per-arrival `O(m)` rescan of
+//! `job.sizes` is gone from the dispatch hot path. The cache is defined
+//! by exactly the fold the schedulers used to perform
+//! (`filter(is_finite).fold(∞, min)`), so results stay bit-identical —
+//! locked by the `tests/dispatch_equivalence` proptests and the CI
+//! experiment-suite diffs.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

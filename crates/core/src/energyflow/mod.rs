@@ -430,15 +430,14 @@ impl EnergyFlowScheduler {
             let j = job.id;
             let t = job.release;
 
-            let best: Option<(usize, f64)> = match dindex.as_mut() {
-                Some(ix) => {
-                    let p_hat = job
-                        .sizes
-                        .iter()
-                        .copied()
-                        .filter(|p| p.is_finite())
-                        .fold(f64::INFINITY, f64::min);
-                    if p_hat.is_finite() {
+            // `p̂` (the subtree-bound input) is precomputed on the job
+            // at generation time — no per-arrival O(m) rescan.
+            let best: Option<(usize, f64)> = if !job.has_eligible() {
+                None
+            } else {
+                match dindex.as_mut() {
+                    Some(ix) => {
+                        let p_hat = job.p_hat();
                         let w = job.weight;
                         ix.search(
                             |s| {
@@ -462,23 +461,21 @@ impl EnergyFlowScheduler {
                                     .then(|| self.lambda_ij(&machines[mi], p, w, t, j))
                             },
                         )
-                    } else {
-                        None
                     }
-                }
-                None => {
-                    let mut best: Option<(usize, f64)> = None;
-                    for mi in 0..m {
-                        let p = job.sizes[mi];
-                        if !p.is_finite() {
-                            continue;
+                    None => {
+                        let mut best: Option<(usize, f64)> = None;
+                        for mi in 0..m {
+                            let p = job.sizes[mi];
+                            if !p.is_finite() {
+                                continue;
+                            }
+                            let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
+                            if best.is_none_or(|(_, bl)| lam < bl) {
+                                best = Some((mi, lam));
+                            }
                         }
-                        let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
-                        if best.is_none_or(|(_, bl)| lam < bl) {
-                            best = Some((mi, lam));
-                        }
+                        best
                     }
-                    best
                 }
             };
             let Some((mi, lam)) = best else {

@@ -339,18 +339,16 @@ impl FlowScheduler {
             // Dispatch: argmin over eligible machines of λ_ij (lowest
             // index on ties). The pruned path and the linear scan are
             // bit-identical; see `crate::dispatch` for the bound
-            // soundness argument.
-            let best: Option<(usize, f64)> = match dindex.as_mut() {
-                Some(ix) => {
-                    // Cheapest eligible size — the job-side input to
-                    // subtree-level bounds (sizes vary per machine).
-                    let p_hat = job
-                        .sizes
-                        .iter()
-                        .copied()
-                        .filter(|p| p.is_finite())
-                        .fold(f64::INFINITY, f64::min);
-                    if p_hat.is_finite() {
+            // soundness argument. `p̂` (the job-side input to the
+            // subtree bounds) is precomputed at generation time — no
+            // per-arrival rescan of `job.sizes` (the O(m) pass the
+            // ROADMAP flagged after PR 2).
+            let best: Option<(usize, f64)> = if !job.has_eligible() {
+                None
+            } else {
+                match dindex.as_mut() {
+                    Some(ix) => {
+                        let p_hat = job.p_hat();
                         let inv_eps = th.inv_eps;
                         ix.search(
                             |s| {
@@ -371,24 +369,22 @@ impl FlowScheduler {
                                 })
                             },
                         )
-                    } else {
-                        None
                     }
-                }
-                None => {
-                    let mut best: Option<(usize, f64)> = None;
-                    for mi in 0..m {
-                        let p = job.sizes[mi];
-                        if !p.is_finite() {
-                            continue;
+                    None => {
+                        let mut best: Option<(usize, f64)> = None;
+                        for mi in 0..m {
+                            let p = job.sizes[mi];
+                            if !p.is_finite() {
+                                continue;
+                            }
+                            let key = pend_key(p, t, j);
+                            let l = lambda_ij(&machines[mi].pending, &key, p, th.inv_eps);
+                            if best.is_none_or(|(_, bl)| l < bl) {
+                                best = Some((mi, l));
+                            }
                         }
-                        let key = pend_key(p, t, j);
-                        let l = lambda_ij(&machines[mi].pending, &key, p, th.inv_eps);
-                        if best.is_none_or(|(_, bl)| l < bl) {
-                            best = Some((mi, l));
-                        }
+                        best
                     }
-                    best
                 }
             };
             let Some((mi, lam)) = best else {

@@ -301,15 +301,15 @@ impl WeightedFlowScheduler {
             next_arrival += 1;
             let t = job.release;
 
-            let best: Option<(usize, f64)> = match dindex.as_mut() {
-                Some(ix) => {
-                    let p_hat = job
-                        .sizes
-                        .iter()
-                        .copied()
-                        .filter(|p| p.is_finite())
-                        .fold(f64::INFINITY, f64::min);
-                    if p_hat.is_finite() {
+            // `p̂` comes precomputed from the model (no per-arrival
+            // O(m) rescan of `job.sizes`); an everywhere-ineligible job
+            // short-circuits straight to the rejection below.
+            let best: Option<(usize, f64)> = if !job.has_eligible() {
+                None
+            } else {
+                match dindex.as_mut() {
+                    Some(ix) => {
+                        let p_hat = job.p_hat();
                         let w = job.weight;
                         ix.search(
                             |s| {
@@ -343,23 +343,21 @@ impl WeightedFlowScheduler {
                                     .then(|| self.lambda_ij(&machines[mi], p, w, t, job.id))
                             },
                         )
-                    } else {
-                        None
                     }
-                }
-                None => {
-                    let mut best: Option<(usize, f64)> = None;
-                    for (mi, ms) in machines.iter().enumerate() {
-                        let p = job.sizes[mi];
-                        if !p.is_finite() {
-                            continue;
+                    None => {
+                        let mut best: Option<(usize, f64)> = None;
+                        for (mi, ms) in machines.iter().enumerate() {
+                            let p = job.sizes[mi];
+                            if !p.is_finite() {
+                                continue;
+                            }
+                            let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
+                            if best.is_none_or(|(_, bl)| lam < bl) {
+                                best = Some((mi, lam));
+                            }
                         }
-                        let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
-                        if best.is_none_or(|(_, bl)| lam < bl) {
-                            best = Some((mi, lam));
-                        }
+                        best
                     }
-                    best
                 }
             };
             let Some((mi, lam)) = best else {

@@ -264,12 +264,8 @@ impl InstanceBuilder {
             .pending
             .into_iter()
             .enumerate()
-            .map(|(k, (release, weight, deadline, sizes))| Job {
-                id: JobId(k as u32),
-                release,
-                weight,
-                deadline,
-                sizes,
+            .map(|(k, (release, weight, deadline, sizes))| {
+                Job::full(k as u32, release, weight, deadline, sizes)
             })
             .collect();
         Instance::new(self.machines, jobs, self.kind)

@@ -1,6 +1,79 @@
 //! Jobs and identifiers.
+//!
+//! Besides the raw `p_ij` row, every [`Job`] carries two **derived
+//! caches** computed once at construction time:
+//!
+//! * `p̂_j = min_i { p_ij : p_ij < ∞ }` ([`Job::p_hat`]) — the cheapest
+//!   eligible size, the job-side input to the pruned dispatch bounds
+//!   (`osr_core::dispatch`). Before this cache every arrival rescanned
+//!   the whole `sizes` row — an `O(m)` pass the ROADMAP flagged as the
+//!   remaining dispatch head-room after PR 2's tournament index.
+//! * an eligibility bitmask ([`Job::elig`], [`EligMask`]) — which
+//!   machines have finite `p_ij`, so restricted-assignment consumers can
+//!   test/count eligibility without touching the float row.
+//!
+//! The caches are pure functions of `sizes`; [`Job::validate`] (and
+//! therefore [`crate::Instance::new`]) rejects a job whose caches have
+//! been desynchronized by direct mutation of the public `sizes` field.
 
 use crate::time::{valid_magnitude, valid_positive};
+
+/// Machine-eligibility bitmask cached on a [`Job`].
+///
+/// The canonical representation is chosen by [`Job`]'s constructors:
+/// fully-eligible jobs (every `p_ij` finite — the common dense case)
+/// use [`EligMask::All`] and allocate nothing; any restricted row gets
+/// one bit per machine, LSB-first within 64-bit words. Because the
+/// representation is canonical, derived `PartialEq` on jobs is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EligMask {
+    /// Every machine is eligible (no allocation).
+    All,
+    /// One bit per machine; bit `i % 64` of word `i / 64` is set iff
+    /// machine `i` is eligible.
+    Words(Box<[u64]>),
+}
+
+impl EligMask {
+    /// Derives the canonical mask from a size row.
+    pub fn from_sizes(sizes: &[f64]) -> Self {
+        if sizes.iter().all(|p| p.is_finite()) {
+            return EligMask::All;
+        }
+        let mut words = vec![0u64; sizes.len().div_ceil(64)];
+        for (i, p) in sizes.iter().enumerate() {
+            if p.is_finite() {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        EligMask::Words(words.into_boxed_slice())
+    }
+
+    /// Whether machine `i` is eligible.
+    #[inline]
+    pub fn test(&self, i: usize) -> bool {
+        match self {
+            EligMask::All => true,
+            EligMask::Words(w) => (w[i / 64] >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Number of eligible machines among `machines` total.
+    pub fn count(&self, machines: usize) -> usize {
+        match self {
+            EligMask::All => machines,
+            EligMask::Words(w) => w.iter().map(|x| x.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Whether any machine is eligible.
+    pub fn any(&self) -> bool {
+        match self {
+            EligMask::All => true,
+            EligMask::Words(w) => w.iter().any(|&x| x != 0),
+        }
+    }
+}
 
 /// Identifier of a job within an [`crate::Instance`].
 ///
@@ -70,40 +143,87 @@ pub struct Job {
     pub deadline: Option<f64>,
     /// Machine-dependent size `p_ij`, one entry per machine.
     pub sizes: Vec<f64>,
+    /// Cached `min_i { p_ij finite }` (∞ when eligible nowhere); see
+    /// module docs. Kept private so it cannot drift from `sizes`
+    /// except through direct `sizes` mutation, which `validate` catches.
+    p_hat: f64,
+    /// Cached eligibility bitmask; same consistency contract.
+    elig: EligMask,
 }
 
 impl Job {
-    /// Convenience constructor for an unweighted, deadline-free job.
-    pub fn new(id: u32, release: f64, sizes: Vec<f64>) -> Self {
-        Job {
-            id: JobId(id),
-            release,
-            weight: 1.0,
-            deadline: None,
-            sizes,
-        }
+    /// Computes the derived caches from a size row.
+    fn derive(sizes: &[f64]) -> (f64, EligMask) {
+        let p_hat = sizes
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        (p_hat, EligMask::from_sizes(sizes))
     }
 
-    /// Constructor with a weight (for §3 workloads).
-    pub fn weighted(id: u32, release: f64, weight: f64, sizes: Vec<f64>) -> Self {
+    /// Constructor with every field explicit (used by
+    /// [`crate::InstanceBuilder`]); computes the derived caches.
+    pub fn full(
+        id: u32,
+        release: f64,
+        weight: f64,
+        deadline: Option<f64>,
+        sizes: Vec<f64>,
+    ) -> Self {
+        let (p_hat, elig) = Self::derive(&sizes);
         Job {
             id: JobId(id),
             release,
             weight,
-            deadline: None,
+            deadline,
             sizes,
+            p_hat,
+            elig,
         }
+    }
+
+    /// Convenience constructor for an unweighted, deadline-free job.
+    pub fn new(id: u32, release: f64, sizes: Vec<f64>) -> Self {
+        Self::full(id, release, 1.0, None, sizes)
+    }
+
+    /// Constructor with a weight (for §3 workloads).
+    pub fn weighted(id: u32, release: f64, weight: f64, sizes: Vec<f64>) -> Self {
+        Self::full(id, release, weight, None, sizes)
     }
 
     /// Constructor with a deadline (for §4 workloads).
     pub fn with_deadline(id: u32, release: f64, deadline: f64, sizes: Vec<f64>) -> Self {
-        Job {
-            id: JobId(id),
-            release,
-            weight: 1.0,
-            deadline: Some(deadline),
-            sizes,
-        }
+        Self::full(id, release, 1.0, Some(deadline), sizes)
+    }
+
+    /// Cheapest eligible size `p̂_j = min_i { p_ij : p_ij < ∞ }`,
+    /// precomputed at construction (∞ when the job is eligible
+    /// nowhere). The dispatch hot path reads this instead of rescanning
+    /// `sizes` at every arrival.
+    #[inline]
+    pub fn p_hat(&self) -> f64 {
+        self.p_hat
+    }
+
+    /// The cached machine-eligibility mask.
+    #[inline]
+    pub fn elig(&self) -> &EligMask {
+        &self.elig
+    }
+
+    /// Number of machines this job is eligible on.
+    pub fn eligible_count(&self) -> usize {
+        self.elig.count(self.sizes.len())
+    }
+
+    /// Whether the job can run anywhere at all (`p̂ < ∞`). Schedulers
+    /// reject jobs failing this at arrival with
+    /// [`crate::RejectReason::Ineligible`].
+    #[inline]
+    pub fn has_eligible(&self) -> bool {
+        self.p_hat.is_finite()
     }
 
     /// Size `p_ij` of this job on machine `i`.
@@ -115,12 +235,15 @@ impl Job {
     /// Whether the job may run on `machine` (finite size).
     #[inline]
     pub fn eligible_on(&self, machine: MachineId) -> bool {
-        self.sizes[machine.idx()].is_finite()
+        self.elig.test(machine.idx())
     }
 
     /// Smallest size over all machines (used by several lower bounds).
+    /// Identical to [`Job::p_hat`]: infinite entries never win the min,
+    /// so the cached cheapest-eligible size is also the overall min.
+    #[inline]
     pub fn min_size(&self) -> f64 {
-        self.sizes.iter().copied().fold(f64::INFINITY, f64::min)
+        self.p_hat
     }
 
     /// Machine achieving [`Job::min_size`].
@@ -185,6 +308,15 @@ impl Job {
                 ));
             }
         }
+        // The derived caches are pure functions of `sizes`; a mismatch
+        // means `sizes` was mutated behind the constructors' back.
+        let (p_hat, elig) = Self::derive(&self.sizes);
+        if p_hat.to_bits() != self.p_hat.to_bits() || elig != self.elig {
+            return Err(format!(
+                "{}: stale p̂/eligibility cache (sizes mutated after construction)",
+                self.id
+            ));
+        }
         Ok(())
     }
 }
@@ -245,6 +377,46 @@ mod tests {
         assert!(Job::with_deadline(0, 5.0, 6.0, vec![1.0])
             .validate(1)
             .is_ok());
+    }
+
+    #[test]
+    fn p_hat_cache_matches_scan() {
+        let j = Job::new(0, 0.0, vec![5.0, f64::INFINITY, 2.0]);
+        assert_eq!(j.p_hat(), 2.0);
+        assert_eq!(j.min_size(), 2.0);
+        assert!(j.has_eligible());
+        assert_eq!(j.eligible_count(), 2);
+        let dead = Job::new(1, 0.0, vec![f64::INFINITY, f64::INFINITY]);
+        assert_eq!(dead.p_hat(), f64::INFINITY);
+        assert!(!dead.has_eligible());
+        assert_eq!(dead.eligible_count(), 0);
+    }
+
+    #[test]
+    fn elig_mask_is_canonical() {
+        // Fully eligible rows use the allocation-free representation,
+        // so equal sizes ⇒ equal masks regardless of how they were made.
+        assert_eq!(EligMask::from_sizes(&[1.0, 2.0]), EligMask::All);
+        let m = EligMask::from_sizes(&[1.0, f64::INFINITY, 3.0]);
+        assert!(m.test(0) && !m.test(1) && m.test(2));
+        assert_eq!(m.count(3), 2);
+        assert!(m.any());
+        assert!(!EligMask::from_sizes(&[f64::INFINITY]).any());
+        // Wide rows cross the 64-bit word boundary.
+        let mut sizes = vec![1.0; 130];
+        sizes[70] = f64::INFINITY;
+        let wide = EligMask::from_sizes(&sizes);
+        assert!(wide.test(69) && !wide.test(70) && wide.test(129));
+        assert_eq!(wide.count(130), 129);
+    }
+
+    #[test]
+    fn validate_catches_stale_caches() {
+        let mut j = Job::new(0, 0.0, vec![2.0, 3.0]);
+        assert!(j.validate(2).is_ok());
+        j.sizes[0] = 1.0; // desync: p̂ still 2.0
+        let err = j.validate(2).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
     }
 
     #[test]

@@ -1,186 +1,24 @@
-//! Seeded random workload generation.
+//! Seeded random workload generation — the legacy-shaped wrappers over
+//! the [`crate::scenario`] framework.
+//!
+//! [`FlowWorkload`] is an alias of [`Scenario`] (the type it grew
+//! into); [`EnergyWorkload`] adds §4 deadline slack on top. Both
+//! delegate to the trait-based pipeline
+//! ([`crate::scenario::generate_with`] /
+//! [`crate::scenario::generate_energy_with`]) with the **same RNG draw
+//! order** the pre-framework generator used, so fixed-seed experiment
+//! instances are unchanged.
 
-use osr_model::{Instance, InstanceBuilder, InstanceKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use osr_model::Instance;
 
-/// How release times are produced.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ArrivalModel {
-    /// Poisson process with the given rate (expected arrivals per time
-    /// unit).
-    Poisson {
-        /// Expected arrivals per unit time.
-        rate: f64,
-    },
-    /// Alternating bursts and silences: `burst` jobs arrive
-    /// back-to-back (spacing `within`), then a gap of `gap`.
-    Bursty {
-        /// Jobs per burst.
-        burst: usize,
-        /// Spacing inside a burst.
-        within: f64,
-        /// Gap between bursts.
-        gap: f64,
-    },
-    /// `per_batch` jobs at identical instants, batches `gap` apart.
-    Batch {
-        /// Jobs per batch.
-        per_batch: usize,
-        /// Time between batches.
-        gap: f64,
-    },
-    /// Everything at time zero (worst-case pileup).
-    AllAtOnce,
-}
+pub use crate::scenario::{ArrivalSpec, MachineSpec, Scenario, SizeSpec, WeightSpec};
 
-/// How base processing sizes are drawn.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SizeModel {
-    /// Uniform on `[lo, hi]`.
-    Uniform {
-        /// Lower bound.
-        lo: f64,
-        /// Upper bound.
-        hi: f64,
-    },
-    /// Exponential with the given mean.
-    Exponential {
-        /// Mean size.
-        mean: f64,
-    },
-    /// Bounded Pareto on `[lo, hi]` with shape `shape` (heavy tails —
-    /// the regime where Rule 1 earns its keep).
-    BoundedPareto {
-        /// Tail exponent (smaller = heavier).
-        shape: f64,
-        /// Lower bound.
-        lo: f64,
-        /// Upper bound.
-        hi: f64,
-    },
-    /// Mixture: `short` w.p. `1−p_long`, `long` w.p. `p_long`.
-    Bimodal {
-        /// Short size.
-        short: f64,
-        /// Long size.
-        long: f64,
-        /// Probability of a long job.
-        p_long: f64,
-    },
-}
-
-/// How the unrelated-machines matrix row is derived from a base size.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum MachineModel {
-    /// `p_ij = base` for all machines.
-    Identical,
-    /// Machine `i` has a fixed speed factor drawn once per instance
-    /// from `[1, max_factor]`; `p_ij = base · factor_i`.
-    RelatedSpeeds {
-        /// Largest slowdown factor.
-        max_factor: f64,
-    },
-    /// Fully unrelated: `p_ij = base · U[lo_factor, hi_factor]` iid
-    /// per (job, machine).
-    Unrelated {
-        /// Smallest factor.
-        lo_factor: f64,
-        /// Largest factor.
-        hi_factor: f64,
-    },
-    /// Restricted assignment: each job is eligible on a random subset
-    /// (expected size `avg_eligible`), `p_ij = base` there, `∞`
-    /// elsewhere.
-    Restricted {
-        /// Expected number of eligible machines (≥ 1 enforced).
-        avg_eligible: f64,
-    },
-}
-
-/// How job weights are drawn (§3 workloads).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum WeightModel {
-    /// All weights 1.
-    Unit,
-    /// Uniform on `[lo, hi]`.
-    Uniform {
-        /// Lower bound.
-        lo: f64,
-        /// Upper bound.
-        hi: f64,
-    },
-}
-
-/// A complete flow-time / flow+energy workload description.
-#[derive(Debug, Clone, Copy)]
-pub struct FlowWorkload {
-    /// Number of jobs.
-    pub n: usize,
-    /// Number of machines.
-    pub machines: usize,
-    /// RNG seed (same seed ⇒ identical instance).
-    pub seed: u64,
-    /// Arrival process.
-    pub arrivals: ArrivalModel,
-    /// Size distribution.
-    pub sizes: SizeModel,
-    /// Unrelated-machine structure.
-    pub machine_model: MachineModel,
-    /// Weight distribution.
-    pub weights: WeightModel,
-}
-
-impl FlowWorkload {
-    /// A sensible default: Poisson arrivals at 80% of aggregate service
-    /// capacity, bounded-Pareto sizes, mildly unrelated machines.
-    pub fn standard(n: usize, machines: usize, seed: u64) -> Self {
-        // Mean bounded-Pareto(1.5, 1, 100) size ≈ 2.96; rate chosen so
-        // the system is busy but stable.
-        let rate = 0.8 * machines as f64 / 3.0;
-        FlowWorkload {
-            n,
-            machines,
-            seed,
-            arrivals: ArrivalModel::Poisson { rate },
-            sizes: SizeModel::BoundedPareto {
-                shape: 1.5,
-                lo: 1.0,
-                hi: 100.0,
-            },
-            machine_model: MachineModel::Unrelated {
-                lo_factor: 1.0,
-                hi_factor: 4.0,
-            },
-            weights: WeightModel::Unit,
-        }
-    }
-
-    /// Generates the instance with the given kind (flow-time or
-    /// flow+energy).
-    pub fn generate(&self, kind: InstanceKind) -> Instance {
-        assert_ne!(
-            kind,
-            InstanceKind::Energy,
-            "use EnergyWorkload for deadlines"
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let factors = machine_factors(&mut rng, self.machines, self.machine_model);
-        let mut b = InstanceBuilder::new(self.machines, kind);
-        let mut t = 0.0;
-        for k in 0..self.n {
-            t = next_arrival(&mut rng, t, k, self.arrivals);
-            let base = draw_size(&mut rng, self.sizes);
-            let sizes = draw_row(&mut rng, base, &factors, self.machine_model);
-            let w = draw_weight(&mut rng, self.weights);
-            b = b.full_job(t, w, None, sizes);
-        }
-        b.build().expect("generated workload is structurally valid")
-    }
-}
+/// Back-compat name for [`Scenario`] — the struct experiments configure
+/// field by field (`w.arrivals = …`) and then `generate`.
+pub type FlowWorkload = Scenario;
 
 /// A deadline workload for §4: sizes/machines as in [`FlowWorkload`],
-/// deadlines at `r + slack·p_min` with `slack ~ U[min_slack, max_slack]`.
+/// deadlines at `r + slack·p̂` with `slack ~ U[min_slack, max_slack]`.
 #[derive(Debug, Clone, Copy)]
 pub struct EnergyWorkload {
     /// Base structure (weights ignored).
@@ -196,7 +34,7 @@ impl EnergyWorkload {
     pub fn standard(n: usize, machines: usize, seed: u64) -> Self {
         EnergyWorkload {
             base: FlowWorkload {
-                sizes: SizeModel::Uniform { lo: 1.0, hi: 8.0 },
+                sizes: SizeSpec::Uniform { lo: 1.0, hi: 8.0 },
                 ..FlowWorkload::standard(n, machines, seed)
             },
             min_slack: 1.2,
@@ -206,125 +44,23 @@ impl EnergyWorkload {
 
     /// Generates the §4 instance.
     pub fn generate(&self) -> Instance {
-        assert!(self.min_slack > 1.0 && self.max_slack >= self.min_slack);
-        let mut rng = StdRng::seed_from_u64(self.base.seed);
-        let factors = machine_factors(&mut rng, self.base.machines, self.base.machine_model);
-        let mut b = InstanceBuilder::new(self.base.machines, InstanceKind::Energy);
-        let mut t = 0.0;
-        for k in 0..self.base.n {
-            t = next_arrival(&mut rng, t, k, self.base.arrivals);
-            let base = draw_size(&mut rng, self.base.sizes);
-            let sizes = draw_row(&mut rng, base, &factors, self.base.machine_model);
-            let p_min = sizes
-                .iter()
-                .copied()
-                .filter(|p| p.is_finite())
-                .fold(f64::INFINITY, f64::min);
-            let slack = rng.gen_range(self.min_slack..=self.max_slack);
-            b = b.deadline_job(t, t + slack * p_min, sizes);
-        }
-        b.build().expect("generated workload is structurally valid")
-    }
-}
-
-fn next_arrival(rng: &mut StdRng, prev: f64, k: usize, model: ArrivalModel) -> f64 {
-    match model {
-        ArrivalModel::Poisson { rate } => {
-            assert!(rate > 0.0);
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            prev - u.ln() / rate
-        }
-        ArrivalModel::Bursty { burst, within, gap } => {
-            assert!(burst > 0);
-            if k == 0 {
-                0.0
-            } else if k.is_multiple_of(burst) {
-                prev + gap
-            } else {
-                prev + within
-            }
-        }
-        ArrivalModel::Batch { per_batch, gap } => {
-            assert!(per_batch > 0);
-            (k / per_batch) as f64 * gap
-        }
-        ArrivalModel::AllAtOnce => 0.0,
-    }
-}
-
-fn draw_size(rng: &mut StdRng, model: SizeModel) -> f64 {
-    match model {
-        SizeModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
-        SizeModel::Exponential { mean } => {
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            -mean * u.ln()
-        }
-        SizeModel::BoundedPareto { shape, lo, hi } => {
-            // Inverse CDF of the bounded Pareto.
-            let u: f64 = rng.gen_range(0.0..1.0);
-            let la = lo.powf(shape);
-            let ha = hi.powf(shape);
-            (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / shape)
-        }
-        SizeModel::Bimodal {
-            short,
-            long,
-            p_long,
-        } => {
-            if rng.gen_bool(p_long.clamp(0.0, 1.0)) {
-                long
-            } else {
-                short
-            }
-        }
-    }
-}
-
-fn draw_weight(rng: &mut StdRng, model: WeightModel) -> f64 {
-    match model {
-        WeightModel::Unit => 1.0,
-        WeightModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
-    }
-}
-
-fn machine_factors(rng: &mut StdRng, m: usize, model: MachineModel) -> Vec<f64> {
-    match model {
-        MachineModel::RelatedSpeeds { max_factor } => {
-            (0..m).map(|_| rng.gen_range(1.0..=max_factor)).collect()
-        }
-        _ => vec![1.0; m],
-    }
-}
-
-fn draw_row(rng: &mut StdRng, base: f64, factors: &[f64], model: MachineModel) -> Vec<f64> {
-    match model {
-        MachineModel::Identical => vec![base; factors.len()],
-        MachineModel::RelatedSpeeds { .. } => factors.iter().map(|f| base * f).collect(),
-        MachineModel::Unrelated {
-            lo_factor,
-            hi_factor,
-        } => factors
-            .iter()
-            .map(|_| base * rng.gen_range(lo_factor..=hi_factor))
-            .collect(),
-        MachineModel::Restricted { avg_eligible } => {
-            let m = factors.len();
-            let p = (avg_eligible / m as f64).clamp(0.0, 1.0);
-            let mut row: Vec<f64> = (0..m)
-                .map(|_| if rng.gen_bool(p) { base } else { f64::INFINITY })
-                .collect();
-            if row.iter().all(|x| !x.is_finite()) {
-                let lucky = rng.gen_range(0..m);
-                row[lucky] = base;
-            }
-            row
-        }
+        crate::scenario::generate_energy_with(
+            self.base.n,
+            self.base.machines,
+            self.base.seed,
+            &mut *self.base.arrivals.process(),
+            &mut *self.base.sizes.model(),
+            &mut *self.base.machine_model.model(),
+            self.min_slack,
+            self.max_slack,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osr_model::InstanceKind;
 
     #[test]
     fn same_seed_same_instance() {
@@ -344,9 +80,9 @@ mod tests {
     #[test]
     fn poisson_rate_controls_density() {
         let mut fast = FlowWorkload::standard(500, 1, 7);
-        fast.arrivals = ArrivalModel::Poisson { rate: 10.0 };
+        fast.arrivals = ArrivalSpec::Poisson { rate: 10.0 };
         let mut slow = FlowWorkload::standard(500, 1, 7);
-        slow.arrivals = ArrivalModel::Poisson { rate: 0.1 };
+        slow.arrivals = ArrivalSpec::Poisson { rate: 0.1 };
         let tf = fast
             .generate(InstanceKind::FlowTime)
             .jobs()
@@ -365,12 +101,12 @@ mod tests {
     #[test]
     fn bounded_pareto_respects_bounds() {
         let mut w = FlowWorkload::standard(2000, 1, 3);
-        w.sizes = SizeModel::BoundedPareto {
+        w.sizes = SizeSpec::BoundedPareto {
             shape: 1.1,
             lo: 2.0,
             hi: 50.0,
         };
-        w.machine_model = MachineModel::Identical;
+        w.machine_model = MachineSpec::Identical;
         let inst = w.generate(InstanceKind::FlowTime);
         let mut seen_small = false;
         let mut seen_large = false;
@@ -390,12 +126,12 @@ mod tests {
     #[test]
     fn bimodal_produces_both_modes() {
         let mut w = FlowWorkload::standard(500, 1, 9);
-        w.sizes = SizeModel::Bimodal {
+        w.sizes = SizeSpec::Bimodal {
             short: 1.0,
             long: 64.0,
             p_long: 0.2,
         };
-        w.machine_model = MachineModel::Identical;
+        w.machine_model = MachineSpec::Identical;
         let inst = w.generate(InstanceKind::FlowTime);
         let longs = inst.jobs().iter().filter(|j| j.sizes[0] == 64.0).count();
         assert!(longs > 40 && longs < 200, "long count {longs}");
@@ -404,7 +140,7 @@ mod tests {
     #[test]
     fn restricted_rows_have_an_eligible_machine() {
         let mut w = FlowWorkload::standard(300, 8, 11);
-        w.machine_model = MachineModel::Restricted { avg_eligible: 2.0 };
+        w.machine_model = MachineSpec::Restricted { avg_eligible: 2.0 };
         let inst = w.generate(InstanceKind::FlowTime);
         for j in inst.jobs() {
             assert!(
@@ -425,8 +161,8 @@ mod tests {
     #[test]
     fn related_speeds_consistent_within_instance() {
         let mut w = FlowWorkload::standard(50, 4, 13);
-        w.machine_model = MachineModel::RelatedSpeeds { max_factor: 5.0 };
-        w.sizes = SizeModel::Uniform { lo: 2.0, hi: 2.0 };
+        w.machine_model = MachineSpec::RelatedSpeeds { max_factor: 5.0 };
+        w.sizes = SizeSpec::Uniform { lo: 2.0, hi: 2.0 };
         let inst = w.generate(InstanceKind::FlowTime);
         // Equal base sizes ⇒ each machine column is constant.
         let first = inst.jobs()[0].sizes.clone();
@@ -440,7 +176,7 @@ mod tests {
     #[test]
     fn batch_arrivals_collide() {
         let mut w = FlowWorkload::standard(40, 1, 5);
-        w.arrivals = ArrivalModel::Batch {
+        w.arrivals = ArrivalSpec::Batch {
             per_batch: 10,
             gap: 7.0,
         };
@@ -455,7 +191,7 @@ mod tests {
     #[test]
     fn weighted_workload_draws_weights() {
         let mut w = FlowWorkload::standard(200, 2, 3);
-        w.weights = WeightModel::Uniform { lo: 1.0, hi: 9.0 };
+        w.weights = WeightSpec::Uniform { lo: 1.0, hi: 9.0 };
         let inst = w.generate(InstanceKind::FlowEnergy);
         assert!(inst.jobs().iter().any(|j| j.weight > 5.0));
         assert!(inst.jobs().iter().all(|j| (1.0..=9.0).contains(&j.weight)));
@@ -472,9 +208,25 @@ mod tests {
     }
 
     #[test]
+    fn energy_workload_guards_ineligible_rows() {
+        // Affinity with a drop probability would produce ∞ deadlines;
+        // the energy pipeline forces machine 0 eligible instead.
+        let mut w = EnergyWorkload::standard(200, 4, 77);
+        w.base.machine_model = MachineSpec::Affinity {
+            groups: 2,
+            drop_prob: 0.2,
+        };
+        let inst = w.generate();
+        for j in inst.jobs() {
+            assert!(j.has_eligible(), "{}", j.id);
+            assert!(j.deadline.unwrap().is_finite());
+        }
+    }
+
+    #[test]
     fn bursty_arrivals_alternate() {
         let mut w = FlowWorkload::standard(20, 1, 5);
-        w.arrivals = ArrivalModel::Bursty {
+        w.arrivals = ArrivalSpec::Bursty {
             burst: 5,
             within: 0.1,
             gap: 10.0,

@@ -1,0 +1,1085 @@
+//! The composable scenario framework: arrival × size × machine models.
+//!
+//! A workload scenario is the cross product of three orthogonal
+//! choices, each behind its own trait:
+//!
+//! * [`ArrivalProcess`] — *when* jobs arrive: Poisson, MMPP-style
+//!   bursty on/off, deterministic batch pileups, all-at-once, or a
+//!   replayed trace of recorded release times;
+//! * [`SizeModel`] — *how big* the base processing requirement is:
+//!   uniform, exponential, bounded-Pareto heavy tail, bimodal;
+//! * [`MachineModel`] — *how a base size becomes an unrelated `p_ij`
+//!   row*: identical machines, machine-correlated related speeds, iid
+//!   unrelated factors, restricted assignment, or rack-style affinity
+//!   sets (`p_ij = ∞` outside the job's rack, with an optional fraction
+//!   of jobs whose rack is empty — everywhere-ineligible jobs that
+//!   exercise `RejectReason::Ineligible` at scale).
+//!
+//! Any trait implementation composes with any other through
+//! [`generate_with`]. The closed, `Copy`, CLI-parseable subset of that
+//! space is described by the spec enums ([`ArrivalSpec`], [`SizeSpec`],
+//! [`MachineSpec`], [`WeightSpec`]), bundled into a [`Scenario`], and
+//! addressable by name (`"mmpp-pareto-affinity"`; see
+//! [`Scenario::named`] and the crate README for the grammar).
+//!
+//! ## Determinism
+//!
+//! Generation is a pure function of `(scenario, n, machines, seed)`:
+//! one `StdRng` stream, drawn in a fixed order (machine-model init,
+//! then per job: arrival → base size → row → weight). Identical seeds
+//! give byte-identical instances — asserted by the
+//! `proptest_scenarios` suite over the whole named grid. For the spec
+//! combinations that predate this framework the draw order is
+//! unchanged, so existing fixed-seed experiment tables are unaffected.
+
+use osr_model::{Instance, InstanceBuilder, InstanceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Spec enums — the closed, Copy, parseable grammar.
+// ---------------------------------------------------------------------
+
+/// How release times are produced (spec form; see [`ArrivalProcess`]
+/// for the open trait). `spec.process()` instantiates the matching
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Poisson process with the given rate (expected arrivals per time
+    /// unit).
+    Poisson {
+        /// Expected arrivals per unit time.
+        rate: f64,
+    },
+    /// Deterministic alternating bursts and silences: `burst` jobs
+    /// arrive back-to-back (spacing `within`), then a gap of `gap`.
+    Bursty {
+        /// Jobs per burst.
+        burst: usize,
+        /// Spacing inside a burst.
+        within: f64,
+        /// Gap between bursts.
+        gap: f64,
+    },
+    /// MMPP-style on/off modulation: inside an *on* period arrivals are
+    /// Poisson at `on_rate`; on-period lengths are random with mean
+    /// `burst_mean` arrivals; *off* periods are exponential silences
+    /// with mean `off_mean` time units.
+    Mmpp {
+        /// Poisson rate inside a burst.
+        on_rate: f64,
+        /// Mean number of arrivals per on-period (≥ 1).
+        burst_mean: f64,
+        /// Mean length of an off-period.
+        off_mean: f64,
+    },
+    /// `per_batch` jobs at identical instants, batches `gap` apart.
+    Batch {
+        /// Jobs per batch.
+        per_batch: usize,
+        /// Time between batches.
+        gap: f64,
+    },
+    /// Everything at time zero (worst-case pileup).
+    AllAtOnce,
+}
+
+/// How base processing sizes are drawn (spec form; see the
+/// [`SizeModel`] trait).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeSpec {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean size.
+        mean: f64,
+    },
+    /// Bounded Pareto on `[lo, hi]` with shape `shape` (heavy tails —
+    /// the regime where Rule 1 earns its keep).
+    BoundedPareto {
+        /// Tail exponent (smaller = heavier).
+        shape: f64,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Mixture: `short` w.p. `1−p_long`, `long` w.p. `p_long`.
+    Bimodal {
+        /// Short size.
+        short: f64,
+        /// Long size.
+        long: f64,
+        /// Probability of a long job.
+        p_long: f64,
+    },
+}
+
+/// How the unrelated-machines matrix row is derived from a base size
+/// (spec form; see the [`MachineModel`] trait).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineSpec {
+    /// `p_ij = base` for all machines.
+    Identical,
+    /// Machine `i` has a fixed speed factor drawn once per instance
+    /// from `[1, max_factor]`; `p_ij = base · factor_i`.
+    RelatedSpeeds {
+        /// Largest slowdown factor.
+        max_factor: f64,
+    },
+    /// Fully unrelated: `p_ij = base · U[lo_factor, hi_factor]` iid
+    /// per (job, machine).
+    Unrelated {
+        /// Smallest factor.
+        lo_factor: f64,
+        /// Largest factor.
+        hi_factor: f64,
+    },
+    /// Restricted assignment: each job is eligible on a random subset
+    /// (expected size `avg_eligible`), `p_ij = base` there, `∞`
+    /// elsewhere; at least one eligible machine is guaranteed.
+    Restricted {
+        /// Expected number of eligible machines (≥ 1 enforced).
+        avg_eligible: f64,
+    },
+    /// Rack-style affinity sets: machines are partitioned round-robin
+    /// into `groups` racks; each job draws one rack and is eligible
+    /// only there (`p_ij = ∞` outside). With probability `drop_prob`
+    /// the job's rack is empty — an everywhere-ineligible job that
+    /// schedulers must reject at arrival
+    /// (`RejectReason::Ineligible`).
+    Affinity {
+        /// Number of racks (clamped to `[1, m]` at generation).
+        groups: usize,
+        /// Probability of an everywhere-ineligible job.
+        drop_prob: f64,
+    },
+}
+
+/// How job weights are drawn (§3 workloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightSpec {
+    /// All weights 1.
+    Unit,
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl WeightSpec {
+    /// Draws one weight.
+    pub fn draw(self, rng: &mut StdRng) -> f64 {
+        match self {
+            WeightSpec::Unit => 1.0,
+            WeightSpec::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The traits — the open composition surface.
+// ---------------------------------------------------------------------
+
+/// A stream of release times. `next` is called once per job with the
+/// job index `k` and the previous release `prev` (0.0 before the first
+/// job) and must return a value `≥ prev` for `k > 0` whenever the
+/// process is monotone by construction; the instance builder sorts
+/// regardless, so a non-monotone process is allowed but loses the
+/// online-arrival interpretation of `k`.
+pub trait ArrivalProcess {
+    /// Release time of job `k`, given the previous release.
+    fn next(&mut self, k: usize, prev: f64, rng: &mut StdRng) -> f64;
+}
+
+/// A distribution of base processing sizes (strictly positive).
+pub trait SizeModel {
+    /// Draws one base size.
+    fn draw(&mut self, rng: &mut StdRng) -> f64;
+}
+
+/// Expands a base size into an unrelated-machines `p_ij` row.
+///
+/// `init` runs once per instance (before any job) so per-instance
+/// state — e.g. related-speed factors — comes from the same seeded
+/// stream as everything else; `row` runs once per job.
+pub trait MachineModel {
+    /// Per-instance setup; draws any instance-level randomness.
+    fn init(&mut self, machines: usize, rng: &mut StdRng);
+    /// Expands one base size into a `p_ij` row (`∞` = ineligible).
+    fn row(&mut self, base: f64, rng: &mut StdRng) -> Vec<f64>;
+}
+
+// ---------------------------------------------------------------------
+// Arrival processes.
+// ---------------------------------------------------------------------
+
+/// Exponential draw with the given mean (0 when `mean <= 0`).
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Poisson arrivals at a fixed rate.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    /// Expected arrivals per unit time.
+    pub rate: f64,
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next(&mut self, _k: usize, prev: f64, rng: &mut StdRng) -> f64 {
+        assert!(self.rate > 0.0);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        prev - u.ln() / self.rate
+    }
+}
+
+/// Deterministic bursts: `burst` jobs spaced `within`, then `gap`.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstyArrivals {
+    /// Jobs per burst.
+    pub burst: usize,
+    /// Spacing inside a burst.
+    pub within: f64,
+    /// Gap between bursts.
+    pub gap: f64,
+}
+
+impl ArrivalProcess for BurstyArrivals {
+    fn next(&mut self, k: usize, prev: f64, _rng: &mut StdRng) -> f64 {
+        assert!(self.burst > 0);
+        if k == 0 {
+            0.0
+        } else if k.is_multiple_of(self.burst) {
+            prev + self.gap
+        } else {
+            prev + self.within
+        }
+    }
+}
+
+/// MMPP-style on/off bursty arrivals (see [`ArrivalSpec::Mmpp`]).
+///
+/// State machine: at the start of each on-period the process draws the
+/// period's length (`1 + Exp(burst_mean − 1)` arrivals, so the mean is
+/// `burst_mean`) and the preceding off-gap (`Exp(off_mean)`, skipped
+/// for the very first burst, which starts at `t = 0`); inside an
+/// on-period inter-arrival gaps are `Exp(1/on_rate)`.
+#[derive(Debug, Clone, Copy)]
+pub struct MmppArrivals {
+    /// Poisson rate inside a burst.
+    pub on_rate: f64,
+    /// Mean arrivals per on-period (≥ 1).
+    pub burst_mean: f64,
+    /// Mean off-period length.
+    pub off_mean: f64,
+    remaining: usize,
+}
+
+impl MmppArrivals {
+    /// A fresh process (in the off state).
+    pub fn new(on_rate: f64, burst_mean: f64, off_mean: f64) -> Self {
+        assert!(on_rate > 0.0, "mmpp on_rate must be positive");
+        assert!(burst_mean >= 1.0, "mmpp burst_mean must be >= 1");
+        assert!(off_mean >= 0.0, "mmpp off_mean must be non-negative");
+        MmppArrivals {
+            on_rate,
+            burst_mean,
+            off_mean,
+            remaining: 0,
+        }
+    }
+}
+
+impl ArrivalProcess for MmppArrivals {
+    fn next(&mut self, k: usize, prev: f64, rng: &mut StdRng) -> f64 {
+        if self.remaining == 0 {
+            // New on-period: its length, then the off-gap before it.
+            self.remaining = 1 + exp_draw(rng, self.burst_mean - 1.0).floor() as usize;
+            let gap = exp_draw(rng, self.off_mean);
+            self.remaining -= 1;
+            return if k == 0 { 0.0 } else { prev + gap };
+        }
+        self.remaining -= 1;
+        prev + exp_draw(rng, 1.0 / self.on_rate)
+    }
+}
+
+/// `per_batch` jobs at identical instants, batches `gap` apart.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchArrivals {
+    /// Jobs per batch.
+    pub per_batch: usize,
+    /// Time between batches.
+    pub gap: f64,
+}
+
+impl ArrivalProcess for BatchArrivals {
+    fn next(&mut self, k: usize, _prev: f64, _rng: &mut StdRng) -> f64 {
+        assert!(self.per_batch > 0);
+        (k / self.per_batch) as f64 * self.gap
+    }
+}
+
+/// Everything at time zero.
+#[derive(Debug, Clone, Copy)]
+pub struct AllAtOnceArrivals;
+
+impl ArrivalProcess for AllAtOnceArrivals {
+    fn next(&mut self, _k: usize, _prev: f64, _rng: &mut StdRng) -> f64 {
+        0.0
+    }
+}
+
+/// Replays a recorded sequence of release times (trace replay).
+///
+/// Requesting more jobs than the trace holds cycles through it again,
+/// shifting every repetition by the trace's span plus its mean
+/// inter-arrival gap so releases stay non-decreasing.
+#[derive(Debug, Clone)]
+pub struct ReplayArrivals {
+    times: Vec<f64>,
+    period: f64,
+}
+
+impl ReplayArrivals {
+    /// Builds a replay process from recorded release times (sorted
+    /// internally; must be non-empty and non-negative).
+    pub fn new(mut times: Vec<f64>) -> Self {
+        assert!(!times.is_empty(), "replay trace must be non-empty");
+        times.sort_by(|a, b| a.total_cmp(b));
+        assert!(times[0] >= 0.0, "replay trace has a negative release");
+        let last = *times.last().unwrap();
+        let mean_gap = (last - times[0]) / times.len() as f64;
+        ReplayArrivals {
+            times,
+            period: last + mean_gap.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+impl ArrivalProcess for ReplayArrivals {
+    fn next(&mut self, k: usize, _prev: f64, _rng: &mut StdRng) -> f64 {
+        let cycle = (k / self.times.len()) as f64;
+        self.times[k % self.times.len()] + cycle * self.period
+    }
+}
+
+impl ArrivalSpec {
+    /// Instantiates the process this spec denotes.
+    pub fn process(self) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalSpec::Poisson { rate } => Box::new(PoissonArrivals { rate }),
+            ArrivalSpec::Bursty { burst, within, gap } => {
+                Box::new(BurstyArrivals { burst, within, gap })
+            }
+            ArrivalSpec::Mmpp {
+                on_rate,
+                burst_mean,
+                off_mean,
+            } => Box::new(MmppArrivals::new(on_rate, burst_mean, off_mean)),
+            ArrivalSpec::Batch { per_batch, gap } => Box::new(BatchArrivals { per_batch, gap }),
+            ArrivalSpec::AllAtOnce => Box::new(AllAtOnceArrivals),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Size models.
+// ---------------------------------------------------------------------
+
+/// Uniform sizes on `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSize {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl SizeModel for UniformSize {
+    fn draw(&mut self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Exponential sizes with a given mean.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialSize {
+    /// Mean size.
+    pub mean: f64,
+}
+
+impl SizeModel for ExponentialSize {
+    fn draw(&mut self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+/// Bounded-Pareto sizes (heavy tail).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedParetoSize {
+    /// Tail exponent.
+    pub shape: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl SizeModel for BoundedParetoSize {
+    fn draw(&mut self, rng: &mut StdRng) -> f64 {
+        // Inverse CDF of the bounded Pareto.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let la = self.lo.powf(self.shape);
+        let ha = self.hi.powf(self.shape);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.shape)
+    }
+}
+
+/// Two-point size mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct BimodalSize {
+    /// Short size.
+    pub short: f64,
+    /// Long size.
+    pub long: f64,
+    /// Probability of a long job.
+    pub p_long: f64,
+}
+
+impl SizeModel for BimodalSize {
+    fn draw(&mut self, rng: &mut StdRng) -> f64 {
+        if rng.gen_bool(self.p_long.clamp(0.0, 1.0)) {
+            self.long
+        } else {
+            self.short
+        }
+    }
+}
+
+impl SizeSpec {
+    /// Instantiates the size model this spec denotes.
+    pub fn model(self) -> Box<dyn SizeModel> {
+        match self {
+            SizeSpec::Uniform { lo, hi } => Box::new(UniformSize { lo, hi }),
+            SizeSpec::Exponential { mean } => Box::new(ExponentialSize { mean }),
+            SizeSpec::BoundedPareto { shape, lo, hi } => {
+                Box::new(BoundedParetoSize { shape, lo, hi })
+            }
+            SizeSpec::Bimodal {
+                short,
+                long,
+                p_long,
+            } => Box::new(BimodalSize {
+                short,
+                long,
+                p_long,
+            }),
+        }
+    }
+
+    /// Expected base size — used by the named scenarios to scale
+    /// arrival rates to a fixed offered load.
+    pub fn mean(self) -> f64 {
+        match self {
+            SizeSpec::Uniform { lo, hi } => (lo + hi) / 2.0,
+            SizeSpec::Exponential { mean } => mean,
+            SizeSpec::BoundedPareto { shape, lo, hi } => {
+                // E[X] of the bounded Pareto; the α = 1 special case
+                // (logarithmic) is handled separately.
+                if (shape - 1.0).abs() < 1e-12 {
+                    (hi / lo).ln() * lo * hi / (hi - lo)
+                } else {
+                    let norm = shape * lo.powf(shape) / (1.0 - (lo / hi).powf(shape));
+                    norm * (lo.powf(1.0 - shape) - hi.powf(1.0 - shape)) / (shape - 1.0)
+                }
+            }
+            SizeSpec::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                let p = p_long.clamp(0.0, 1.0);
+                short * (1.0 - p) + long * p
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Machine models.
+// ---------------------------------------------------------------------
+
+/// `p_ij = base` everywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdenticalMachines {
+    m: usize,
+}
+
+impl MachineModel for IdenticalMachines {
+    fn init(&mut self, machines: usize, _rng: &mut StdRng) {
+        self.m = machines;
+    }
+    fn row(&mut self, base: f64, _rng: &mut StdRng) -> Vec<f64> {
+        vec![base; self.m]
+    }
+}
+
+/// Per-machine speed factors drawn once per instance.
+#[derive(Debug, Clone)]
+pub struct RelatedSpeedMachines {
+    /// Largest slowdown factor.
+    pub max_factor: f64,
+    factors: Vec<f64>,
+}
+
+impl RelatedSpeedMachines {
+    /// A model with factors in `[1, max_factor]` (drawn at `init`).
+    pub fn new(max_factor: f64) -> Self {
+        RelatedSpeedMachines {
+            max_factor,
+            factors: Vec::new(),
+        }
+    }
+}
+
+impl MachineModel for RelatedSpeedMachines {
+    fn init(&mut self, machines: usize, rng: &mut StdRng) {
+        self.factors = (0..machines)
+            .map(|_| rng.gen_range(1.0..=self.max_factor))
+            .collect();
+    }
+    fn row(&mut self, base: f64, _rng: &mut StdRng) -> Vec<f64> {
+        self.factors.iter().map(|f| base * f).collect()
+    }
+}
+
+/// iid per-(job, machine) factors.
+#[derive(Debug, Clone, Copy)]
+pub struct UnrelatedMachines {
+    /// Smallest factor.
+    pub lo_factor: f64,
+    /// Largest factor.
+    pub hi_factor: f64,
+    m: usize,
+}
+
+impl UnrelatedMachines {
+    /// A model with factors in `[lo_factor, hi_factor]`.
+    pub fn new(lo_factor: f64, hi_factor: f64) -> Self {
+        UnrelatedMachines {
+            lo_factor,
+            hi_factor,
+            m: 0,
+        }
+    }
+}
+
+impl MachineModel for UnrelatedMachines {
+    fn init(&mut self, machines: usize, _rng: &mut StdRng) {
+        self.m = machines;
+    }
+    fn row(&mut self, base: f64, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.m)
+            .map(|_| base * rng.gen_range(self.lo_factor..=self.hi_factor))
+            .collect()
+    }
+}
+
+/// Random eligible subsets with a guaranteed non-empty set.
+#[derive(Debug, Clone, Copy)]
+pub struct RestrictedMachines {
+    /// Expected number of eligible machines.
+    pub avg_eligible: f64,
+    m: usize,
+}
+
+impl RestrictedMachines {
+    /// A model averaging `avg_eligible` eligible machines per job.
+    pub fn new(avg_eligible: f64) -> Self {
+        RestrictedMachines { avg_eligible, m: 0 }
+    }
+}
+
+impl MachineModel for RestrictedMachines {
+    fn init(&mut self, machines: usize, _rng: &mut StdRng) {
+        self.m = machines;
+    }
+    fn row(&mut self, base: f64, rng: &mut StdRng) -> Vec<f64> {
+        let p = (self.avg_eligible / self.m as f64).clamp(0.0, 1.0);
+        let mut row: Vec<f64> = (0..self.m)
+            .map(|_| if rng.gen_bool(p) { base } else { f64::INFINITY })
+            .collect();
+        if row.iter().all(|x| !x.is_finite()) {
+            let lucky = rng.gen_range(0..self.m);
+            row[lucky] = base;
+        }
+        row
+    }
+}
+
+/// Rack-style affinity sets (see [`MachineSpec::Affinity`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AffinityMachines {
+    /// Number of racks.
+    pub groups: usize,
+    /// Probability of an everywhere-ineligible job.
+    pub drop_prob: f64,
+    m: usize,
+}
+
+impl AffinityMachines {
+    /// A model with `groups` racks and a `drop_prob` fraction of
+    /// everywhere-ineligible jobs.
+    pub fn new(groups: usize, drop_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop_prob must be a probability"
+        );
+        AffinityMachines {
+            groups,
+            drop_prob,
+            m: 0,
+        }
+    }
+}
+
+impl MachineModel for AffinityMachines {
+    fn init(&mut self, machines: usize, _rng: &mut StdRng) {
+        self.m = machines;
+        self.groups = self.groups.clamp(1, machines.max(1));
+    }
+    fn row(&mut self, base: f64, rng: &mut StdRng) -> Vec<f64> {
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
+            // Empty rack: representable, rejected at arrival with
+            // RejectReason::Ineligible by every scheduler.
+            return vec![f64::INFINITY; self.m];
+        }
+        let g = rng.gen_range(0..self.groups);
+        (0..self.m)
+            .map(|i| {
+                if i % self.groups == g {
+                    base
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    }
+}
+
+impl MachineSpec {
+    /// Instantiates the machine model this spec denotes.
+    pub fn model(self) -> Box<dyn MachineModel> {
+        match self {
+            MachineSpec::Identical => Box::new(IdenticalMachines::default()),
+            MachineSpec::RelatedSpeeds { max_factor } => {
+                Box::new(RelatedSpeedMachines::new(max_factor))
+            }
+            MachineSpec::Unrelated {
+                lo_factor,
+                hi_factor,
+            } => Box::new(UnrelatedMachines::new(lo_factor, hi_factor)),
+            MachineSpec::Restricted { avg_eligible } => {
+                Box::new(RestrictedMachines::new(avg_eligible))
+            }
+            MachineSpec::Affinity { groups, drop_prob } => {
+                Box::new(AffinityMachines::new(groups, drop_prob))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generation pipeline.
+// ---------------------------------------------------------------------
+
+/// Generates a flow-time / flow+energy instance from arbitrary trait
+/// implementations — the open composition entry point. Draw order (one
+/// seeded stream): machine-model `init`, then per job arrival → base
+/// size → row → weight.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_with(
+    n: usize,
+    machines: usize,
+    seed: u64,
+    kind: InstanceKind,
+    arrivals: &mut dyn ArrivalProcess,
+    sizes: &mut dyn SizeModel,
+    machine_model: &mut dyn MachineModel,
+    weights: WeightSpec,
+) -> Instance {
+    assert_ne!(
+        kind,
+        InstanceKind::Energy,
+        "use generate_energy_with for deadlines"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    machine_model.init(machines, &mut rng);
+    let mut b = InstanceBuilder::new(machines, kind);
+    let mut t = 0.0;
+    for k in 0..n {
+        t = arrivals.next(k, t, &mut rng);
+        let base = sizes.draw(&mut rng);
+        let row = machine_model.row(base, &mut rng);
+        let w = weights.draw(&mut rng);
+        b = b.full_job(t, w, None, row);
+    }
+    b.build().expect("generated workload is structurally valid")
+}
+
+/// Deadline (§4) twin of [`generate_with`]: deadlines at
+/// `r + slack · p̂` with `slack ~ U[min_slack, max_slack]`. Rows with no
+/// eligible machine get machine 0 forced eligible — a deadline must be
+/// finite, so everywhere-ineligible jobs are not representable here.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_energy_with(
+    n: usize,
+    machines: usize,
+    seed: u64,
+    arrivals: &mut dyn ArrivalProcess,
+    sizes: &mut dyn SizeModel,
+    machine_model: &mut dyn MachineModel,
+    min_slack: f64,
+    max_slack: f64,
+) -> Instance {
+    assert!(min_slack > 1.0 && max_slack >= min_slack);
+    let mut rng = StdRng::seed_from_u64(seed);
+    machine_model.init(machines, &mut rng);
+    let mut b = InstanceBuilder::new(machines, InstanceKind::Energy);
+    let mut t = 0.0;
+    for k in 0..n {
+        t = arrivals.next(k, t, &mut rng);
+        let base = sizes.draw(&mut rng);
+        let mut row = machine_model.row(base, &mut rng);
+        let mut p_min = row
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if !p_min.is_finite() {
+            row[0] = base;
+            p_min = base;
+        }
+        let slack = rng.gen_range(min_slack..=max_slack);
+        b = b.deadline_job(t, t + slack * p_min, row);
+    }
+    b.build().expect("generated workload is structurally valid")
+}
+
+// ---------------------------------------------------------------------
+// Scenario: a named, Copy bundle of spec choices.
+// ---------------------------------------------------------------------
+
+/// Arrival tokens of the scenario-name grammar (see [`Scenario::named`]).
+pub const ARRIVAL_TOKENS: &[&str] = &["poisson", "mmpp", "bursty", "batch", "once"];
+/// Size tokens of the scenario-name grammar.
+pub const SIZE_TOKENS: &[&str] = &["uniform", "pareto", "bimodal", "exp"];
+/// Machine tokens of the scenario-name grammar.
+pub const MACHINE_TOKENS: &[&str] = &[
+    "identical",
+    "related",
+    "unrelated",
+    "restricted",
+    "affinity",
+];
+
+/// A complete flow-time / flow+energy workload description: the spec
+/// cross product plus the shape parameters `(n, machines, seed)`.
+///
+/// This is the type formerly named `FlowWorkload` (that name survives
+/// as an alias); the fields are the spec enums, so experiments override
+/// individual axes with struct-field assignment as before.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub machines: usize,
+    /// RNG seed (same seed ⇒ identical instance).
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Size distribution.
+    pub sizes: SizeSpec,
+    /// Unrelated-machine structure.
+    pub machine_model: MachineSpec,
+    /// Weight distribution.
+    pub weights: WeightSpec,
+}
+
+impl Scenario {
+    /// A sensible default: Poisson arrivals at 80% of aggregate service
+    /// capacity, bounded-Pareto sizes, mildly unrelated machines.
+    pub fn standard(n: usize, machines: usize, seed: u64) -> Self {
+        // Mean bounded-Pareto(1.5, 1, 100) size ≈ 2.96; rate chosen so
+        // the system is busy but stable.
+        let rate = 0.8 * machines as f64 / 3.0;
+        Scenario {
+            n,
+            machines,
+            seed,
+            arrivals: ArrivalSpec::Poisson { rate },
+            sizes: SizeSpec::BoundedPareto {
+                shape: 1.5,
+                lo: 1.0,
+                hi: 100.0,
+            },
+            machine_model: MachineSpec::Unrelated {
+                lo_factor: 1.0,
+                hi_factor: 4.0,
+            },
+            weights: WeightSpec::Unit,
+        }
+    }
+
+    /// Resolves a scenario name of the form
+    /// `<arrivals>-<sizes>-<machines>` (tokens: [`ARRIVAL_TOKENS`] ×
+    /// [`SIZE_TOKENS`] × [`MACHINE_TOKENS`]) into a concrete scenario
+    /// with canonical parameters scaled to `(n, machines)` so the
+    /// offered load sits at ~80% of aggregate capacity regardless of
+    /// the size distribution. See the crate README for the full
+    /// grammar.
+    pub fn named(name: &str, n: usize, machines: usize, seed: u64) -> Result<Self, String> {
+        let parts: Vec<&str> = name.split('-').collect();
+        let [a, s, m] = parts[..] else {
+            return Err(format!(
+                "scenario `{name}` must be <arrivals>-<sizes>-<machines> \
+                 (e.g. `mmpp-pareto-affinity`)"
+            ));
+        };
+        let sizes = match s {
+            "uniform" => SizeSpec::Uniform { lo: 1.0, hi: 8.0 },
+            "pareto" => SizeSpec::BoundedPareto {
+                shape: 1.5,
+                lo: 1.0,
+                hi: 100.0,
+            },
+            "bimodal" => SizeSpec::Bimodal {
+                short: 1.0,
+                long: 64.0,
+                p_long: 0.1,
+            },
+            "exp" => SizeSpec::Exponential { mean: 4.0 },
+            other => Err(format!(
+                "unknown size token `{other}` (want one of {SIZE_TOKENS:?})"
+            ))?,
+        };
+        let rate = 0.8 * machines as f64 / sizes.mean();
+        let arrivals = match a {
+            "poisson" => ArrivalSpec::Poisson { rate },
+            "mmpp" => ArrivalSpec::Mmpp {
+                on_rate: 4.0 * rate,
+                burst_mean: 32.0,
+                off_mean: 16.0 / rate,
+            },
+            "bursty" => ArrivalSpec::Bursty {
+                burst: 32,
+                within: 0.01,
+                gap: 16.0 / rate,
+            },
+            "batch" => ArrivalSpec::Batch {
+                per_batch: (n / 16).max(4),
+                gap: (n / 16).max(4) as f64 / rate,
+            },
+            "once" => ArrivalSpec::AllAtOnce,
+            other => Err(format!(
+                "unknown arrival token `{other}` (want one of {ARRIVAL_TOKENS:?})"
+            ))?,
+        };
+        let machine_model = match m {
+            "identical" => MachineSpec::Identical,
+            "related" => MachineSpec::RelatedSpeeds { max_factor: 4.0 },
+            "unrelated" => MachineSpec::Unrelated {
+                lo_factor: 1.0,
+                hi_factor: 4.0,
+            },
+            "restricted" => MachineSpec::Restricted { avg_eligible: 3.0 },
+            "affinity" => MachineSpec::Affinity {
+                groups: 4,
+                drop_prob: 0.02,
+            },
+            other => Err(format!(
+                "unknown machine token `{other}` (want one of {MACHINE_TOKENS:?})"
+            ))?,
+        };
+        Ok(Scenario {
+            n,
+            machines,
+            seed,
+            arrivals,
+            sizes,
+            machine_model,
+            weights: WeightSpec::Unit,
+        })
+    }
+
+    /// Every name the grammar admits (the full
+    /// `|ARRIVAL| × |SIZE| × |MACHINE|` cross product).
+    pub fn all_names() -> Vec<String> {
+        let mut out = Vec::new();
+        for a in ARRIVAL_TOKENS {
+            for s in SIZE_TOKENS {
+                for m in MACHINE_TOKENS {
+                    out.push(format!("{a}-{s}-{m}"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Generates the instance with the given kind (flow-time or
+    /// flow+energy).
+    pub fn generate(&self, kind: InstanceKind) -> Instance {
+        generate_with(
+            self.n,
+            self.machines,
+            self.seed,
+            kind,
+            &mut *self.arrivals.process(),
+            &mut *self.sizes.model(),
+            &mut *self.machine_model.model(),
+            self.weights,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmpp_arrivals_cluster() {
+        let sc = Scenario {
+            arrivals: ArrivalSpec::Mmpp {
+                on_rate: 50.0,
+                burst_mean: 16.0,
+                off_mean: 40.0,
+            },
+            machine_model: MachineSpec::Identical,
+            ..Scenario::standard(400, 1, 7)
+        };
+        let inst = sc.generate(InstanceKind::FlowTime);
+        let r: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+        // Bursty on/off: a meaningful share of gaps tiny (in-burst),
+        // a meaningful share large (off periods).
+        let gaps: Vec<f64> = r.windows(2).map(|w| w[1] - w[0]).collect();
+        let tiny = gaps.iter().filter(|g| **g < 0.2).count();
+        let big = gaps.iter().filter(|g| **g > 5.0).count();
+        assert!(tiny > gaps.len() / 2, "tiny {tiny}/{}", gaps.len());
+        assert!(big > 3, "big {big}");
+    }
+
+    #[test]
+    fn replay_arrivals_cycle_monotonically() {
+        let mut rep = ReplayArrivals::new(vec![0.0, 1.0, 5.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts: Vec<f64> = (0..9).map(|k| rep.next(k, 0.0, &mut rng)).collect();
+        assert_eq!(&ts[..3], &[0.0, 1.0, 5.0]);
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0], "{ts:?}");
+        }
+        // Second cycle mirrors the first, shifted by one period.
+        assert!((ts[3] - ts[0] - (ts[4] - ts[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_respects_racks_and_drops() {
+        let sc = Scenario {
+            machine_model: MachineSpec::Affinity {
+                groups: 4,
+                drop_prob: 0.1,
+            },
+            ..Scenario::standard(400, 8, 23)
+        };
+        let inst = sc.generate(InstanceKind::FlowTime);
+        let mut dropped = 0;
+        for j in inst.jobs() {
+            if !j.has_eligible() {
+                dropped += 1;
+                continue;
+            }
+            // Eligible machines all in one rack (i % 4 constant), and
+            // with m = 8, groups = 4 each rack has exactly 2 machines.
+            let elig: Vec<usize> = (0..8).filter(|&i| j.sizes[i].is_finite()).collect();
+            assert_eq!(elig.len(), 2, "{elig:?}");
+            assert_eq!(elig[0] % 4, elig[1] % 4);
+        }
+        assert!((10..100).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn named_grammar_covers_the_grid() {
+        for name in Scenario::all_names() {
+            let sc = Scenario::named(&name, 60, 6, 5).unwrap();
+            let inst = sc.generate(InstanceKind::FlowTime);
+            assert_eq!(inst.len(), 60, "{name}");
+            assert_eq!(inst.machines(), 6, "{name}");
+        }
+        assert_eq!(Scenario::all_names().len(), 100);
+    }
+
+    #[test]
+    fn named_rejects_bad_names() {
+        assert!(Scenario::named("poisson-pareto", 10, 2, 1).is_err());
+        assert!(Scenario::named("warp-pareto-identical", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-cubic-identical", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-pareto-quantum", 10, 2, 1).is_err());
+    }
+
+    #[test]
+    fn custom_trait_impls_compose_through_generate_with() {
+        // A hand-rolled arrival process (fixed cadence) crossed with
+        // the stock size/machine models — the open extension point.
+        struct EveryHalf;
+        impl ArrivalProcess for EveryHalf {
+            fn next(&mut self, k: usize, _prev: f64, _rng: &mut StdRng) -> f64 {
+                k as f64 * 0.5
+            }
+        }
+        let inst = generate_with(
+            10,
+            2,
+            1,
+            InstanceKind::FlowTime,
+            &mut EveryHalf,
+            &mut *SizeSpec::Uniform { lo: 1.0, hi: 2.0 }.model(),
+            &mut *MachineSpec::Identical.model(),
+            WeightSpec::Unit,
+        );
+        assert_eq!(inst.jobs()[4].release, 2.0);
+    }
+
+    #[test]
+    fn pareto_mean_matches_empirical() {
+        let spec = SizeSpec::BoundedPareto {
+            shape: 1.5,
+            lo: 1.0,
+            hi: 100.0,
+        };
+        let mut model = spec.model();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| model.draw(&mut rng)).sum::<f64>() / n as f64;
+        let analytic = spec.mean();
+        assert!(
+            (emp - analytic).abs() / analytic < 0.05,
+            "empirical {emp} vs analytic {analytic}"
+        );
+    }
+}

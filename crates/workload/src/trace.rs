@@ -18,9 +18,9 @@
 
 use osr_model::{Instance, InstanceBuilder, InstanceKind, ModelError};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::gen::MachineModel;
+use crate::scenario::MachineSpec;
 
 /// Options controlling how a scalar trace expands to unrelated machines.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +28,7 @@ pub struct TraceImport {
     /// Number of machines to expand to.
     pub machines: usize,
     /// How the scalar size becomes a `p_ij` row.
-    pub machine_model: MachineModel,
+    pub machine_model: MachineSpec,
     /// Seed for the expansion.
     pub seed: u64,
 }
@@ -38,7 +38,7 @@ impl TraceImport {
     pub fn identical(machines: usize) -> Self {
         TraceImport {
             machines,
-            machine_model: MachineModel::Identical,
+            machine_model: MachineSpec::Identical,
             seed: 0,
         }
     }
@@ -101,37 +101,15 @@ impl TraceImport {
             _ => InstanceKind::FlowTime,
         };
 
+        // The expansion reuses the scenario framework's MachineModel
+        // trait — same implementations, same seeded draw order.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let factors: Vec<f64> = match self.machine_model {
-            MachineModel::RelatedSpeeds { max_factor } => (0..self.machines)
-                .map(|_| rng.gen_range(1.0..=max_factor))
-                .collect(),
-            _ => vec![1.0; self.machines],
-        };
+        let mut model = self.machine_model.model();
+        model.init(self.machines, &mut rng);
 
         let mut b = InstanceBuilder::new(self.machines, kind);
         for (release, size, weight, deadline) in rows {
-            let sizes: Vec<f64> = match self.machine_model {
-                MachineModel::Identical => vec![size; self.machines],
-                MachineModel::RelatedSpeeds { .. } => factors.iter().map(|f| size * f).collect(),
-                MachineModel::Unrelated {
-                    lo_factor,
-                    hi_factor,
-                } => (0..self.machines)
-                    .map(|_| size * rng.gen_range(lo_factor..=hi_factor))
-                    .collect(),
-                MachineModel::Restricted { avg_eligible } => {
-                    let p = (avg_eligible / self.machines as f64).clamp(0.0, 1.0);
-                    let mut row: Vec<f64> = (0..self.machines)
-                        .map(|_| if rng.gen_bool(p) { size } else { f64::INFINITY })
-                        .collect();
-                    if row.iter().all(|x| !x.is_finite()) {
-                        let lucky = rng.gen_range(0..self.machines);
-                        row[lucky] = size;
-                    }
-                    row
-                }
-            };
+            let sizes = model.row(size, &mut rng);
             b = b.full_job(release, weight, deadline, sizes);
         }
         b.build()
@@ -193,7 +171,7 @@ mod tests {
     fn unrelated_expansion_is_seeded() {
         let imp = TraceImport {
             machines: 3,
-            machine_model: MachineModel::Unrelated {
+            machine_model: MachineSpec::Unrelated {
                 lo_factor: 1.0,
                 hi_factor: 4.0,
             },
@@ -215,7 +193,7 @@ mod tests {
     fn restricted_expansion_keeps_eligibility() {
         let imp = TraceImport {
             machines: 4,
-            machine_model: MachineModel::Restricted { avg_eligible: 1.5 },
+            machine_model: MachineSpec::Restricted { avg_eligible: 1.5 },
             seed: 3,
         };
         let inst = imp.parse("0 2\n0 2\n0 2\n0 2\n0 2\n").unwrap();

@@ -9,7 +9,7 @@
 //! ```
 
 use online_sched_rejection::prelude::*;
-use osr_workload::{ArrivalModel, MachineModel, SizeModel};
+use osr_workload::{ArrivalSpec, MachineSpec, SizeSpec};
 
 fn main() {
     let machines = 12;
@@ -18,17 +18,17 @@ fn main() {
     // Heavy-tailed service times (bounded Pareto), bursty arrivals, a
     // cluster with 1–4× speed spread.
     let mut spec = FlowWorkload::standard(n, machines, 2024);
-    spec.arrivals = ArrivalModel::Bursty {
+    spec.arrivals = ArrivalSpec::Bursty {
         burst: 50,
         within: 0.02,
         gap: 12.0,
     };
-    spec.sizes = SizeModel::BoundedPareto {
+    spec.sizes = SizeSpec::BoundedPareto {
         shape: 1.3,
         lo: 0.5,
         hi: 300.0,
     };
-    spec.machine_model = MachineModel::RelatedSpeeds { max_factor: 4.0 };
+    spec.machine_model = MachineSpec::RelatedSpeeds { max_factor: 4.0 };
     let instance = spec.generate(InstanceKind::FlowTime);
     println!(
         "cluster: {machines} machines, {} jobs, size ratio Δ = {:.0}",

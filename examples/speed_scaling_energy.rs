@@ -9,13 +9,13 @@
 
 use online_sched_rejection::prelude::*;
 use osr_baselines::energyflow_alone_lower_bound;
-use osr_workload::{SizeModel, WeightModel};
+use osr_workload::{SizeSpec, WeightSpec};
 
 fn main() {
     let alpha = 2.5;
     let mut spec = FlowWorkload::standard(1500, 4, 7);
-    spec.weights = WeightModel::Uniform { lo: 1.0, hi: 10.0 };
-    spec.sizes = SizeModel::Bimodal {
+    spec.weights = WeightSpec::Uniform { lo: 1.0, hi: 10.0 };
+    spec.sizes = SizeSpec::Bimodal {
         short: 2.0,
         long: 90.0,
         p_long: 0.06,

@@ -11,7 +11,7 @@
 
 use online_sched_rejection::prelude::*;
 use osr_core::flowtime::WeightedFlowScheduler;
-use osr_workload::{MachineModel, TraceImport};
+use osr_workload::{MachineSpec, TraceImport};
 
 fn main() {
     // A synthetic "trace file": bursty interactive jobs (weight 8),
@@ -30,7 +30,7 @@ fn main() {
 
     let importer = TraceImport {
         machines: 4,
-        machine_model: MachineModel::Unrelated {
+        machine_model: MachineSpec::Unrelated {
             lo_factor: 1.0,
             hi_factor: 3.0,
         },

@@ -85,7 +85,7 @@ proptest! {
         eps in 0.1f64..1.0,
     ) {
         let mut w = FlowWorkload::standard(n, m, seed);
-        w.weights = osr_workload::WeightModel::Uniform { lo: 0.5, hi: 8.0 };
+        w.weights = osr_workload::WeightSpec::Uniform { lo: 0.5, hi: 8.0 };
         let inst = w.generate(InstanceKind::FlowEnergy);
 
         let mut wp = osr_core::flowtime::WeightedFlowParams::new(eps);

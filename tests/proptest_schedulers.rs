@@ -16,7 +16,7 @@ fn flow_instance() -> impl Strategy<Value = Instance> {
 fn weighted_instance() -> impl Strategy<Value = Instance> {
     (1usize..=3, 1usize..=25, any::<u64>()).prop_map(|(m, n, seed)| {
         let mut w = FlowWorkload::standard(n, m, seed);
-        w.weights = osr_workload::WeightModel::Uniform { lo: 0.5, hi: 10.0 };
+        w.weights = osr_workload::WeightSpec::Uniform { lo: 0.5, hi: 10.0 };
         w.generate(InstanceKind::FlowEnergy)
     })
 }

@@ -4,7 +4,7 @@
 
 use online_sched_rejection::prelude::*;
 use osr_core::flowtime::check_dual_feasibility;
-use osr_workload::{ArrivalModel, MachineModel, SizeModel};
+use osr_workload::{ArrivalSpec, MachineSpec, SizeSpec};
 
 fn run_and_validate(inst: &Instance, eps: f64) -> (osr_core::FlowOutcome, Metrics) {
     let out = FlowScheduler::with_eps(eps).unwrap().run(inst);
@@ -20,17 +20,17 @@ fn rejection_budget_holds_across_workload_shapes() {
         ("standard", FlowWorkload::standard(800, 4, 1)),
         ("all-at-once", {
             let mut w = FlowWorkload::standard(400, 2, 2);
-            w.arrivals = ArrivalModel::AllAtOnce;
+            w.arrivals = ArrivalSpec::AllAtOnce;
             w
         }),
         ("restricted", {
             let mut w = FlowWorkload::standard(600, 6, 3);
-            w.machine_model = MachineModel::Restricted { avg_eligible: 2.0 };
+            w.machine_model = MachineSpec::Restricted { avg_eligible: 2.0 };
             w
         }),
         ("heavy-tail", {
             let mut w = FlowWorkload::standard(600, 3, 4);
-            w.sizes = SizeModel::BoundedPareto {
+            w.sizes = SizeSpec::BoundedPareto {
                 shape: 1.1,
                 lo: 1.0,
                 hi: 500.0,
@@ -115,7 +115,7 @@ fn exact_opt_confirms_the_bound_on_tiny_instances() {
     use osr_baselines::optimal_flow;
     for seed in 0..8u64 {
         let mut w = FlowWorkload::standard(7, 2, 500 + seed);
-        w.sizes = SizeModel::Uniform { lo: 1.0, hi: 9.0 };
+        w.sizes = SizeSpec::Uniform { lo: 1.0, hi: 9.0 };
         let inst = w.generate(InstanceKind::FlowTime);
         let opt = optimal_flow(&inst);
         for eps in [0.5, 1.0] {
@@ -133,7 +133,7 @@ fn exact_opt_confirms_the_bound_on_tiny_instances() {
 #[test]
 fn rejected_jobs_have_consistent_records() {
     let mut w = FlowWorkload::standard(500, 2, 13);
-    w.sizes = SizeModel::Bimodal {
+    w.sizes = SizeSpec::Bimodal {
         short: 1.0,
         long: 200.0,
         p_long: 0.1,

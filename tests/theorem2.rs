@@ -5,11 +5,11 @@
 use online_sched_rejection::prelude::*;
 use osr_baselines::energyflow_alone_lower_bound;
 use osr_core::energyflow::check_energyflow_dual;
-use osr_workload::WeightModel;
+use osr_workload::WeightSpec;
 
 fn weighted_instance(n: usize, m: usize, seed: u64) -> Instance {
     let mut w = FlowWorkload::standard(n, m, seed);
-    w.weights = WeightModel::Uniform { lo: 1.0, hi: 12.0 };
+    w.weights = WeightSpec::Uniform { lo: 1.0, hi: 12.0 };
     w.generate(InstanceKind::FlowEnergy)
 }
 

@@ -7,7 +7,7 @@ use online_sched_rejection::prelude::*;
 use osr_core::Thresholds;
 use osr_model::RejectReason;
 use osr_sim::DecisionEvent;
-use osr_workload::{ArrivalModel, SizeModel};
+use osr_workload::{ArrivalSpec, SizeSpec};
 
 fn traced_run(inst: &Instance, eps: f64) -> (osr_core::FlowOutcome, Thresholds) {
     let sched = FlowScheduler::with_eps(eps).unwrap();
@@ -17,12 +17,12 @@ fn traced_run(inst: &Instance, eps: f64) -> (osr_core::FlowOutcome, Thresholds) 
 
 fn stress_instance(seed: u64) -> Instance {
     let mut w = FlowWorkload::standard(500, 3, seed);
-    w.arrivals = ArrivalModel::Bursty {
+    w.arrivals = ArrivalSpec::Bursty {
         burst: 30,
         within: 0.02,
         gap: 8.0,
     };
-    w.sizes = SizeModel::Bimodal {
+    w.sizes = SizeSpec::Bimodal {
         short: 1.0,
         long: 60.0,
         p_long: 0.1,
