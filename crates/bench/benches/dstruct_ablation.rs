@@ -11,8 +11,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
-use osr_dstruct::{AggTreap, BoxedAggTreap, NaiveAggQueue};
-use osr_model::InstanceKind;
+use osr_dstruct::{
+    AggTreap, BoxedAggTreap, MachineIndex, MachineStats, MaskView, NaiveAggQueue, NodeStats,
+    SearchMode,
+};
+use osr_model::{EligMask, InstanceKind};
 use osr_workload::{ArrivalSpec, FlowWorkload, MachineSpec};
 
 fn backend_ablation(c: &mut Criterion) {
@@ -77,6 +80,163 @@ fn dispatch_m_sweep(c: &mut Criterion) {
                 },
             );
         }
+    }
+    group.finish();
+}
+
+/// The PR 4 affinity m-sweep: full §2 scheduler on **rack-affinity**
+/// workloads (each job eligible on m/groups machines, round-robin
+/// racks, 2% everywhere-ineligible arrivals) — the regime where the
+/// PR 2/3 index was eligibility-blind and descended into racks full of
+/// `∞` entries. Pruned (mask-guided) vs linear; linear capped at
+/// m ≤ 1024 like the dense sweep.
+fn dispatch_affinity_m_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_affinity_m_sweep");
+    for &(m, n, groups) in &[(1_024usize, 4_096usize, 16usize), (16_384, 2_048, 64)] {
+        let mut w = FlowWorkload::standard(n, m, 42);
+        w.machine_model = MachineSpec::Affinity {
+            groups,
+            drop_prob: 0.02,
+        };
+        let inst = w.generate(InstanceKind::FlowTime);
+        for dispatch in [DispatchIndex::Pruned, DispatchIndex::Linear] {
+            if dispatch == DispatchIndex::Linear && m > 1_024 {
+                continue;
+            }
+            let mut params = FlowParams::new(0.25);
+            params.dispatch = dispatch;
+            let label = match dispatch {
+                DispatchIndex::Pruned => "pruned",
+                DispatchIndex::Linear => "linear",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_m{m}_g{groups}"), n),
+                &inst,
+                |b, inst| {
+                    let sched = FlowScheduler::new(params).unwrap();
+                    b.iter(|| sched.run(inst).log.rejected_count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The isolated PR 4 ablation: the tournament search with vs without
+/// the eligibility mask, on affinity-shaped state. Every machine's
+/// queue is busy (as under a real affinity workload, where each rack
+/// serves its own jobs), bounds are flow-shaped, and each searched job
+/// is eligible on one round-robin rack. The **blind** variant is
+/// exactly the pre-PR-4 closure shape — leaf bound `∞` / eval `None`
+/// on ineligible machines, nothing telling the descent which subtrees
+/// are empty — so the ratio against the **masked** variant is the
+/// isolated cost of eligibility-blindness (gated by `bench_check`).
+fn masked_descent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_descent");
+    for &(m, groups) in &[(1_024usize, 16usize), (16_384, 64)] {
+        let mut ix = MachineIndex::with_mode(m, SearchMode::Heap);
+        for i in 0..m {
+            ix.update(
+                i,
+                MachineStats {
+                    count: 1 + (i % 3) as u64,
+                    wsum: 4.0 + (i % 5) as f64,
+                    min_size: 1.0 + (i % 7) as f64 * 0.25,
+                },
+            );
+        }
+        // One mask per rack (machine `i` eligible iff
+        // `i % groups == g`), built through the production constructor
+        // so the bench measures exactly the mask shape the schedulers
+        // hand the search.
+        let masks: Vec<EligMask> = (0..groups)
+            .map(|g| {
+                let sizes: Vec<f64> = (0..m)
+                    .map(|i| if i % groups == g { 1.0 } else { f64::INFINITY })
+                    .collect();
+                EligMask::from_sizes(&sizes)
+            })
+            .collect();
+
+        // Flow-shaped bound from subtree stats (the §2 expression with
+        // p̂ = 2, 1/ε = 4) and an exact λ proxy sitting above it —
+        // queues are busy everywhere, so bounds alone prune little and
+        // the blind search must discover every rack's `∞`s leaf by
+        // leaf.
+        let (p, inv_eps) = (2.0f64, 4.0f64);
+        let node_bound = move |s: &NodeStats| {
+            let prefix_empty = inv_eps * p + p + (s.min_count as f64) * p;
+            let prefix_nonempty = inv_eps * p + (s.min_size + p);
+            prefix_empty.min(prefix_nonempty)
+        };
+        let exact = move |i: usize| {
+            let count = 1.0 + (i % 3) as f64;
+            inv_eps * p + ((1.0 + (i % 7) as f64 * 0.25) + p) + count * p + (i % 11) as f64 * 0.01
+        };
+
+        fn view(mask: &EligMask) -> MaskView<'_> {
+            let (words, summary) = mask.word_layers().expect("rack masks are restricted");
+            MaskView::Words { words, summary }
+        }
+
+        // Sanity once, outside the timed loops: both variants agree on
+        // every rack.
+        for (g, mask) in masks.iter().enumerate() {
+            let blind = ix.search(
+                node_bound,
+                |i, s| {
+                    if i % groups == g {
+                        node_bound(s)
+                    } else {
+                        f64::INFINITY
+                    }
+                },
+                |i| (i % groups == g).then(|| exact(i)),
+            );
+            let masked = ix.search_masked(
+                view(mask),
+                node_bound,
+                |_, s| node_bound(s),
+                |i| (i % groups == g).then(|| exact(i)),
+            );
+            assert_eq!(blind, masked, "m={m} g={g}");
+        }
+
+        group.bench_function(format!("blind_m{m}_g{groups}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for g in 0..groups {
+                    let r = ix.search(
+                        node_bound,
+                        |i, s| {
+                            if i % groups == g {
+                                node_bound(s)
+                            } else {
+                                f64::INFINITY
+                            }
+                        },
+                        |i| (i % groups == g).then(|| exact(i)),
+                    );
+                    acc += r.expect("rack is non-empty").1;
+                }
+                acc
+            });
+        });
+        group.bench_function(format!("masked_m{m}_g{groups}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (g, mask) in masks.iter().enumerate() {
+                    let r = ix.search_masked(
+                        view(mask),
+                        node_bound,
+                        |_, s| node_bound(s),
+                        |i| (i % groups == g).then(|| exact(i)),
+                    );
+                    acc += r.expect("rack is non-empty").1;
+                }
+                acc
+            });
+        });
     }
     group.finish();
 }
@@ -240,6 +400,6 @@ fn bulk_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, dispatch_m_sweep, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
+    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

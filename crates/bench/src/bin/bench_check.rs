@@ -82,6 +82,27 @@ const KEY_RATIOS: &[(&str, &str, &str, &str, Option<f64>)] = &[
         "cached_m1024/2000",
         None,
     ),
+    // PR 4: the mask-guided tournament descent on affinity workloads.
+    // The micro pair isolates blind-vs-masked search (the sparse
+    // bit-walk path at this size: ~280× recorded); the end-to-end pair
+    // guards the full scheduler against losing to its own linear
+    // ablation on affinity scenarios (~1.8× recorded, and an
+    // eligibility-blind index sits at ~0.75× — well below the widened
+    // 50% gate).
+    (
+        "masked-vs-blind affinity descent (m=1024, g=16)",
+        "masked_descent",
+        "blind_m1024_g16",
+        "masked_m1024_g16",
+        Some(0.50),
+    ),
+    (
+        "affinity pruned-vs-linear end-to-end (m=1024, g=16)",
+        "dispatch_affinity_m_sweep",
+        "linear_m1024_g16/4096",
+        "pruned_m1024_g16/4096",
+        Some(0.50),
+    ),
 ];
 
 /// Extracts the string value of `"key":"…"` from a JSON line.

@@ -412,6 +412,21 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
     let opts = BackendOpts::parse(args)?;
 
     let (log, name, speeds_vary, dual) = run_algo(spec, &instance, opts)?;
+    // An explicitly requested dispatch index that the scheduler cannot
+    // honor at this machine count must be called out, or ablation runs
+    // label their results with a strategy that never executed.
+    let dispatch_notice = opts.dispatch.and_then(|req| {
+        let eff = osr_core::effective_dispatch_index(req, instance.machines());
+        (eff != req).then(|| {
+            format!(
+                "note: --dispatch-index {req} is ineffective at m={} \
+                 (below PRUNED_MIN_MACHINES={}); the {eff} scan ran — label ablation \
+                 results accordingly",
+                instance.machines(),
+                osr_core::PRUNED_MIN_MACHINES,
+            )
+        })
+    });
     let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
     if !report.is_valid() {
         return Err(format!(
@@ -426,6 +441,9 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
     let metrics = Metrics::compute(&instance, &log, alpha);
 
     let mut out = String::new();
+    if let Some(notice) = dispatch_notice {
+        let _ = writeln!(out, "{notice}");
+    }
     let _ = writeln!(out, "algorithm      : {name}");
     let _ = writeln!(
         out,
@@ -857,6 +875,48 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("--queue-backend"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_warns_when_requested_dispatch_index_is_ineffective() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-eff-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let small = dir.join("small.csv");
+        let big = dir.join("big.csv");
+        fs::write(
+            &small,
+            cmd_gen(&args("gen --kind flowtime --n 10 --machines 2 --seed 1")).unwrap(),
+        )
+        .unwrap();
+        fs::write(
+            &big,
+            cmd_gen(&args("gen --kind flowtime --n 10 --machines 12 --seed 1")).unwrap(),
+        )
+        .unwrap();
+        // m = 2 < PRUNED_MIN_MACHINES: an explicit pruned request falls
+        // back to the linear scan and the run must say so.
+        let out = cmd_run(&args(&format!(
+            "run --algo flow:0.25 --input {} --dispatch-index pruned",
+            small.display()
+        )))
+        .unwrap();
+        assert!(out.contains("ineffective"), "{out}");
+        assert!(out.contains("linear scan ran"), "{out}");
+        // No notice when the request is honored (m >= crossover), when
+        // linear is requested (always honored), or with no request.
+        for (path, extra) in [
+            (&big, "--dispatch-index pruned"),
+            (&small, "--dispatch-index linear"),
+            (&small, ""),
+        ] {
+            let out = cmd_run(&args(&format!(
+                "run --algo flow:0.25 --input {} {extra}",
+                path.display()
+            )))
+            .unwrap();
+            assert!(!out.contains("ineffective"), "{extra}: {out}");
+        }
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -56,8 +56,29 @@
 //! (`filter(is_finite).fold(∞, min)`), so results stay bit-identical —
 //! locked by the `tests/dispatch_equivalence` proptests and the CI
 //! experiment-suite diffs.
+//!
+//! ## The job-side input: the eligibility mask
+//!
+//! On restricted/affinity workloads the bounds above are
+//! **eligibility-blind** — a subtree of machines the job cannot run on
+//! still advertises a bound built from `p̂` — so since PR 4 the
+//! schedulers hand the search the job's cached eligibility bitmask
+//! ([`osr_model::EligMask`], borrowed as `osr_dstruct::MaskView`):
+//! any subtree whose machine range misses the mask is skipped outright
+//! (an `O(1)` word intersection per node), cutting the search cost to
+//! the *eligible* racks. Masked-out machines could only ever evaluate
+//! to `None`, so skipping them is result-neutral: bit-identity with
+//! the linear scan is preserved and locked by the
+//! restricted/affinity `dispatch_equivalence` proptests. The same PR
+//! moved mid-size `m` off the `BinaryHeap` entirely —
+//! `osr_dstruct::MachineIndex` auto-selects a flat bound scan at
+//! `m ≤ 64` (`osr_dstruct::tournament::FLAT_MAX_MACHINES`), attacking
+//! the recorded m ≈ 64 crossover where heap traffic ate the win.
 
 use std::sync::atomic::{AtomicU8, Ordering};
+
+use osr_dstruct::MaskView;
+use osr_model::EligMask;
 
 /// How a scheduler locates `argmin_i λ_ij` at each arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,18 +86,57 @@ pub enum DispatchIndex {
     /// Exact `λ_ij` on every machine, lowest index wins ties — the
     /// `O(m)` reference path, kept as the ablation baseline.
     Linear,
-    /// Best-first bound-pruned search over a tournament tree
-    /// ([`osr_dstruct::MachineIndex`]); bit-identical results to
+    /// Bound-pruned search over a tournament tree
+    /// ([`osr_dstruct::MachineIndex`]): a flat bound scan at mid-size
+    /// `m`, a best-first heap descent beyond, both guided by the job's
+    /// eligibility mask; bit-identical results to
     /// [`DispatchIndex::Linear`].
     #[default]
     Pruned,
 }
 
+impl std::fmt::Display for DispatchIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DispatchIndex::Linear => "linear",
+            DispatchIndex::Pruned => "pruned",
+        })
+    }
+}
+
 /// Below this machine count even `Pruned` uses the plain scan: the
-/// tree walk plus heap traffic costs more than `m` cheap evaluations.
-/// (Results are identical either way; this is purely a constant-factor
-/// crossover.)
+/// tree walk plus bound bookkeeping costs more than `m` cheap
+/// evaluations. (Results are identical either way; this is purely a
+/// constant-factor crossover.)
 pub const PRUNED_MIN_MACHINES: usize = 8;
+
+/// The dispatch strategy a scheduler **actually runs** for a given
+/// machine count: `Pruned` silently degrades to the linear scan below
+/// [`PRUNED_MIN_MACHINES`], and an ablation row labeled "pruned" at
+/// m = 4 would measure the linear path. Schedulers record this on
+/// their outcomes and the CLI warns when an explicit
+/// `--dispatch-index pruned` is ineffective, so results cannot
+/// mislabel themselves.
+pub fn effective_dispatch_index(requested: DispatchIndex, machines: usize) -> DispatchIndex {
+    if machines < PRUNED_MIN_MACHINES {
+        DispatchIndex::Linear
+    } else {
+        requested
+    }
+}
+
+/// Borrows a job's cached eligibility mask in the form the
+/// mask-guided tournament search consumes. The mask contract
+/// (`osr_dstruct::tournament` module docs) is met by construction:
+/// a machine outside the mask has `p_ij = ∞`, and every scheduler's
+/// `eval` returns `None` exactly for infinite sizes.
+#[inline]
+pub(crate) fn mask_view(elig: &EligMask) -> MaskView<'_> {
+    match elig.word_layers() {
+        None => MaskView::All,
+        Some((words, summary)) => MaskView::Words { words, summary },
+    }
+}
 
 /// Relative deflation applied to busy-machine bounds whose inputs pass
 /// through incremental caches or `powf` (see module docs).
@@ -211,6 +271,41 @@ mod tests {
         assert_eq!(default_dispatch_index(), DispatchIndex::Linear);
         set_default_dispatch_index(DispatchIndex::Pruned);
         assert_eq!(default_dispatch_index(), DispatchIndex::Pruned);
+    }
+
+    #[test]
+    fn effective_index_degrades_below_the_crossover() {
+        for m in 1..PRUNED_MIN_MACHINES {
+            assert_eq!(
+                effective_dispatch_index(DispatchIndex::Pruned, m),
+                DispatchIndex::Linear
+            );
+        }
+        assert_eq!(
+            effective_dispatch_index(DispatchIndex::Pruned, PRUNED_MIN_MACHINES),
+            DispatchIndex::Pruned
+        );
+        // Linear is always effective as requested.
+        assert_eq!(
+            effective_dispatch_index(DispatchIndex::Linear, 1_000),
+            DispatchIndex::Linear
+        );
+        assert_eq!(DispatchIndex::Pruned.to_string(), "pruned");
+        assert_eq!(DispatchIndex::Linear.to_string(), "linear");
+    }
+
+    #[test]
+    fn mask_view_borrows_the_job_mask() {
+        use osr_dstruct::MaskView;
+        assert!(matches!(mask_view(&EligMask::All), MaskView::All));
+        let restricted = EligMask::from_sizes(&[1.0, f64::INFINITY, 2.0]);
+        match mask_view(&restricted) {
+            MaskView::Words { words, summary } => {
+                assert_eq!(words, restricted.word_layers().unwrap().0);
+                assert_eq!(summary.len(), 1);
+            }
+            MaskView::All => panic!("restricted mask must expose word layers"),
+        }
     }
 
     #[test]

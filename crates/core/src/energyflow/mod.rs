@@ -113,6 +113,10 @@ pub struct EnergyFlowOutcome {
     pub gamma: f64,
     /// The parameters.
     pub params: EnergyFlowParams,
+    /// The dispatch strategy that actually ran (`Pruned` degrades to
+    /// `Linear` below [`PRUNED_MIN_MACHINES`]; label ablations by
+    /// this).
+    pub effective_dispatch: DispatchIndex,
 }
 
 impl EnergyFlowOutcome {
@@ -430,8 +434,9 @@ impl EnergyFlowScheduler {
             let j = job.id;
             let t = job.release;
 
-            // `p̂` (the subtree-bound input) is precomputed on the job
-            // at generation time — no per-arrival O(m) rescan.
+            // `p̂` and the eligibility mask (the subtree-bound and
+            // subtree-skip inputs) are precomputed on the job at
+            // generation time — no per-arrival O(m) rescan.
             let best: Option<(usize, f64)> = if !job.has_eligible() {
                 None
             } else {
@@ -439,7 +444,8 @@ impl EnergyFlowScheduler {
                     Some(ix) => {
                         let p_hat = job.p_hat();
                         let w = job.weight;
-                        ix.search(
+                        ix.search_masked(
+                            dispatch::mask_view(job.elig()),
                             |s| {
                                 dispatch::energy_lambda_bound(
                                     s.min_wsum, s.max_wsum, s.min_size, p_hat, w, eps, gamma, alpha,
@@ -559,6 +565,7 @@ impl EnergyFlowScheduler {
             records,
             gamma,
             params: self.params,
+            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
         }
     }
 }

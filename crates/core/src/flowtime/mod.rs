@@ -108,6 +108,11 @@ pub struct FlowOutcome {
     pub dual: FlowDual,
     /// Decision audit trail.
     pub trace: DecisionTrace,
+    /// The dispatch strategy that actually ran: `Pruned` degrades to
+    /// `Linear` below [`PRUNED_MIN_MACHINES`], and ablation harnesses
+    /// must label rows by *this*, not the request
+    /// (see [`crate::dispatch::effective_dispatch_index`]).
+    pub effective_dispatch: DispatchIndex,
 }
 
 /// The §2 scheduler. Construct via [`FlowScheduler::new`]; run via
@@ -339,10 +344,10 @@ impl FlowScheduler {
             // Dispatch: argmin over eligible machines of λ_ij (lowest
             // index on ties). The pruned path and the linear scan are
             // bit-identical; see `crate::dispatch` for the bound
-            // soundness argument. `p̂` (the job-side input to the
-            // subtree bounds) is precomputed at generation time — no
-            // per-arrival rescan of `job.sizes` (the O(m) pass the
-            // ROADMAP flagged after PR 2).
+            // soundness argument. `p̂` and the eligibility mask (the
+            // job-side inputs to the subtree bounds and the subtree
+            // skip) are precomputed at generation time — no per-arrival
+            // rescan of `job.sizes`.
             let best: Option<(usize, f64)> = if !job.has_eligible() {
                 None
             } else {
@@ -350,7 +355,8 @@ impl FlowScheduler {
                     Some(ix) => {
                         let p_hat = job.p_hat();
                         let inv_eps = th.inv_eps;
-                        ix.search(
+                        ix.search_masked(
+                            dispatch::mask_view(job.elig()),
                             |s| {
                                 dispatch::flow_lambda_bound(s.min_count, s.min_size, p_hat, inv_eps)
                             },
@@ -503,7 +509,12 @@ impl FlowScheduler {
         let log = log.finish().expect("every job completed or rejected");
         let releases: Vec<f64> = jobs.iter().map(|j| j.release).collect();
         let dual = FlowDual::assemble(th, lambda, releases, exit, c_tilde, machine_of);
-        FlowOutcome { log, dual, trace }
+        FlowOutcome {
+            log,
+            dual,
+            trace,
+            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
+        }
     }
 }
 
@@ -896,6 +907,38 @@ mod tests {
             let audit = check_dual_feasibility(&inst, &out.dual, usize::MAX);
             assert!(audit.is_feasible(), "{:?}", audit.violations.first());
         }
+    }
+
+    #[test]
+    fn outcome_records_the_effective_dispatch_index() {
+        // Below the crossover a Pruned request degrades to the linear
+        // scan — and the outcome must say so, so ablation harnesses
+        // can't mislabel their rows.
+        let small = InstanceBuilder::new(2, InstanceKind::FlowTime)
+            .job(0.0, vec![1.0, 2.0])
+            .build()
+            .unwrap();
+        let big = InstanceBuilder::new(PRUNED_MIN_MACHINES, InstanceKind::FlowTime)
+            .job(0.0, vec![1.0; PRUNED_MIN_MACHINES])
+            .build()
+            .unwrap();
+        let mut params = FlowParams::new(0.5);
+        params.dispatch = crate::DispatchIndex::Pruned;
+        let sched = FlowScheduler::new(params).unwrap();
+        assert_eq!(
+            sched.run(&small).effective_dispatch,
+            crate::DispatchIndex::Linear
+        );
+        assert_eq!(
+            sched.run(&big).effective_dispatch,
+            crate::DispatchIndex::Pruned
+        );
+        params.dispatch = crate::DispatchIndex::Linear;
+        let sched = FlowScheduler::new(params).unwrap();
+        assert_eq!(
+            sched.run(&small).effective_dispatch,
+            crate::DispatchIndex::Linear
+        );
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct WeightedFlowOutcome {
     pub log: FinishedLog,
     /// Decision trail.
     pub trace: DecisionTrace,
+    /// The dispatch strategy that actually ran (`Pruned` degrades to
+    /// `Linear` below [`PRUNED_MIN_MACHINES`]; label ablations by
+    /// this).
+    pub effective_dispatch: DispatchIndex,
 }
 
 /// The weighted flow-time scheduler (extension; see module docs).
@@ -311,7 +315,8 @@ impl WeightedFlowScheduler {
                     Some(ix) => {
                         let p_hat = job.p_hat();
                         let w = job.weight;
-                        ix.search(
+                        ix.search_masked(
+                            dispatch::mask_view(job.elig()),
                             |s| {
                                 dispatch::weighted_lambda_bound(
                                     s.min_count,
@@ -465,6 +470,7 @@ impl WeightedFlowScheduler {
         WeightedFlowOutcome {
             log: log.finish().expect("all decided"),
             trace,
+            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
         }
     }
 }

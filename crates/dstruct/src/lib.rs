@@ -37,9 +37,14 @@
 //!   the same API as `AggTreap`, used for differential testing and as the
 //!   ablation baseline;
 //! * [`tournament::MachineIndex`] — tournament tree over per-machine
-//!   dispatch statistics, powering the best-first *pruned* `λ_ij`
-//!   argmin that replaces the schedulers' `O(m)`-per-arrival machine
-//!   scan (selectable via `osr-core`'s `DispatchIndex`).
+//!   dispatch statistics, powering the *pruned* `λ_ij` argmin that
+//!   replaces the schedulers' `O(m)`-per-arrival machine scan
+//!   (selectable via `osr-core`'s `DispatchIndex`). Two search modes
+//!   behind one entry point: a flat bound scan for mid-size `m` and a
+//!   best-first heap descent beyond; both accept a
+//!   [`tournament::MaskView`] eligibility bitmask that prunes
+//!   ineligible subtrees in `O(1)` word tests (restricted-assignment
+//!   and rack-affinity workloads).
 
 // Stylistic lints intentionally not followed:
 // - `needless_range_loop`: machine loops index several parallel state
@@ -61,6 +66,6 @@ pub use fenwick::Fenwick;
 pub use naive::NaiveAggQueue;
 pub use pairing::PairingHeap;
 pub use total::TotalF64;
-pub use tournament::{MachineIndex, MachineStats, NodeStats};
+pub use tournament::{MachineIndex, MachineStats, MaskView, NodeStats, SearchMode};
 pub use treap::AggTreap;
 pub use treap_boxed::BoxedAggTreap;

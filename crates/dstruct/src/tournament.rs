@@ -43,11 +43,149 @@
 //! * then `search` returns exactly
 //!   `min_{i : eval(i).is_some()} (eval(i), i)` under lexicographic
 //!   `(value, index)` order — the lowest-index argmin.
+//!
+//! ## Eligibility masks ([`MachineIndex::search_masked`])
+//!
+//! On restricted-assignment and rack-affinity workloads most machines
+//! cannot run the arriving job at all, yet the subtree bounds above are
+//! **eligibility-blind**: they are built from queue statistics and the
+//! job's *best-case* size `p̂`, so a subtree consisting entirely of
+//! ineligible machines still advertises an attractive bound and the
+//! search descends into it, discovering the `∞`s one leaf at a time.
+//! [`MachineIndex::search_masked`] takes an additional [`MaskView`] —
+//! a borrowed two-layer bitmask (one bit per machine plus a summary
+//! bit per 64-bit word) — and skips any subtree whose machine range
+//! has an empty intersection with the mask. Because every node's range
+//! is a power-of-two span aligned to its size, the intersection test
+//! is a **single masked word read** for spans up to 64 machines and a
+//! single *summary*-word read for spans up to 4096; only spans beyond
+//! that (m > 4096) scan summary words, one per 4096 machines, with an
+//! early exit. The mask contract mirrors the bound contract:
+//!
+//! * for every machine `i` **not** in the mask, `eval(i)` must return
+//!   `None` (the mask may only exclude machines that could never win);
+//! * then `search_masked` returns exactly what `search` would, while
+//!   the descent cost scales with the *eligible* portion of the tree
+//!   (for rack-affinity workloads: the eligible racks, not `m`).
+//!
+//! Sparser still than a rack? When the mask's population count is at
+//! most [`FLAT_MAX_MACHINES`], `search_masked` skips the tree
+//! entirely and walks the mask's set bits in increasing index order
+//! (`O(words + eligible)` total, the linear scan's visit order and
+//! tie-break), so a job eligible on 64 of 16384 machines costs what a
+//! 64-machine dispatch costs.
+//!
+//! ## Flat bound-scan mode ([`SearchMode`])
+//!
+//! The best-first heap earns its keep at large `m`, where pruning
+//! skips whole subtrees; at mid-size `m` (the recorded m ≈ 64
+//! crossover, see BENCH.md) the `BinaryHeap` push/pop traffic costs
+//! more than it saves. [`MachineIndex::new`] therefore auto-selects
+//! [`SearchMode::Flat`] for `m ≤` [`FLAT_MAX_MACHINES`]: a single
+//! left-to-right pass over the leaves with a running best, evaluating
+//! a leaf exactly only when its cheap `leaf_bound` (and mask bit)
+//! says it could still win. The pass visits leaves in increasing
+//! index order and replaces the incumbent only on a strictly smaller
+//! value, so its result — value *and* argmin index — is identical to
+//! both the heap search and the plain linear scan.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::total::TotalF64;
+
+/// Borrowed view of a per-job machine-eligibility bitmask, as consumed
+/// by [`MachineIndex::search_masked`].
+///
+/// `words` holds one bit per machine (LSB-first within each `u64`);
+/// `summary` holds one bit per *word* (`summary[k/64]` bit `k % 64` is
+/// set iff `words[k] != 0`), which is what keeps the subtree
+/// intersection test `O(1)` for spans up to 4096 machines. Machines at
+/// or beyond `64 * words.len()` are ineligible (the padding leaves of
+/// a [`MachineIndex`] always test ineligible).
+#[derive(Debug, Clone, Copy)]
+pub enum MaskView<'a> {
+    /// Every machine is eligible — no pruning, no word reads.
+    All,
+    /// Restricted eligibility with the two word layers described above.
+    Words {
+        /// One bit per machine.
+        words: &'a [u64],
+        /// One bit per word of `words`.
+        summary: &'a [u64],
+    },
+}
+
+/// Any bit set in `bits[..]` within the aligned bit range
+/// `[lo, lo + span)`? `span` must be a power of two and `lo` a
+/// multiple of `span`; bits beyond the slice are absent (unset).
+#[inline]
+fn any_bits(bits: &[u64], lo: usize, span: usize) -> bool {
+    debug_assert!(span.is_power_of_two() && lo.is_multiple_of(span));
+    if span >= 64 {
+        // Whole aligned words; early-exit scan (one word per 64 bits).
+        let first = lo / 64;
+        let last = ((lo + span) / 64).min(bits.len());
+        bits[first.min(bits.len())..last].iter().any(|&w| w != 0)
+    } else {
+        // The range lies inside a single word (span divides 64 and lo
+        // is span-aligned).
+        match bits.get(lo / 64) {
+            Some(&w) => w & ((u64::MAX >> (64 - span)) << (lo % 64)) != 0,
+            None => false,
+        }
+    }
+}
+
+impl MaskView<'_> {
+    /// Whether machine `i` is eligible.
+    #[inline]
+    pub fn test(&self, i: usize) -> bool {
+        match self {
+            MaskView::All => true,
+            MaskView::Words { words, .. } => any_bits(words, i, 1),
+        }
+    }
+
+    /// Whether any machine in the aligned range `[lo, lo + span)` is
+    /// eligible (`span` a power of two, `lo` a multiple of `span` —
+    /// exactly the ranges tournament nodes cover). `O(1)` for
+    /// `span ≤ 4096`; one summary word per 4096 machines beyond, with
+    /// an early exit.
+    #[inline]
+    pub fn any_in_range(&self, lo: usize, span: usize) -> bool {
+        match self {
+            MaskView::All => true,
+            MaskView::Words { words, summary } => {
+                if span <= 64 {
+                    any_bits(words, lo, span)
+                } else {
+                    any_bits(summary, lo / 64, span / 64)
+                }
+            }
+        }
+    }
+}
+
+/// How [`MachineIndex`] locates the argmin internally. Results are
+/// identical either way (same `(value, index)` bit for bit); the modes
+/// trade constant factors, and [`MachineIndex::new`] picks by `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Single left-to-right pass over the leaves with a running best;
+    /// no heap, no internal-node reads. Wins at mid-size `m` where
+    /// heap traffic eats the pruning gain.
+    Flat,
+    /// Best-first bound-pruned descent with a `BinaryHeap` frontier.
+    /// Wins at large `m`, where subtree pruning skips most leaves.
+    Heap,
+}
+
+/// Largest machine count for which [`MachineIndex::new`] picks
+/// [`SearchMode::Flat`]: at and below the recorded m ≈ 64 crossover
+/// (BENCH.md "PR 2") the heap's push/pop traffic costs more than
+/// bound-pruning saves, so the flat scan is the better constant.
+pub const FLAT_MAX_MACHINES: usize = 64;
 
 /// Cached dispatch statistics of one machine's pending queue.
 ///
@@ -144,14 +282,32 @@ pub struct MachineIndex {
     nodes: Vec<NodeStats>,
     /// Reusable frontier heap (no per-search allocation once warm).
     heap: BinaryHeap<Reverse<Frontier>>,
+    mode: SearchMode,
 }
 
 impl MachineIndex {
-    /// Index over `m` machines, all starting with empty queues.
+    /// Index over `m` machines, all starting with empty queues, in the
+    /// search mode best for `m` (flat at or below
+    /// [`FLAT_MAX_MACHINES`], heap above).
     ///
     /// # Panics
     /// Panics when `m == 0` (instances always have a machine).
     pub fn new(m: usize) -> Self {
+        let mode = if m <= FLAT_MAX_MACHINES {
+            SearchMode::Flat
+        } else {
+            SearchMode::Heap
+        };
+        Self::with_mode(m, mode)
+    }
+
+    /// Index over `m` machines with an explicit [`SearchMode`] —
+    /// for the ablation benches and the crossover-boundary tests;
+    /// production callers want [`MachineIndex::new`].
+    ///
+    /// # Panics
+    /// Panics when `m == 0` (instances always have a machine).
+    pub fn with_mode(m: usize, mode: SearchMode) -> Self {
         assert!(m > 0, "MachineIndex needs at least one machine");
         let cap = m.next_power_of_two();
         let mut nodes = vec![NodeStats::IDENTITY; 2 * cap];
@@ -166,7 +322,13 @@ impl MachineIndex {
             cap,
             nodes,
             heap: BinaryHeap::new(),
+            mode,
         }
+    }
+
+    /// The search mode in effect.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
     }
 
     /// Number of machines indexed.
@@ -197,12 +359,34 @@ impl MachineIndex {
         }
     }
 
-    /// Best-first pruned argmin; see the module docs for the bound
-    /// contract. Returns `(machine, exact value)` for the
-    /// lowest-index machine minimizing `eval`, or `None` when `eval`
-    /// returns `None` everywhere (no eligible machine).
+    /// Pruned argmin with every machine considered eligible; see the
+    /// module docs for the bound contract. Returns `(machine, exact
+    /// value)` for the lowest-index machine minimizing `eval`, or
+    /// `None` when `eval` returns `None` everywhere.
     pub fn search<NB, LB, EV>(
         &mut self,
+        node_bound: NB,
+        leaf_bound: LB,
+        eval: EV,
+    ) -> Option<(usize, f64)>
+    where
+        NB: Fn(&NodeStats) -> f64,
+        LB: Fn(usize, &NodeStats) -> f64,
+        EV: FnMut(usize) -> Option<f64>,
+    {
+        self.search_masked(MaskView::All, node_bound, leaf_bound, eval)
+    }
+
+    /// Mask-guided pruned argmin: like [`MachineIndex::search`], but
+    /// any subtree whose machine range misses `mask` is skipped
+    /// without being descended or bounded (see the module docs for the
+    /// mask contract: a masked-out machine's `eval` must be `None`, so
+    /// skipping cannot change the result). Dispatches on the
+    /// [`SearchMode`] chosen at construction; both modes return the
+    /// identical lowest-index argmin.
+    pub fn search_masked<NB, LB, EV>(
+        &mut self,
+        mask: MaskView<'_>,
         node_bound: NB,
         leaf_bound: LB,
         mut eval: EV,
@@ -226,13 +410,78 @@ impl MachineIndex {
             }
         };
 
+        if self.mode == SearchMode::Flat {
+            // One pass, increasing index, strict-improvement updates:
+            // the same visit order and tie-break as the linear scan,
+            // minus the exact evaluations the bounds/mask rule out.
+            for idx in 0..self.m {
+                if !mask.test(idx) {
+                    continue;
+                }
+                let lb = leaf_bound(idx, &self.nodes[self.cap + idx]);
+                if !beats(lb, idx, &best) {
+                    continue;
+                }
+                if let Some(val) = eval(idx) {
+                    if beats(val, idx, &best) {
+                        best = Some((val, idx));
+                    }
+                }
+            }
+            return best.map(|(v, i)| (i, v));
+        }
+
+        // Sparse fast path: when the job is eligible on at most
+        // FLAT_MAX_MACHINES machines, walking the mask's set bits
+        // directly (one `trailing_zeros` per candidate, increasing
+        // index — the linear scan's visit order and tie-break) beats
+        // any tree descent: no heap traffic, no internal nodes, cost
+        // `O(words + eligible)` regardless of `m`. This is what makes
+        // rack-affinity dispatch scale with the rack size.
+        if let MaskView::Words { words, .. } = mask {
+            // Only "is the count ≤ the threshold?" matters, so the
+            // popcount scan exits as soon as it cannot be — dense
+            // masks pay a couple of words here, not O(m/64).
+            let mut eligible = 0usize;
+            for &w in words {
+                eligible += w.count_ones() as usize;
+                if eligible > FLAT_MAX_MACHINES {
+                    break;
+                }
+            }
+            if eligible <= FLAT_MAX_MACHINES {
+                for (k, &word) in words.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let idx = k * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        if idx >= self.m {
+                            break;
+                        }
+                        let lb = leaf_bound(idx, &self.nodes[self.cap + idx]);
+                        if !beats(lb, idx, &best) {
+                            continue;
+                        }
+                        if let Some(val) = eval(idx) {
+                            if beats(val, idx, &best) {
+                                best = Some((val, idx));
+                            }
+                        }
+                    }
+                }
+                return best.map(|(v, i)| (i, v));
+            }
+        }
+
         self.heap.clear();
-        self.heap.push(Reverse(Frontier {
-            bound: TotalF64(node_bound(&self.nodes[1])),
-            lo: 0,
-            node: 1,
-            span: self.cap as u32,
-        }));
+        if mask.any_in_range(0, self.cap) {
+            self.heap.push(Reverse(Frontier {
+                bound: TotalF64(node_bound(&self.nodes[1])),
+                lo: 0,
+                node: 1,
+                span: self.cap as u32,
+            }));
+        }
 
         while let Some(Reverse(e)) = self.heap.pop() {
             if let Some((bv, bi)) = best {
@@ -263,6 +512,11 @@ impl MachineIndex {
             } else {
                 let half = e.span / 2;
                 for (child, lo) in [(2 * e.node, e.lo), (2 * e.node + 1, e.lo + half)] {
+                    // Mask first: a range with no eligible machine is
+                    // skipped without even computing its bound.
+                    if !mask.any_in_range(lo as usize, half as usize) {
+                        continue;
+                    }
                     let b = node_bound(&self.nodes[child as usize]);
                     if beats(b, lo as usize, &best) {
                         self.heap.push(Reverse(Frontier {
@@ -427,5 +681,206 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn zero_machines_panics() {
         let _ = MachineIndex::new(0);
+    }
+
+    #[test]
+    fn mode_auto_selection_follows_the_crossover() {
+        assert_eq!(MachineIndex::new(1).mode(), SearchMode::Flat);
+        assert_eq!(
+            MachineIndex::new(FLAT_MAX_MACHINES).mode(),
+            SearchMode::Flat
+        );
+        assert_eq!(
+            MachineIndex::new(FLAT_MAX_MACHINES + 1).mode(),
+            SearchMode::Heap
+        );
+    }
+
+    /// Deterministic xorshift for the randomized cross-checks below.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Satellite lock for the flat bound-scan variant: at the
+    /// crossover boundary (m = 63, 64, 65) the flat pass, the heap
+    /// search, and the exhaustive linear reference must return the
+    /// identical `(value, index)` — including ties, `None`s, and
+    /// deliberately slack bounds.
+    #[test]
+    fn flat_and_heap_agree_at_the_crossover_boundary() {
+        for m in [
+            FLAT_MAX_MACHINES - 1,
+            FLAT_MAX_MACHINES,
+            FLAT_MAX_MACHINES + 1,
+        ] {
+            let mut state = 0xC0FFEE ^ ((m as u64) << 17);
+            for trial in 0..50 {
+                // Tie-heavy value set (values from a small grid, ~1/6
+                // ineligible) with random per-trial bound slack.
+                let values: Vec<Option<f64>> = (0..m)
+                    .map(|_| {
+                        if xorshift(&mut state).is_multiple_of(6) {
+                            None
+                        } else {
+                            Some((xorshift(&mut state) % 8) as f64)
+                        }
+                    })
+                    .collect();
+                let slack = (xorshift(&mut state) % 30) as f64 / 10.0;
+                let expected = linear_argmin(&values);
+                for mode in [SearchMode::Flat, SearchMode::Heap] {
+                    let mut ix = MachineIndex::with_mode(m, mode);
+                    let got = ix.search(
+                        |_| 0.0,
+                        |i, _| values[i].map_or(f64::INFINITY, |v| (v - slack).max(0.0)),
+                        |i| values[i],
+                    );
+                    assert_eq!(got, expected, "m={m} trial={trial} mode={mode:?}");
+                }
+                // The auto-selected mode agrees too (whichever it is).
+                let mut ix = MachineIndex::new(m);
+                let got = ix.search(|_| 0.0, |_, _| 0.0, |i| values[i]);
+                assert_eq!(got, expected, "m={m} trial={trial} auto");
+            }
+        }
+    }
+
+    /// Builds the two word layers of a stride mask: machine `i`
+    /// eligible iff `i % groups == g`.
+    fn stride_mask(m: usize, groups: usize, g: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut words = vec![0u64; m.div_ceil(64)];
+        for i in (g..m).step_by(groups) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        let mut summary = vec![0u64; words.len().div_ceil(64)];
+        for (k, w) in words.iter().enumerate() {
+            if *w != 0 {
+                summary[k / 64] |= 1 << (k % 64);
+            }
+        }
+        (words, summary)
+    }
+
+    #[test]
+    fn mask_view_range_intersection_is_exact() {
+        // Small strided mask: every aligned range answer must equal
+        // the brute-force bit scan.
+        let m = 200;
+        let (words, summary) = stride_mask(m, 7, 3);
+        let mask = MaskView::Words {
+            words: &words,
+            summary: &summary,
+        };
+        let cap = m.next_power_of_two();
+        let mut span = cap;
+        while span >= 1 {
+            for lo in (0..cap).step_by(span) {
+                let expect = (lo..lo + span).any(|i| i < m && i % 7 == 3);
+                assert_eq!(mask.any_in_range(lo, span), expect, "lo={lo} span={span}");
+            }
+            span /= 2;
+        }
+        // Ranges entirely past the mask words are empty, not a panic.
+        assert!(!mask.any_in_range(256, 256));
+        assert!(MaskView::All.any_in_range(0, 1 << 20));
+    }
+
+    #[test]
+    fn mask_view_summary_layer_handles_big_spans() {
+        // m = 8192: spans above 4096 exercise the summary *scan* arm,
+        // spans in (64, 4096] the single-summary-word arm.
+        let m = 8192;
+        // Only machines 6000..6064 eligible — a single hot word region.
+        let mut words = vec![0u64; m / 64];
+        for i in 6000..6064 {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        let mut summary = vec![0u64; words.len().div_ceil(64)];
+        for (k, w) in words.iter().enumerate() {
+            if *w != 0 {
+                summary[k / 64] |= 1 << (k % 64);
+            }
+        }
+        let mask = MaskView::Words {
+            words: &words,
+            summary: &summary,
+        };
+        assert!(mask.any_in_range(0, 8192));
+        assert!(mask.any_in_range(4096, 4096));
+        assert!(!mask.any_in_range(0, 4096));
+        assert!(mask.any_in_range(4096, 2048));
+        assert!(!mask.any_in_range(6144, 2048));
+        assert!(mask.any_in_range(5888, 256));
+        assert!(mask.test(6000) && !mask.test(5999));
+    }
+
+    /// The mask-guided descent must (a) return exactly the unmasked
+    /// answer when masked-out machines evaluate to `None` anyway, and
+    /// (b) never descend into — bound, or exactly evaluate — a
+    /// mask-empty subtree.
+    #[test]
+    fn masked_search_skips_ineligible_subtrees_in_both_modes() {
+        // Eligible counts straddle the sparse fast path's threshold:
+        // 64/8 and 512/16 stay at or below FLAT_MAX_MACHINES (bit-walk
+        // arm), 2048/16 = 128 eligible exceeds it (true mask-guided
+        // heap descent).
+        for (m, groups) in [(64usize, 8usize), (512, 16), (2_048, 16)] {
+            for g in [0, groups - 1] {
+                let (words, summary) = stride_mask(m, groups, g);
+                let mut values: Vec<Option<f64>> = vec![None; m];
+                let mut state = 0xABCDEF ^ (m * groups + g) as u64;
+                for i in (g..m).step_by(groups) {
+                    values[i] = Some((xorshift(&mut state) % 100) as f64 / 7.0);
+                }
+                let expected = linear_argmin(&values);
+                for mode in [SearchMode::Flat, SearchMode::Heap] {
+                    let mut ix = MachineIndex::with_mode(m, mode);
+                    for i in 0..m {
+                        ix.update(i, busy(1 + (i % 3) as u64, 4.0, 1.0));
+                    }
+                    let mut evals = 0usize;
+                    let got = ix.search_masked(
+                        MaskView::Words {
+                            words: &words,
+                            summary: &summary,
+                        },
+                        |_| 0.0,
+                        |_, _| 0.0,
+                        |i| {
+                            evals += 1;
+                            assert_eq!(i % groups, g, "evaluated a masked-out machine");
+                            values[i]
+                        },
+                    );
+                    assert_eq!(got, expected, "m={m} g={g} mode={mode:?}");
+                    assert!(
+                        evals <= m / groups,
+                        "m={m} g={g} mode={mode:?}: {evals} evals > eligible count"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A mask with no bits set short-circuits to `None` without work.
+    #[test]
+    fn empty_mask_returns_none() {
+        let (words, summary) = (vec![0u64; 4], vec![0u64; 1]);
+        for mode in [SearchMode::Flat, SearchMode::Heap] {
+            let mut ix = MachineIndex::with_mode(200, mode);
+            let got = ix.search_masked(
+                MaskView::Words {
+                    words: &words,
+                    summary: &summary,
+                },
+                |_| 0.0,
+                |_, _| 0.0,
+                |_| -> Option<f64> { panic!("nothing to evaluate") },
+            );
+            assert_eq!(got, None);
+        }
     }
 }

@@ -23,15 +23,26 @@ use crate::time::{valid_magnitude, valid_positive};
 /// The canonical representation is chosen by [`Job`]'s constructors:
 /// fully-eligible jobs (every `p_ij` finite — the common dense case)
 /// use [`EligMask::All`] and allocate nothing; any restricted row gets
-/// one bit per machine, LSB-first within 64-bit words. Because the
-/// representation is canonical, derived `PartialEq` on jobs is exact.
+/// one bit per machine, LSB-first within 64-bit words, **plus** a
+/// summary layer with one bit per word (`summary[k/64]` bit `k % 64`
+/// set iff `words[k] != 0`). The summary is what lets the mask-guided
+/// dispatch descent (`osr_dstruct::MaskView`) answer "any eligible
+/// machine in this subtree's range?" with a single word read for
+/// subtree spans up to 4096 machines. Both layers are pure functions
+/// of the size row, so derived `PartialEq` on jobs stays exact.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EligMask {
     /// Every machine is eligible (no allocation).
     All,
-    /// One bit per machine; bit `i % 64` of word `i / 64` is set iff
-    /// machine `i` is eligible.
-    Words(Box<[u64]>),
+    /// Restricted eligibility, one bit per machine.
+    Words {
+        /// Bit `i % 64` of word `i / 64` is set iff machine `i` is
+        /// eligible.
+        words: Box<[u64]>,
+        /// One bit per word of `words` (set iff that word is
+        /// non-zero) — the subtree-intersection fast path.
+        summary: Box<[u64]>,
+    },
 }
 
 impl EligMask {
@@ -46,7 +57,16 @@ impl EligMask {
                 words[i / 64] |= 1u64 << (i % 64);
             }
         }
-        EligMask::Words(words.into_boxed_slice())
+        let mut summary = vec![0u64; words.len().div_ceil(64)];
+        for (k, w) in words.iter().enumerate() {
+            if *w != 0 {
+                summary[k / 64] |= 1u64 << (k % 64);
+            }
+        }
+        EligMask::Words {
+            words: words.into_boxed_slice(),
+            summary: summary.into_boxed_slice(),
+        }
     }
 
     /// Whether machine `i` is eligible.
@@ -54,7 +74,7 @@ impl EligMask {
     pub fn test(&self, i: usize) -> bool {
         match self {
             EligMask::All => true,
-            EligMask::Words(w) => (w[i / 64] >> (i % 64)) & 1 == 1,
+            EligMask::Words { words, .. } => (words[i / 64] >> (i % 64)) & 1 == 1,
         }
     }
 
@@ -62,7 +82,7 @@ impl EligMask {
     pub fn count(&self, machines: usize) -> usize {
         match self {
             EligMask::All => machines,
-            EligMask::Words(w) => w.iter().map(|x| x.count_ones() as usize).sum(),
+            EligMask::Words { words, .. } => words.iter().map(|x| x.count_ones() as usize).sum(),
         }
     }
 
@@ -70,7 +90,33 @@ impl EligMask {
     pub fn any(&self) -> bool {
         match self {
             EligMask::All => true,
-            EligMask::Words(w) => w.iter().any(|&x| x != 0),
+            EligMask::Words { words, .. } => words.iter().any(|&x| x != 0),
+        }
+    }
+
+    /// The `(words, summary)` layers of a restricted mask, or `None`
+    /// for [`EligMask::All`] — the borrowed form the mask-guided
+    /// dispatch search (`osr_dstruct::MaskView`) consumes without
+    /// copying.
+    #[inline]
+    pub fn word_layers(&self) -> Option<(&[u64], &[u64])> {
+        match self {
+            EligMask::All => None,
+            EligMask::Words { words, summary } => Some((words, summary)),
+        }
+    }
+
+    /// Whether this mask has the word width a mask for `machines`
+    /// machines must have ([`EligMask::All`] fits any width). A
+    /// too-narrow mask makes [`EligMask::test`] panic on high machine
+    /// indices; a too-wide one silently answers from padding bits —
+    /// [`Job::validate`] rejects both.
+    pub fn width_matches(&self, machines: usize) -> bool {
+        match self {
+            EligMask::All => true,
+            EligMask::Words { words, summary } => {
+                words.len() == machines.div_ceil(64) && summary.len() == words.len().div_ceil(64)
+            }
         }
     }
 }
@@ -308,6 +354,19 @@ impl Job {
                 ));
             }
         }
+        // The cached mask must be sized for *this* instance's machine
+        // count before any per-bit comparison: a mask built for a
+        // different width makes `EligMask::test` panic (too narrow) or
+        // answer from padding bits (too wide), so the width gets its
+        // own check — and its own error — ahead of the staleness
+        // re-derivation below.
+        if !self.elig.width_matches(machines) {
+            return Err(format!(
+                "{}: eligibility mask width does not match m={machines} \
+                 (mask built for a different machine count)",
+                self.id
+            ));
+        }
         // The derived caches are pure functions of `sizes`; a mismatch
         // means `sizes` was mutated behind the constructors' back.
         let (p_hat, elig) = Self::derive(&self.sizes);
@@ -417,6 +476,48 @@ mod tests {
         j.sizes[0] = 1.0; // desync: p̂ still 2.0
         let err = j.validate(2).unwrap_err();
         assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_mask_width_mismatch() {
+        // A restricted mask built for m=2 (one word), then the public
+        // `sizes` row swapped for a 130-machine row: `EligMask::test`
+        // on machine 128 would panic on the stale one-word mask, so
+        // `validate(130)` must fail on the *width*, with a message
+        // naming the mask, before any per-bit staleness comparison.
+        let mut j = Job::new(0, 0.0, vec![1.0, f64::INFINITY]);
+        assert!(matches!(j.elig(), EligMask::Words { .. }));
+        let mut wide = vec![1.0; 130];
+        wide[70] = f64::INFINITY;
+        j.sizes = wide;
+        let err = j.validate(130).unwrap_err();
+        assert!(err.contains("mask width"), "{err}");
+        // The same row rebuilt through a constructor is fine.
+        let ok = Job::new(0, 0.0, j.sizes.clone());
+        assert!(ok.validate(130).is_ok());
+        assert!(ok.elig().width_matches(130));
+        // And the width predicate itself: All fits anything, words
+        // must match exactly.
+        assert!(EligMask::All.width_matches(7));
+        let narrow = EligMask::from_sizes(&[1.0, f64::INFINITY]);
+        assert!(narrow.width_matches(2) && !narrow.width_matches(130));
+    }
+
+    #[test]
+    fn word_layers_expose_the_summary() {
+        assert!(EligMask::All.word_layers().is_none());
+        // 130 machines, word 1 (machines 64..127) fully ineligible:
+        // summary bit 1 must be clear, bits 0 and 2 set.
+        let mut sizes = vec![1.0; 130];
+        for s in sizes.iter_mut().take(128).skip(64) {
+            *s = f64::INFINITY;
+        }
+        let mask = EligMask::from_sizes(&sizes);
+        let (words, summary) = mask.word_layers().unwrap();
+        assert_eq!(words.len(), 3);
+        assert_eq!(summary.len(), 1);
+        assert_eq!(words[1], 0);
+        assert_eq!(summary[0] & 0b111, 0b101);
     }
 
     #[test]

@@ -8,9 +8,17 @@
 //! engages), sizes drawn from a tiny value set, and a biased coin that
 //! makes whole jobs identical across machines — the regime where an
 //! argmin with a sloppy tie-break would diverge immediately.
+//!
+//! A second generator family produces **restricted and rack-affinity**
+//! instances — sparse eligibility rows, whole racks of `∞`, and a
+//! fraction of everywhere-ineligible jobs — exactly the workloads the
+//! mask-guided tournament descent (PR 4) changes the search path on,
+//! so pruned-vs-linear bit-identity stays locked where it matters
+//! most.
 
 use online_sched_rejection::prelude::*;
 use osr_core::{DispatchIndex, PRUNED_MIN_MACHINES};
+use osr_model::RejectReason;
 use proptest::prelude::*;
 
 /// A tie-heavy flow-time instance: m ≥ PRUNED_MIN_MACHINES machines,
@@ -52,6 +60,58 @@ fn tie_heavy_instance() -> impl Strategy<Value = Instance> {
     })
 }
 
+/// A restricted/rack-affinity instance: sparse eligibility rows with a
+/// ~1/8 share of **everywhere-ineligible** jobs. Even seeds build
+/// round-robin affinity racks (eligible iff `i % groups == rack`, so
+/// whole subtree ranges of the tournament tree are empty for each
+/// job); odd seeds build iid restricted rows (~1/4 eligibility).
+fn eligibility_instance() -> impl Strategy<Value = Instance> {
+    (8usize..=32, 16usize..=120, 2usize..=8, any::<u64>()).prop_map(|(m, n, groups, seed)| {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let affinity = seed % 2 == 0;
+        let mut b = InstanceBuilder::new(m, InstanceKind::FlowTime);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += (next() % 3) as f64 / 2.0;
+            let base = 1.0 + (next() % 3) as f64;
+            let sizes: Vec<f64> = if next() % 8 == 0 {
+                // Everywhere-ineligible: every scheduler must reject it
+                // at arrival, under either dispatch strategy.
+                vec![f64::INFINITY; m]
+            } else if affinity {
+                let rack = (next() % groups as u64) as usize;
+                (0..m)
+                    .map(|i| {
+                        if i % groups == rack {
+                            base
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            } else {
+                (0..m)
+                    .map(|_| {
+                        if next() % 4 == 0 {
+                            base + (next() % 3) as f64
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            };
+            b = b.job(t, sizes);
+        }
+        b.build().unwrap()
+    })
+}
+
 fn flow_with(inst: &Instance, eps: f64, dispatch: DispatchIndex) -> osr_core::FlowOutcome {
     let mut params = osr_core::FlowParams::new(eps);
     params.dispatch = dispatch;
@@ -75,6 +135,52 @@ proptest! {
         prop_assert_eq!(&a.dual.lambda, &b.dual.lambda);
         prop_assert_eq!(&a.dual.c_tilde, &b.dual.c_tilde);
         prop_assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn masked_descent_is_bit_identical_on_restricted_and_affinity(
+        inst in eligibility_instance(),
+        eps in 0.1f64..1.0,
+    ) {
+        let a = flow_with(&inst, eps, DispatchIndex::Pruned);
+        let b = flow_with(&inst, eps, DispatchIndex::Linear);
+        prop_assert_eq!(&a.dual.machine_of, &b.dual.machine_of);
+        prop_assert_eq!(&a.dual.lambda, &b.dual.lambda);
+        prop_assert_eq!(&a.dual.c_tilde, &b.dual.c_tilde);
+        prop_assert_eq!(&a.log, &b.log);
+        // Everywhere-ineligible jobs are rejected identically — at
+        // arrival, by both strategies — never scheduled, never panicked
+        // on.
+        for job in inst.jobs() {
+            if !job.has_eligible() {
+                let rej = a.log.fate(job.id).rejection().expect("ineligible rejected");
+                prop_assert_eq!(rej.reason, RejectReason::Ineligible);
+                prop_assert_eq!(rej.time, job.release);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_and_energy_agree_on_restricted_and_affinity(
+        inst in eligibility_instance(),
+        eps in 0.1f64..1.0,
+    ) {
+        let mut wp = osr_core::flowtime::WeightedFlowParams::new(eps);
+        wp.dispatch = DispatchIndex::Pruned;
+        let mut wl = osr_core::flowtime::WeightedFlowParams::new(eps);
+        wl.dispatch = DispatchIndex::Linear;
+        let a = osr_core::flowtime::WeightedFlowScheduler::new(wp).unwrap().run(&inst);
+        let b = osr_core::flowtime::WeightedFlowScheduler::new(wl).unwrap().run(&inst);
+        prop_assert_eq!(a.log, b.log);
+
+        let mut ep = osr_core::EnergyFlowParams::new(eps, 2.2);
+        ep.dispatch = DispatchIndex::Pruned;
+        let mut el = osr_core::EnergyFlowParams::new(eps, 2.2);
+        el.dispatch = DispatchIndex::Linear;
+        let a = osr_core::EnergyFlowScheduler::new(ep).unwrap().run(&inst);
+        let b = osr_core::EnergyFlowScheduler::new(el).unwrap().run(&inst);
+        prop_assert_eq!(a.log, b.log);
+        prop_assert_eq!(a.sum_lambda(), b.sum_lambda());
     }
 
     #[test]
