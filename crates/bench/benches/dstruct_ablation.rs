@@ -13,9 +13,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_dstruct::{
     AggTreap, BoxedAggTreap, MachineIndex, MachineStats, MaskView, NaiveAggQueue, NodeStats,
-    SearchMode,
+    Propagation, SearchMode,
 };
-use osr_model::{EligMask, InstanceKind};
+use osr_model::{EligMask, InstanceKind, Job};
 use osr_workload::{ArrivalSpec, FlowWorkload, MachineSpec};
 
 fn backend_ablation(c: &mut Criterion) {
@@ -92,7 +92,15 @@ fn dispatch_m_sweep(c: &mut Criterion) {
 /// m ≤ 1024 like the dense sweep.
 fn dispatch_affinity_m_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_affinity_m_sweep");
-    for &(m, n, groups) in &[(1_024usize, 4_096usize, 16usize), (16_384, 2_048, 64)] {
+    // The m = 64 row is the PR 5 target: SearchMode::Flat territory,
+    // where the recorded 0.82× came from paying O(log m) ancestor
+    // maintenance per mutation for ancestors the flat search never
+    // reads — now a single leaf-row write.
+    for &(m, n, groups) in &[
+        (64usize, 2_048usize, 16usize),
+        (1_024, 4_096, 16),
+        (16_384, 2_048, 64),
+    ] {
         let mut w = FlowWorkload::standard(n, m, 42);
         w.machine_model = MachineSpec::Affinity {
             groups,
@@ -164,8 +172,13 @@ fn masked_descent(c: &mut Criterion) {
         // the blind search must discover every rack's `∞`s leaf by
         // leaf.
         let (p, inv_eps) = (2.0f64, 4.0f64);
-        let node_bound = move |s: &NodeStats| {
+        let ns_bound = move |s: &NodeStats| {
             let prefix_empty = inv_eps * p + p + (s.min_count as f64) * p;
+            let prefix_nonempty = inv_eps * p + (s.min_size + p);
+            prefix_empty.min(prefix_nonempty)
+        };
+        let leaf_bound = move |s: &MachineStats| {
+            let prefix_empty = inv_eps * p + p + (s.count as f64) * p;
             let prefix_nonempty = inv_eps * p + (s.min_size + p);
             prefix_empty.min(prefix_nonempty)
         };
@@ -183,10 +196,10 @@ fn masked_descent(c: &mut Criterion) {
         // every rack.
         for (g, mask) in masks.iter().enumerate() {
             let blind = ix.search(
-                node_bound,
+                |s, _, _| ns_bound(s),
                 |i, s| {
                     if i % groups == g {
-                        node_bound(s)
+                        leaf_bound(s)
                     } else {
                         f64::INFINITY
                     }
@@ -195,8 +208,8 @@ fn masked_descent(c: &mut Criterion) {
             );
             let masked = ix.search_masked(
                 view(mask),
-                node_bound,
-                |_, s| node_bound(s),
+                |s, _, _| ns_bound(s),
+                |_, s| leaf_bound(s),
                 |i| (i % groups == g).then(|| exact(i)),
             );
             assert_eq!(blind, masked, "m={m} g={g}");
@@ -207,10 +220,10 @@ fn masked_descent(c: &mut Criterion) {
                 let mut acc = 0.0;
                 for g in 0..groups {
                     let r = ix.search(
-                        node_bound,
+                        |s, _, _| ns_bound(s),
                         |i, s| {
                             if i % groups == g {
-                                node_bound(s)
+                                leaf_bound(s)
                             } else {
                                 f64::INFINITY
                             }
@@ -228,8 +241,8 @@ fn masked_descent(c: &mut Criterion) {
                 for (g, mask) in masks.iter().enumerate() {
                     let r = ix.search_masked(
                         view(mask),
-                        node_bound,
-                        |_, s| node_bound(s),
+                        |s, _, _| ns_bound(s),
+                        |_, s| leaf_bound(s),
                         |i| (i % groups == g).then(|| exact(i)),
                     );
                     acc += r.expect("rack is non-empty").1;
@@ -237,6 +250,189 @@ fn masked_descent(c: &mut Criterion) {
                 acc
             });
         });
+    }
+    group.finish();
+}
+
+/// The PR 5 update-side ablation: eager vs lazy ancestor propagation
+/// under the dispatch loop's real mutation pattern — a run of `r`
+/// queue mutations on one machine (completions/starts between two
+/// dispatches), then one argmin search. Eager pays `r` full `O(log m)`
+/// ancestor rebuilds whose intermediate values are dead writes; lazy
+/// pays `r` leaf-row stores plus one batched repair sweep at the
+/// search. Heap mode is forced even at m = 64 so both variants
+/// actually maintain ancestors (flat mode has none at all and would
+/// trivialize the comparison).
+fn update_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_churn");
+    for &m in &[64usize, 1_024, 16_384] {
+        for &ratio in &[1usize, 8, 64] {
+            for (label, prop) in [("eager", Propagation::Eager), ("lazy", Propagation::Lazy)] {
+                group.bench_function(format!("{label}_m{m}_r{ratio}"), |b| {
+                    let mut ix = MachineIndex::with_config(m, SearchMode::Heap, prop);
+                    // Busy queues everywhere except machine 0, which
+                    // stays idle — the search's bounds prune hard (the
+                    // common many-idle-machines regime), so the
+                    // per-iteration cost is dominated by the mutation
+                    // side under ablation, not by exact evaluations.
+                    for i in 1..m {
+                        ix.update(
+                            i,
+                            MachineStats {
+                                count: 3 + (i % 3) as u64,
+                                wsum: 14.0 + (i % 5) as f64,
+                                min_size: 3.0 + (i % 7) as f64 * 0.25,
+                            },
+                        );
+                    }
+                    let mut hot = 1usize;
+                    let mut tick = 0u64;
+                    b.iter(|| {
+                        // `ratio` queue mutations on the hot machine —
+                        // the run of completions/starts between two
+                        // dispatches, each a dead ancestor write under
+                        // eager propagation…
+                        for _ in 0..ratio {
+                            tick = tick.wrapping_add(1);
+                            ix.update(
+                                hot,
+                                MachineStats {
+                                    count: 3 + tick % 4,
+                                    wsum: 12.0 + (tick % 9) as f64,
+                                    min_size: 3.0 + (tick % 5) as f64 * 0.5,
+                                },
+                            );
+                        }
+                        hot = 1 + (hot % (m - 1));
+                        // …then one dispatch search (idle machines
+                        // bound to 1.0, busy to 5.0: the descent walks
+                        // one root-to-leaf path and stops — flow's
+                        // empty-queue fast path shape).
+                        ix.search(
+                            |s, _, _| if s.min_count == 0 { 1.0 } else { 5.0 },
+                            |_, s| if s.count == 0 { 1.0 } else { 5.0 },
+                            |i| Some(if i == 0 { 1.0 } else { 5.0 }),
+                        )
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// The PR 5 bound-tightening ablation: global vs rack-local `p̂` in the
+/// subtree bounds of the masked heap descent, on strided rack-affinity
+/// masks with *heterogeneous* sizes across each rack (the regime where
+/// the global p̂ advertises every subtree at the rack's single cheapest
+/// machine and the descent exactly-probes rack members the rack-local
+/// minima would have priced out). Eligible counts sit above the sparse
+/// bit-walk threshold so the true mask-guided descent runs. Uses the
+/// production `Job` caches (`Job::rack_p_hat`) end to end.
+fn rack_phat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rack_phat");
+    for &(m, groups) in &[(4_096usize, 16usize), (16_384, 64)] {
+        let mut ix = MachineIndex::with_config(m, SearchMode::Heap, Propagation::Lazy);
+        for i in 0..m {
+            ix.update(
+                i,
+                MachineStats {
+                    count: 1 + (i % 3) as u64,
+                    wsum: 4.0 + (i % 5) as f64,
+                    min_size: 1.0 + (i % 7) as f64 * 0.25,
+                },
+            );
+        }
+        // One job per rack, sizes varying across the rack's machines
+        // (cheap near the front, expensive toward the back) — the
+        // production constructor derives mask + global p̂ + rack p̂.
+        let jobs: Vec<Job> = (0..groups)
+            .map(|g| {
+                let sizes: Vec<f64> = (0..m)
+                    .map(|i| {
+                        if i % groups == g {
+                            1.0 + (i as f64 / m as f64) * 40.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect();
+                Job::new(g as u32, 0.0, sizes)
+            })
+            .collect();
+        let inv_eps = 4.0f64;
+
+        let exact = move |job: &Job, i: usize| {
+            let p = job.sizes[i];
+            let min_size = 1.0 + (i % 7) as f64 * 0.25;
+            let count = 1.0 + (i % 3) as f64;
+            inv_eps * p + (min_size + p) + count * p
+        };
+
+        // Sanity once, outside the timed loops: both bound variants
+        // return the same argmin on every rack (rack-local minima only
+        // tighten sound bounds, they cannot move the answer).
+        for job in &jobs {
+            let mut results = Vec::new();
+            for rack_local in [false, true] {
+                let (words, summary) = job.elig().word_layers().unwrap();
+                let ph_global = job.p_hat();
+                let rack = job.rack_p_hat().unwrap();
+                let r = ix.search_masked(
+                    MaskView::Words { words, summary },
+                    |s, lo, span| {
+                        let ph = if rack_local {
+                            rack.range_min(lo, span)
+                        } else {
+                            ph_global
+                        };
+                        let a = inv_eps * ph + ph + (s.min_count as f64) * ph;
+                        a.min(inv_eps * ph + (s.min_size + ph))
+                    },
+                    |i, s| {
+                        let p = job.sizes[i];
+                        let a = inv_eps * p + p + (s.count as f64) * p;
+                        a.min(inv_eps * p + (s.min_size + p))
+                    },
+                    |i| job.sizes[i].is_finite().then(|| exact(job, i)),
+                );
+                results.push(r);
+            }
+            assert_eq!(results[0], results[1], "m={m} job={}", job.id);
+        }
+
+        for (label, rack_local) in [("global", false), ("rack", true)] {
+            group.bench_function(format!("{label}_m{m}_g{groups}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for job in &jobs {
+                        let (words, summary) = job.elig().word_layers().unwrap();
+                        let ph_global = job.p_hat();
+                        let rack = job.rack_p_hat().unwrap();
+                        let r = ix.search_masked(
+                            MaskView::Words { words, summary },
+                            |s, lo, span| {
+                                let ph = if rack_local {
+                                    rack.range_min(lo, span)
+                                } else {
+                                    ph_global
+                                };
+                                let a = inv_eps * ph + ph + (s.min_count as f64) * ph;
+                                a.min(inv_eps * ph + (s.min_size + ph))
+                            },
+                            |i, s| {
+                                let p = job.sizes[i];
+                                let a = inv_eps * p + p + (s.count as f64) * p;
+                                a.min(inv_eps * p + (s.min_size + p))
+                            },
+                            |i| job.sizes[i].is_finite().then(|| exact(job, i)),
+                        );
+                        acc += r.expect("rack is non-empty").1;
+                    }
+                    acc
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -400,6 +596,6 @@ fn bulk_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
+    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, update_churn, rack_phat, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

@@ -103,6 +103,43 @@ const KEY_RATIOS: &[(&str, &str, &str, &str, Option<f64>)] = &[
         "pruned_m1024_g16/4096",
         Some(0.50),
     ),
+    // PR 5: the update-side rework. The churn pair isolates lazy
+    // dirty-leaf repair vs eager ancestor propagation at the
+    // acceptance point (m=1024, 8 mutations per search); the rack
+    // pair isolates rack-local vs global p̂ subtree bounds on the
+    // masked heap descent (m=16384, g=64 — the regime PR 4 left at
+    // 22× instead of 287×); the m=64 end-to-end pair guards the
+    // affinity row the flat leaf-table update flipped positive
+    // (was 0.82× — *slower* than linear — with eager ancestor
+    // maintenance the flat search never read).
+    (
+        "lazy-vs-eager update churn (m=1024, r=8)",
+        "update_churn",
+        "eager_m1024_r8",
+        "lazy_m1024_r8",
+        Some(0.50),
+    ),
+    (
+        "rack-vs-global p-hat bounds (m=16384, g=64)",
+        "rack_phat",
+        "global_m16384_g64",
+        "rack_m16384_g64",
+        Some(0.50),
+    ),
+    (
+        // Default (not widened) tolerance on purpose: the guarded
+        // margin is thin — baseline ~1.34x, and the regression this
+        // pair exists to catch (eager ancestor maintenance back on
+        // the flat path) lands at ~0.82x. A 50% gate (threshold
+        // 0.67x) would wave that through; the 30% default fires at
+        // ~0.94x, squarely between the observed run-to-run medians
+        // (1.26–1.34x) and the known-bad state.
+        "affinity pruned-vs-linear end-to-end (m=64, g=16)",
+        "dispatch_affinity_m_sweep",
+        "linear_m64_g16/2048",
+        "pruned_m64_g16/2048",
+        None,
+    ),
 ];
 
 /// Extracts the string value of `"key":"…"` from a JSON line.

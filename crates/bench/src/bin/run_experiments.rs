@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p osr-bench --bin run_experiments -- \
-//!     [--quick] [--jobs N] [--dispatch pruned|linear] [ids…]
+//!     [--quick] [--jobs N] [--dispatch pruned|linear] \
+//!     [--propagation lazy|eager] [ids…]
 //! ```
 //!
 //! With no ids, runs all experiments. `--quick` uses the reduced sizes
@@ -14,6 +15,11 @@
 //! process-default dispatch-argmin strategy for every scheduler the
 //! experiments construct; because the pruned index is exact, CSVs are
 //! byte-identical for either value too (CI diffs both knobs).
+//! `--propagation` likewise overrides the tournament index's
+//! ancestor-propagation default (lazy dirty-leaf repair vs the eager
+//! compat mode); lazy repair reproduces the eager aggregates exactly,
+//! so CSVs are byte-identical across this knob too — the third CI
+//! diff.
 
 use std::fs;
 use std::io::Write as _;
@@ -43,6 +49,20 @@ fn main() {
                     }
                     other => {
                         eprintln!("--dispatch wants pruned|linear, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--propagation" => {
+                let v = iter.next().unwrap_or_else(|| {
+                    eprintln!("--propagation needs a value (lazy|eager)");
+                    std::process::exit(2);
+                });
+                match v.as_str() {
+                    "lazy" => osr_core::set_default_propagation(osr_core::Propagation::Lazy),
+                    "eager" => osr_core::set_default_propagation(osr_core::Propagation::Eager),
+                    other => {
+                        eprintln!("--propagation wants lazy|eager, got {other:?}");
                         std::process::exit(2);
                     }
                 }

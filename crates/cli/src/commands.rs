@@ -38,6 +38,8 @@ USAGE:
                [--queue-backend treap|naive]      (flow only: pending-queue structure)
                [--event-backend binary|pairing]   (flow/wflow/energyflow)
                [--dispatch-index pruned|linear]   (flow/wflow/energyflow)
+               [--propagation lazy|eager]         (flow/wflow/energyflow: tournament
+                                                   ancestor repair — lazy default)
                SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
                      | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
   osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
@@ -168,6 +170,7 @@ struct BackendOpts {
     queue: Option<QueueBackend>,
     events: Option<EventBackend>,
     dispatch: Option<DispatchIndex>,
+    propagation: Option<osr_core::Propagation>,
 }
 
 impl BackendOpts {
@@ -202,11 +205,31 @@ impl BackendOpts {
                 ))
             }
         };
+        let propagation = match args.opt("propagation") {
+            None => None,
+            Some("lazy") => Some(osr_core::Propagation::Lazy),
+            Some("eager") => Some(osr_core::Propagation::Eager),
+            Some(other) => {
+                return Err(format!(
+                    "bad value `{other}` for --propagation (want lazy|eager)"
+                ))
+            }
+        };
         Ok(BackendOpts {
             queue,
             events,
             dispatch,
+            propagation,
         })
+    }
+
+    /// The propagation toggle is a process-wide default (like
+    /// `run_experiments --propagation`); apply it before any scheduler
+    /// builds its dispatch index.
+    fn apply_propagation(&self) {
+        if let Some(p) = self.propagation {
+            osr_core::set_default_propagation(p);
+        }
     }
 
     /// Errors when an option was given but the chosen algorithm cannot
@@ -215,9 +238,11 @@ impl BackendOpts {
         if self.queue.is_some() && !queue_ok {
             return Err(format!("--queue-backend does not apply to `{spec}`"));
         }
-        if (self.events.is_some() || self.dispatch.is_some()) && !rest_ok {
+        if (self.events.is_some() || self.dispatch.is_some() || self.propagation.is_some())
+            && !rest_ok
+        {
             return Err(format!(
-                "--event-backend/--dispatch-index do not apply to `{spec}`"
+                "--event-backend/--dispatch-index/--propagation do not apply to `{spec}`"
             ));
         }
         Ok(())
@@ -338,6 +363,7 @@ fn run_algo(
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
         ("flow", [eps]) => {
+            opts.apply_propagation();
             let mut params = FlowParams::new(*eps);
             if let Some(q) = opts.queue {
                 params.backend = q;
@@ -354,6 +380,7 @@ fn run_algo(
         }
         ("wflow", [eps]) => {
             opts.reject_unsupported(spec, false, true)?;
+            opts.apply_propagation();
             let mut params = WeightedFlowParams::new(*eps);
             if let Some(e) = opts.events {
                 params.events = e;
@@ -367,6 +394,7 @@ fn run_algo(
         }
         ("energyflow", [eps, alpha]) => {
             opts.reject_unsupported(spec, false, true)?;
+            opts.apply_propagation();
             let mut params = EnergyFlowParams::new(*eps, *alpha);
             if let Some(e) = opts.events {
                 params.events = e;
@@ -825,7 +853,8 @@ mod tests {
             "--queue-backend naive",
             "--event-backend pairing",
             "--dispatch-index linear",
-            "--queue-backend treap --event-backend binary --dispatch-index pruned",
+            "--propagation eager",
+            "--queue-backend treap --event-backend binary --dispatch-index pruned --propagation lazy",
         ] {
             let out = cmd_run(&args(&format!(
                 "run --algo flow:0.25 --input {} {extra}",
@@ -857,6 +886,7 @@ mod tests {
             ("--queue-backend quantum", "--queue-backend"),
             ("--event-backend fibonacci", "--event-backend"),
             ("--dispatch-index psychic", "--dispatch-index"),
+            ("--propagation clairvoyant", "--propagation"),
         ] {
             let err = run(extra).unwrap_err();
             assert!(err.contains(needle), "{extra}: {err}");

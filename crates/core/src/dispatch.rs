@@ -43,7 +43,7 @@
 //! A too-small bound can never change the argmin — it only costs extra
 //! exact evaluations — so every approximation here errs low.
 //!
-//! ## The job-side input `p̂`
+//! ## The job-side input `p̂` — global and rack-local
 //!
 //! Subtree-level bounds need the *cheapest eligible size*
 //! `p̂_j = min_i { p_ij < ∞ }` (sizes vary per machine, so a subtree
@@ -56,6 +56,20 @@
 //! (`filter(is_finite).fold(∞, min)`), so results stay bit-identical —
 //! locked by the `tests/dispatch_equivalence` proptests and the CI
 //! experiment-suite diffs.
+//!
+//! Since PR 5 restricted jobs additionally carry **rack-local minima**
+//! ([`osr_model::RackPHat`]: per-64-machine-word and per-4096-machine
+//! layers mirroring the mask words), and the tournament search hands
+//! every node bound its machine range, so `PHatView::for_range`
+//! substitutes the *range's own* cheapest eligible size for the global
+//! `p̂`. Every bound formula below is monotone non-decreasing in `p`
+//! and the rack value is still `≤ p_ij` for every eligible machine in
+//! the range (it is the minimum over a containing superset), so the
+//! bounds stay sound lower bounds — they are merely *tighter*, which
+//! prunes more subtrees without ever changing the argmin. On
+//! rack-affinity workloads with heterogeneous sizes this is what keeps
+//! the masked heap descent from exactly-probing every rack whose
+//! global-`p̂` bound looked attractive.
 //!
 //! ## The job-side input: the eligibility mask
 //!
@@ -78,7 +92,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use osr_dstruct::MaskView;
-use osr_model::EligMask;
+use osr_model::{EligMask, Job, RackPHat};
 
 /// How a scheduler locates `argmin_i λ_ij` at each arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,6 +149,37 @@ pub(crate) fn mask_view(elig: &EligMask) -> MaskView<'_> {
     match elig.word_layers() {
         None => MaskView::All,
         Some((words, summary)) => MaskView::Words { words, summary },
+    }
+}
+
+/// Borrowed view of a job's `p̂` inputs for the subtree bounds: the
+/// global minimum plus, for restricted rows, the rack-local layers
+/// (see the module docs for the soundness argument).
+#[derive(Clone, Copy)]
+pub(crate) struct PHatView<'a> {
+    global: f64,
+    racks: Option<&'a RackPHat>,
+}
+
+/// Builds the `p̂` view the schedulers hand their node-bound closures.
+#[inline]
+pub(crate) fn p_hat_view(job: &Job) -> PHatView<'_> {
+    PHatView {
+        global: job.p_hat(),
+        racks: job.rack_p_hat(),
+    }
+}
+
+impl PHatView<'_> {
+    /// The cheapest eligible size the bound for machine range
+    /// `[lo, lo + span)` may assume: the rack-local minimum when the
+    /// job caches one (restricted rows), the global `p̂` otherwise.
+    #[inline]
+    pub(crate) fn for_range(&self, lo: usize, span: usize) -> f64 {
+        match self.racks {
+            Some(r) => r.range_min(lo, span),
+            None => self.global,
+        }
     }
 }
 
@@ -306,6 +351,31 @@ mod tests {
             }
             MaskView::All => panic!("restricted mask must expose word layers"),
         }
+    }
+
+    #[test]
+    fn p_hat_view_resolves_rack_minima() {
+        // Dense row: every range resolves to the global p̂.
+        let dense = Job::new(0, 0.0, vec![3.0, 1.0, 2.0]);
+        let v = p_hat_view(&dense);
+        assert_eq!(v.for_range(0, 2), 1.0);
+        assert_eq!(v.for_range(2, 2), 1.0);
+        // Restricted row across a word boundary: ranges resolve to
+        // their own rack's minimum, which tightens (raises) the bound
+        // input away from the cheap rack.
+        let mut sizes = vec![f64::INFINITY; 130];
+        sizes[3] = 1.0;
+        sizes[70] = 6.0;
+        let sparse = Job::new(1, 0.0, sizes);
+        let v = p_hat_view(&sparse);
+        assert_eq!(v.for_range(0, 64), 1.0);
+        assert_eq!(v.for_range(64, 64), 6.0);
+        assert_eq!(v.for_range(128, 64), f64::INFINITY);
+        assert_eq!(v.for_range(0, 128), 1.0);
+        // The bound built from the rack value still understates every
+        // eligible machine's exact formula input (6.0 ≤ p_ij for all
+        // eligible i in [64, 128)) while exceeding the global one.
+        assert!(v.for_range(64, 64) > sparse.p_hat());
     }
 
     #[test]

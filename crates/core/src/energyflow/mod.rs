@@ -442,20 +442,27 @@ impl EnergyFlowScheduler {
             } else {
                 match dindex.as_mut() {
                     Some(ix) => {
-                        let p_hat = job.p_hat();
+                        let ph = dispatch::p_hat_view(job);
                         let w = job.weight;
                         ix.search_masked(
                             dispatch::mask_view(job.elig()),
-                            |s| {
+                            |s, lo, span| {
                                 dispatch::energy_lambda_bound(
-                                    s.min_wsum, s.max_wsum, s.min_size, p_hat, w, eps, gamma, alpha,
+                                    s.min_wsum,
+                                    s.max_wsum,
+                                    s.min_size,
+                                    ph.for_range(lo, span),
+                                    w,
+                                    eps,
+                                    gamma,
+                                    alpha,
                                 )
                             },
                             |mi, s| {
                                 let p = job.sizes[mi];
                                 if p.is_finite() {
                                     dispatch::energy_lambda_bound(
-                                        s.min_wsum, s.max_wsum, s.min_size, p, w, eps, gamma, alpha,
+                                        s.wsum, s.wsum, s.min_size, p, w, eps, gamma, alpha,
                                     )
                                 } else {
                                     f64::INFINITY

@@ -344,26 +344,31 @@ impl FlowScheduler {
             // Dispatch: argmin over eligible machines of λ_ij (lowest
             // index on ties). The pruned path and the linear scan are
             // bit-identical; see `crate::dispatch` for the bound
-            // soundness argument. `p̂` and the eligibility mask (the
-            // job-side inputs to the subtree bounds and the subtree
-            // skip) are precomputed at generation time — no per-arrival
-            // rescan of `job.sizes`.
+            // soundness argument. `p̂` (global + rack-local layers) and
+            // the eligibility mask (the job-side inputs to the subtree
+            // bounds and the subtree skip) are precomputed at
+            // generation time — no per-arrival rescan of `job.sizes`.
             let best: Option<(usize, f64)> = if !job.has_eligible() {
                 None
             } else {
                 match dindex.as_mut() {
                     Some(ix) => {
-                        let p_hat = job.p_hat();
+                        let ph = dispatch::p_hat_view(job);
                         let inv_eps = th.inv_eps;
                         ix.search_masked(
                             dispatch::mask_view(job.elig()),
-                            |s| {
-                                dispatch::flow_lambda_bound(s.min_count, s.min_size, p_hat, inv_eps)
+                            |s, lo, span| {
+                                dispatch::flow_lambda_bound(
+                                    s.min_count,
+                                    s.min_size,
+                                    ph.for_range(lo, span),
+                                    inv_eps,
+                                )
                             },
                             |mi, s| {
                                 let p = job.sizes[mi];
                                 if p.is_finite() {
-                                    dispatch::flow_lambda_bound(s.min_count, s.min_size, p, inv_eps)
+                                    dispatch::flow_lambda_bound(s.count, s.min_size, p, inv_eps)
                                 } else {
                                     f64::INFINITY
                                 }

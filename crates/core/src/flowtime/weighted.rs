@@ -313,16 +313,16 @@ impl WeightedFlowScheduler {
             } else {
                 match dindex.as_mut() {
                     Some(ix) => {
-                        let p_hat = job.p_hat();
+                        let ph = dispatch::p_hat_view(job);
                         let w = job.weight;
                         ix.search_masked(
                             dispatch::mask_view(job.elig()),
-                            |s| {
+                            |s, lo, span| {
                                 dispatch::weighted_lambda_bound(
                                     s.min_count,
                                     s.min_wsum,
                                     s.min_size,
-                                    p_hat,
+                                    ph.for_range(lo, span),
                                     w,
                                     eps,
                                 )
@@ -331,12 +331,7 @@ impl WeightedFlowScheduler {
                                 let p = job.sizes[mi];
                                 if p.is_finite() {
                                     dispatch::weighted_lambda_bound(
-                                        s.min_count,
-                                        s.min_wsum,
-                                        s.min_size,
-                                        p,
-                                        w,
-                                        eps,
+                                        s.count, s.wsum, s.min_size, p, w, eps,
                                     )
                                 } else {
                                     f64::INFINITY

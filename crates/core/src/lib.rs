@@ -60,3 +60,7 @@ pub use energymin::{
 };
 pub use epsilon::Thresholds;
 pub use flowtime::{FlowOutcome, FlowParams, FlowScheduler, QueueBackend};
+// The ancestor-propagation toggle of the tournament index, re-exported
+// so harnesses can ablate it beside the dispatch toggle
+// (`run_experiments --propagation eager|lazy`).
+pub use osr_dstruct::tournament::{default_propagation, set_default_propagation, Propagation};

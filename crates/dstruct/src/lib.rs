@@ -44,7 +44,13 @@
 //!   best-first heap descent beyond; both accept a
 //!   [`tournament::MaskView`] eligibility bitmask that prunes
 //!   ineligible subtrees in `O(1)` word tests (restricted-assignment
-//!   and rack-affinity workloads).
+//!   and rack-affinity workloads). The *update* side is lazy
+//!   ([`tournament::Propagation`]): mutations write a packed
+//!   leaf-stats table plus a dirty bitmap, and ancestors are repaired
+//!   in one batched sweep only when a heap descent actually reads
+//!   them — leaf-only search paths (flat scan, sparse set-bit walk)
+//!   never rebuild the tree at all. See `crates/dstruct/README.md`
+//!   for the search-side vs update-side design tour.
 
 // Stylistic lints intentionally not followed:
 // - `needless_range_loop`: machine loops index several parallel state
@@ -66,6 +72,9 @@ pub use fenwick::Fenwick;
 pub use naive::NaiveAggQueue;
 pub use pairing::PairingHeap;
 pub use total::TotalF64;
-pub use tournament::{MachineIndex, MachineStats, MaskView, NodeStats, SearchMode};
+pub use tournament::{
+    default_propagation, set_default_propagation, MachineIndex, MachineStats, MaskView, NodeStats,
+    Propagation, SearchMode,
+};
 pub use treap::AggTreap;
 pub use treap_boxed::BoxedAggTreap;

@@ -14,16 +14,43 @@
 //! per-machine scalars (pending count, pending weight sum, smallest
 //! pending size) plus the arriving job's own parameters.
 //!
-//! ## The structure
+//! ## The structure: a leaf table plus a lazily repaired tree
 //!
-//! [`MachineIndex`] is a flat perfect binary tree (a tournament
-//! bracket) with one leaf per machine. Each leaf holds that machine's
-//! [`MachineStats`]; each internal node holds the componentwise
-//! extremes ([`NodeStats`]) over its subtree, maintained in `O(log m)`
-//! by [`MachineIndex::update`] whenever a pending queue changes.
+//! [`MachineIndex`] splits its state in two (a struct-of-arrays
+//! layout):
 //!
-//! [`MachineIndex::search`] then runs a best-first branch-and-bound:
-//! nodes are popped from a min-heap ordered by `(bound, first machine
+//! * a flat **leaf-stats table** — one packed [`MachineStats`] row
+//!   (`count`, `wsum`, `min_size`; 24 bytes, no padding) per machine.
+//!   This is the *only* thing a queue mutation writes:
+//!   [`MachineIndex::update`] is a single row store.
+//! * an **internal-node array** of componentwise extremes
+//!   ([`NodeStats`]) over power-of-two machine ranges — the bounds the
+//!   best-first descent prunes with.
+//!
+//! Ancestors are **not** maintained eagerly. Mutations mark the touched
+//! machine in a dirty bitmap; the next search that actually reads
+//! internal nodes first runs a batched bottom-up **repair sweep** over
+//! the dirty subtrees ([`MachineIndex::flush`]): the dirty leaves'
+//! parent set is recomputed level by level, deduplicating shared
+//! ancestors, in `O(dirty · log m)` — and a run of `k` mutations
+//! between two searches costs one sweep, not `k` eager `O(log m)`
+//! ancestor rebuilds, because every intermediate ancestor value would
+//! have been a dead write. Search paths that never read internal nodes
+//! — the flat bound scan and the sparse set-bit walk below — skip the
+//! repair entirely, so under [`SearchMode::Flat`] ancestors are never
+//! allocated, written, or read at all.
+//!
+//! The eager behaviour survives as [`Propagation::Eager`]
+//! (process-default selectable via [`set_default_propagation`], like
+//! `osr-core`'s dispatch toggle) for the `update_churn` ablation bench
+//! and the CI equivalence diff; results are bit-identical either way —
+//! a search observes exactly the aggregates a from-scratch rebuild
+//! would produce, a property the interleaving proptests lock.
+//!
+//! ## The search contract
+//!
+//! [`MachineIndex::search`] runs a best-first branch-and-bound: nodes
+//! are popped from a min-heap ordered by `(bound, first machine
 //! index)`; leaves evaluate the exact `λ_ij` lazily; a node is pruned
 //! as soon as its bound can no longer beat the best exact value found
 //! (or can only tie it at a higher machine index). Because every
@@ -36,10 +63,14 @@
 //!
 //! The caller-facing contract, precisely:
 //!
-//! * `node_bound(s)` must be `≤ leaf_bound(i, leaf_i)` for every leaf
-//!   `i` under a node with aggregate stats `s`;
+//! * `node_bound(s, lo, span)` must be `≤ leaf_bound(i, leaf_i)` for
+//!   every leaf `i` in `[lo, lo + span)` under a node with aggregate
+//!   stats `s` — the range arguments let the caller tighten the bound
+//!   with *range-local* job data (e.g. the per-rack `p̂` minima cached
+//!   on `osr_model::Job`, which replace the global `p̂` on affinity
+//!   workloads);
 //! * `leaf_bound(i, s_i)` must be `≤ eval(i)` whenever `eval(i)` is
-//!   `Some`;
+//!   `Some` (it receives the machine's exact [`MachineStats`] row);
 //! * then `search` returns exactly
 //!   `min_{i : eval(i).is_some()} (eval(i), i)` under lexicographic
 //!   `(value, index)` order — the lowest-index argmin.
@@ -73,7 +104,10 @@
 //! entirely and walks the mask's set bits in increasing index order
 //! (`O(words + eligible)` total, the linear scan's visit order and
 //! tie-break), so a job eligible on 64 of 16384 machines costs what a
-//! 64-machine dispatch costs.
+//! 64-machine dispatch costs. The walk reads only the leaf table, so
+//! it runs **without repairing** any pending dirty ancestors — on
+//! affinity workloads whose every job takes this path, the internal
+//! tree is simply never rebuilt.
 //!
 //! ## Flat bound-scan mode ([`SearchMode`])
 //!
@@ -82,15 +116,20 @@
 //! crossover, see BENCH.md) the `BinaryHeap` push/pop traffic costs
 //! more than it saves. [`MachineIndex::new`] therefore auto-selects
 //! [`SearchMode::Flat`] for `m ≤` [`FLAT_MAX_MACHINES`]: a single
-//! left-to-right pass over the leaves with a running best, evaluating
-//! a leaf exactly only when its cheap `leaf_bound` (and mask bit)
-//! says it could still win. The pass visits leaves in increasing
-//! index order and replaces the incumbent only on a strictly smaller
-//! value, so its result — value *and* argmin index — is identical to
-//! both the heap search and the plain linear scan.
+//! left-to-right pass over the leaf table with a running best,
+//! evaluating a leaf exactly only when its cheap `leaf_bound` (and
+//! mask bit) says it could still win. The pass visits leaves in
+//! increasing index order and replaces the incumbent only on a
+//! strictly smaller value, so its result — value *and* argmin index —
+//! is identical to both the heap search and the plain linear scan.
+//! A flat-mode index allocates **no internal nodes and no dirty
+//! bitmap**: mutations touch exactly one 24-byte leaf row, which is
+//! what flipped the m = 64 affinity end-to-end row positive (BENCH.md
+//! "PR 5").
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::total::TotalF64;
 
@@ -172,13 +211,61 @@ impl MaskView<'_> {
 /// trade constant factors, and [`MachineIndex::new`] picks by `m`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchMode {
-    /// Single left-to-right pass over the leaves with a running best;
-    /// no heap, no internal-node reads. Wins at mid-size `m` where
-    /// heap traffic eats the pruning gain.
+    /// Single left-to-right pass over the leaf table with a running
+    /// best; no heap, no internal nodes at all (none are allocated,
+    /// none are ever written). Wins at mid-size `m` where heap traffic
+    /// eats the pruning gain.
     Flat,
     /// Best-first bound-pruned descent with a `BinaryHeap` frontier.
     /// Wins at large `m`, where subtree pruning skips most leaves.
     Heap,
+}
+
+/// When ancestor aggregates are rebuilt after a leaf mutation. Results
+/// are bit-identical either way — a search always observes the
+/// aggregates a from-scratch rebuild would produce (locked by the
+/// interleaving proptests and the CI `--propagation` diff); the modes
+/// trade update-side work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Propagation {
+    /// Rebuild the `O(log m)` ancestor path on every
+    /// [`MachineIndex::update`] — the pre-PR-5 behaviour, kept as the
+    /// `update_churn` ablation baseline and the CI compat mode.
+    Eager,
+    /// Mutations write the leaf table and a dirty bit only; ancestors
+    /// are repaired in one batched bottom-up sweep at the next search
+    /// that reads them (`O(dirty · log m)` amortized, zero ancestor
+    /// writes for leaf-only search paths).
+    #[default]
+    Lazy,
+}
+
+const PROP_EAGER: u8 = 0;
+const PROP_LAZY: u8 = 1;
+
+/// Process-wide default consulted by [`MachineIndex::new`] and
+/// [`MachineIndex::with_mode`], so harnesses (e.g. `run_experiments
+/// --propagation eager`) can ablate every index the schedulers build
+/// without touching call sites — the same pattern as `osr-core`'s
+/// dispatch-index default.
+static DEFAULT_PROPAGATION: AtomicU8 = AtomicU8::new(PROP_LAZY);
+
+/// Sets the process-wide default [`Propagation`].
+pub fn set_default_propagation(p: Propagation) {
+    let v = match p {
+        Propagation::Eager => PROP_EAGER,
+        Propagation::Lazy => PROP_LAZY,
+    };
+    DEFAULT_PROPAGATION.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default [`Propagation`] (`Lazy` unless overridden
+/// via [`set_default_propagation`]).
+pub fn default_propagation() -> Propagation {
+    match DEFAULT_PROPAGATION.load(Ordering::Relaxed) {
+        PROP_EAGER => Propagation::Eager,
+        _ => Propagation::Lazy,
+    }
 }
 
 /// Largest machine count for which [`MachineIndex::new`] picks
@@ -187,7 +274,8 @@ pub enum SearchMode {
 /// bound-pruning saves, so the flat scan is the better constant.
 pub const FLAT_MAX_MACHINES: usize = 64;
 
-/// Cached dispatch statistics of one machine's pending queue.
+/// Cached dispatch statistics of one machine's pending queue — one
+/// packed row (24 bytes, no padding) of the leaf-stats table.
 ///
 /// All three schedulers derive their `λ_ij` lower bounds from these
 /// three scalars (each scheduler uses the subset its formula needs).
@@ -240,7 +328,8 @@ impl NodeStats {
         min_size: f64::INFINITY,
     };
 
-    fn leaf(s: MachineStats) -> NodeStats {
+    /// The degenerate aggregate of a single machine's stats row.
+    pub fn leaf(s: MachineStats) -> NodeStats {
         NodeStats {
             min_count: s.count,
             min_wsum: s.wsum,
@@ -277,18 +366,31 @@ pub struct MachineIndex {
     m: usize,
     /// Leaf capacity: smallest power of two `≥ m`.
     cap: usize,
-    /// Implicit tree: root at 1, children of `k` at `2k`/`2k+1`,
-    /// leaf `i` at `cap + i`.
-    nodes: Vec<NodeStats>,
+    /// The leaf-stats table: one packed row per machine, the only
+    /// state a mutation writes.
+    leaves: Vec<MachineStats>,
+    /// Internal nodes 1..cap (index 0 unused; children of `k` at
+    /// `2k`/`2k+1`, node ids `≥ cap` denote leaf `id - cap`). Empty in
+    /// [`SearchMode::Flat`] — never allocated, never written.
+    inner: Vec<NodeStats>,
+    /// One dirty bit per machine (lazy propagation only; empty in
+    /// `Flat`, where there is nothing to repair).
+    dirty: Vec<u64>,
+    /// Whether any dirty bit is set (cheap repair short-circuit).
+    any_dirty: bool,
+    /// Reusable level buffer for the batched repair sweep.
+    repair_scratch: Vec<u32>,
     /// Reusable frontier heap (no per-search allocation once warm).
     heap: BinaryHeap<Reverse<Frontier>>,
     mode: SearchMode,
+    prop: Propagation,
 }
 
 impl MachineIndex {
     /// Index over `m` machines, all starting with empty queues, in the
     /// search mode best for `m` (flat at or below
-    /// [`FLAT_MAX_MACHINES`], heap above).
+    /// [`FLAT_MAX_MACHINES`], heap above) and the process-default
+    /// [`Propagation`].
     ///
     /// # Panics
     /// Panics when `m == 0` (instances always have a machine).
@@ -301,34 +403,65 @@ impl MachineIndex {
         Self::with_mode(m, mode)
     }
 
-    /// Index over `m` machines with an explicit [`SearchMode`] —
-    /// for the ablation benches and the crossover-boundary tests;
-    /// production callers want [`MachineIndex::new`].
+    /// Index over `m` machines with an explicit [`SearchMode`] (and the
+    /// process-default [`Propagation`]) — for the ablation benches and
+    /// the crossover-boundary tests; production callers want
+    /// [`MachineIndex::new`].
     ///
     /// # Panics
     /// Panics when `m == 0` (instances always have a machine).
     pub fn with_mode(m: usize, mode: SearchMode) -> Self {
+        Self::with_config(m, mode, default_propagation())
+    }
+
+    /// Fully explicit constructor: search mode *and* propagation mode.
+    ///
+    /// # Panics
+    /// Panics when `m == 0` (instances always have a machine).
+    pub fn with_config(m: usize, mode: SearchMode, prop: Propagation) -> Self {
         assert!(m > 0, "MachineIndex needs at least one machine");
         let cap = m.next_power_of_two();
-        let mut nodes = vec![NodeStats::IDENTITY; 2 * cap];
-        for leaf in 0..m {
-            nodes[cap + leaf] = NodeStats::leaf(MachineStats::EMPTY);
-        }
-        for k in (1..cap).rev() {
-            nodes[k] = NodeStats::combine(nodes[2 * k], nodes[2 * k + 1]);
-        }
-        MachineIndex {
+        let leaves = vec![MachineStats::EMPTY; m];
+        // Flat mode reads nothing but the leaf table: allocate no
+        // internal nodes and no dirty bitmap at all.
+        let (inner, dirty) = if mode == SearchMode::Flat {
+            (Vec::new(), Vec::new())
+        } else {
+            let dirty = if prop == Propagation::Lazy {
+                vec![0u64; m.div_ceil(64)]
+            } else {
+                Vec::new()
+            };
+            (vec![NodeStats::IDENTITY; cap], dirty)
+        };
+        let mut ix = MachineIndex {
             m,
             cap,
-            nodes,
+            leaves,
+            inner,
+            dirty,
+            any_dirty: false,
+            repair_scratch: Vec::new(),
             heap: BinaryHeap::new(),
             mode,
+            prop,
+        };
+        if mode == SearchMode::Heap {
+            for k in (1..cap).rev() {
+                ix.recompute(k as u32);
+            }
         }
+        ix
     }
 
     /// The search mode in effect.
     pub fn mode(&self) -> SearchMode {
         self.mode
+    }
+
+    /// The propagation mode in effect.
+    pub fn propagation(&self) -> Propagation {
+        self.prop
     }
 
     /// Number of machines indexed.
@@ -341,22 +474,127 @@ impl MachineIndex {
         self.m == 0
     }
 
-    /// Current leaf stats of machine `i` (aggregate view).
-    pub fn stats(&self, i: usize) -> &NodeStats {
-        &self.nodes[self.cap + i]
+    /// Current leaf-stats row of machine `i` (always fresh — the leaf
+    /// table is written synchronously, only ancestors are deferred).
+    pub fn stats(&self, i: usize) -> &MachineStats {
+        &self.leaves[i]
     }
 
-    /// Replaces machine `i`'s stats and rebuilds the `O(log m)`
-    /// ancestors. Call after every pending-queue mutation.
+    /// The [`NodeStats`] view of leaf `i` (identity for padding leaves
+    /// beyond `m`).
+    #[inline]
+    fn leaf_ns(&self, i: usize) -> NodeStats {
+        if i < self.m {
+            NodeStats::leaf(self.leaves[i])
+        } else {
+            NodeStats::IDENTITY
+        }
+    }
+
+    /// Stats of an arbitrary node id (internal or leaf).
+    #[inline]
+    fn node_ns(&self, k: usize) -> NodeStats {
+        if k >= self.cap {
+            self.leaf_ns(k - self.cap)
+        } else {
+            self.inner[k]
+        }
+    }
+
+    /// Rebuilds internal node `k` from its two children.
+    #[inline]
+    fn recompute(&mut self, k: u32) {
+        let k = k as usize;
+        let c = 2 * k;
+        let (a, b) = if c >= self.cap {
+            (self.leaf_ns(c - self.cap), self.leaf_ns(c + 1 - self.cap))
+        } else {
+            (self.inner[c], self.inner[c + 1])
+        };
+        self.inner[k] = NodeStats::combine(a, b);
+    }
+
+    /// Replaces machine `i`'s stats. Under [`Propagation::Lazy`] (or
+    /// [`SearchMode::Flat`], which has no ancestors at all) this is a
+    /// single leaf-row store plus a dirty bit; under
+    /// [`Propagation::Eager`] the `O(log m)` ancestor path is rebuilt
+    /// immediately. Call after every pending-queue mutation.
     pub fn update(&mut self, i: usize, stats: MachineStats) {
         debug_assert!(i < self.m);
-        let mut k = self.cap + i;
-        self.nodes[k] = NodeStats::leaf(stats);
-        k /= 2;
-        while k >= 1 {
-            self.nodes[k] = NodeStats::combine(self.nodes[2 * k], self.nodes[2 * k + 1]);
-            k /= 2;
+        self.leaves[i] = stats;
+        if self.mode == SearchMode::Flat {
+            return; // no ancestors exist; nothing else to do
         }
+        match self.prop {
+            Propagation::Lazy => {
+                self.dirty[i / 64] |= 1u64 << (i % 64);
+                self.any_dirty = true;
+            }
+            Propagation::Eager => {
+                let mut k = (self.cap + i) / 2;
+                while k >= 1 {
+                    self.recompute(k as u32);
+                    k /= 2;
+                }
+            }
+        }
+    }
+
+    /// Repairs all pending dirty ancestors now (normally done
+    /// automatically by the first search that reads internal nodes).
+    /// One batched bottom-up sweep: the dirty leaves' parents are
+    /// recomputed level by level with shared ancestors deduplicated,
+    /// `O(dirty · log m)` total. No-op when nothing is dirty or in
+    /// [`SearchMode::Flat`].
+    pub fn flush(&mut self) {
+        if !self.any_dirty {
+            return;
+        }
+        self.any_dirty = false;
+        if self.cap == 1 {
+            // A single leaf has no ancestors; just clear the bits.
+            for w in &mut self.dirty {
+                *w = 0;
+            }
+            return;
+        }
+        let mut frontier = std::mem::take(&mut self.repair_scratch);
+        frontier.clear();
+        // Dirty machines in increasing order → their (leaf-parent)
+        // node ids are non-decreasing, so adjacent dedup suffices.
+        for (wi, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let i = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let parent = ((self.cap + i) / 2) as u32;
+                if frontier.last() != Some(&parent) {
+                    frontier.push(parent);
+                }
+            }
+        }
+        // All frontier nodes sit on one level; walk levels up to the
+        // root, recomputing each dirty node once.
+        loop {
+            for idx in 0..frontier.len() {
+                self.recompute(frontier[idx]);
+            }
+            if frontier[0] == 1 {
+                break; // just recomputed the root
+            }
+            let mut out = 0usize;
+            for idx in 0..frontier.len() {
+                let parent = frontier[idx] / 2;
+                if out == 0 || frontier[out - 1] != parent {
+                    frontier[out] = parent;
+                    out += 1;
+                }
+            }
+            frontier.truncate(out);
+        }
+        frontier.clear();
+        self.repair_scratch = frontier;
     }
 
     /// Pruned argmin with every machine considered eligible; see the
@@ -370,8 +608,8 @@ impl MachineIndex {
         eval: EV,
     ) -> Option<(usize, f64)>
     where
-        NB: Fn(&NodeStats) -> f64,
-        LB: Fn(usize, &NodeStats) -> f64,
+        NB: Fn(&NodeStats, usize, usize) -> f64,
+        LB: Fn(usize, &MachineStats) -> f64,
         EV: FnMut(usize) -> Option<f64>,
     {
         self.search_masked(MaskView::All, node_bound, leaf_bound, eval)
@@ -383,7 +621,9 @@ impl MachineIndex {
     /// mask contract: a masked-out machine's `eval` must be `None`, so
     /// skipping cannot change the result). Dispatches on the
     /// [`SearchMode`] chosen at construction; both modes return the
-    /// identical lowest-index argmin.
+    /// identical lowest-index argmin. Only the heap descent repairs
+    /// pending dirty ancestors — the flat pass and the sparse set-bit
+    /// walk read the leaf table alone.
     pub fn search_masked<NB, LB, EV>(
         &mut self,
         mask: MaskView<'_>,
@@ -392,8 +632,8 @@ impl MachineIndex {
         mut eval: EV,
     ) -> Option<(usize, f64)>
     where
-        NB: Fn(&NodeStats) -> f64,
-        LB: Fn(usize, &NodeStats) -> f64,
+        NB: Fn(&NodeStats, usize, usize) -> f64,
+        LB: Fn(usize, &MachineStats) -> f64,
         EV: FnMut(usize) -> Option<f64>,
     {
         // (value, index) under lexicographic order; `TotalF64` keeps
@@ -410,15 +650,57 @@ impl MachineIndex {
             }
         };
 
-        if self.mode == SearchMode::Flat {
-            // One pass, increasing index, strict-improvement updates:
-            // the same visit order and tie-break as the linear scan,
-            // minus the exact evaluations the bounds/mask rule out.
-            for idx in 0..self.m {
-                if !mask.test(idx) {
-                    continue;
+        // Leaf-table set-bit walk, shared by the flat mode (any Words
+        // mask) and the heap mode's sparse fast path: visits the
+        // mask's set bits in increasing index order (the linear scan's
+        // visit order and tie-break) with one `trailing_zeros` per
+        // candidate — no heap traffic, no internal nodes, cost
+        // `O(words + eligible)` regardless of `m`. Reads only the leaf
+        // table, so pending dirty ancestors stay unrepaired (a
+        // workload whose every job takes this path never rebuilds the
+        // internal tree at all).
+        macro_rules! bit_walk {
+            ($words:expr) => {{
+                for (k, &word) in $words.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let idx = k * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        if idx >= self.m {
+                            break;
+                        }
+                        let lb = leaf_bound(idx, &self.leaves[idx]);
+                        if !beats(lb, idx, &best) {
+                            continue;
+                        }
+                        if let Some(val) = eval(idx) {
+                            if beats(val, idx, &best) {
+                                best = Some((val, idx));
+                            }
+                        }
+                    }
                 }
-                let lb = leaf_bound(idx, &self.nodes[self.cap + idx]);
+                return best.map(|(v, i)| (i, v));
+            }};
+        }
+
+        if self.mode == SearchMode::Flat {
+            // Restricted mask: walk its set bits directly — on a
+            // rack-affinity workload this touches one mask word and
+            // the rack's few leaf rows instead of testing all `m`
+            // machines (the last per-arrival `O(m)` term of the flat
+            // path, and what pushed the m = 64 affinity row past the
+            // linear scan).
+            if let MaskView::Words { words, .. } = mask {
+                bit_walk!(words);
+            }
+            // Dense mask: one pass, increasing index,
+            // strict-improvement updates — the same visit order and
+            // tie-break as the linear scan, minus the exact
+            // evaluations the bounds rule out. Reads the leaf table
+            // only; no ancestors exist.
+            for idx in 0..self.m {
+                let lb = leaf_bound(idx, &self.leaves[idx]);
                 if !beats(lb, idx, &best) {
                     continue;
                 }
@@ -432,12 +714,9 @@ impl MachineIndex {
         }
 
         // Sparse fast path: when the job is eligible on at most
-        // FLAT_MAX_MACHINES machines, walking the mask's set bits
-        // directly (one `trailing_zeros` per candidate, increasing
-        // index — the linear scan's visit order and tie-break) beats
-        // any tree descent: no heap traffic, no internal nodes, cost
-        // `O(words + eligible)` regardless of `m`. This is what makes
-        // rack-affinity dispatch scale with the rack size.
+        // FLAT_MAX_MACHINES machines, the set-bit walk beats any tree
+        // descent. This is what makes rack-affinity dispatch scale
+        // with the rack size.
         if let MaskView::Words { words, .. } = mask {
             // Only "is the count ≤ the threshold?" matters, so the
             // popcount scan exits as soon as it cannot be — dense
@@ -450,33 +729,19 @@ impl MachineIndex {
                 }
             }
             if eligible <= FLAT_MAX_MACHINES {
-                for (k, &word) in words.iter().enumerate() {
-                    let mut word = word;
-                    while word != 0 {
-                        let idx = k * 64 + word.trailing_zeros() as usize;
-                        word &= word - 1;
-                        if idx >= self.m {
-                            break;
-                        }
-                        let lb = leaf_bound(idx, &self.nodes[self.cap + idx]);
-                        if !beats(lb, idx, &best) {
-                            continue;
-                        }
-                        if let Some(val) = eval(idx) {
-                            if beats(val, idx, &best) {
-                                best = Some((val, idx));
-                            }
-                        }
-                    }
-                }
-                return best.map(|(v, i)| (i, v));
+                bit_walk!(words);
             }
         }
+
+        // The heap descent reads internal nodes: repair them first
+        // (one batched sweep over everything dirtied since the last
+        // descent).
+        self.flush();
 
         self.heap.clear();
         if mask.any_in_range(0, self.cap) {
             self.heap.push(Reverse(Frontier {
-                bound: TotalF64(node_bound(&self.nodes[1])),
+                bound: TotalF64(node_bound(&self.node_ns(1), 0, self.cap)),
                 lo: 0,
                 node: 1,
                 span: self.cap as u32,
@@ -500,7 +765,7 @@ impl MachineIndex {
                 if idx >= self.m {
                     continue; // padding leaf
                 }
-                let lb = leaf_bound(idx, &self.nodes[e.node as usize]);
+                let lb = leaf_bound(idx, &self.leaves[idx]);
                 if !beats(lb, idx, &best) {
                     continue;
                 }
@@ -517,7 +782,7 @@ impl MachineIndex {
                     if !mask.any_in_range(lo as usize, half as usize) {
                         continue;
                     }
-                    let b = node_bound(&self.nodes[child as usize]);
+                    let b = node_bound(&self.node_ns(child as usize), lo as usize, half as usize);
                     if beats(b, lo as usize, &best) {
                         self.heap.push(Reverse(Frontier {
                             bound: TotalF64(b),
@@ -568,7 +833,7 @@ mod tests {
             .copied()
             .fold(f64::INFINITY, f64::min);
         ix.search(
-            |_| global,
+            |_, _, _| global,
             |i, _| values[i].unwrap_or(f64::INFINITY),
             |i| values[i],
         )
@@ -576,16 +841,142 @@ mod tests {
 
     #[test]
     fn aggregates_maintained_bottom_up() {
-        let mut ix = MachineIndex::new(5);
-        ix.update(2, busy(3, 7.5, 1.25));
-        ix.update(4, busy(1, 2.0, 2.0));
-        assert_eq!(ix.stats(2).min_count, 3);
-        assert_eq!(ix.nodes[1].min_count, 0); // machines 0,1,3 empty
-        assert_eq!(ix.nodes[1].max_wsum, 7.5);
-        assert_eq!(ix.nodes[1].min_size, 1.25);
-        ix.update(2, MachineStats::EMPTY);
-        assert_eq!(ix.nodes[1].max_wsum, 2.0);
-        assert_eq!(ix.nodes[1].min_size, 2.0);
+        for prop in [Propagation::Eager, Propagation::Lazy] {
+            let mut ix = MachineIndex::with_config(5, SearchMode::Heap, prop);
+            ix.update(2, busy(3, 7.5, 1.25));
+            ix.update(4, busy(1, 2.0, 2.0));
+            ix.flush();
+            assert_eq!(ix.stats(2).count, 3);
+            assert_eq!(ix.inner[1].min_count, 0); // machines 0,1,3 empty
+            assert_eq!(ix.inner[1].max_wsum, 7.5);
+            assert_eq!(ix.inner[1].min_size, 1.25);
+            ix.update(2, MachineStats::EMPTY);
+            ix.flush();
+            assert_eq!(ix.inner[1].max_wsum, 2.0);
+            assert_eq!(ix.inner[1].min_size, 2.0);
+        }
+    }
+
+    /// Satellite lock (PR 5): a flat-mode index must skip ancestor
+    /// maintenance *entirely* — it allocates no internal-node array
+    /// and no dirty bitmap, and arbitrary mutations leave both empty
+    /// (the leaf table is the only state), while searches stay exact.
+    #[test]
+    fn flat_mode_never_touches_ancestors() {
+        for prop in [Propagation::Eager, Propagation::Lazy] {
+            let mut ix = MachineIndex::with_config(64, SearchMode::Flat, prop);
+            assert!(ix.inner.is_empty(), "flat mode must allocate no ancestors");
+            assert!(ix.dirty.is_empty(), "flat mode needs no dirty bitmap");
+            let mut values = vec![None; 64];
+            for i in 0..64 {
+                ix.update(i, busy(1 + (i % 5) as u64, i as f64, 1.0 + (i % 3) as f64));
+                values[i] = Some(((i * 37) % 19) as f64);
+            }
+            // Still no ancestor slot exists, let alone changed.
+            assert!(ix.inner.is_empty());
+            assert!(ix.dirty.is_empty());
+            assert!(!ix.any_dirty);
+            // And flush is a no-op that cannot panic.
+            ix.flush();
+            assert_eq!(search_exact(&mut ix, &values), linear_argmin(&values));
+            // Leaf rows are written synchronously.
+            assert_eq!(ix.stats(3).wsum, 3.0);
+        }
+    }
+
+    /// Lazy repair must produce exactly the aggregates a from-scratch
+    /// rebuild would, across interleaved mutations and searches —
+    /// including dirty runs that span the 64-machine bitmap word
+    /// boundary.
+    #[test]
+    fn lazy_repair_matches_eager_and_rebuild() {
+        for m in [5usize, 63, 64, 65, 130, 200] {
+            let mut lazy = MachineIndex::with_config(m, SearchMode::Heap, Propagation::Lazy);
+            let mut eager = MachineIndex::with_config(m, SearchMode::Heap, Propagation::Eager);
+            let mut shadow = vec![MachineStats::EMPTY; m];
+            let mut state = 0x5EED ^ (m as u64);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for round in 0..40 {
+                // A burst of mutations (biased to straddle word
+                // boundaries when m allows), then one search.
+                for _ in 0..(1 + next() % 7) {
+                    let i = if m > 66 && next() % 2 == 0 {
+                        62 + (next() % 6) as usize // 62..68: spans words 0/1
+                    } else {
+                        (next() % m as u64) as usize
+                    };
+                    let s = busy(next() % 9, (next() % 50) as f64 / 4.0, 1.0);
+                    lazy.update(i, s);
+                    eager.update(i, s);
+                    shadow[i] = s;
+                }
+                let values: Vec<Option<f64>> = shadow
+                    .iter()
+                    .map(|s| (s.count % 3 != 0).then_some(s.wsum + s.count as f64))
+                    .collect();
+                let expected = linear_argmin(&values);
+                let got_lazy = search_exact(&mut lazy, &values);
+                let got_eager = search_exact(&mut eager, &values);
+                assert_eq!(got_lazy, expected, "m={m} round={round} lazy");
+                assert_eq!(got_eager, expected, "m={m} round={round} eager");
+                // After the search-triggered repair the internal nodes
+                // must equal a from-scratch rebuild's, slot for slot.
+                let mut fresh = MachineIndex::with_config(m, SearchMode::Heap, Propagation::Eager);
+                for (i, s) in shadow.iter().enumerate() {
+                    fresh.update(i, *s);
+                }
+                assert_eq!(lazy.inner, fresh.inner, "m={m} round={round}");
+                assert_eq!(eager.inner, fresh.inner, "m={m} round={round}");
+            }
+        }
+    }
+
+    /// The sparse set-bit walk must answer correctly *without*
+    /// repairing dirty ancestors (it reads the leaf table only).
+    #[test]
+    fn sparse_walk_skips_repair() {
+        let m = 1024;
+        let mut ix = MachineIndex::with_config(m, SearchMode::Heap, Propagation::Lazy);
+        for i in 0..m {
+            ix.update(i, busy(1 + (i % 4) as u64, i as f64, 1.0));
+        }
+        assert!(ix.any_dirty);
+        // A 16-machine mask: sparse walk territory.
+        let mut words = vec![0u64; m / 64];
+        for g in 0..16 {
+            words[g] |= 1 << 7;
+        }
+        let mut summary = vec![0u64; 1];
+        for (k, w) in words.iter().enumerate() {
+            if *w != 0 {
+                summary[0] |= 1 << k;
+            }
+        }
+        let values: Vec<Option<f64>> = (0..m)
+            .map(|i| (i % 64 == 7 && i / 64 < 16).then(|| ((i * 13) % 29) as f64))
+            .collect();
+        let got = ix.search_masked(
+            MaskView::Words {
+                words: &words,
+                summary: &summary,
+            },
+            |_, _, _| 0.0,
+            |i, _| values[i].unwrap_or(f64::INFINITY),
+            |i| values[i],
+        );
+        assert_eq!(got, linear_argmin(&values));
+        // Dirt untouched: the walk never looked at the internal tree.
+        assert!(ix.any_dirty, "sparse walk must not trigger repair");
+        // A dense (All-mask) search then repairs and still agrees.
+        let dense: Vec<Option<f64>> = (0..m).map(|i| Some(((i * 31) % 97) as f64)).collect();
+        let got = search_exact(&mut ix, &dense);
+        assert_eq!(got, linear_argmin(&dense));
+        assert!(!ix.any_dirty);
     }
 
     #[test]
@@ -639,7 +1030,7 @@ mod tests {
             let mut ix = MachineIndex::new(m);
             let expected = linear_argmin(&values);
             let got = ix.search(
-                |_| 0.0,
+                |_, _, _| 0.0,
                 |i, _| values[i].map_or(f64::INFINITY, |v| (v - slack).max(0.0)),
                 |i| values[i],
             );
@@ -650,9 +1041,10 @@ mod tests {
     #[test]
     fn pruning_skips_exact_evaluations() {
         // One cheap machine among many expensive ones: with tight
-        // bounds, the search must not evaluate every leaf.
+        // bounds, the search must not evaluate every leaf. (Heap mode
+        // explicitly — m = 64 auto-selects the flat scan.)
         let m = 64;
-        let mut ix = MachineIndex::new(m);
+        let mut ix = MachineIndex::with_mode(m, SearchMode::Heap);
         for i in 0..m {
             ix.update(
                 i,
@@ -666,8 +1058,8 @@ mod tests {
         let mut evals = 0usize;
         let got = ix.search(
             // Bound from stats: empty queues promise 1.0, busy ones 50.0.
-            |s| if s.min_count == 0 { 1.0 } else { 50.0 },
-            |_, s| if s.min_count == 0 { 1.0 } else { 50.0 },
+            |s, _, _| if s.min_count == 0 { 1.0 } else { 50.0 },
+            |_, s| if s.count == 0 { 1.0 } else { 50.0 },
             |i| {
                 evals += 1;
                 Some(if i == 5 { 1.0 } else { 50.0 })
@@ -675,6 +1067,60 @@ mod tests {
         );
         assert_eq!(got, Some((5, 1.0)));
         assert!(evals < m / 2, "pruning ineffective: {evals} evals");
+    }
+
+    /// Range-aware node bounds: the search hands every node its
+    /// `(lo, span)` machine range, so callers can tighten bounds with
+    /// range-local data (the rack-p̂ mechanism). Tightening a bound
+    /// must never change the answer — only the number of exact
+    /// evaluations.
+    #[test]
+    fn range_aware_bounds_prune_more_but_agree() {
+        let m = 512;
+        // Exact values: machines in [256, 320) are cheap (value 1+…),
+        // everyone else expensive (100+…) — but a *global* lower bound
+        // cannot see that.
+        let value = |i: usize| {
+            if (256..320).contains(&i) {
+                1.0 + (i % 7) as f64 * 0.1
+            } else {
+                100.0 + (i % 7) as f64 * 0.1
+            }
+        };
+        let mut blind_evals = 0usize;
+        let mut ranged_evals = 0usize;
+        let mut ix = MachineIndex::with_mode(m, SearchMode::Heap);
+        let blind = ix.search(
+            |_, _, _| 1.0, // global: every subtree promises the best case
+            |_, _| 1.0,
+            |i| {
+                blind_evals += 1;
+                Some(value(i))
+            },
+        );
+        let ranged = ix.search(
+            |_, lo, span| {
+                // Range-local: only ranges overlapping [256, 320) may
+                // contain a cheap machine.
+                if lo < 320 && lo + span > 256 {
+                    1.0
+                } else {
+                    100.0
+                }
+            },
+            |i, _| if (256..320).contains(&i) { 1.0 } else { 100.0 },
+            |i| {
+                ranged_evals += 1;
+                Some(value(i))
+            },
+        );
+        let values: Vec<Option<f64>> = (0..m).map(|i| Some(value(i))).collect();
+        assert_eq!(blind, ranged);
+        assert_eq!(blind, linear_argmin(&values));
+        assert!(
+            ranged_evals < blind_evals,
+            "range bounds should prune more: {ranged_evals} vs {blind_evals}"
+        );
     }
 
     #[test]
@@ -694,6 +1140,12 @@ mod tests {
             MachineIndex::new(FLAT_MAX_MACHINES + 1).mode(),
             SearchMode::Heap
         );
+        // The propagation default round-trips like the dispatch one.
+        assert_eq!(MachineIndex::new(8).propagation(), Propagation::Lazy);
+        set_default_propagation(Propagation::Eager);
+        assert_eq!(MachineIndex::new(8).propagation(), Propagation::Eager);
+        set_default_propagation(Propagation::Lazy);
+        assert_eq!(default_propagation(), Propagation::Lazy);
     }
 
     /// Deterministic xorshift for the randomized cross-checks below.
@@ -734,7 +1186,7 @@ mod tests {
                 for mode in [SearchMode::Flat, SearchMode::Heap] {
                     let mut ix = MachineIndex::with_mode(m, mode);
                     let got = ix.search(
-                        |_| 0.0,
+                        |_, _, _| 0.0,
                         |i, _| values[i].map_or(f64::INFINITY, |v| (v - slack).max(0.0)),
                         |i| values[i],
                     );
@@ -742,7 +1194,7 @@ mod tests {
                 }
                 // The auto-selected mode agrees too (whichever it is).
                 let mut ix = MachineIndex::new(m);
-                let got = ix.search(|_| 0.0, |_, _| 0.0, |i| values[i]);
+                let got = ix.search(|_, _, _| 0.0, |_, _| 0.0, |i| values[i]);
                 assert_eq!(got, expected, "m={m} trial={trial} auto");
             }
         }
@@ -847,7 +1299,7 @@ mod tests {
                             words: &words,
                             summary: &summary,
                         },
-                        |_| 0.0,
+                        |_, _, _| 0.0,
                         |_, _| 0.0,
                         |i| {
                             evals += 1;
@@ -876,7 +1328,7 @@ mod tests {
                     words: &words,
                     summary: &summary,
                 },
-                |_| 0.0,
+                |_, _, _| 0.0,
                 |_, _| 0.0,
                 |_| -> Option<f64> { panic!("nothing to evaluate") },
             );

@@ -24,6 +24,20 @@
 //! grows only when the high-water mark of pending jobs does, and
 //! [`AggTreap::with_capacity`] can prereserve even that.
 //!
+//! ## Packed aggregate rows (struct-of-arrays)
+//!
+//! The `(count, sum)` subtree aggregates live in their **own parallel
+//! array** of packed 16-byte rows (`PackedAgg`), not inside the node
+//! struct. The bottom-up aggregate fix after every mutation — two
+//! child-agg reads plus one write per level, which `treap_steady_churn`
+//! shows is the churn cost — therefore walks a dense array where four
+//! rows share a cache line, instead of pulling in each child's full
+//! node (key, priority, links) just to read 12 bytes of aggregate.
+//! The arithmetic is unchanged expression for expression
+//! (`weight + left.sum + right.sum`), so aggregate sums stay
+//! bit-identical to the previous layout and to a fresh build — the
+//! naive-backend-equality contract the schedulers test for.
+//!
 //! All mutating walks are **iterative** with a reusable scratch stack
 //! (no recursion, no per-op allocation), so degenerate priority
 //! sequences can slow the treap down but can never overflow the call
@@ -67,20 +81,35 @@ impl Agg {
 const NIL: u32 = u32::MAX;
 
 /// One arena slot. A slot on the free list keeps its stale `key` until
-/// reuse (see module docs).
+/// reuse (see module docs). Subtree aggregates live in the parallel
+/// packed array (`AggTreap::aggs`), not here.
 struct Node<K> {
     key: K,
     weight: f64,
     pri: u64,
-    sum: f64,
-    count: u32,
     left: u32,
     right: u32,
+}
+
+/// One packed subtree-aggregate row of the struct-of-arrays layout:
+/// 16 bytes, four to a cache line, indexed by the same slot id as the
+/// node array (see module docs).
+#[derive(Clone, Copy)]
+struct PackedAgg {
+    sum: f64,
+    count: u32,
+}
+
+impl PackedAgg {
+    const ZERO: PackedAgg = PackedAgg { sum: 0.0, count: 0 };
 }
 
 /// Order-statistic treap with weight aggregates; see module docs.
 pub struct AggTreap<K: Ord> {
     nodes: Vec<Node<K>>,
+    /// Subtree aggregates, parallel to `nodes` (packed rows — the
+    /// child-agg update pass reads this array only).
+    aggs: Vec<PackedAgg>,
     free: Vec<u32>,
     root: u32,
     rng: u64,
@@ -107,6 +136,7 @@ impl<K: Ord> AggTreap<K> {
     pub fn with_seed(seed: u64) -> Self {
         AggTreap {
             nodes: Vec::new(),
+            aggs: Vec::new(),
             free: Vec::new(),
             root: NIL,
             rng: seed | 1,
@@ -121,6 +151,7 @@ impl<K: Ord> AggTreap<K> {
     pub fn with_capacity(cap: usize) -> Self {
         let mut t = Self::new();
         t.nodes.reserve(cap);
+        t.aggs.reserve(cap);
         t
     }
 
@@ -206,31 +237,41 @@ impl<K: Ord> AggTreap<K> {
         &self.nodes[i as usize]
     }
 
+    /// The packed aggregate row of slot `i` (zero for `NIL`).
     #[inline]
-    fn agg(&self, i: u32) -> Agg {
+    fn packed(&self, i: u32) -> PackedAgg {
         if i == NIL {
-            Agg::default()
+            PackedAgg::ZERO
         } else {
-            let n = self.node(i);
-            Agg {
-                count: n.count as usize,
-                sum: n.sum,
-            }
+            self.aggs[i as usize]
         }
     }
 
-    /// Recomputes `i`'s aggregates from its children.
+    #[inline]
+    fn agg(&self, i: u32) -> Agg {
+        let p = self.packed(i);
+        Agg {
+            count: p.count as usize,
+            sum: p.sum,
+        }
+    }
+
+    /// Recomputes `i`'s aggregates from its children — the child-agg
+    /// update pass: two packed-row reads and one packed-row write
+    /// against the dense aggregate array (the node array supplies only
+    /// the links and the own weight).
     #[inline]
     fn update(&mut self, i: u32) {
-        let (l, r) = {
+        let (l, r, w) = {
             let n = self.node(i);
-            (n.left, n.right)
+            (n.left, n.right, n.weight)
         };
-        let la = self.agg(l);
-        let ra = self.agg(r);
-        let n = &mut self.nodes[i as usize];
-        n.count = 1 + (la.count + ra.count) as u32;
-        n.sum = n.weight + la.sum + ra.sum;
+        let la = self.packed(l);
+        let ra = self.packed(r);
+        self.aggs[i as usize] = PackedAgg {
+            sum: w + la.sum + ra.sum,
+            count: 1 + la.count + ra.count,
+        };
     }
 
     /// Takes a slot off the free list (or grows the arena) and
@@ -243,10 +284,12 @@ impl<K: Ord> AggTreap<K> {
                 n.key = key;
                 n.weight = weight;
                 n.pri = pri;
-                n.sum = weight;
-                n.count = 1;
                 n.left = NIL;
                 n.right = NIL;
+                self.aggs[i as usize] = PackedAgg {
+                    sum: weight,
+                    count: 1,
+                };
                 i
             }
             None => {
@@ -256,10 +299,12 @@ impl<K: Ord> AggTreap<K> {
                     key,
                     weight,
                     pri,
-                    sum: weight,
-                    count: 1,
                     left: NIL,
                     right: NIL,
+                });
+                self.aggs.push(PackedAgg {
+                    sum: weight,
+                    count: 1,
                 });
                 i as u32
             }
@@ -619,6 +664,7 @@ impl<K: Ord> AggTreap<K> {
     /// Drops all entries and the arena's contents.
     pub fn clear(&mut self) {
         self.nodes.clear();
+        self.aggs.clear();
         self.free.clear();
         self.root = NIL;
     }
@@ -699,15 +745,16 @@ mod tests {
             let la = walk(t, n.left, lo, Some(n.key));
             let ra = walk(t, n.right, Some(n.key), hi);
             let expect = 1 + la.count + ra.count;
-            assert_eq!(n.count as usize, expect, "stale count at {:?}", n.key);
+            let stored = t.aggs[i as usize];
+            assert_eq!(stored.count as usize, expect, "stale count at {:?}", n.key);
             assert!(
-                (n.sum - (n.weight + la.sum + ra.sum)).abs() < 1e-9,
+                (stored.sum - (n.weight + la.sum + ra.sum)).abs() < 1e-9,
                 "stale sum at {:?}",
                 n.key
             );
             Agg {
                 count: expect,
-                sum: n.sum,
+                sum: stored.sum,
             }
         }
         let total = walk(t, t.root, None, None);

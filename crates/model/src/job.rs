@@ -1,6 +1,6 @@
 //! Jobs and identifiers.
 //!
-//! Besides the raw `p_ij` row, every [`Job`] carries two **derived
+//! Besides the raw `p_ij` row, every [`Job`] carries three **derived
 //! caches** computed once at construction time:
 //!
 //! * `p̂_j = min_i { p_ij : p_ij < ∞ }` ([`Job::p_hat`]) — the cheapest
@@ -11,6 +11,13 @@
 //! * an eligibility bitmask ([`Job::elig`], [`EligMask`]) — which
 //!   machines have finite `p_ij`, so restricted-assignment consumers can
 //!   test/count eligibility without touching the float row.
+//! * **rack-local `p̂` minima** ([`Job::rack_p_hat`], [`RackPHat`]) —
+//!   for restricted rows, the finite-size minimum per 64-machine rack
+//!   (one entry per [`EligMask`] word) plus a coarser per-4096-machine
+//!   layer. The pruned dispatch search bounds each subtree with the
+//!   *range's own* cheapest eligible size instead of the global `p̂`,
+//!   which is what makes the bounds bite on rack-affinity workloads
+//!   where a job's sizes vary across its rack.
 //!
 //! The caches are pure functions of `sizes`; [`Job::validate`] (and
 //! therefore [`crate::Instance::new`]) rejects a job whose caches have
@@ -121,6 +128,115 @@ impl EligMask {
     }
 }
 
+/// Rack-local finite-size minima cached on a [`Job`] beside its
+/// [`EligMask`] — the job-side input that lets the pruned dispatch
+/// search bound a subtree with the *range's own* cheapest eligible
+/// size instead of the global `p̂`.
+///
+/// Two layers, mirroring the mask's word layout exactly:
+///
+/// * [`RackPHat::word_min`] — one entry per 64-machine mask word:
+///   `min { p_ij : p_ij < ∞, i ∈ word }`, `∞` when the word has no
+///   eligible machine;
+/// * [`RackPHat::block_min`] — one entry per 64 words (4096 machines):
+///   the min over that block's `word_min` entries.
+///
+/// A tournament subtree's machine range is a power-of-two span aligned
+/// to its size, so [`RackPHat::range_min`] resolves it with a single
+/// array read for spans up to 4096 machines (the word for spans ≤ 64,
+/// the block beyond) and a short block scan above. The resolved value
+/// is the minimum over a *superset* of the range (the containing
+/// word/block), hence always `≤ p_ij` for every eligible machine in
+/// the range — a sound bound input, merely looser when the span is
+/// smaller than its container.
+///
+/// Built only for restricted rows ([`EligMask::Words`]); dense rows
+/// keep the allocation-free global `p̂`, for which every rack minimum
+/// would be recomputed anyway. Like the other caches this is a pure
+/// function of `sizes`, and [`Job::validate`] rejects a desynchronized
+/// instance (bit-exact comparison).
+#[derive(Debug, Clone)]
+pub struct RackPHat {
+    word_min: Box<[f64]>,
+    block_min: Box<[f64]>,
+}
+
+impl PartialEq for RackPHat {
+    fn eq(&self, other: &Self) -> bool {
+        // Bit-exact: the staleness check must not let "equal-looking"
+        // drifted values through (mirrors the p̂ `to_bits` comparison).
+        let bits = |xs: &[f64], ys: &[f64]| {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        bits(&self.word_min, &other.word_min) && bits(&self.block_min, &other.block_min)
+    }
+}
+
+impl RackPHat {
+    /// Derives the two layers from a size row; `None` for fully
+    /// eligible rows (the global `p̂` covers those without allocation).
+    pub fn from_sizes(sizes: &[f64]) -> Option<Self> {
+        if sizes.iter().all(|p| p.is_finite()) {
+            return None;
+        }
+        let mut word_min = vec![f64::INFINITY; sizes.len().div_ceil(64)].into_boxed_slice();
+        for (i, p) in sizes.iter().enumerate() {
+            if p.is_finite() && *p < word_min[i / 64] {
+                word_min[i / 64] = *p;
+            }
+        }
+        let mut block_min = vec![f64::INFINITY; word_min.len().div_ceil(64)].into_boxed_slice();
+        for (k, w) in word_min.iter().enumerate() {
+            if *w < block_min[k / 64] {
+                block_min[k / 64] = *w;
+            }
+        }
+        Some(RackPHat {
+            word_min,
+            block_min,
+        })
+    }
+
+    /// Per-64-machine-rack minima (one entry per [`EligMask`] word).
+    #[inline]
+    pub fn word_min(&self) -> &[f64] {
+        &self.word_min
+    }
+
+    /// Per-4096-machine-block minima (one entry per 64 words).
+    #[inline]
+    pub fn block_min(&self) -> &[f64] {
+        &self.block_min
+    }
+
+    /// Lower bound on `min { p_ij : p_ij < ∞ }` over the aligned
+    /// machine range `[lo, lo + span)` (`span` a power of two, `lo` a
+    /// multiple of `span` — exactly the ranges tournament nodes
+    /// cover). `O(1)` for `span ≤ 4096`; one block entry per 4096
+    /// machines beyond. Ranges wholly past the row (a padding subtree)
+    /// resolve to `∞`.
+    #[inline]
+    pub fn range_min(&self, lo: usize, span: usize) -> f64 {
+        if span <= 64 {
+            // The range lies inside one word (span divides 64).
+            self.word_min.get(lo / 64).copied().unwrap_or(f64::INFINITY)
+        } else if span <= 4096 {
+            // Inside one block (span divides 4096).
+            self.block_min
+                .get(lo / 4096)
+                .copied()
+                .unwrap_or(f64::INFINITY)
+        } else {
+            let first = (lo / 4096).min(self.block_min.len());
+            let last = ((lo + span) / 4096).min(self.block_min.len());
+            self.block_min[first..last]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
 /// Identifier of a job within an [`crate::Instance`].
 ///
 /// Job ids are dense indices `0..n` into `Instance::jobs`, so they can be
@@ -195,17 +311,24 @@ pub struct Job {
     p_hat: f64,
     /// Cached eligibility bitmask; same consistency contract.
     elig: EligMask,
+    /// Cached rack-local `p̂` minima (`None` for fully eligible rows);
+    /// same consistency contract.
+    rack: Option<RackPHat>,
 }
 
 impl Job {
     /// Computes the derived caches from a size row.
-    fn derive(sizes: &[f64]) -> (f64, EligMask) {
+    fn derive(sizes: &[f64]) -> (f64, EligMask, Option<RackPHat>) {
         let p_hat = sizes
             .iter()
             .copied()
             .filter(|p| p.is_finite())
             .fold(f64::INFINITY, f64::min);
-        (p_hat, EligMask::from_sizes(sizes))
+        (
+            p_hat,
+            EligMask::from_sizes(sizes),
+            RackPHat::from_sizes(sizes),
+        )
     }
 
     /// Constructor with every field explicit (used by
@@ -217,7 +340,7 @@ impl Job {
         deadline: Option<f64>,
         sizes: Vec<f64>,
     ) -> Self {
-        let (p_hat, elig) = Self::derive(&sizes);
+        let (p_hat, elig, rack) = Self::derive(&sizes);
         Job {
             id: JobId(id),
             release,
@@ -226,6 +349,7 @@ impl Job {
             sizes,
             p_hat,
             elig,
+            rack,
         }
     }
 
@@ -257,6 +381,13 @@ impl Job {
     #[inline]
     pub fn elig(&self) -> &EligMask {
         &self.elig
+    }
+
+    /// The cached rack-local `p̂` minima, or `None` for fully eligible
+    /// rows (whose racks all share the global [`Job::p_hat`]).
+    #[inline]
+    pub fn rack_p_hat(&self) -> Option<&RackPHat> {
+        self.rack.as_ref()
     }
 
     /// Number of machines this job is eligible on.
@@ -369,10 +500,21 @@ impl Job {
         }
         // The derived caches are pure functions of `sizes`; a mismatch
         // means `sizes` was mutated behind the constructors' back.
-        let (p_hat, elig) = Self::derive(&self.sizes);
+        let (p_hat, elig, rack) = Self::derive(&self.sizes);
         if p_hat.to_bits() != self.p_hat.to_bits() || elig != self.elig {
             return Err(format!(
                 "{}: stale p̂/eligibility cache (sizes mutated after construction)",
+                self.id
+            ));
+        }
+        // The rack-p̂ layer can go stale *alone*: a mutation that keeps
+        // the eligibility pattern and the global minimum but moves
+        // another finite entry changes only the per-rack minima —
+        // bounds built from the stale rack values would over-prune, so
+        // reject (comparison is bit-exact, see `RackPHat::eq`).
+        if rack != self.rack {
+            return Err(format!(
+                "{}: stale rack-p̂ cache (sizes mutated after construction)",
                 self.id
             ));
         }
@@ -518,6 +660,58 @@ mod tests {
         assert_eq!(summary.len(), 1);
         assert_eq!(words[1], 0);
         assert_eq!(summary[0] & 0b111, 0b101);
+    }
+
+    #[test]
+    fn rack_p_hat_layers_match_brute_force() {
+        // 200 machines: word boundaries at 64/128 plus a ragged tail.
+        let mut sizes = vec![f64::INFINITY; 200];
+        // Rack (word) 0: minima 3.0; rack 1: 1.5; rack 2: empty; rack 3
+        // (ragged, machines 192..200): 7.0.
+        sizes[5] = 3.0;
+        sizes[63] = 4.0;
+        sizes[64] = 1.5;
+        sizes[127] = 2.5;
+        sizes[199] = 7.0;
+        let j = Job::new(0, 0.0, sizes);
+        let rack = j.rack_p_hat().expect("restricted row caches rack minima");
+        assert_eq!(rack.word_min(), &[3.0, 1.5, f64::INFINITY, 7.0]);
+        assert_eq!(rack.block_min(), &[1.5]);
+        // Range resolution: word spans, sub-word spans, block spans.
+        assert_eq!(rack.range_min(0, 64), 3.0);
+        assert_eq!(rack.range_min(64, 64), 1.5);
+        assert_eq!(rack.range_min(128, 64), f64::INFINITY);
+        assert_eq!(rack.range_min(0, 32), 3.0); // superset word: sound, looser
+        assert_eq!(rack.range_min(0, 128), 1.5); // block layer
+        assert_eq!(rack.range_min(0, 4096), 1.5);
+        assert_eq!(rack.range_min(0, 8192), 1.5); // block scan arm
+        assert_eq!(rack.range_min(4096, 4096), f64::INFINITY); // padding
+        assert_eq!(j.p_hat(), 1.5);
+        assert!(j.validate(200).is_ok());
+        // Dense rows keep the allocation-free representation.
+        assert!(Job::new(1, 0.0, vec![1.0; 130]).rack_p_hat().is_none());
+    }
+
+    #[test]
+    fn validate_catches_stale_rack_p_hat_alone() {
+        // Machines 0 and 70 eligible (different words): mutating the
+        // *non-minimal* entry keeps p̂ (1.0) and the eligibility
+        // pattern intact, so the p̂/elig staleness checks pass — only
+        // the rack-p̂ comparison can catch the drift, and it must
+        // reject (not panic).
+        let mut sizes = vec![f64::INFINITY; 130];
+        sizes[0] = 1.0;
+        sizes[70] = 5.0;
+        let mut j = Job::new(0, 0.0, sizes);
+        assert!(j.validate(130).is_ok());
+        assert_eq!(j.rack_p_hat().unwrap().word_min()[1], 5.0);
+        j.sizes[70] = 7.0; // same word, same eligibility, same global p̂
+        let err = j.validate(130).unwrap_err();
+        assert!(err.contains("rack-p̂"), "{err}");
+        // Rebuilt through a constructor the row is fine again.
+        let ok = Job::new(0, 0.0, j.sizes.clone());
+        assert!(ok.validate(130).is_ok());
+        assert_eq!(ok.rack_p_hat().unwrap().word_min()[1], 7.0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod time;
 
 pub use error::ModelError;
 pub use instance::{Instance, InstanceBuilder, InstanceKind};
-pub use job::{EligMask, Job, JobId, MachineId};
+pub use job::{EligMask, Job, JobId, MachineId, RackPHat};
 pub use log::{Execution, FinishedLog, JobFate, PartialRun, RejectReason, Rejection, ScheduleLog};
 pub use metrics::{EnergyMetrics, FlowMetrics, Metrics};
 pub use time::{approx_eq, approx_ge, approx_le, total_cmp_f64, EPS};
