@@ -10,12 +10,13 @@
 //! recorded baselines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osr_core::dispatch::rebuild_capacity_index;
 use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_dstruct::{
     AggTreap, BoxedAggTreap, MachineIndex, MachineStats, MaskView, NaiveAggQueue, NodeStats,
     Propagation, SearchMode,
 };
-use osr_model::{EligMask, InstanceKind, Job};
+use osr_model::{EligMask, InstanceKind, Job, OnlineSet};
 use osr_workload::{ArrivalSpec, FlowWorkload, MachineSpec};
 
 fn backend_ablation(c: &mut Criterion) {
@@ -437,6 +438,110 @@ fn rack_phat(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 6 elastic-pool resize ablation: absorbing a rack-sized
+/// capacity incident (8 machines crash, the pool runs degraded, the
+/// rack rejoins) with the **incremental** tombstone/join path vs the
+/// **rebuild-from-scratch oracle** of `CapacityIndexMode::Rebuild`,
+/// which reconstructs the whole index after *every* capacity event —
+/// exactly what `sync_capacity_index` does per event in the
+/// schedulers. A dispatch search runs after each burst (degraded and
+/// recovered), so both variants pay the search they exist to serve.
+/// The oracle's job is bit-identical answers (CI diffs the CSVs);
+/// this group prices what the incremental path saves.
+fn elastic_resize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastic_resize");
+    let m = 1_024usize;
+    let rack = 8usize;
+    let stats = |i: usize| MachineStats {
+        count: 3 + (i % 3) as u64,
+        wsum: 14.0 + (i % 5) as f64,
+        min_size: 3.0 + (i % 7) as f64 * 0.25,
+    };
+    fn probe(ix: &mut MachineIndex) -> Option<(usize, f64)> {
+        // Busy-everywhere bounds: the descent does real comparisons on
+        // every level (tombstoned leaves are skipped by the search).
+        ix.search(
+            |s, _, _| 1.0 + s.min_size,
+            |_, s| 1.0 + s.min_size,
+            |i| Some(1.0 + 3.0 + (i % 7) as f64 * 0.25 + (i % 11) as f64 * 0.01),
+        )
+    }
+
+    // Sanity once, outside the timed loops: after an incremental
+    // crash+rejoin cycle the index answers exactly like the oracle.
+    {
+        let mut ix = MachineIndex::new(m);
+        let mut online = OnlineSet::all_online(m);
+        for i in 0..m {
+            ix.update(i, stats(i));
+        }
+        for i in 128..128 + rack {
+            ix.tombstone(i);
+            online.set_offline(i);
+        }
+        let mut oracle = rebuild_capacity_index(m, &online, stats);
+        assert_eq!(
+            probe(&mut ix),
+            probe(&mut oracle),
+            "degraded index diverged"
+        );
+        for i in 128..128 + rack {
+            ix.join(i, stats(i));
+            online.set_online(i);
+        }
+        let mut oracle = rebuild_capacity_index(m, &online, stats);
+        assert_eq!(
+            probe(&mut ix),
+            probe(&mut oracle),
+            "recovered index diverged"
+        );
+    }
+
+    group.bench_function(format!("incremental_m{m}"), |b| {
+        let mut ix = MachineIndex::new(m);
+        for i in 0..m {
+            ix.update(i, stats(i));
+        }
+        let mut base = 0usize;
+        b.iter(|| {
+            // 8 crashes, a degraded search, 8 rejoins, a recovered
+            // search — one full incident absorbed in place.
+            for i in base..base + rack {
+                ix.tombstone(i);
+            }
+            let degraded = probe(&mut ix);
+            for i in base..base + rack {
+                ix.join(i, stats(i));
+            }
+            base = (base + rack) % (m - rack);
+            (degraded, probe(&mut ix))
+        });
+    });
+
+    group.bench_function(format!("rebuild_m{m}"), |b| {
+        let mut online = OnlineSet::all_online(m);
+        let mut ix = rebuild_capacity_index(m, &online, stats);
+        let mut base = 0usize;
+        b.iter(|| {
+            // The same incident, but the oracle rebuilds after every
+            // one of the 16 events — the per-event contract of
+            // `CapacityIndexMode::Rebuild`.
+            for i in base..base + rack {
+                online.set_offline(i);
+                ix = rebuild_capacity_index(m, &online, stats);
+            }
+            let degraded = probe(&mut ix);
+            for i in base..base + rack {
+                online.set_online(i);
+                ix = rebuild_capacity_index(m, &online, stats);
+            }
+            base = (base + rack) % (m - rack);
+            (degraded, probe(&mut ix))
+        });
+    });
+    group.finish();
+}
+
 /// The dispatch-shaped microbench: interleaved inserts and `agg_le`
 /// probes over a bounded key universe (steady-state queue churn).
 fn insert_query<T, I, Q>(n: u32, mut insert: I, mut query: Q, mut t: T) -> usize
@@ -596,6 +701,6 @@ fn bulk_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, update_churn, rack_phat, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
+    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, update_churn, rack_phat, elastic_resize, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

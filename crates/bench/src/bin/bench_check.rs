@@ -126,6 +126,21 @@ const KEY_RATIOS: &[(&str, &str, &str, &str, Option<f64>)] = &[
         "rack_m16384_g64",
         Some(0.50),
     ),
+    // PR 6: the elastic-pool resize path. Incremental
+    // tombstone/join absorption of a rack-sized incident vs the
+    // rebuild-from-scratch oracle that reconstructs the index after
+    // every capacity event (the `CapacityIndexMode::Rebuild`
+    // contract). The oracle exists for bit-identical CI diffs, not
+    // speed — the margin is wide (per-event rebuilds are O(m·events))
+    // — so the widened 50% gate guards the incremental path without
+    // flaking on quick-mode noise.
+    (
+        "incremental-vs-rebuild elastic resize (m=1024)",
+        "elastic_resize",
+        "rebuild_m1024",
+        "incremental_m1024",
+        Some(0.50),
+    ),
     (
         // Default (not widened) tolerance on purpose: the guarded
         // margin is thin — baseline ~1.34x, and the regression this

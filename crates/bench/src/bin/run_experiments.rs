@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p osr-bench --bin run_experiments -- \
 //!     [--quick] [--jobs N] [--dispatch pruned|linear] \
-//!     [--propagation lazy|eager] [ids…]
+//!     [--propagation lazy|eager] [--capacity incremental|rebuild] [ids…]
 //! ```
 //!
 //! With no ids, runs all experiments. `--quick` uses the reduced sizes
@@ -19,7 +19,11 @@
 //! ancestor-propagation default (lazy dirty-leaf repair vs the eager
 //! compat mode); lazy repair reproduces the eager aggregates exactly,
 //! so CSVs are byte-identical across this knob too — the third CI
-//! diff.
+//! diff. `--capacity` overrides how the dispatch index absorbs
+//! elastic-pool events (incremental grow/tombstone/compact vs a
+//! rebuild-from-scratch oracle after every event); incremental resize
+//! is exact, so CSVs are byte-identical across this knob as well —
+//! the fourth CI diff.
 
 use std::fs;
 use std::io::Write as _;
@@ -63,6 +67,24 @@ fn main() {
                     "eager" => osr_core::set_default_propagation(osr_core::Propagation::Eager),
                     other => {
                         eprintln!("--propagation wants lazy|eager, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--capacity" => {
+                let v = iter.next().unwrap_or_else(|| {
+                    eprintln!("--capacity needs a value (incremental|rebuild)");
+                    std::process::exit(2);
+                });
+                match v.as_str() {
+                    "incremental" => osr_core::set_default_capacity_index(
+                        osr_core::CapacityIndexMode::Incremental,
+                    ),
+                    "rebuild" => {
+                        osr_core::set_default_capacity_index(osr_core::CapacityIndexMode::Rebuild)
+                    }
+                    other => {
+                        eprintln!("--capacity wants incremental|rebuild, got {other:?}");
                         std::process::exit(2);
                     }
                 }

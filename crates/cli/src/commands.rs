@@ -12,11 +12,14 @@ use osr_core::bounds;
 use osr_core::energyflow::{EnergyFlowParams, EnergyFlowScheduler};
 use osr_core::energymin::{EnergyMinParams, EnergyMinScheduler};
 use osr_core::flowtime::{WeightedFlowParams, WeightedFlowScheduler};
-use osr_core::{DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
+use osr_core::{CapacityIndexMode, DispatchIndex, FlowParams, FlowScheduler, QueueBackend};
 use osr_model::{io, FinishedLog, Instance, InstanceKind, Metrics};
-use osr_sim::{render_gantt, validate_log, EventBackend, OnlineScheduler, ValidationConfig};
+use osr_sim::{
+    render_gantt, validate_log, CapacityPlan, EventBackend, OnlineScheduler, ValidationConfig,
+};
 use osr_workload::{
-    ArrivalSpec, EnergyWorkload, FlowWorkload, MachineSpec, SizeSpec, TraceImport, WeightSpec,
+    parse_failure_trace, ArrivalSpec, ChurnSpec, EnergyWorkload, FlowWorkload, MachineSpec,
+    SizeSpec, TraceImport, WeightSpec,
 };
 
 use crate::args::{split_spec, Args};
@@ -28,13 +31,23 @@ osr — online non-preemptive scheduling with rejections (SPAA'18)
 USAGE:
   osr gen      --kind flowtime|flowenergy|energy --n N --machines M [--seed S]
                [--from-trace FILE]   (import `release size [weight [deadline]]` rows)
-               [--scenario NAME]     (named grid point `<arrivals>-<sizes>-<machines>`,
+               [--scenario NAME]     (named grid point
+                                      `<arrivals>-<sizes>-<machines>[-churn:<rate>]`,
                                       e.g. mmpp-pareto-affinity; axes below override it)
                [--arrivals poisson:RATE|bursty:B:W:G|mmpp:ON:BURST:OFF|batch:P:G|once]
                [--sizes uniform:LO:HI|pareto:SHAPE:LO:HI|exp:MEAN|bimodal:S:L:P]
                [--machine-model identical|related:F|unrelated:LO:HI|restricted:K|affinity:G:P]
                [--weights unit|uniform:LO:HI] [--slack LO:HI] [--out FILE]
+               [--churn RATE]        (elastic-pool capacity events; overrides the
+                                      scenario's churn segment)
+               [--capacity-out FILE] (write the churn capacity plan as a
+                                      `time,machine,kind` failure trace)
   osr run      --algo SPEC --input FILE [--log FILE] [--gantt] [--alpha A]
+               [--capacity FILE]     (replay a `time,machine,kind` failure trace:
+                                      machines join/drain/crash mid-run —
+                                      flow/wflow/energyflow only)
+               [--capacity-index incremental|rebuild] (elastic index maintenance:
+                                      grow/tombstone vs rebuild-from-scratch oracle)
                [--queue-backend treap|naive]      (flow only: pending-queue structure)
                [--event-backend binary|pairing]   (flow/wflow/energyflow)
                [--dispatch-index pruned|linear]   (flow/wflow/energyflow)
@@ -43,6 +56,8 @@ USAGE:
                SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
                      | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
   osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
+               [--capacity FILE]     (check runs against the failure trace's
+                                      online windows)
   osr compare  --input FILE [--eps E]
   osr bounds   [--eps E] [--alpha A]
   osr help
@@ -171,6 +186,7 @@ struct BackendOpts {
     events: Option<EventBackend>,
     dispatch: Option<DispatchIndex>,
     propagation: Option<osr_core::Propagation>,
+    capacity_index: Option<CapacityIndexMode>,
 }
 
 impl BackendOpts {
@@ -215,11 +231,22 @@ impl BackendOpts {
                 ))
             }
         };
+        let capacity_index = match args.opt("capacity-index") {
+            None => None,
+            Some("incremental") => Some(CapacityIndexMode::Incremental),
+            Some("rebuild") => Some(CapacityIndexMode::Rebuild),
+            Some(other) => {
+                return Err(format!(
+                    "bad value `{other}` for --capacity-index (want incremental|rebuild)"
+                ))
+            }
+        };
         Ok(BackendOpts {
             queue,
             events,
             dispatch,
             propagation,
+            capacity_index,
         })
     }
 
@@ -238,11 +265,15 @@ impl BackendOpts {
         if self.queue.is_some() && !queue_ok {
             return Err(format!("--queue-backend does not apply to `{spec}`"));
         }
-        if (self.events.is_some() || self.dispatch.is_some() || self.propagation.is_some())
+        if (self.events.is_some()
+            || self.dispatch.is_some()
+            || self.propagation.is_some()
+            || self.capacity_index.is_some())
             && !rest_ok
         {
             return Err(format!(
-                "--event-backend/--dispatch-index/--propagation do not apply to `{spec}`"
+                "--event-backend/--dispatch-index/--propagation/--capacity-index \
+                 do not apply to `{spec}`"
             ));
         }
         Ok(())
@@ -302,6 +333,28 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
     if let Some(s) = args.opt("weights") {
         spec.weights = parse_weights(s)?;
     }
+    if let Some(s) = args.opt("churn") {
+        let rate: f64 = s
+            .parse()
+            .map_err(|_| format!("bad value `{s}` for --churn"))?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("--churn rate must be finite and positive, got {s}"));
+        }
+        spec.churn = Some(ChurnSpec { rate });
+    }
+    if spec.churn.is_some() && kind == InstanceKind::Energy {
+        return Err("churn applies to flow-time/flow+energy kinds only \
+                    (energymin has no elastic-pool support)"
+            .into());
+    }
+    if spec.churn.is_some() && args.opt("capacity-out").is_none() {
+        return Err(
+            "churn scenarios emit a capacity plan; give --capacity-out FILE to write it".into(),
+        );
+    }
+    if spec.churn.is_none() && args.opt("capacity-out").is_some() {
+        return Err("--capacity-out needs churn (a `-churn:<rate>` scenario or --churn)".into());
+    }
 
     let instance = if kind == InstanceKind::Energy {
         let (lo, hi) = match args.opt("slack") {
@@ -324,11 +377,18 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
         spec.generate(kind)
     };
 
+    let mut note = String::new();
+    if let Some(path) = args.opt("capacity-out") {
+        let plan = spec.capacity_plan(&instance);
+        fs::write(path, plan.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        note = format!("wrote {} capacity events to {path}\n", plan.len());
+    }
+
     let text = io::instance_to_string(&instance);
     if let Some(path) = args.opt("out") {
         fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
         Ok(format!(
-            "wrote {} jobs on {} machines to {path}\n",
+            "wrote {} jobs on {} machines to {path}\n{note}",
             instance.len(),
             machines
         ))
@@ -354,12 +414,24 @@ fn config_for(instance: &Instance, speeds_vary: bool) -> ValidationConfig {
 
 /// Runs the algorithm named by `spec` on `instance`, returning the log,
 /// a display name, whether speeds deviate from 1, and an optional dual
-/// objective (flow algorithm only).
+/// objective (flow algorithm only). A non-empty `capacity` plan replays
+/// machine join/drain/crash events — only the three capacity-aware
+/// schedulers accept one.
 fn run_algo(
     spec: &str,
     instance: &Instance,
     opts: BackendOpts,
+    capacity: &CapacityPlan,
 ) -> Result<(FinishedLog, String, bool, Option<f64>), String> {
+    let reject_capacity = |ok: bool| {
+        if !capacity.is_empty() && !ok {
+            return Err(format!(
+                "--capacity does not apply to `{spec}` (capacity-aware schedulers: \
+                 flow|wflow|energyflow)"
+            ));
+        }
+        Ok(())
+    };
     let (head, v) = split_spec(spec);
     match (head.as_str(), v.as_slice()) {
         ("flow", [eps]) => {
@@ -374,7 +446,10 @@ fn run_algo(
             if let Some(d) = opts.dispatch {
                 params.dispatch = d;
             }
-            let sched = FlowScheduler::new(params)?;
+            if let Some(ci) = opts.capacity_index {
+                params.capacity_index = ci;
+            }
+            let sched = FlowScheduler::new(params)?.with_capacity(capacity.clone());
             let out = sched.run(instance);
             Ok((out.log, sched.name(), false, Some(out.dual.objective())))
         }
@@ -388,7 +463,10 @@ fn run_algo(
             if let Some(d) = opts.dispatch {
                 params.dispatch = d;
             }
-            let sched = WeightedFlowScheduler::new(params)?;
+            if let Some(ci) = opts.capacity_index {
+                params.capacity_index = ci;
+            }
+            let sched = WeightedFlowScheduler::new(params)?.with_capacity(capacity.clone());
             let name = sched.name();
             Ok((sched.run(instance).log, name, false, None))
         }
@@ -402,18 +480,23 @@ fn run_algo(
             if let Some(d) = opts.dispatch {
                 params.dispatch = d;
             }
-            let sched = EnergyFlowScheduler::new(params)?;
+            if let Some(ci) = opts.capacity_index {
+                params.capacity_index = ci;
+            }
+            let sched = EnergyFlowScheduler::new(params)?.with_capacity(capacity.clone());
             let name = sched.name();
             Ok((sched.run(instance).log, name, true, None))
         }
         ("energymin", [alpha]) => {
             opts.reject_unsupported(spec, false, false)?;
+            reject_capacity(false)?;
             let sched = EnergyMinScheduler::new(EnergyMinParams::new(*alpha))?;
             let name = sched.name();
             Ok((sched.run(instance).log, name, true, None))
         }
         ("greedy", _) => {
             opts.reject_unsupported(spec, false, false)?;
+            reject_capacity(false)?;
             let mut sched = match spec {
                 "greedy:spt" => GreedyScheduler::ect_spt(),
                 "greedy:fifo" => GreedyScheduler::ect_fifo(),
@@ -424,6 +507,7 @@ fn run_algo(
         }
         ("speedaug", [eps_s, eps_r]) => {
             opts.reject_unsupported(spec, false, false)?;
+            reject_capacity(false)?;
             let sched = SpeedAugScheduler::new(*eps_s, *eps_r)?;
             let name = sched.name();
             Ok((sched.run(instance).0, name, true, None))
@@ -432,14 +516,28 @@ fn run_algo(
     }
 }
 
+/// Loads the `--capacity` failure trace, if given (empty plan = the
+/// static fixed-pool model).
+fn load_capacity(args: &Args, machines: usize) -> Result<CapacityPlan, String> {
+    let Some(path) = args.opt("capacity") else {
+        return Ok(CapacityPlan::empty());
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let plan = parse_failure_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    plan.check_machines(machines)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok(plan)
+}
+
 /// `osr run` — run one scheduler on an instance.
 pub fn cmd_run(args: &Args) -> Result<String, String> {
     let instance = load_instance(args)?;
     let spec = args.opt("algo").unwrap_or("flow:0.25");
     let alpha: f64 = args.opt_parse("alpha", 2.0)?;
     let opts = BackendOpts::parse(args)?;
+    let capacity = load_capacity(args, instance.machines())?;
 
-    let (log, name, speeds_vary, dual) = run_algo(spec, &instance, opts)?;
+    let (log, name, speeds_vary, dual) = run_algo(spec, &instance, opts, &capacity)?;
     // An explicitly requested dispatch index that the scheduler cannot
     // honor at this machine count must be called out, or ablation runs
     // label their results with a strategy that never executed.
@@ -455,7 +553,8 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
             )
         })
     });
-    let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
+    let config = config_for(&instance, speeds_vary).with_capacity(capacity.clone());
+    let report = validate_log(&instance, &log, &config);
     if !report.is_valid() {
         return Err(format!(
             "schedule failed validation: {}",
@@ -495,6 +594,19 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
         metrics.flow.rejected_fraction(),
         metrics.flow.rejected_weight_fraction()
     );
+    if !capacity.is_empty() {
+        let lost = log
+            .rejections()
+            .filter(|(_, r)| r.reason == osr_model::RejectReason::MachineLost)
+            .count();
+        let _ = writeln!(
+            out,
+            "capacity       : {} events, {} redispatches, {} machine-lost",
+            capacity.len(),
+            log.total_redispatches(),
+            lost
+        );
+    }
     if let Some(d) = dual {
         let lb = flow_lower_bound(&instance, Some(d));
         let _ = writeln!(
@@ -526,6 +638,7 @@ pub fn cmd_validate(args: &Args) -> Result<String, String> {
         Some("energy") => ValidationConfig::energy(),
         Some(other) => return Err(format!("unknown model `{other}`")),
     };
+    let config = config.with_capacity(load_capacity(args, instance.machines())?);
     let report = validate_log(&instance, &log, &config);
     if report.is_valid() {
         Ok(format!(
@@ -570,7 +683,12 @@ pub fn cmd_compare(args: &Args) -> Result<String, String> {
         format!("speedaug:{eps}:{eps}"),
     ];
     for spec in &specs {
-        let (log, name, speeds_vary, _) = run_algo(spec, &instance, BackendOpts::default())?;
+        let (log, name, speeds_vary, _) = run_algo(
+            spec,
+            &instance,
+            BackendOpts::default(),
+            &CapacityPlan::empty(),
+        )?;
         let report = validate_log(&instance, &log, &config_for(&instance, speeds_vary));
         if !report.is_valid() {
             return Err(format!("{name}: invalid schedule"));
@@ -947,6 +1065,136 @@ mod tests {
             .unwrap();
             assert!(!out.contains("ineffective"), "{extra}: {out}");
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_churn_writes_capacity_plan_and_run_replays_it() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-churn-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let cap_path = dir.join("failures.csv");
+
+        // Churn via the scenario grammar's 4th segment; the plan goes
+        // to --capacity-out as a replayable failure trace.
+        let gen_out = cmd_gen(&args(&format!(
+            "gen --scenario poisson-uniform-identical-churn:0.5 --n 120 --machines 6 \
+             --seed 7 --out {} --capacity-out {}",
+            inst_path.display(),
+            cap_path.display()
+        )))
+        .unwrap();
+        assert!(gen_out.contains("capacity events"), "{gen_out}");
+        let plan_text = fs::read_to_string(&cap_path).unwrap();
+        assert!(plan_text.starts_with("time,machine,kind"), "{plan_text}");
+
+        // The instance is byte-identical to the churn-free scenario —
+        // churn draws from its own seed stream.
+        let plain = cmd_gen(&args(
+            "gen --scenario poisson-uniform-identical --n 120 --machines 6 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(plain, fs::read_to_string(&inst_path).unwrap());
+
+        // Replay through all three capacity-aware schedulers; the
+        // incremental index must match the rebuild oracle bit for bit.
+        for algo in ["flow:0.25", "wflow:0.25", "energyflow:0.25:2"] {
+            let mut outs = Vec::new();
+            for ci in ["incremental", "rebuild"] {
+                let out = cmd_run(&args(&format!(
+                    "run --algo {algo} --input {} --capacity {} --capacity-index {ci}",
+                    inst_path.display(),
+                    cap_path.display()
+                )))
+                .unwrap();
+                assert!(out.contains("capacity       :"), "{algo}: {out}");
+                outs.push(out);
+            }
+            assert_eq!(
+                outs[0], outs[1],
+                "{algo}: capacity-index mode changed the run"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_checks_capacity_windows() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-capval-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let cap_path = dir.join("failures.csv");
+        let log_path = dir.join("log.csv");
+        fs::write(
+            &inst_path,
+            cmd_gen(&args("gen --kind flowtime --n 60 --machines 4 --seed 13")).unwrap(),
+        )
+        .unwrap();
+        fs::write(&cap_path, "time,machine,kind\n2.0,1,crash\n5.0,1,join\n").unwrap();
+        cmd_run(&args(&format!(
+            "run --algo flow:0.25 --input {} --capacity {} --log {}",
+            inst_path.display(),
+            cap_path.display(),
+            log_path.display()
+        )))
+        .unwrap();
+        let out = cmd_validate(&args(&format!(
+            "validate --input {} --log {} --capacity {}",
+            inst_path.display(),
+            log_path.display(),
+            cap_path.display()
+        )))
+        .unwrap();
+        assert!(out.starts_with("VALID"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capacity_misuse_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-caperr-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        let cap_path = dir.join("failures.csv");
+        fs::write(
+            &inst_path,
+            cmd_gen(&args("gen --kind flowtime --n 10 --machines 2 --seed 1")).unwrap(),
+        )
+        .unwrap();
+        fs::write(&cap_path, "1.0,1,crash\n").unwrap();
+        // Capacity-blind schedulers refuse a plan.
+        let err = cmd_run(&args(&format!(
+            "run --algo greedy:spt --input {} --capacity {}",
+            inst_path.display(),
+            cap_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--capacity does not apply"), "{err}");
+        // Out-of-range machine ids are caught before the run.
+        fs::write(&cap_path, "1.0,9,crash\n").unwrap();
+        let err = cmd_run(&args(&format!(
+            "run --algo flow:0.25 --input {} --capacity {}",
+            inst_path.display(),
+            cap_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("machine 9"), "{err}");
+        // Bad --capacity-index values and churn/capacity-out misuse.
+        let err = cmd_run(&args(&format!(
+            "run --algo flow:0.25 --input {} --capacity-index psychic",
+            inst_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--capacity-index"), "{err}");
+        assert!(cmd_gen(&args("gen --n 10 --machines 2 --churn 0.5")).is_err());
+        assert!(cmd_gen(&args(
+            "gen --n 10 --machines 2 --churn -1 --capacity-out /tmp/x"
+        ))
+        .is_err());
+        assert!(cmd_gen(&args("gen --n 10 --machines 2 --capacity-out /tmp/x")).is_err());
+        assert!(cmd_gen(&args(
+            "gen --kind energy --n 10 --machines 2 --churn 0.5 --capacity-out /tmp/x"
+        ))
+        .is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

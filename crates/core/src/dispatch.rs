@@ -91,8 +91,9 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use osr_dstruct::MaskView;
-use osr_model::{EligMask, Job, RackPHat};
+use osr_dstruct::{MachineIndex, MachineStats, MaskView};
+use osr_model::{EligMask, Job, OnlineSet, RackPHat};
+use osr_sim::CapacityChange;
 
 /// How a scheduler locates `argmin_i λ_ij` at each arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -211,6 +212,112 @@ pub fn default_dispatch_index() -> DispatchIndex {
     match DEFAULT_DISPATCH.load(Ordering::Relaxed) {
         DISPATCH_LINEAR => DispatchIndex::Linear,
         _ => DispatchIndex::Pruned,
+    }
+}
+
+/// How a scheduler keeps its pruned dispatch index in sync with
+/// capacity churn (`osr_sim::CapacityPlan` joins/drains/crashes).
+///
+/// Both modes produce **bit-identical schedules** — that is the
+/// resize-correctness contract this toggle exists to audit, with the
+/// same proptest + CI byte-diff discipline as
+/// [`DispatchIndex::Linear`] vs [`DispatchIndex::Pruned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapacityIndexMode {
+    /// Mutate the index in place: grow-by-rack `join`, tombstone on
+    /// drain/crash, trailing-rack compaction
+    /// (`osr_dstruct::MachineIndex::{join, tombstone, compact}`).
+    #[default]
+    Incremental,
+    /// Rebuild the index from scratch after every capacity event — the
+    /// oracle the incremental paths are audited against.
+    Rebuild,
+}
+
+impl std::fmt::Display for CapacityIndexMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CapacityIndexMode::Incremental => "incremental",
+            CapacityIndexMode::Rebuild => "rebuild",
+        })
+    }
+}
+
+const CAPACITY_INCREMENTAL: u8 = 0;
+const CAPACITY_REBUILD: u8 = 1;
+
+/// Process-wide default capacity-index mode, mirroring
+/// [`DEFAULT_DISPATCH`]: `run_experiments --capacity rebuild` flips the
+/// whole suite onto the oracle path for the byte-identity diff.
+static DEFAULT_CAPACITY: AtomicU8 = AtomicU8::new(CAPACITY_INCREMENTAL);
+
+/// Sets the process-wide default capacity-index mode.
+pub fn set_default_capacity_index(mode: CapacityIndexMode) {
+    let v = match mode {
+        CapacityIndexMode::Incremental => CAPACITY_INCREMENTAL,
+        CapacityIndexMode::Rebuild => CAPACITY_REBUILD,
+    };
+    DEFAULT_CAPACITY.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default capacity-index mode (`Incremental` unless
+/// overridden via [`set_default_capacity_index`]).
+pub fn default_capacity_index() -> CapacityIndexMode {
+    match DEFAULT_CAPACITY.load(Ordering::Relaxed) {
+        CAPACITY_REBUILD => CapacityIndexMode::Rebuild,
+        _ => CapacityIndexMode::Incremental,
+    }
+}
+
+/// Builds a dispatch index over `m` machines from scratch: online
+/// machines get their current queue stats, offline machines are
+/// tombstoned. This *is* the rebuild oracle of
+/// [`CapacityIndexMode::Rebuild`] (called after every capacity event),
+/// and also constructs every scheduler's initial index (where `stats`
+/// is constantly [`MachineStats::EMPTY`]).
+///
+/// Machines are visited in ascending id order; a tombstone can trigger
+/// trailing-rack auto-compaction only on the final id (earlier leaves
+/// not yet visited are still live), so every `update` lands inside the
+/// index's current width.
+pub fn rebuild_capacity_index(
+    m: usize,
+    online: &OnlineSet,
+    stats: impl Fn(usize) -> MachineStats,
+) -> MachineIndex {
+    let mut ix = MachineIndex::new(m);
+    for i in 0..m {
+        if online.is_online(i) {
+            ix.update(i, stats(i));
+        } else {
+            ix.tombstone(i);
+        }
+    }
+    ix
+}
+
+/// Applies one capacity change to a scheduler's dispatch index under
+/// `mode`: incremental join/tombstone, or a full rebuild. The victim
+/// machine's queue must already be emptied (drain/crash re-dispatches
+/// it) before the rebuild reads `stats`.
+pub fn sync_capacity_index(
+    dindex: &mut Option<MachineIndex>,
+    mode: CapacityIndexMode,
+    change: CapacityChange,
+    machine: usize,
+    m: usize,
+    online: &OnlineSet,
+    stats: impl Fn(usize) -> MachineStats,
+) {
+    let Some(ix) = dindex.as_mut() else { return };
+    match mode {
+        CapacityIndexMode::Incremental => match change {
+            CapacityChange::Join => ix.join(machine, stats(machine)),
+            CapacityChange::Drain | CapacityChange::Crash => {
+                ix.tombstone(machine);
+            }
+        },
+        CapacityIndexMode::Rebuild => *ix = rebuild_capacity_index(m, online, stats),
     }
 }
 

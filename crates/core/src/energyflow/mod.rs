@@ -43,12 +43,15 @@ pub mod dual;
 
 use osr_dstruct::{MachineIndex, MachineStats};
 use osr_model::{
-    Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
-    ScheduleLog,
+    Execution, FinishedLog, Instance, Job, JobId, MachineId, OnlineSet, PartialRun, RejectReason,
+    Rejection, ScheduleLog,
 };
-use osr_sim::{DecisionEvent, DecisionTrace, EventBackend, EventQueue, OnlineScheduler};
+use osr_sim::{
+    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, EventQueue,
+    OnlineScheduler,
+};
 
-use crate::dispatch::{self, DispatchIndex, PRUNED_MIN_MACHINES};
+use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
 
 pub use dual::{check_energyflow_dual, EnergyFlowAudit};
 
@@ -67,6 +70,9 @@ pub struct EnergyFlowParams {
     pub dispatch: DispatchIndex,
     /// Completion event-queue backend.
     pub events: EventBackend,
+    /// How the pruned index tracks capacity churn (results are
+    /// identical either way; `Rebuild` is the audit oracle).
+    pub capacity_index: CapacityIndexMode,
 }
 
 impl EnergyFlowParams {
@@ -79,6 +85,7 @@ impl EnergyFlowParams {
             reject: true,
             dispatch: dispatch::default_dispatch_index(),
             events: EventBackend::default(),
+            capacity_index: dispatch::default_capacity_index(),
         }
     }
 }
@@ -145,6 +152,7 @@ impl EnergyFlowOutcome {
 pub struct EnergyFlowScheduler {
     params: EnergyFlowParams,
     gamma: f64,
+    capacity: CapacityPlan,
 }
 
 /// A pending job on a machine, in density order.
@@ -271,7 +279,19 @@ impl EnergyFlowScheduler {
             Some(g) => return Err(format!("gamma must be positive, got {g}")),
             None => optimal_gamma(params.eps, params.alpha),
         };
-        Ok(EnergyFlowScheduler { params, gamma })
+        Ok(EnergyFlowScheduler {
+            params,
+            gamma,
+            capacity: CapacityPlan::empty(),
+        })
+    }
+
+    /// Attaches a capacity plan (builder-style): the run replays the
+    /// plan's join/drain/crash stream alongside arrivals, re-dispatching
+    /// the jobs of draining/crashing machines.
+    pub fn with_capacity(mut self, plan: CapacityPlan) -> Self {
+        self.capacity = plan;
+        self
     }
 
     /// The `γ` in effect.
@@ -323,9 +343,19 @@ impl EnergyFlowScheduler {
         let mut trace = DecisionTrace::new();
         let mut completions: EventQueue<(usize, JobId)> =
             EventQueue::with_backend(self.params.events);
+        // Elastic pool: replay the capacity plan's join/drain/crash
+        // stream alongside arrivals (completions < capacity < arrivals
+        // at equal instants).
+        let plan = &self.capacity;
+        plan.check_machines(m)
+            .expect("capacity plan fits the instance");
+        let cap_events = plan.events();
+        let mut next_cap = 0usize;
+        let mut online = plan.initial_online(m);
+
         let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
             && m >= PRUNED_MIN_MACHINES)
-            .then(|| MachineIndex::new(m));
+            .then(|| dispatch::rebuild_capacity_index(m, &online, |_| MachineStats::EMPTY));
         let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, ms: &MachineE| {
             if let Some(ix) = dindex {
                 ix.update(mi, ms.stats());
@@ -352,9 +382,10 @@ impl EnergyFlowScheduler {
                           completions: &mut EventQueue<(usize, JobId)>,
                           trace: &mut DecisionTrace,
                           records: &mut Vec<EnergyFlowJobRecord>,
-                          dindex: &mut Option<MachineIndex>| {
+                          dindex: &mut Option<MachineIndex>,
+                          online: &OnlineSet| {
             let ms = &mut machines[mi];
-            if ms.running.is_some() || ms.pending.is_empty() {
+            if ms.running.is_some() || ms.pending.is_empty() || !online.is_online(mi) {
                 return;
             }
             // Speed uses the total pending weight *including* the job
@@ -382,57 +413,25 @@ impl EnergyFlowScheduler {
             sync_index(dindex, mi, &machines[mi]);
         };
 
-        loop {
-            let ta = jobs.get(next_arrival).map(|j| j.release);
-            let tc = completions.peek_time();
-            let do_completion = match (ta, tc) {
-                (None, None) => break,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (Some(a), Some(c)) => c <= a,
-            };
-
-            if do_completion {
-                let (t, (mi, job)) = completions.pop().expect("peeked");
-                let matches = machines[mi].running.as_ref().is_some_and(|r| r.job == job);
-                if !matches {
-                    continue; // stale (job was rejected mid-run)
-                }
-                let r = machines[mi].running.take().expect("matched");
-                log.complete(
-                    job,
-                    Execution {
-                        machine: MachineId(mi as u32),
-                        start: r.start,
-                        completion: r.completion,
-                        speed: r.speed,
-                    },
-                );
-                trace.push(DecisionEvent::Complete {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                });
-                let rj = instance.job(job).release;
-                records[job.idx()].exit = t;
-                records[job.idx()].def_finish = t + machines[mi].rejection_window(rj, t);
-                start_next(
-                    mi,
-                    t,
-                    &mut machines,
-                    &mut completions,
-                    &mut trace,
-                    &mut records,
-                    &mut dindex,
-                );
-                continue;
-            }
-
-            // --- Arrival. ---
-            let job = &jobs[next_arrival];
-            next_arrival += 1;
+        // Dispatches (or re-dispatches) `job` at `t` through the λ_ij
+        // argmin and runs the rejection rule. Re-dispatches keep the
+        // job's first-arrival λ_j (the dual prices the original
+        // arrival); `machine` tracks the final placement. `lost_partial`
+        // is the interrupted prefix of a crash victim, recorded iff the
+        // job ends up machine-lost.
+        #[allow(clippy::too_many_arguments)]
+        let place_job = |job: &Job,
+                         t: f64,
+                         redispatch: bool,
+                         lost_partial: Option<PartialRun>,
+                         machines: &mut Vec<MachineE>,
+                         log: &mut ScheduleLog,
+                         trace: &mut DecisionTrace,
+                         completions: &mut EventQueue<(usize, JobId)>,
+                         dindex: &mut Option<MachineIndex>,
+                         online: &OnlineSet,
+                         records: &mut Vec<EnergyFlowJobRecord>| {
             let j = job.id;
-            let t = job.release;
 
             // `p̂` and the eligibility mask (the subtree-bound and
             // subtree-skip inputs) are precomputed on the job at
@@ -479,7 +478,7 @@ impl EnergyFlowScheduler {
                         let mut best: Option<(usize, f64)> = None;
                         for mi in 0..m {
                             let p = job.sizes[mi];
-                            if !p.is_finite() {
+                            if !p.is_finite() || !online.is_online(mi) {
                                 continue;
                             }
                             let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
@@ -492,15 +491,22 @@ impl EnergyFlowScheduler {
                 }
             };
             let Some((mi, lam)) = best else {
-                // Eligible nowhere: reject at arrival, λ_j = 0, and the
-                // job never enters any machine's U_i.
-                osr_sim::reject_ineligible(&mut log, &mut trace, j, t);
+                // Eligible nowhere (or nowhere still in the pool):
+                // reject, λ_j = 0 (machine-lost keeps any λ from the
+                // first arrival), and the job (re-)enters no U_i.
+                if job.has_eligible() {
+                    osr_sim::reject_machine_lost(log, trace, j, t, lost_partial);
+                } else {
+                    osr_sim::reject_ineligible(log, trace, j, t);
+                }
                 records[j.idx()].exit = t;
                 records[j.idx()].def_finish = t;
-                continue;
+                return;
             };
             records[j.idx()].machine = mi as u32;
-            records[j.idx()].lambda = eps / (1.0 + eps) * lam;
+            if !redispatch {
+                records[j.idx()].lambda = eps / (1.0 + eps) * lam;
+            }
             trace.push(DecisionEvent::Dispatch {
                 time: t,
                 job: j,
@@ -517,7 +523,7 @@ impl EnergyFlowScheduler {
                 d: job.weight / p_ij,
                 r: t,
             });
-            sync_index(&mut dindex, mi, &machines[mi]);
+            sync_index(dindex, mi, &machines[mi]);
 
             // Rejection rule: charge the arriving weight to the running
             // job; reject it when the counter exceeds w_k/ε.
@@ -554,14 +560,149 @@ impl EnergyFlowScheduler {
                 }
             }
 
-            start_next(
-                mi,
-                t,
+            start_next(mi, t, machines, completions, trace, records, dindex, online);
+        };
+
+        loop {
+            let ta = jobs.get(next_arrival).map(|j| j.release);
+            let tk = cap_events.get(next_cap).map(|e| e.time);
+            let tc = completions.peek_time();
+            let inf = f64::INFINITY;
+            let do_completion =
+                tc.is_some_and(|c| c <= ta.unwrap_or(inf) && c <= tk.unwrap_or(inf));
+            let do_capacity = !do_completion && tk.is_some_and(|k| k <= ta.unwrap_or(inf));
+            if !do_completion && !do_capacity && ta.is_none() {
+                break;
+            }
+
+            if do_completion {
+                let (t, (mi, job)) = completions.pop().expect("peeked");
+                // Stale if the job was rejected mid-run or crash-killed
+                // and re-dispatched (the completion-time check catches a
+                // re-dispatch back onto the same machine).
+                let matches = machines[mi]
+                    .running
+                    .as_ref()
+                    .is_some_and(|r| r.job == job && r.completion == t);
+                if !matches {
+                    continue;
+                }
+                let r = machines[mi].running.take().expect("matched");
+                log.complete(
+                    job,
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start: r.start,
+                        completion: r.completion,
+                        speed: r.speed,
+                    },
+                );
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
+                let rj = instance.job(job).release;
+                records[job.idx()].exit = t;
+                records[job.idx()].def_finish = t + machines[mi].rejection_window(rj, t);
+                start_next(
+                    mi,
+                    t,
+                    &mut machines,
+                    &mut completions,
+                    &mut trace,
+                    &mut records,
+                    &mut dindex,
+                    &online,
+                );
+                continue;
+            }
+
+            if do_capacity {
+                let ev = cap_events[next_cap];
+                next_cap += 1;
+                let t = ev.time;
+                let mi = ev.machine.idx();
+                match ev.change {
+                    CapacityChange::Join => {
+                        if online.set_online(mi) {
+                            dispatch::sync_capacity_index(
+                                &mut dindex,
+                                self.params.capacity_index,
+                                ev.change,
+                                mi,
+                                m,
+                                &online,
+                                |i| machines[i].stats(),
+                            );
+                        }
+                    }
+                    CapacityChange::Drain | CapacityChange::Crash => {
+                        if online.set_offline(mi) {
+                            let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
+                            if ev.change == CapacityChange::Crash {
+                                if let Some(run) = machines[mi].running.take() {
+                                    victims.push((
+                                        run.job,
+                                        Some(PartialRun {
+                                            machine: MachineId(mi as u32),
+                                            start: run.start,
+                                            end: t,
+                                            speed: run.speed,
+                                        }),
+                                    ));
+                                }
+                            }
+                            while let Some(e) = machines[mi].pop_first() {
+                                victims.push((e.job, None));
+                            }
+                            victims.sort_by_key(|&(id, _)| id);
+                            dispatch::sync_capacity_index(
+                                &mut dindex,
+                                self.params.capacity_index,
+                                ev.change,
+                                mi,
+                                m,
+                                &online,
+                                |i| machines[i].stats(),
+                            );
+                            for (vid, partial) in victims {
+                                log.note_redispatch(vid);
+                                place_job(
+                                    instance.job(vid),
+                                    t,
+                                    true,
+                                    partial,
+                                    &mut machines,
+                                    &mut log,
+                                    &mut trace,
+                                    &mut completions,
+                                    &mut dindex,
+                                    &online,
+                                    &mut records,
+                                );
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // --- Arrival. ---
+            let job = &jobs[next_arrival];
+            next_arrival += 1;
+            place_job(
+                job,
+                job.release,
+                false,
+                None,
                 &mut machines,
-                &mut completions,
+                &mut log,
                 &mut trace,
-                &mut records,
+                &mut completions,
                 &mut dindex,
+                &online,
+                &mut records,
             );
         }
 

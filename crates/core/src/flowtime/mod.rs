@@ -43,12 +43,15 @@ pub mod weighted;
 
 use osr_dstruct::{MachineIndex, MachineStats, TotalF64};
 use osr_model::{
-    Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
-    ScheduleLog,
+    Execution, FinishedLog, Instance, Job, JobId, MachineId, OnlineSet, PartialRun, RejectReason,
+    Rejection, ScheduleLog,
 };
-use osr_sim::{DecisionEvent, DecisionTrace, EventBackend, EventQueue, OnlineScheduler};
+use osr_sim::{
+    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, EventQueue,
+    OnlineScheduler,
+};
 
-use crate::dispatch::{self, DispatchIndex, PRUNED_MIN_MACHINES};
+use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
 use crate::epsilon::Thresholds;
 pub use dual::{check_dual_feasibility, DualAudit, FlowDual};
 pub use queue::QueueBackend;
@@ -71,6 +74,9 @@ pub struct FlowParams {
     pub dispatch: DispatchIndex,
     /// Completion event-queue backend.
     pub events: EventBackend,
+    /// How the pruned index tracks capacity churn (results are
+    /// identical either way; `Rebuild` is the audit oracle).
+    pub capacity_index: CapacityIndexMode,
 }
 
 impl FlowParams {
@@ -85,6 +91,7 @@ impl FlowParams {
             backend: QueueBackend::Treap,
             dispatch: dispatch::default_dispatch_index(),
             events: EventBackend::default(),
+            capacity_index: dispatch::default_capacity_index(),
         }
     }
 
@@ -137,6 +144,7 @@ pub struct FlowOutcome {
 pub struct FlowScheduler {
     params: FlowParams,
     thresholds: Thresholds,
+    capacity: CapacityPlan,
 }
 
 /// The job currently executing on a machine.
@@ -191,12 +199,24 @@ impl FlowScheduler {
     /// Validates `params` and builds the scheduler.
     pub fn new(params: FlowParams) -> Result<Self, String> {
         let thresholds = Thresholds::new(params.eps)?;
-        Ok(FlowScheduler { params, thresholds })
+        Ok(FlowScheduler {
+            params,
+            thresholds,
+            capacity: CapacityPlan::empty(),
+        })
     }
 
     /// Convenience constructor with default parameters for `eps`.
     pub fn with_eps(eps: f64) -> Result<Self, String> {
         Self::new(FlowParams::new(eps))
+    }
+
+    /// Attaches a capacity plan (builder-style): the run replays the
+    /// plan's join/drain/crash stream alongside arrivals, re-dispatching
+    /// the jobs of draining/crashing machines.
+    pub fn with_capacity(mut self, plan: CapacityPlan) -> Self {
+        self.capacity = plan;
+        self
     }
 
     /// The thresholds in effect.
@@ -229,12 +249,23 @@ impl FlowScheduler {
         let mut c_tilde = vec![f64::NAN; n];
         let mut machine_of = vec![u32::MAX; n];
 
-        // Pruned dispatch: a tournament tree over per-machine stats.
-        // Below the crossover the plain scan is cheaper than any
-        // bookkeeping (results are identical either way).
+        // Elastic pool: replay the capacity plan's join/drain/crash
+        // stream alongside arrivals. Capacity changes at `t` apply after
+        // completions at `t` but before arrivals at `t`.
+        let plan = &self.capacity;
+        plan.check_machines(m)
+            .expect("capacity plan fits the instance");
+        let cap_events = plan.events();
+        let mut next_cap = 0usize;
+        let mut online = plan.initial_online(m);
+
+        // Pruned dispatch: a tournament tree over per-machine stats,
+        // with offline machines tombstoned. Below the crossover the
+        // plain scan is cheaper than any bookkeeping (results are
+        // identical either way).
         let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
             && m >= PRUNED_MIN_MACHINES)
-            .then(|| MachineIndex::new(m));
+            .then(|| dispatch::rebuild_capacity_index(m, &online, |_| MachineStats::EMPTY));
 
         // Pushes machine `mi`'s refreshed queue stats into the index;
         // call after every pending-queue mutation.
@@ -253,15 +284,18 @@ impl FlowScheduler {
 
         let mut next_arrival = 0usize;
 
-        // Starts the shortest pending job on machine `mi` if idle.
+        // Starts the shortest pending job on machine `mi` if idle (and
+        // still in the pool — a draining machine finishes its running
+        // job but starts nothing new).
         let start_next = |mi: usize,
                           t: f64,
                           machines: &mut Vec<MachineState>,
                           completions: &mut EventQueue<(usize, JobId)>,
                           trace: &mut DecisionTrace,
-                          dindex: &mut Option<MachineIndex>| {
+                          dindex: &mut Option<MachineIndex>,
+                          online: &OnlineSet| {
             let ms = &mut machines[mi];
-            if ms.running.is_some() {
+            if ms.running.is_some() || !online.is_online(mi) {
                 return;
             }
             if let Some(((p, _r, id), _w)) = ms.pending.pop_first() {
@@ -284,70 +318,40 @@ impl FlowScheduler {
             }
         };
 
-        loop {
-            let ta = jobs.get(next_arrival).map(|j| j.release);
-            let tc = completions.peek_time();
-            let do_completion = match (ta, tc) {
-                (None, None) => break,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                // Completions at the same instant process first so an
-                // arriving job observes the machine as idle.
-                (Some(a), Some(c)) => c <= a,
-            };
-
-            if do_completion {
-                let (t, (mi, job)) = completions.pop().expect("peeked");
-                let ms = &mut machines[mi];
-                let matches = ms.running.as_ref().is_some_and(|r| r.job == job);
-                if !matches {
-                    // Stale event: the job was Rule-1-rejected mid-run.
-                    continue;
-                }
-                let r = ms.running.take().expect("matched");
-                log.complete(
-                    job,
-                    Execution {
-                        machine: MachineId(mi as u32),
-                        start: r.start,
-                        completion: r.completion,
-                        speed: 1.0,
-                    },
-                );
-                trace.push(DecisionEvent::Complete {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                });
-                // Finalize dual bookkeeping for the completed job: all
-                // Rule-1 events in [r_j, C_j] are in the past.
-                let rj = instance.job(job).release;
-                exit[job.idx()] = t;
-                c_tilde[job.idx()] = t + machines[mi].rule1_window(rj, t);
-                start_next(
-                    mi,
-                    t,
-                    &mut machines,
-                    &mut completions,
-                    &mut trace,
-                    &mut dindex,
-                );
-                continue;
-            }
-
-            // --- Arrival of job j. ---
-            let job = &jobs[next_arrival];
-            next_arrival += 1;
+        // Dispatches (or re-dispatches) `job` at time `t` through the
+        // normal λ_ij argmin and runs both rejection rules. `redispatch`
+        // marks capacity-churn re-enqueues: the dual λ_j keeps its
+        // first-arrival value (the lower bound prices the original
+        // arrival; the churn is the adversary's doing), while
+        // `machine_of` tracks the final placement. `lost_partial` is the
+        // interrupted prefix of a crash victim, recorded iff the job
+        // ends up machine-lost.
+        #[allow(clippy::too_many_arguments)]
+        let place_job = |job: &Job,
+                         t: f64,
+                         redispatch: bool,
+                         lost_partial: Option<PartialRun>,
+                         machines: &mut Vec<MachineState>,
+                         log: &mut ScheduleLog,
+                         trace: &mut DecisionTrace,
+                         completions: &mut EventQueue<(usize, JobId)>,
+                         dindex: &mut Option<MachineIndex>,
+                         online: &OnlineSet,
+                         lambda: &mut [f64],
+                         exit: &mut [f64],
+                         c_tilde: &mut [f64],
+                         machine_of: &mut [u32]| {
             let j = job.id;
-            let t = job.release;
 
-            // Dispatch: argmin over eligible machines of λ_ij (lowest
-            // index on ties). The pruned path and the linear scan are
-            // bit-identical; see `crate::dispatch` for the bound
-            // soundness argument. `p̂` (global + rack-local layers) and
-            // the eligibility mask (the job-side inputs to the subtree
-            // bounds and the subtree skip) are precomputed at
-            // generation time — no per-arrival rescan of `job.sizes`.
+            // Dispatch: argmin over eligible *online* machines of λ_ij
+            // (lowest index on ties). The pruned path and the linear
+            // scan are bit-identical; see `crate::dispatch` for the
+            // bound soundness argument. Offline machines are tombstoned
+            // in the index and skipped by the scan. `p̂` (global +
+            // rack-local layers) and the eligibility mask (the job-side
+            // inputs to the subtree bounds and the subtree skip) are
+            // precomputed at generation time — no per-arrival rescan of
+            // `job.sizes`.
             let best: Option<(usize, f64)> = if !job.has_eligible() {
                 None
             } else {
@@ -385,7 +389,7 @@ impl FlowScheduler {
                         let mut best: Option<(usize, f64)> = None;
                         for mi in 0..m {
                             let p = job.sizes[mi];
-                            if !p.is_finite() {
+                            if !p.is_finite() || !online.is_online(mi) {
                                 continue;
                             }
                             let key = pend_key(p, t, j);
@@ -399,15 +403,22 @@ impl FlowScheduler {
                 }
             };
             let Some((mi, lam)) = best else {
-                // No machine can process j (`p_ij = ∞` everywhere):
-                // reject it at arrival instead of aborting the run. It
-                // contributes nothing to the dual (λ_j = 0, C̃_j = r_j).
-                osr_sim::reject_ineligible(&mut log, &mut trace, j, t);
+                // No machine can take j: ineligible everywhere
+                // (`p_ij = ∞`), or every eligible machine has left the
+                // pool. Either way it contributes nothing to the dual
+                // (λ_j = 0, C̃_j = t).
+                if job.has_eligible() {
+                    osr_sim::reject_machine_lost(log, trace, j, t, lost_partial);
+                } else {
+                    osr_sim::reject_ineligible(log, trace, j, t);
+                }
                 exit[j.idx()] = t;
                 c_tilde[j.idx()] = t;
-                continue;
+                return;
             };
-            lambda[j.idx()] = th.lambda_scale() * lam;
+            if !redispatch {
+                lambda[j.idx()] = th.lambda_scale() * lam;
+            }
             machine_of[j.idx()] = mi as u32;
             trace.push(DecisionEvent::Dispatch {
                 time: t,
@@ -419,7 +430,7 @@ impl FlowScheduler {
 
             let p_ij = job.sizes[mi];
             machines[mi].pending.insert(pend_key(p_ij, t, j), p_ij);
-            sync_index(&mut dindex, mi, &machines[mi].pending);
+            sync_index(dindex, mi, &machines[mi].pending);
 
             // Rule 1: the dispatch counts against the running job.
             if let Some(run) = machines[mi].running.as_mut() {
@@ -465,7 +476,7 @@ impl FlowScheduler {
             if self.params.rule2 && machines[mi].c >= th.rule2_at {
                 machines[mi].c = 0;
                 if let Some(((p_max, _r, id), _w)) = machines[mi].pending.pop_last() {
-                    sync_index(&mut dindex, mi, &machines[mi].pending);
+                    sync_index(dindex, mi, &machines[mi].pending);
                     let jmax = JobId(id);
                     log.reject(
                         jmax,
@@ -501,13 +512,179 @@ impl FlowScheduler {
                 }
             }
 
-            start_next(
-                mi,
-                t,
+            start_next(mi, t, machines, completions, trace, dindex, online);
+        };
+
+        loop {
+            let ta = jobs.get(next_arrival).map(|j| j.release);
+            let tk = cap_events.get(next_cap).map(|e| e.time);
+            let tc = completions.peek_time();
+            // Tie-break at equal instants: completions first (an
+            // arriving job observes the machine as idle), then capacity
+            // changes (an arrival at `t` sees the pool as of `t`), then
+            // arrivals.
+            let inf = f64::INFINITY;
+            let do_completion =
+                tc.is_some_and(|c| c <= ta.unwrap_or(inf) && c <= tk.unwrap_or(inf));
+            let do_capacity = !do_completion && tk.is_some_and(|k| k <= ta.unwrap_or(inf));
+            if !do_completion && !do_capacity && ta.is_none() {
+                break;
+            }
+
+            if do_completion {
+                let (t, (mi, job)) = completions.pop().expect("peeked");
+                let ms = &mut machines[mi];
+                // Stale events: the job was Rule-1-rejected mid-run, or
+                // crash-killed and re-dispatched (possibly back onto the
+                // same machine — hence the completion-time check too).
+                let matches = ms
+                    .running
+                    .as_ref()
+                    .is_some_and(|r| r.job == job && r.completion == t);
+                if !matches {
+                    continue;
+                }
+                let r = ms.running.take().expect("matched");
+                log.complete(
+                    job,
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start: r.start,
+                        completion: r.completion,
+                        speed: 1.0,
+                    },
+                );
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
+                // Finalize dual bookkeeping for the completed job: all
+                // Rule-1 events in [r_j, C_j] are in the past.
+                let rj = instance.job(job).release;
+                exit[job.idx()] = t;
+                c_tilde[job.idx()] = t + machines[mi].rule1_window(rj, t);
+                start_next(
+                    mi,
+                    t,
+                    &mut machines,
+                    &mut completions,
+                    &mut trace,
+                    &mut dindex,
+                    &online,
+                );
+                continue;
+            }
+
+            if do_capacity {
+                // --- Capacity change. ---
+                let ev = cap_events[next_cap];
+                next_cap += 1;
+                let t = ev.time;
+                let mi = ev.machine.idx();
+                let stats_of = |machines: &Vec<MachineState>, i: usize| {
+                    let q = &machines[i].pending;
+                    MachineStats {
+                        count: q.len() as u64,
+                        wsum: q.total().sum,
+                        min_size: q.min_size(),
+                    }
+                };
+                match ev.change {
+                    CapacityChange::Join => {
+                        if online.set_online(mi) {
+                            // A (re)joining machine has an empty queue;
+                            // nothing to start until a job lands on it.
+                            dispatch::sync_capacity_index(
+                                &mut dindex,
+                                self.params.capacity_index,
+                                ev.change,
+                                mi,
+                                m,
+                                &online,
+                                |i| stats_of(&machines, i),
+                            );
+                        }
+                    }
+                    CapacityChange::Drain | CapacityChange::Crash => {
+                        if online.set_offline(mi) {
+                            // A crash kills the running job at `t` (a
+                            // drain lets it finish); either way every
+                            // queued job leaves with the machine and is
+                            // re-dispatched in job-id order.
+                            let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
+                            if ev.change == CapacityChange::Crash {
+                                if let Some(run) = machines[mi].running.take() {
+                                    victims.push((
+                                        run.job,
+                                        Some(PartialRun {
+                                            machine: MachineId(mi as u32),
+                                            start: run.start,
+                                            end: t,
+                                            speed: 1.0,
+                                        }),
+                                    ));
+                                }
+                            }
+                            while let Some(((_p, _r, id), _w)) = machines[mi].pending.pop_first() {
+                                victims.push((JobId(id), None));
+                            }
+                            victims.sort_by_key(|&(id, _)| id);
+                            // Tombstone (or rebuild) *before*
+                            // re-dispatching so no victim lands back on
+                            // the machine that just left.
+                            dispatch::sync_capacity_index(
+                                &mut dindex,
+                                self.params.capacity_index,
+                                ev.change,
+                                mi,
+                                m,
+                                &online,
+                                |i| stats_of(&machines, i),
+                            );
+                            for (vid, partial) in victims {
+                                log.note_redispatch(vid);
+                                place_job(
+                                    instance.job(vid),
+                                    t,
+                                    true,
+                                    partial,
+                                    &mut machines,
+                                    &mut log,
+                                    &mut trace,
+                                    &mut completions,
+                                    &mut dindex,
+                                    &online,
+                                    &mut lambda,
+                                    &mut exit,
+                                    &mut c_tilde,
+                                    &mut machine_of,
+                                );
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // --- Arrival of job j. ---
+            let job = &jobs[next_arrival];
+            next_arrival += 1;
+            place_job(
+                job,
+                job.release,
+                false,
+                None,
                 &mut machines,
-                &mut completions,
+                &mut log,
                 &mut trace,
+                &mut completions,
                 &mut dindex,
+                &online,
+                &mut lambda,
+                &mut exit,
+                &mut c_tilde,
+                &mut machine_of,
             );
         }
 

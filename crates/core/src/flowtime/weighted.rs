@@ -32,12 +32,15 @@
 
 use osr_dstruct::{MachineIndex, MachineStats};
 use osr_model::{
-    Execution, FinishedLog, Instance, JobId, MachineId, PartialRun, RejectReason, Rejection,
-    ScheduleLog,
+    Execution, FinishedLog, Instance, Job, JobId, MachineId, OnlineSet, PartialRun, RejectReason,
+    Rejection, ScheduleLog,
 };
-use osr_sim::{DecisionEvent, DecisionTrace, EventBackend, EventQueue, OnlineScheduler};
+use osr_sim::{
+    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, EventQueue,
+    OnlineScheduler,
+};
 
-use crate::dispatch::{self, DispatchIndex, PRUNED_MIN_MACHINES};
+use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
 
 /// Parameters for the weighted variant.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +52,9 @@ pub struct WeightedFlowParams {
     pub dispatch: DispatchIndex,
     /// Completion event-queue backend.
     pub events: EventBackend,
+    /// How the pruned index tracks capacity churn (results are
+    /// identical either way; `Rebuild` is the audit oracle).
+    pub capacity_index: CapacityIndexMode,
 }
 
 impl WeightedFlowParams {
@@ -58,6 +64,7 @@ impl WeightedFlowParams {
             eps,
             dispatch: dispatch::default_dispatch_index(),
             events: EventBackend::default(),
+            capacity_index: dispatch::default_capacity_index(),
         }
     }
 }
@@ -79,6 +86,7 @@ pub struct WeightedFlowOutcome {
 #[derive(Debug, Clone)]
 pub struct WeightedFlowScheduler {
     params: WeightedFlowParams,
+    capacity: CapacityPlan,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -162,12 +170,23 @@ impl WeightedFlowScheduler {
         if !(params.eps > 0.0 && params.eps <= 1.0 && params.eps.is_finite()) {
             return Err(format!("eps must be in (0, 1], got {}", params.eps));
         }
-        Ok(WeightedFlowScheduler { params })
+        Ok(WeightedFlowScheduler {
+            params,
+            capacity: CapacityPlan::empty(),
+        })
     }
 
     /// Convenience constructor.
     pub fn with_eps(eps: f64) -> Result<Self, String> {
         Self::new(WeightedFlowParams::new(eps))
+    }
+
+    /// Attaches a capacity plan (builder-style): the run replays the
+    /// plan's join/drain/crash stream alongside arrivals, re-dispatching
+    /// the jobs of draining/crashing machines.
+    pub fn with_capacity(mut self, plan: CapacityPlan) -> Self {
+        self.capacity = plan;
+        self
     }
 
     fn lambda_ij(&self, ms: &MachW, p: f64, w: f64, r: f64, id: JobId) -> f64 {
@@ -212,9 +231,19 @@ impl WeightedFlowScheduler {
         let mut trace = DecisionTrace::new();
         let mut completions: EventQueue<(usize, JobId)> =
             EventQueue::with_backend(self.params.events);
+        // Elastic pool: replay the capacity plan's join/drain/crash
+        // stream alongside arrivals (completions < capacity < arrivals
+        // at equal instants).
+        let plan = &self.capacity;
+        plan.check_machines(m)
+            .expect("capacity plan fits the instance");
+        let cap_events = plan.events();
+        let mut next_cap = 0usize;
+        let mut online = plan.initial_online(m);
+
         let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
             && m >= PRUNED_MIN_MACHINES)
-            .then(|| MachineIndex::new(m));
+            .then(|| dispatch::rebuild_capacity_index(m, &online, |_| MachineStats::EMPTY));
         let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, ms: &MachW| {
             if let Some(ix) = dindex {
                 ix.update(mi, ms.stats());
@@ -234,9 +263,10 @@ impl WeightedFlowScheduler {
                           machines: &mut Vec<MachW>,
                           completions: &mut EventQueue<(usize, JobId)>,
                           trace: &mut DecisionTrace,
-                          dindex: &mut Option<MachineIndex>| {
+                          dindex: &mut Option<MachineIndex>,
+                          online: &OnlineSet| {
             let ms = &mut machines[mi];
-            if ms.running.is_some() || ms.pending.is_empty() {
+            if ms.running.is_some() || ms.pending.is_empty() || !online.is_online(mi) {
                 return;
             }
             let e = ms.remove_at(0);
@@ -258,53 +288,25 @@ impl WeightedFlowScheduler {
             sync_index(dindex, mi, &machines[mi]);
         };
 
-        let mut next_arrival = 0usize;
-        loop {
-            let ta = jobs.get(next_arrival).map(|j| j.release);
-            let tc = completions.peek_time();
-            let do_completion = match (ta, tc) {
-                (None, None) => break,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (Some(a), Some(c)) => c <= a,
-            };
-
-            if do_completion {
-                let (t, (mi, job)) = completions.pop().expect("peeked");
-                let matches = machines[mi].running.as_ref().is_some_and(|r| r.job == job);
-                if !matches {
-                    continue;
-                }
-                let r = machines[mi].running.take().expect("matched");
-                log.complete(
-                    job,
-                    Execution {
-                        machine: MachineId(mi as u32),
-                        start: r.start,
-                        completion: r.completion,
-                        speed: 1.0,
-                    },
-                );
-                trace.push(DecisionEvent::Complete {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                });
-                start_next(
-                    mi,
-                    t,
-                    &mut machines,
-                    &mut completions,
-                    &mut trace,
-                    &mut dindex,
-                );
-                continue;
-            }
-
-            let job = &jobs[next_arrival];
-            next_arrival += 1;
-            let t = job.release;
-
+        // Dispatches (or re-dispatches) `job` at `t` through the density
+        // argmin and runs both weighted rules. Re-dispatches skip the
+        // arrived-weight accounting — the job's weight was counted at
+        // its first arrival, and double-counting would widen the 2ε
+        // rejected-weight budget.
+        #[allow(clippy::too_many_arguments)]
+        let place_job = |job: &Job,
+                         t: f64,
+                         redispatch: bool,
+                         lost_partial: Option<PartialRun>,
+                         machines: &mut Vec<MachW>,
+                         log: &mut ScheduleLog,
+                         trace: &mut DecisionTrace,
+                         completions: &mut EventQueue<(usize, JobId)>,
+                         dindex: &mut Option<MachineIndex>,
+                         online: &OnlineSet,
+                         arrived_weight: &mut f64,
+                         dispatched_jobs: &mut usize,
+                         rejected_weight: &mut f64| {
             // `p̂` comes precomputed from the model (no per-arrival
             // O(m) rescan of `job.sizes`); an everywhere-ineligible job
             // short-circuits straight to the rejection below.
@@ -348,7 +350,7 @@ impl WeightedFlowScheduler {
                         let mut best: Option<(usize, f64)> = None;
                         for (mi, ms) in machines.iter().enumerate() {
                             let p = job.sizes[mi];
-                            if !p.is_finite() {
+                            if !p.is_finite() || !online.is_online(mi) {
                                 continue;
                             }
                             let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
@@ -361,17 +363,25 @@ impl WeightedFlowScheduler {
                 }
             };
             let Some((mi, lam)) = best else {
-                // Eligible nowhere: drop the job instead of aborting.
-                // Crucially *before* the budget accounting below — an
-                // undispatchable job must not inflate `arrived_weight`
-                // (that would let the rules reject extra servable
-                // weight past the documented 2ε cap).
-                osr_sim::reject_ineligible(&mut log, &mut trace, job.id, t);
-                continue;
+                // Eligible nowhere (or nowhere still in the pool): drop
+                // the job instead of aborting. Crucially *before* the
+                // budget accounting below — an undispatchable job must
+                // not inflate `arrived_weight` (that would let the rules
+                // reject extra servable weight past the documented 2ε
+                // cap). A machine-lost drop likewise leaves
+                // `rejected_weight` alone: it counts against no rule.
+                if job.has_eligible() {
+                    osr_sim::reject_machine_lost(log, trace, job.id, t, lost_partial);
+                } else {
+                    osr_sim::reject_ineligible(log, trace, job.id, t);
+                }
+                return;
             };
-            arrived_weight += job.weight;
-            dispatched_jobs += 1;
-            let mean_weight = arrived_weight / dispatched_jobs as f64;
+            if !redispatch {
+                *arrived_weight += job.weight;
+                *dispatched_jobs += 1;
+            }
+            let mean_weight = *arrived_weight / (*dispatched_jobs).max(1) as f64;
             trace.push(DecisionEvent::Dispatch {
                 time: t,
                 job: job.id,
@@ -387,16 +397,16 @@ impl WeightedFlowScheduler {
                 d: job.weight / p_ij,
                 r: t,
             });
-            sync_index(&mut dindex, mi, &machines[mi]);
+            sync_index(dindex, mi, &machines[mi]);
 
             let budget_ok = |rej: f64, arr: f64, extra: f64| rej + extra <= 2.0 * eps * arr + 1e-12;
 
             // Weighted Rule 1.
             if let Some(run) = machines[mi].running.as_mut() {
                 run.v += job.weight;
-                if run.v > run.w / eps && budget_ok(rejected_weight, arrived_weight, run.w) {
+                if run.v > run.w / eps && budget_ok(*rejected_weight, *arrived_weight, run.w) {
                     let run = machines[mi].running.take().expect("present");
-                    rejected_weight += run.w;
+                    *rejected_weight += run.w;
                     log.reject(
                         run.job,
                         Rejection {
@@ -428,11 +438,11 @@ impl WeightedFlowScheduler {
                 machines[mi].c = 0.0;
                 // Victim is the last in the density order.
                 if let Some(victim) = machines[mi].pending.last().copied() {
-                    if budget_ok(rejected_weight, arrived_weight, victim.w) {
+                    if budget_ok(*rejected_weight, *arrived_weight, victim.w) {
                         let last = machines[mi].pending.len() - 1;
                         machines[mi].remove_at(last);
-                        sync_index(&mut dindex, mi, &machines[mi]);
-                        rejected_weight += victim.w;
+                        sync_index(dindex, mi, &machines[mi]);
+                        *rejected_weight += victim.w;
                         log.reject(
                             victim.job,
                             Rejection {
@@ -452,13 +462,149 @@ impl WeightedFlowScheduler {
                 }
             }
 
-            start_next(
-                mi,
-                t,
+            start_next(mi, t, machines, completions, trace, dindex, online);
+        };
+
+        let mut next_arrival = 0usize;
+        loop {
+            let ta = jobs.get(next_arrival).map(|j| j.release);
+            let tk = cap_events.get(next_cap).map(|e| e.time);
+            let tc = completions.peek_time();
+            let inf = f64::INFINITY;
+            let do_completion =
+                tc.is_some_and(|c| c <= ta.unwrap_or(inf) && c <= tk.unwrap_or(inf));
+            let do_capacity = !do_completion && tk.is_some_and(|k| k <= ta.unwrap_or(inf));
+            if !do_completion && !do_capacity && ta.is_none() {
+                break;
+            }
+
+            if do_completion {
+                let (t, (mi, job)) = completions.pop().expect("peeked");
+                // Completion-time check too: a crash victim re-dispatched
+                // onto the same machine must not match its stale event.
+                let matches = machines[mi]
+                    .running
+                    .as_ref()
+                    .is_some_and(|r| r.job == job && r.completion == t);
+                if !matches {
+                    continue;
+                }
+                let r = machines[mi].running.take().expect("matched");
+                log.complete(
+                    job,
+                    Execution {
+                        machine: MachineId(mi as u32),
+                        start: r.start,
+                        completion: r.completion,
+                        speed: 1.0,
+                    },
+                );
+                trace.push(DecisionEvent::Complete {
+                    time: t,
+                    job,
+                    machine: MachineId(mi as u32),
+                });
+                start_next(
+                    mi,
+                    t,
+                    &mut machines,
+                    &mut completions,
+                    &mut trace,
+                    &mut dindex,
+                    &online,
+                );
+                continue;
+            }
+
+            if do_capacity {
+                let ev = cap_events[next_cap];
+                next_cap += 1;
+                let t = ev.time;
+                let mi = ev.machine.idx();
+                match ev.change {
+                    CapacityChange::Join => {
+                        if online.set_online(mi) {
+                            dispatch::sync_capacity_index(
+                                &mut dindex,
+                                self.params.capacity_index,
+                                ev.change,
+                                mi,
+                                m,
+                                &online,
+                                |i| machines[i].stats(),
+                            );
+                        }
+                    }
+                    CapacityChange::Drain | CapacityChange::Crash => {
+                        if online.set_offline(mi) {
+                            let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
+                            if ev.change == CapacityChange::Crash {
+                                if let Some(run) = machines[mi].running.take() {
+                                    victims.push((
+                                        run.job,
+                                        Some(PartialRun {
+                                            machine: MachineId(mi as u32),
+                                            start: run.start,
+                                            end: t,
+                                            speed: 1.0,
+                                        }),
+                                    ));
+                                }
+                            }
+                            while !machines[mi].pending.is_empty() {
+                                let e = machines[mi].remove_at(0);
+                                victims.push((e.job, None));
+                            }
+                            victims.sort_by_key(|&(id, _)| id);
+                            dispatch::sync_capacity_index(
+                                &mut dindex,
+                                self.params.capacity_index,
+                                ev.change,
+                                mi,
+                                m,
+                                &online,
+                                |i| machines[i].stats(),
+                            );
+                            for (vid, partial) in victims {
+                                log.note_redispatch(vid);
+                                place_job(
+                                    instance.job(vid),
+                                    t,
+                                    true,
+                                    partial,
+                                    &mut machines,
+                                    &mut log,
+                                    &mut trace,
+                                    &mut completions,
+                                    &mut dindex,
+                                    &online,
+                                    &mut arrived_weight,
+                                    &mut dispatched_jobs,
+                                    &mut rejected_weight,
+                                );
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
+            let job = &jobs[next_arrival];
+            next_arrival += 1;
+            place_job(
+                job,
+                job.release,
+                false,
+                None,
                 &mut machines,
-                &mut completions,
+                &mut log,
                 &mut trace,
+                &mut completions,
                 &mut dindex,
+                &online,
+                &mut arrived_weight,
+                &mut dispatched_jobs,
+                &mut rejected_weight,
             );
         }
 

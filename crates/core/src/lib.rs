@@ -51,7 +51,8 @@ pub use bounds::{
     flowtime_competitive_bound, flowtime_rejection_budget, immediate_rejection_lower_bound,
 };
 pub use dispatch::{
-    default_dispatch_index, effective_dispatch_index, set_default_dispatch_index, DispatchIndex,
+    default_capacity_index, default_dispatch_index, effective_dispatch_index,
+    set_default_capacity_index, set_default_dispatch_index, CapacityIndexMode, DispatchIndex,
     PRUNED_MIN_MACHINES,
 };
 pub use energyflow::{EnergyFlowOutcome, EnergyFlowParams, EnergyFlowScheduler};

@@ -1,0 +1,378 @@
+//! Elastic-pool churn tests: join/drain/crash capacity events threaded
+//! through all three schedulers, with re-dispatch, machine-lost
+//! rejections, and the incremental-vs-rebuild index oracle.
+
+use osr_core::flowtime::{WeightedFlowParams, WeightedFlowScheduler};
+use osr_core::{
+    CapacityIndexMode, DispatchIndex, EnergyFlowParams, EnergyFlowScheduler, FlowParams,
+    FlowScheduler,
+};
+use osr_model::{Instance, InstanceBuilder, InstanceKind, JobFate, JobId, MachineId, RejectReason};
+use osr_sim::{validate_log, CapacityChange, CapacityEvent, CapacityPlan, ValidationConfig};
+
+fn ev(time: f64, machine: u32, change: CapacityChange) -> CapacityEvent {
+    CapacityEvent {
+        time,
+        machine: MachineId(machine),
+        change,
+    }
+}
+
+fn plan(events: Vec<CapacityEvent>) -> CapacityPlan {
+    CapacityPlan::new(events).expect("valid plan")
+}
+
+/// Every arrived job must end decided: completed, or rejected with a
+/// recorded reason (the no-lost-job invariant). `FinishedLog` enforces
+/// totality structurally; this asserts the fates are also sane.
+fn assert_no_lost_jobs(inst: &Instance, log: &osr_model::FinishedLog) {
+    for job in inst.jobs() {
+        match log.fate(job.id) {
+            JobFate::Completed(e) => assert!(e.completion >= e.start),
+            JobFate::Rejected(r) => {
+                // Machine-lost requires the job to have been servable in
+                // principle (eligible somewhere).
+                if r.reason == RejectReason::MachineLost {
+                    assert!(job.has_eligible());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn drain_redispatches_pending_jobs() {
+    // Both machines eligible; machine 0 is much faster so every early
+    // job piles onto it, then it drains at t=1.5 with work still queued
+    // (rules off so nothing is rejected before the drain).
+    let mut b = InstanceBuilder::new(2, InstanceKind::FlowTime);
+    for k in 0..6 {
+        b = b.job(0.1 * k as f64, vec![2.0, 100.0]);
+    }
+    let inst = b.build().unwrap();
+    let p = plan(vec![ev(1.5, 0, CapacityChange::Drain)]);
+    let out = FlowScheduler::new(FlowParams::with_rules(0.5, false, false))
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    let rep = validate_log(
+        &inst,
+        &out.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    assert_no_lost_jobs(&inst, &out.log);
+    assert!(
+        out.log.total_redispatches() > 0,
+        "drain must re-dispatch the queued jobs"
+    );
+    // The drained machine finishes its running job but everything
+    // re-dispatched lands (and completes) on machine 1.
+    for job in inst.jobs() {
+        if out.log.redispatches(job.id) > 0 {
+            if let JobFate::Completed(e) = out.log.fate(job.id) {
+                assert_eq!(e.machine, MachineId(1));
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_kills_running_job_and_redispatches_it() {
+    // One long job running on (fast) machine 0; the crash at t=2 kills
+    // it mid-run and it must restart-from-scratch on machine 1.
+    let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+        .job(0.0, vec![10.0, 12.0])
+        .build()
+        .unwrap();
+    let p = plan(vec![ev(2.0, 0, CapacityChange::Crash)]);
+    let out = FlowScheduler::with_eps(0.5)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    let rep = validate_log(
+        &inst,
+        &out.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    assert_eq!(out.log.redispatches(JobId(0)), 1);
+    let e = out.log.fate(JobId(0)).execution().expect("completed");
+    assert_eq!(e.machine, MachineId(1));
+    assert_eq!(e.start, 2.0);
+    assert_eq!(e.completion, 14.0, "non-preemptive: full restart");
+}
+
+#[test]
+fn machine_lost_when_every_eligible_machine_crashed() {
+    // j1 is eligible only on machine 0, which crashes while j1 runs;
+    // the interrupted prefix is recorded on the rejection.
+    let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+        .job(0.0, vec![8.0, f64::INFINITY])
+        .job(0.0, vec![f64::INFINITY, 1.0])
+        .build()
+        .unwrap();
+    let p = plan(vec![ev(3.0, 0, CapacityChange::Crash)]);
+    let out = FlowScheduler::with_eps(0.5)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    let rep = validate_log(
+        &inst,
+        &out.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    let rej = out.log.fate(JobId(0)).rejection().expect("machine lost");
+    assert_eq!(rej.reason, RejectReason::MachineLost);
+    assert_eq!(rej.time, 3.0);
+    let partial = rej.partial.expect("was running when the machine died");
+    assert_eq!(partial.machine, MachineId(0));
+    assert_eq!(partial.start, 0.0);
+    assert_eq!(partial.end, 3.0);
+    assert!(out.log.fate(JobId(1)).is_completed());
+}
+
+#[test]
+fn machine_starting_offline_takes_no_jobs_before_its_join() {
+    // Machine 1's first event is a Join at t=5: jobs arriving earlier
+    // must all land on machine 0 even though 1 would be faster.
+    let inst = InstanceBuilder::new(2, InstanceKind::FlowTime)
+        .job(0.0, vec![2.0, 0.5])
+        .job(0.1, vec![2.0, 0.5])
+        .job(6.0, vec![2.0, 0.5])
+        .build()
+        .unwrap();
+    let p = plan(vec![ev(5.0, 1, CapacityChange::Join)]);
+    let out = FlowScheduler::with_eps(0.5)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    let rep = validate_log(
+        &inst,
+        &out.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    for k in 0..2 {
+        let e = out.log.fate(JobId(k)).execution().expect("completed");
+        assert_eq!(e.machine, MachineId(0), "job {k} predates the join");
+    }
+    let e2 = out.log.fate(JobId(2)).execution().expect("completed");
+    assert_eq!(e2.machine, MachineId(1), "after the join, 1 is cheaper");
+}
+
+/// Deterministic churn workload: `n` jobs over `m` machines with a mix
+/// of drains, crashes, and rejoins hitting machines that carry load.
+fn churn_fixture(n: usize, m: usize, seed: u64) -> (Instance, CapacityPlan) {
+    let mut b = InstanceBuilder::new(m, InstanceKind::FlowEnergy);
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut t = 0.0;
+    for _ in 0..n {
+        t += (next() % 100) as f64 / 50.0;
+        let w = 1.0 + (next() % 7) as f64;
+        let sizes: Vec<f64> = (0..m)
+            .map(|_| {
+                if next() % 11 == 0 {
+                    f64::INFINITY
+                } else {
+                    0.5 + (next() % 40) as f64 / 4.0
+                }
+            })
+            .collect();
+        if sizes.iter().any(|p| p.is_finite()) {
+            b = b.weighted_job(t, w, sizes);
+        } else {
+            b = b.weighted_job(t, w, vec![1.0; m]);
+        }
+    }
+    let horizon = t;
+    let mut events = Vec::new();
+    for k in 0..m.min(6) {
+        let mi = (k * 2 + 1) % m;
+        let when = horizon * (k as f64 + 1.0) / 8.0;
+        let change = if k % 3 == 2 {
+            CapacityChange::Drain
+        } else {
+            CapacityChange::Crash
+        };
+        events.push(ev(when, mi as u32, change));
+        // Half of them come back later.
+        if k % 2 == 0 {
+            events.push(ev(when + horizon / 10.0, mi as u32, CapacityChange::Join));
+        }
+    }
+    (b.build().unwrap(), plan(events))
+}
+
+#[test]
+fn incremental_and_rebuild_index_agree_bitwise_flow() {
+    let (inst, p) = churn_fixture(300, 12, 0xC0FFEE);
+    let mut logs = Vec::new();
+    for mode in [CapacityIndexMode::Incremental, CapacityIndexMode::Rebuild] {
+        let mut params = FlowParams::new(0.4);
+        params.dispatch = DispatchIndex::Pruned;
+        params.capacity_index = mode;
+        let out = FlowScheduler::new(params)
+            .unwrap()
+            .with_capacity(p.clone())
+            .run(&inst);
+        logs.push(out.log);
+    }
+    assert_eq!(
+        logs[0], logs[1],
+        "incremental must match the rebuild oracle"
+    );
+    // And both must match the linear scan (no index at all).
+    let mut params = FlowParams::new(0.4);
+    params.dispatch = DispatchIndex::Linear;
+    let lin = FlowScheduler::new(params)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    assert_eq!(logs[0], lin.log, "pruned must match linear under churn");
+    let rep = validate_log(
+        &inst,
+        &lin.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    assert_no_lost_jobs(&inst, &lin.log);
+}
+
+#[test]
+fn incremental_and_rebuild_index_agree_bitwise_weighted() {
+    let (inst, p) = churn_fixture(250, 10, 0xBEEF);
+    let mut logs = Vec::new();
+    for mode in [CapacityIndexMode::Incremental, CapacityIndexMode::Rebuild] {
+        let mut params = WeightedFlowParams::new(0.3);
+        params.dispatch = DispatchIndex::Pruned;
+        params.capacity_index = mode;
+        let out = WeightedFlowScheduler::new(params)
+            .unwrap()
+            .with_capacity(p.clone())
+            .run(&inst);
+        logs.push(out.log);
+    }
+    assert_eq!(logs[0], logs[1]);
+    let mut params = WeightedFlowParams::new(0.3);
+    params.dispatch = DispatchIndex::Linear;
+    let lin = WeightedFlowScheduler::new(params)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    assert_eq!(logs[0], lin.log);
+    let rep = validate_log(
+        &inst,
+        &lin.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    assert_no_lost_jobs(&inst, &lin.log);
+}
+
+#[test]
+fn incremental_and_rebuild_index_agree_bitwise_energy() {
+    let (inst, p) = churn_fixture(250, 10, 0xD00D);
+    let mut logs = Vec::new();
+    for mode in [CapacityIndexMode::Incremental, CapacityIndexMode::Rebuild] {
+        let mut params = EnergyFlowParams::new(0.3, 2.0);
+        params.dispatch = DispatchIndex::Pruned;
+        params.capacity_index = mode;
+        let out = EnergyFlowScheduler::new(params)
+            .unwrap()
+            .with_capacity(p.clone())
+            .run(&inst);
+        logs.push(out.log);
+    }
+    assert_eq!(logs[0], logs[1]);
+    let mut params = EnergyFlowParams::new(0.3, 2.0);
+    params.dispatch = DispatchIndex::Linear;
+    let lin = EnergyFlowScheduler::new(params)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    assert_eq!(logs[0], lin.log);
+    let rep = validate_log(
+        &inst,
+        &lin.log,
+        &ValidationConfig::flow_energy().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    assert_no_lost_jobs(&inst, &lin.log);
+}
+
+#[test]
+fn churn_run_without_plan_is_unchanged() {
+    // A scheduler with an empty plan must produce byte-identical output
+    // to the pre-elastic code path (regression pin for the refactor).
+    let (inst, _) = churn_fixture(200, 9, 0xFEED);
+    let base = FlowScheduler::with_eps(0.4).unwrap().run(&inst);
+    let with_empty = FlowScheduler::with_eps(0.4)
+        .unwrap()
+        .with_capacity(CapacityPlan::empty())
+        .run(&inst);
+    assert_eq!(base.log, with_empty.log);
+}
+
+#[test]
+fn weighted_crash_victims_complete_elsewhere() {
+    let inst = InstanceBuilder::new(2, InstanceKind::FlowEnergy)
+        .weighted_job(0.0, 5.0, vec![4.0, 6.0])
+        .weighted_job(0.1, 2.0, vec![3.0, 5.0])
+        .build()
+        .unwrap();
+    let p = plan(vec![ev(1.0, 0, CapacityChange::Crash)]);
+    let out = WeightedFlowScheduler::with_eps(0.9)
+        .unwrap()
+        .with_capacity(p.clone())
+        .run(&inst);
+    let rep = validate_log(
+        &inst,
+        &out.log,
+        &ValidationConfig::flow_time().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    assert!(out.log.total_redispatches() >= 2);
+    for k in 0..2 {
+        if let JobFate::Completed(e) = out.log.fate(JobId(k)) {
+            assert_eq!(e.machine, MachineId(1));
+        }
+    }
+}
+
+#[test]
+fn energy_crash_partial_keeps_scaled_speed() {
+    // Crash-killed energy job that becomes machine-lost must record its
+    // partial prefix at the speed-scaled rate, not 1.0.
+    let inst = InstanceBuilder::new(2, InstanceKind::FlowEnergy)
+        .weighted_job(0.0, 4.0, vec![8.0, f64::INFINITY])
+        .weighted_job(0.0, 1.0, vec![f64::INFINITY, 2.0])
+        .build()
+        .unwrap();
+    let p = plan(vec![ev(1.0, 0, CapacityChange::Crash)]);
+    let sched = EnergyFlowScheduler::new(EnergyFlowParams::new(0.5, 2.0)).unwrap();
+    let gamma = sched.gamma();
+    let out = sched.with_capacity(p.clone()).run(&inst);
+    let rep = validate_log(
+        &inst,
+        &out.log,
+        &ValidationConfig::flow_energy().with_capacity(p),
+    );
+    assert!(rep.is_valid(), "invalid: {:?}", rep.errors);
+    let rej = out.log.fate(JobId(0)).rejection().expect("machine lost");
+    assert_eq!(rej.reason, RejectReason::MachineLost);
+    let partial = rej.partial.expect("was running");
+    let expected_speed = gamma * 4.0f64.powf(0.5);
+    assert!(
+        (partial.speed - expected_speed).abs() < 1e-12,
+        "partial speed {} vs {expected_speed}",
+        partial.speed
+    );
+}

@@ -274,6 +274,20 @@ pub fn default_propagation() -> Propagation {
 /// bound-pruning saves, so the flat scan is the better constant.
 pub const FLAT_MAX_MACHINES: usize = 64;
 
+/// Trailing-tombstone run length at which [`MachineIndex::tombstone`]
+/// auto-compacts: once a whole rack (64-machine word) of garbage sits
+/// at the top of the leaf table, trimming it pays for itself —
+/// interior tombstones are never moved (machine ids are fixed), so the
+/// tail is the only place storage can actually be reclaimed.
+pub const COMPACT_TRAILING_RACK: usize = 64;
+
+/// Largest power of two `≤ k` (for `k ≥ 1`): the heap-layout depth
+/// block `k` belongs to, used by the resize graft/un-graft copies.
+#[inline]
+fn msb(k: usize) -> usize {
+    1usize << (usize::BITS - 1 - k.leading_zeros())
+}
+
 /// Cached dispatch statistics of one machine's pending queue — one
 /// packed row (24 bytes, no padding) of the leaf-stats table.
 ///
@@ -382,6 +396,14 @@ pub struct MachineIndex {
     repair_scratch: Vec<u32>,
     /// Reusable frontier heap (no per-search allocation once warm).
     heap: BinaryHeap<Reverse<Frontier>>,
+    /// One tombstone bit per machine: set for machines that left the
+    /// elastic pool (drain/crash) or were revealed by a rack-grow but
+    /// have not joined yet. Tombstoned leaves aggregate as
+    /// [`NodeStats::IDENTITY`] and are skipped by every search arm, so
+    /// they can never win an argmin.
+    dead: Vec<u64>,
+    /// Number of set bits in `dead` (within `0..m`).
+    tombstones: usize,
     mode: SearchMode,
     prop: Propagation,
 }
@@ -443,6 +465,8 @@ impl MachineIndex {
             any_dirty: false,
             repair_scratch: Vec::new(),
             heap: BinaryHeap::new(),
+            dead: vec![0u64; m.div_ceil(64)],
+            tombstones: 0,
             mode,
             prop,
         };
@@ -480,11 +504,31 @@ impl MachineIndex {
         &self.leaves[i]
     }
 
+    /// Whether machine `i` is tombstoned (left the pool, or revealed
+    /// by a rack-grow without having joined). `false` beyond `m`.
+    #[inline]
+    pub fn is_tombstoned(&self, i: usize) -> bool {
+        i < self.m && (self.dead[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of live (non-tombstoned) machines.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.m - self.tombstones
+    }
+
+    /// Number of tombstoned machines.
+    #[inline]
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
     /// The [`NodeStats`] view of leaf `i` (identity for padding leaves
-    /// beyond `m`).
+    /// beyond `m` and for tombstoned machines, which must never
+    /// attract the search).
     #[inline]
     fn leaf_ns(&self, i: usize) -> NodeStats {
-        if i < self.m {
+        if i < self.m && !self.is_tombstoned(i) {
             NodeStats::leaf(self.leaves[i])
         } else {
             NodeStats::IDENTITY
@@ -521,7 +565,17 @@ impl MachineIndex {
     /// immediately. Call after every pending-queue mutation.
     pub fn update(&mut self, i: usize, stats: MachineStats) {
         debug_assert!(i < self.m);
+        debug_assert!(!self.is_tombstoned(i), "update of a tombstoned machine");
         self.leaves[i] = stats;
+        self.propagate(i);
+    }
+
+    /// Marks leaf `i`'s ancestors for repair (dirty bit under lazy
+    /// propagation, immediate path rebuild under eager, nothing in
+    /// flat mode where no ancestors exist). Shared by [`Self::update`]
+    /// and the resize paths, whose leaf-visible aggregates change the
+    /// same way.
+    fn propagate(&mut self, i: usize) {
         if self.mode == SearchMode::Flat {
             return; // no ancestors exist; nothing else to do
         }
@@ -597,6 +651,164 @@ impl MachineIndex {
         self.repair_scratch = frontier;
     }
 
+    /// Brings machine `i` into the pool with the given stats row,
+    /// growing the index **by rack** when `i` lies beyond the current
+    /// width: the leaf table is extended to the next 64-machine word,
+    /// machines revealed by the growth start tombstoned (they join
+    /// explicitly, like `i` just did), and when the leaf capacity
+    /// doubles the old internal tree is **grafted** as the left
+    /// subtree of the new one — an `O(cap)` block copy plus one
+    /// recomputed spine, never a from-scratch rebuild of aggregates.
+    ///
+    /// # Panics
+    /// Panics if `i` is already live (capacity plans forbid joining an
+    /// online machine).
+    pub fn join(&mut self, i: usize, stats: MachineStats) {
+        if i >= self.m {
+            self.grow_to(i + 1);
+        }
+        assert!(self.is_tombstoned(i), "join of a live machine {i}");
+        self.dead[i / 64] &= !(1u64 << (i % 64));
+        self.tombstones -= 1;
+        self.leaves[i] = stats;
+        self.propagate(i);
+    }
+
+    /// Removes machine `i` from the pool (drain or crash): its leaf is
+    /// tombstoned in place — aggregating as `NodeStats::IDENTITY`
+    /// and skipped by every search arm — because machine ids are
+    /// indices into every job's `sizes` row and cannot be renumbered
+    /// mid-run. When a whole trailing rack ([`COMPACT_TRAILING_RACK`]
+    /// machines) is dead, the index auto-[`compact`](Self::compact)s.
+    /// Returns `false` (no-op) if `i` was already tombstoned.
+    pub fn tombstone(&mut self, i: usize) -> bool {
+        if i >= self.m || self.is_tombstoned(i) {
+            return false;
+        }
+        self.dead[i / 64] |= 1u64 << (i % 64);
+        self.tombstones += 1;
+        self.leaves[i] = MachineStats::EMPTY;
+        self.propagate(i);
+        if self.trailing_dead() >= COMPACT_TRAILING_RACK {
+            self.compact();
+        }
+        true
+    }
+
+    /// Trims trailing tombstoned leaves (interior tombstones are
+    /// immovable — ids are fixed), shrinking the leaf capacity to the
+    /// next power of two and un-grafting the internal tree (the
+    /// inverse block copy of [`Self::join`]'s graft — the discarded
+    /// right spine covered only dead leaves, so the kept aggregates,
+    /// *including any pending lazy dirt*, remain exactly what a
+    /// rebuild would produce). Keeps at least one leaf. Returns the
+    /// number of leaves removed.
+    pub fn compact(&mut self) -> usize {
+        let mut last_live = None;
+        for i in (0..self.m).rev() {
+            if !self.is_tombstoned(i) {
+                last_live = Some(i);
+                break;
+            }
+        }
+        let new_m = last_live.map_or(1, |i| i + 1);
+        if new_m == self.m {
+            return 0;
+        }
+        // Every trimmed leaf is tombstoned by construction (they are
+        // the trailing dead run); a dead leaf 0 kept by the ≥ 1 floor
+        // stays counted.
+        let removed = self.m - new_m;
+        self.tombstones -= removed;
+        self.leaves.truncate(new_m);
+        let words = new_m.div_ceil(64);
+        self.dead.truncate(words);
+        if new_m % 64 != 0 {
+            self.dead[words - 1] &= u64::MAX >> (64 - new_m % 64);
+        }
+        if !self.dirty.is_empty() {
+            self.dirty.truncate(words);
+            if new_m % 64 != 0 {
+                self.dirty[words - 1] &= u64::MAX >> (64 - new_m % 64);
+            }
+            self.any_dirty = self.dirty.iter().any(|&w| w != 0);
+        }
+        self.m = new_m;
+        let new_cap = new_m.next_power_of_two();
+        if new_cap != self.cap && self.mode == SearchMode::Heap {
+            let ratio = self.cap / new_cap;
+            let mut inner = vec![NodeStats::IDENTITY; new_cap];
+            for (k, slot) in inner.iter_mut().enumerate().skip(1) {
+                *slot = self.inner[k + msb(k) * (ratio - 1)];
+            }
+            self.inner = inner;
+        }
+        self.cap = new_cap;
+        removed
+    }
+
+    /// Number of consecutive tombstoned leaves at the top of the leaf
+    /// table, capped at [`COMPACT_TRAILING_RACK`] (only the threshold
+    /// comparison matters, so the scan is `O(64)`).
+    fn trailing_dead(&self) -> usize {
+        let mut n = 0;
+        for i in (0..self.m).rev() {
+            if !self.is_tombstoned(i) {
+                break;
+            }
+            n += 1;
+            if n >= COMPACT_TRAILING_RACK {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Extends the leaf table to cover machine `new_m - 1`, rounding
+    /// the width up to the next 64-machine word (grow-by-rack). All
+    /// revealed machines start tombstoned. When the power-of-two leaf
+    /// capacity doubles, the old internal tree is grafted as the left
+    /// subtree of the new one.
+    fn grow_to(&mut self, new_m: usize) {
+        debug_assert!(new_m > self.m);
+        let new_m = new_m.div_ceil(64) * 64;
+        let old_m = self.m;
+        self.leaves.resize(new_m, MachineStats::EMPTY);
+        let words = new_m.div_ceil(64);
+        self.dead.resize(words, 0);
+        for i in old_m..new_m {
+            self.dead[i / 64] |= 1u64 << (i % 64);
+        }
+        self.tombstones += new_m - old_m;
+        if self.mode == SearchMode::Heap && self.prop == Propagation::Lazy {
+            self.dirty.resize(words, 0);
+        }
+        self.m = new_m;
+        let new_cap = new_m.next_power_of_two();
+        if new_cap > self.cap && self.mode == SearchMode::Heap {
+            let ratio = new_cap / self.cap;
+            let mut inner = vec![NodeStats::IDENTITY; new_cap];
+            for (k, &ns) in self.inner.iter().enumerate().skip(1) {
+                inner[k + msb(k) * (ratio - 1)] = ns;
+            }
+            self.inner = inner;
+            self.cap = new_cap;
+            // Recompute the spine above the grafted old root (node
+            // `ratio`); every other new node covers only tombstoned
+            // leaves and stays IDENTITY.
+            let mut j = ratio / 2;
+            while j >= 1 {
+                self.recompute(j as u32);
+                j /= 2;
+            }
+        } else {
+            // Width grew within the existing capacity: the new leaves
+            // are tombstoned, which aggregates exactly like the
+            // padding they replaced — no ancestor changes.
+            self.cap = new_cap;
+        }
+    }
+
     /// Pruned argmin with every machine considered eligible; see the
     /// module docs for the bound contract. Returns `(machine, exact
     /// value)` for the lowest-index machine minimizing `eval`, or
@@ -669,6 +881,9 @@ impl MachineIndex {
                         if idx >= self.m {
                             break;
                         }
+                        if self.is_tombstoned(idx) {
+                            continue;
+                        }
                         let lb = leaf_bound(idx, &self.leaves[idx]);
                         if !beats(lb, idx, &best) {
                             continue;
@@ -700,6 +915,9 @@ impl MachineIndex {
             // evaluations the bounds rule out. Reads the leaf table
             // only; no ancestors exist.
             for idx in 0..self.m {
+                if self.is_tombstoned(idx) {
+                    continue;
+                }
                 let lb = leaf_bound(idx, &self.leaves[idx]);
                 if !beats(lb, idx, &best) {
                     continue;
@@ -762,8 +980,8 @@ impl MachineIndex {
             }
             if e.node as usize >= self.cap {
                 let idx = e.node as usize - self.cap;
-                if idx >= self.m {
-                    continue; // padding leaf
+                if idx >= self.m || self.is_tombstoned(idx) {
+                    continue; // padding or tombstoned leaf
                 }
                 let lb = leaf_bound(idx, &self.leaves[idx]);
                 if !beats(lb, idx, &best) {
@@ -1314,6 +1532,248 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// From-scratch rebuild oracle for the resize tests: a fresh index
+    /// of the given width whose liveness and leaf rows are installed
+    /// directly (bypassing the incremental paths), then aggregated
+    /// bottom-up — exactly what "tear it down and rebuild" would
+    /// produce after any churn history.
+    fn rebuild_oracle(live: &[Option<MachineStats>], mode: SearchMode) -> MachineIndex {
+        let mut ix = MachineIndex::with_config(live.len(), mode, Propagation::Eager);
+        for (i, s) in live.iter().enumerate() {
+            match s {
+                Some(s) => ix.leaves[i] = *s,
+                None => {
+                    ix.dead[i / 64] |= 1u64 << (i % 64);
+                    ix.tombstones += 1;
+                }
+            }
+        }
+        if mode == SearchMode::Heap {
+            for k in (1..ix.cap).rev() {
+                ix.recompute(k as u32);
+            }
+        }
+        ix
+    }
+
+    /// Satellite lock (PR 6): the incremental resize paths —
+    /// grow-by-rack joins, in-place tombstones for drain/crash,
+    /// auto- and explicit compaction — interleaved with updates and
+    /// searches must stay bit-identical to the rebuild oracle (inner
+    /// array slot for slot) and to the exhaustive linear reference
+    /// (search results), at the flat/heap crossover boundary, in all
+    /// four mode × propagation variants.
+    #[test]
+    fn resize_interleaving_matches_rebuild_oracle() {
+        for m0 in [63usize, 64, 65] {
+            for mode in [SearchMode::Flat, SearchMode::Heap] {
+                for prop in [Propagation::Eager, Propagation::Lazy] {
+                    let mut ix = MachineIndex::with_config(m0, mode, prop);
+                    // Shadow truth: Some(stats) = live, None = dead.
+                    // May extend beyond the index width after a
+                    // compact (those entries are all dead).
+                    let mut shadow: Vec<Option<MachineStats>> = vec![Some(MachineStats::EMPTY); m0];
+                    let mut state =
+                        0xE1A5_7100 ^ ((m0 as u64) << 8) ^ ((mode == SearchMode::Flat) as u64);
+                    for round in 0..150 {
+                        match xorshift(&mut state) % 10 {
+                            0..=3 => {
+                                // update a random live machine
+                                let live: Vec<usize> = (0..ix.len())
+                                    .filter(|&i| shadow.get(i).is_some_and(|s| s.is_some()))
+                                    .collect();
+                                if let Some(&i) =
+                                    live.get((xorshift(&mut state) as usize) % live.len().max(1))
+                                {
+                                    let s = busy(
+                                        xorshift(&mut state) % 9,
+                                        (xorshift(&mut state) % 50) as f64 / 4.0,
+                                        1.0 + (xorshift(&mut state) % 3) as f64,
+                                    );
+                                    ix.update(i, s);
+                                    shadow[i] = Some(s);
+                                }
+                            }
+                            4 | 5 => {
+                                // drain/crash a random machine (no-op if dead
+                                // or already compacted away)
+                                let i = (xorshift(&mut state) as usize) % shadow.len();
+                                if i < ix.len() {
+                                    assert_eq!(ix.tombstone(i), shadow[i].is_some());
+                                } else {
+                                    assert!(!ix.tombstone(i), "beyond-width tombstone must no-op");
+                                }
+                                shadow[i] = None;
+                            }
+                            6 | 7 => {
+                                // re-join a dead machine within the width
+                                let dead: Vec<usize> = (0..ix.len())
+                                    .filter(|&i| shadow.get(i).is_none_or(|s| s.is_none()))
+                                    .collect();
+                                if !dead.is_empty() {
+                                    let i = dead[(xorshift(&mut state) as usize) % dead.len()];
+                                    let s = busy(xorshift(&mut state) % 4, 2.0, 1.5);
+                                    ix.join(i, s);
+                                    if i >= shadow.len() {
+                                        shadow.resize(i + 1, None);
+                                    }
+                                    shadow[i] = Some(s);
+                                }
+                            }
+                            8 => {
+                                // join beyond the width: grow-by-rack
+                                let i = ix.len() + (xorshift(&mut state) as usize) % 40;
+                                let s = busy(1, 3.0, 2.0);
+                                ix.join(i, s);
+                                if i >= shadow.len() {
+                                    shadow.resize(i + 1, None);
+                                }
+                                shadow[i] = Some(s);
+                            }
+                            _ => {
+                                ix.compact();
+                            }
+                        }
+                        // The shadow beyond the (possibly compacted)
+                        // width must be all-dead; the width itself may
+                        // lag the shadow only by dead entries.
+                        for (i, s) in shadow.iter().enumerate().skip(ix.len()) {
+                            assert!(s.is_none(), "live machine {i} beyond width {}", ix.len());
+                        }
+                        if shadow.len() < ix.len() {
+                            shadow.resize(ix.len(), None);
+                        }
+                        let width = ix.len();
+                        assert_eq!(
+                            ix.live_count(),
+                            shadow[..width].iter().filter(|s| s.is_some()).count(),
+                            "m0={m0} round={round}"
+                        );
+
+                        // Search agreement with the linear reference
+                        // over live machines (every ~1/5 value is
+                        // ineligible to exercise None handling).
+                        let values: Vec<Option<f64>> = (0..width)
+                            .map(|i| match shadow[i] {
+                                None => None,
+                                Some(s) => (!(s.count + i as u64).is_multiple_of(5))
+                                    .then_some(s.wsum + (i % 13) as f64),
+                            })
+                            .collect();
+                        assert_eq!(
+                            search_exact(&mut ix, &values),
+                            linear_argmin(&values),
+                            "m0={m0} mode={mode:?} prop={prop:?} round={round}"
+                        );
+
+                        // Rebuild-oracle byte-identity: same width,
+                        // capacity, liveness, leaf rows, and (after
+                        // the search-triggered flush above) the same
+                        // internal aggregates slot for slot.
+                        let oracle = rebuild_oracle(&shadow[..width], mode);
+                        assert_eq!(ix.m, oracle.m);
+                        assert_eq!(ix.cap, oracle.cap, "m0={m0} round={round}");
+                        assert_eq!(ix.dead, oracle.dead);
+                        assert_eq!(ix.tombstones, oracle.tombstones);
+                        assert_eq!(
+                            ix.leaves, oracle.leaves,
+                            "m0={m0} mode={mode:?} prop={prop:?} round={round}"
+                        );
+                        assert_eq!(
+                            ix.inner, oracle.inner,
+                            "m0={m0} mode={mode:?} prop={prop:?} round={round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grow-by-rack granularity and the cap-doubling graft: joining
+    /// one machine beyond the width extends the leaf table to the next
+    /// 64-machine word (revealed machines tombstoned), and the old
+    /// internal tree survives the graft bit for bit.
+    #[test]
+    fn join_grows_by_rack_and_grafts() {
+        let mut ix = MachineIndex::with_config(5, SearchMode::Heap, Propagation::Eager);
+        for i in 0..5 {
+            ix.update(i, busy(2 + i as u64, i as f64, 1.0));
+        }
+        let before_root = ix.inner[1];
+        ix.join(70, busy(1, 0.5, 0.5));
+        // Width rounds to the rack containing 70; cap doubles 8 → 128.
+        assert_eq!(ix.len(), 128);
+        assert_eq!(ix.cap, 128);
+        assert!(ix.is_tombstoned(5), "revealed machines start tombstoned");
+        assert!(ix.is_tombstoned(127));
+        assert!(!ix.is_tombstoned(70));
+        assert_eq!(ix.live_count(), 6);
+        // The grafted left subtree still aggregates the old machines;
+        // the root now also sees machine 70's row.
+        assert_eq!(ix.inner[1].min_wsum, 0.0); // machine 0's wsum
+        assert_eq!(ix.inner[1].min_size, 0.5);
+        let _ = before_root;
+        // Search still finds the lowest-index argmin across the pool.
+        let values: Vec<Option<f64>> = (0..128)
+            .map(|i| (!ix.is_tombstoned(i)).then_some(((i * 7) % 11) as f64))
+            .collect();
+        assert_eq!(search_exact(&mut ix, &values), linear_argmin(&values));
+    }
+
+    /// Tombstoning a whole trailing rack auto-compacts; interior
+    /// tombstones are left in place (ids are immovable).
+    #[test]
+    fn trailing_rack_tombstones_auto_compact() {
+        let mut ix = MachineIndex::with_config(130, SearchMode::Heap, Propagation::Lazy);
+        // Kill an interior machine: no compaction.
+        assert!(ix.tombstone(40));
+        assert_eq!(ix.len(), 130);
+        // Kill the top 66 machines: once the trailing dead run reaches
+        // a full rack (at machine 66) the index trims back to the last
+        // live leaf; the final two tombstones never re-reach a rack.
+        for i in (64..130).rev() {
+            ix.tombstone(i);
+        }
+        assert_eq!(ix.len(), 66, "auto-compacted at the rack boundary");
+        // An explicit compact trims the rest of the dead tail.
+        ix.compact();
+        assert_eq!(ix.len(), 64, "compacted to the last live leaf + 1");
+        assert_eq!(ix.cap, 64);
+        assert!(ix.is_tombstoned(40), "interior tombstone survives");
+        assert_eq!(ix.live_count(), 63);
+        // The compacted index still answers exactly.
+        let values: Vec<Option<f64>> = (0..64)
+            .map(|i| (i != 40).then_some(((i * 5) % 17) as f64))
+            .collect();
+        assert_eq!(search_exact(&mut ix, &values), linear_argmin(&values));
+        // And a machine can re-join where the tail used to be.
+        ix.join(129, busy(0, 0.0, f64::INFINITY));
+        assert_eq!(ix.len(), 192);
+        assert!(!ix.is_tombstoned(129));
+    }
+
+    /// Compacting an all-dead pool keeps one (tombstoned) leaf, and
+    /// every search over it returns `None`.
+    #[test]
+    fn all_dead_pool_compacts_to_one_leaf() {
+        for mode in [SearchMode::Flat, SearchMode::Heap] {
+            let mut ix = MachineIndex::with_config(10, mode, Propagation::Lazy);
+            for i in 0..10 {
+                ix.tombstone(i);
+            }
+            ix.compact();
+            assert_eq!(ix.len(), 1);
+            assert_eq!(ix.live_count(), 0);
+            assert_eq!(ix.tombstone_count(), 1);
+            let got = ix.search(|_, _, _| 0.0, |_, _| 0.0, |_| Some(1.0));
+            assert_eq!(got, None, "{mode:?}: tombstoned leaves never win");
+            // Rejoining revives the pool.
+            ix.join(0, MachineStats::EMPTY);
+            let got = ix.search(|_, _, _| 0.0, |_, _| 0.0, |_| Some(1.0));
+            assert_eq!(got, Some((0, 1.0)));
         }
     }
 

@@ -160,21 +160,24 @@ pub fn fmt_f64(x: f64) -> String {
 /// Format: header `# osr-log v1 m=<m> n=<n>`, then one line per job:
 ///
 /// ```text
-/// id,kind,machine,start,end,speed,reason,p_machine,p_start,p_end,p_speed
+/// id,kind,machine,start,end,speed,reason,p_machine,p_start,p_end,p_speed,redisp
 /// ```
 ///
 /// `kind` is `c` (completed: machine/start/end/speed filled) or `r`
 /// (rejected: `end` holds the rejection time, `reason` one of
-/// `rule-1|rule-2|immediate|ineligible|other`, `p_*` the partial run
-/// or `-`).
+/// `rule-1|rule-2|immediate|ineligible|machine-lost|other`, `p_*` the
+/// partial run or `-`). `redisp` is the job's re-dispatch count from
+/// capacity-churn runs; the reader also accepts the 11-field rows of
+/// pre-churn logs (implicitly `redisp = 0`).
 pub fn write_log<W: Write>(w: &mut W, log: &crate::log::FinishedLog) -> Result<(), ModelError> {
     use crate::log::JobFate;
     writeln!(w, "# osr-log v1 m={} n={}", log.machines(), log.len())?;
     for (id, fate) in log.iter() {
+        let redisp = log.redispatches(id);
         match fate {
             JobFate::Completed(e) => writeln!(
                 w,
-                "{},c,{},{},{},{},-,-,-,-,-",
+                "{},c,{},{},{},{},-,-,-,-,-,{redisp}",
                 id.0,
                 e.machine.0,
                 fmt_f64(e.start),
@@ -193,7 +196,7 @@ pub fn write_log<W: Write>(w: &mut W, log: &crate::log::FinishedLog) -> Result<(
                 };
                 writeln!(
                     w,
-                    "{},r,-,-,{},-,{},{pm},{ps},{pe},{pv}",
+                    "{},r,-,-,{},-,{},{pm},{ps},{pe},{pv},{redisp}",
                     id.0,
                     fmt_f64(r.time),
                     r.reason
@@ -253,16 +256,25 @@ pub fn read_log<R: BufRead>(r: R) -> Result<crate::log::FinishedLog, ModelError>
         }
         let lineno = lineno + 1;
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 11 {
+        if f.len() != 11 && f.len() != 12 {
             return Err(ModelError::Parse {
                 line: lineno,
-                message: format!("expected 11 fields, got {}", f.len()),
+                message: format!("expected 11 or 12 fields, got {}", f.len()),
             });
         }
         let id: u32 = f[0].parse().map_err(|_| ModelError::Parse {
             line: lineno,
             message: format!("bad job id `{}`", f[0]),
         })?;
+        if f.len() == 12 {
+            let redisp: u32 = f[11].parse().map_err(|_| ModelError::Parse {
+                line: lineno,
+                message: format!("bad redispatch count `{}`", f[11]),
+            })?;
+            for _ in 0..redisp {
+                log.note_redispatch(JobId(id));
+            }
+        }
         match f[1] {
             "c" => {
                 let machine: u32 = f[2].parse().map_err(|_| ModelError::Parse {
@@ -285,6 +297,7 @@ pub fn read_log<R: BufRead>(r: R) -> Result<crate::log::FinishedLog, ModelError>
                     "rule-2" => RejectReason::RuleTwo,
                     "immediate" => RejectReason::Immediate,
                     "ineligible" => RejectReason::Ineligible,
+                    "machine-lost" => RejectReason::MachineLost,
                     "other" => RejectReason::Other,
                     other => {
                         return Err(ModelError::Parse {
@@ -478,6 +491,69 @@ mod tests {
         let text = log_to_string(&fin);
         let back = log_from_str(&text).unwrap();
         assert_eq!(fin, back);
+    }
+
+    #[test]
+    fn churn_log_round_trips_machine_lost_and_redispatch_counts() {
+        use crate::log::{PartialRun, RejectReason, Rejection, ScheduleLog};
+        use crate::{Execution, JobId, MachineId};
+        let mut log = ScheduleLog::new(3, 3);
+        // Job 0: crashed once, re-dispatched, completed elsewhere.
+        log.note_redispatch(JobId(0));
+        log.complete(
+            JobId(0),
+            Execution {
+                machine: MachineId(2),
+                start: 4.0,
+                completion: 6.5,
+                speed: 1.0,
+            },
+        );
+        // Job 1: crashed twice, then every eligible machine was gone —
+        // machine-lost with the last partial run attached.
+        log.note_redispatch(JobId(1));
+        log.note_redispatch(JobId(1));
+        log.reject(
+            JobId(1),
+            Rejection {
+                time: 7.25,
+                reason: RejectReason::MachineLost,
+                partial: Some(PartialRun {
+                    machine: MachineId(1),
+                    start: 5.0,
+                    end: 7.25,
+                    speed: 1.0,
+                }),
+            },
+        );
+        // Job 2: untouched by churn.
+        log.reject(
+            JobId(2),
+            Rejection {
+                time: 8.0,
+                reason: RejectReason::MachineLost,
+                partial: None,
+            },
+        );
+        let fin = log.finish().unwrap();
+        let text = log_to_string(&fin);
+        let back = log_from_str(&text).unwrap();
+        assert_eq!(fin, back, "exact round trip incl. redispatch counts");
+        assert_eq!(back.redispatches(JobId(0)), 1);
+        assert_eq!(back.redispatches(JobId(1)), 2);
+        assert_eq!(back.redispatches(JobId(2)), 0);
+        assert_eq!(
+            back.fate(JobId(1)).rejection().unwrap().reason,
+            RejectReason::MachineLost
+        );
+    }
+
+    #[test]
+    fn legacy_eleven_field_rows_still_parse() {
+        // Pre-churn writers emitted 11 fields; redisp defaults to 0.
+        let text = "# osr-log v1 m=1 n=1\n0,c,0,0,1,1,-,-,-,-,-\n";
+        let log = log_from_str(text).unwrap();
+        assert_eq!(log.redispatches(crate::JobId(0)), 0);
     }
 
     #[test]

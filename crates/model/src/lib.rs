@@ -32,6 +32,7 @@ pub mod io;
 pub mod job;
 pub mod log;
 pub mod metrics;
+pub mod pool;
 pub mod time;
 
 pub use error::ModelError;
@@ -39,4 +40,5 @@ pub use instance::{Instance, InstanceBuilder, InstanceKind};
 pub use job::{EligMask, Job, JobId, MachineId, RackPHat};
 pub use log::{Execution, FinishedLog, JobFate, PartialRun, RejectReason, Rejection, ScheduleLog};
 pub use metrics::{EnergyMetrics, FlowMetrics, Metrics};
+pub use pool::{MaskScratch, OnlineSet};
 pub use time::{approx_eq, approx_ge, approx_le, total_cmp_f64, EPS};

@@ -24,6 +24,11 @@ pub enum RejectReason {
     /// scheduler can serve it; it is dropped at arrival rather than
     /// aborting the run. Counts against no rule's budget.
     Ineligible,
+    /// Every machine the job is eligible on has left the pool (drained
+    /// or crashed) by the time the job needed (re-)dispatching. Only
+    /// produced by capacity-churn runs; counts against no rule's
+    /// budget — the *pool* failed the job, not the policy.
+    MachineLost,
     /// Any other baseline-specific reason.
     Other,
 }
@@ -35,6 +40,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::RuleTwo => write!(f, "rule-2"),
             RejectReason::Immediate => write!(f, "immediate"),
             RejectReason::Ineligible => write!(f, "ineligible"),
+            RejectReason::MachineLost => write!(f, "machine-lost"),
             RejectReason::Other => write!(f, "other"),
         }
     }
@@ -163,6 +169,7 @@ impl JobFate {
 pub struct ScheduleLog {
     machines: usize,
     fates: Vec<Option<JobFate>>,
+    redispatches: Vec<u32>,
 }
 
 impl ScheduleLog {
@@ -171,7 +178,26 @@ impl ScheduleLog {
         ScheduleLog {
             machines,
             fates: vec![None; jobs],
+            redispatches: vec![0; jobs],
         }
+    }
+
+    /// Records that `job` was sent back to the dispatcher after its
+    /// machine drained or crashed. Called once per re-dispatch, before
+    /// the job's final fate is known; a job may be re-dispatched
+    /// several times if the pool keeps churning underneath it.
+    pub fn note_redispatch(&mut self, job: JobId) {
+        assert!(
+            self.fates[job.idx()].is_none(),
+            "job {job} already has a fate"
+        );
+        self.redispatches[job.idx()] += 1;
+    }
+
+    /// How many times `job` has been re-dispatched so far.
+    #[inline]
+    pub fn redispatches(&self, job: JobId) -> u32 {
+        self.redispatches[job.idx()]
     }
 
     /// Number of machines the log refers to.
@@ -247,6 +273,7 @@ impl ScheduleLog {
         Ok(FinishedLog {
             machines: self.machines,
             fates: self.fates.into_iter().map(Option::unwrap).collect(),
+            redispatches: self.redispatches,
         })
     }
 }
@@ -259,6 +286,7 @@ impl ScheduleLog {
 pub struct FinishedLog {
     machines: usize,
     fates: Vec<JobFate>,
+    redispatches: Vec<u32>,
 }
 
 impl FinishedLog {
@@ -309,6 +337,18 @@ impl FinishedLog {
     /// Count of rejected jobs.
     pub fn rejected_count(&self) -> usize {
         self.rejections().count()
+    }
+
+    /// How many times `job` was re-dispatched after losing its machine
+    /// to a drain or crash (0 in churn-free runs).
+    #[inline]
+    pub fn redispatches(&self, job: JobId) -> u32 {
+        self.redispatches[job.idx()]
+    }
+
+    /// Total re-dispatch events across all jobs.
+    pub fn total_redispatches(&self) -> u64 {
+        self.redispatches.iter().map(|&r| r as u64).sum()
     }
 
     /// All intervals `[start, end, speed]` during which each machine was
@@ -433,5 +473,35 @@ mod tests {
         assert_eq!(RejectReason::RuleOne.to_string(), "rule-1");
         assert_eq!(RejectReason::RuleTwo.to_string(), "rule-2");
         assert_eq!(RejectReason::Immediate.to_string(), "immediate");
+        assert_eq!(RejectReason::MachineLost.to_string(), "machine-lost");
+    }
+
+    #[test]
+    fn redispatch_counts_survive_finish() {
+        let mut log = ScheduleLog::new(2, 2);
+        log.note_redispatch(JobId(1));
+        log.note_redispatch(JobId(1));
+        assert_eq!(log.redispatches(JobId(1)), 2);
+        log.complete(JobId(0), exec(0, 0.0, 1.0));
+        log.reject(
+            JobId(1),
+            Rejection {
+                time: 3.0,
+                reason: RejectReason::MachineLost,
+                partial: None,
+            },
+        );
+        let fin = log.finish().unwrap();
+        assert_eq!(fin.redispatches(JobId(0)), 0);
+        assert_eq!(fin.redispatches(JobId(1)), 2);
+        assert_eq!(fin.total_redispatches(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a fate")]
+    fn redispatch_after_fate_panics() {
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 1.0));
+        log.note_redispatch(JobId(0));
     }
 }

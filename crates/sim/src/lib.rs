@@ -13,6 +13,10 @@
 //!   ordering contract, so simulations are backend-independent);
 //! * [`scheduler::OnlineScheduler`] — the trait every policy implements
 //!   (`osr-core` algorithms and `osr-baselines` comparators alike);
+//! * [`capacity`] — the elastic machine pool: join/drain/crash event
+//!   streams ([`capacity::CapacityPlan`]) replayed alongside arrivals,
+//!   with failure-trace parsing and the online-window vocabulary the
+//!   validator uses to audit churn runs;
 //! * [`validate`] — checks a [`osr_model::log::FinishedLog`] against its
 //!   instance for **every** model invariant: non-preemption is implied by
 //!   the single-interval log format, so the validator focuses on release
@@ -32,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod event;
 pub mod gantt;
 pub mod scheduler;
@@ -39,9 +44,12 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
+pub use capacity::{CapacityChange, CapacityEvent, CapacityPlan, OnlineWindow};
 pub use event::{EventBackend, EventQueue};
 pub use gantt::render_gantt;
-pub use scheduler::{reject_ineligible, run_validated, OnlineScheduler, SimError};
+pub use scheduler::{
+    reject_ineligible, reject_machine_lost, run_validated, OnlineScheduler, SimError,
+};
 pub use stats::{MachineUtilization, SummaryStats};
 pub use trace::{DecisionEvent, DecisionTrace};
 pub use validate::{validate_log, ValidationConfig, ValidationError, ValidationReport};

@@ -2,7 +2,8 @@
 //! ineligible-job rejection used by every dispatch argmin.
 
 use osr_model::{
-    FinishedLog, Instance, JobId, MachineId, Metrics, RejectReason, Rejection, ScheduleLog,
+    FinishedLog, Instance, JobId, MachineId, Metrics, PartialRun, RejectReason, Rejection,
+    ScheduleLog,
 };
 
 use crate::trace::{DecisionEvent, DecisionTrace};
@@ -29,6 +30,45 @@ pub fn reject_ineligible(log: &mut ScheduleLog, trace: &mut DecisionTrace, job: 
         job,
         machine: MachineId(0),
         reason: RejectReason::Ineligible,
+        counter: 0.0,
+    });
+}
+
+/// Records the standard outcome for a job stranded by capacity churn:
+/// every machine it is eligible on has left the pool, so it is rejected
+/// at `t` with [`RejectReason::MachineLost`]. Two shapes funnel through
+/// here:
+///
+/// * a (re-)dispatch at `t` found `elig ∩ online = ∅` — no partial run;
+/// * a crash at `t` killed the job mid-run **and** no eligible machine
+///   remains — the interrupted prefix is recorded as `partial` (ending
+///   exactly at `t`, the non-preemption contract for rejections).
+///
+/// Machine-lost rejections count against **no** rule's budget — the
+/// adversary (the failure trace), not the algorithm, chose them. The
+/// trace event uses the partial run's machine, or machine 0 as the
+/// conventional "no machine" sentinel.
+pub fn reject_machine_lost(
+    log: &mut ScheduleLog,
+    trace: &mut DecisionTrace,
+    job: JobId,
+    t: f64,
+    partial: Option<PartialRun>,
+) {
+    let machine = partial.as_ref().map_or(MachineId(0), |p| p.machine);
+    log.reject(
+        job,
+        Rejection {
+            time: t,
+            reason: RejectReason::MachineLost,
+            partial,
+        },
+    );
+    trace.push(DecisionEvent::Reject {
+        time: t,
+        job,
+        machine,
+        reason: RejectReason::MachineLost,
         counter: 0.0,
     });
 }

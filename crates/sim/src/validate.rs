@@ -18,10 +18,19 @@
 //! 6. **deadline feasibility** — for §4 instances, completions meet
 //!    deadlines;
 //! 7. **speed sanity** — speeds are positive and finite; exactly `1` when
-//!    the config demands unit speeds (§2).
+//!    the config demands unit speeds (§2);
+//! 8. **capacity windows** — when a [`CapacityPlan`] is attached, every
+//!    run (complete or partial) must *start* while its machine is
+//!    online, and may extend past the machine's exit only if the exit
+//!    was a graceful drain (a crash kills the running job, so nothing
+//!    outlives it). A run on a machine that leaves the pool *later* is
+//!    legal — the plan is consulted for the run's own window, not the
+//!    machine's final fate.
 
 use osr_model::{approx_eq, Instance, InstanceKind};
 use osr_model::{FinishedLog, JobFate, JobId, MachineId};
+
+use crate::capacity::CapacityPlan;
 
 /// What to check beyond the universal invariants.
 #[derive(Debug, Clone, Default)]
@@ -32,6 +41,20 @@ pub struct ValidationConfig {
     pub allow_parallel: bool,
     /// Require every job to be completed (no rejections at all).
     pub forbid_rejections: bool,
+    /// Capacity churn the run was subject to; enables the
+    /// online-window checks (invariant 8). `None` means the static
+    /// fixed-pool model: machines never leave, so a run anywhere is
+    /// window-legal.
+    pub capacity: Option<CapacityPlan>,
+}
+
+impl ValidationConfig {
+    /// Attaches a capacity plan (builder-style), enabling the
+    /// online-window checks.
+    pub fn with_capacity(mut self, plan: CapacityPlan) -> Self {
+        self.capacity = Some(plan);
+        self
+    }
 }
 
 impl ValidationConfig {
@@ -39,8 +62,7 @@ impl ValidationConfig {
     pub fn flow_time() -> Self {
         ValidationConfig {
             unit_speed: true,
-            allow_parallel: false,
-            forbid_rejections: false,
+            ..ValidationConfig::default()
         }
     }
 
@@ -55,9 +77,9 @@ impl ValidationConfig {
     /// (machine speed is the *sum* of its running jobs' speeds).
     pub fn energy() -> Self {
         ValidationConfig {
-            unit_speed: false,
             allow_parallel: true,
             forbid_rejections: true,
+            ..ValidationConfig::default()
         }
     }
 }
@@ -187,6 +209,19 @@ pub fn validate_log(
                         format!("speed {} but model requires unit speed", e.speed),
                     );
                 }
+                if let Some(plan) = &config.capacity {
+                    if !plan.run_within_windows(e.machine.idx(), e.start, e.completion) {
+                        err(
+                            &mut report,
+                            Some(id),
+                            Some(e.machine),
+                            format!(
+                                "run [{}, {}] outside the machine's online windows",
+                                e.start, e.completion
+                            ),
+                        );
+                    }
+                }
                 let processed = e.volume();
                 let required = job.size_on(e.machine);
                 if !approx_eq(processed, required) {
@@ -263,6 +298,19 @@ pub fn validate_log(
                             Some(p.machine),
                             "negative partial run".into(),
                         );
+                    }
+                    if let Some(plan) = &config.capacity {
+                        if !plan.run_within_windows(p.machine.idx(), p.start, p.end) {
+                            err(
+                                &mut report,
+                                Some(id),
+                                Some(p.machine),
+                                format!(
+                                    "partial run [{}, {}] outside the machine's online windows",
+                                    p.start, p.end
+                                ),
+                            );
+                        }
                     }
                     // The interrupted prefix must process *less* volume
                     // than the full requirement (otherwise it completed).
@@ -609,6 +657,112 @@ mod tests {
             &log.finish().unwrap(),
             &ValidationConfig::flow_time(),
         );
+        assert!(rep.is_valid(), "{:?}", rep.errors);
+    }
+
+    use crate::capacity::{CapacityChange, CapacityEvent, CapacityPlan};
+
+    fn plan(events: Vec<(f64, u32, CapacityChange)>) -> CapacityPlan {
+        CapacityPlan::new(
+            events
+                .into_iter()
+                .map(|(time, machine, change)| CapacityEvent {
+                    time,
+                    machine: MachineId(machine),
+                    change,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Regression: a completed run on a machine that drains or crashes
+    /// *after* the run must not be flagged — the plan is consulted for
+    /// the run's own window, not the machine's final fate.
+    #[test]
+    fn run_on_later_dead_machine_is_legal() {
+        let inst = inst_one_machine(&[2.0]);
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
+        let log = log.finish().unwrap();
+        for change in [CapacityChange::Drain, CapacityChange::Crash] {
+            let cfg = ValidationConfig::flow_time().with_capacity(plan(vec![(10.0, 0, change)]));
+            let rep = validate_log(&inst, &log, &cfg);
+            assert!(rep.is_valid(), "{change}: {:?}", rep.errors);
+        }
+    }
+
+    /// A run may extend past a drain (graceful exit) but not past a
+    /// crash.
+    #[test]
+    fn run_spanning_drain_is_legal_but_spanning_crash_is_not() {
+        let inst = InstanceBuilder::new(1, InstanceKind::FlowTime)
+            .job(3.0, vec![3.0])
+            .build()
+            .unwrap();
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 3.0, 6.0, 1.0));
+        let log = log.finish().unwrap();
+        let drained = ValidationConfig::flow_time().with_capacity(plan(vec![(
+            4.0,
+            0,
+            CapacityChange::Drain,
+        )]));
+        assert!(validate_log(&inst, &log, &drained).is_valid());
+        let crashed = ValidationConfig::flow_time().with_capacity(plan(vec![(
+            4.0,
+            0,
+            CapacityChange::Crash,
+        )]));
+        let rep = validate_log(&inst, &log, &crashed);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| e.message.contains("online windows")));
+    }
+
+    /// A run starting before the machine joined the pool is flagged.
+    #[test]
+    fn run_starting_while_offline_is_flagged() {
+        let inst = inst_one_machine(&[2.0]);
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 2.0, 1.0));
+        let log = log.finish().unwrap();
+        // First event is a join at 5 → the machine starts offline.
+        let cfg =
+            ValidationConfig::flow_time().with_capacity(plan(vec![(5.0, 0, CapacityChange::Join)]));
+        let rep = validate_log(&inst, &log, &cfg);
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| e.message.contains("online windows")));
+    }
+
+    /// A partial run killed exactly at the crash instant (reason
+    /// machine-lost) validates.
+    #[test]
+    fn crash_killed_partial_run_is_legal() {
+        let inst = inst_one_machine(&[9.0]);
+        let mut log = ScheduleLog::new(1, 1);
+        log.reject(
+            JobId(0),
+            Rejection {
+                time: 4.0,
+                reason: RejectReason::MachineLost,
+                partial: Some(PartialRun {
+                    machine: MachineId(0),
+                    start: 0.0,
+                    end: 4.0,
+                    speed: 1.0,
+                }),
+            },
+        );
+        let cfg = ValidationConfig::flow_time().with_capacity(plan(vec![(
+            4.0,
+            0,
+            CapacityChange::Crash,
+        )]));
+        let rep = validate_log(&inst, &log.finish().unwrap(), &cfg);
         assert!(rep.is_valid(), "{:?}", rep.errors);
     }
 

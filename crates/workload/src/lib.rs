@@ -10,8 +10,12 @@
 //!   speeds, iid unrelated, restricted assignment, rack-affinity sets
 //!   with everywhere-ineligible jobs). The closed `Copy` spec subset
 //!   ([`ArrivalSpec`] × [`SizeSpec`] × [`MachineSpec`]) is bundled into
-//!   [`Scenario`] and addressable by name (`"mmpp-pareto-affinity"`;
-//!   grammar in `README.md`) — all seeded and deterministic;
+//!   [`Scenario`] and addressable by name (`"mmpp-pareto-affinity"`,
+//!   optionally with an elastic-pool churn segment:
+//!   `"mmpp-pareto-affinity-churn:0.2"` — see [`ChurnSpec`]; grammar
+//!   in `README.md`) — all seeded and deterministic, with capacity
+//!   plans drawn from a separate seed stream so churn never perturbs
+//!   the instance bytes;
 //! * [`gen`] — the legacy-shaped wrappers ([`FlowWorkload`] — now an
 //!   alias of [`Scenario`] — and [`EnergyWorkload`] for §4 deadline
 //!   slack);
@@ -37,9 +41,9 @@ pub mod trace;
 pub use gen::{EnergyWorkload, FlowWorkload};
 pub use scenario::{
     generate_energy_with, generate_with, AffinityMachines, AllAtOnceArrivals, ArrivalProcess,
-    ArrivalSpec, BatchArrivals, BimodalSize, BoundedParetoSize, BurstyArrivals, ExponentialSize,
-    IdenticalMachines, MachineModel, MachineSpec, MmppArrivals, PoissonArrivals,
+    ArrivalSpec, BatchArrivals, BimodalSize, BoundedParetoSize, BurstyArrivals, ChurnSpec,
+    ExponentialSize, IdenticalMachines, MachineModel, MachineSpec, MmppArrivals, PoissonArrivals,
     RelatedSpeedMachines, ReplayArrivals, RestrictedMachines, Scenario, SizeModel, SizeSpec,
     UniformSize, UnrelatedMachines, WeightSpec,
 };
-pub use trace::TraceImport;
+pub use trace::{parse_failure_trace, TraceImport};

@@ -32,7 +32,8 @@
 //! combinations that predate this framework the draw order is
 //! unchanged, so existing fixed-seed experiment tables are unaffected.
 
-use osr_model::{Instance, InstanceBuilder, InstanceKind};
+use osr_model::{Instance, InstanceBuilder, InstanceKind, MachineId};
+use osr_sim::{CapacityChange, CapacityEvent, CapacityPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -783,6 +784,96 @@ pub fn generate_energy_with(
 }
 
 // ---------------------------------------------------------------------
+// Churn: elastic-pool capacity plans.
+// ---------------------------------------------------------------------
+
+/// Seed-stream separator for churn: capacity plans draw from
+/// `seed ^ CHURN_STREAM`, **never** from the instance RNG, so adding
+/// churn to a scenario leaves the generated instance byte-identical.
+const CHURN_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Capacity churn for the elastic machine pool: machines drain, crash,
+/// and rejoin at a Poisson rate over the run's horizon (spec form of
+/// the `churn:<rate>` scenario-name segment; see [`Scenario::named`]).
+///
+/// Semantics of the generated [`CapacityPlan`]:
+///
+/// * event instants are a Poisson process at `rate` (expected capacity
+///   events per unit time across the whole pool);
+/// * each event picks a machine uniformly from `1..m` — machine 0 is
+///   **spared** so the pool always retains capacity to make progress
+///   and the no-lost-job invariant is non-vacuous;
+/// * an online machine leaves by drain or crash (50/50), an offline
+///   machine rejoins — the plan never contains no-op events, and every
+///   machine starts online ([`CapacityPlan::starts_online`] is true
+///   for all of `0..m`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Expected capacity events per unit time across the pool.
+    pub rate: f64,
+}
+
+impl ChurnSpec {
+    /// Generates the deterministic capacity plan for an `machines`-wide
+    /// pool over `[0, horizon)`. Same `(machines, horizon, seed)` ⇒
+    /// identical plan; single-machine pools get an empty plan (there is
+    /// nothing to churn once machine 0 is spared).
+    pub fn plan(&self, machines: usize, horizon: f64, seed: u64) -> CapacityPlan {
+        assert!(
+            self.rate.is_finite() && self.rate > 0.0,
+            "churn rate must be finite and positive, got {}",
+            self.rate
+        );
+        let usable_horizon = horizon.is_finite() && horizon > 0.0;
+        if machines < 2 || !usable_horizon {
+            return CapacityPlan::empty();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ CHURN_STREAM);
+        let mut online = vec![true; machines];
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += exp_draw(&mut rng, 1.0 / self.rate);
+            if t >= horizon {
+                break;
+            }
+            let i = rng.gen_range(1..machines);
+            let change = if online[i] {
+                if rng.gen_bool(0.5) {
+                    CapacityChange::Crash
+                } else {
+                    CapacityChange::Drain
+                }
+            } else {
+                CapacityChange::Join
+            };
+            online[i] = !online[i];
+            events.push(CapacityEvent {
+                time: t,
+                machine: MachineId(i as u32),
+                change,
+            });
+        }
+        CapacityPlan::new(events).expect("churn events have finite non-negative times")
+    }
+}
+
+/// Parses the optional fourth scenario-name segment, `churn:<rate>`.
+fn parse_churn_token(tok: &str) -> Result<ChurnSpec, String> {
+    let rate = tok
+        .strip_prefix("churn:")
+        .ok_or_else(|| format!("unknown churn token `{tok}` (want `churn:<rate>`)"))?
+        .parse::<f64>()
+        .map_err(|e| format!("bad churn rate in `{tok}`: {e}"))?;
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(format!(
+            "churn rate must be finite and positive, got `{tok}`"
+        ));
+    }
+    Ok(ChurnSpec { rate })
+}
+
+// ---------------------------------------------------------------------
 // Scenario: a named, Copy bundle of spec choices.
 // ---------------------------------------------------------------------
 
@@ -821,6 +912,10 @@ pub struct Scenario {
     pub machine_model: MachineSpec,
     /// Weight distribution.
     pub weights: WeightSpec,
+    /// Optional capacity churn (elastic machine pool); `None` is the
+    /// paper's static-pool model. Churn never perturbs the instance
+    /// RNG stream: with or without it, `generate` is byte-identical.
+    pub churn: Option<ChurnSpec>,
 }
 
 impl Scenario {
@@ -845,23 +940,29 @@ impl Scenario {
                 hi_factor: 4.0,
             },
             weights: WeightSpec::Unit,
+            churn: None,
         }
     }
 
     /// Resolves a scenario name of the form
-    /// `<arrivals>-<sizes>-<machines>` (tokens: [`ARRIVAL_TOKENS`] ×
-    /// [`SIZE_TOKENS`] × [`MACHINE_TOKENS`]) into a concrete scenario
+    /// `<arrivals>-<sizes>-<machines>[-churn:<rate>]` (tokens:
+    /// [`ARRIVAL_TOKENS`] × [`SIZE_TOKENS`] × [`MACHINE_TOKENS`], plus
+    /// an optional capacity-churn segment) into a concrete scenario
     /// with canonical parameters scaled to `(n, machines)` so the
     /// offered load sits at ~80% of aggregate capacity regardless of
     /// the size distribution. See the crate README for the full
     /// grammar.
     pub fn named(name: &str, n: usize, machines: usize, seed: u64) -> Result<Self, String> {
         let parts: Vec<&str> = name.split('-').collect();
-        let [a, s, m] = parts[..] else {
-            return Err(format!(
-                "scenario `{name}` must be <arrivals>-<sizes>-<machines> \
-                 (e.g. `mmpp-pareto-affinity`)"
-            ));
+        let ([a, s, m], churn) = match parts[..] {
+            [a, s, m] => ([a, s, m], None),
+            [a, s, m, c] => ([a, s, m], Some(parse_churn_token(c)?)),
+            _ => {
+                return Err(format!(
+                    "scenario `{name}` must be <arrivals>-<sizes>-<machines>[-churn:<rate>] \
+                     (e.g. `mmpp-pareto-affinity` or `poisson-exp-related-churn:0.2`)"
+                ))
+            }
         };
         let sizes = match s {
             "uniform" => SizeSpec::Uniform { lo: 1.0, hi: 8.0 },
@@ -926,6 +1027,7 @@ impl Scenario {
             sizes,
             machine_model,
             weights: WeightSpec::Unit,
+            churn,
         })
     }
 
@@ -956,6 +1058,27 @@ impl Scenario {
             &mut *self.machine_model.model(),
             self.weights,
         )
+    }
+
+    /// The capacity plan for a generated instance: empty for the
+    /// static-pool model, otherwise the [`ChurnSpec`] plan over a
+    /// horizon covering the arrival span plus the ideal drain-out time
+    /// (`Σ p̂_j / m`), so churn also hits the post-arrival phase of
+    /// `once`/`batch` scenarios. Deterministic in `(scenario, inst)`,
+    /// and drawn from a seed stream separate from the instance's.
+    pub fn capacity_plan(&self, inst: &Instance) -> CapacityPlan {
+        let Some(churn) = self.churn else {
+            return CapacityPlan::empty();
+        };
+        let last = inst.jobs().last().map_or(0.0, |j| j.release);
+        let work: f64 = inst
+            .jobs()
+            .iter()
+            .map(|j| j.min_size())
+            .filter(|p| p.is_finite())
+            .sum();
+        let horizon = last + work / inst.machines().max(1) as f64;
+        churn.plan(inst.machines(), horizon, self.seed)
     }
 }
 
@@ -1040,6 +1163,66 @@ mod tests {
         assert!(Scenario::named("warp-pareto-identical", 10, 2, 1).is_err());
         assert!(Scenario::named("poisson-cubic-identical", 10, 2, 1).is_err());
         assert!(Scenario::named("poisson-pareto-quantum", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-pareto-identical-storm:0.2", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-pareto-identical-churn:x", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-pareto-identical-churn:-1", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-pareto-identical-churn:0", 10, 2, 1).is_err());
+        assert!(Scenario::named("poisson-pareto-identical-churn:0.2-extra", 10, 2, 1).is_err());
+    }
+
+    #[test]
+    fn churn_token_parses_and_defaults_off() {
+        let plain = Scenario::named("poisson-pareto-identical", 60, 6, 5).unwrap();
+        assert_eq!(plain.churn, None);
+        let churny = Scenario::named("poisson-pareto-identical-churn:0.25", 60, 6, 5).unwrap();
+        assert_eq!(churny.churn, Some(ChurnSpec { rate: 0.25 }));
+        // Without churn the plan is the static pool.
+        let inst = plain.generate(InstanceKind::FlowTime);
+        assert!(plain.capacity_plan(&inst).is_empty());
+    }
+
+    #[test]
+    fn churn_leaves_instance_bytes_unchanged() {
+        for name in ["poisson-pareto-unrelated", "once-bimodal-affinity"] {
+            let plain = Scenario::named(name, 80, 6, 11).unwrap();
+            let churny = Scenario::named(&format!("{name}-churn:0.5"), 80, 6, 11).unwrap();
+            assert_eq!(
+                plain.generate(InstanceKind::FlowTime),
+                churny.generate(InstanceKind::FlowTime),
+                "{name}: churn must not perturb the instance RNG stream"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_plan_is_deterministic_and_consistent() {
+        let sc = Scenario::named("poisson-exp-related-churn:0.4", 120, 8, 17).unwrap();
+        let inst = sc.generate(InstanceKind::FlowTime);
+        let plan = sc.capacity_plan(&inst);
+        assert_eq!(plan, sc.capacity_plan(&inst), "same inputs, same plan");
+        assert!(!plan.is_empty(), "rate 0.4 over this horizon must churn");
+        // Machine 0 is spared; events replay without no-ops from the
+        // all-online start.
+        let mut online = vec![true; inst.machines()];
+        for e in plan.events() {
+            let i = e.machine.idx();
+            assert_ne!(i, 0, "machine 0 must be spared");
+            match e.change {
+                osr_sim::CapacityChange::Join => assert!(!online[i], "join while online"),
+                _ => assert!(online[i], "drain/crash while offline"),
+            }
+            online[i] = !online[i];
+        }
+        for i in 0..inst.machines() {
+            assert!(plan.starts_online(i), "every machine starts online");
+        }
+    }
+
+    #[test]
+    fn churn_plan_single_machine_is_empty() {
+        let spec = ChurnSpec { rate: 5.0 };
+        assert!(spec.plan(1, 100.0, 3).is_empty());
+        assert!(spec.plan(4, 0.0, 3).is_empty());
     }
 
     #[test]

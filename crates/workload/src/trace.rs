@@ -15,8 +15,15 @@
 //! * 2 columns → unweighted flow-time jobs;
 //! * 3 columns → weighted jobs;
 //! * 4 columns → deadline jobs (weight column still present).
+//!
+//! Cluster traces also carry **machine events** (add/remove/failure
+//! tables). Those replay as a [`CapacityPlan`] through
+//! [`parse_failure_trace`] — `time,machine,kind` rows with `kind` one
+//! of `join`/`drain`/`crash` — and pair with the job trace from
+//! [`TraceImport::parse`] to rerun a recorded incident.
 
 use osr_model::{Instance, InstanceBuilder, InstanceKind, ModelError};
+use osr_sim::CapacityPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,6 +123,18 @@ impl TraceImport {
     }
 }
 
+/// Parses a recorded failure trace into a [`CapacityPlan`] — the
+/// capacity-side twin of [`TraceImport::parse`].
+///
+/// Format (see [`CapacityPlan::parse`], which this delegates to): one
+/// event per line, `time,machine,kind` with `kind` one of `join` /
+/// `drain` / `crash`; `#` comments, blank lines, and an optional
+/// header line are skipped. Machine ids must index the instance the
+/// plan is replayed against (`CapacityPlan::check_machines`).
+pub fn parse_failure_trace(text: &str) -> Result<CapacityPlan, String> {
+    CapacityPlan::parse(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +206,19 @@ mod tests {
                 assert!(p >= base && p <= base * 4.0 + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn failure_trace_replays_beside_the_job_trace() {
+        let jobs = TraceImport::identical(2).parse("0 4\n0.5 4\n").unwrap();
+        let plan = parse_failure_trace("time,machine,kind\n# incident\n1.0,1,crash\n3.0,1,join\n")
+            .unwrap();
+        assert!(plan.check_machines(jobs.machines()).is_ok());
+        assert_eq!(plan.len(), 2);
+        let w = plan.online_windows(1);
+        assert_eq!((w[0].from, w[0].to, w[0].crash), (0.0, 1.0, true));
+        assert_eq!(w[1].from, 3.0);
+        assert!(parse_failure_trace("1.0,1,explode").is_err());
     }
 
     #[test]
