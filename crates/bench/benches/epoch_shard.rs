@@ -1,0 +1,56 @@
+//! EPOCH-SHARD (PR 7): the epoch-sharded event driver vs the serial
+//! loop, end to end on the full §2 scheduler.
+//!
+//! Arrivals come in 512-job batches so each driver epoch actually
+//! crosses the parallel fan-out threshold (256 batched arrivals);
+//! rack-affinity masks make every arrival exercise the cross-shard
+//! candidate reconciliation (round-robin racks scatter each job's
+//! eligible set over all shards). `shards = 1` is the serial oracle
+//! path; `shards = 8` runs the sharded phase-1 candidate search.
+//!
+//! **Read the recorded numbers with the host in mind**: on a
+//! single-core container the rayon pool degrades to serial execution,
+//! so `sharded8/serial` measures pure sharding overhead (bookkeeping,
+//! per-shard index slices, the epoch barrier), not speedup. BENCH.md's
+//! PR 7 section records both that overhead ratio and what the epoch
+//! batching alone buys. The byte-identity contract is what CI gates
+//! (shard ablation diff + the `shard_equivalence` proptests); the
+//! speedup claim needs a multi-core host to evaluate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osr_core::{FlowParams, FlowScheduler};
+use osr_model::InstanceKind;
+use osr_workload::{ArrivalSpec, FlowWorkload, MachineSpec};
+
+fn epoch_shard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_shard");
+    for &(m, n) in &[(1_024usize, 8_192usize), (4_096, 20_480)] {
+        let mut w = FlowWorkload::standard(n, m, 77);
+        w.machine_model = MachineSpec::Affinity {
+            groups: 64,
+            drop_prob: 0.0,
+        };
+        w.arrivals = ArrivalSpec::Batch {
+            per_batch: 512,
+            gap: 8.0,
+        };
+        let inst = w.generate(InstanceKind::FlowTime);
+        for shards in [1usize, 8] {
+            let mut params = FlowParams::new(0.25);
+            params.shards = shards;
+            let label = if shards == 1 { "serial" } else { "sharded8" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_m{m}"), n),
+                &inst,
+                |b, inst| {
+                    let sched = FlowScheduler::new(params).unwrap();
+                    b.iter(|| sched.run(inst).log.rejected_count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, epoch_shard);
+criterion_main!(benches);

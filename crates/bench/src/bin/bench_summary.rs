@@ -6,8 +6,9 @@
 //! cargo run --release -p osr-bench --bin bench_summary [-- --out PATH]
 //! ```
 //!
-//! Mechanism: invokes `cargo bench` for the `dstruct_ablation` and
-//! `event_queue` suites with `OSR_BENCH_QUICK=1` (5 samples × ~5 ms —
+//! Mechanism: invokes `cargo bench` for the `dstruct_ablation`,
+//! `event_queue`, and `epoch_shard` suites with `OSR_BENCH_QUICK=1`
+//! (5 samples × ~5 ms —
 //! seconds, not minutes) and `OSR_BENCH_JSON` pointed at a temp file the
 //! criterion shim appends one JSON line per benchmark to; those lines
 //! are then wrapped into a single JSON document with median ns/op per
@@ -17,7 +18,7 @@
 use std::fs;
 use std::process::Command;
 
-const SUITES: &[&str] = &["dstruct_ablation", "event_queue"];
+const SUITES: &[&str] = &["dstruct_ablation", "event_queue", "epoch_shard"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p osr-bench --bin run_experiments -- \
 //!     [--quick] [--jobs N] [--dispatch pruned|linear] \
-//!     [--propagation lazy|eager] [--capacity incremental|rebuild] [ids…]
+//!     [--propagation lazy|eager] [--capacity incremental|rebuild] \
+//!     [--shards N] [ids…]
 //! ```
 //!
 //! With no ids, runs all experiments. `--quick` uses the reduced sizes
@@ -23,7 +24,11 @@
 //! elastic-pool events (incremental grow/tombstone/compact vs a
 //! rebuild-from-scratch oracle after every event); incremental resize
 //! is exact, so CSVs are byte-identical across this knob as well —
-//! the fourth CI diff.
+//! the fourth CI diff. `--shards N` overrides the epoch-sharded event
+//! driver's process default for every flow/weighted/energy run (`1` =
+//! the serial reference loop); the sharded driver reconciles cross-shard
+//! argmin candidates with the serial tie-break, so CSVs are
+//! byte-identical across this knob as well — the fifth CI diff.
 
 use std::fs;
 use std::io::Write as _;
@@ -85,6 +90,19 @@ fn main() {
                     }
                     other => {
                         eprintln!("--capacity wants incremental|rebuild, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shards" => {
+                let v = iter.next().unwrap_or_else(|| {
+                    eprintln!("--shards needs a value (integer >= 1)");
+                    std::process::exit(2);
+                });
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => osr_core::set_default_shards(n),
+                    _ => {
+                        eprintln!("--shards needs a positive integer, got {v:?}");
                         std::process::exit(2);
                     }
                 }

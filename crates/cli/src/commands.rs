@@ -53,6 +53,9 @@ USAGE:
                [--dispatch-index pruned|linear]   (flow/wflow/energyflow)
                [--propagation lazy|eager]         (flow/wflow/energyflow: tournament
                                                    ancestor repair — lazy default)
+               [--shards N]                       (flow/wflow/energyflow: epoch-sharded
+                                                   driver; 1 = serial oracle, results
+                                                   byte-identical at any N)
                SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
                      | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
   osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
@@ -187,6 +190,7 @@ struct BackendOpts {
     dispatch: Option<DispatchIndex>,
     propagation: Option<osr_core::Propagation>,
     capacity_index: Option<CapacityIndexMode>,
+    shards: Option<usize>,
 }
 
 impl BackendOpts {
@@ -241,12 +245,24 @@ impl BackendOpts {
                 ))
             }
         };
+        let shards = match args.opt("shards") {
+            None => None,
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    return Err(format!(
+                        "bad value `{s}` for --shards (want an integer >= 1)"
+                    ))
+                }
+            },
+        };
         Ok(BackendOpts {
             queue,
             events,
             dispatch,
             propagation,
             capacity_index,
+            shards,
         })
     }
 
@@ -268,11 +284,12 @@ impl BackendOpts {
         if (self.events.is_some()
             || self.dispatch.is_some()
             || self.propagation.is_some()
-            || self.capacity_index.is_some())
+            || self.capacity_index.is_some()
+            || self.shards.is_some())
             && !rest_ok
         {
             return Err(format!(
-                "--event-backend/--dispatch-index/--propagation/--capacity-index \
+                "--event-backend/--dispatch-index/--propagation/--capacity-index/--shards \
                  do not apply to `{spec}`"
             ));
         }
@@ -449,6 +466,9 @@ fn run_algo(
             if let Some(ci) = opts.capacity_index {
                 params.capacity_index = ci;
             }
+            if let Some(s) = opts.shards {
+                params.shards = s;
+            }
             let sched = FlowScheduler::new(params)?.with_capacity(capacity.clone());
             let out = sched.run(instance);
             Ok((out.log, sched.name(), false, Some(out.dual.objective())))
@@ -466,6 +486,9 @@ fn run_algo(
             if let Some(ci) = opts.capacity_index {
                 params.capacity_index = ci;
             }
+            if let Some(s) = opts.shards {
+                params.shards = s;
+            }
             let sched = WeightedFlowScheduler::new(params)?.with_capacity(capacity.clone());
             let name = sched.name();
             Ok((sched.run(instance).log, name, false, None))
@@ -482,6 +505,9 @@ fn run_algo(
             }
             if let Some(ci) = opts.capacity_index {
                 params.capacity_index = ci;
+            }
+            if let Some(s) = opts.shards {
+                params.shards = s;
             }
             let sched = EnergyFlowScheduler::new(params)?.with_capacity(capacity.clone());
             let name = sched.name();
@@ -553,6 +579,20 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
             )
         })
     });
+    // Same discipline for the shard toggle: below the sharding crossover
+    // (a shard owns at least one 64-machine rack) a multi-shard request
+    // collapses to the serial loop.
+    let shards_notice = opts.shards.and_then(|req| {
+        let eff = osr_core::effective_shards(req, instance.machines());
+        (req > 1 && eff == 1).then(|| {
+            format!(
+                "note: --shards {req} is ineffective at m={} (a shard owns at least \
+                 one 64-machine rack); the serial loop ran — label ablation results \
+                 accordingly",
+                instance.machines(),
+            )
+        })
+    });
     let config = config_for(&instance, speeds_vary).with_capacity(capacity.clone());
     let report = validate_log(&instance, &log, &config);
     if !report.is_valid() {
@@ -569,6 +609,9 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
 
     let mut out = String::new();
     if let Some(notice) = dispatch_notice {
+        let _ = writeln!(out, "{notice}");
+    }
+    if let Some(notice) = shards_notice {
         let _ = writeln!(out, "{notice}");
     }
     let _ = writeln!(out, "algorithm      : {name}");
@@ -988,6 +1031,35 @@ mod tests {
     }
 
     #[test]
+    fn run_shard_counts_agree_with_serial_loop() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-shag-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.csv");
+        // > 64 machines so a shard count of 2 actually splits the pool
+        // into two rack shards instead of collapsing to the serial loop.
+        let text = cmd_gen(&args("gen --kind flowtime --n 60 --machines 80 --seed 7")).unwrap();
+        fs::write(&inst_path, text).unwrap();
+        for algo in ["flow:0.25", "wflow:0.25", "energyflow:0.5:3.0"] {
+            let mut outs = Vec::new();
+            for extra in ["--shards 1", "--shards 2", "--shards 4"] {
+                let out = cmd_run(&args(&format!(
+                    "run --algo {algo} --input {} {extra}",
+                    inst_path.display()
+                )))
+                .unwrap();
+                outs.push(out);
+            }
+            for o in &outs[1..] {
+                assert_eq!(
+                    o, &outs[0],
+                    "{algo}: shard count changed the schedule report"
+                );
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn run_backend_options_report_bad_values_and_misuse() {
         let dir = std::env::temp_dir().join(format!("osr-cli-bkerr-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
@@ -1005,6 +1077,8 @@ mod tests {
             ("--event-backend fibonacci", "--event-backend"),
             ("--dispatch-index psychic", "--dispatch-index"),
             ("--propagation clairvoyant", "--propagation"),
+            ("--shards zero", "--shards"),
+            ("--shards 0", "--shards"),
         ] {
             let err = run(extra).unwrap_err();
             assert!(err.contains(needle), "{extra}: {err}");
@@ -1013,6 +1087,12 @@ mod tests {
         // silent no-op.
         let err = cmd_run(&args(&format!(
             "run --algo greedy:spt --input {} --dispatch-index linear",
+            inst_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("do not apply"), "{err}");
+        let err = cmd_run(&args(&format!(
+            "run --algo energymin:2.0 --input {} --shards 4",
             inst_path.display()
         )))
         .unwrap_err();
@@ -1058,6 +1138,44 @@ mod tests {
             (&small, "--dispatch-index linear"),
             (&small, ""),
         ] {
+            let out = cmd_run(&args(&format!(
+                "run --algo flow:0.25 --input {} {extra}",
+                path.display()
+            )))
+            .unwrap();
+            assert!(!out.contains("ineffective"), "{extra}: {out}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_warns_when_requested_shards_are_ineffective() {
+        let dir = std::env::temp_dir().join(format!("osr-cli-shards-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let small = dir.join("small.csv");
+        let big = dir.join("big.csv");
+        fs::write(
+            &small,
+            cmd_gen(&args("gen --kind flowtime --n 10 --machines 2 --seed 1")).unwrap(),
+        )
+        .unwrap();
+        fs::write(
+            &big,
+            cmd_gen(&args("gen --kind flowtime --n 10 --machines 80 --seed 1")).unwrap(),
+        )
+        .unwrap();
+        // m = 2 fits in one 64-machine rack, so any shard count collapses
+        // to the serial loop and the run must say so.
+        let out = cmd_run(&args(&format!(
+            "run --algo flow:0.25 --input {} --shards 4",
+            small.display()
+        )))
+        .unwrap();
+        assert!(out.contains("ineffective"), "{out}");
+        assert!(out.contains("serial loop ran"), "{out}");
+        // No notice when sharding engages (m > 64), when the serial loop
+        // is requested explicitly, or with no request.
+        for (path, extra) in [(&big, "--shards 2"), (&small, "--shards 1"), (&small, "")] {
             let out = cmd_run(&args(&format!(
                 "run --algo flow:0.25 --input {} {extra}",
                 path.display()

@@ -285,10 +285,24 @@ pub fn rebuild_capacity_index(
     online: &OnlineSet,
     stats: impl Fn(usize) -> MachineStats,
 ) -> MachineIndex {
-    let mut ix = MachineIndex::new(m);
-    for i in 0..m {
-        if online.is_online(i) {
-            ix.update(i, stats(i));
+    rebuild_shard_index(0, m, online, stats)
+}
+
+/// Shard-local sibling of [`rebuild_capacity_index`]: builds an index
+/// over the `len` machines `base..base + len` of one driver shard,
+/// indexed **locally** (leaf `i` is global machine `base + i`). The
+/// `online` set and the `stats` closure stay in global coordinates.
+/// With `base = 0, len = m` this *is* the serial rebuild oracle.
+pub fn rebuild_shard_index(
+    base: usize,
+    len: usize,
+    online: &OnlineSet,
+    stats: impl Fn(usize) -> MachineStats,
+) -> MachineIndex {
+    let mut ix = MachineIndex::new(len);
+    for i in 0..len {
+        if online.is_online(base + i) {
+            ix.update(i, stats(base + i));
         } else {
             ix.tombstone(i);
         }
@@ -309,15 +323,34 @@ pub fn sync_capacity_index(
     online: &OnlineSet,
     stats: impl Fn(usize) -> MachineStats,
 ) {
+    sync_shard_index(dindex, mode, change, machine, 0, m, online, stats)
+}
+
+/// Shard-local sibling of [`sync_capacity_index`]: applies one
+/// capacity change for global `machine` to the index of the shard
+/// owning machines `base..base + len`. `machine` must lie in the
+/// shard's range; `stats` stays global.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_shard_index(
+    dindex: &mut Option<MachineIndex>,
+    mode: CapacityIndexMode,
+    change: CapacityChange,
+    machine: usize,
+    base: usize,
+    len: usize,
+    online: &OnlineSet,
+    stats: impl Fn(usize) -> MachineStats,
+) {
+    debug_assert!((base..base + len).contains(&machine));
     let Some(ix) = dindex.as_mut() else { return };
     match mode {
         CapacityIndexMode::Incremental => match change {
-            CapacityChange::Join => ix.join(machine, stats(machine)),
+            CapacityChange::Join => ix.join(machine - base, stats(machine)),
             CapacityChange::Drain | CapacityChange::Crash => {
-                ix.tombstone(machine);
+                ix.tombstone(machine - base);
             }
         },
-        CapacityIndexMode::Rebuild => *ix = rebuild_capacity_index(m, online, stats),
+        CapacityIndexMode::Rebuild => *ix = rebuild_shard_index(base, len, online, stats),
     }
 }
 

@@ -41,14 +41,14 @@
 
 pub mod dual;
 
-use osr_dstruct::{MachineIndex, MachineStats};
+use osr_dstruct::{MachineIndex, MachineStats, ShardMaskScratch};
 use osr_model::{
     Execution, FinishedLog, Instance, Job, JobId, MachineId, OnlineSet, PartialRun, RejectReason,
-    Rejection, ScheduleLog,
+    Rejection,
 };
 use osr_sim::{
-    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, EventQueue,
-    OnlineScheduler,
+    driver::{EventPolicy, LogOp, Placement, ShardCtx},
+    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, OnlineScheduler,
 };
 
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
@@ -73,6 +73,9 @@ pub struct EnergyFlowParams {
     /// How the pruned index tracks capacity churn (results are
     /// identical either way; `Rebuild` is the audit oracle).
     pub capacity_index: CapacityIndexMode,
+    /// Requested driver shard count (`1` = serial oracle; results are
+    /// identical at any value).
+    pub shards: usize,
 }
 
 impl EnergyFlowParams {
@@ -86,6 +89,7 @@ impl EnergyFlowParams {
             dispatch: dispatch::default_dispatch_index(),
             events: EventBackend::default(),
             capacity_index: dispatch::default_capacity_index(),
+            shards: osr_sim::default_shards(),
         }
     }
 }
@@ -124,6 +128,9 @@ pub struct EnergyFlowOutcome {
     /// `Linear` below [`PRUNED_MIN_MACHINES`]; label ablations by
     /// this).
     pub effective_dispatch: DispatchIndex,
+    /// The driver shard count that actually ran (requests clamp to the
+    /// rack count; `1` = the serial oracle path).
+    pub effective_shards: usize,
 }
 
 impl EnergyFlowOutcome {
@@ -299,6 +306,94 @@ impl EnergyFlowScheduler {
         self.gamma
     }
 
+    /// Runs the algorithm, producing the full outcome.
+    ///
+    /// The event loop lives in [`osr_sim::driver`]; this method supplies
+    /// the §3 policy (`EnergyPolicy`) and collects the per-job records
+    /// the driver folds in at every barrier.
+    pub fn run(&self, instance: &Instance) -> EnergyFlowOutcome {
+        let m = instance.machines();
+        let n = instance.len();
+        let jobs = instance.jobs();
+        let policy = EnergyPolicy {
+            jobs,
+            params: self.params,
+            gamma: self.gamma,
+            m,
+        };
+        let mut records = vec![
+            EnergyFlowJobRecord {
+                machine: u32::MAX,
+                lambda: 0.0,
+                start: f64::NAN,
+                speed: f64::NAN,
+                exit: f64::NAN,
+                def_finish: f64::NAN,
+            };
+            n
+        ];
+        let (log, trace, effective_shards) = osr_sim::drive(
+            &policy,
+            jobs,
+            m,
+            &self.capacity,
+            self.params.events,
+            self.params.shards,
+            &mut records,
+        );
+        let log = log.finish().expect("all jobs decided");
+        EnergyFlowOutcome {
+            log,
+            trace,
+            records,
+            gamma: self.gamma,
+            params: self.params,
+            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
+            effective_shards,
+        }
+    }
+}
+
+/// A deferred, job-keyed write into the [`EnergyFlowJobRecord`] array,
+/// buffered per-shard and folded in at every driver barrier.
+enum EnergyOp {
+    /// Final placement (overwritten by later re-dispatches).
+    Machine(JobId, u32),
+    /// First-arrival dual price `λ_j` (never re-set on redispatch).
+    Lambda(JobId, f64),
+    /// Execution start and its fixed speed.
+    Start { job: JobId, start: f64, speed: f64 },
+    /// Exit instant and definitive finish.
+    Exit {
+        job: JobId,
+        exit: f64,
+        def_finish: f64,
+    },
+}
+
+/// One driver shard's §3 state: locally indexed machines plus its slice
+/// of the pruned dispatch index and the buffered record writes.
+struct EnergyShard {
+    base: usize,
+    len: usize,
+    machines: Vec<MachineE>,
+    dindex: Option<MachineIndex>,
+    scratch: ShardMaskScratch,
+    ops: Vec<EnergyOp>,
+}
+
+/// The §3 algorithm as an [`EventPolicy`]: density-order dispatch,
+/// speed scaling, and the weight-counter rejection rule.
+struct EnergyPolicy<'a> {
+    jobs: &'a [Job],
+    params: EnergyFlowParams,
+    gamma: f64,
+    /// Global machine count (pruned-index crossover and the trace's
+    /// `candidates` field are defined on the whole pool).
+    m: usize,
+}
+
+impl EnergyPolicy<'_> {
     /// Computes `λ_ij` for job `(p, w)` against machine state `ms`.
     fn lambda_ij(&self, ms: &MachineE, p: f64, w: f64, r: f64, id: JobId) -> f64 {
         let alpha = self.params.alpha;
@@ -329,391 +424,333 @@ impl EnergyFlowScheduler {
         lam
     }
 
-    /// Runs the algorithm, producing the full outcome.
-    pub fn run(&self, instance: &Instance) -> EnergyFlowOutcome {
-        let m = instance.machines();
-        let n = instance.len();
-        let jobs = instance.jobs();
-        let alpha = self.params.alpha;
-        let gamma = self.gamma;
-        let eps = self.params.eps;
+    fn sync_index(dindex: &mut Option<MachineIndex>, li: usize, ms: &MachineE) {
+        if let Some(ix) = dindex {
+            ix.update(li, ms.stats());
+        }
+    }
 
-        let mut machines: Vec<MachineE> = (0..m).map(|_| MachineE::new()).collect();
-        let mut log = ScheduleLog::new(m, n);
-        let mut trace = DecisionTrace::new();
-        let mut completions: EventQueue<(usize, JobId)> =
-            EventQueue::with_backend(self.params.events);
-        // Elastic pool: replay the capacity plan's join/drain/crash
-        // stream alongside arrivals (completions < capacity < arrivals
-        // at equal instants).
-        let plan = &self.capacity;
-        plan.check_machines(m)
-            .expect("capacity plan fits the instance");
-        let cap_events = plan.events();
-        let mut next_cap = 0usize;
-        let mut online = plan.initial_online(m);
+    /// Starts the highest-density pending job if the machine is idle
+    /// (and still in the pool).
+    fn start_next(&self, sh: &mut EnergyShard, cx: &mut ShardCtx<'_>, li: usize, t: f64) {
+        let mi = sh.base + li;
+        let ms = &mut sh.machines[li];
+        if ms.running.is_some() || ms.pending.is_empty() || !cx.online.is_online(mi) {
+            return;
+        }
+        // Speed uses the total pending weight *including* the job about
+        // to start (it is in U_i(t) at this instant).
+        let speed = self.gamma * ms.pending_weight.powf(1.0 / self.params.alpha);
+        let e = ms.pop_first().expect("non-empty");
+        let completion = t + e.p / speed;
+        ms.running = Some(RunningE {
+            job: e.job,
+            start: t,
+            completion,
+            speed,
+            v: 0.0,
+            w: e.w,
+        });
+        cx.completions.push(completion, (mi, e.job));
+        sh.ops.push(EnergyOp::Start {
+            job: e.job,
+            start: t,
+            speed,
+        });
+        cx.io.trace.push(DecisionEvent::Start {
+            time: t,
+            job: e.job,
+            machine: MachineId(mi as u32),
+            speed,
+        });
+        Self::sync_index(&mut sh.dindex, li, &sh.machines[li]);
+    }
+}
 
-        let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
-            && m >= PRUNED_MIN_MACHINES)
-            .then(|| dispatch::rebuild_capacity_index(m, &online, |_| MachineStats::EMPTY));
-        let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, ms: &MachineE| {
-            if let Some(ix) = dindex {
-                ix.update(mi, ms.stats());
-            }
-        };
-        let mut records = vec![
-            EnergyFlowJobRecord {
-                machine: u32::MAX,
-                lambda: 0.0,
-                start: f64::NAN,
-                speed: f64::NAN,
-                exit: f64::NAN,
-                def_finish: f64::NAN,
-            };
-            n
-        ];
+impl EventPolicy for EnergyPolicy<'_> {
+    type Shard = EnergyShard;
+    type Global = Vec<EnergyFlowJobRecord>;
 
-        let mut next_arrival = 0usize;
+    fn make_shard(&self, base: usize, len: usize, online: &OnlineSet) -> EnergyShard {
+        let dindex = (self.params.dispatch == DispatchIndex::Pruned
+            && self.m >= PRUNED_MIN_MACHINES)
+            .then(|| dispatch::rebuild_shard_index(base, len, online, |_| MachineStats::EMPTY));
+        EnergyShard {
+            base,
+            len,
+            machines: (0..len).map(|_| MachineE::new()).collect(),
+            dindex,
+            scratch: ShardMaskScratch::new(),
+            ops: Vec::new(),
+        }
+    }
 
-        // Start the highest-density pending job if the machine is idle.
-        let start_next = |mi: usize,
-                          t: f64,
-                          machines: &mut Vec<MachineE>,
-                          completions: &mut EventQueue<(usize, JobId)>,
-                          trace: &mut DecisionTrace,
-                          records: &mut Vec<EnergyFlowJobRecord>,
-                          dindex: &mut Option<MachineIndex>,
-                          online: &OnlineSet| {
-            let ms = &mut machines[mi];
-            if ms.running.is_some() || ms.pending.is_empty() || !online.is_online(mi) {
-                return;
-            }
-            // Speed uses the total pending weight *including* the job
-            // about to start (it is in U_i(t) at this instant).
-            let speed = gamma * ms.pending_weight.powf(1.0 / alpha);
-            let e = ms.pop_first().expect("non-empty");
-            let completion = t + e.p / speed;
-            ms.running = Some(RunningE {
-                job: e.job,
-                start: t,
-                completion,
-                speed,
-                v: 0.0,
-                w: e.w,
-            });
-            completions.push(completion, (mi, e.job));
-            records[e.job.idx()].start = t;
-            records[e.job.idx()].speed = speed;
-            trace.push(DecisionEvent::Start {
-                time: t,
-                job: e.job,
-                machine: MachineId(mi as u32),
-                speed,
-            });
-            sync_index(dindex, mi, &machines[mi]);
-        };
-
-        // Dispatches (or re-dispatches) `job` at `t` through the λ_ij
-        // argmin and runs the rejection rule. Re-dispatches keep the
-        // job's first-arrival λ_j (the dual prices the original
-        // arrival); `machine` tracks the final placement. `lost_partial`
-        // is the interrupted prefix of a crash victim, recorded iff the
-        // job ends up machine-lost.
-        #[allow(clippy::too_many_arguments)]
-        let place_job = |job: &Job,
-                         t: f64,
-                         redispatch: bool,
-                         lost_partial: Option<PartialRun>,
-                         machines: &mut Vec<MachineE>,
-                         log: &mut ScheduleLog,
-                         trace: &mut DecisionTrace,
-                         completions: &mut EventQueue<(usize, JobId)>,
-                         dindex: &mut Option<MachineIndex>,
-                         online: &OnlineSet,
-                         records: &mut Vec<EnergyFlowJobRecord>| {
-            let j = job.id;
-
-            // `p̂` and the eligibility mask (the subtree-bound and
-            // subtree-skip inputs) are precomputed on the job at
-            // generation time — no per-arrival O(m) rescan.
-            let best: Option<(usize, f64)> = if !job.has_eligible() {
-                None
-            } else {
-                match dindex.as_mut() {
-                    Some(ix) => {
-                        let ph = dispatch::p_hat_view(job);
-                        let w = job.weight;
-                        ix.search_masked(
-                            dispatch::mask_view(job.elig()),
-                            |s, lo, span| {
-                                dispatch::energy_lambda_bound(
-                                    s.min_wsum,
-                                    s.max_wsum,
-                                    s.min_size,
-                                    ph.for_range(lo, span),
-                                    w,
-                                    eps,
-                                    gamma,
-                                    alpha,
-                                )
-                            },
-                            |mi, s| {
-                                let p = job.sizes[mi];
-                                if p.is_finite() {
-                                    dispatch::energy_lambda_bound(
-                                        s.wsum, s.wsum, s.min_size, p, w, eps, gamma, alpha,
-                                    )
-                                } else {
-                                    f64::INFINITY
-                                }
-                            },
-                            |mi| {
-                                let p = job.sizes[mi];
-                                p.is_finite()
-                                    .then(|| self.lambda_ij(&machines[mi], p, w, t, j))
-                            },
+    fn candidate(
+        &self,
+        sh: &mut EnergyShard,
+        job: &Job,
+        t: f64,
+        online: &OnlineSet,
+    ) -> Option<(usize, f64)> {
+        // `p̂` and the eligibility mask (the subtree-bound and
+        // subtree-skip inputs) are precomputed on the job at generation
+        // time — no per-arrival O(m) rescan.
+        let EnergyShard {
+            base,
+            len,
+            machines,
+            dindex,
+            scratch,
+            ..
+        } = sh;
+        let (base, len) = (*base, *len);
+        let j = job.id;
+        let (eps, alpha, gamma) = (self.params.eps, self.params.alpha, self.gamma);
+        let best = match dindex.as_mut() {
+            Some(ix) => {
+                let ph = dispatch::p_hat_view(job);
+                let w = job.weight;
+                let mask = scratch.rebase(dispatch::mask_view(job.elig()), base, len);
+                ix.search_masked(
+                    mask,
+                    |s, lo, span| {
+                        dispatch::energy_lambda_bound(
+                            s.min_wsum,
+                            s.max_wsum,
+                            s.min_size,
+                            ph.for_range(base + lo, span),
+                            w,
+                            eps,
+                            gamma,
+                            alpha,
                         )
-                    }
-                    None => {
-                        let mut best: Option<(usize, f64)> = None;
-                        for mi in 0..m {
-                            let p = job.sizes[mi];
-                            if !p.is_finite() || !online.is_online(mi) {
-                                continue;
-                            }
-                            let lam = self.lambda_ij(&machines[mi], p, job.weight, t, j);
-                            if best.is_none_or(|(_, bl)| lam < bl) {
-                                best = Some((mi, lam));
-                            }
-                        }
-                        best
-                    }
-                }
-            };
-            let Some((mi, lam)) = best else {
-                // Eligible nowhere (or nowhere still in the pool):
-                // reject, λ_j = 0 (machine-lost keeps any λ from the
-                // first arrival), and the job (re-)enters no U_i.
-                if job.has_eligible() {
-                    osr_sim::reject_machine_lost(log, trace, j, t, lost_partial);
-                } else {
-                    osr_sim::reject_ineligible(log, trace, j, t);
-                }
-                records[j.idx()].exit = t;
-                records[j.idx()].def_finish = t;
-                return;
-            };
-            records[j.idx()].machine = mi as u32;
-            if !redispatch {
-                records[j.idx()].lambda = eps / (1.0 + eps) * lam;
-            }
-            trace.push(DecisionEvent::Dispatch {
-                time: t,
-                job: j,
-                machine: MachineId(mi as u32),
-                lambda: lam,
-                candidates: m,
-            });
-
-            let p_ij = job.sizes[mi];
-            machines[mi].insert(PendE {
-                job: j,
-                p: p_ij,
-                w: job.weight,
-                d: job.weight / p_ij,
-                r: t,
-            });
-            sync_index(dindex, mi, &machines[mi]);
-
-            // Rejection rule: charge the arriving weight to the running
-            // job; reject it when the counter exceeds w_k/ε.
-            if let Some(run) = machines[mi].running.as_mut() {
-                run.v += job.weight;
-                if self.params.reject && run.v > run.w / eps {
-                    let run = machines[mi].running.take().expect("present");
-                    let k = run.job;
-                    let delay = (run.completion - t).max(0.0); // q_ik(t)/s_k
-                    log.reject(
-                        k,
-                        Rejection {
-                            time: t,
-                            reason: RejectReason::RuleOne,
-                            partial: Some(PartialRun {
-                                machine: MachineId(mi as u32),
-                                start: run.start,
-                                end: t,
-                                speed: run.speed,
-                            }),
-                        },
-                    );
-                    trace.push(DecisionEvent::Reject {
-                        time: t,
-                        job: k,
-                        machine: MachineId(mi as u32),
-                        reason: RejectReason::RuleOne,
-                        counter: run.v,
-                    });
-                    machines[mi].push_rejection(t, delay);
-                    let rk = instance.job(k).release;
-                    records[k.idx()].exit = t;
-                    records[k.idx()].def_finish = t + machines[mi].rejection_window(rk, t);
-                }
-            }
-
-            start_next(mi, t, machines, completions, trace, records, dindex, online);
-        };
-
-        loop {
-            let ta = jobs.get(next_arrival).map(|j| j.release);
-            let tk = cap_events.get(next_cap).map(|e| e.time);
-            let tc = completions.peek_time();
-            let inf = f64::INFINITY;
-            let do_completion =
-                tc.is_some_and(|c| c <= ta.unwrap_or(inf) && c <= tk.unwrap_or(inf));
-            let do_capacity = !do_completion && tk.is_some_and(|k| k <= ta.unwrap_or(inf));
-            if !do_completion && !do_capacity && ta.is_none() {
-                break;
-            }
-
-            if do_completion {
-                let (t, (mi, job)) = completions.pop().expect("peeked");
-                // Stale if the job was rejected mid-run or crash-killed
-                // and re-dispatched (the completion-time check catches a
-                // re-dispatch back onto the same machine).
-                let matches = machines[mi]
-                    .running
-                    .as_ref()
-                    .is_some_and(|r| r.job == job && r.completion == t);
-                if !matches {
-                    continue;
-                }
-                let r = machines[mi].running.take().expect("matched");
-                log.complete(
-                    job,
-                    Execution {
-                        machine: MachineId(mi as u32),
-                        start: r.start,
-                        completion: r.completion,
-                        speed: r.speed,
                     },
-                );
-                trace.push(DecisionEvent::Complete {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                });
-                let rj = instance.job(job).release;
-                records[job.idx()].exit = t;
-                records[job.idx()].def_finish = t + machines[mi].rejection_window(rj, t);
-                start_next(
-                    mi,
-                    t,
-                    &mut machines,
-                    &mut completions,
-                    &mut trace,
-                    &mut records,
-                    &mut dindex,
-                    &online,
-                );
-                continue;
+                    |li, s| {
+                        let p = job.sizes[base + li];
+                        if p.is_finite() {
+                            dispatch::energy_lambda_bound(
+                                s.wsum, s.wsum, s.min_size, p, w, eps, gamma, alpha,
+                            )
+                        } else {
+                            f64::INFINITY
+                        }
+                    },
+                    |li| {
+                        let p = job.sizes[base + li];
+                        p.is_finite()
+                            .then(|| self.lambda_ij(&machines[li], p, w, t, j))
+                    },
+                )
             }
-
-            if do_capacity {
-                let ev = cap_events[next_cap];
-                next_cap += 1;
-                let t = ev.time;
-                let mi = ev.machine.idx();
-                match ev.change {
-                    CapacityChange::Join => {
-                        if online.set_online(mi) {
-                            dispatch::sync_capacity_index(
-                                &mut dindex,
-                                self.params.capacity_index,
-                                ev.change,
-                                mi,
-                                m,
-                                &online,
-                                |i| machines[i].stats(),
-                            );
-                        }
+            None => {
+                let mut best: Option<(usize, f64)> = None;
+                for (li, ms) in machines.iter().enumerate().take(len) {
+                    let p = job.sizes[base + li];
+                    if !p.is_finite() || !online.is_online(base + li) {
+                        continue;
                     }
-                    CapacityChange::Drain | CapacityChange::Crash => {
-                        if online.set_offline(mi) {
-                            let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
-                            if ev.change == CapacityChange::Crash {
-                                if let Some(run) = machines[mi].running.take() {
-                                    victims.push((
-                                        run.job,
-                                        Some(PartialRun {
-                                            machine: MachineId(mi as u32),
-                                            start: run.start,
-                                            end: t,
-                                            speed: run.speed,
-                                        }),
-                                    ));
-                                }
-                            }
-                            while let Some(e) = machines[mi].pop_first() {
-                                victims.push((e.job, None));
-                            }
-                            victims.sort_by_key(|&(id, _)| id);
-                            dispatch::sync_capacity_index(
-                                &mut dindex,
-                                self.params.capacity_index,
-                                ev.change,
-                                mi,
-                                m,
-                                &online,
-                                |i| machines[i].stats(),
-                            );
-                            for (vid, partial) in victims {
-                                log.note_redispatch(vid);
-                                place_job(
-                                    instance.job(vid),
-                                    t,
-                                    true,
-                                    partial,
-                                    &mut machines,
-                                    &mut log,
-                                    &mut trace,
-                                    &mut completions,
-                                    &mut dindex,
-                                    &online,
-                                    &mut records,
-                                );
-                            }
-                        }
+                    let lam = self.lambda_ij(ms, p, job.weight, t, j);
+                    if best.is_none_or(|(_, bl)| lam < bl) {
+                        best = Some((li, lam));
                     }
                 }
-                continue;
+                best
             }
+        };
+        best.map(|(li, lam)| (base + li, lam))
+    }
 
-            // --- Arrival. ---
-            let job = &jobs[next_arrival];
-            next_arrival += 1;
-            place_job(
-                job,
-                job.release,
-                false,
-                None,
-                &mut machines,
-                &mut log,
-                &mut trace,
-                &mut completions,
-                &mut dindex,
-                &online,
-                &mut records,
-            );
+    fn dispatch(&self, sh: &mut EnergyShard, cx: &mut ShardCtx<'_>, job: &Job, p: &Placement) {
+        let Placement {
+            time: t,
+            machine: mi,
+            lambda: lam,
+            redispatch,
+        } = *p;
+        let j = job.id;
+        // Re-dispatches keep the job's first-arrival λ_j (the dual
+        // prices the original arrival); `machine` tracks the final
+        // placement.
+        sh.ops.push(EnergyOp::Machine(j, mi as u32));
+        if !redispatch {
+            let eps = self.params.eps;
+            sh.ops.push(EnergyOp::Lambda(j, eps / (1.0 + eps) * lam));
+        }
+        let li = mi - sh.base;
+
+        let p_ij = job.sizes[mi];
+        sh.machines[li].insert(PendE {
+            job: j,
+            p: p_ij,
+            w: job.weight,
+            d: job.weight / p_ij,
+            r: t,
+        });
+        Self::sync_index(&mut sh.dindex, li, &sh.machines[li]);
+
+        // Rejection rule: charge the arriving weight to the running
+        // job; reject it when the counter exceeds w_k/ε.
+        if let Some(run) = sh.machines[li].running.as_mut() {
+            run.v += job.weight;
+            if self.params.reject && run.v > run.w / self.params.eps {
+                let run = sh.machines[li].running.take().expect("present");
+                let k = run.job;
+                let delay = (run.completion - t).max(0.0); // q_ik(t)/s_k
+                cx.io.ops.push(LogOp::Reject(
+                    k,
+                    Rejection {
+                        time: t,
+                        reason: RejectReason::RuleOne,
+                        partial: Some(PartialRun {
+                            machine: MachineId(mi as u32),
+                            start: run.start,
+                            end: t,
+                            speed: run.speed,
+                        }),
+                    },
+                ));
+                cx.io.trace.push(DecisionEvent::Reject {
+                    time: t,
+                    job: k,
+                    machine: MachineId(mi as u32),
+                    reason: RejectReason::RuleOne,
+                    counter: run.v,
+                });
+                sh.machines[li].push_rejection(t, delay);
+                let rk = self.jobs[k.idx()].release;
+                let def_finish = t + sh.machines[li].rejection_window(rk, t);
+                sh.ops.push(EnergyOp::Exit {
+                    job: k,
+                    exit: t,
+                    def_finish,
+                });
+            }
         }
 
-        let log = log.finish().expect("all jobs decided");
-        EnergyFlowOutcome {
-            log,
-            trace,
-            records,
-            gamma,
-            params: self.params,
-            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
+        self.start_next(sh, cx, li, t);
+    }
+
+    fn note_unplaced(&self, sh: &mut EnergyShard, job: &Job, t: f64) {
+        // Eligible nowhere (or nowhere still in the pool); the driver
+        // has recorded the rejection. λ_j = 0 (machine-lost keeps any λ
+        // from the first arrival), and the job (re-)enters no U_i.
+        sh.ops.push(EnergyOp::Exit {
+            job: job.id,
+            exit: t,
+            def_finish: t,
+        });
+    }
+
+    fn complete(&self, sh: &mut EnergyShard, cx: &mut ShardCtx<'_>, mi: usize, job: JobId, t: f64) {
+        let li = mi - sh.base;
+        // Stale if the job was rejected mid-run or crash-killed and
+        // re-dispatched (the completion-time check catches a re-dispatch
+        // back onto the same machine).
+        let matches = sh.machines[li]
+            .running
+            .as_ref()
+            .is_some_and(|r| r.job == job && r.completion == t);
+        if !matches {
+            return;
+        }
+        let r = sh.machines[li].running.take().expect("matched");
+        cx.io.ops.push(LogOp::Complete(
+            job,
+            Execution {
+                machine: MachineId(mi as u32),
+                start: r.start,
+                completion: r.completion,
+                speed: r.speed,
+            },
+        ));
+        cx.io.trace.push(DecisionEvent::Complete {
+            time: t,
+            job,
+            machine: MachineId(mi as u32),
+        });
+        let rj = self.jobs[job.idx()].release;
+        let def_finish = t + sh.machines[li].rejection_window(rj, t);
+        sh.ops.push(EnergyOp::Exit {
+            job,
+            exit: t,
+            def_finish,
+        });
+        self.start_next(sh, cx, li, t);
+    }
+
+    fn capacity_sync(
+        &self,
+        sh: &mut EnergyShard,
+        change: CapacityChange,
+        mi: usize,
+        online: &OnlineSet,
+    ) {
+        let EnergyShard {
+            base,
+            len,
+            machines,
+            dindex,
+            ..
+        } = sh;
+        let base = *base;
+        dispatch::sync_shard_index(
+            dindex,
+            self.params.capacity_index,
+            change,
+            mi,
+            base,
+            *len,
+            online,
+            |i| machines[i - base].stats(),
+        );
+    }
+
+    fn evict(
+        &self,
+        sh: &mut EnergyShard,
+        _cx: &mut ShardCtx<'_>,
+        change: CapacityChange,
+        mi: usize,
+        t: f64,
+        victims: &mut Vec<(JobId, Option<PartialRun>)>,
+    ) {
+        let li = mi - sh.base;
+        if change == CapacityChange::Crash {
+            if let Some(run) = sh.machines[li].running.take() {
+                victims.push((
+                    run.job,
+                    Some(PartialRun {
+                        machine: MachineId(mi as u32),
+                        start: run.start,
+                        end: t,
+                        speed: run.speed,
+                    }),
+                ));
+            }
+        }
+        while let Some(e) = sh.machines[li].pop_first() {
+            victims.push((e.job, None));
+        }
+    }
+
+    fn drain(&self, sh: &mut EnergyShard, records: &mut Vec<EnergyFlowJobRecord>) {
+        for op in sh.ops.drain(..) {
+            match op {
+                EnergyOp::Machine(j, mi) => records[j.idx()].machine = mi,
+                EnergyOp::Lambda(j, v) => records[j.idx()].lambda = v,
+                EnergyOp::Start { job, start, speed } => {
+                    records[job.idx()].start = start;
+                    records[job.idx()].speed = speed;
+                }
+                EnergyOp::Exit {
+                    job,
+                    exit,
+                    def_finish,
+                } => {
+                    records[job.idx()].exit = exit;
+                    records[job.idx()].def_finish = def_finish;
+                }
+            }
         }
     }
 }

@@ -41,14 +41,14 @@ pub mod dual;
 pub mod queue;
 pub mod weighted;
 
-use osr_dstruct::{MachineIndex, MachineStats, TotalF64};
+use osr_dstruct::{MachineIndex, MachineStats, ShardMaskScratch, TotalF64};
 use osr_model::{
     Execution, FinishedLog, Instance, Job, JobId, MachineId, OnlineSet, PartialRun, RejectReason,
-    Rejection, ScheduleLog,
+    Rejection,
 };
 use osr_sim::{
-    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, EventQueue,
-    OnlineScheduler,
+    driver::{EventPolicy, LogOp, Placement, ShardCtx},
+    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, OnlineScheduler,
 };
 
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
@@ -77,6 +77,11 @@ pub struct FlowParams {
     /// How the pruned index tracks capacity churn (results are
     /// identical either way; `Rebuild` is the audit oracle).
     pub capacity_index: CapacityIndexMode,
+    /// Requested shard count for the epoch-sharded driver
+    /// ([`osr_sim::driver`]): `1` is the serial oracle, and any value
+    /// is byte-identical to it (clamped to one shard per 64-machine
+    /// rack; see [`osr_sim::effective_shards`]).
+    pub shards: usize,
 }
 
 impl FlowParams {
@@ -92,6 +97,7 @@ impl FlowParams {
             dispatch: dispatch::default_dispatch_index(),
             events: EventBackend::default(),
             capacity_index: dispatch::default_capacity_index(),
+            shards: osr_sim::default_shards(),
         }
     }
 
@@ -120,6 +126,9 @@ pub struct FlowOutcome {
     /// must label rows by *this*, not the request
     /// (see [`crate::dispatch::effective_dispatch_index`]).
     pub effective_dispatch: DispatchIndex,
+    /// The shard count the driver actually ran with (requests are
+    /// clamped to one shard per rack; `1` means the serial path).
+    pub effective_shards: usize,
 }
 
 /// The §2 scheduler. Construct via [`FlowScheduler::new`]; run via
@@ -225,6 +234,12 @@ impl FlowScheduler {
     }
 
     /// Runs the algorithm over `instance`, producing the full outcome.
+    ///
+    /// The event loop itself — the three-way arrival/completion/capacity
+    /// merge, the re-dispatch discipline, the shared reject accounting —
+    /// lives in [`osr_sim::driver`]; this method supplies the §2 policy
+    /// (`FlowPolicy`) and assembles the dual from the driver's
+    /// whole-run state.
     pub fn run(&self, instance: &Instance) -> FlowOutcome {
         let th = self.thresholds;
         let m = instance.machines();
@@ -235,467 +250,471 @@ impl FlowScheduler {
         // the jobs (clamped: adversarial instances can pile everything
         // onto one machine, which then grows once past the hint).
         let cap_hint = (n / m + 1).min(1 << 16);
-        let mut machines: Vec<MachineState> = (0..m)
-            .map(|_| MachineState::new(self.params.backend, cap_hint))
-            .collect();
-        let mut log = ScheduleLog::new(m, n);
-        let mut trace = DecisionTrace::new();
-        let mut completions: EventQueue<(usize, JobId)> =
-            EventQueue::with_backend(self.params.events);
-
-        // Dual bookkeeping.
-        let mut lambda = vec![0.0f64; n];
-        let mut exit = vec![f64::NAN; n];
-        let mut c_tilde = vec![f64::NAN; n];
-        let mut machine_of = vec![u32::MAX; n];
-
-        // Elastic pool: replay the capacity plan's join/drain/crash
-        // stream alongside arrivals. Capacity changes at `t` apply after
-        // completions at `t` but before arrivals at `t`.
-        let plan = &self.capacity;
-        plan.check_machines(m)
-            .expect("capacity plan fits the instance");
-        let cap_events = plan.events();
-        let mut next_cap = 0usize;
-        let mut online = plan.initial_online(m);
-
-        // Pruned dispatch: a tournament tree over per-machine stats,
-        // with offline machines tombstoned. Below the crossover the
-        // plain scan is cheaper than any bookkeeping (results are
-        // identical either way).
-        let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
-            && m >= PRUNED_MIN_MACHINES)
-            .then(|| dispatch::rebuild_capacity_index(m, &online, |_| MachineStats::EMPTY));
-
-        // Pushes machine `mi`'s refreshed queue stats into the index;
-        // call after every pending-queue mutation.
-        let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, q: &PendQueue| {
-            if let Some(ix) = dindex {
-                ix.update(
-                    mi,
-                    MachineStats {
-                        count: q.len() as u64,
-                        wsum: q.total().sum,
-                        min_size: q.min_size(),
-                    },
-                );
-            }
+        let policy = FlowPolicy {
+            jobs,
+            th,
+            params: self.params,
+            m,
+            cap_hint,
         };
-
-        let mut next_arrival = 0usize;
-
-        // Starts the shortest pending job on machine `mi` if idle (and
-        // still in the pool — a draining machine finishes its running
-        // job but starts nothing new).
-        let start_next = |mi: usize,
-                          t: f64,
-                          machines: &mut Vec<MachineState>,
-                          completions: &mut EventQueue<(usize, JobId)>,
-                          trace: &mut DecisionTrace,
-                          dindex: &mut Option<MachineIndex>,
-                          online: &OnlineSet| {
-            let ms = &mut machines[mi];
-            if ms.running.is_some() || !online.is_online(mi) {
-                return;
-            }
-            if let Some(((p, _r, id), _w)) = ms.pending.pop_first() {
-                let job = JobId(id);
-                let completion = t + p.get();
-                ms.running = Some(Running {
-                    job,
-                    start: t,
-                    completion,
-                    v: 0,
-                });
-                completions.push(completion, (mi, job));
-                trace.push(DecisionEvent::Start {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                    speed: 1.0,
-                });
-                sync_index(dindex, mi, &ms.pending);
-            }
+        let mut global = FlowGlobal {
+            lambda: vec![0.0f64; n],
+            exit: vec![f64::NAN; n],
+            c_tilde: vec![f64::NAN; n],
+            machine_of: vec![u32::MAX; n],
         };
-
-        // Dispatches (or re-dispatches) `job` at time `t` through the
-        // normal λ_ij argmin and runs both rejection rules. `redispatch`
-        // marks capacity-churn re-enqueues: the dual λ_j keeps its
-        // first-arrival value (the lower bound prices the original
-        // arrival; the churn is the adversary's doing), while
-        // `machine_of` tracks the final placement. `lost_partial` is the
-        // interrupted prefix of a crash victim, recorded iff the job
-        // ends up machine-lost.
-        #[allow(clippy::too_many_arguments)]
-        let place_job = |job: &Job,
-                         t: f64,
-                         redispatch: bool,
-                         lost_partial: Option<PartialRun>,
-                         machines: &mut Vec<MachineState>,
-                         log: &mut ScheduleLog,
-                         trace: &mut DecisionTrace,
-                         completions: &mut EventQueue<(usize, JobId)>,
-                         dindex: &mut Option<MachineIndex>,
-                         online: &OnlineSet,
-                         lambda: &mut [f64],
-                         exit: &mut [f64],
-                         c_tilde: &mut [f64],
-                         machine_of: &mut [u32]| {
-            let j = job.id;
-
-            // Dispatch: argmin over eligible *online* machines of λ_ij
-            // (lowest index on ties). The pruned path and the linear
-            // scan are bit-identical; see `crate::dispatch` for the
-            // bound soundness argument. Offline machines are tombstoned
-            // in the index and skipped by the scan. `p̂` (global +
-            // rack-local layers) and the eligibility mask (the job-side
-            // inputs to the subtree bounds and the subtree skip) are
-            // precomputed at generation time — no per-arrival rescan of
-            // `job.sizes`.
-            let best: Option<(usize, f64)> = if !job.has_eligible() {
-                None
-            } else {
-                match dindex.as_mut() {
-                    Some(ix) => {
-                        let ph = dispatch::p_hat_view(job);
-                        let inv_eps = th.inv_eps;
-                        ix.search_masked(
-                            dispatch::mask_view(job.elig()),
-                            |s, lo, span| {
-                                dispatch::flow_lambda_bound(
-                                    s.min_count,
-                                    s.min_size,
-                                    ph.for_range(lo, span),
-                                    inv_eps,
-                                )
-                            },
-                            |mi, s| {
-                                let p = job.sizes[mi];
-                                if p.is_finite() {
-                                    dispatch::flow_lambda_bound(s.count, s.min_size, p, inv_eps)
-                                } else {
-                                    f64::INFINITY
-                                }
-                            },
-                            |mi| {
-                                let p = job.sizes[mi];
-                                p.is_finite().then(|| {
-                                    lambda_ij(&machines[mi].pending, &pend_key(p, t, j), p, inv_eps)
-                                })
-                            },
-                        )
-                    }
-                    None => {
-                        let mut best: Option<(usize, f64)> = None;
-                        for mi in 0..m {
-                            let p = job.sizes[mi];
-                            if !p.is_finite() || !online.is_online(mi) {
-                                continue;
-                            }
-                            let key = pend_key(p, t, j);
-                            let l = lambda_ij(&machines[mi].pending, &key, p, th.inv_eps);
-                            if best.is_none_or(|(_, bl)| l < bl) {
-                                best = Some((mi, l));
-                            }
-                        }
-                        best
-                    }
-                }
-            };
-            let Some((mi, lam)) = best else {
-                // No machine can take j: ineligible everywhere
-                // (`p_ij = ∞`), or every eligible machine has left the
-                // pool. Either way it contributes nothing to the dual
-                // (λ_j = 0, C̃_j = t).
-                if job.has_eligible() {
-                    osr_sim::reject_machine_lost(log, trace, j, t, lost_partial);
-                } else {
-                    osr_sim::reject_ineligible(log, trace, j, t);
-                }
-                exit[j.idx()] = t;
-                c_tilde[j.idx()] = t;
-                return;
-            };
-            if !redispatch {
-                lambda[j.idx()] = th.lambda_scale() * lam;
-            }
-            machine_of[j.idx()] = mi as u32;
-            trace.push(DecisionEvent::Dispatch {
-                time: t,
-                job: j,
-                machine: MachineId(mi as u32),
-                lambda: lam,
-                candidates: m,
-            });
-
-            let p_ij = job.sizes[mi];
-            machines[mi].pending.insert(pend_key(p_ij, t, j), p_ij);
-            sync_index(dindex, mi, &machines[mi].pending);
-
-            // Rule 1: the dispatch counts against the running job.
-            if let Some(run) = machines[mi].running.as_mut() {
-                run.v += 1;
-                if self.params.rule1 && run.v >= th.rule1_at {
-                    let run = machines[mi].running.take().expect("present");
-                    let k = run.job;
-                    let remaining = run.completion - t;
-                    log.reject(
-                        k,
-                        Rejection {
-                            time: t,
-                            reason: RejectReason::RuleOne,
-                            partial: Some(PartialRun {
-                                machine: MachineId(mi as u32),
-                                start: run.start,
-                                end: t,
-                                speed: 1.0,
-                            }),
-                        },
-                    );
-                    trace.push(DecisionEvent::Reject {
-                        time: t,
-                        job: k,
-                        machine: MachineId(mi as u32),
-                        reason: RejectReason::RuleOne,
-                        counter: run.v as f64,
-                    });
-                    // D-bookkeeping: the rejected job's remaining time is
-                    // charged to every job whose [r, C] window covers t —
-                    // including k itself ("including j in case it is
-                    // rejected"): push the event before finalizing C̃_k.
-                    machines[mi].push_rule1_event(t, remaining);
-                    let rk = instance.job(k).release;
-                    exit[k.idx()] = t;
-                    c_tilde[k.idx()] = t + machines[mi].rule1_window(rk, t);
-                }
-            }
-
-            // Rule 2: every `1 + ⌈1/ε⌉` dispatches, drop the largest
-            // pending job.
-            machines[mi].c += 1;
-            if self.params.rule2 && machines[mi].c >= th.rule2_at {
-                machines[mi].c = 0;
-                if let Some(((p_max, _r, id), _w)) = machines[mi].pending.pop_last() {
-                    sync_index(dindex, mi, &machines[mi].pending);
-                    let jmax = JobId(id);
-                    log.reject(
-                        jmax,
-                        Rejection {
-                            time: t,
-                            reason: RejectReason::RuleTwo,
-                            partial: None,
-                        },
-                    );
-                    trace.push(DecisionEvent::Reject {
-                        time: t,
-                        job: jmax,
-                        machine: MachineId(mi as u32),
-                        reason: RejectReason::RuleTwo,
-                        counter: th.rule2_at as f64,
-                    });
-                    // C̃ for a Rule-2 rejection adds the estimated
-                    // completion had it stayed: remaining of the running
-                    // job + pending work except the triggering arrival +
-                    // its own size (§2, definition of C̃_j).
-                    let ms = &machines[mi];
-                    let rem_running = ms.running.as_ref().map_or(0.0, |r| r.completion - t);
-                    let mut pend_sum = ms.pending.total().sum;
-                    if jmax != j {
-                        // The triggering arrival j is still pending;
-                        // exclude it (`ℓ ≠ j_j` in the paper's formula).
-                        pend_sum -= p_ij;
-                    }
-                    let term = rem_running + pend_sum + p_max.get();
-                    let rjmax = instance.job(jmax).release;
-                    exit[jmax.idx()] = t;
-                    c_tilde[jmax.idx()] = t + ms.rule1_window(rjmax, t) + term;
-                }
-            }
-
-            start_next(mi, t, machines, completions, trace, dindex, online);
-        };
-
-        loop {
-            let ta = jobs.get(next_arrival).map(|j| j.release);
-            let tk = cap_events.get(next_cap).map(|e| e.time);
-            let tc = completions.peek_time();
-            // Tie-break at equal instants: completions first (an
-            // arriving job observes the machine as idle), then capacity
-            // changes (an arrival at `t` sees the pool as of `t`), then
-            // arrivals.
-            let inf = f64::INFINITY;
-            let do_completion =
-                tc.is_some_and(|c| c <= ta.unwrap_or(inf) && c <= tk.unwrap_or(inf));
-            let do_capacity = !do_completion && tk.is_some_and(|k| k <= ta.unwrap_or(inf));
-            if !do_completion && !do_capacity && ta.is_none() {
-                break;
-            }
-
-            if do_completion {
-                let (t, (mi, job)) = completions.pop().expect("peeked");
-                let ms = &mut machines[mi];
-                // Stale events: the job was Rule-1-rejected mid-run, or
-                // crash-killed and re-dispatched (possibly back onto the
-                // same machine — hence the completion-time check too).
-                let matches = ms
-                    .running
-                    .as_ref()
-                    .is_some_and(|r| r.job == job && r.completion == t);
-                if !matches {
-                    continue;
-                }
-                let r = ms.running.take().expect("matched");
-                log.complete(
-                    job,
-                    Execution {
-                        machine: MachineId(mi as u32),
-                        start: r.start,
-                        completion: r.completion,
-                        speed: 1.0,
-                    },
-                );
-                trace.push(DecisionEvent::Complete {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                });
-                // Finalize dual bookkeeping for the completed job: all
-                // Rule-1 events in [r_j, C_j] are in the past.
-                let rj = instance.job(job).release;
-                exit[job.idx()] = t;
-                c_tilde[job.idx()] = t + machines[mi].rule1_window(rj, t);
-                start_next(
-                    mi,
-                    t,
-                    &mut machines,
-                    &mut completions,
-                    &mut trace,
-                    &mut dindex,
-                    &online,
-                );
-                continue;
-            }
-
-            if do_capacity {
-                // --- Capacity change. ---
-                let ev = cap_events[next_cap];
-                next_cap += 1;
-                let t = ev.time;
-                let mi = ev.machine.idx();
-                let stats_of = |machines: &Vec<MachineState>, i: usize| {
-                    let q = &machines[i].pending;
-                    MachineStats {
-                        count: q.len() as u64,
-                        wsum: q.total().sum,
-                        min_size: q.min_size(),
-                    }
-                };
-                match ev.change {
-                    CapacityChange::Join => {
-                        if online.set_online(mi) {
-                            // A (re)joining machine has an empty queue;
-                            // nothing to start until a job lands on it.
-                            dispatch::sync_capacity_index(
-                                &mut dindex,
-                                self.params.capacity_index,
-                                ev.change,
-                                mi,
-                                m,
-                                &online,
-                                |i| stats_of(&machines, i),
-                            );
-                        }
-                    }
-                    CapacityChange::Drain | CapacityChange::Crash => {
-                        if online.set_offline(mi) {
-                            // A crash kills the running job at `t` (a
-                            // drain lets it finish); either way every
-                            // queued job leaves with the machine and is
-                            // re-dispatched in job-id order.
-                            let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
-                            if ev.change == CapacityChange::Crash {
-                                if let Some(run) = machines[mi].running.take() {
-                                    victims.push((
-                                        run.job,
-                                        Some(PartialRun {
-                                            machine: MachineId(mi as u32),
-                                            start: run.start,
-                                            end: t,
-                                            speed: 1.0,
-                                        }),
-                                    ));
-                                }
-                            }
-                            while let Some(((_p, _r, id), _w)) = machines[mi].pending.pop_first() {
-                                victims.push((JobId(id), None));
-                            }
-                            victims.sort_by_key(|&(id, _)| id);
-                            // Tombstone (or rebuild) *before*
-                            // re-dispatching so no victim lands back on
-                            // the machine that just left.
-                            dispatch::sync_capacity_index(
-                                &mut dindex,
-                                self.params.capacity_index,
-                                ev.change,
-                                mi,
-                                m,
-                                &online,
-                                |i| stats_of(&machines, i),
-                            );
-                            for (vid, partial) in victims {
-                                log.note_redispatch(vid);
-                                place_job(
-                                    instance.job(vid),
-                                    t,
-                                    true,
-                                    partial,
-                                    &mut machines,
-                                    &mut log,
-                                    &mut trace,
-                                    &mut completions,
-                                    &mut dindex,
-                                    &online,
-                                    &mut lambda,
-                                    &mut exit,
-                                    &mut c_tilde,
-                                    &mut machine_of,
-                                );
-                            }
-                        }
-                    }
-                }
-                continue;
-            }
-
-            // --- Arrival of job j. ---
-            let job = &jobs[next_arrival];
-            next_arrival += 1;
-            place_job(
-                job,
-                job.release,
-                false,
-                None,
-                &mut machines,
-                &mut log,
-                &mut trace,
-                &mut completions,
-                &mut dindex,
-                &online,
-                &mut lambda,
-                &mut exit,
-                &mut c_tilde,
-                &mut machine_of,
-            );
-        }
-
+        let (log, trace, effective_shards) = osr_sim::drive(
+            &policy,
+            jobs,
+            m,
+            &self.capacity,
+            self.params.events,
+            self.params.shards,
+            &mut global,
+        );
         let log = log.finish().expect("every job completed or rejected");
         let releases: Vec<f64> = jobs.iter().map(|j| j.release).collect();
-        let dual = FlowDual::assemble(th, lambda, releases, exit, c_tilde, machine_of);
+        let dual = FlowDual::assemble(
+            th,
+            global.lambda,
+            releases,
+            global.exit,
+            global.c_tilde,
+            global.machine_of,
+        );
         FlowOutcome {
             log,
             dual,
             trace,
             effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
+            effective_shards,
+        }
+    }
+}
+
+/// A deferred, job-keyed write into the §2 dual arrays, buffered
+/// per-shard and folded into [`FlowGlobal`] at every driver barrier.
+enum FlowOp {
+    /// First-arrival dual price `λ_j` (never re-set on redispatch).
+    Lambda(JobId, f64),
+    /// Final placement (overwritten by later re-dispatches).
+    Machine(JobId, u32),
+    /// Exit instant and definitive finish `C̃_j`.
+    Exit { job: JobId, exit: f64, c_tilde: f64 },
+}
+
+/// Whole-run dual state the driver folds shard results into.
+struct FlowGlobal {
+    lambda: Vec<f64>,
+    exit: Vec<f64>,
+    c_tilde: Vec<f64>,
+    machine_of: Vec<u32>,
+}
+
+/// One driver shard's §2 state: the machines it owns (locally
+/// indexed — machine `li` is global `base + li`), its slice of the
+/// pruned dispatch index, and the buffered dual writes.
+struct FlowShard {
+    base: usize,
+    len: usize,
+    machines: Vec<MachineState>,
+    dindex: Option<MachineIndex>,
+    scratch: ShardMaskScratch,
+    ops: Vec<FlowOp>,
+}
+
+/// The §2 algorithm as an [`EventPolicy`]: dispatch argmin + both
+/// rejection rules + dual bookkeeping. The driver owns event ordering
+/// and re-dispatch.
+struct FlowPolicy<'a> {
+    jobs: &'a [Job],
+    th: Thresholds,
+    params: FlowParams,
+    /// Global machine count (the pruned-index crossover and the trace's
+    /// `candidates` field are defined on the whole pool, not a shard).
+    m: usize,
+    cap_hint: usize,
+}
+
+/// Machine `q`'s current stats row for the dispatch index.
+fn stats_of(q: &PendQueue) -> MachineStats {
+    MachineStats {
+        count: q.len() as u64,
+        wsum: q.total().sum,
+        min_size: q.min_size(),
+    }
+}
+
+impl FlowPolicy<'_> {
+    /// Pushes machine `li`'s refreshed queue stats into the shard
+    /// index; call after every pending-queue mutation.
+    fn sync_index(dindex: &mut Option<MachineIndex>, li: usize, q: &PendQueue) {
+        if let Some(ix) = dindex {
+            ix.update(li, stats_of(q));
+        }
+    }
+
+    /// Starts the shortest pending job on local machine `li` if idle
+    /// (and still in the pool — a draining machine finishes its running
+    /// job but starts nothing new).
+    fn start_next(&self, sh: &mut FlowShard, cx: &mut ShardCtx<'_>, li: usize, t: f64) {
+        let mi = sh.base + li;
+        let ms = &mut sh.machines[li];
+        if ms.running.is_some() || !cx.online.is_online(mi) {
+            return;
+        }
+        if let Some(((p, _r, id), _w)) = ms.pending.pop_first() {
+            let job = JobId(id);
+            let completion = t + p.get();
+            ms.running = Some(Running {
+                job,
+                start: t,
+                completion,
+                v: 0,
+            });
+            cx.completions.push(completion, (mi, job));
+            cx.io.trace.push(DecisionEvent::Start {
+                time: t,
+                job,
+                machine: MachineId(mi as u32),
+                speed: 1.0,
+            });
+            Self::sync_index(&mut sh.dindex, li, &ms.pending);
+        }
+    }
+}
+
+impl EventPolicy for FlowPolicy<'_> {
+    type Shard = FlowShard;
+    type Global = FlowGlobal;
+
+    fn make_shard(&self, base: usize, len: usize, online: &OnlineSet) -> FlowShard {
+        // Pruned dispatch: a tournament tree over per-machine stats,
+        // with offline machines tombstoned. Below the crossover the
+        // plain scan is cheaper than any bookkeeping (results are
+        // identical either way). The crossover is defined on the
+        // *global* pool so shard counts never change the strategy.
+        let dindex = (self.params.dispatch == DispatchIndex::Pruned
+            && self.m >= PRUNED_MIN_MACHINES)
+            .then(|| dispatch::rebuild_shard_index(base, len, online, |_| MachineStats::EMPTY));
+        FlowShard {
+            base,
+            len,
+            machines: (0..len)
+                .map(|_| MachineState::new(self.params.backend, self.cap_hint))
+                .collect(),
+            dindex,
+            scratch: ShardMaskScratch::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    fn candidate(
+        &self,
+        sh: &mut FlowShard,
+        job: &Job,
+        t: f64,
+        online: &OnlineSet,
+    ) -> Option<(usize, f64)> {
+        // Dispatch: argmin over this shard's eligible *online* machines
+        // of λ_ij (lowest index on ties). The pruned path and the
+        // linear scan are bit-identical; see `crate::dispatch` for the
+        // bound soundness argument. Offline machines are tombstoned in
+        // the index and skipped by the scan. `p̂` (global + rack-local
+        // layers) and the eligibility mask (the job-side inputs to the
+        // subtree bounds and the subtree skip) are precomputed at
+        // generation time — no per-arrival rescan of `job.sizes`.
+        let FlowShard {
+            base,
+            len,
+            machines,
+            dindex,
+            scratch,
+            ..
+        } = sh;
+        let (base, len) = (*base, *len);
+        let j = job.id;
+        let inv_eps = self.th.inv_eps;
+        let best = match dindex.as_mut() {
+            Some(ix) => {
+                let ph = dispatch::p_hat_view(job);
+                let mask = scratch.rebase(dispatch::mask_view(job.elig()), base, len);
+                ix.search_masked(
+                    mask,
+                    |s, lo, span| {
+                        dispatch::flow_lambda_bound(
+                            s.min_count,
+                            s.min_size,
+                            ph.for_range(base + lo, span),
+                            inv_eps,
+                        )
+                    },
+                    |li, s| {
+                        let p = job.sizes[base + li];
+                        if p.is_finite() {
+                            dispatch::flow_lambda_bound(s.count, s.min_size, p, inv_eps)
+                        } else {
+                            f64::INFINITY
+                        }
+                    },
+                    |li| {
+                        let p = job.sizes[base + li];
+                        p.is_finite().then(|| {
+                            lambda_ij(&machines[li].pending, &pend_key(p, t, j), p, inv_eps)
+                        })
+                    },
+                )
+            }
+            None => {
+                let mut best: Option<(usize, f64)> = None;
+                for li in 0..len {
+                    let p = job.sizes[base + li];
+                    if !p.is_finite() || !online.is_online(base + li) {
+                        continue;
+                    }
+                    let key = pend_key(p, t, j);
+                    let l = lambda_ij(&machines[li].pending, &key, p, inv_eps);
+                    if best.is_none_or(|(_, bl)| l < bl) {
+                        best = Some((li, l));
+                    }
+                }
+                best
+            }
+        };
+        best.map(|(li, lam)| (base + li, lam))
+    }
+
+    fn dispatch(&self, sh: &mut FlowShard, cx: &mut ShardCtx<'_>, job: &Job, p: &Placement) {
+        let Placement {
+            time: t,
+            machine: mi,
+            lambda: lam,
+            redispatch,
+        } = *p;
+        let j = job.id;
+        // The dual λ_j keeps its first-arrival value on capacity-churn
+        // re-dispatch (the lower bound prices the original arrival; the
+        // churn is the adversary's doing), while `machine_of` tracks
+        // the final placement.
+        if !redispatch {
+            sh.ops.push(FlowOp::Lambda(j, self.th.lambda_scale() * lam));
+        }
+        sh.ops.push(FlowOp::Machine(j, mi as u32));
+        let li = mi - sh.base;
+
+        let p_ij = job.sizes[mi];
+        sh.machines[li].pending.insert(pend_key(p_ij, t, j), p_ij);
+        Self::sync_index(&mut sh.dindex, li, &sh.machines[li].pending);
+
+        // Rule 1: the dispatch counts against the running job.
+        if let Some(run) = sh.machines[li].running.as_mut() {
+            run.v += 1;
+            if self.params.rule1 && run.v >= self.th.rule1_at {
+                let run = sh.machines[li].running.take().expect("present");
+                let k = run.job;
+                let remaining = run.completion - t;
+                cx.io.ops.push(LogOp::Reject(
+                    k,
+                    Rejection {
+                        time: t,
+                        reason: RejectReason::RuleOne,
+                        partial: Some(PartialRun {
+                            machine: MachineId(mi as u32),
+                            start: run.start,
+                            end: t,
+                            speed: 1.0,
+                        }),
+                    },
+                ));
+                cx.io.trace.push(DecisionEvent::Reject {
+                    time: t,
+                    job: k,
+                    machine: MachineId(mi as u32),
+                    reason: RejectReason::RuleOne,
+                    counter: run.v as f64,
+                });
+                // Dual bookkeeping: the rejected job's remaining time is
+                // charged to every job whose [r, C] window covers t —
+                // including k itself ("including j in case it is
+                // rejected"): push the event before finalizing C̃_k.
+                sh.machines[li].push_rule1_event(t, remaining);
+                let rk = self.jobs[k.idx()].release;
+                let c_tilde = t + sh.machines[li].rule1_window(rk, t);
+                sh.ops.push(FlowOp::Exit {
+                    job: k,
+                    exit: t,
+                    c_tilde,
+                });
+            }
+        }
+
+        // Rule 2: every `1 + ⌈1/ε⌉` dispatches, drop the largest
+        // pending job.
+        sh.machines[li].c += 1;
+        if self.params.rule2 && sh.machines[li].c >= self.th.rule2_at {
+            sh.machines[li].c = 0;
+            if let Some(((p_max, _r, id), _w)) = sh.machines[li].pending.pop_last() {
+                Self::sync_index(&mut sh.dindex, li, &sh.machines[li].pending);
+                let jmax = JobId(id);
+                cx.io.ops.push(LogOp::Reject(
+                    jmax,
+                    Rejection {
+                        time: t,
+                        reason: RejectReason::RuleTwo,
+                        partial: None,
+                    },
+                ));
+                cx.io.trace.push(DecisionEvent::Reject {
+                    time: t,
+                    job: jmax,
+                    machine: MachineId(mi as u32),
+                    reason: RejectReason::RuleTwo,
+                    counter: self.th.rule2_at as f64,
+                });
+                // C̃ for a Rule-2 rejection adds the estimated
+                // completion had it stayed: remaining of the running
+                // job + pending work except the triggering arrival +
+                // its own size (§2, definition of C̃_j).
+                let ms = &sh.machines[li];
+                let rem_running = ms.running.as_ref().map_or(0.0, |r| r.completion - t);
+                let mut pend_sum = ms.pending.total().sum;
+                if jmax != j {
+                    // The triggering arrival j is still pending;
+                    // exclude it (`ℓ ≠ j_j` in the paper's formula).
+                    pend_sum -= p_ij;
+                }
+                let term = rem_running + pend_sum + p_max.get();
+                let rjmax = self.jobs[jmax.idx()].release;
+                let c_tilde = t + ms.rule1_window(rjmax, t) + term;
+                sh.ops.push(FlowOp::Exit {
+                    job: jmax,
+                    exit: t,
+                    c_tilde,
+                });
+            }
+        }
+
+        self.start_next(sh, cx, li, t);
+    }
+
+    fn note_unplaced(&self, sh: &mut FlowShard, job: &Job, t: f64) {
+        // No machine can take j (the driver has recorded the standard
+        // rejection): it contributes nothing to the dual
+        // (λ_j = 0, C̃_j = t).
+        sh.ops.push(FlowOp::Exit {
+            job: job.id,
+            exit: t,
+            c_tilde: t,
+        });
+    }
+
+    fn complete(&self, sh: &mut FlowShard, cx: &mut ShardCtx<'_>, mi: usize, job: JobId, t: f64) {
+        let li = mi - sh.base;
+        let ms = &mut sh.machines[li];
+        // Stale events: the job was Rule-1-rejected mid-run, or
+        // crash-killed and re-dispatched (possibly back onto the same
+        // machine — hence the completion-time check too).
+        let matches = ms
+            .running
+            .as_ref()
+            .is_some_and(|r| r.job == job && r.completion == t);
+        if !matches {
+            return;
+        }
+        let r = ms.running.take().expect("matched");
+        cx.io.ops.push(LogOp::Complete(
+            job,
+            Execution {
+                machine: MachineId(mi as u32),
+                start: r.start,
+                completion: r.completion,
+                speed: 1.0,
+            },
+        ));
+        cx.io.trace.push(DecisionEvent::Complete {
+            time: t,
+            job,
+            machine: MachineId(mi as u32),
+        });
+        // Finalize dual bookkeeping for the completed job: all Rule-1
+        // events in [r_j, C_j] are in the past.
+        let rj = self.jobs[job.idx()].release;
+        let c_tilde = t + sh.machines[li].rule1_window(rj, t);
+        sh.ops.push(FlowOp::Exit {
+            job,
+            exit: t,
+            c_tilde,
+        });
+        self.start_next(sh, cx, li, t);
+    }
+
+    fn capacity_sync(
+        &self,
+        sh: &mut FlowShard,
+        change: CapacityChange,
+        mi: usize,
+        online: &OnlineSet,
+    ) {
+        let FlowShard {
+            base,
+            len,
+            machines,
+            dindex,
+            ..
+        } = sh;
+        let base = *base;
+        dispatch::sync_shard_index(
+            dindex,
+            self.params.capacity_index,
+            change,
+            mi,
+            base,
+            *len,
+            online,
+            |i| stats_of(&machines[i - base].pending),
+        );
+    }
+
+    fn evict(
+        &self,
+        sh: &mut FlowShard,
+        _cx: &mut ShardCtx<'_>,
+        change: CapacityChange,
+        mi: usize,
+        t: f64,
+        victims: &mut Vec<(JobId, Option<PartialRun>)>,
+    ) {
+        // A crash kills the running job at `t` (a drain lets it
+        // finish); either way every queued job leaves with the machine.
+        let li = mi - sh.base;
+        if change == CapacityChange::Crash {
+            if let Some(run) = sh.machines[li].running.take() {
+                victims.push((
+                    run.job,
+                    Some(PartialRun {
+                        machine: MachineId(mi as u32),
+                        start: run.start,
+                        end: t,
+                        speed: 1.0,
+                    }),
+                ));
+            }
+        }
+        while let Some(((_p, _r, id), _w)) = sh.machines[li].pending.pop_first() {
+            victims.push((JobId(id), None));
+        }
+    }
+
+    fn drain(&self, sh: &mut FlowShard, global: &mut FlowGlobal) {
+        for op in sh.ops.drain(..) {
+            match op {
+                FlowOp::Lambda(j, v) => global.lambda[j.idx()] = v,
+                FlowOp::Machine(j, mi) => global.machine_of[j.idx()] = mi,
+                FlowOp::Exit { job, exit, c_tilde } => {
+                    global.exit[job.idx()] = exit;
+                    global.c_tilde[job.idx()] = c_tilde;
+                }
+            }
         }
     }
 }

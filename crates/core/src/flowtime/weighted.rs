@@ -30,14 +30,16 @@
 //! well-behaved heuristic; its value is letting users study the paper's
 //! mechanism on weighted workloads.
 
-use osr_dstruct::{MachineIndex, MachineStats};
+use std::sync::Mutex;
+
+use osr_dstruct::{MachineIndex, MachineStats, ShardMaskScratch};
 use osr_model::{
     Execution, FinishedLog, Instance, Job, JobId, MachineId, OnlineSet, PartialRun, RejectReason,
-    Rejection, ScheduleLog,
+    Rejection,
 };
 use osr_sim::{
-    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, EventQueue,
-    OnlineScheduler,
+    driver::{EventPolicy, LogOp, Placement, ShardCtx},
+    CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, OnlineScheduler,
 };
 
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
@@ -55,6 +57,12 @@ pub struct WeightedFlowParams {
     /// How the pruned index tracks capacity churn (results are
     /// identical either way; `Rebuild` is the audit oracle).
     pub capacity_index: CapacityIndexMode,
+    /// Requested driver shard count (`1` = serial oracle; results are
+    /// identical at any value). The weighted variant's dispatch reads
+    /// the global rejection budget, so every arrival is a barrier
+    /// (`serial_arrivals`) — sharding only parallelizes completion
+    /// drains here.
+    pub shards: usize,
 }
 
 impl WeightedFlowParams {
@@ -65,6 +73,7 @@ impl WeightedFlowParams {
             dispatch: dispatch::default_dispatch_index(),
             events: EventBackend::default(),
             capacity_index: dispatch::default_capacity_index(),
+            shards: osr_sim::default_shards(),
         }
     }
 }
@@ -80,6 +89,9 @@ pub struct WeightedFlowOutcome {
     /// `Linear` below [`PRUNED_MIN_MACHINES`]; label ablations by
     /// this).
     pub effective_dispatch: DispatchIndex,
+    /// The driver shard count that actually ran (requests clamp to the
+    /// rack count; `1` = the serial oracle path).
+    pub effective_shards: usize,
 }
 
 /// The weighted flow-time scheduler (extension; see module docs).
@@ -189,6 +201,82 @@ impl WeightedFlowScheduler {
         self
     }
 
+    /// Runs the variant over `instance`.
+    ///
+    /// The event loop lives in [`osr_sim::driver`]; this method supplies
+    /// the weighted policy (`WeightedPolicy`). Because dispatch reads
+    /// the global rejection budget, the policy opts into
+    /// `serial_arrivals` — every arrival is a barrier, and sharding only
+    /// parallelizes completion drains.
+    pub fn run(&self, instance: &Instance) -> WeightedFlowOutcome {
+        let m = instance.machines();
+        let jobs = instance.jobs();
+        let policy = WeightedPolicy {
+            eps: self.params.eps,
+            params: self.params,
+            m,
+            budget: Mutex::new(WeightBudget::default()),
+        };
+        let (log, trace, effective_shards) = osr_sim::drive(
+            &policy,
+            jobs,
+            m,
+            &self.capacity,
+            self.params.events,
+            self.params.shards,
+            &mut (),
+        );
+        WeightedFlowOutcome {
+            log: log.finish().expect("all decided"),
+            trace,
+            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
+            effective_shards,
+        }
+    }
+}
+
+/// Hard budget enforcement (extension-specific; see module docs). Only
+/// *dispatchable* arrivals count: an ineligible job never enters any
+/// queue and must not widen the budget.
+#[derive(Debug, Default)]
+struct WeightBudget {
+    arrived_weight: f64,
+    dispatched_jobs: usize,
+    rejected_weight: f64,
+}
+
+impl WeightBudget {
+    /// A rule may only fire while staying within the hard `2ε`
+    /// rejected-weight cap.
+    fn allows(&self, eps: f64, extra: f64) -> bool {
+        self.rejected_weight + extra <= 2.0 * eps * self.arrived_weight + 1e-12
+    }
+}
+
+/// One driver shard's weighted state: locally indexed machines plus its
+/// slice of the pruned dispatch index.
+struct WeightedShard {
+    base: usize,
+    len: usize,
+    machines: Vec<MachW>,
+    dindex: Option<MachineIndex>,
+    scratch: ShardMaskScratch,
+}
+
+/// The weighted variant as an [`EventPolicy`]. The global rejection
+/// budget sits behind a mutex, but it is only touched from `dispatch`
+/// — and `serial_arrivals` guarantees dispatches run serially in the
+/// driver's phase 2, so the lock is never contended.
+struct WeightedPolicy {
+    eps: f64,
+    params: WeightedFlowParams,
+    /// Global machine count (pruned-index crossover is defined on the
+    /// whole pool).
+    m: usize,
+    budget: Mutex<WeightBudget>,
+}
+
+impl WeightedPolicy {
     fn lambda_ij(&self, ms: &MachW, p: f64, w: f64, r: f64, id: JobId) -> f64 {
         let probe = PendW {
             job: id,
@@ -197,7 +285,7 @@ impl WeightedFlowScheduler {
             d: w / p,
             r,
         };
-        let mut lam = w * p / self.params.eps;
+        let mut lam = w * p / self.eps;
         let mut pre_p = 0.0;
         let mut succ_w = 0.0;
         for e in &ms.pending {
@@ -212,408 +300,327 @@ impl WeightedFlowScheduler {
         lam
     }
 
-    /// Runs the variant over `instance`.
-    pub fn run(&self, instance: &Instance) -> WeightedFlowOutcome {
-        let eps = self.params.eps;
-        let m = instance.machines();
-        let n = instance.len();
-        let jobs = instance.jobs();
-        let mut machines: Vec<MachW> = (0..m)
-            .map(|_| MachW {
-                pending: Vec::new(),
-                running: None,
-                c: 0.0,
-                pend_wsum: 0.0,
-                pend_min_p: f64::INFINITY,
-            })
-            .collect();
-        let mut log = ScheduleLog::new(m, n);
-        let mut trace = DecisionTrace::new();
-        let mut completions: EventQueue<(usize, JobId)> =
-            EventQueue::with_backend(self.params.events);
-        // Elastic pool: replay the capacity plan's join/drain/crash
-        // stream alongside arrivals (completions < capacity < arrivals
-        // at equal instants).
-        let plan = &self.capacity;
-        plan.check_machines(m)
-            .expect("capacity plan fits the instance");
-        let cap_events = plan.events();
-        let mut next_cap = 0usize;
-        let mut online = plan.initial_online(m);
+    fn sync_index(dindex: &mut Option<MachineIndex>, li: usize, ms: &MachW) {
+        if let Some(ix) = dindex {
+            ix.update(li, ms.stats());
+        }
+    }
 
-        let mut dindex = (self.params.dispatch == DispatchIndex::Pruned
-            && m >= PRUNED_MIN_MACHINES)
-            .then(|| dispatch::rebuild_capacity_index(m, &online, |_| MachineStats::EMPTY));
-        let sync_index = |dindex: &mut Option<MachineIndex>, mi: usize, ms: &MachW| {
-            if let Some(ix) = dindex {
-                ix.update(mi, ms.stats());
-            }
-        };
+    fn start_next(&self, sh: &mut WeightedShard, cx: &mut ShardCtx<'_>, li: usize, t: f64) {
+        let mi = sh.base + li;
+        let ms = &mut sh.machines[li];
+        if ms.running.is_some() || ms.pending.is_empty() || !cx.online.is_online(mi) {
+            return;
+        }
+        let e = ms.remove_at(0);
+        let completion = t + e.p;
+        ms.running = Some(RunningW {
+            job: e.job,
+            start: t,
+            completion,
+            v: 0.0,
+            w: e.w,
+        });
+        cx.completions.push(completion, (mi, e.job));
+        cx.io.trace.push(DecisionEvent::Start {
+            time: t,
+            job: e.job,
+            machine: MachineId(mi as u32),
+            speed: 1.0,
+        });
+        Self::sync_index(&mut sh.dindex, li, &sh.machines[li]);
+    }
+}
 
-        // Hard budget enforcement (extension-specific; see module
-        // docs). Only *dispatchable* arrivals count: an ineligible job
-        // never enters any queue and must not widen the budget.
-        let mut arrived_weight = 0.0f64;
-        let mut dispatched_jobs = 0usize;
-        let mut rejected_weight = 0.0f64;
-        let rule2_threshold = |mean_w: f64| (1.0 + (1.0 / eps).ceil()) * mean_w;
+impl EventPolicy for WeightedPolicy {
+    type Shard = WeightedShard;
+    type Global = ();
 
-        let start_next = |mi: usize,
-                          t: f64,
-                          machines: &mut Vec<MachW>,
-                          completions: &mut EventQueue<(usize, JobId)>,
-                          trace: &mut DecisionTrace,
-                          dindex: &mut Option<MachineIndex>,
-                          online: &OnlineSet| {
-            let ms = &mut machines[mi];
-            if ms.running.is_some() || ms.pending.is_empty() || !online.is_online(mi) {
-                return;
-            }
-            let e = ms.remove_at(0);
-            let completion = t + e.p;
-            ms.running = Some(RunningW {
-                job: e.job,
-                start: t,
-                completion,
-                v: 0.0,
-                w: e.w,
-            });
-            completions.push(completion, (mi, e.job));
-            trace.push(DecisionEvent::Start {
-                time: t,
-                job: e.job,
-                machine: MachineId(mi as u32),
-                speed: 1.0,
-            });
-            sync_index(dindex, mi, &machines[mi]);
-        };
+    fn serial_arrivals(&self) -> bool {
+        true
+    }
 
-        // Dispatches (or re-dispatches) `job` at `t` through the density
-        // argmin and runs both weighted rules. Re-dispatches skip the
-        // arrived-weight accounting — the job's weight was counted at
-        // its first arrival, and double-counting would widen the 2ε
-        // rejected-weight budget.
-        #[allow(clippy::too_many_arguments)]
-        let place_job = |job: &Job,
-                         t: f64,
-                         redispatch: bool,
-                         lost_partial: Option<PartialRun>,
-                         machines: &mut Vec<MachW>,
-                         log: &mut ScheduleLog,
-                         trace: &mut DecisionTrace,
-                         completions: &mut EventQueue<(usize, JobId)>,
-                         dindex: &mut Option<MachineIndex>,
-                         online: &OnlineSet,
-                         arrived_weight: &mut f64,
-                         dispatched_jobs: &mut usize,
-                         rejected_weight: &mut f64| {
-            // `p̂` comes precomputed from the model (no per-arrival
-            // O(m) rescan of `job.sizes`); an everywhere-ineligible job
-            // short-circuits straight to the rejection below.
-            let best: Option<(usize, f64)> = if !job.has_eligible() {
-                None
-            } else {
-                match dindex.as_mut() {
-                    Some(ix) => {
-                        let ph = dispatch::p_hat_view(job);
-                        let w = job.weight;
-                        ix.search_masked(
-                            dispatch::mask_view(job.elig()),
-                            |s, lo, span| {
-                                dispatch::weighted_lambda_bound(
-                                    s.min_count,
-                                    s.min_wsum,
-                                    s.min_size,
-                                    ph.for_range(lo, span),
-                                    w,
-                                    eps,
-                                )
-                            },
-                            |mi, s| {
-                                let p = job.sizes[mi];
-                                if p.is_finite() {
-                                    dispatch::weighted_lambda_bound(
-                                        s.count, s.wsum, s.min_size, p, w, eps,
-                                    )
-                                } else {
-                                    f64::INFINITY
-                                }
-                            },
-                            |mi| {
-                                let p = job.sizes[mi];
-                                p.is_finite()
-                                    .then(|| self.lambda_ij(&machines[mi], p, w, t, job.id))
-                            },
+    fn make_shard(&self, base: usize, len: usize, online: &OnlineSet) -> WeightedShard {
+        let dindex = (self.params.dispatch == DispatchIndex::Pruned
+            && self.m >= PRUNED_MIN_MACHINES)
+            .then(|| dispatch::rebuild_shard_index(base, len, online, |_| MachineStats::EMPTY));
+        WeightedShard {
+            base,
+            len,
+            machines: (0..len)
+                .map(|_| MachW {
+                    pending: Vec::new(),
+                    running: None,
+                    c: 0.0,
+                    pend_wsum: 0.0,
+                    pend_min_p: f64::INFINITY,
+                })
+                .collect(),
+            dindex,
+            scratch: ShardMaskScratch::new(),
+        }
+    }
+
+    fn candidate(
+        &self,
+        sh: &mut WeightedShard,
+        job: &Job,
+        t: f64,
+        online: &OnlineSet,
+    ) -> Option<(usize, f64)> {
+        // `p̂` comes precomputed from the model (no per-arrival O(m)
+        // rescan of `job.sizes`).
+        let WeightedShard {
+            base,
+            len,
+            machines,
+            dindex,
+            scratch,
+        } = sh;
+        let (base, len) = (*base, *len);
+        let eps = self.eps;
+        let best = match dindex.as_mut() {
+            Some(ix) => {
+                let ph = dispatch::p_hat_view(job);
+                let w = job.weight;
+                let mask = scratch.rebase(dispatch::mask_view(job.elig()), base, len);
+                ix.search_masked(
+                    mask,
+                    |s, lo, span| {
+                        dispatch::weighted_lambda_bound(
+                            s.min_count,
+                            s.min_wsum,
+                            s.min_size,
+                            ph.for_range(base + lo, span),
+                            w,
+                            eps,
                         )
-                    }
-                    None => {
-                        let mut best: Option<(usize, f64)> = None;
-                        for (mi, ms) in machines.iter().enumerate() {
-                            let p = job.sizes[mi];
-                            if !p.is_finite() || !online.is_online(mi) {
-                                continue;
-                            }
-                            let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
-                            if best.is_none_or(|(_, bl)| lam < bl) {
-                                best = Some((mi, lam));
-                            }
+                    },
+                    |li, s| {
+                        let p = job.sizes[base + li];
+                        if p.is_finite() {
+                            dispatch::weighted_lambda_bound(s.count, s.wsum, s.min_size, p, w, eps)
+                        } else {
+                            f64::INFINITY
                         }
-                        best
+                    },
+                    |li| {
+                        let p = job.sizes[base + li];
+                        p.is_finite()
+                            .then(|| self.lambda_ij(&machines[li], p, w, t, job.id))
+                    },
+                )
+            }
+            None => {
+                let mut best: Option<(usize, f64)> = None;
+                for (li, ms) in machines.iter().enumerate().take(len) {
+                    let p = job.sizes[base + li];
+                    if !p.is_finite() || !online.is_online(base + li) {
+                        continue;
+                    }
+                    let lam = self.lambda_ij(ms, p, job.weight, t, job.id);
+                    if best.is_none_or(|(_, bl)| lam < bl) {
+                        best = Some((li, lam));
                     }
                 }
-            };
-            let Some((mi, lam)) = best else {
-                // Eligible nowhere (or nowhere still in the pool): drop
-                // the job instead of aborting. Crucially *before* the
-                // budget accounting below — an undispatchable job must
-                // not inflate `arrived_weight` (that would let the rules
-                // reject extra servable weight past the documented 2ε
-                // cap). A machine-lost drop likewise leaves
-                // `rejected_weight` alone: it counts against no rule.
-                if job.has_eligible() {
-                    osr_sim::reject_machine_lost(log, trace, job.id, t, lost_partial);
-                } else {
-                    osr_sim::reject_ineligible(log, trace, job.id, t);
-                }
-                return;
-            };
-            if !redispatch {
-                *arrived_weight += job.weight;
-                *dispatched_jobs += 1;
+                best
             }
-            let mean_weight = *arrived_weight / (*dispatched_jobs).max(1) as f64;
-            trace.push(DecisionEvent::Dispatch {
-                time: t,
-                job: job.id,
-                machine: MachineId(mi as u32),
-                lambda: lam,
-                candidates: m,
-            });
-            let p_ij = job.sizes[mi];
-            machines[mi].insert(PendW {
-                job: job.id,
-                p: p_ij,
-                w: job.weight,
-                d: job.weight / p_ij,
-                r: t,
-            });
-            sync_index(dindex, mi, &machines[mi]);
+        };
+        best.map(|(li, lam)| (base + li, lam))
+    }
 
-            let budget_ok = |rej: f64, arr: f64, extra: f64| rej + extra <= 2.0 * eps * arr + 1e-12;
+    fn dispatch(&self, sh: &mut WeightedShard, cx: &mut ShardCtx<'_>, job: &Job, p: &Placement) {
+        let Placement {
+            time: t,
+            machine: mi,
+            redispatch,
+            ..
+        } = *p;
+        // Re-dispatches skip the arrived-weight accounting — the job's
+        // weight was counted at its first arrival, and double-counting
+        // would widen the 2ε rejected-weight budget.
+        let mut budget = self.budget.lock().expect("budget lock");
+        if !redispatch {
+            budget.arrived_weight += job.weight;
+            budget.dispatched_jobs += 1;
+        }
+        let mean_weight = budget.arrived_weight / budget.dispatched_jobs.max(1) as f64;
+        let li = mi - sh.base;
+        let p_ij = job.sizes[mi];
+        sh.machines[li].insert(PendW {
+            job: job.id,
+            p: p_ij,
+            w: job.weight,
+            d: job.weight / p_ij,
+            r: t,
+        });
+        Self::sync_index(&mut sh.dindex, li, &sh.machines[li]);
 
-            // Weighted Rule 1.
-            if let Some(run) = machines[mi].running.as_mut() {
-                run.v += job.weight;
-                if run.v > run.w / eps && budget_ok(*rejected_weight, *arrived_weight, run.w) {
-                    let run = machines[mi].running.take().expect("present");
-                    *rejected_weight += run.w;
-                    log.reject(
-                        run.job,
+        // Weighted Rule 1.
+        if let Some(run) = sh.machines[li].running.as_mut() {
+            run.v += job.weight;
+            if run.v > run.w / self.eps && budget.allows(self.eps, run.w) {
+                let run = sh.machines[li].running.take().expect("present");
+                budget.rejected_weight += run.w;
+                cx.io.ops.push(LogOp::Reject(
+                    run.job,
+                    Rejection {
+                        time: t,
+                        reason: RejectReason::RuleOne,
+                        partial: Some(PartialRun {
+                            machine: MachineId(mi as u32),
+                            start: run.start,
+                            end: t,
+                            speed: 1.0,
+                        }),
+                    },
+                ));
+                cx.io.trace.push(DecisionEvent::Reject {
+                    time: t,
+                    job: run.job,
+                    machine: MachineId(mi as u32),
+                    reason: RejectReason::RuleOne,
+                    counter: run.v,
+                });
+            }
+        }
+
+        // Weighted Rule 2: fire on weight cadence; victim = lowest
+        // density pending.
+        sh.machines[li].c += job.weight;
+        let threshold = (1.0 + (1.0 / self.eps).ceil()) * mean_weight;
+        if sh.machines[li].c >= threshold {
+            sh.machines[li].c = 0.0;
+            // Victim is the last in the density order.
+            if let Some(victim) = sh.machines[li].pending.last().copied() {
+                if budget.allows(self.eps, victim.w) {
+                    let last = sh.machines[li].pending.len() - 1;
+                    sh.machines[li].remove_at(last);
+                    Self::sync_index(&mut sh.dindex, li, &sh.machines[li]);
+                    budget.rejected_weight += victim.w;
+                    cx.io.ops.push(LogOp::Reject(
+                        victim.job,
                         Rejection {
                             time: t,
-                            reason: RejectReason::RuleOne,
-                            partial: Some(PartialRun {
-                                machine: MachineId(mi as u32),
-                                start: run.start,
-                                end: t,
-                                speed: 1.0,
-                            }),
+                            reason: RejectReason::RuleTwo,
+                            partial: None,
                         },
-                    );
-                    trace.push(DecisionEvent::Reject {
+                    ));
+                    cx.io.trace.push(DecisionEvent::Reject {
                         time: t,
-                        job: run.job,
+                        job: victim.job,
                         machine: MachineId(mi as u32),
-                        reason: RejectReason::RuleOne,
-                        counter: run.v,
+                        reason: RejectReason::RuleTwo,
+                        counter: threshold,
                     });
                 }
             }
-
-            // Weighted Rule 2: fire on weight cadence; victim = lowest
-            // density pending.
-            machines[mi].c += job.weight;
-            let threshold = rule2_threshold(mean_weight);
-            if machines[mi].c >= threshold {
-                machines[mi].c = 0.0;
-                // Victim is the last in the density order.
-                if let Some(victim) = machines[mi].pending.last().copied() {
-                    if budget_ok(*rejected_weight, *arrived_weight, victim.w) {
-                        let last = machines[mi].pending.len() - 1;
-                        machines[mi].remove_at(last);
-                        sync_index(dindex, mi, &machines[mi]);
-                        *rejected_weight += victim.w;
-                        log.reject(
-                            victim.job,
-                            Rejection {
-                                time: t,
-                                reason: RejectReason::RuleTwo,
-                                partial: None,
-                            },
-                        );
-                        trace.push(DecisionEvent::Reject {
-                            time: t,
-                            job: victim.job,
-                            machine: MachineId(mi as u32),
-                            reason: RejectReason::RuleTwo,
-                            counter: threshold,
-                        });
-                    }
-                }
-            }
-
-            start_next(mi, t, machines, completions, trace, dindex, online);
-        };
-
-        let mut next_arrival = 0usize;
-        loop {
-            let ta = jobs.get(next_arrival).map(|j| j.release);
-            let tk = cap_events.get(next_cap).map(|e| e.time);
-            let tc = completions.peek_time();
-            let inf = f64::INFINITY;
-            let do_completion =
-                tc.is_some_and(|c| c <= ta.unwrap_or(inf) && c <= tk.unwrap_or(inf));
-            let do_capacity = !do_completion && tk.is_some_and(|k| k <= ta.unwrap_or(inf));
-            if !do_completion && !do_capacity && ta.is_none() {
-                break;
-            }
-
-            if do_completion {
-                let (t, (mi, job)) = completions.pop().expect("peeked");
-                // Completion-time check too: a crash victim re-dispatched
-                // onto the same machine must not match its stale event.
-                let matches = machines[mi]
-                    .running
-                    .as_ref()
-                    .is_some_and(|r| r.job == job && r.completion == t);
-                if !matches {
-                    continue;
-                }
-                let r = machines[mi].running.take().expect("matched");
-                log.complete(
-                    job,
-                    Execution {
-                        machine: MachineId(mi as u32),
-                        start: r.start,
-                        completion: r.completion,
-                        speed: 1.0,
-                    },
-                );
-                trace.push(DecisionEvent::Complete {
-                    time: t,
-                    job,
-                    machine: MachineId(mi as u32),
-                });
-                start_next(
-                    mi,
-                    t,
-                    &mut machines,
-                    &mut completions,
-                    &mut trace,
-                    &mut dindex,
-                    &online,
-                );
-                continue;
-            }
-
-            if do_capacity {
-                let ev = cap_events[next_cap];
-                next_cap += 1;
-                let t = ev.time;
-                let mi = ev.machine.idx();
-                match ev.change {
-                    CapacityChange::Join => {
-                        if online.set_online(mi) {
-                            dispatch::sync_capacity_index(
-                                &mut dindex,
-                                self.params.capacity_index,
-                                ev.change,
-                                mi,
-                                m,
-                                &online,
-                                |i| machines[i].stats(),
-                            );
-                        }
-                    }
-                    CapacityChange::Drain | CapacityChange::Crash => {
-                        if online.set_offline(mi) {
-                            let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
-                            if ev.change == CapacityChange::Crash {
-                                if let Some(run) = machines[mi].running.take() {
-                                    victims.push((
-                                        run.job,
-                                        Some(PartialRun {
-                                            machine: MachineId(mi as u32),
-                                            start: run.start,
-                                            end: t,
-                                            speed: 1.0,
-                                        }),
-                                    ));
-                                }
-                            }
-                            while !machines[mi].pending.is_empty() {
-                                let e = machines[mi].remove_at(0);
-                                victims.push((e.job, None));
-                            }
-                            victims.sort_by_key(|&(id, _)| id);
-                            dispatch::sync_capacity_index(
-                                &mut dindex,
-                                self.params.capacity_index,
-                                ev.change,
-                                mi,
-                                m,
-                                &online,
-                                |i| machines[i].stats(),
-                            );
-                            for (vid, partial) in victims {
-                                log.note_redispatch(vid);
-                                place_job(
-                                    instance.job(vid),
-                                    t,
-                                    true,
-                                    partial,
-                                    &mut machines,
-                                    &mut log,
-                                    &mut trace,
-                                    &mut completions,
-                                    &mut dindex,
-                                    &online,
-                                    &mut arrived_weight,
-                                    &mut dispatched_jobs,
-                                    &mut rejected_weight,
-                                );
-                            }
-                        }
-                    }
-                }
-                continue;
-            }
-
-            let job = &jobs[next_arrival];
-            next_arrival += 1;
-            place_job(
-                job,
-                job.release,
-                false,
-                None,
-                &mut machines,
-                &mut log,
-                &mut trace,
-                &mut completions,
-                &mut dindex,
-                &online,
-                &mut arrived_weight,
-                &mut dispatched_jobs,
-                &mut rejected_weight,
-            );
         }
+        drop(budget);
 
-        WeightedFlowOutcome {
-            log: log.finish().expect("all decided"),
-            trace,
-            effective_dispatch: dispatch::effective_dispatch_index(self.params.dispatch, m),
+        self.start_next(sh, cx, li, t);
+    }
+
+    fn note_unplaced(&self, _sh: &mut WeightedShard, _job: &Job, _t: f64) {
+        // An undispatchable job must not inflate `arrived_weight` (that
+        // would let the rules reject extra servable weight past the
+        // documented 2ε cap); a machine-lost drop likewise leaves
+        // `rejected_weight` alone: it counts against no rule.
+    }
+
+    fn complete(
+        &self,
+        sh: &mut WeightedShard,
+        cx: &mut ShardCtx<'_>,
+        mi: usize,
+        job: JobId,
+        t: f64,
+    ) {
+        let li = mi - sh.base;
+        // Completion-time check too: a crash victim re-dispatched onto
+        // the same machine must not match its stale event.
+        let matches = sh.machines[li]
+            .running
+            .as_ref()
+            .is_some_and(|r| r.job == job && r.completion == t);
+        if !matches {
+            return;
+        }
+        let r = sh.machines[li].running.take().expect("matched");
+        cx.io.ops.push(LogOp::Complete(
+            job,
+            Execution {
+                machine: MachineId(mi as u32),
+                start: r.start,
+                completion: r.completion,
+                speed: 1.0,
+            },
+        ));
+        cx.io.trace.push(DecisionEvent::Complete {
+            time: t,
+            job,
+            machine: MachineId(mi as u32),
+        });
+        self.start_next(sh, cx, li, t);
+    }
+
+    fn capacity_sync(
+        &self,
+        sh: &mut WeightedShard,
+        change: CapacityChange,
+        mi: usize,
+        online: &OnlineSet,
+    ) {
+        let WeightedShard {
+            base,
+            len,
+            machines,
+            dindex,
+            ..
+        } = sh;
+        let base = *base;
+        dispatch::sync_shard_index(
+            dindex,
+            self.params.capacity_index,
+            change,
+            mi,
+            base,
+            *len,
+            online,
+            |i| machines[i - base].stats(),
+        );
+    }
+
+    fn evict(
+        &self,
+        sh: &mut WeightedShard,
+        _cx: &mut ShardCtx<'_>,
+        change: CapacityChange,
+        mi: usize,
+        t: f64,
+        victims: &mut Vec<(JobId, Option<PartialRun>)>,
+    ) {
+        let li = mi - sh.base;
+        if change == CapacityChange::Crash {
+            if let Some(run) = sh.machines[li].running.take() {
+                victims.push((
+                    run.job,
+                    Some(PartialRun {
+                        machine: MachineId(mi as u32),
+                        start: run.start,
+                        end: t,
+                        speed: 1.0,
+                    }),
+                ));
+            }
+        }
+        while !sh.machines[li].pending.is_empty() {
+            let e = sh.machines[li].remove_at(0);
+            victims.push((e.job, None));
         }
     }
+
+    fn drain(&self, _sh: &mut WeightedShard, _global: &mut ()) {}
 }
 
 impl OnlineScheduler for WeightedFlowScheduler {

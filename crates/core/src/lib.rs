@@ -65,3 +65,7 @@ pub use flowtime::{FlowOutcome, FlowParams, FlowScheduler, QueueBackend};
 // so harnesses can ablate it beside the dispatch toggle
 // (`run_experiments --propagation eager|lazy`).
 pub use osr_dstruct::tournament::{default_propagation, set_default_propagation, Propagation};
+// The epoch-sharded driver's shard toggle, re-exported so harnesses can
+// ablate it beside the other toggles (`run_experiments --shards N`;
+// `1` = the serial oracle, byte-identical at any value).
+pub use osr_sim::{default_shards, effective_shards, set_default_shards};

@@ -1,0 +1,224 @@
+//! Shard-equivalence proptests: the epoch-sharded event driver must be
+//! **bit-identical** to the serial loop (`shards = 1`) for every
+//! flow-family scheduler, on instances that straddle the 64-machine
+//! rack boundary (m ∈ {63, 64, 65} plus genuinely multi-shard pools),
+//! under elastic-pool churn and restricted affinity masks.
+//!
+//! The driver's contract (see `crates/sim/README.md`) is that sharding
+//! is a pure execution strategy: cross-shard argmin candidates are
+//! reconciled with the serial tie-break (smaller value, then lower
+//! machine index), capacity barriers and re-dispatch run serially, and
+//! per-job global-array writes commute. These tests check the contract
+//! end to end — schedule logs (fates, executions, redispatch counts)
+//! and the §2 dual vectors must match to the last bit.
+
+use osr_core::flowtime::{WeightedFlowParams, WeightedFlowScheduler};
+use osr_core::{EnergyFlowParams, EnergyFlowScheduler, FlowParams, FlowScheduler};
+use osr_model::{Instance, InstanceBuilder, InstanceKind, MachineId};
+use osr_sim::{CapacityChange, CapacityEvent, CapacityPlan};
+use proptest::prelude::*;
+
+/// One generated job: a release gap to the previous job, a base size,
+/// a weight, an affinity-mask kind, and a seed for the mask bits.
+type JobSpec = (f64, f64, f64, u8, u64);
+
+/// One generated churn event: time fraction of the horizon, a machine
+/// pick, and the change kind (0 = drain, 1 = crash, 2 = join).
+type ChurnSpec = (f64, u64, u8);
+
+/// Machine pools that straddle the rack boundary: one rack minus one,
+/// exactly one rack, one rack plus one (the smallest pool where a
+/// second shard can engage), and two genuinely multi-shard sizes.
+const POOLS: [usize; 5] = [63, 64, 65, 130, 200];
+
+/// SplitMix64 — deterministic per-machine size jitter and mask bits.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the `p_ij` row for one job. `kind % 3` selects the affinity
+/// shape: everywhere-eligible, single-rack (all machines of rack
+/// `seed % racks`), or a random subset (each machine eligible with
+/// probability ~1/2, forced non-empty). Eligible sizes jitter around
+/// `base` so the argmin is non-trivial and rack-local minima differ.
+fn sizes_for(m: usize, base: f64, kind: u8, seed: u64) -> Vec<f64> {
+    let jitter = |i: usize| {
+        let r = mix(seed ^ (i as u64).wrapping_mul(0xA24BAED4963EE407)) % 1000;
+        base * (0.5 + r as f64 / 1000.0)
+    };
+    match kind % 3 {
+        0 => (0..m).map(jitter).collect(),
+        1 => {
+            let racks = m.div_ceil(64);
+            let rack = (seed % racks as u64) as usize;
+            (0..m)
+                .map(|i| {
+                    if i / 64 == rack {
+                        jitter(i)
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect()
+        }
+        _ => {
+            let mut row: Vec<f64> = (0..m)
+                .map(|i| {
+                    if mix(seed ^ ((i as u64) << 32)) & 1 == 0 {
+                        jitter(i)
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect();
+            let forced = (seed % m as u64) as usize;
+            if row[forced].is_infinite() {
+                row[forced] = jitter(forced);
+            }
+            row
+        }
+    }
+}
+
+fn build_instance(m: usize, kind: InstanceKind, jobs: &[JobSpec]) -> Instance {
+    let mut b = InstanceBuilder::new(m, kind);
+    let mut t = 0.0;
+    for &(gap, base, weight, mask_kind, seed) in jobs {
+        t += gap;
+        let sizes = sizes_for(m, base, mask_kind, seed);
+        b = if kind == InstanceKind::FlowTime {
+            b.job(t, sizes)
+        } else {
+            b.weighted_job(t, weight, sizes)
+        };
+    }
+    b.build().expect("generated instance is valid")
+}
+
+fn build_plan(m: usize, horizon: f64, churn: &[ChurnSpec]) -> CapacityPlan {
+    let events = churn
+        .iter()
+        .map(|&(frac, pick, kind)| CapacityEvent {
+            time: frac * horizon,
+            machine: MachineId((pick % m as u64) as u32),
+            change: match kind % 3 {
+                0 => CapacityChange::Drain,
+                1 => CapacityChange::Crash,
+                _ => CapacityChange::Join,
+            },
+        })
+        .collect();
+    CapacityPlan::new(events).expect("generated plan is valid")
+}
+
+/// Bit-exact equality for float vectors (0.0 vs -0.0 and NaN patterns
+/// included — "byte-identical" means the serialized artifacts match).
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        (0.0..0.4f64),
+        (0.5..4.0f64),
+        (1.0..5.0f64),
+        (0u8..3),
+        proptest::arbitrary::any::<u64>(),
+    )
+}
+
+fn churn_strategy() -> impl Strategy<Value = ChurnSpec> {
+    ((0.0..1.0f64), proptest::arbitrary::any::<u64>(), (0u8..3))
+}
+
+proptest! {
+    #[test]
+    fn flow_sharded_matches_serial(
+        pool in 0usize..POOLS.len(),
+        jobs in prop::collection::vec(job_strategy(), 8..48),
+        churn in prop::collection::vec(churn_strategy(), 0..8),
+    ) {
+        let m = POOLS[pool];
+        let inst = build_instance(m, InstanceKind::FlowTime, &jobs);
+        let plan = build_plan(m, inst.horizon() * 1.2, &churn);
+        let run = |shards: usize| {
+            let mut p = FlowParams::new(0.25);
+            p.shards = shards;
+            FlowScheduler::new(p)
+                .unwrap()
+                .with_capacity(plan.clone())
+                .run(&inst)
+        };
+        let serial = run(1);
+        prop_assert_eq!(serial.effective_shards, 1);
+        for shards in [2usize, 4] {
+            let out = run(shards);
+            prop_assert_eq!(
+                osr_core::effective_shards(shards, m),
+                out.effective_shards
+            );
+            prop_assert_eq!(&out.log, &serial.log, "log diverged at m={} shards={}", m, shards);
+            prop_assert!(bits_eq(&out.dual.lambda, &serial.dual.lambda));
+            prop_assert!(bits_eq(&out.dual.exit, &serial.dual.exit));
+            prop_assert!(bits_eq(&out.dual.c_tilde, &serial.dual.c_tilde));
+            prop_assert_eq!(&out.dual.machine_of, &serial.dual.machine_of);
+        }
+    }
+
+    #[test]
+    fn weighted_flow_sharded_matches_serial(
+        pool in 0usize..POOLS.len(),
+        jobs in prop::collection::vec(job_strategy(), 8..48),
+        churn in prop::collection::vec(churn_strategy(), 0..8),
+    ) {
+        let m = POOLS[pool];
+        let inst = build_instance(m, InstanceKind::FlowEnergy, &jobs);
+        let plan = build_plan(m, inst.horizon() * 1.2, &churn);
+        let run = |shards: usize| {
+            let mut p = WeightedFlowParams::new(0.25);
+            p.shards = shards;
+            WeightedFlowScheduler::new(p)
+                .unwrap()
+                .with_capacity(plan.clone())
+                .run(&inst)
+        };
+        let serial = run(1);
+        for shards in [2usize, 4] {
+            let out = run(shards);
+            prop_assert_eq!(&out.log, &serial.log, "log diverged at m={} shards={}", m, shards);
+        }
+    }
+
+    #[test]
+    fn energy_flow_sharded_matches_serial(
+        pool in 0usize..POOLS.len(),
+        jobs in prop::collection::vec(job_strategy(), 8..48),
+        churn in prop::collection::vec(churn_strategy(), 0..8),
+    ) {
+        let m = POOLS[pool];
+        let inst = build_instance(m, InstanceKind::FlowEnergy, &jobs);
+        let plan = build_plan(m, inst.horizon() * 1.2, &churn);
+        let run = |shards: usize| {
+            let mut p = EnergyFlowParams::new(0.5, 3.0);
+            p.shards = shards;
+            EnergyFlowScheduler::new(p)
+                .unwrap()
+                .with_capacity(plan.clone())
+                .run(&inst)
+        };
+        let serial = run(1);
+        for shards in [2usize, 4] {
+            let out = run(shards);
+            prop_assert_eq!(&out.log, &serial.log, "log diverged at m={} shards={}", m, shards);
+            prop_assert_eq!(out.records.len(), serial.records.len());
+            for (a, b) in out.records.iter().zip(&serial.records) {
+                prop_assert_eq!(a.machine, b.machine);
+                prop_assert!(bits_eq(&[a.lambda, a.start, a.speed, a.exit, a.def_finish],
+                                     &[b.lambda, b.start, b.speed, b.exit, b.def_finish]));
+            }
+        }
+    }
+}

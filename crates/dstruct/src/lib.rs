@@ -74,7 +74,7 @@ pub use pairing::PairingHeap;
 pub use total::TotalF64;
 pub use tournament::{
     default_propagation, set_default_propagation, MachineIndex, MachineStats, MaskView, NodeStats,
-    Propagation, SearchMode,
+    Propagation, SearchMode, ShardMaskScratch,
 };
 pub use treap::AggTreap;
 pub use treap_boxed::BoxedAggTreap;

@@ -206,6 +206,54 @@ impl MaskView<'_> {
     }
 }
 
+/// Reusable scratch for re-basing a *global* [`MaskView`] onto one
+/// shard's machine range (the epoch-sharded driver partitions machines
+/// into whole 64-machine racks, so a shard's view of a job's
+/// eligibility mask is a word-aligned slice of the global words plus a
+/// locally rebuilt summary layer). One scratch per shard, reused across
+/// every dispatch — no per-arrival allocation once the high-water mark
+/// is reached.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMaskScratch {
+    summary: Vec<u64>,
+}
+
+impl ShardMaskScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The view of `mask` restricted to global machines
+    /// `[base, base + len)`, re-indexed so local machine `i` is global
+    /// machine `base + i`. `base` must be a multiple of 64 (shards own
+    /// whole racks), so the slice never splits a word. Machines beyond
+    /// the mask's width — including a `base` past the last word — test
+    /// ineligible, matching the global view's padding contract.
+    pub fn rebase<'a>(&'a mut self, mask: MaskView<'a>, base: usize, len: usize) -> MaskView<'a> {
+        match mask {
+            MaskView::All => MaskView::All,
+            MaskView::Words { words, .. } => {
+                debug_assert!(base.is_multiple_of(64), "shard base splits a rack");
+                let first = (base / 64).min(words.len());
+                let last = (base + len).div_ceil(64).min(words.len());
+                let local = &words[first..last];
+                self.summary.clear();
+                self.summary.resize(local.len().div_ceil(64), 0);
+                for (k, &w) in local.iter().enumerate() {
+                    if w != 0 {
+                        self.summary[k / 64] |= 1u64 << (k % 64);
+                    }
+                }
+                MaskView::Words {
+                    words: local,
+                    summary: &self.summary,
+                }
+            }
+        }
+    }
+}
+
 /// How [`MachineIndex`] locates the argmin internally. Results are
 /// identical either way (same `(value, index)` bit for bit); the modes
 /// trade constant factors, and [`MachineIndex::new`] picks by `m`.
@@ -1055,6 +1103,43 @@ mod tests {
             |i, _| values[i].unwrap_or(f64::INFINITY),
             |i| values[i],
         )
+    }
+
+    #[test]
+    fn shard_mask_rebase_slices_whole_racks() {
+        // Global mask over 200 machines: bits 3, 64, 100, 199.
+        let mut words = vec![0u64; 4];
+        for i in [3usize, 64, 100, 199] {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        let summary = vec![0b1111u64];
+        let global = MaskView::Words {
+            words: &words,
+            summary: &summary,
+        };
+        let mut scratch = ShardMaskScratch::new();
+        // Shard of racks 1..3 (machines 64..192): sees 64→0, 100→36.
+        let v = scratch.rebase(global, 64, 128);
+        assert!(v.test(0) && v.test(36));
+        assert!(!v.test(3) && !v.test(64 + 36));
+        assert!(v.any_in_range(0, 64));
+        assert!(!v.any_in_range(64, 64), "rack 2 is empty in this shard");
+        // Final shard (machines 192..200): 199→7.
+        let mut scratch2 = ShardMaskScratch::new();
+        let v = scratch2.rebase(global, 192, 8);
+        assert!(v.test(7));
+        assert!(!v.test(0));
+        // A shard past the mask's width sees nothing (and must not panic).
+        let mut scratch3 = ShardMaskScratch::new();
+        let v = scratch3.rebase(global, 256, 64);
+        assert!(!v.test(0));
+        assert!(!v.any_in_range(0, 64));
+        // All-mask passes through untouched.
+        let mut scratch4 = ShardMaskScratch::new();
+        assert!(matches!(
+            scratch4.rebase(MaskView::All, 64, 128),
+            MaskView::All
+        ));
     }
 
     #[test]

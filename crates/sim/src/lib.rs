@@ -13,6 +13,12 @@
 //!   ordering contract, so simulations are backend-independent);
 //! * [`scheduler::OnlineScheduler`] — the trait every policy implements
 //!   (`osr-core` algorithms and `osr-baselines` comparators alike);
+//! * [`driver`] — the generic epoch-sharded event loop all `osr-core`
+//!   schedulers run on via [`driver::EventPolicy`]: one implementation
+//!   of the completions ≤ capacity ≤ arrivals ordering, the re-dispatch
+//!   discipline, and the shared reject accounting, with rack-partitioned
+//!   shard parallelism (`shards = 1` is the byte-identical serial
+//!   oracle);
 //! * [`capacity`] — the elastic machine pool: join/drain/crash event
 //!   streams ([`capacity::CapacityPlan`]) replayed alongside arrivals,
 //!   with failure-trace parsing and the online-window vocabulary the
@@ -37,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod driver;
 pub mod event;
 pub mod gantt;
 pub mod scheduler;
@@ -45,6 +52,10 @@ pub mod trace;
 pub mod validate;
 
 pub use capacity::{CapacityChange, CapacityEvent, CapacityPlan, OnlineWindow};
+pub use driver::{
+    default_shards, drive, effective_shards, set_default_shards, EventPolicy, LogOp, ShardCtx,
+    ShardIo, ShardLayout,
+};
 pub use event::{EventBackend, EventQueue};
 pub use gantt::render_gantt;
 pub use scheduler::{
