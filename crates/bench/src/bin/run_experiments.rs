@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p osr-bench --bin run_experiments -- \
-//!     [--quick] [--jobs N] [--dispatch pruned|linear] \
-//!     [--propagation lazy|eager] [--capacity incremental|rebuild] \
+//!     [--quick] [--jobs N] [--dispatch-index linear|pruned] \
+//!     [--capacity-index incremental|rebuild] [--propagation eager|lazy] \
 //!     [--shards N] [ids…]
 //! ```
 //!
@@ -12,23 +12,16 @@
 //! sets the worker count for each experiment's replicate fan-out;
 //! whatever the value, the emitted tables and CSVs are **byte-identical**
 //! (see `osr_bench::experiments` for the determinism contract), so
-//! `--jobs` trades wall-clock only. `--dispatch` overrides the
-//! process-default dispatch-argmin strategy for every scheduler the
-//! experiments construct; because the pruned index is exact, CSVs are
-//! byte-identical for either value too (CI diffs both knobs).
-//! `--propagation` likewise overrides the tournament index's
-//! ancestor-propagation default (lazy dirty-leaf repair vs the eager
-//! compat mode); lazy repair reproduces the eager aggregates exactly,
-//! so CSVs are byte-identical across this knob too — the third CI
-//! diff. `--capacity` overrides how the dispatch index absorbs
-//! elastic-pool events (incremental grow/tombstone/compact vs a
-//! rebuild-from-scratch oracle after every event); incremental resize
-//! is exact, so CSVs are byte-identical across this knob as well —
-//! the fourth CI diff. `--shards N` overrides the epoch-sharded event
-//! driver's process default for every flow/weighted/energy run (`1` =
-//! the serial reference loop); the sharded driver reconciles cross-shard
-//! argmin candidates with the serial tie-break, so CSVs are
-//! byte-identical across this knob as well — the fifth CI diff.
+//! `--jobs` trades wall-clock only.
+//!
+//! The four runtime knobs are the shared [`osr_core::RuntimeDefaults`]
+//! vocabulary (same spellings and parsers as `osr run` / `osr serve`;
+//! the pre-unification spellings `--dispatch` and `--capacity` are kept
+//! as aliases). Every knob is **result-neutral** — the pruned index is
+//! exact, lazy repair reproduces the eager aggregates, incremental
+//! resize matches the rebuild oracle, and the sharded driver reconciles
+//! cross-shard argmin candidates with the serial tie-break — so CSVs
+//! are byte-identical across all of them; CI diffs each one.
 
 use std::fs;
 use std::io::Write as _;
@@ -40,72 +33,46 @@ fn main() {
 
     let mut wanted: Vec<String> = Vec::new();
     let mut jobs: Option<usize> = None;
+    let mut defaults = osr_core::RuntimeDefaults::default();
     let mut iter = args.iter();
+    // Takes the flag's value token or dies with the shared usage text.
+    fn value<'a>(iter: &mut std::slice::Iter<'a, String>, flag: &str) -> &'a str {
+        iter.next().map(String::as_str).unwrap_or_else(|| {
+            eprintln!("{flag} needs a value; runtime knobs:");
+            eprint!("{}", osr_core::knob_help("  "));
+            std::process::exit(2);
+        })
+    }
+    fn parsed<T>(r: Result<T, String>) -> T {
+        r.unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => {}
-            "--dispatch" => {
-                let v = iter.next().unwrap_or_else(|| {
-                    eprintln!("--dispatch needs a value (pruned|linear)");
-                    std::process::exit(2);
-                });
-                match v.as_str() {
-                    "pruned" => {
-                        osr_core::set_default_dispatch_index(osr_core::DispatchIndex::Pruned)
-                    }
-                    "linear" => {
-                        osr_core::set_default_dispatch_index(osr_core::DispatchIndex::Linear)
-                    }
-                    other => {
-                        eprintln!("--dispatch wants pruned|linear, got {other:?}");
-                        std::process::exit(2);
-                    }
-                }
+            "--dispatch-index" | "--dispatch" => {
+                defaults.dispatch = Some(parsed(osr_core::parse_dispatch(value(
+                    &mut iter,
+                    "--dispatch-index",
+                ))));
+            }
+            "--capacity-index" | "--capacity" => {
+                defaults.capacity_index = Some(parsed(osr_core::parse_capacity_index(value(
+                    &mut iter,
+                    "--capacity-index",
+                ))));
             }
             "--propagation" => {
-                let v = iter.next().unwrap_or_else(|| {
-                    eprintln!("--propagation needs a value (lazy|eager)");
-                    std::process::exit(2);
-                });
-                match v.as_str() {
-                    "lazy" => osr_core::set_default_propagation(osr_core::Propagation::Lazy),
-                    "eager" => osr_core::set_default_propagation(osr_core::Propagation::Eager),
-                    other => {
-                        eprintln!("--propagation wants lazy|eager, got {other:?}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--capacity" => {
-                let v = iter.next().unwrap_or_else(|| {
-                    eprintln!("--capacity needs a value (incremental|rebuild)");
-                    std::process::exit(2);
-                });
-                match v.as_str() {
-                    "incremental" => osr_core::set_default_capacity_index(
-                        osr_core::CapacityIndexMode::Incremental,
-                    ),
-                    "rebuild" => {
-                        osr_core::set_default_capacity_index(osr_core::CapacityIndexMode::Rebuild)
-                    }
-                    other => {
-                        eprintln!("--capacity wants incremental|rebuild, got {other:?}");
-                        std::process::exit(2);
-                    }
-                }
+                defaults.propagation = Some(parsed(osr_core::parse_propagation(value(
+                    &mut iter,
+                    "--propagation",
+                ))));
             }
             "--shards" => {
-                let v = iter.next().unwrap_or_else(|| {
-                    eprintln!("--shards needs a value (integer >= 1)");
-                    std::process::exit(2);
-                });
-                match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => osr_core::set_default_shards(n),
-                    _ => {
-                        eprintln!("--shards needs a positive integer, got {v:?}");
-                        std::process::exit(2);
-                    }
-                }
+                defaults.shards =
+                    Some(parsed(osr_core::parse_shards(value(&mut iter, "--shards"))));
             }
             "--jobs" => {
                 let v = iter.next().unwrap_or_else(|| {
@@ -121,12 +88,14 @@ fn main() {
                 }
             }
             s if s.starts_with("--") => {
-                eprintln!("unknown flag {s}");
+                eprintln!("unknown flag {s}; runtime knobs:");
+                eprint!("{}", osr_core::knob_help("  "));
                 std::process::exit(2);
             }
             s => wanted.push(s.to_string()),
         }
     }
+    defaults.apply();
 
     if let Some(n) = jobs {
         rayon::ThreadPoolBuilder::new()

@@ -1,8 +1,13 @@
 //! CLI command implementations.
 //!
-//! Each command is a pure function `Args -> Result<String, String>`;
-//! file writes happen only for explicitly requested `--out`/`--log`
-//! paths. [`dispatch`] routes a parsed command line.
+//! Each command is a pure function from parsed [`Args`] to a
+//! [`CmdOutput`] — a machine-readable stdout payload plus
+//! informational notices that `main` routes to stderr, so piping
+//! stdout always yields clean data. File writes happen only for
+//! explicitly requested `--out`/`--log` paths. [`dispatch`] routes a
+//! parsed command line. The two interactive commands (`serve`, `top`)
+//! live in [`crate::serve`] and additionally read stdin / a unix
+//! socket while running.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -24,7 +29,44 @@ use osr_workload::{
 
 use crate::args::{split_spec, Args};
 
-/// Usage text printed on errors and `osr help`.
+/// Boolean flags (options that take no value) across all subcommands —
+/// the single list `main` and the tests both register with
+/// [`Args::parse`].
+pub const FLAGS: &[&str] = &["gantt", "once"];
+
+/// A command's result: the stdout payload plus informational notices
+/// destined for stderr. Keeping the two apart is a contract — stdout
+/// stays machine-parseable (instances, logs, tables) no matter what
+/// the run wants to tell the operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Machine-readable payload, printed verbatim to stdout.
+    pub stdout: String,
+    /// Informational notices, printed line-by-line to stderr.
+    pub notices: Vec<String>,
+}
+
+impl From<String> for CmdOutput {
+    fn from(stdout: String) -> Self {
+        CmdOutput {
+            stdout,
+            notices: Vec::new(),
+        }
+    }
+}
+
+/// Usage text printed on errors and `osr help`: the static command
+/// grammar plus the runtime-knob table generated from
+/// [`osr_core::KNOBS`], so the help can never drift from the parsers.
+pub fn usage() -> String {
+    format!(
+        "{USAGE}\nRUNTIME KNOBS (run/serve/run_experiments; all result-neutral):\n{}",
+        osr_core::knob_help("  ")
+    )
+}
+
+/// Static usage text (command grammar only — [`usage`] appends the
+/// generated runtime-knob table).
 pub const USAGE: &str = "\
 osr — online non-preemptive scheduling with rejections (SPAA'18)
 
@@ -42,6 +84,8 @@ USAGE:
                                       scenario's churn segment)
                [--capacity-out FILE] (write the churn capacity plan as a
                                       `time,machine,kind` failure trace)
+               [--serve-script FILE] (write the instance+plan as an `osr serve`
+                                      replay script; prints the --offline list)
   osr run      --algo SPEC --input FILE [--log FILE] [--gantt] [--alpha A]
                [--capacity FILE]     (replay a `time,machine,kind` failure trace:
                                       machines join/drain/crash mid-run —
@@ -58,6 +102,23 @@ USAGE:
                                                    byte-identical at any N)
                SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
                      | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
+  osr serve    --algo flow:EPS|wflow:EPS|energyflow:EPS:ALPHA --machines M
+               [--offline I,J,..]    (machines that start outside the pool)
+               [--socket PATH]       (also accept the line protocol on a
+                                      unix socket; replies ok/err/stats)
+               [--once]              (finish at stdin EOF instead of waiting
+                                      for `shutdown`)
+               [--log FILE]          (also write the final log to FILE)
+               runtime knobs as `osr run`; stdout carries exactly the final
+               schedule log (byte-identical to the offline run over the same
+               event stream). stdin/socket lines:
+                 arrive <id> [@T] [w=W] <size>...   (size `inf` = ineligible)
+                 join|drain|crash <machine> [@T]
+                 advance <T> | stats | shutdown
+  osr top      --socket PATH [--frames N] [--interval-ms T]
+               (live ops TUI over a serve socket: queue depths, flow-time
+                percentiles, reject counts by reason, redispatches, and
+                dispatch-index stats; N=0 polls until the server exits)
   osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
                [--capacity FILE]     (check runs against the failure trace's
                                       online windows)
@@ -67,15 +128,17 @@ USAGE:
 ";
 
 /// Routes a parsed command line to its implementation.
-pub fn dispatch(args: &Args) -> Result<String, String> {
+pub fn dispatch(args: &Args) -> Result<CmdOutput, String> {
     match args.subcommand() {
-        Some("gen") => cmd_gen(args),
+        Some("gen") => cmd_gen(args).map(CmdOutput::from),
         Some("run") => cmd_run(args),
-        Some("validate") => cmd_validate(args),
-        Some("compare") => cmd_compare(args),
-        Some("bounds") => cmd_bounds(args),
-        Some("help") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+        Some("serve") => crate::serve::cmd_serve(args),
+        Some("top") => crate::serve::cmd_top(args),
+        Some("validate") => cmd_validate(args).map(CmdOutput::from),
+        Some("compare") => cmd_compare(args).map(CmdOutput::from),
+        Some("bounds") => cmd_bounds(args).map(CmdOutput::from),
+        Some("help") | None => Ok(CmdOutput::from(usage())),
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
     }
 }
 
@@ -180,21 +243,30 @@ fn parse_weights(spec: &str) -> Result<WeightSpec, String> {
     }
 }
 
-/// Backend selections for `osr run`, parsed once from the options so
-/// bad values surface through the command's error path (exit code 1),
-/// never a panic.
+/// Backend selections for `osr run` / `osr serve`, parsed once from
+/// the options so bad values surface through the command's error path
+/// (exit code 1), never a panic. The four shared runtime knobs parse
+/// through the [`osr_core`] knob vocabulary, so their error messages
+/// match `run_experiments` and the generated help exactly.
 #[derive(Debug, Clone, Copy, Default)]
-struct BackendOpts {
+pub(crate) struct BackendOpts {
     queue: Option<QueueBackend>,
     events: Option<EventBackend>,
-    dispatch: Option<DispatchIndex>,
+    pub(crate) dispatch: Option<DispatchIndex>,
     propagation: Option<osr_core::Propagation>,
     capacity_index: Option<CapacityIndexMode>,
-    shards: Option<usize>,
+    pub(crate) shards: Option<usize>,
 }
 
 impl BackendOpts {
-    fn parse(args: &Args) -> Result<Self, String> {
+    pub(crate) fn parse(args: &Args) -> Result<Self, String> {
+        fn knob<T>(
+            args: &Args,
+            name: &str,
+            parse: fn(&str) -> Result<T, String>,
+        ) -> Result<Option<T>, String> {
+            args.opt(name).map(parse).transpose()
+        }
         let queue = match args.opt("queue-backend") {
             None => None,
             Some("treap") => Some(QueueBackend::Treap),
@@ -215,69 +287,54 @@ impl BackendOpts {
                 ))
             }
         };
-        let dispatch = match args.opt("dispatch-index") {
-            None => None,
-            Some("pruned") => Some(DispatchIndex::Pruned),
-            Some("linear") => Some(DispatchIndex::Linear),
-            Some(other) => {
-                return Err(format!(
-                    "bad value `{other}` for --dispatch-index (want pruned|linear)"
-                ))
-            }
-        };
-        let propagation = match args.opt("propagation") {
-            None => None,
-            Some("lazy") => Some(osr_core::Propagation::Lazy),
-            Some("eager") => Some(osr_core::Propagation::Eager),
-            Some(other) => {
-                return Err(format!(
-                    "bad value `{other}` for --propagation (want lazy|eager)"
-                ))
-            }
-        };
-        let capacity_index = match args.opt("capacity-index") {
-            None => None,
-            Some("incremental") => Some(CapacityIndexMode::Incremental),
-            Some("rebuild") => Some(CapacityIndexMode::Rebuild),
-            Some(other) => {
-                return Err(format!(
-                    "bad value `{other}` for --capacity-index (want incremental|rebuild)"
-                ))
-            }
-        };
-        let shards = match args.opt("shards") {
-            None => None,
-            Some(s) => match s.parse::<usize>() {
-                Ok(n) if n >= 1 => Some(n),
-                _ => {
-                    return Err(format!(
-                        "bad value `{s}` for --shards (want an integer >= 1)"
-                    ))
-                }
-            },
-        };
         Ok(BackendOpts {
             queue,
             events,
-            dispatch,
-            propagation,
-            capacity_index,
-            shards,
+            dispatch: knob(args, "dispatch-index", osr_core::parse_dispatch)?,
+            propagation: knob(args, "propagation", osr_core::parse_propagation)?,
+            capacity_index: knob(args, "capacity-index", osr_core::parse_capacity_index)?,
+            shards: knob(args, "shards", osr_core::parse_shards)?,
         })
     }
 
     /// The propagation toggle is a process-wide default (like
     /// `run_experiments --propagation`); apply it before any scheduler
     /// builds its dispatch index.
-    fn apply_propagation(&self) {
+    pub(crate) fn apply_propagation(&self) {
         if let Some(p) = self.propagation {
             osr_core::set_default_propagation(p);
         }
     }
 
+    /// Overlays every explicit selection onto a params struct's
+    /// embedded [`osr_core::SchedulerConfig`] block (unset options keep
+    /// the process defaults).
+    pub(crate) fn apply_to(&self, config: &mut osr_core::SchedulerConfig) {
+        if let Some(q) = self.queue {
+            config.backend = q;
+        }
+        if let Some(e) = self.events {
+            config.events = e;
+        }
+        if let Some(d) = self.dispatch {
+            config.dispatch = d;
+        }
+        if let Some(ci) = self.capacity_index {
+            config.capacity_index = ci;
+        }
+        if let Some(s) = self.shards {
+            config.shards = s;
+        }
+    }
+
     /// Errors when an option was given but the chosen algorithm cannot
     /// honor it — silent drops would defeat the ablation's point.
-    fn reject_unsupported(&self, spec: &str, queue_ok: bool, rest_ok: bool) -> Result<(), String> {
+    pub(crate) fn reject_unsupported(
+        &self,
+        spec: &str,
+        queue_ok: bool,
+        rest_ok: bool,
+    ) -> Result<(), String> {
         if self.queue.is_some() && !queue_ok {
             return Err(format!("--queue-backend does not apply to `{spec}`"));
         }
@@ -395,10 +452,30 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
     };
 
     let mut note = String::new();
+    let plan = if spec.churn.is_some() {
+        spec.capacity_plan(&instance)
+    } else {
+        CapacityPlan::empty()
+    };
     if let Some(path) = args.opt("capacity-out") {
-        let plan = spec.capacity_plan(&instance);
         fs::write(path, plan.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         note = format!("wrote {} capacity events to {path}\n", plan.len());
+    }
+    if let Some(path) = args.opt("serve-script") {
+        let (script, offline) = osr_workload::serve_script(&instance, &plan)?;
+        fs::write(path, &script).map_err(|e| format!("writing {path}: {e}"))?;
+        let offline = if offline.is_empty() {
+            "none".to_string()
+        } else {
+            offline
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        note.push_str(&format!(
+            "wrote serve replay script to {path} (initially offline machines: {offline})\n"
+        ));
     }
 
     let text = io::instance_to_string(&instance);
@@ -454,21 +531,7 @@ fn run_algo(
         ("flow", [eps]) => {
             opts.apply_propagation();
             let mut params = FlowParams::new(*eps);
-            if let Some(q) = opts.queue {
-                params.backend = q;
-            }
-            if let Some(e) = opts.events {
-                params.events = e;
-            }
-            if let Some(d) = opts.dispatch {
-                params.dispatch = d;
-            }
-            if let Some(ci) = opts.capacity_index {
-                params.capacity_index = ci;
-            }
-            if let Some(s) = opts.shards {
-                params.shards = s;
-            }
+            opts.apply_to(&mut params.config);
             let sched = FlowScheduler::new(params)?.with_capacity(capacity.clone());
             let out = sched.run(instance);
             Ok((out.log, sched.name(), false, Some(out.dual.objective())))
@@ -477,18 +540,7 @@ fn run_algo(
             opts.reject_unsupported(spec, false, true)?;
             opts.apply_propagation();
             let mut params = WeightedFlowParams::new(*eps);
-            if let Some(e) = opts.events {
-                params.events = e;
-            }
-            if let Some(d) = opts.dispatch {
-                params.dispatch = d;
-            }
-            if let Some(ci) = opts.capacity_index {
-                params.capacity_index = ci;
-            }
-            if let Some(s) = opts.shards {
-                params.shards = s;
-            }
+            opts.apply_to(&mut params.config);
             let sched = WeightedFlowScheduler::new(params)?.with_capacity(capacity.clone());
             let name = sched.name();
             Ok((sched.run(instance).log, name, false, None))
@@ -497,18 +549,7 @@ fn run_algo(
             opts.reject_unsupported(spec, false, true)?;
             opts.apply_propagation();
             let mut params = EnergyFlowParams::new(*eps, *alpha);
-            if let Some(e) = opts.events {
-                params.events = e;
-            }
-            if let Some(d) = opts.dispatch {
-                params.dispatch = d;
-            }
-            if let Some(ci) = opts.capacity_index {
-                params.capacity_index = ci;
-            }
-            if let Some(s) = opts.shards {
-                params.shards = s;
-            }
+            opts.apply_to(&mut params.config);
             let sched = EnergyFlowScheduler::new(params)?.with_capacity(capacity.clone());
             let name = sched.name();
             Ok((sched.run(instance).log, name, true, None))
@@ -538,7 +579,7 @@ fn run_algo(
             let name = sched.name();
             Ok((sched.run(instance).0, name, true, None))
         }
-        _ => Err(format!("unknown algo spec `{spec}`\n\n{USAGE}")),
+        _ => Err(format!("unknown algo spec `{spec}`\n\n{}", usage())),
     }
 }
 
@@ -555,8 +596,42 @@ fn load_capacity(args: &Args, machines: usize) -> Result<CapacityPlan, String> {
     Ok(plan)
 }
 
+/// Informational notices for explicitly requested knobs that the run
+/// could not honor at this machine count. They go to stderr (via
+/// [`CmdOutput::notices`]) so stdout stays a clean report, but they
+/// must be said *somewhere* — otherwise ablation runs label their
+/// results with a strategy that never executed.
+pub(crate) fn ineffective_knob_notices(opts: &BackendOpts, machines: usize) -> Vec<String> {
+    let mut notices = Vec::new();
+    if let Some(req) = opts.dispatch {
+        let eff = osr_core::effective_dispatch_index(req, machines);
+        if eff != req {
+            notices.push(format!(
+                "note: --dispatch-index {req} is ineffective at m={machines} \
+                 (below PRUNED_MIN_MACHINES={}); the {eff} scan ran — label ablation \
+                 results accordingly",
+                osr_core::PRUNED_MIN_MACHINES,
+            ));
+        }
+    }
+    // Same discipline for the shard toggle: below the sharding crossover
+    // (a shard owns at least one 64-machine rack) a multi-shard request
+    // collapses to the serial loop.
+    if let Some(req) = opts.shards {
+        let eff = osr_core::effective_shards(req, machines);
+        if req > 1 && eff == 1 {
+            notices.push(format!(
+                "note: --shards {req} is ineffective at m={machines} (a shard owns at \
+                 least one 64-machine rack); the serial loop ran — label ablation \
+                 results accordingly"
+            ));
+        }
+    }
+    notices
+}
+
 /// `osr run` — run one scheduler on an instance.
-pub fn cmd_run(args: &Args) -> Result<String, String> {
+pub fn cmd_run(args: &Args) -> Result<CmdOutput, String> {
     let instance = load_instance(args)?;
     let spec = args.opt("algo").unwrap_or("flow:0.25");
     let alpha: f64 = args.opt_parse("alpha", 2.0)?;
@@ -564,35 +639,7 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
     let capacity = load_capacity(args, instance.machines())?;
 
     let (log, name, speeds_vary, dual) = run_algo(spec, &instance, opts, &capacity)?;
-    // An explicitly requested dispatch index that the scheduler cannot
-    // honor at this machine count must be called out, or ablation runs
-    // label their results with a strategy that never executed.
-    let dispatch_notice = opts.dispatch.and_then(|req| {
-        let eff = osr_core::effective_dispatch_index(req, instance.machines());
-        (eff != req).then(|| {
-            format!(
-                "note: --dispatch-index {req} is ineffective at m={} \
-                 (below PRUNED_MIN_MACHINES={}); the {eff} scan ran — label ablation \
-                 results accordingly",
-                instance.machines(),
-                osr_core::PRUNED_MIN_MACHINES,
-            )
-        })
-    });
-    // Same discipline for the shard toggle: below the sharding crossover
-    // (a shard owns at least one 64-machine rack) a multi-shard request
-    // collapses to the serial loop.
-    let shards_notice = opts.shards.and_then(|req| {
-        let eff = osr_core::effective_shards(req, instance.machines());
-        (req > 1 && eff == 1).then(|| {
-            format!(
-                "note: --shards {req} is ineffective at m={} (a shard owns at least \
-                 one 64-machine rack); the serial loop ran — label ablation results \
-                 accordingly",
-                instance.machines(),
-            )
-        })
-    });
+    let notices = ineffective_knob_notices(&opts, instance.machines());
     let config = config_for(&instance, speeds_vary).with_capacity(capacity.clone());
     let report = validate_log(&instance, &log, &config);
     if !report.is_valid() {
@@ -608,12 +655,6 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
     let metrics = Metrics::compute(&instance, &log, alpha);
 
     let mut out = String::new();
-    if let Some(notice) = dispatch_notice {
-        let _ = writeln!(out, "{notice}");
-    }
-    if let Some(notice) = shards_notice {
-        let _ = writeln!(out, "{notice}");
-    }
     let _ = writeln!(out, "algorithm      : {name}");
     let _ = writeln!(
         out,
@@ -666,7 +707,10 @@ pub fn cmd_run(args: &Args) -> Result<String, String> {
         fs::write(path, io::log_to_string(&log)).map_err(|e| format!("writing {path}: {e}"))?;
         let _ = writeln!(out, "log written to {path}");
     }
-    Ok(out)
+    Ok(CmdOutput {
+        stdout: out,
+        notices,
+    })
 }
 
 /// `osr validate` — validate a schedule log against its instance.
@@ -794,7 +838,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::parse(s.split_whitespace().map(String::from), &["gantt"]).unwrap()
+        Args::parse(s.split_whitespace().map(String::from), FLAGS).unwrap()
     }
 
     #[test]
@@ -900,8 +944,8 @@ mod tests {
             log_path.display()
         )))
         .unwrap();
-        assert!(run_out.contains("certified LB"));
-        assert!(run_out.contains("log written"));
+        assert!(run_out.stdout.contains("certified LB"));
+        assert!(run_out.stdout.contains("log written"));
 
         let val_out = cmd_validate(&args(&format!(
             "validate --input {} --log {} --model flowtime",
@@ -974,7 +1018,14 @@ mod tests {
 
     #[test]
     fn dispatch_routes_and_help_works() {
-        assert!(dispatch(&args("help")).unwrap().contains("USAGE"));
+        let help = dispatch(&args("help")).unwrap().stdout;
+        assert!(help.contains("USAGE"));
+        assert!(help.contains("osr serve"));
+        assert!(help.contains("osr top"));
+        // The runtime-knob section is generated from the shared table.
+        for k in &osr_core::KNOBS {
+            assert!(help.contains(k.flag), "help misses {}", k.flag);
+        }
         assert!(dispatch(&args("nonsense")).is_err());
         assert!(dispatch(&args("bounds")).is_ok());
     }
@@ -991,7 +1042,7 @@ mod tests {
             inst_path.display()
         )))
         .unwrap();
-        assert!(out.contains("0 rejected"));
+        assert!(out.stdout.contains("0 rejected"));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -1123,14 +1174,18 @@ mod tests {
         )
         .unwrap();
         // m = 2 < PRUNED_MIN_MACHINES: an explicit pruned request falls
-        // back to the linear scan and the run must say so.
+        // back to the linear scan and the run must say so — as a stderr
+        // notice, never in the machine-readable stdout report.
         let out = cmd_run(&args(&format!(
             "run --algo flow:0.25 --input {} --dispatch-index pruned",
             small.display()
         )))
         .unwrap();
-        assert!(out.contains("ineffective"), "{out}");
-        assert!(out.contains("linear scan ran"), "{out}");
+        let notice = out.notices.join("\n");
+        assert!(notice.contains("ineffective"), "{notice}");
+        assert!(notice.contains("linear scan ran"), "{notice}");
+        assert!(!out.stdout.contains("note:"), "{}", out.stdout);
+        assert!(!out.stdout.contains("ineffective"), "{}", out.stdout);
         // No notice when the request is honored (m >= crossover), when
         // linear is requested (always honored), or with no request.
         for (path, extra) in [
@@ -1143,7 +1198,7 @@ mod tests {
                 path.display()
             )))
             .unwrap();
-            assert!(!out.contains("ineffective"), "{extra}: {out}");
+            assert!(out.notices.is_empty(), "{extra}: {:?}", out.notices);
         }
         fs::remove_dir_all(&dir).ok();
     }
@@ -1165,14 +1220,16 @@ mod tests {
         )
         .unwrap();
         // m = 2 fits in one 64-machine rack, so any shard count collapses
-        // to the serial loop and the run must say so.
+        // to the serial loop and the run must say so — on stderr.
         let out = cmd_run(&args(&format!(
             "run --algo flow:0.25 --input {} --shards 4",
             small.display()
         )))
         .unwrap();
-        assert!(out.contains("ineffective"), "{out}");
-        assert!(out.contains("serial loop ran"), "{out}");
+        let notice = out.notices.join("\n");
+        assert!(notice.contains("ineffective"), "{notice}");
+        assert!(notice.contains("serial loop ran"), "{notice}");
+        assert!(!out.stdout.contains("ineffective"), "{}", out.stdout);
         // No notice when sharding engages (m > 64), when the serial loop
         // is requested explicitly, or with no request.
         for (path, extra) in [(&big, "--shards 2"), (&small, "--shards 1"), (&small, "")] {
@@ -1181,7 +1238,7 @@ mod tests {
                 path.display()
             )))
             .unwrap();
-            assert!(!out.contains("ineffective"), "{extra}: {out}");
+            assert!(out.notices.is_empty(), "{extra}: {:?}", out.notices);
         }
         fs::remove_dir_all(&dir).ok();
     }
@@ -1192,19 +1249,29 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let inst_path = dir.join("inst.csv");
         let cap_path = dir.join("failures.csv");
+        let script_path = dir.join("trace.script");
 
         // Churn via the scenario grammar's 4th segment; the plan goes
-        // to --capacity-out as a replayable failure trace.
+        // to --capacity-out as a replayable failure trace, and
+        // --serve-script records the same run in the serve protocol.
         let gen_out = cmd_gen(&args(&format!(
             "gen --scenario poisson-uniform-identical-churn:0.5 --n 120 --machines 6 \
-             --seed 7 --out {} --capacity-out {}",
+             --seed 7 --out {} --capacity-out {} --serve-script {}",
             inst_path.display(),
-            cap_path.display()
+            cap_path.display(),
+            script_path.display()
         )))
         .unwrap();
         assert!(gen_out.contains("capacity events"), "{gen_out}");
+        assert!(gen_out.contains("serve replay script"), "{gen_out}");
         let plan_text = fs::read_to_string(&cap_path).unwrap();
         assert!(plan_text.starts_with("time,machine,kind"), "{plan_text}");
+        let script = fs::read_to_string(&script_path).unwrap();
+        assert!(script.contains("arrive 0 "), "{script}");
+        assert!(
+            script.contains("join") || script.contains("drain") || script.contains("crash"),
+            "churn plan must appear in the script: {script}"
+        );
 
         // The instance is byte-identical to the churn-free scenario —
         // churn draws from its own seed stream.
@@ -1225,7 +1292,11 @@ mod tests {
                     cap_path.display()
                 )))
                 .unwrap();
-                assert!(out.contains("capacity       :"), "{algo}: {out}");
+                assert!(
+                    out.stdout.contains("capacity       :"),
+                    "{algo}: {}",
+                    out.stdout
+                );
                 outs.push(out);
             }
             assert_eq!(

@@ -5,19 +5,24 @@
 //! ```text
 //! osr gen --kind flowtime --n 200 --machines 4 --seed 7 --out inst.csv
 //! osr run --algo flow:0.25 --input inst.csv --log sched.csv --gantt
+//! osr serve --algo flow:0.25 --machines 4 --socket /tmp/osr.sock
+//! osr top --socket /tmp/osr.sock
 //! osr validate --input inst.csv --log sched.csv --model flowtime
 //! osr compare --input inst.csv --eps 0.25
 //! osr bounds --eps 0.25 --alpha 2.5
 //! ```
 //!
-//! All command logic lives in [`commands`] as pure functions from
-//! parsed [`args::Args`] to output strings, so the whole surface is
-//! unit-testable without spawning processes.
+//! Command logic lives in [`commands`] as pure functions from parsed
+//! [`args::Args`] to a [`CmdOutput`] (stdout payload + stderr
+//! notices), so the surface is unit-testable without spawning
+//! processes. The two long-running commands (`serve`, `top`) live in
+//! [`serve`] and additionally stream stdin / a unix socket.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::Args;
-pub use commands::{dispatch, USAGE};
+pub use commands::{dispatch, usage, CmdOutput, FLAGS, USAGE};

@@ -4,15 +4,22 @@ use osr_cli::{dispatch, Args};
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(tokens, &["gantt"]) {
+    let args = match Args::parse(tokens, osr_cli::FLAGS) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", osr_cli::USAGE);
+            eprintln!("error: {e}\n\n{}", osr_cli::usage());
             std::process::exit(2);
         }
     };
     match dispatch(&args) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            // Notices (ineffective-knob warnings and the like) go to
+            // stderr so stdout stays machine-parseable.
+            for n in &out.notices {
+                eprintln!("{n}");
+            }
+            print!("{}", out.stdout);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

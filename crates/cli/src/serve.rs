@@ -1,0 +1,715 @@
+//! `osr serve` and `osr top` — the streaming ingest loop and its live
+//! ops TUI.
+//!
+//! `serve` runs a scheduler as a long-lived process on top of
+//! [`osr_core::ServeSession`]: producers push job arrivals and
+//! capacity events as protocol lines (stdin, and optionally a unix
+//! socket), the session dispatches them online, and when the stream
+//! ends stdout carries **exactly** the finished schedule log — so a
+//! replayed trace (see `osr_workload::serve_script`) pipes through
+//! `serve` to bytes identical to the offline `osr run` over the same
+//! instance. Everything interactive (stats blocks, per-line errors)
+//! goes to stderr or the socket, never stdout.
+//!
+//! The protocol is line-oriented and time-ordered (the session
+//! enforces a monotone high-water clock):
+//!
+//! ```text
+//! arrive <id> [@T] [w=W] <size>...   # one size per machine; inf = ineligible
+//! join|drain|crash <machine> [@T]    # pool membership change
+//! advance <T>                        # fire completions up to T
+//! stats                              # key/value snapshot, ends with `end`
+//! shutdown                           # finish the stream
+//! ```
+//!
+//! Omitted `@T` default to the last event's time; `<id>` must be the
+//! next dense job id (a cheap end-to-end check that producer and
+//! server agree on the stream position).
+//!
+//! `top` is the other side of the socket: it polls `stats` and renders
+//! an ANSI frame — queue depths, flow-time percentiles, reject counts
+//! by reason, redispatch totals, and dispatch-index stats — with no
+//! dependency beyond a VT100 terminal.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write as _};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, Sender};
+use std::time::Duration;
+
+use osr_core::energyflow::EnergyFlowParams;
+use osr_core::flowtime::WeightedFlowParams;
+use osr_core::{EnergyFlowSession, FlowParams, FlowSession, ServeSession, WeightedFlowSession};
+use osr_model::{io as model_io, FinishedLog};
+use osr_sim::CapacityChange;
+
+use crate::args::{split_spec, Args};
+use crate::commands::{ineffective_knob_notices, usage, BackendOpts, CmdOutput};
+
+/// Builds the serve session for an `--algo` spec. Only the three
+/// capacity-aware schedulers have a streaming mode (deadline-based
+/// `energymin` fixes strategies at arrival against a known future and
+/// the baselines are offline constructions).
+fn build_session(
+    spec: &str,
+    machines: usize,
+    offline: &[usize],
+    opts: &BackendOpts,
+) -> Result<Box<dyn ServeSession>, String> {
+    opts.apply_propagation();
+    let (head, v) = split_spec(spec);
+    match (head.as_str(), v.as_slice()) {
+        ("flow", [eps]) => {
+            let mut params = FlowParams::new(*eps);
+            opts.apply_to(&mut params.config);
+            Ok(Box::new(FlowSession::with_offline(
+                params, machines, offline,
+            )?))
+        }
+        ("wflow", [eps]) => {
+            opts.reject_unsupported(spec, false, true)?;
+            let mut params = WeightedFlowParams::new(*eps);
+            opts.apply_to(&mut params.config);
+            Ok(Box::new(WeightedFlowSession::with_offline(
+                params, machines, offline,
+            )?))
+        }
+        ("energyflow", [eps, alpha]) => {
+            opts.reject_unsupported(spec, false, true)?;
+            let mut params = EnergyFlowParams::new(*eps, *alpha);
+            opts.apply_to(&mut params.config);
+            Ok(Box::new(EnergyFlowSession::with_offline(
+                params, machines, offline,
+            )?))
+        }
+        _ => Err(format!(
+            "serve supports flow:EPS | wflow:EPS | energyflow:EPS:ALPHA, got `{spec}`\n\n{}",
+            usage()
+        )),
+    }
+}
+
+/// Parses a `--offline` machine list (`1,3,7`).
+fn parse_offline(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| format!("bad machine id `{t}` in --offline (want e.g. 1,3,7)"))
+        })
+        .collect()
+}
+
+/// What a protocol line asks the server to do next.
+enum Response {
+    /// Processed; nothing to show (socket clients get `ok`).
+    Quiet,
+    /// A stats block to send back to the asking producer.
+    Stats(String),
+    /// End the stream and emit the finished log.
+    Shutdown,
+}
+
+fn num(tok: &str, what: &str) -> Result<f64, String> {
+    tok.parse::<f64>()
+        .map_err(|_| format!("bad {what} `{tok}`"))
+}
+
+/// Parses and applies one protocol line against the session. `next_id`
+/// and `last_t` are the stream cursor: the expected dense job id and
+/// the default timestamp for lines that omit `@T`. Failed lines leave
+/// the session untouched (the sessions validate before mutating).
+fn handle_line(
+    sess: &mut dyn ServeSession,
+    next_id: &mut usize,
+    last_t: &mut f64,
+    line: &str,
+) -> Result<Response, String> {
+    let mut toks = line.split_whitespace();
+    let Some(cmd) = toks.next() else {
+        return Ok(Response::Quiet); // blank line
+    };
+    if cmd.starts_with('#') {
+        return Ok(Response::Quiet);
+    }
+    match cmd {
+        "arrive" => {
+            let id_tok = toks.next().ok_or("arrive needs a job id")?;
+            let id: usize = id_tok
+                .parse()
+                .map_err(|_| format!("bad job id `{id_tok}`"))?;
+            if id != *next_id {
+                return Err(format!(
+                    "arrive id {id} out of order (expected {next_id}; ids are dense)"
+                ));
+            }
+            let mut release = *last_t;
+            let mut weight = 1.0;
+            let mut sizes = Vec::new();
+            for t in toks {
+                if let Some(v) = t.strip_prefix('@') {
+                    release = num(v, "release time")?;
+                } else if let Some(v) = t.strip_prefix("w=") {
+                    weight = num(v, "weight")?;
+                } else {
+                    sizes.push(num(t, "size")?);
+                }
+            }
+            sess.arrive(release, weight, sizes)?;
+            *next_id += 1;
+            *last_t = release;
+            Ok(Response::Quiet)
+        }
+        "join" | "drain" | "crash" => {
+            let change = match cmd {
+                "join" => CapacityChange::Join,
+                "drain" => CapacityChange::Drain,
+                _ => CapacityChange::Crash,
+            };
+            let m_tok = toks
+                .next()
+                .ok_or_else(|| format!("{cmd} needs a machine"))?;
+            let machine: usize = m_tok
+                .parse()
+                .map_err(|_| format!("bad machine `{m_tok}`"))?;
+            let time = match toks.next() {
+                Some(t) => num(t.strip_prefix('@').unwrap_or(t), "event time")?,
+                None => *last_t,
+            };
+            sess.capacity(change, machine, time)?;
+            *last_t = time;
+            Ok(Response::Quiet)
+        }
+        "advance" => {
+            let t_tok = toks.next().ok_or("advance needs a time")?;
+            let time = num(t_tok.strip_prefix('@').unwrap_or(t_tok), "advance time")?;
+            sess.advance(time)?;
+            *last_t = time;
+            Ok(Response::Quiet)
+        }
+        "stats" => Ok(Response::Stats(render_stats(sess))),
+        "shutdown" => Ok(Response::Shutdown),
+        other => Err(format!(
+            "unknown serve command `{other}` (want arrive|join|drain|crash|advance|stats|shutdown)"
+        )),
+    }
+}
+
+/// Renders a [`osr_core::ServeSnapshot`] as the wire stats block: one
+/// `key value` pair per line, terminated by `end`. Numbers use Rust's
+/// shortest-round-trip formatting so `top` re-parses them exactly.
+fn render_stats(sess: &dyn ServeSession) -> String {
+    use std::fmt::Write as _;
+    let s = sess.snapshot();
+    let mut out = String::new();
+    let _ = writeln!(out, "algo {}", sess.algorithm());
+    let _ = writeln!(out, "now {}", s.now);
+    let _ = writeln!(out, "machines {}", s.machines);
+    let _ = writeln!(out, "online {}", s.online);
+    let _ = writeln!(out, "shards {}", s.shards);
+    let _ = writeln!(out, "arrived {}", s.arrived);
+    let _ = writeln!(out, "queued {}", s.queued);
+    let _ = writeln!(out, "running {}", s.running);
+    let _ = writeln!(out, "completions_pending {}", s.completions_pending);
+    let _ = writeln!(out, "completed {}", s.completed);
+    let _ = writeln!(out, "rejected {}", s.rejected);
+    let _ = writeln!(out, "rejected_rule1 {}", s.rejected_rule1);
+    let _ = writeln!(out, "rejected_rule2 {}", s.rejected_rule2);
+    let _ = writeln!(out, "rejected_immediate {}", s.rejected_immediate);
+    let _ = writeln!(out, "rejected_ineligible {}", s.rejected_ineligible);
+    let _ = writeln!(out, "rejected_machine_lost {}", s.rejected_machine_lost);
+    let _ = writeln!(out, "rejected_other {}", s.rejected_other);
+    let _ = writeln!(out, "redispatches {}", s.redispatches);
+    let _ = writeln!(out, "flow_p50 {}", s.flow_p50);
+    let _ = writeln!(out, "flow_p95 {}", s.flow_p95);
+    let _ = writeln!(out, "flow_p99 {}", s.flow_p99);
+    if let Some(ix) = s.index {
+        let _ = writeln!(out, "index_flat {}", ix.flat_searches);
+        let _ = writeln!(out, "index_sparse {}", ix.sparse_searches);
+        let _ = writeln!(out, "index_heap {}", ix.heap_searches);
+        let _ = writeln!(out, "index_dirty {}", ix.dirty_leaves);
+        let _ = writeln!(out, "index_live {}", ix.live);
+        let _ = writeln!(out, "index_tombstones {}", ix.tombstones);
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// One message from a producer thread to the serve loop.
+enum Inbound {
+    /// A protocol line, with a reply channel for socket clients (`None`
+    /// for stdin — its errors and stats print to stderr instead).
+    Line(String, Option<Sender<String>>),
+    /// The stdin stream ended.
+    Eof,
+}
+
+/// Reads protocol lines from one accepted socket connection, routing
+/// each through the serve loop and writing the reply back. Lines get
+/// `ok`, `err <msg>`, or a multi-line stats block ending in `end`.
+#[cfg(unix)]
+fn handle_conn(stream: UnixStream, tx: Sender<Inbound>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        let (rtx, rrx) = mpsc::channel::<String>();
+        if tx.send(Inbound::Line(line, Some(rtx))).is_err() {
+            break; // server shut down
+        }
+        let Ok(reply) = rrx.recv() else { break };
+        if writer.write_all(reply.as_bytes()).is_err() {
+            break;
+        }
+    }
+}
+
+/// The serve event loop: merges producer streams (an owned line reader
+/// standing in for stdin, plus socket connections), applies each line
+/// to the session in arrival order, and finishes the log when the
+/// stream ends — via `shutdown`, or at reader EOF when `once` is set
+/// or no socket keeps the server reachable.
+fn serve_loop<R: BufRead + Send + 'static>(
+    mut sess: Box<dyn ServeSession>,
+    input: R,
+    socket: Option<&Path>,
+    once: bool,
+) -> Result<FinishedLog, String> {
+    let (tx, rx) = mpsc::channel::<Inbound>();
+
+    let stdin_tx = tx.clone();
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if stdin_tx.send(Inbound::Line(line, None)).is_err() {
+                return;
+            }
+        }
+        let _ = stdin_tx.send(Inbound::Eof);
+    });
+
+    #[cfg(unix)]
+    if let Some(path) = socket {
+        let _ = std::fs::remove_file(path); // stale socket from a past run
+        let listener =
+            UnixListener::bind(path).map_err(|e| format!("binding {}: {e}", path.display()))?;
+        let sock_tx = tx.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let conn_tx = sock_tx.clone();
+                std::thread::spawn(move || handle_conn(stream, conn_tx));
+            }
+        });
+    }
+    #[cfg(not(unix))]
+    if socket.is_some() {
+        return Err("--socket needs unix domain sockets (unsupported on this platform)".into());
+    }
+    drop(tx);
+
+    let has_socket = socket.is_some();
+    let mut next_id = 0usize;
+    let mut last_t = 0.0f64;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Inbound::Eof => {
+                if !has_socket && !once {
+                    eprintln!("serve: stdin closed and no --socket to keep serving; finishing");
+                }
+                if once || !has_socket {
+                    break;
+                }
+            }
+            Inbound::Line(line, reply) => {
+                match handle_line(sess.as_mut(), &mut next_id, &mut last_t, &line) {
+                    Ok(Response::Quiet) => {
+                        if let Some(tx) = reply {
+                            let _ = tx.send("ok\n".into());
+                        }
+                    }
+                    Ok(Response::Stats(block)) => match reply {
+                        Some(tx) => {
+                            let _ = tx.send(block);
+                        }
+                        None => eprint!("{block}"),
+                    },
+                    Ok(Response::Shutdown) => {
+                        if let Some(tx) = reply {
+                            let _ = tx.send("ok\n".into());
+                        }
+                        break;
+                    }
+                    Err(e) => match reply {
+                        Some(tx) => {
+                            let _ = tx.send(format!("err {e}\n"));
+                        }
+                        None => eprintln!("serve: {e}"),
+                    },
+                }
+            }
+        }
+    }
+    if let Some(path) = socket {
+        let _ = std::fs::remove_file(path);
+    }
+    sess.finish()
+}
+
+/// `osr serve` — run a scheduler as a long-lived arrival-ingesting
+/// process. See the module docs for the protocol; stdout carries
+/// exactly the final schedule log.
+pub fn cmd_serve(args: &Args) -> Result<CmdOutput, String> {
+    let spec = args.opt("algo").unwrap_or("flow:0.25");
+    let machines_tok = args.require("machines")?;
+    let machines: usize = machines_tok
+        .parse()
+        .map_err(|_| format!("bad --machines `{machines_tok}` (want a positive integer)"))?;
+    let offline = match args.opt("offline") {
+        Some(s) => parse_offline(s)?,
+        None => Vec::new(),
+    };
+    let opts = BackendOpts::parse(args)?;
+    let mut notices = ineffective_knob_notices(&opts, machines);
+    let once = args.flag("once");
+    let socket = args.opt("socket").map(PathBuf::from);
+
+    let sess = build_session(spec, machines, &offline, &opts)?;
+    let log = serve_loop(
+        sess,
+        BufReader::new(std::io::stdin()),
+        socket.as_deref(),
+        once,
+    )?;
+    let text = model_io::log_to_string(&log);
+    if let Some(path) = args.opt("log") {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        notices.push(format!("log written to {path}"));
+    }
+    Ok(CmdOutput {
+        stdout: text,
+        notices,
+    })
+}
+
+/// Connects to a serve socket, sends `stats`, and parses the reply
+/// block into key/value pairs.
+#[cfg(unix)]
+fn fetch_stats(path: &Path) -> Result<BTreeMap<String, String>, String> {
+    let mut stream = UnixStream::connect(path).map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"stats\n")
+        .map_err(|e| format!("sending stats: {e}"))?;
+    let mut map = BTreeMap::new();
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(|e| format!("reading stats: {e}"))?;
+        if line == "end" {
+            return Ok(map);
+        }
+        if let Some((k, v)) = line.split_once(' ') {
+            map.insert(k.to_string(), v.to_string());
+        }
+    }
+    Err("connection closed before `end`".into())
+}
+
+#[cfg(not(unix))]
+fn fetch_stats(_path: &Path) -> Result<BTreeMap<String, String>, String> {
+    Err("osr top needs unix domain sockets (unsupported on this platform)".into())
+}
+
+/// A labelled horizontal bar for the queue-depth gauges.
+fn bar(value: usize, max: usize, width: usize) -> String {
+    let filled = if max == 0 {
+        0
+    } else {
+        (value * width).div_ceil(max).min(width)
+    };
+    let mut s = String::new();
+    for _ in 0..filled {
+        s.push('█');
+    }
+    for _ in filled..width {
+        s.push('·');
+    }
+    s
+}
+
+/// Renders one TUI frame from a parsed stats block. Pure so the layout
+/// is unit-testable; `cmd_top` adds the screen-clear prefix per poll.
+fn render_frame(stats: &BTreeMap<String, String>) -> String {
+    use std::fmt::Write as _;
+    let get = |k: &str| stats.get(k).map(String::as_str).unwrap_or("0");
+    let getn = |k: &str| get(k).parse::<usize>().unwrap_or(0);
+    let getf = |k: &str| get(k).parse::<f64>().unwrap_or(0.0);
+
+    let (queued, running, pending) = (getn("queued"), getn("running"), getn("completions_pending"));
+    let max = queued.max(running).max(pending).max(1);
+    const W: usize = 24;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\x1b[1mosr top\x1b[0m — \x1b[36m{}\x1b[0m @ t={}   machines {}/{} online   {} shard(s)",
+        get("algo"),
+        get("now"),
+        get("online"),
+        get("machines"),
+        get("shards"),
+    );
+    let _ = writeln!(
+        out,
+        "  arrived {:>8}   completed {:>8}   rejected {:>6}   redispatches {:>6}",
+        get("arrived"),
+        get("completed"),
+        get("rejected"),
+        get("redispatches"),
+    );
+    let _ = writeln!(
+        out,
+        "  queued  \x1b[33m{}\x1b[0m {queued}",
+        bar(queued, max, W)
+    );
+    let _ = writeln!(
+        out,
+        "  running \x1b[32m{}\x1b[0m {running}",
+        bar(running, max, W)
+    );
+    let _ = writeln!(
+        out,
+        "  pending \x1b[35m{}\x1b[0m {pending}",
+        bar(pending, max, W)
+    );
+    let _ = writeln!(
+        out,
+        "  flow    p50 {:.3}   p95 {:.3}   p99 {:.3}",
+        getf("flow_p50"),
+        getf("flow_p95"),
+        getf("flow_p99"),
+    );
+    let _ = writeln!(
+        out,
+        "  rejects rule-1 {}  rule-2 {}  immediate {}  ineligible {}  machine-lost {}  other {}",
+        get("rejected_rule1"),
+        get("rejected_rule2"),
+        get("rejected_immediate"),
+        get("rejected_ineligible"),
+        get("rejected_machine_lost"),
+        get("rejected_other"),
+    );
+    if stats.contains_key("index_flat") {
+        let _ = writeln!(
+            out,
+            "  index   flat {}  sparse {}  heap {}  dirty {}  live {}  tombstones {}",
+            get("index_flat"),
+            get("index_sparse"),
+            get("index_heap"),
+            get("index_dirty"),
+            get("index_live"),
+            get("index_tombstones"),
+        );
+    } else {
+        let _ = writeln!(out, "  index   (linear scan — no dispatch index live)");
+    }
+    out
+}
+
+/// `osr top` — poll a serve socket and render the live ops TUI.
+/// `--frames 0` (the default) polls until the server goes away.
+pub fn cmd_top(args: &Args) -> Result<CmdOutput, String> {
+    let path = args.require("socket")?;
+    let frames: usize = args.opt_parse("frames", 0)?;
+    let interval_ms: u64 = args.opt_parse("interval-ms", 500)?;
+
+    let mut rendered = 0usize;
+    loop {
+        let stats = match fetch_stats(Path::new(path)) {
+            Ok(s) => s,
+            Err(e) if rendered > 0 => {
+                eprintln!("top: {e}; server gone, exiting");
+                break;
+            }
+            Err(e) => return Err(format!("connecting to {path}: {e}")),
+        };
+        // Clear + home, then the frame — written directly so each poll
+        // shows live (the returned CmdOutput stays empty).
+        print!("\x1b[2J\x1b[H{}", render_frame(&stats));
+        let _ = std::io::stdout().flush();
+        rendered += 1;
+        if frames != 0 && rendered >= frames {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    Ok(CmdOutput::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_core::FlowScheduler;
+    use osr_model::{Instance, InstanceKind, Job};
+    use osr_sim::{CapacityEvent, CapacityPlan};
+    use std::io::Cursor;
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job::weighted(0, 0.0, 1.0, vec![2.0, 4.0]),
+            Job::weighted(1, 1.0, 2.0, vec![3.0, 1.0]),
+            Job::weighted(2, 2.5, 1.0, vec![f64::INFINITY, f64::INFINITY]),
+            Job::weighted(3, 4.0, 1.0, vec![1.5, 2.5]),
+        ]
+    }
+
+    #[test]
+    fn serve_loop_replays_a_script_byte_identically() {
+        // Offline oracle: flow over the same jobs and capacity plan.
+        let plan = CapacityPlan::new(vec![
+            CapacityEvent {
+                time: 1.0,
+                machine: osr_model::MachineId(1),
+                change: CapacityChange::Crash,
+            },
+            CapacityEvent {
+                time: 3.0,
+                machine: osr_model::MachineId(1),
+                change: CapacityChange::Join,
+            },
+        ])
+        .unwrap();
+        let inst = Instance::new(2, jobs(), InstanceKind::FlowTime).unwrap();
+        let offline = FlowScheduler::with_eps(0.5)
+            .unwrap()
+            .with_capacity(plan)
+            .run(&inst);
+
+        // The same events as a protocol script — capacity before
+        // arrivals at equal instants, matching the offline batch loop —
+        // plus chatter the loop must tolerate: comments, blank lines, a
+        // stats poll, and invalid lines (an out-of-order id, a time
+        // regression) that reject loudly without perturbing the stream.
+        let script = "\
+# replayed trace
+arrive 0 @0 w=1 2 4
+
+crash 1 @1
+arrive 1 @1 w=2 3 1
+arrive 7 @1.5 w=1 1 1
+stats
+arrive 2 @2.5 w=1 inf inf
+join 1 @3
+drain 0 @2
+arrive 3 @4 w=1 1.5 2.5
+shutdown
+";
+        let sess = Box::new(FlowSession::new(FlowParams::new(0.5), 2).unwrap());
+        let log = serve_loop(sess, Cursor::new(script.to_string()), None, false).unwrap();
+        assert_eq!(
+            model_io::log_to_string(&offline.log),
+            model_io::log_to_string(&log)
+        );
+    }
+
+    #[test]
+    fn serve_loop_finishes_at_eof_without_shutdown() {
+        // `--once` semantics: EOF ends the stream; defaulted times and
+        // weights apply (`arrive 0 1 1` = t=0, w=1).
+        let sess = Box::new(FlowSession::new(FlowParams::new(0.5), 2).unwrap());
+        let log = serve_loop(sess, Cursor::new("arrive 0 1 1\n".to_string()), None, true).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn protocol_lines_validate() {
+        let mut sess = FlowSession::new(FlowParams::new(0.5), 2).unwrap();
+        let (mut id, mut t) = (0usize, 0.0f64);
+        let line =
+            |s: &mut FlowSession, id: &mut usize, t: &mut f64, l: &str| handle_line(s, id, t, l);
+        assert!(line(&mut sess, &mut id, &mut t, "arrive 0 @1 w=2 3 inf").is_ok());
+        assert_eq!((id, t), (1, 1.0));
+        // Unknown command, malformed numbers, missing operands.
+        assert!(line(&mut sess, &mut id, &mut t, "explode").is_err());
+        assert!(line(&mut sess, &mut id, &mut t, "arrive one @2 1 1").is_err());
+        assert!(line(&mut sess, &mut id, &mut t, "arrive 1 @x 1 1").is_err());
+        assert!(line(&mut sess, &mut id, &mut t, "join").is_err());
+        assert!(line(&mut sess, &mut id, &mut t, "advance").is_err());
+        // Defaulted capacity time = the last event time.
+        assert!(line(&mut sess, &mut id, &mut t, "drain 1").is_ok());
+        // Stats renders the wire block.
+        match line(&mut sess, &mut id, &mut t, "stats").unwrap() {
+            Response::Stats(block) => {
+                assert!(block.contains("algo flow"), "{block}");
+                assert!(block.contains("arrived 1"), "{block}");
+                assert!(block.ends_with("end\n"), "{block}");
+            }
+            _ => panic!("stats must reply with a block"),
+        }
+        // Shutdown and comment/blank handling.
+        assert!(matches!(
+            line(&mut sess, &mut id, &mut t, "shutdown").unwrap(),
+            Response::Shutdown
+        ));
+        assert!(matches!(
+            line(&mut sess, &mut id, &mut t, "# note").unwrap(),
+            Response::Quiet
+        ));
+    }
+
+    #[test]
+    fn offline_lists_parse() {
+        assert_eq!(parse_offline("1,3,7").unwrap(), vec![1, 3, 7]);
+        assert_eq!(parse_offline(" 2 , 4 ").unwrap(), vec![2, 4]);
+        assert!(parse_offline("1,x").is_err());
+    }
+
+    #[test]
+    fn render_frame_shows_key_stats() {
+        let mut map = BTreeMap::new();
+        for (k, v) in [
+            ("algo", "flow"),
+            ("now", "12.5"),
+            ("machines", "8"),
+            ("online", "7"),
+            ("shards", "1"),
+            ("arrived", "100"),
+            ("queued", "3"),
+            ("running", "5"),
+            ("completions_pending", "2"),
+            ("completed", "88"),
+            ("rejected", "4"),
+            ("rejected_rule1", "2"),
+            ("rejected_ineligible", "1"),
+            ("redispatches", "6"),
+            ("flow_p50", "1.25"),
+            ("flow_p95", "3.5"),
+            ("flow_p99", "4.2"),
+            ("index_flat", "120"),
+            ("index_live", "7"),
+        ] {
+            map.insert(k.to_string(), v.to_string());
+        }
+        let frame = render_frame(&map);
+        assert!(frame.contains("flow"), "{frame}");
+        assert!(frame.contains("7/8 online"), "{frame}");
+        assert!(frame.contains("p95 3.500"), "{frame}");
+        assert!(frame.contains("rule-1 2"), "{frame}");
+        assert!(frame.contains("flat 120"), "{frame}");
+        assert!(frame.contains('█'), "{frame}");
+        // Without index keys the frame says the linear scan ran.
+        map.remove("index_flat");
+        assert!(render_frame(&map).contains("linear scan"), "no-index frame");
+    }
+
+    #[test]
+    fn bars_scale_and_clamp() {
+        assert_eq!(bar(0, 10, 4), "····");
+        assert_eq!(bar(10, 10, 4), "████");
+        assert_eq!(bar(5, 10, 4), "██··");
+        assert_eq!(bar(3, 0, 4), "····");
+    }
+}

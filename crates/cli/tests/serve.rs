@@ -1,0 +1,222 @@
+//! End-to-end tests of `osr serve` / `osr top` against the real
+//! binary: a trace replayed through the streaming ingest loop must
+//! produce a log byte-identical to the offline `osr run` on the same
+//! instance, for all three schedulers; the ops surfaces (socket stats,
+//! `top` frames) must render; and informational notices must land on
+//! stderr, never stdout.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn osr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_osr"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osr-serve-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `osr` with the given whitespace-split arguments, asserting
+/// success, and returns (stdout, stderr).
+fn run_ok(args: &str) -> (String, String) {
+    let out = osr()
+        .args(args.split_whitespace())
+        .output()
+        .expect("spawn osr");
+    assert!(
+        out.status.success(),
+        "osr {args} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+    )
+}
+
+/// Pipes `script` into `osr serve --once`, returning stdout bytes.
+fn serve_once(args: &str, script: &str) -> String {
+    let mut child = osr()
+        .args(args.split_whitespace())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn osr serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn serve_replay_is_byte_identical_to_offline_run_for_all_schedulers() {
+    let dir = tmpdir("replay");
+    let inst_path = dir.join("inst.csv");
+    let cap_path = dir.join("failures.csv");
+
+    // A churn scenario: the capacity plan exercises join/drain/crash
+    // (and machines that start offline) through the serve stream.
+    run_ok(&format!(
+        "gen --scenario poisson-uniform-restricted-churn:0.6 --n 90 --machines 5 --seed 11 \
+         --out {} --capacity-out {}",
+        inst_path.display(),
+        cap_path.display()
+    ));
+
+    let inst = osr_model::io::instance_from_str(&fs::read_to_string(&inst_path).unwrap()).unwrap();
+    let plan = osr_workload::parse_failure_trace(&fs::read_to_string(&cap_path).unwrap()).unwrap();
+    let (script, offline) = osr_workload::serve_script(&inst, &plan).unwrap();
+
+    let offline_flag = if offline.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "--offline {}",
+            offline
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+
+    for algo in ["flow:0.25", "wflow:0.25", "energyflow:0.25:2"] {
+        let log_path = dir.join(format!("off-{}.csv", algo.replace(':', "-")));
+        run_ok(&format!(
+            "run --algo {algo} --input {} --capacity {} --log {}",
+            inst_path.display(),
+            cap_path.display(),
+            log_path.display()
+        ));
+        let served = serve_once(
+            &format!("serve --algo {algo} --machines 5 {offline_flag} --once"),
+            &script,
+        );
+        let oracle = fs::read_to_string(&log_path).unwrap();
+        assert_eq!(
+            served, oracle,
+            "{algo}: serve replay diverged from the offline log"
+        );
+        // The stream really was served online, not just echoed: the log
+        // parses and covers every job.
+        let log = osr_model::io::log_from_str(&served).unwrap();
+        assert_eq!(log.len(), inst.len());
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_socket_feeds_stats_and_top_renders() {
+    let dir = tmpdir("top");
+    let sock = dir.join("osr.sock");
+
+    let mut serve = osr()
+        .args(
+            format!(
+                "serve --algo flow:0.5 --machines 3 --socket {}",
+                sock.display()
+            )
+            .split_whitespace(),
+        )
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn osr serve");
+    let mut stdin = serve.stdin.take().unwrap();
+    stdin
+        .write_all(b"arrive 0 @0 w=1 2 2 2\narrive 1 @0.5 w=2 1 inf 3\n")
+        .unwrap();
+    stdin.flush().unwrap();
+
+    // Wait for the socket to come up.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "serve socket never appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // One `top` frame over the socket.
+    let (frame, _) = run_ok(&format!(
+        "top --socket {} --frames 1 --interval-ms 10",
+        sock.display()
+    ));
+    assert!(frame.contains("osr top"), "{frame}");
+    assert!(frame.contains("flow"), "{frame}");
+    assert!(frame.contains("arrived"), "{frame}");
+    assert!(frame.contains("p95"), "{frame}");
+
+    // Clean shutdown: the final log lands on serve's stdout and parses.
+    stdin.write_all(b"shutdown\n").unwrap();
+    drop(stdin);
+    let out = serve.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = osr_model::io::log_from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(log.len(), 2);
+    assert!(!sock.exists(), "serve must remove its socket on shutdown");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_notices_go_to_stderr_and_stdout_stays_clean() {
+    let dir = tmpdir("notices");
+    let inst_path = dir.join("inst.csv");
+    let (inst_text, _) = run_ok("gen --kind flowtime --n 10 --machines 2 --seed 1");
+    fs::write(&inst_path, inst_text).unwrap();
+
+    // m=2 is below the pruned-index crossover: the explicit request
+    // must be called out on stderr while stdout stays a clean report.
+    let (stdout, stderr) = run_ok(&format!(
+        "run --algo flow:0.25 --input {} --dispatch-index pruned --shards 4",
+        inst_path.display()
+    ));
+    assert!(stderr.contains("ineffective"), "{stderr}");
+    assert!(stderr.contains("linear scan ran"), "{stderr}");
+    assert!(stderr.contains("serial loop ran"), "{stderr}");
+    assert!(!stdout.contains("note:"), "{stdout}");
+    assert!(!stdout.contains("ineffective"), "{stdout}");
+    assert!(stdout.contains("algorithm      :"), "{stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_validates_its_options() {
+    // Bad algo specs, machine counts, and offline lists exit 1 with an
+    // error on stderr before any stream is read.
+    for args in [
+        "serve --algo energymin:2 --machines 4 --once",
+        "serve --algo flow:0.25 --machines zero --once",
+        "serve --algo flow:0.25 --once",
+        "serve --algo flow:0.25 --machines 2 --offline 5 --once",
+        "serve --algo flow:0.25 --machines 2 --queue-backend quantum --once",
+    ] {
+        let out = osr()
+            .args(args.split_whitespace())
+            .stdin(Stdio::null())
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "`osr {args}` should fail");
+        assert!(!out.stderr.is_empty(), "`osr {args}` should explain");
+    }
+}

@@ -1,0 +1,334 @@
+//! Unified runtime configuration for the three schedulers.
+//!
+//! Historically every params struct ([`crate::FlowParams`],
+//! [`crate::flowtime::WeightedFlowParams`], [`crate::EnergyFlowParams`]) carried
+//! its own copy of the same five runtime knobs (dispatch strategy,
+//! event-queue backend, capacity-index mode, shard count, pending-queue
+//! backend), and the process-wide defaults behind them were set through
+//! four scattered setters. This module centralizes both halves:
+//!
+//! * [`SchedulerConfig`] — the shared knob block every params struct
+//!   now embeds (`params.config`). All knobs are **result-neutral**:
+//!   any combination produces byte-identical schedules (that is the
+//!   repo's standing ablation contract, locked by the equivalence
+//!   proptests and the CI experiment diffs); they trade constant
+//!   factors only.
+//! * [`RuntimeDefaults`] — a declarative bundle of process-default
+//!   overrides with one [`RuntimeDefaults::apply`] call, replacing the
+//!   scattered `set_default_*` invocations in harness `main`s, plus
+//!   the knob vocabulary ([`KNOBS`], [`knob_help`], `parse_*`) that
+//!   CLI help text and error messages are generated from so the docs
+//!   can never drift from the parser.
+
+use osr_dstruct::Propagation;
+use osr_sim::EventBackend;
+
+use crate::dispatch::{self, CapacityIndexMode, DispatchIndex};
+use crate::flowtime::QueueBackend;
+
+/// The runtime knobs shared by all three schedulers.
+///
+/// Embedded as the `config` field of every params struct; the params
+/// structs `Deref` to it, so `params.dispatch`, `params.shards` etc.
+/// keep working as plain field accesses. Every knob is result-neutral
+/// (schedules are byte-identical across all settings); see the field
+/// docs for what each one trades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Pending-queue backend (consulted by the §2 flow-time scheduler
+    /// only; the weighted and energy variants keep density-sorted
+    /// `Vec` queues).
+    pub backend: QueueBackend,
+    /// Dispatch argmin strategy (`Linear` is the ablation baseline).
+    pub dispatch: DispatchIndex,
+    /// Completion event-queue backend.
+    pub events: EventBackend,
+    /// How the pruned dispatch index tracks capacity churn
+    /// (`Rebuild` is the audit oracle).
+    pub capacity_index: CapacityIndexMode,
+    /// Ancestor-propagation mode of the tournament dispatch index
+    /// (`Eager` is the ablation baseline; `Lazy` batches repairs).
+    pub propagation: Propagation,
+    /// Requested shard count for the epoch-sharded driver (`1` is the
+    /// serial oracle; requests clamp to one shard per 64-machine rack).
+    pub shards: usize,
+}
+
+impl Default for SchedulerConfig {
+    /// Pulls the current process-wide defaults (see
+    /// [`RuntimeDefaults`]) for the four overridable knobs, the treap
+    /// queue, and the default event backend — exactly what the
+    /// `*Params::new` constructors have always done.
+    fn default() -> Self {
+        SchedulerConfig {
+            backend: QueueBackend::Treap,
+            dispatch: dispatch::default_dispatch_index(),
+            events: EventBackend::default(),
+            capacity_index: dispatch::default_capacity_index(),
+            propagation: osr_dstruct::default_propagation(),
+            shards: osr_sim::default_shards(),
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The process-default configuration (alias for `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: sets the pending-queue backend.
+    pub fn with_backend(mut self, backend: QueueBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builder: sets the dispatch argmin strategy.
+    pub fn with_dispatch(mut self, dispatch: DispatchIndex) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Builder: sets the completion event-queue backend.
+    pub fn with_events(mut self, events: EventBackend) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Builder: sets the capacity-index maintenance mode.
+    pub fn with_capacity_index(mut self, mode: CapacityIndexMode) -> Self {
+        self.capacity_index = mode;
+        self
+    }
+
+    /// Builder: sets the tournament-index propagation mode.
+    pub fn with_propagation(mut self, prop: Propagation) -> Self {
+        self.propagation = prop;
+        self
+    }
+
+    /// Builder: sets the requested driver shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// One row of the runtime-knob vocabulary: the flag harnesses expose,
+/// its accepted values, the built-in default, and a one-line summary.
+/// CLI usage text and parse-error messages are generated from these
+/// rows so they cannot drift from the parsers below.
+#[derive(Debug, Clone, Copy)]
+pub struct KnobSpec {
+    /// Canonical long flag (as spelled by `osr run`/`osr serve`).
+    pub flag: &'static str,
+    /// Accepted values, `|`-separated.
+    pub values: &'static str,
+    /// The built-in process default.
+    pub default_value: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The four process-default knobs, in display order.
+pub const KNOBS: [KnobSpec; 4] = [
+    KnobSpec {
+        flag: "--dispatch-index",
+        values: "linear|pruned",
+        default_value: "pruned",
+        summary: "dispatch argmin strategy (results identical; linear is the ablation baseline)",
+    },
+    KnobSpec {
+        flag: "--capacity-index",
+        values: "incremental|rebuild",
+        default_value: "incremental",
+        summary: "pruned-index maintenance under capacity churn (rebuild is the audit oracle)",
+    },
+    KnobSpec {
+        flag: "--propagation",
+        values: "eager|lazy",
+        default_value: "lazy",
+        summary: "tournament-index ancestor repair (eager per mutation, lazy batched)",
+    },
+    KnobSpec {
+        flag: "--shards",
+        values: "N (>= 1)",
+        default_value: "1",
+        summary: "epoch-driver shard count (1 = serial oracle; clamps to one per 64-machine rack)",
+    },
+];
+
+/// Renders the knob table as indented help lines, one per knob —
+/// the single source for every harness's `--help` section on runtime
+/// defaults.
+pub fn knob_help(indent: &str) -> String {
+    let mut out = String::new();
+    let width = KNOBS
+        .iter()
+        .map(|k| k.flag.len() + 1 + k.values.len())
+        .max()
+        .unwrap_or(0);
+    for k in &KNOBS {
+        let head = format!("{} {}", k.flag, k.values);
+        out.push_str(&format!(
+            "{indent}{head:width$}  {} [default: {}]\n",
+            k.summary, k.default_value
+        ));
+    }
+    out
+}
+
+fn knob_err(flag: &str, got: &str) -> String {
+    let spec = KNOBS
+        .iter()
+        .find(|k| k.flag == flag)
+        .expect("flag is in the knob table");
+    format!("{} must be {}, got '{got}'", spec.flag, spec.values)
+}
+
+/// Parses a `--dispatch-index` value.
+pub fn parse_dispatch(s: &str) -> Result<DispatchIndex, String> {
+    match s {
+        "linear" => Ok(DispatchIndex::Linear),
+        "pruned" => Ok(DispatchIndex::Pruned),
+        other => Err(knob_err("--dispatch-index", other)),
+    }
+}
+
+/// Parses a `--capacity-index` value.
+pub fn parse_capacity_index(s: &str) -> Result<CapacityIndexMode, String> {
+    match s {
+        "incremental" => Ok(CapacityIndexMode::Incremental),
+        "rebuild" => Ok(CapacityIndexMode::Rebuild),
+        other => Err(knob_err("--capacity-index", other)),
+    }
+}
+
+/// Parses a `--propagation` value.
+pub fn parse_propagation(s: &str) -> Result<Propagation, String> {
+    match s {
+        "eager" => Ok(Propagation::Eager),
+        "lazy" => Ok(Propagation::Lazy),
+        other => Err(knob_err("--propagation", other)),
+    }
+}
+
+/// Parses a `--shards` value (a positive integer).
+pub fn parse_shards(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(knob_err("--shards", s)),
+    }
+}
+
+/// A declarative bundle of process-default overrides.
+///
+/// Harness `main`s (`osr run`, `osr serve`, `run_experiments`) build
+/// one from their parsed flags and call [`RuntimeDefaults::apply`]
+/// once, instead of invoking the four `set_default_*` functions by
+/// hand. `None` fields leave the corresponding default untouched.
+/// Applied defaults feed every later [`SchedulerConfig::default`]
+/// (and therefore every `*Params::new`); explicitly set config fields
+/// always win.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeDefaults {
+    /// Process-default dispatch strategy override.
+    pub dispatch: Option<DispatchIndex>,
+    /// Process-default capacity-index mode override.
+    pub capacity_index: Option<CapacityIndexMode>,
+    /// Process-default propagation mode override.
+    pub propagation: Option<Propagation>,
+    /// Process-default driver shard count override (clamped to ≥ 1).
+    pub shards: Option<usize>,
+}
+
+impl RuntimeDefaults {
+    /// Applies every `Some` override to the process-wide defaults.
+    pub fn apply(&self) {
+        if let Some(d) = self.dispatch {
+            dispatch::set_default_dispatch_index(d);
+        }
+        if let Some(c) = self.capacity_index {
+            dispatch::set_default_capacity_index(c);
+        }
+        if let Some(p) = self.propagation {
+            osr_dstruct::set_default_propagation(p);
+        }
+        if let Some(s) = self.shards {
+            osr_sim::set_default_shards(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = SchedulerConfig::new()
+            .with_backend(QueueBackend::Naive)
+            .with_dispatch(DispatchIndex::Linear)
+            .with_events(EventBackend::PairingHeap)
+            .with_capacity_index(CapacityIndexMode::Rebuild)
+            .with_propagation(Propagation::Eager)
+            .with_shards(4);
+        assert_eq!(c.backend, QueueBackend::Naive);
+        assert_eq!(c.dispatch, DispatchIndex::Linear);
+        assert_eq!(c.events, EventBackend::PairingHeap);
+        assert_eq!(c.capacity_index, CapacityIndexMode::Rebuild);
+        assert_eq!(c.propagation, Propagation::Eager);
+        assert_eq!(c.shards, 4);
+    }
+
+    #[test]
+    fn runtime_defaults_apply_feeds_the_constructors() {
+        // `dispatch` stays `None` here: `default_toggle_round_trips`
+        // (dispatch.rs) asserts on that same process-global mid-test,
+        // and tests share the process. The other three defaults are
+        // asserted nowhere else in this binary.
+        RuntimeDefaults {
+            dispatch: None,
+            capacity_index: Some(CapacityIndexMode::Rebuild),
+            propagation: Some(Propagation::Eager),
+            shards: Some(3),
+        }
+        .apply();
+        let c = SchedulerConfig::default();
+        assert_eq!(c.capacity_index, CapacityIndexMode::Rebuild);
+        assert_eq!(c.propagation, Propagation::Eager);
+        assert_eq!(c.shards, 3);
+        // Restore the built-in defaults for other tests in the process.
+        RuntimeDefaults {
+            dispatch: None,
+            capacity_index: Some(CapacityIndexMode::Incremental),
+            propagation: Some(Propagation::Lazy),
+            shards: Some(1),
+        }
+        .apply();
+    }
+
+    #[test]
+    fn help_and_errors_come_from_the_same_table() {
+        let help = knob_help("  ");
+        for k in &KNOBS {
+            assert!(help.contains(k.flag), "help misses {}", k.flag);
+            assert!(help.contains(k.default_value));
+        }
+        // Every parser's error names its flag and accepted values.
+        let e = parse_dispatch("bogus").unwrap_err();
+        assert!(e.contains("--dispatch-index") && e.contains("linear|pruned"));
+        let e = parse_capacity_index("bogus").unwrap_err();
+        assert!(e.contains("incremental|rebuild"));
+        let e = parse_propagation("bogus").unwrap_err();
+        assert!(e.contains("eager|lazy"));
+        assert!(parse_shards("0").is_err());
+        assert_eq!(parse_shards("8").unwrap(), 8);
+        assert_eq!(parse_dispatch("linear").unwrap(), DispatchIndex::Linear);
+        assert_eq!(parse_propagation("lazy").unwrap(), Propagation::Lazy);
+        assert_eq!(
+            parse_capacity_index("rebuild").unwrap(),
+            CapacityIndexMode::Rebuild
+        );
+    }
+}

@@ -91,7 +91,10 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use osr_dstruct::{MachineIndex, MachineStats, MaskView};
+use osr_dstruct::{
+    tournament::{SearchMode, FLAT_MAX_MACHINES},
+    MachineIndex, MachineStats, MaskView, Propagation,
+};
 use osr_model::{EligMask, Job, OnlineSet, RackPHat};
 use osr_sim::CapacityChange;
 
@@ -285,7 +288,7 @@ pub fn rebuild_capacity_index(
     online: &OnlineSet,
     stats: impl Fn(usize) -> MachineStats,
 ) -> MachineIndex {
-    rebuild_shard_index(0, m, online, stats)
+    rebuild_shard_index(0, m, online, osr_dstruct::default_propagation(), stats)
 }
 
 /// Shard-local sibling of [`rebuild_capacity_index`]: builds an index
@@ -293,13 +296,23 @@ pub fn rebuild_capacity_index(
 /// indexed **locally** (leaf `i` is global machine `base + i`). The
 /// `online` set and the `stats` closure stay in global coordinates.
 /// With `base = 0, len = m` this *is* the serial rebuild oracle.
+/// `prop` selects the index's ancestor-propagation mode
+/// (schedulers pass their [`crate::SchedulerConfig::propagation`]);
+/// the search mode keeps [`MachineIndex::new`]'s auto-selection
+/// (flat at or below [`FLAT_MAX_MACHINES`] leaves, heap beyond).
 pub fn rebuild_shard_index(
     base: usize,
     len: usize,
     online: &OnlineSet,
+    prop: Propagation,
     stats: impl Fn(usize) -> MachineStats,
 ) -> MachineIndex {
-    let mut ix = MachineIndex::new(len);
+    let mode = if len <= FLAT_MAX_MACHINES {
+        SearchMode::Flat
+    } else {
+        SearchMode::Heap
+    };
+    let mut ix = MachineIndex::with_config(len, mode, prop);
     for i in 0..len {
         if online.is_online(base + i) {
             ix.update(i, stats(base + i));
@@ -323,13 +336,25 @@ pub fn sync_capacity_index(
     online: &OnlineSet,
     stats: impl Fn(usize) -> MachineStats,
 ) {
-    sync_shard_index(dindex, mode, change, machine, 0, m, online, stats)
+    sync_shard_index(
+        dindex,
+        mode,
+        change,
+        machine,
+        0,
+        m,
+        online,
+        osr_dstruct::default_propagation(),
+        stats,
+    )
 }
 
 /// Shard-local sibling of [`sync_capacity_index`]: applies one
 /// capacity change for global `machine` to the index of the shard
 /// owning machines `base..base + len`. `machine` must lie in the
-/// shard's range; `stats` stays global.
+/// shard's range; `stats` stays global. `prop` is the propagation mode
+/// a [`CapacityIndexMode::Rebuild`] reconstruction carries over (the
+/// incremental arm mutates in place and never consults it).
 #[allow(clippy::too_many_arguments)]
 pub fn sync_shard_index(
     dindex: &mut Option<MachineIndex>,
@@ -339,6 +364,7 @@ pub fn sync_shard_index(
     base: usize,
     len: usize,
     online: &OnlineSet,
+    prop: Propagation,
     stats: impl Fn(usize) -> MachineStats,
 ) {
     debug_assert!((base..base + len).contains(&machine));
@@ -350,7 +376,7 @@ pub fn sync_shard_index(
                 ix.tombstone(machine - base);
             }
         },
-        CapacityIndexMode::Rebuild => *ix = rebuild_shard_index(base, len, online, stats),
+        CapacityIndexMode::Rebuild => *ix = rebuild_shard_index(base, len, online, prop, stats),
     }
 }
 

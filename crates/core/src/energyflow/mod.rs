@@ -47,15 +47,21 @@ use osr_model::{
     Rejection,
 };
 use osr_sim::{
-    driver::{EventPolicy, LogOp, Placement, ShardCtx},
+    driver::{EventPolicy, LogOp, Placement, ShardCtx, ShardProbe},
     CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, OnlineScheduler,
 };
 
+use crate::config::SchedulerConfig;
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
 
 pub use dual::{check_energyflow_dual, EnergyFlowAudit};
 
 /// Parameters of the §3 algorithm.
+///
+/// The runtime knobs live in the embedded [`SchedulerConfig`]
+/// (`params.config`); the struct derefs to it, so `params.dispatch`
+/// etc. keep working as plain field accesses (the `backend` knob is
+/// inert here — §3 queues are density-sorted `Vec`s).
 #[derive(Debug, Clone, Copy)]
 pub struct EnergyFlowParams {
     /// Rejected-weight budget `ε ∈ (0, 1]`.
@@ -66,31 +72,57 @@ pub struct EnergyFlowParams {
     pub gamma: Option<f64>,
     /// Enable the rejection rule (ablation toggle).
     pub reject: bool,
-    /// Dispatch argmin strategy (identical results; `Linear` ablation).
-    pub dispatch: DispatchIndex,
-    /// Completion event-queue backend.
-    pub events: EventBackend,
-    /// How the pruned index tracks capacity churn (results are
-    /// identical either way; `Rebuild` is the audit oracle).
-    pub capacity_index: CapacityIndexMode,
-    /// Requested driver shard count (`1` = serial oracle; results are
-    /// identical at any value).
-    pub shards: usize,
+    /// Shared runtime knobs (see [`SchedulerConfig`]).
+    pub config: SchedulerConfig,
+}
+
+impl std::ops::Deref for EnergyFlowParams {
+    type Target = SchedulerConfig;
+    fn deref(&self) -> &SchedulerConfig {
+        &self.config
+    }
+}
+
+impl std::ops::DerefMut for EnergyFlowParams {
+    fn deref_mut(&mut self) -> &mut SchedulerConfig {
+        &mut self.config
+    }
 }
 
 impl EnergyFlowParams {
-    /// Standard parameters (process-default dispatch strategy).
+    /// Standard parameters (process-default runtime knobs).
     pub fn new(eps: f64, alpha: f64) -> Self {
         EnergyFlowParams {
             eps,
             alpha,
             gamma: None,
             reject: true,
-            dispatch: dispatch::default_dispatch_index(),
-            events: EventBackend::default(),
-            capacity_index: dispatch::default_capacity_index(),
-            shards: osr_sim::default_shards(),
+            config: SchedulerConfig::default(),
         }
+    }
+
+    /// The dispatch-strategy knob.
+    #[deprecated(note = "read `params.dispatch` (via the embedded `config`) instead")]
+    pub fn dispatch(&self) -> DispatchIndex {
+        self.config.dispatch
+    }
+
+    /// The event-queue backend knob.
+    #[deprecated(note = "read `params.events` (via the embedded `config`) instead")]
+    pub fn events(&self) -> EventBackend {
+        self.config.events
+    }
+
+    /// The capacity-index mode knob.
+    #[deprecated(note = "read `params.capacity_index` (via the embedded `config`) instead")]
+    pub fn capacity_index(&self) -> CapacityIndexMode {
+        self.config.capacity_index
+    }
+
+    /// The requested driver shard count.
+    #[deprecated(note = "read `params.shards` (via the embedded `config`) instead")]
+    pub fn shards(&self) -> usize {
+        self.config.shards
     }
 }
 
@@ -373,7 +405,7 @@ enum EnergyOp {
 
 /// One driver shard's §3 state: locally indexed machines plus its slice
 /// of the pruned dispatch index and the buffered record writes.
-struct EnergyShard {
+pub(crate) struct EnergyShard {
     base: usize,
     len: usize,
     machines: Vec<MachineE>,
@@ -383,14 +415,16 @@ struct EnergyShard {
 }
 
 /// The §3 algorithm as an [`EventPolicy`]: density-order dispatch,
-/// speed scaling, and the weight-counter rejection rule.
-struct EnergyPolicy<'a> {
-    jobs: &'a [Job],
-    params: EnergyFlowParams,
-    gamma: f64,
+/// speed scaling, and the weight-counter rejection rule. `pub(crate)`
+/// with open fields so [`crate::session`] can rebuild the (cheap,
+/// borrow-carrying) policy per ingest call.
+pub(crate) struct EnergyPolicy<'a> {
+    pub(crate) jobs: &'a [Job],
+    pub(crate) params: EnergyFlowParams,
+    pub(crate) gamma: f64,
     /// Global machine count (pruned-index crossover and the trace's
     /// `candidates` field are defined on the whole pool).
-    m: usize,
+    pub(crate) m: usize,
 }
 
 impl EnergyPolicy<'_> {
@@ -474,7 +508,11 @@ impl EventPolicy for EnergyPolicy<'_> {
     fn make_shard(&self, base: usize, len: usize, online: &OnlineSet) -> EnergyShard {
         let dindex = (self.params.dispatch == DispatchIndex::Pruned
             && self.m >= PRUNED_MIN_MACHINES)
-            .then(|| dispatch::rebuild_shard_index(base, len, online, |_| MachineStats::EMPTY));
+            .then(|| {
+                dispatch::rebuild_shard_index(base, len, online, self.params.propagation, |_| {
+                    MachineStats::EMPTY
+                })
+            });
         EnergyShard {
             base,
             len,
@@ -701,6 +739,7 @@ impl EventPolicy for EnergyPolicy<'_> {
             base,
             *len,
             online,
+            self.params.propagation,
             |i| machines[i - base].stats(),
         );
     }
@@ -751,6 +790,14 @@ impl EventPolicy for EnergyPolicy<'_> {
                     records[job.idx()].def_finish = def_finish;
                 }
             }
+        }
+    }
+
+    fn probe(&self, sh: &EnergyShard) -> ShardProbe {
+        ShardProbe {
+            queued: sh.machines.iter().map(|ms| ms.pending.len()).sum(),
+            running: sh.machines.iter().filter(|ms| ms.running.is_some()).count(),
+            index: sh.dindex.as_ref().map(|ix| ix.index_stats()),
         }
     }
 }

@@ -47,10 +47,11 @@ use osr_model::{
     Rejection,
 };
 use osr_sim::{
-    driver::{EventPolicy, LogOp, Placement, ShardCtx},
+    driver::{EventPolicy, LogOp, Placement, ShardCtx, ShardProbe},
     CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, OnlineScheduler,
 };
 
+use crate::config::SchedulerConfig;
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
 use crate::epsilon::Thresholds;
 pub use dual::{check_dual_feasibility, DualAudit, FlowDual};
@@ -59,6 +60,12 @@ use queue::{lambda_ij, pend_key, PendKey, PendQueue};
 pub use weighted::{WeightedFlowOutcome, WeightedFlowParams, WeightedFlowScheduler};
 
 /// Parameters of the §2 algorithm.
+///
+/// The runtime knobs (queue backend, dispatch strategy, event backend,
+/// capacity-index mode, propagation, shards) live in the embedded
+/// [`SchedulerConfig`]; `FlowParams` derefs to it, so
+/// `params.dispatch`, `params.backend` etc. keep reading and writing
+/// as plain fields.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowParams {
     /// Rejection-budget parameter `ε ∈ (0, 1]`.
@@ -67,37 +74,32 @@ pub struct FlowParams {
     pub rule1: bool,
     /// Enable Rule 2 (ablation toggle).
     pub rule2: bool,
-    /// Pending-queue backend.
-    pub backend: QueueBackend,
-    /// Dispatch argmin strategy (results are identical either way;
-    /// `Linear` is the ablation baseline).
-    pub dispatch: DispatchIndex,
-    /// Completion event-queue backend.
-    pub events: EventBackend,
-    /// How the pruned index tracks capacity churn (results are
-    /// identical either way; `Rebuild` is the audit oracle).
-    pub capacity_index: CapacityIndexMode,
-    /// Requested shard count for the epoch-sharded driver
-    /// ([`osr_sim::driver`]): `1` is the serial oracle, and any value
-    /// is byte-identical to it (clamped to one shard per 64-machine
-    /// rack; see [`osr_sim::effective_shards`]).
-    pub shards: usize,
+    /// Shared runtime knobs (see [`SchedulerConfig`]).
+    pub config: SchedulerConfig,
+}
+
+impl std::ops::Deref for FlowParams {
+    type Target = SchedulerConfig;
+    fn deref(&self) -> &SchedulerConfig {
+        &self.config
+    }
+}
+
+impl std::ops::DerefMut for FlowParams {
+    fn deref_mut(&mut self) -> &mut SchedulerConfig {
+        &mut self.config
+    }
 }
 
 impl FlowParams {
-    /// Standard parameters: both rules on, treap backend, the
-    /// process-default dispatch strategy
-    /// ([`crate::dispatch::default_dispatch_index`]).
+    /// Standard parameters: both rules on, and the process-default
+    /// runtime knobs ([`SchedulerConfig::default`]).
     pub fn new(eps: f64) -> Self {
         FlowParams {
             eps,
             rule1: true,
             rule2: true,
-            backend: QueueBackend::Treap,
-            dispatch: dispatch::default_dispatch_index(),
-            events: EventBackend::default(),
-            capacity_index: dispatch::default_capacity_index(),
-            shards: osr_sim::default_shards(),
+            config: SchedulerConfig::default(),
         }
     }
 
@@ -108,6 +110,36 @@ impl FlowParams {
             rule2,
             ..FlowParams::new(eps)
         }
+    }
+
+    /// The pending-queue backend knob.
+    #[deprecated(note = "read `params.backend` (via the embedded `config`) instead")]
+    pub fn backend(&self) -> QueueBackend {
+        self.config.backend
+    }
+
+    /// The dispatch-strategy knob.
+    #[deprecated(note = "read `params.dispatch` (via the embedded `config`) instead")]
+    pub fn dispatch(&self) -> DispatchIndex {
+        self.config.dispatch
+    }
+
+    /// The event-queue backend knob.
+    #[deprecated(note = "read `params.events` (via the embedded `config`) instead")]
+    pub fn events(&self) -> EventBackend {
+        self.config.events
+    }
+
+    /// The capacity-index mode knob.
+    #[deprecated(note = "read `params.capacity_index` (via the embedded `config`) instead")]
+    pub fn capacity_index(&self) -> CapacityIndexMode {
+        self.config.capacity_index
+    }
+
+    /// The requested driver shard count.
+    #[deprecated(note = "read `params.shards` (via the embedded `config`) instead")]
+    pub fn shards(&self) -> usize {
+        self.config.shards
     }
 }
 
@@ -304,17 +336,19 @@ enum FlowOp {
 }
 
 /// Whole-run dual state the driver folds shard results into.
-struct FlowGlobal {
-    lambda: Vec<f64>,
-    exit: Vec<f64>,
-    c_tilde: Vec<f64>,
-    machine_of: Vec<u32>,
+/// `pub(crate)` with open fields so [`crate::session`] can grow it one
+/// arrival at a time in serve mode.
+pub(crate) struct FlowGlobal {
+    pub(crate) lambda: Vec<f64>,
+    pub(crate) exit: Vec<f64>,
+    pub(crate) c_tilde: Vec<f64>,
+    pub(crate) machine_of: Vec<u32>,
 }
 
 /// One driver shard's §2 state: the machines it owns (locally
 /// indexed — machine `li` is global `base + li`), its slice of the
 /// pruned dispatch index, and the buffered dual writes.
-struct FlowShard {
+pub(crate) struct FlowShard {
     base: usize,
     len: usize,
     machines: Vec<MachineState>,
@@ -325,15 +359,17 @@ struct FlowShard {
 
 /// The §2 algorithm as an [`EventPolicy`]: dispatch argmin + both
 /// rejection rules + dual bookkeeping. The driver owns event ordering
-/// and re-dispatch.
-struct FlowPolicy<'a> {
-    jobs: &'a [Job],
-    th: Thresholds,
-    params: FlowParams,
+/// and re-dispatch. `pub(crate)` with open fields so
+/// [`crate::session`] can rebuild the (cheap, borrow-carrying) policy
+/// per ingest call.
+pub(crate) struct FlowPolicy<'a> {
+    pub(crate) jobs: &'a [Job],
+    pub(crate) th: Thresholds,
+    pub(crate) params: FlowParams,
     /// Global machine count (the pruned-index crossover and the trace's
     /// `candidates` field are defined on the whole pool, not a shard).
-    m: usize,
-    cap_hint: usize,
+    pub(crate) m: usize,
+    pub(crate) cap_hint: usize,
 }
 
 /// Machine `q`'s current stats row for the dispatch index.
@@ -396,7 +432,11 @@ impl EventPolicy for FlowPolicy<'_> {
         // *global* pool so shard counts never change the strategy.
         let dindex = (self.params.dispatch == DispatchIndex::Pruned
             && self.m >= PRUNED_MIN_MACHINES)
-            .then(|| dispatch::rebuild_shard_index(base, len, online, |_| MachineStats::EMPTY));
+            .then(|| {
+                dispatch::rebuild_shard_index(base, len, online, self.params.propagation, |_| {
+                    MachineStats::EMPTY
+                })
+            });
         FlowShard {
             base,
             len,
@@ -671,6 +711,7 @@ impl EventPolicy for FlowPolicy<'_> {
             base,
             *len,
             online,
+            self.params.propagation,
             |i| stats_of(&machines[i - base].pending),
         );
     }
@@ -715,6 +756,14 @@ impl EventPolicy for FlowPolicy<'_> {
                     global.c_tilde[job.idx()] = c_tilde;
                 }
             }
+        }
+    }
+
+    fn probe(&self, sh: &FlowShard) -> ShardProbe {
+        ShardProbe {
+            queued: sh.machines.iter().map(|ms| ms.pending.len()).sum(),
+            running: sh.machines.iter().filter(|ms| ms.running.is_some()).count(),
+            index: sh.dindex.as_ref().map(|ix| ix.index_stats()),
         }
     }
 }
@@ -1140,6 +1189,25 @@ mod tests {
             sched.run(&small).effective_dispatch,
             crate::DispatchIndex::Linear
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_knob_accessors_pass_through_the_config() {
+        // Old-style field access (now routed through the embedded
+        // `SchedulerConfig` by Deref) and the deprecated accessor
+        // methods must observe the same knobs.
+        let mut p = FlowParams::new(0.5);
+        p.dispatch = crate::DispatchIndex::Linear;
+        p.backend = QueueBackend::Naive;
+        p.shards = 3;
+        assert_eq!(p.dispatch(), crate::DispatchIndex::Linear);
+        assert_eq!(p.backend(), QueueBackend::Naive);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.events(), p.config.events);
+        assert_eq!(p.capacity_index(), p.config.capacity_index);
+        // The embedded config is the single source of truth.
+        assert_eq!(p.config.dispatch, crate::DispatchIndex::Linear);
     }
 
     #[test]

@@ -38,43 +38,75 @@ use osr_model::{
     Rejection,
 };
 use osr_sim::{
-    driver::{EventPolicy, LogOp, Placement, ShardCtx},
+    driver::{EventPolicy, LogOp, Placement, ShardCtx, ShardProbe},
     CapacityChange, CapacityPlan, DecisionEvent, DecisionTrace, EventBackend, OnlineScheduler,
 };
 
+use crate::config::SchedulerConfig;
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex, PRUNED_MIN_MACHINES};
 
 /// Parameters for the weighted variant.
+///
+/// The runtime knobs live in the embedded [`SchedulerConfig`]
+/// (`params.config`); the struct derefs to it, so `params.dispatch`
+/// etc. keep working as plain field accesses. The `backend` knob is
+/// inert here (the weighted queues are density-sorted `Vec`s), and
+/// because this variant's dispatch reads the global rejection budget,
+/// every arrival is a barrier (`serial_arrivals`) — the `shards` knob
+/// only parallelizes completion drains.
 #[derive(Debug, Clone, Copy)]
 pub struct WeightedFlowParams {
     /// Budget parameter `ε ∈ (0, 1]`; enforced rejected-weight cap is
     /// `2ε` of arrived weight.
     pub eps: f64,
-    /// Dispatch argmin strategy (identical results; `Linear` ablation).
-    pub dispatch: DispatchIndex,
-    /// Completion event-queue backend.
-    pub events: EventBackend,
-    /// How the pruned index tracks capacity churn (results are
-    /// identical either way; `Rebuild` is the audit oracle).
-    pub capacity_index: CapacityIndexMode,
-    /// Requested driver shard count (`1` = serial oracle; results are
-    /// identical at any value). The weighted variant's dispatch reads
-    /// the global rejection budget, so every arrival is a barrier
-    /// (`serial_arrivals`) — sharding only parallelizes completion
-    /// drains here.
-    pub shards: usize,
+    /// Shared runtime knobs (see [`SchedulerConfig`]).
+    pub config: SchedulerConfig,
+}
+
+impl std::ops::Deref for WeightedFlowParams {
+    type Target = SchedulerConfig;
+    fn deref(&self) -> &SchedulerConfig {
+        &self.config
+    }
+}
+
+impl std::ops::DerefMut for WeightedFlowParams {
+    fn deref_mut(&mut self) -> &mut SchedulerConfig {
+        &mut self.config
+    }
 }
 
 impl WeightedFlowParams {
-    /// Standard parameters for `eps` (process-default dispatch).
+    /// Standard parameters for `eps` (process-default runtime knobs).
     pub fn new(eps: f64) -> Self {
         WeightedFlowParams {
             eps,
-            dispatch: dispatch::default_dispatch_index(),
-            events: EventBackend::default(),
-            capacity_index: dispatch::default_capacity_index(),
-            shards: osr_sim::default_shards(),
+            config: SchedulerConfig::default(),
         }
+    }
+
+    /// The dispatch-strategy knob.
+    #[deprecated(note = "read `params.dispatch` (via the embedded `config`) instead")]
+    pub fn dispatch(&self) -> DispatchIndex {
+        self.config.dispatch
+    }
+
+    /// The event-queue backend knob.
+    #[deprecated(note = "read `params.events` (via the embedded `config`) instead")]
+    pub fn events(&self) -> EventBackend {
+        self.config.events
+    }
+
+    /// The capacity-index mode knob.
+    #[deprecated(note = "read `params.capacity_index` (via the embedded `config`) instead")]
+    pub fn capacity_index(&self) -> CapacityIndexMode {
+        self.config.capacity_index
+    }
+
+    /// The requested driver shard count.
+    #[deprecated(note = "read `params.shards` (via the embedded `config`) instead")]
+    pub fn shards(&self) -> usize {
+        self.config.shards
     }
 }
 
@@ -239,7 +271,7 @@ impl WeightedFlowScheduler {
 /// *dispatchable* arrivals count: an ineligible job never enters any
 /// queue and must not widen the budget.
 #[derive(Debug, Default)]
-struct WeightBudget {
+pub(crate) struct WeightBudget {
     arrived_weight: f64,
     dispatched_jobs: usize,
     rejected_weight: f64,
@@ -255,7 +287,7 @@ impl WeightBudget {
 
 /// One driver shard's weighted state: locally indexed machines plus its
 /// slice of the pruned dispatch index.
-struct WeightedShard {
+pub(crate) struct WeightedShard {
     base: usize,
     len: usize,
     machines: Vec<MachW>,
@@ -266,14 +298,16 @@ struct WeightedShard {
 /// The weighted variant as an [`EventPolicy`]. The global rejection
 /// budget sits behind a mutex, but it is only touched from `dispatch`
 /// — and `serial_arrivals` guarantees dispatches run serially in the
-/// driver's phase 2, so the lock is never contended.
-struct WeightedPolicy {
-    eps: f64,
-    params: WeightedFlowParams,
+/// driver's phase 2, so the lock is never contended. `pub(crate)` with
+/// open fields so [`crate::session`] can host the (job-independent,
+/// state-carrying) policy across serve-mode arrivals.
+pub(crate) struct WeightedPolicy {
+    pub(crate) eps: f64,
+    pub(crate) params: WeightedFlowParams,
     /// Global machine count (pruned-index crossover is defined on the
     /// whole pool).
-    m: usize,
-    budget: Mutex<WeightBudget>,
+    pub(crate) m: usize,
+    pub(crate) budget: Mutex<WeightBudget>,
 }
 
 impl WeightedPolicy {
@@ -343,7 +377,11 @@ impl EventPolicy for WeightedPolicy {
     fn make_shard(&self, base: usize, len: usize, online: &OnlineSet) -> WeightedShard {
         let dindex = (self.params.dispatch == DispatchIndex::Pruned
             && self.m >= PRUNED_MIN_MACHINES)
-            .then(|| dispatch::rebuild_shard_index(base, len, online, |_| MachineStats::EMPTY));
+            .then(|| {
+                dispatch::rebuild_shard_index(base, len, online, self.params.propagation, |_| {
+                    MachineStats::EMPTY
+                })
+            });
         WeightedShard {
             base,
             len,
@@ -587,6 +625,7 @@ impl EventPolicy for WeightedPolicy {
             base,
             *len,
             online,
+            self.params.propagation,
             |i| machines[i - base].stats(),
         );
     }
@@ -621,6 +660,14 @@ impl EventPolicy for WeightedPolicy {
     }
 
     fn drain(&self, _sh: &mut WeightedShard, _global: &mut ()) {}
+
+    fn probe(&self, sh: &WeightedShard) -> ShardProbe {
+        ShardProbe {
+            queued: sh.machines.iter().map(|ms| ms.pending.len()).sum(),
+            running: sh.machines.iter().filter(|ms| ms.running.is_some()).count(),
+            index: sh.dindex.as_ref().map(|ix| ix.index_stats()),
+        }
+    }
 }
 
 impl OnlineScheduler for WeightedFlowScheduler {

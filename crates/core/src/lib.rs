@@ -39,16 +39,22 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod config;
 pub mod dispatch;
 pub mod energyflow;
 pub mod energymin;
 pub mod epsilon;
 pub mod flowtime;
+pub mod session;
 pub mod smooth;
 
 pub use bounds::{
     energyflow_competitive_bound, energymin_competitive_bound, energymin_lower_bound,
     flowtime_competitive_bound, flowtime_rejection_budget, immediate_rejection_lower_bound,
+};
+pub use config::{
+    knob_help, parse_capacity_index, parse_dispatch, parse_propagation, parse_shards, KnobSpec,
+    RuntimeDefaults, SchedulerConfig, KNOBS,
 };
 pub use dispatch::{
     default_capacity_index, default_dispatch_index, effective_dispatch_index,
@@ -61,6 +67,9 @@ pub use energymin::{
 };
 pub use epsilon::Thresholds;
 pub use flowtime::{FlowOutcome, FlowParams, FlowScheduler, QueueBackend};
+pub use session::{
+    EnergyFlowSession, FlowSession, ServeSession, ServeSnapshot, WeightedFlowSession,
+};
 // The ancestor-propagation toggle of the tournament index, re-exported
 // so harnesses can ablate it beside the dispatch toggle
 // (`run_experiments --propagation eager|lazy`).

@@ -1,0 +1,850 @@
+//! Streaming **serve-mode** sessions: the three schedulers opened up as
+//! long-running, incrementally-fed instances for `osr serve`.
+//!
+//! Offline, a scheduler's `run(&Instance)` sees every arrival up front
+//! and hands the whole batch to [`osr_sim::drive`]. A serve session
+//! inverts that: it owns a growable job list and a resumable
+//! [`DriverSession`], and each [`ServeSession::arrive`] pushes one job
+//! and ingests it immediately. The *policies* are unchanged — flow and
+//! energy policies (which borrow the jobs slice) are rebuilt per call
+//! around the long-lived driver state; the weighted policy (which owns
+//! the global rejection budget) lives inside the session.
+//!
+//! # Determinism contract (online = offline)
+//!
+//! Feeding a session the events of an offline instance in the batch
+//! loop's order — capacity changes before arrivals at equal instants,
+//! timestamps non-decreasing — produces a [`FinishedLog`] **byte
+//! identical** (via [`osr_model::io::log_to_string`]) to the offline
+//! `run` over the same instance: epoch boundaries only add flush
+//! points, and flush groups cover disjoint, ordered time ranges, so
+//! the concatenated stable sorts equal one whole-run stable sort (see
+//! [`DriverSession`] docs). The tests below and the `serve-replay` CI
+//! job pin this for all three schedulers.
+//!
+//! Sessions *validate* the stream rather than trusting it: sizes rows
+//! must match the pool width, and event times must be non-decreasing
+//! against the session's high-water clock (out-of-order input would
+//! silently break the offline equivalence, so it is rejected loudly).
+
+use std::sync::Mutex;
+
+use osr_model::{
+    FinishedLog, Job, JobFate, JobId, MachineId, OnlineSet, RejectReason, ScheduleLog,
+};
+use osr_sim::{CapacityChange, CapacityEvent, DriverSession, SessionStats, SummaryStats};
+
+use crate::energyflow::{
+    EnergyFlowJobRecord, EnergyFlowParams, EnergyFlowScheduler, EnergyPolicy, EnergyShard,
+};
+use crate::epsilon::Thresholds;
+use crate::flowtime::weighted::{WeightBudget, WeightedFlowParams, WeightedPolicy, WeightedShard};
+use crate::flowtime::{FlowGlobal, FlowParams, FlowPolicy, FlowShard};
+
+/// Pending-arena preallocation per machine in serve mode. Offline runs
+/// size the hint from `n / m`, but a stream's length is unknown up
+/// front; any value is schedule-neutral (the hint only pre-reserves
+/// arena space — treap shapes depend on the insertion sequence alone),
+/// so serve uses a small constant and lets hot machines grow.
+const SERVE_CAP_HINT: usize = 64;
+
+/// Point-in-time ops snapshot of a live serve session: driver counters
+/// ([`SessionStats`]) merged with fate totals and flow-time percentiles
+/// read off the in-progress schedule log. Rendered by `osr serve`'s
+/// `stats` command and the `osr top` TUI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeSnapshot {
+    /// High-water event time processed (`-∞` before any event).
+    pub now: f64,
+    /// Machine-universe size of the pool.
+    pub machines: usize,
+    /// Machines currently online.
+    pub online: usize,
+    /// Effective shard count of the driver.
+    pub shards: usize,
+    /// Arrivals ingested so far.
+    pub arrived: usize,
+    /// Jobs dispatched but not yet started.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Completion events waiting in the shard event queues.
+    pub completions_pending: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs rejected (all reasons).
+    pub rejected: usize,
+    /// ... by §2 Rule 1 / the §3 weight rule.
+    pub rejected_rule1: usize,
+    /// ... by §2 Rule 2.
+    pub rejected_rule2: usize,
+    /// ... immediately at arrival (baseline policies).
+    pub rejected_immediate: usize,
+    /// ... for being eligible on no machine.
+    pub rejected_ineligible: usize,
+    /// ... because every eligible machine left the pool.
+    pub rejected_machine_lost: usize,
+    /// ... for any other baseline-specific reason.
+    pub rejected_other: usize,
+    /// Total capacity-churn re-dispatches across all jobs.
+    pub redispatches: u64,
+    /// Median flow time `C_j − r_j` over completed jobs (0 when none).
+    pub flow_p50: f64,
+    /// 95th-percentile flow time over completed jobs.
+    pub flow_p95: f64,
+    /// 99th-percentile flow time over completed jobs.
+    pub flow_p99: f64,
+    /// Merged dispatch-index snapshot across shards (`None` when every
+    /// shard runs the linear scan).
+    pub index: Option<osr_dstruct::IndexStats>,
+}
+
+/// A scheduler running as a long-lived, incrementally-fed instance —
+/// the object-safe surface `osr serve` drives. One implementation per
+/// algorithm: [`FlowSession`] (§2), [`WeightedFlowSession`] (§3 weight
+/// rule on unit speeds), [`EnergyFlowSession`] (§3 speed scaling).
+///
+/// Event times must be non-decreasing across *all* calls (`arrive`,
+/// `capacity`, `advance` share one high-water clock); violations are
+/// rejected with an error and leave the session state untouched.
+pub trait ServeSession: Send {
+    /// Short algorithm name (`"flow"`, `"weighted"`, `"energy"`).
+    fn algorithm(&self) -> &'static str;
+
+    /// Machine-universe size of the pool.
+    fn machines(&self) -> usize;
+
+    /// Feeds one arrival: a job released at `release` with `weight` and
+    /// one processing time per machine (`f64::INFINITY` = ineligible),
+    /// dispatched online immediately. Returns the assigned dense id.
+    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String>;
+
+    /// Applies a pool-membership change at `time`: joins bring the
+    /// machine back; drains and crashes evict its jobs and re-dispatch
+    /// them. No-ops (joining an online machine, draining an offline
+    /// one) are accepted silently, mirroring offline replay.
+    fn capacity(&mut self, change: CapacityChange, machine: usize, time: f64)
+        -> Result<(), String>;
+
+    /// Fires every completion at or before `time` without ingesting
+    /// anything, so stats surfaces stay current between arrivals.
+    /// Afterwards no event may carry a timestamp below `time`.
+    fn advance(&mut self, time: f64) -> Result<(), String>;
+
+    /// Read-only ops snapshot (never mutates scheduler state).
+    fn snapshot(&self) -> ServeSnapshot;
+
+    /// Ends the stream: drains every outstanding completion and returns
+    /// the finished log — byte-identical to the offline run over the
+    /// same event sequence.
+    fn finish(self: Box<Self>) -> Result<FinishedLog, String>;
+}
+
+/// Builds the initial pool membership: all machines online except the
+/// listed ones (machines whose first trace event is a `join` start
+/// offline, mirroring [`osr_sim::CapacityPlan::initial_online`]).
+fn initial_pool(machines: usize, offline: &[usize]) -> Result<OnlineSet, String> {
+    let mut online = OnlineSet::all_online(machines);
+    for &i in offline {
+        if i >= machines {
+            return Err(format!(
+                "offline machine m{i} out of range (pool has {machines} machines)"
+            ));
+        }
+        online.set_offline(i);
+    }
+    Ok(online)
+}
+
+/// Shared stream validation: a session-wide monotone clock.
+fn check_clock(clock: f64, time: f64, what: &str) -> Result<(), String> {
+    if time.is_nan() {
+        return Err(format!("{what} time is NaN"));
+    }
+    if time < clock {
+        return Err(format!(
+            "{what} at t={time} behind the stream high-water t={clock}; serve input must be time-ordered"
+        ));
+    }
+    Ok(())
+}
+
+/// Shared bounds check for capacity targets.
+fn check_machine(machines: usize, machine: usize) -> Result<(), String> {
+    if machine >= machines {
+        return Err(format!(
+            "machine m{machine} out of range (pool has {machines} machines)"
+        ));
+    }
+    Ok(())
+}
+
+/// Merges driver counters with fate totals and flow percentiles read
+/// off the in-progress log.
+fn compose_snapshot(stats: SessionStats, log: &ScheduleLog, jobs: &[Job]) -> ServeSnapshot {
+    let mut snap = ServeSnapshot {
+        now: stats.now,
+        machines: stats.machines,
+        online: stats.online,
+        shards: stats.shards,
+        arrived: stats.ingested,
+        queued: stats.queued,
+        running: stats.running,
+        completions_pending: stats.completions_pending,
+        index: stats.index,
+        ..ServeSnapshot::default()
+    };
+    let mut flows = Vec::new();
+    for (id, fate) in log.iter() {
+        match fate {
+            JobFate::Completed(e) => {
+                snap.completed += 1;
+                flows.push(e.completion - jobs[id.idx()].release);
+            }
+            JobFate::Rejected(r) => {
+                snap.rejected += 1;
+                match r.reason {
+                    RejectReason::RuleOne => snap.rejected_rule1 += 1,
+                    RejectReason::RuleTwo => snap.rejected_rule2 += 1,
+                    RejectReason::Immediate => snap.rejected_immediate += 1,
+                    RejectReason::Ineligible => snap.rejected_ineligible += 1,
+                    RejectReason::MachineLost => snap.rejected_machine_lost += 1,
+                    RejectReason::Other => snap.rejected_other += 1,
+                }
+            }
+        }
+    }
+    for k in 0..log.len() {
+        snap.redispatches += u64::from(log.redispatches(JobId(k as u32)));
+    }
+    let s = SummaryStats::from_values(flows);
+    snap.flow_p50 = s.p50;
+    snap.flow_p95 = s.p95;
+    snap.flow_p99 = s.p99;
+    snap
+}
+
+/// Validates an incoming arrival and appends it to the session's job
+/// list, returning its id. Shared by all three sessions; callers grow
+/// their global state and ingest on `Ok`.
+fn push_arrival(
+    jobs: &mut Vec<Job>,
+    machines: usize,
+    clock: &mut f64,
+    release: f64,
+    weight: f64,
+    sizes: Vec<f64>,
+) -> Result<JobId, String> {
+    check_clock(*clock, release, "arrival")?;
+    if jobs.len() > u32::MAX as usize {
+        return Err("job id space exhausted".into());
+    }
+    let job = Job::weighted(jobs.len() as u32, release, weight, sizes);
+    job.validate(machines)?;
+    *clock = release;
+    let id = job.id;
+    jobs.push(job);
+    Ok(id)
+}
+
+/// Rebuilds the (cheap, borrow-carrying) §2 policy around the session's
+/// current job list. Free function so the borrow stays on the `jobs`
+/// field alone, leaving the driver free for a simultaneous `&mut`.
+fn flow_policy<'a>(
+    jobs: &'a [Job],
+    th: Thresholds,
+    params: FlowParams,
+    m: usize,
+) -> FlowPolicy<'a> {
+    FlowPolicy {
+        jobs,
+        th,
+        params,
+        m,
+        cap_hint: SERVE_CAP_HINT,
+    }
+}
+
+/// The §2 flow-time scheduler as a serve session.
+pub struct FlowSession {
+    jobs: Vec<Job>,
+    th: Thresholds,
+    params: FlowParams,
+    m: usize,
+    driver: DriverSession<FlowShard>,
+    global: FlowGlobal,
+    clock: f64,
+}
+
+impl FlowSession {
+    /// Opens a session over `machines` machines, all online.
+    pub fn new(params: FlowParams, machines: usize) -> Result<Self, String> {
+        Self::with_offline(params, machines, &[])
+    }
+
+    /// Opens a session with the listed machines starting offline.
+    pub fn with_offline(
+        params: FlowParams,
+        machines: usize,
+        offline: &[usize],
+    ) -> Result<Self, String> {
+        if machines == 0 {
+            return Err("pool must have at least one machine".into());
+        }
+        let th = Thresholds::new(params.eps)?;
+        let online = initial_pool(machines, offline)?;
+        let policy = flow_policy(&[], th, params, machines);
+        let driver =
+            DriverSession::with_online(&policy, machines, online, params.events, params.shards);
+        Ok(FlowSession {
+            jobs: Vec::new(),
+            th,
+            params,
+            m: machines,
+            driver,
+            global: FlowGlobal {
+                lambda: Vec::new(),
+                exit: Vec::new(),
+                c_tilde: Vec::new(),
+                machine_of: Vec::new(),
+            },
+            clock: 0.0,
+        })
+    }
+}
+
+impl ServeSession for FlowSession {
+    fn algorithm(&self) -> &'static str {
+        "flow"
+    }
+
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+        let id = push_arrival(
+            &mut self.jobs,
+            self.m,
+            &mut self.clock,
+            release,
+            weight,
+            sizes,
+        )?;
+        self.global.lambda.push(0.0);
+        self.global.exit.push(f64::NAN);
+        self.global.c_tilde.push(f64::NAN);
+        self.global.machine_of.push(u32::MAX);
+        let policy = flow_policy(&self.jobs, self.th, self.params, self.m);
+        self.driver
+            .ingest_all(&policy, &self.jobs, &mut self.global);
+        Ok(id)
+    }
+
+    fn capacity(
+        &mut self,
+        change: CapacityChange,
+        machine: usize,
+        time: f64,
+    ) -> Result<(), String> {
+        check_machine(self.m, machine)?;
+        check_clock(self.clock, time, "capacity event")?;
+        self.clock = time;
+        let ev = CapacityEvent {
+            time,
+            machine: MachineId(machine as u32),
+            change,
+        };
+        let policy = flow_policy(&self.jobs, self.th, self.params, self.m);
+        self.driver
+            .capacity(&policy, &self.jobs, ev, &mut self.global);
+        Ok(())
+    }
+
+    fn advance(&mut self, time: f64) -> Result<(), String> {
+        check_clock(self.clock, time, "advance")?;
+        self.clock = time;
+        let policy = flow_policy(&self.jobs, self.th, self.params, self.m);
+        self.driver.advance(&policy, time, &mut self.global);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> ServeSnapshot {
+        let policy = flow_policy(&self.jobs, self.th, self.params, self.m);
+        compose_snapshot(self.driver.probe(&policy), self.driver.log(), &self.jobs)
+    }
+
+    fn finish(self: Box<Self>) -> Result<FinishedLog, String> {
+        let mut s = *self;
+        let policy = flow_policy(&s.jobs, s.th, s.params, s.m);
+        let (log, _trace, _shards) = s.driver.into_finished(&policy, &mut s.global);
+        log.finish()
+    }
+}
+
+/// The §3 weighted scheduler (unit speeds, weight-budget rejection) as
+/// a serve session. The policy is job-independent and state-carrying
+/// (it owns the global rejection budget), so it lives inside the
+/// session rather than being rebuilt per call.
+pub struct WeightedFlowSession {
+    jobs: Vec<Job>,
+    policy: WeightedPolicy,
+    m: usize,
+    driver: DriverSession<WeightedShard>,
+    clock: f64,
+}
+
+impl WeightedFlowSession {
+    /// Opens a session over `machines` machines, all online.
+    pub fn new(params: WeightedFlowParams, machines: usize) -> Result<Self, String> {
+        Self::with_offline(params, machines, &[])
+    }
+
+    /// Opens a session with the listed machines starting offline.
+    pub fn with_offline(
+        params: WeightedFlowParams,
+        machines: usize,
+        offline: &[usize],
+    ) -> Result<Self, String> {
+        if machines == 0 {
+            return Err("pool must have at least one machine".into());
+        }
+        if !(params.eps > 0.0 && params.eps <= 1.0 && params.eps.is_finite()) {
+            return Err(format!("eps must be in (0, 1], got {}", params.eps));
+        }
+        let online = initial_pool(machines, offline)?;
+        let policy = WeightedPolicy {
+            eps: params.eps,
+            params,
+            m: machines,
+            budget: Mutex::new(WeightBudget::default()),
+        };
+        let driver =
+            DriverSession::with_online(&policy, machines, online, params.events, params.shards);
+        Ok(WeightedFlowSession {
+            jobs: Vec::new(),
+            policy,
+            m: machines,
+            driver,
+            clock: 0.0,
+        })
+    }
+}
+
+impl ServeSession for WeightedFlowSession {
+    fn algorithm(&self) -> &'static str {
+        "weighted"
+    }
+
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+        let id = push_arrival(
+            &mut self.jobs,
+            self.m,
+            &mut self.clock,
+            release,
+            weight,
+            sizes,
+        )?;
+        self.driver.ingest_all(&self.policy, &self.jobs, &mut ());
+        Ok(id)
+    }
+
+    fn capacity(
+        &mut self,
+        change: CapacityChange,
+        machine: usize,
+        time: f64,
+    ) -> Result<(), String> {
+        check_machine(self.m, machine)?;
+        check_clock(self.clock, time, "capacity event")?;
+        self.clock = time;
+        let ev = CapacityEvent {
+            time,
+            machine: MachineId(machine as u32),
+            change,
+        };
+        self.driver.capacity(&self.policy, &self.jobs, ev, &mut ());
+        Ok(())
+    }
+
+    fn advance(&mut self, time: f64) -> Result<(), String> {
+        check_clock(self.clock, time, "advance")?;
+        self.clock = time;
+        self.driver.advance(&self.policy, time, &mut ());
+        Ok(())
+    }
+
+    fn snapshot(&self) -> ServeSnapshot {
+        compose_snapshot(
+            self.driver.probe(&self.policy),
+            self.driver.log(),
+            &self.jobs,
+        )
+    }
+
+    fn finish(self: Box<Self>) -> Result<FinishedLog, String> {
+        let s = *self;
+        let (log, _trace, _shards) = s.driver.into_finished(&s.policy, &mut ());
+        log.finish()
+    }
+}
+
+/// Rebuilds the §3 speed-scaling policy around the session's current
+/// job list (see [`flow_policy`] for the borrow-splitting rationale).
+fn energy_policy<'a>(
+    jobs: &'a [Job],
+    params: EnergyFlowParams,
+    gamma: f64,
+    m: usize,
+) -> EnergyPolicy<'a> {
+    EnergyPolicy {
+        jobs,
+        params,
+        gamma,
+        m,
+    }
+}
+
+/// The §3 energy scheduler (speed scaling `s = γ·W^{1/α}`) as a serve
+/// session.
+pub struct EnergyFlowSession {
+    jobs: Vec<Job>,
+    params: EnergyFlowParams,
+    gamma: f64,
+    m: usize,
+    driver: DriverSession<EnergyShard>,
+    records: Vec<EnergyFlowJobRecord>,
+    clock: f64,
+}
+
+impl EnergyFlowSession {
+    /// Opens a session over `machines` machines, all online.
+    pub fn new(params: EnergyFlowParams, machines: usize) -> Result<Self, String> {
+        Self::with_offline(params, machines, &[])
+    }
+
+    /// Opens a session with the listed machines starting offline.
+    pub fn with_offline(
+        params: EnergyFlowParams,
+        machines: usize,
+        offline: &[usize],
+    ) -> Result<Self, String> {
+        if machines == 0 {
+            return Err("pool must have at least one machine".into());
+        }
+        // Reuse the offline scheduler's validation and γ resolution.
+        let gamma = EnergyFlowScheduler::new(params)?.gamma();
+        let online = initial_pool(machines, offline)?;
+        let policy = energy_policy(&[], params, gamma, machines);
+        let driver =
+            DriverSession::with_online(&policy, machines, online, params.events, params.shards);
+        Ok(EnergyFlowSession {
+            jobs: Vec::new(),
+            params,
+            gamma,
+            m: machines,
+            driver,
+            records: Vec::new(),
+            clock: 0.0,
+        })
+    }
+
+    /// The resolved speed-scaling coefficient `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl ServeSession for EnergyFlowSession {
+    fn algorithm(&self) -> &'static str {
+        "energy"
+    }
+
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+        let id = push_arrival(
+            &mut self.jobs,
+            self.m,
+            &mut self.clock,
+            release,
+            weight,
+            sizes,
+        )?;
+        self.records.push(EnergyFlowJobRecord {
+            machine: u32::MAX,
+            lambda: 0.0,
+            start: f64::NAN,
+            speed: f64::NAN,
+            exit: f64::NAN,
+            def_finish: f64::NAN,
+        });
+        let policy = energy_policy(&self.jobs, self.params, self.gamma, self.m);
+        self.driver
+            .ingest_all(&policy, &self.jobs, &mut self.records);
+        Ok(id)
+    }
+
+    fn capacity(
+        &mut self,
+        change: CapacityChange,
+        machine: usize,
+        time: f64,
+    ) -> Result<(), String> {
+        check_machine(self.m, machine)?;
+        check_clock(self.clock, time, "capacity event")?;
+        self.clock = time;
+        let ev = CapacityEvent {
+            time,
+            machine: MachineId(machine as u32),
+            change,
+        };
+        let policy = energy_policy(&self.jobs, self.params, self.gamma, self.m);
+        self.driver
+            .capacity(&policy, &self.jobs, ev, &mut self.records);
+        Ok(())
+    }
+
+    fn advance(&mut self, time: f64) -> Result<(), String> {
+        check_clock(self.clock, time, "advance")?;
+        self.clock = time;
+        let policy = energy_policy(&self.jobs, self.params, self.gamma, self.m);
+        self.driver.advance(&policy, time, &mut self.records);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> ServeSnapshot {
+        let policy = energy_policy(&self.jobs, self.params, self.gamma, self.m);
+        compose_snapshot(self.driver.probe(&policy), self.driver.log(), &self.jobs)
+    }
+
+    fn finish(self: Box<Self>) -> Result<FinishedLog, String> {
+        let mut s = *self;
+        let policy = energy_policy(&s.jobs, s.params, s.gamma, s.m);
+        let (log, _trace, _shards) = s.driver.into_finished(&policy, &mut s.records);
+        log.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::DispatchIndex;
+    use crate::flowtime::weighted::WeightedFlowScheduler;
+    use crate::flowtime::FlowScheduler;
+    use osr_model::io::log_to_string;
+    use osr_model::{Instance, InstanceKind};
+    use osr_sim::CapacityPlan;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 33) as f64) / (u32::MAX as f64 + 1.0)
+    }
+
+    /// Deterministic stream: releases non-decreasing, ~15% ineligible
+    /// entries, weights in [0.5, 2.5).
+    fn gen_jobs(n: usize, m: usize, seed: u64) -> Vec<Job> {
+        let mut st = seed;
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|k| {
+                t += lcg(&mut st) * 1.5;
+                let sizes: Vec<f64> = (0..m)
+                    .map(|_| {
+                        let r = lcg(&mut st);
+                        if r < 0.15 {
+                            f64::INFINITY
+                        } else {
+                            0.5 + 4.0 * r
+                        }
+                    })
+                    .collect();
+                let w = 0.5 + 2.0 * lcg(&mut st);
+                Job::weighted(k as u32, t, w, sizes)
+            })
+            .collect()
+    }
+
+    /// Feeds an offline instance through a serve session in the batch
+    /// loop's order (capacity before arrivals at equal instants).
+    fn replay(mut sess: Box<dyn ServeSession>, jobs: &[Job], plan: &CapacityPlan) -> FinishedLog {
+        let mut evs = plan.events().iter().peekable();
+        for job in jobs {
+            while let Some(e) = evs.peek() {
+                if e.time <= job.release {
+                    sess.capacity(e.change, e.machine.idx(), e.time).unwrap();
+                    evs.next();
+                } else {
+                    break;
+                }
+            }
+            sess.arrive(job.release, job.weight, job.sizes.clone())
+                .unwrap();
+        }
+        for e in evs {
+            sess.capacity(e.change, e.machine.idx(), e.time).unwrap();
+        }
+        sess.finish().unwrap()
+    }
+
+    fn churn_plan() -> CapacityPlan {
+        CapacityPlan::new(vec![
+            CapacityEvent {
+                time: 3.0,
+                machine: MachineId(1),
+                change: CapacityChange::Drain,
+            },
+            CapacityEvent {
+                time: 7.0,
+                machine: MachineId(1),
+                change: CapacityChange::Join,
+            },
+            CapacityEvent {
+                time: 9.0,
+                machine: MachineId(3),
+                change: CapacityChange::Crash,
+            },
+            // m4 starts offline (first event is a join).
+            CapacityEvent {
+                time: 4.0,
+                machine: MachineId(4),
+                change: CapacityChange::Join,
+            },
+        ])
+        .unwrap()
+    }
+
+    /// Machines that must start offline under [`churn_plan`].
+    const CHURN_OFFLINE: &[usize] = &[4];
+
+    #[test]
+    fn flow_replay_is_byte_identical_to_offline_run() {
+        let m = 5;
+        let jobs = gen_jobs(60, m, 7);
+        let plan = churn_plan();
+        let inst = Instance::new(m, jobs.clone(), InstanceKind::FlowTime).unwrap();
+        let offline = FlowScheduler::with_eps(0.5)
+            .unwrap()
+            .with_capacity(plan.clone())
+            .run(&inst);
+        let sess = FlowSession::with_offline(FlowParams::new(0.5), m, CHURN_OFFLINE).unwrap();
+        let served = replay(Box::new(sess), &jobs, &plan);
+        assert_eq!(log_to_string(&offline.log), log_to_string(&served));
+    }
+
+    #[test]
+    fn flow_replay_matches_on_the_pruned_index_path() {
+        // Enough machines to clear PRUNED_MIN_MACHINES so the dispatch
+        // index (with its drain tombstones) is actually exercised.
+        let m = 12;
+        let jobs = gen_jobs(80, m, 21);
+        let plan = CapacityPlan::new(vec![
+            CapacityEvent {
+                time: 5.0,
+                machine: MachineId(2),
+                change: CapacityChange::Crash,
+            },
+            CapacityEvent {
+                time: 11.0,
+                machine: MachineId(8),
+                change: CapacityChange::Drain,
+            },
+        ])
+        .unwrap();
+        let mut params = FlowParams::new(0.4);
+        params.dispatch = DispatchIndex::Pruned;
+        let inst = Instance::new(m, jobs.clone(), InstanceKind::FlowTime).unwrap();
+        let offline = FlowScheduler::new(params)
+            .unwrap()
+            .with_capacity(plan.clone())
+            .run(&inst);
+        let sess = FlowSession::new(params, m).unwrap();
+        let served = replay(Box::new(sess), &jobs, &plan);
+        assert_eq!(log_to_string(&offline.log), log_to_string(&served));
+        // The probe surface reports a live index on this path.
+        let sess2 = FlowSession::new(params, m).unwrap();
+        assert!(sess2.snapshot().index.is_some());
+    }
+
+    #[test]
+    fn weighted_replay_is_byte_identical_to_offline_run() {
+        let m = 5;
+        let jobs = gen_jobs(60, m, 13);
+        let plan = churn_plan();
+        let inst = Instance::new(m, jobs.clone(), InstanceKind::FlowEnergy).unwrap();
+        let params = WeightedFlowParams::new(0.5);
+        let offline = WeightedFlowScheduler::new(params)
+            .unwrap()
+            .with_capacity(plan.clone())
+            .run(&inst);
+        let sess = WeightedFlowSession::with_offline(params, m, CHURN_OFFLINE).unwrap();
+        let served = replay(Box::new(sess), &jobs, &plan);
+        assert_eq!(log_to_string(&offline.log), log_to_string(&served));
+    }
+
+    #[test]
+    fn energy_replay_is_byte_identical_to_offline_run() {
+        let m = 5;
+        let jobs = gen_jobs(60, m, 29);
+        let plan = churn_plan();
+        let inst = Instance::new(m, jobs.clone(), InstanceKind::FlowEnergy).unwrap();
+        let params = EnergyFlowParams::new(0.5, 2.0);
+        let offline = EnergyFlowScheduler::new(params)
+            .unwrap()
+            .with_capacity(plan.clone())
+            .run(&inst);
+        let sess = EnergyFlowSession::with_offline(params, m, CHURN_OFFLINE).unwrap();
+        let served = replay(Box::new(sess), &jobs, &plan);
+        assert_eq!(log_to_string(&offline.log), log_to_string(&served));
+    }
+
+    #[test]
+    fn snapshot_counts_fates_and_percentiles() {
+        let m = 3;
+        let mut sess = FlowSession::new(FlowParams::new(0.5), m).unwrap();
+        sess.arrive(0.0, 1.0, vec![1.0, 2.0, 3.0]).unwrap();
+        sess.arrive(0.5, 1.0, vec![f64::INFINITY; 3]).unwrap(); // ineligible
+        sess.arrive(1.0, 1.0, vec![2.0, 1.0, 2.0]).unwrap();
+        sess.advance(100.0).unwrap();
+        let snap = sess.snapshot();
+        assert_eq!(snap.arrived, 3);
+        assert_eq!(snap.machines, m);
+        assert_eq!(snap.online, m);
+        assert_eq!(snap.rejected_ineligible, 1);
+        assert_eq!(snap.completed + snap.rejected, 3);
+        assert!(snap.flow_p50 > 0.0);
+        assert_eq!(snap.queued, 0);
+        assert_eq!(snap.running, 0);
+    }
+
+    #[test]
+    fn streams_are_validated() {
+        let m = 2;
+        let mut sess = FlowSession::new(FlowParams::new(0.5), m).unwrap();
+        sess.arrive(5.0, 1.0, vec![1.0, 1.0]).unwrap();
+        // Time regression.
+        assert!(sess.arrive(4.0, 1.0, vec![1.0, 1.0]).is_err());
+        assert!(sess.capacity(CapacityChange::Drain, 0, 4.0).is_err());
+        // Wrong row width.
+        assert!(sess.arrive(6.0, 1.0, vec![1.0]).is_err());
+        // Bad weight / NaN size.
+        assert!(sess.arrive(6.0, 0.0, vec![1.0, 1.0]).is_err());
+        assert!(sess.arrive(6.0, 1.0, vec![f64::NAN, 1.0]).is_err());
+        // Machine out of range.
+        assert!(sess.capacity(CapacityChange::Join, 2, 6.0).is_err());
+        // A failed call leaves the stream usable.
+        sess.arrive(6.0, 1.0, vec![1.0, 1.0]).unwrap();
+        assert!(Box::new(sess).finish().is_ok());
+        // Zero machines and out-of-range offline lists are rejected.
+        assert!(FlowSession::new(FlowParams::new(0.5), 0).is_err());
+        assert!(FlowSession::with_offline(FlowParams::new(0.5), 2, &[2]).is_err());
+    }
+}

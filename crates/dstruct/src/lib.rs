@@ -73,8 +73,8 @@ pub use naive::NaiveAggQueue;
 pub use pairing::PairingHeap;
 pub use total::TotalF64;
 pub use tournament::{
-    default_propagation, set_default_propagation, MachineIndex, MachineStats, MaskView, NodeStats,
-    Propagation, SearchMode, ShardMaskScratch,
+    default_propagation, set_default_propagation, IndexStats, MachineIndex, MachineStats, MaskView,
+    NodeStats, Propagation, SearchMode, ShardMaskScratch,
 };
 pub use treap::AggTreap;
 pub use treap_boxed::BoxedAggTreap;

@@ -410,6 +410,51 @@ impl NodeStats {
     }
 }
 
+/// Point-in-time snapshot of a [`MachineIndex`]'s internal health,
+/// surfaced by the live ops view (`osr top`): how many searches each
+/// arm answered (the flat/sparse/heap path mix), how much lazy repair
+/// work is queued, and the live/tombstone split of the leaf table.
+/// Counters are cumulative since construction; snapshots from several
+/// shard-local indexes [`merge`](IndexStats::merge) into one pool-wide
+/// view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Searches answered by the flat dense leaf pass.
+    pub flat_searches: u64,
+    /// Searches answered by the sparse set-bit walk (restricted masks
+    /// at or below [`FLAT_MAX_MACHINES`] eligible machines).
+    pub sparse_searches: u64,
+    /// Searches answered by the best-first heap descent.
+    pub heap_searches: u64,
+    /// Dirty leaves whose ancestors await the next batched repair
+    /// sweep (the lazy-propagation backlog; always 0 under eager
+    /// propagation and in flat mode).
+    pub dirty_leaves: usize,
+    /// Live (non-tombstoned) machines.
+    pub live: usize,
+    /// Tombstoned machines still occupying leaves.
+    pub tombstones: usize,
+}
+
+impl IndexStats {
+    /// Total searches across all three arms.
+    #[inline]
+    pub fn searches(&self) -> u64 {
+        self.flat_searches + self.sparse_searches + self.heap_searches
+    }
+
+    /// Accumulates another index's snapshot into this one (used to
+    /// aggregate per-shard indexes into a pool-wide view).
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.flat_searches += other.flat_searches;
+        self.sparse_searches += other.sparse_searches;
+        self.heap_searches += other.heap_searches;
+        self.dirty_leaves += other.dirty_leaves;
+        self.live += other.live;
+        self.tombstones += other.tombstones;
+    }
+}
+
 /// Heap entry of the best-first search. Min-ordered by
 /// `(bound, lo, node)` — the `lo` tiebreak makes the search reach the
 /// lowest-index machine first among equal bounds, which is what lets
@@ -454,6 +499,10 @@ pub struct MachineIndex {
     tombstones: usize,
     mode: SearchMode,
     prop: Propagation,
+    /// Searches answered by each arm (see [`IndexStats`]).
+    flat_searches: u64,
+    sparse_searches: u64,
+    heap_searches: u64,
 }
 
 impl MachineIndex {
@@ -517,6 +566,9 @@ impl MachineIndex {
             tombstones: 0,
             mode,
             prop,
+            flat_searches: 0,
+            sparse_searches: 0,
+            heap_searches: 0,
         };
         if mode == SearchMode::Heap {
             for k in (1..cap).rev() {
@@ -569,6 +621,21 @@ impl MachineIndex {
     #[inline]
     pub fn tombstone_count(&self) -> usize {
         self.tombstones
+    }
+
+    /// Snapshot of the index's internal health for ops surfaces: the
+    /// cumulative search path mix, the pending lazy-repair backlog
+    /// (dirty-leaf popcount), and the live/tombstone split. `O(m/64)`
+    /// for the popcount; no index state changes.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            flat_searches: self.flat_searches,
+            sparse_searches: self.sparse_searches,
+            heap_searches: self.heap_searches,
+            dirty_leaves: self.dirty.iter().map(|w| w.count_ones() as usize).sum(),
+            live: self.live_count(),
+            tombstones: self.tombstones,
+        }
     }
 
     /// The [`NodeStats`] view of leaf `i` (identity for padding leaves
@@ -955,8 +1022,10 @@ impl MachineIndex {
             // path, and what pushed the m = 64 affinity row past the
             // linear scan).
             if let MaskView::Words { words, .. } = mask {
+                self.sparse_searches += 1;
                 bit_walk!(words);
             }
+            self.flat_searches += 1;
             // Dense mask: one pass, increasing index,
             // strict-improvement updates — the same visit order and
             // tie-break as the linear scan, minus the exact
@@ -995,6 +1064,7 @@ impl MachineIndex {
                 }
             }
             if eligible <= FLAT_MAX_MACHINES {
+                self.sparse_searches += 1;
                 bit_walk!(words);
             }
         }
@@ -1002,6 +1072,7 @@ impl MachineIndex {
         // The heap descent reads internal nodes: repair them first
         // (one batched sweep over everything dirtied since the last
         // descent).
+        self.heap_searches += 1;
         self.flush();
 
         self.heap.clear();
@@ -1860,6 +1931,63 @@ mod tests {
             let got = ix.search(|_, _, _| 0.0, |_, _| 0.0, |_| Some(1.0));
             assert_eq!(got, Some((0, 1.0)));
         }
+    }
+
+    /// The ops snapshot attributes each search to the arm that
+    /// answered it and reports the lazy-repair backlog.
+    #[test]
+    fn index_stats_track_the_search_path_mix() {
+        // Flat mode, dense mask → flat arm.
+        let mut flat = MachineIndex::with_mode(16, SearchMode::Flat);
+        let _ = flat.search(|_, _, _| 0.0, |_, _| 0.0, |i| Some(i as f64));
+        let s = flat.index_stats();
+        assert_eq!(
+            (s.flat_searches, s.sparse_searches, s.heap_searches),
+            (1, 0, 0)
+        );
+        assert_eq!(s.live, 16);
+        assert_eq!(s.searches(), 1);
+
+        // Heap mode: a sparse mask takes the bit walk (leaving dirt in
+        // place), a dense search takes the heap descent (repairing it).
+        let m = 256;
+        let mut ix = MachineIndex::with_config(m, SearchMode::Heap, Propagation::Lazy);
+        for i in 0..m {
+            ix.update(i, busy(1, 1.0, 1.0));
+        }
+        assert_eq!(ix.index_stats().dirty_leaves, m);
+        let (words, summary) = stride_mask(m, 64, 3);
+        let _ = ix.search_masked(
+            MaskView::Words {
+                words: &words,
+                summary: &summary,
+            },
+            |_, _, _| 0.0,
+            |_, _| 0.0,
+            |i| Some(i as f64),
+        );
+        let s = ix.index_stats();
+        assert_eq!(
+            (s.flat_searches, s.sparse_searches, s.heap_searches),
+            (0, 1, 0)
+        );
+        assert_eq!(
+            s.dirty_leaves, m,
+            "sparse walk leaves the backlog untouched"
+        );
+        let _ = ix.search(|_, _, _| 0.0, |_, _| 0.0, |i| Some(i as f64));
+        let s = ix.index_stats();
+        assert_eq!(
+            (s.flat_searches, s.sparse_searches, s.heap_searches),
+            (0, 1, 1)
+        );
+        assert_eq!(s.dirty_leaves, 0, "heap descent repairs the backlog");
+
+        // Shard snapshots merge componentwise.
+        let mut merged = flat.index_stats();
+        merged.merge(&s);
+        assert_eq!(merged.searches(), 3);
+        assert_eq!(merged.live, 16 + m);
     }
 
     /// A mask with no bits set short-circuits to `None` without work.

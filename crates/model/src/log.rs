@@ -182,6 +182,18 @@ impl ScheduleLog {
         }
     }
 
+    /// Extends the log to cover `jobs` jobs, appending undecided slots.
+    /// Streaming producers (`osr serve`) learn the instance size as
+    /// arrivals come in, so the log grows with the run instead of being
+    /// sized up front. Shrinking is a no-op — fates already recorded are
+    /// never dropped.
+    pub fn grow(&mut self, jobs: usize) {
+        if jobs > self.fates.len() {
+            self.fates.resize(jobs, None);
+            self.redispatches.resize(jobs, 0);
+        }
+    }
+
     /// Records that `job` was sent back to the dispatcher after its
     /// machine drained or crashed. Called once per re-dispatch, before
     /// the job's final fate is known; a job may be re-dispatched
@@ -415,6 +427,21 @@ mod tests {
         assert!(fin.fate(JobId(0)).is_completed());
         assert!(fin.fate(JobId(1)).is_rejected());
         assert_eq!(fin.fate(JobId(1)).exit_time(), 1.0);
+    }
+
+    #[test]
+    fn grow_appends_undecided_slots() {
+        let mut log = ScheduleLog::new(1, 1);
+        log.complete(JobId(0), exec(0, 0.0, 1.0));
+        log.grow(3);
+        assert_eq!(log.len(), 3);
+        assert!(log.fate(JobId(0)).is_some());
+        assert!(log.fate(JobId(1)).is_none());
+        log.grow(2); // shrinking is a no-op
+        assert_eq!(log.len(), 3);
+        log.complete(JobId(1), exec(0, 1.0, 2.0));
+        log.complete(JobId(2), exec(0, 2.0, 3.0));
+        assert!(log.finish().is_ok());
     }
 
     #[test]

@@ -47,7 +47,7 @@ use osr_model::{
 };
 use rayon::prelude::*;
 
-use crate::capacity::{CapacityChange, CapacityPlan};
+use crate::capacity::{CapacityChange, CapacityEvent, CapacityPlan};
 use crate::event::{EventBackend, EventQueue};
 use crate::trace::{DecisionEvent, DecisionTrace};
 
@@ -191,6 +191,21 @@ pub struct ShardCtx<'a> {
     pub online: &'a OnlineSet,
 }
 
+/// Live queue depths one shard reports to ops surfaces (`osr serve`
+/// stats / `osr top`), via [`EventPolicy::probe`]. Purely observational:
+/// probing never mutates scheduler state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardProbe {
+    /// Jobs pending (dispatched but not yet started) across the shard's
+    /// machines.
+    pub queued: usize,
+    /// Jobs currently running on the shard's machines.
+    pub running: usize,
+    /// Snapshot of the shard's pruned dispatch index, when one exists
+    /// (`None` on the linear-scan path).
+    pub index: Option<osr_dstruct::IndexStats>,
+}
+
 /// A resolved placement decision handed to [`EventPolicy::dispatch`].
 #[derive(Debug, Clone, Copy)]
 pub struct Placement {
@@ -291,32 +306,482 @@ pub trait EventPolicy: Sync {
     /// Folds the shard's per-epoch results into the whole-run state.
     /// Called for every shard at every barrier (ascending shard order).
     fn drain(&self, shard: &mut Self::Shard, global: &mut Self::Global);
+
+    /// Read-only snapshot of the shard's live queue depths for ops
+    /// surfaces (see [`ShardProbe`]). The default reports nothing;
+    /// policies opt in by overriding.
+    fn probe(&self, _shard: &Self::Shard) -> ShardProbe {
+        ShardProbe::default()
+    }
 }
 
 /// One shard's complete runtime state, moved by value through the
-/// parallel phase-1 map.
-struct ShardSlot<P: EventPolicy> {
-    shard: P::Shard,
+/// parallel phase-1 map. Parameterized over the policy's shard type
+/// (not the policy) so a [`DriverSession`] can own slots without
+/// dragging the policy's lifetime along — streaming callers rebuild
+/// short-lived policy values around a long-lived session.
+struct ShardSlot<S> {
+    shard: S,
     completions: EventQueue<(usize, JobId)>,
     io: ShardIo,
     /// Indices (into the jobs slice) of this epoch's home arrivals.
     arrivals: Vec<usize>,
 }
 
-/// What ended the current epoch.
-enum Barrier {
-    /// Arrival at `jobs[idx]` needs cross-shard reconciliation.
-    Arrival(usize),
-    /// The next capacity event is due.
-    Capacity,
-    /// No arrivals or capacity events remain.
-    End,
+/// Pool-wide live snapshot assembled by [`DriverSession::probe`]:
+/// per-shard [`ShardProbe`]s merged with the driver's own counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Jobs pending (dispatched, not yet running) across all machines.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Completion events waiting in the shard event queues.
+    pub completions_pending: usize,
+    /// Machines currently online.
+    pub online: usize,
+    /// Machine-universe size of the run.
+    pub machines: usize,
+    /// Arrivals ingested so far.
+    pub ingested: usize,
+    /// High-water event time the session has processed.
+    pub now: f64,
+    /// Effective shard count.
+    pub shards: usize,
+    /// Merged dispatch-index snapshot across shards (`None` when every
+    /// shard runs the linear scan).
+    pub index: Option<osr_dstruct::IndexStats>,
+}
+
+/// The epoch-sharded event loop as a **resumable session**: the same
+/// machinery [`drive`] runs end-to-end, opened up so arrivals can be
+/// fed incrementally — from a replayed trace, from stdin, from a unix
+/// socket (`osr serve`) — instead of being known up front.
+///
+/// A session owns everything that outlives one epoch: the shard slots,
+/// the pool membership, the growable [`ScheduleLog`], and the merged
+/// [`DecisionTrace`]. The *policy* is passed into every call (policies
+/// that borrow the jobs slice are rebuilt per call; the jobs slice
+/// itself may grow between calls as long as already-ingested prefixes
+/// are never mutated).
+///
+/// # Determinism contract (online = offline)
+///
+/// Feeding a session the same jobs and capacity events in timestamp
+/// order — in however many `ingest_until`/`capacity` increments —
+/// produces a [`ScheduleLog`] **byte-identical** to one [`drive`] call
+/// over the whole instance. The argument: epoch boundaries only add
+/// flush points, and every flush group's events occupy a time range
+/// disjoint from (and ordered before) later groups', so the
+/// concatenation of stable per-flush time sorts equals one stable
+/// whole-run time sort; per-shard state evolution is unchanged because
+/// completions always fire before the next arrival or capacity event
+/// at or after their instant, exactly as the batched loop orders them.
+/// CI pins this with byte-diffs of `osr serve` replays against
+/// offline `osr run` for all three schedulers.
+pub struct DriverSession<S> {
+    layout: ShardLayout,
+    m: usize,
+    online: OnlineSet,
+    slots: Vec<ShardSlot<S>>,
+    log: ScheduleLog,
+    trace: DecisionTrace,
+    merge: Vec<DecisionEvent>,
+    victims: Vec<(JobId, Option<PartialRun>)>,
+    serial_arrivals: bool,
+    next_arrival: usize,
+    now: f64,
+}
+
+impl<S: Send> DriverSession<S> {
+    /// Opens a session over `machines` machines, all online, with
+    /// per-shard completion queues on `backend` and at most
+    /// `shards_requested` shards.
+    pub fn new<P>(
+        policy: &P,
+        machines: usize,
+        backend: EventBackend,
+        shards_requested: usize,
+    ) -> Self
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        Self::with_online(
+            policy,
+            machines,
+            OnlineSet::all_online(machines),
+            backend,
+            shards_requested,
+        )
+    }
+
+    /// Opens a session with an explicit initial pool membership
+    /// (machines whose first capacity event is a `join` start offline,
+    /// mirroring [`CapacityPlan::initial_online`]).
+    pub fn with_online<P>(
+        policy: &P,
+        machines: usize,
+        online: OnlineSet,
+        backend: EventBackend,
+        shards_requested: usize,
+    ) -> Self
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        let layout = ShardLayout::new(machines, shards_requested.max(1));
+        let slots = (0..layout.shards())
+            .map(|s| ShardSlot {
+                shard: policy.make_shard(layout.base(s), layout.len(s), &online),
+                completions: EventQueue::with_backend(backend),
+                io: ShardIo::default(),
+                arrivals: Vec::new(),
+            })
+            .collect();
+        DriverSession {
+            layout,
+            m: machines,
+            online,
+            slots,
+            log: ScheduleLog::new(machines, 0),
+            trace: DecisionTrace::new(),
+            merge: Vec::new(),
+            victims: Vec::new(),
+            serial_arrivals: policy.serial_arrivals(),
+            next_arrival: 0,
+            now: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Effective shard count.
+    pub fn shards(&self) -> usize {
+        self.layout.shards()
+    }
+
+    /// Current pool membership.
+    pub fn online(&self) -> &OnlineSet {
+        &self.online
+    }
+
+    /// High-water event time processed so far (`-∞` before any event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of arrivals ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.next_arrival
+    }
+
+    /// The in-progress schedule log (read-only; fates land as epochs
+    /// flush).
+    pub fn log(&self) -> &ScheduleLog {
+        &self.log
+    }
+
+    /// The merged decision trace so far.
+    pub fn trace(&self) -> &DecisionTrace {
+        &self.trace
+    }
+
+    /// Ingests every arrival in `jobs[ingested..]` whose release is
+    /// **strictly** before `tk` (the strict bound mirrors the batch
+    /// loop's capacity-precedes-arrivals tie-break), interleaving shard
+    /// completions in time order and resolving cross-shard arrivals at
+    /// internal barriers. Completions are drained only up to the last
+    /// ingested release — later ones wait for the next `ingest_until`,
+    /// [`Self::capacity`], or [`Self::into_finished`], which preserves
+    /// their ordering against events this session has not seen yet.
+    pub fn ingest_until<P>(&mut self, policy: &P, jobs: &[Job], tk: f64, global: &mut P::Global)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        self.log.grow(jobs.len());
+        while self.next_arrival < jobs.len() {
+            // ---- Epoch assembly: batch home arrivals up to the next
+            // cross-shard arrival (or the ingest bound).
+            let mut barrier: Option<usize> = None;
+            let mut batched = 0usize;
+            let mut last_release = f64::NEG_INFINITY;
+            while self.next_arrival < jobs.len() {
+                let job = &jobs[self.next_arrival];
+                if job.release >= tk {
+                    break;
+                }
+                match home_shard(job, &self.layout, self.serial_arrivals) {
+                    Some(s) => {
+                        self.slots[s].arrivals.push(self.next_arrival);
+                        last_release = job.release;
+                        self.next_arrival += 1;
+                        batched += 1;
+                    }
+                    None => {
+                        barrier = Some(self.next_arrival);
+                        break;
+                    }
+                }
+            }
+            let horizon = match barrier {
+                Some(idx) => jobs[idx].release,
+                None => last_release,
+            };
+            if batched == 0 && barrier.is_none() {
+                return; // nothing releases before the bound
+            }
+
+            // ---- Phase 1: shard-local arrivals + completions up to
+            // the epoch horizon.
+            self.run_shards(policy, jobs, horizon, batched);
+            self.flush_io(policy, global);
+
+            // ---- Phase 2: resolve a cross-shard arrival serially.
+            match barrier {
+                Some(idx) => {
+                    self.next_arrival = idx + 1;
+                    let job = &jobs[idx];
+                    self.now = self.now.max(job.release);
+                    place_global(
+                        policy,
+                        &self.layout,
+                        &mut self.slots,
+                        job,
+                        job.release,
+                        false,
+                        None,
+                        &self.online,
+                        self.m,
+                    );
+                    self.flush_io(policy, global);
+                }
+                None => {
+                    self.now = self.now.max(last_release);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Ingests every remaining arrival (no release bound).
+    pub fn ingest_all<P>(&mut self, policy: &P, jobs: &[Job], global: &mut P::Global)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        self.ingest_until(policy, jobs, f64::INFINITY, global);
+    }
+
+    /// Applies one capacity event: completions at or before the event
+    /// instant fire first (the batch loop's completions-before-capacity
+    /// tie-break), then the pool change lands — joins re-sync the
+    /// winning shard's index; drains and crashes evict the machine's
+    /// jobs and re-dispatch them globally in ascending job-id order.
+    /// Arrivals at or after `ev.time` must be ingested *after* this
+    /// call (capacity precedes arrivals at equal instants).
+    pub fn capacity<P>(
+        &mut self,
+        policy: &P,
+        jobs: &[Job],
+        ev: CapacityEvent,
+        global: &mut P::Global,
+    ) where
+        P: EventPolicy<Shard = S>,
+    {
+        self.drain_to(policy, ev.time);
+        self.flush_io(policy, global);
+        self.now = self.now.max(ev.time);
+        let mi = ev.machine.idx();
+        let s = self.layout.shard_of(mi);
+        match ev.change {
+            CapacityChange::Join => {
+                if self.online.set_online(mi) {
+                    policy.capacity_sync(&mut self.slots[s].shard, ev.change, mi, &self.online);
+                }
+            }
+            CapacityChange::Drain | CapacityChange::Crash => {
+                if self.online.set_offline(mi) {
+                    {
+                        let slot = &mut self.slots[s];
+                        let mut cx = ShardCtx {
+                            io: &mut slot.io,
+                            completions: &mut slot.completions,
+                            online: &self.online,
+                        };
+                        policy.evict(
+                            &mut slot.shard,
+                            &mut cx,
+                            ev.change,
+                            mi,
+                            ev.time,
+                            &mut self.victims,
+                        );
+                        policy.capacity_sync(&mut slot.shard, ev.change, mi, &self.online);
+                    }
+                    // Deterministic re-dispatch order regardless of
+                    // queue discipline: ascending job id.
+                    self.victims.sort_by_key(|&(id, _)| id);
+                    let displaced = std::mem::take(&mut self.victims);
+                    for (vid, partial) in displaced {
+                        // The log is caught up (flushed above), so the
+                        // redispatch note lands directly.
+                        self.log.note_redispatch(vid);
+                        place_global(
+                            policy,
+                            &self.layout,
+                            &mut self.slots,
+                            &jobs[vid.idx()],
+                            ev.time,
+                            true,
+                            partial,
+                            &self.online,
+                            self.m,
+                        );
+                    }
+                }
+            }
+        }
+        self.flush_io(policy, global);
+    }
+
+    /// Fires every completion at or before `t` and folds the results
+    /// out, without ingesting anything — lets a long-running serve
+    /// instance surface up-to-date stats between arrivals. `t` must not
+    /// exceed the release of any arrival ingested later (stay at or
+    /// below the stream's high-water time and this holds by
+    /// construction).
+    pub fn advance<P>(&mut self, policy: &P, t: f64, global: &mut P::Global)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        self.drain_to(policy, t);
+        self.flush_io(policy, global);
+        self.now = self.now.max(t);
+    }
+
+    /// Drains every outstanding completion, flushes, and returns the
+    /// finished artifacts: the log (caller calls
+    /// [`ScheduleLog::finish`]), the merged trace, and the effective
+    /// shard count. Every arrival must have been ingested first.
+    pub fn into_finished<P>(
+        mut self,
+        policy: &P,
+        global: &mut P::Global,
+    ) -> (ScheduleLog, DecisionTrace, usize)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        self.drain_to(policy, f64::INFINITY);
+        self.flush_io(policy, global);
+        (self.log, self.trace, self.layout.shards())
+    }
+
+    /// Pool-wide live snapshot: per-shard [`EventPolicy::probe`]s plus
+    /// the driver's own counters, merged.
+    pub fn probe<P>(&self, policy: &P) -> SessionStats
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        let mut stats = SessionStats {
+            machines: self.m,
+            online: self.online.online_count(),
+            ingested: self.next_arrival,
+            now: self.now,
+            shards: self.layout.shards(),
+            ..SessionStats::default()
+        };
+        for slot in &self.slots {
+            let p = policy.probe(&slot.shard);
+            stats.queued += p.queued;
+            stats.running += p.running;
+            stats.completions_pending += slot.completions.len();
+            if let Some(ix) = p.index {
+                match &mut stats.index {
+                    Some(acc) => acc.merge(&ix),
+                    None => stats.index = Some(ix),
+                }
+            }
+        }
+        stats
+    }
+
+    /// Phase 1 over all shards: identical output inline or on the
+    /// rayon pool; parallelism only pays for itself on large batches.
+    fn run_shards<P>(&mut self, policy: &P, jobs: &[Job], horizon: f64, batched: usize)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        let DriverSession {
+            layout,
+            m,
+            online,
+            slots,
+            ..
+        } = self;
+        if layout.shards() > 1 && batched >= EPOCH_PAR_MIN_ARRIVALS {
+            let moved = std::mem::take(slots);
+            *slots = moved
+                .into_par_iter()
+                .map(|mut slot| {
+                    run_shard(policy, &mut slot, jobs, online, horizon, *m);
+                    slot
+                })
+                .collect();
+        } else {
+            for slot in slots.iter_mut() {
+                run_shard(policy, slot, jobs, online, horizon, *m);
+            }
+        }
+    }
+
+    /// Fires completions at or before `t` on every shard (no flush).
+    fn drain_to<P>(&mut self, policy: &P, t: f64)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        for slot in self.slots.iter_mut() {
+            let ShardSlot {
+                shard,
+                completions,
+                io,
+                ..
+            } = slot;
+            while let Some(tc) = completions.peek_time() {
+                if tc > t {
+                    break;
+                }
+                let (tc, (mi, jid)) = completions.pop().expect("peeked event");
+                let mut cx = ShardCtx {
+                    io,
+                    completions,
+                    online: &self.online,
+                };
+                policy.complete(shard, &mut cx, mi, jid, tc);
+            }
+        }
+    }
+
+    /// Applies buffered log ops, folds epoch results into the global
+    /// state, and merges trace fragments (stable time sort).
+    fn flush_io<P>(&mut self, policy: &P, global: &mut P::Global)
+    where
+        P: EventPolicy<Shard = S>,
+    {
+        flush(
+            policy,
+            &mut self.slots,
+            &mut self.log,
+            &mut self.trace,
+            global,
+            &mut self.merge,
+        );
+    }
 }
 
 /// Runs the full event loop for `jobs` over `machines` machines under
 /// `plan`, with per-shard completion queues on `backend` and at most
 /// `shards_requested` shards. Returns the completed log (caller calls
 /// `finish`), the merged decision trace, and the effective shard count.
+///
+/// This is now a thin batch wrapper over [`DriverSession`]: capacity
+/// events partition the timeline, arrivals are ingested up to each
+/// event, and the session is finished once both streams are exhausted.
 pub fn drive<P: EventPolicy>(
     policy: &P,
     jobs: &[Job],
@@ -326,164 +791,17 @@ pub fn drive<P: EventPolicy>(
     shards_requested: usize,
     global: &mut P::Global,
 ) -> (ScheduleLog, DecisionTrace, usize) {
-    let m = machines;
-    let mut log = ScheduleLog::new(m, jobs.len());
-    let mut trace = DecisionTrace::new();
-    plan.check_machines(m)
+    plan.check_machines(machines)
         .expect("capacity plan fits the instance");
-    let mut online = plan.initial_online(m);
-
-    let layout = ShardLayout::new(m, shards_requested.max(1));
-    let serial_arrivals = policy.serial_arrivals();
-    let mut slots: Vec<ShardSlot<P>> = (0..layout.shards())
-        .map(|s| ShardSlot {
-            shard: policy.make_shard(layout.base(s), layout.len(s), &online),
-            completions: EventQueue::with_backend(backend),
-            io: ShardIo::default(),
-            arrivals: Vec::new(),
-        })
-        .collect();
-
-    let cap_events = plan.events();
-    let mut next_cap = 0usize;
-    let mut next_arrival = 0usize;
-    let mut merge: Vec<DecisionEvent> = Vec::new();
-    let mut victims: Vec<(JobId, Option<PartialRun>)> = Vec::new();
-
-    loop {
-        // ---- Epoch assembly: batch home arrivals up to the next barrier.
-        let tk = cap_events.get(next_cap).map_or(f64::INFINITY, |e| e.time);
-        let mut barrier = Barrier::End;
-        let mut batched = 0usize;
-        while next_arrival < jobs.len() {
-            let job = &jobs[next_arrival];
-            // Capacity at `t` precedes arrivals at `t` (and the serial
-            // loop's completions-first tie-break is preserved by the
-            // phase-1 drain below).
-            if job.release >= tk {
-                barrier = Barrier::Capacity;
-                break;
-            }
-            match home_shard(job, &layout, serial_arrivals) {
-                Some(s) => {
-                    slots[s].arrivals.push(next_arrival);
-                    next_arrival += 1;
-                    batched += 1;
-                }
-                None => {
-                    barrier = Barrier::Arrival(next_arrival);
-                    break;
-                }
-            }
-        }
-        if next_arrival >= jobs.len()
-            && matches!(barrier, Barrier::End)
-            && next_cap < cap_events.len()
-        {
-            barrier = Barrier::Capacity;
-        }
-        let horizon = match &barrier {
-            Barrier::Arrival(idx) => jobs[*idx].release,
-            Barrier::Capacity => tk,
-            Barrier::End => f64::INFINITY,
-        };
-
-        // ---- Phase 1: shard-local arrivals + completions up to the
-        // barrier. Identical output inline or on the pool; parallelism
-        // only pays for itself on large batches.
-        if layout.shards() > 1 && batched >= EPOCH_PAR_MIN_ARRIVALS {
-            let moved = std::mem::take(&mut slots);
-            slots = moved
-                .into_par_iter()
-                .map(|mut slot| {
-                    run_shard(policy, &mut slot, jobs, &online, horizon, m);
-                    slot
-                })
-                .collect();
-        } else {
-            for slot in slots.iter_mut() {
-                run_shard(policy, slot, jobs, &online, horizon, m);
-            }
-        }
-        flush(policy, &mut slots, &mut log, &mut trace, global, &mut merge);
-
-        // ---- Phase 2: resolve the barrier serially.
-        match barrier {
-            Barrier::End => break,
-            Barrier::Arrival(idx) => {
-                next_arrival = idx + 1;
-                let job = &jobs[idx];
-                place_global(
-                    policy,
-                    &layout,
-                    &mut slots,
-                    job,
-                    job.release,
-                    false,
-                    None,
-                    &online,
-                    m,
-                );
-            }
-            Barrier::Capacity => {
-                let ev = cap_events[next_cap];
-                next_cap += 1;
-                let mi = ev.machine.idx();
-                let s = layout.shard_of(mi);
-                match ev.change {
-                    CapacityChange::Join => {
-                        if online.set_online(mi) {
-                            policy.capacity_sync(&mut slots[s].shard, ev.change, mi, &online);
-                        }
-                    }
-                    CapacityChange::Drain | CapacityChange::Crash => {
-                        if online.set_offline(mi) {
-                            {
-                                let slot = &mut slots[s];
-                                let mut cx = ShardCtx {
-                                    io: &mut slot.io,
-                                    completions: &mut slot.completions,
-                                    online: &online,
-                                };
-                                policy.evict(
-                                    &mut slot.shard,
-                                    &mut cx,
-                                    ev.change,
-                                    mi,
-                                    ev.time,
-                                    &mut victims,
-                                );
-                                policy.capacity_sync(&mut slot.shard, ev.change, mi, &online);
-                            }
-                            // Deterministic re-dispatch order regardless
-                            // of queue discipline: ascending job id.
-                            victims.sort_by_key(|&(id, _)| id);
-                            let displaced = std::mem::take(&mut victims);
-                            for (vid, partial) in displaced {
-                                // The log is caught up (flushed above),
-                                // so the redispatch note lands directly.
-                                log.note_redispatch(vid);
-                                place_global(
-                                    policy,
-                                    &layout,
-                                    &mut slots,
-                                    &jobs[vid.idx()],
-                                    ev.time,
-                                    true,
-                                    partial,
-                                    &online,
-                                    m,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        flush(policy, &mut slots, &mut log, &mut trace, global, &mut merge);
+    let online = plan.initial_online(machines);
+    let mut session =
+        DriverSession::with_online(policy, machines, online, backend, shards_requested);
+    for ev in plan.events() {
+        session.ingest_until(policy, jobs, ev.time, global);
+        session.capacity(policy, jobs, *ev, global);
     }
-
-    (log, trace, layout.shards())
+    session.ingest_all(policy, jobs, global);
+    session.into_finished(policy, global)
 }
 
 /// Classifies an arrival: `Some(s)` if every eligible machine lies in
@@ -522,7 +840,7 @@ fn home_shard(job: &Job, layout: &ShardLayout, serial_arrivals: bool) -> Option<
 /// instant fire *before* the barrier, matching the serial tie-break).
 fn run_shard<P: EventPolicy>(
     policy: &P,
-    slot: &mut ShardSlot<P>,
+    slot: &mut ShardSlot<P::Shard>,
     jobs: &[Job],
     online: &OnlineSet,
     horizon: f64,
@@ -582,7 +900,7 @@ fn run_shard<P: EventPolicy>(
 /// of worker scheduling).
 fn flush<P: EventPolicy>(
     policy: &P,
-    slots: &mut [ShardSlot<P>],
+    slots: &mut [ShardSlot<P::Shard>],
     log: &mut ScheduleLog,
     trace: &mut DecisionTrace,
     global: &mut P::Global,
@@ -627,7 +945,7 @@ fn apply(log: &mut ScheduleLog, op: LogOp) {
 fn place_global<P: EventPolicy>(
     policy: &P,
     layout: &ShardLayout,
-    slots: &mut [ShardSlot<P>],
+    slots: &mut [ShardSlot<P::Shard>],
     job: &Job,
     t: f64,
     redispatch: bool,

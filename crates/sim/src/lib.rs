@@ -53,8 +53,8 @@ pub mod validate;
 
 pub use capacity::{CapacityChange, CapacityEvent, CapacityPlan, OnlineWindow};
 pub use driver::{
-    default_shards, drive, effective_shards, set_default_shards, EventPolicy, LogOp, ShardCtx,
-    ShardIo, ShardLayout,
+    default_shards, drive, effective_shards, set_default_shards, DriverSession, EventPolicy, LogOp,
+    SessionStats, ShardCtx, ShardIo, ShardLayout, ShardProbe,
 };
 pub use event::{EventBackend, EventQueue};
 pub use gantt::render_gantt;

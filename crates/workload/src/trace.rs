@@ -135,6 +135,76 @@ pub fn parse_failure_trace(text: &str) -> Result<CapacityPlan, String> {
     CapacityPlan::parse(text)
 }
 
+/// Renders an offline instance (plus its capacity plan) as an
+/// `osr serve` input script — the replay producer of the streaming
+/// ingest loop. Returns the script text and the machines that must
+/// start offline (`--offline`, mirroring
+/// [`CapacityPlan::initial_online`]).
+///
+/// One line per event, in the offline batch loop's order — capacity
+/// changes precede arrivals at equal instants — so piping the script
+/// into `osr serve` reproduces the offline `osr run` log **byte for
+/// byte** (numbers are printed with Rust's shortest-round-trip float
+/// formatting, so every timestamp, weight, and size survives the text
+/// round trip exactly):
+///
+/// ```text
+/// arrive <id> @<t> w=<w> <size>...   # size `inf` = ineligible
+/// join|drain|crash <machine> @<t>
+/// shutdown
+/// ```
+///
+/// Deadline instances (§4) have no serve mode; they are rejected here.
+pub fn serve_script(inst: &Instance, plan: &CapacityPlan) -> Result<(String, Vec<usize>), String> {
+    let m = inst.machines();
+    plan.check_machines(m)?;
+    let online = plan.initial_online(m);
+    let offline: Vec<usize> = (0..m).filter(|&i| !online.is_online(i)).collect();
+
+    fn event_line(e: &osr_sim::CapacityEvent) -> String {
+        format!("{} {} @{}\n", e.change, e.machine.idx(), e.time)
+    }
+
+    let mut out = String::new();
+    let mut evs = plan.events().iter().peekable();
+    for job in inst.jobs() {
+        if job.deadline.is_some() {
+            return Err(format!(
+                "{}: deadline jobs cannot be served (no §4 serve mode)",
+                job.id
+            ));
+        }
+        while let Some(e) = evs.peek() {
+            if e.time <= job.release {
+                out.push_str(&event_line(e));
+                evs.next();
+            } else {
+                break;
+            }
+        }
+        out.push_str(&format!(
+            "arrive {} @{} w={}",
+            job.id.idx(),
+            job.release,
+            job.weight
+        ));
+        for &p in &job.sizes {
+            out.push(' ');
+            if p.is_finite() {
+                out.push_str(&format!("{p}"));
+            } else {
+                out.push_str("inf");
+            }
+        }
+        out.push('\n');
+    }
+    for e in evs {
+        out.push_str(&event_line(e));
+    }
+    out.push_str("shutdown\n");
+    Ok((out, offline))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +289,38 @@ mod tests {
         assert_eq!((w[0].from, w[0].to, w[0].crash), (0.0, 1.0, true));
         assert_eq!(w[1].from, 3.0);
         assert!(parse_failure_trace("1.0,1,explode").is_err());
+    }
+
+    #[test]
+    fn serve_script_orders_capacity_before_equal_time_arrivals() {
+        let inst = TraceImport::identical(2)
+            .parse("0 4\n1.0 4\n2.5 4\n")
+            .unwrap();
+        let plan = parse_failure_trace("1.0,1,crash\n3.0,1,join\n").unwrap();
+        let (script, offline) = serve_script(&inst, &plan).unwrap();
+        assert!(offline.is_empty());
+        assert_eq!(
+            script,
+            "arrive 0 @0 w=1 4 4\n\
+             crash 1 @1\n\
+             arrive 1 @1 w=1 4 4\n\
+             arrive 2 @2.5 w=1 4 4\n\
+             join 1 @3\n\
+             shutdown\n"
+        );
+    }
+
+    #[test]
+    fn serve_script_reports_offline_starts_and_rejects_deadlines() {
+        let inst = TraceImport::identical(2).parse("0.5 4\n").unwrap();
+        // m1's first event is a join → it starts offline.
+        let plan = parse_failure_trace("2.0,1,join\n").unwrap();
+        let (script, offline) = serve_script(&inst, &plan).unwrap();
+        assert_eq!(offline, vec![1]);
+        assert!(script.ends_with("join 1 @2\nshutdown\n"));
+
+        let energy = TraceImport::identical(1).parse("0 2 1 10\n").unwrap();
+        assert!(serve_script(&energy, &CapacityPlan::empty()).is_err());
     }
 
     #[test]
