@@ -542,6 +542,157 @@ fn elastic_resize(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 9 kernel ablation: the four chunked `[T;4]` hot-loop
+/// kernels against their scalar oracle twins, isolated from the
+/// schedulers, at the three pool sizes the acceptance gate names.
+/// Each pair runs the *same* inputs through `KernelMode::Chunked` and
+/// `KernelMode::Scalar`; the scalar twin is the bit-exact oracle the
+/// equivalence suites pin, so the only degree of freedom here is
+/// speed. Honest expectations (recorded in BENCH.md "PR 9"):
+/// `flat_scan` and `dirty_sweep` are the real lane wins; `agg_pass`
+/// is dependency-serialized in both modes (treap parent-child chains)
+/// and sits at ≈ 1×; `mask_walk` chunks only the word-math half
+/// around the inherently serial set-bit walk.
+fn kernel_ablation(c: &mut Criterion) {
+    use osr_dstruct::kernel::{
+        agg_fix4, bound_min4, intersect_words4, node_fix4, popcount_capped4, summarize_words4,
+        walk_set_bits, AggFix, AggRow, KernelMode, LANES,
+    };
+    let mut group = c.benchmark_group("kernel_ablation");
+    for &m in &[64usize, 1_024, 16_384] {
+        let rows: Vec<MachineStats> = (0..m)
+            .map(|i| MachineStats {
+                count: 1 + (i % 3) as u64,
+                wsum: 4.0 + (i % 5) as f64,
+                min_size: 1.0 + (i % 7) as f64 * 0.25,
+            })
+            .collect();
+        let (p, inv_eps) = (2.0f64, 4.0f64);
+        for (label, mode) in [
+            ("chunked", KernelMode::Chunked),
+            ("scalar", KernelMode::Scalar),
+        ] {
+            // 1. The flat bound scan: fused per-leaf dispatch-bound
+            // evaluate + running argmin over the leaf-row table — the
+            // SearchMode::Flat hot loop of `search_masked_rows`.
+            group.bench_function(format!("flat_scan_{label}_m{m}"), |b| {
+                let mut out = Vec::with_capacity(m);
+                b.iter(|| {
+                    bound_min4(
+                        mode,
+                        &rows,
+                        &mut out,
+                        |_, quad, lanes| {
+                            for k in 0..LANES {
+                                let s = &quad[k];
+                                let a = inv_eps * p + p + (s.count as f64) * p;
+                                lanes[k] = a.min(inv_eps * p + (s.min_size + p));
+                            }
+                        },
+                        |_, s| {
+                            let a = inv_eps * p + p + (s.count as f64) * p;
+                            a.min(inv_eps * p + (s.min_size + p))
+                        },
+                    )
+                });
+            });
+
+            // 2. The dirty-leaf sweep: the full per-level ancestor
+            // recompute cascade (leaves → root), i.e. the worst-case
+            // batched repair the lazy propagation path pays at a
+            // search after every leaf went dirty.
+            let leaves: Vec<NodeStats> = rows
+                .iter()
+                .map(|s| NodeStats {
+                    min_count: s.count,
+                    min_wsum: s.wsum,
+                    max_wsum: s.wsum,
+                    min_size: s.min_size,
+                })
+                .collect();
+            group.bench_function(format!("dirty_sweep_{label}_m{m}"), |b| {
+                let mut levels: Vec<Vec<NodeStats>> = Vec::new();
+                let mut w = m / 2;
+                while w >= 1 {
+                    levels.push(vec![leaves[0]; w]);
+                    if w == 1 {
+                        break;
+                    }
+                    w /= 2;
+                }
+                b.iter(|| {
+                    node_fix4(mode, &leaves, &mut levels[0]);
+                    for i in 1..levels.len() {
+                        let (lo, hi) = levels.split_at_mut(i);
+                        node_fix4(mode, &lo[i - 1], &mut hi[0]);
+                    }
+                    levels.last().unwrap()[0].min_size
+                });
+            });
+
+            // 3. The treap aggregate pass: a full bottom-up rebuild of
+            // a heap-shaped arena through `AggFix` batches — the
+            // `fix_path_rev` shape at maximal batch size. Dependency-
+            // serialized in BOTH modes (entry k+1 reads what entry k
+            // wrote), so the honest expectation is ≈ 1×.
+            let nil = u32::MAX;
+            let batch: Vec<AggFix> = (0..m as u32)
+                .rev()
+                .map(|n| AggFix {
+                    node: n,
+                    left: if 2 * n + 1 < m as u32 { 2 * n + 1 } else { nil },
+                    right: if 2 * n + 2 < m as u32 { 2 * n + 2 } else { nil },
+                    weight: 1.0 + (n % 7) as f64,
+                })
+                .collect();
+            group.bench_function(format!("agg_pass_{label}_m{m}"), |b| {
+                let mut aggs = vec![AggRow::ZERO; m];
+                b.iter(|| {
+                    agg_fix4(mode, &mut aggs, nil, &batch);
+                    aggs[0].sum
+                });
+            });
+
+            // 4. The mask word walk: the sparse-search admission path
+            // exactly as the consumer runs it — EligMask ∩ OnlineSet
+            // intersect (with summary maintenance), the capped
+            // popcount admission test, a summary rebuild of the
+            // surviving mask (the shard-rebase shape), then the
+            // set-bit candidate walk. The eligibility mask is sparse
+            // (16 machines scattered over the pool, restricted-
+            // assignment shape) because that is the only regime where
+            // the walk runs at all — dense masks fail the capped
+            // popcount and take the heap descent instead. The walk
+            // itself is serial by nature; the chunked variant
+            // vectorizes the word math around it.
+            let words = m.div_ceil(64);
+            let a: Vec<u64> = (0..words)
+                .map(|k| !(1u64 << (k % 64))) // near-full online set
+                .collect();
+            let stride = (m / 16).max(1);
+            let mut bw = vec![0u64; words];
+            for i in (0..m).step_by(stride) {
+                bw[i / 64] |= 1u64 << (i % 64);
+            }
+            group.bench_function(format!("mask_walk_{label}_m{m}"), |b| {
+                let mut out_words = vec![0u64; words];
+                let mut out_summary = vec![0u64; words.div_ceil(64)];
+                b.iter(|| {
+                    out_summary.fill(0);
+                    let any = intersect_words4(mode, &a, &bw, &mut out_words, &mut out_summary);
+                    let sparse = popcount_capped4(mode, &out_words, 64);
+                    out_summary.fill(0);
+                    summarize_words4(mode, &out_words, &mut out_summary);
+                    let mut acc = 0usize;
+                    walk_set_bits(&out_words, |i| acc = acc.wrapping_add(i));
+                    (any, sparse, acc)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The dispatch-shaped microbench: interleaved inserts and `agg_le`
 /// probes over a bounded key universe (steady-state queue churn).
 fn insert_query<T, I, Q>(n: u32, mut insert: I, mut query: Q, mut t: T) -> usize
@@ -701,6 +852,6 @@ fn bulk_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, update_churn, rack_phat, elastic_resize, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
+    targets = backend_ablation, dispatch_m_sweep, dispatch_affinity_m_sweep, masked_descent, update_churn, rack_phat, elastic_resize, kernel_ablation, p_hat_precompute, raw_structures, steady_state_churn, bulk_build
 }
 criterion_main!(benches);

@@ -173,6 +173,37 @@ const KEY_RATIOS: &[(&str, &str, &str, &str, Option<f64>)] = &[
         "sharded8_m4096/20480",
         Some(0.50),
     ),
+    // PR 9: the chunked `[T;4]` kernel layer vs its scalar oracle,
+    // isolated from the schedulers at the acceptance size m = 1024.
+    // `flat_scan` (fused bound eval + argmin) and `dirty_sweep`
+    // (per-level ancestor recompute) are the lane wins the gate
+    // protects; `mask_walk` chunks only the word math around the
+    // serial set-bit walk; `agg_pass` is dependency-serialized in
+    // both modes (treap parent-child chains), so its ratio sits at
+    // ≈ 1× by construction and is recorded but deliberately NOT
+    // gated — a 50% gate on an exactly-1.0 pair would only ever
+    // measure container noise.
+    (
+        "chunked-vs-scalar flat bound scan (m=1024)",
+        "kernel_ablation",
+        "flat_scan_scalar_m1024",
+        "flat_scan_chunked_m1024",
+        Some(0.50),
+    ),
+    (
+        "chunked-vs-scalar dirty-leaf sweep (m=1024)",
+        "kernel_ablation",
+        "dirty_sweep_scalar_m1024",
+        "dirty_sweep_chunked_m1024",
+        Some(0.50),
+    ),
+    (
+        "chunked-vs-scalar mask word walk (m=1024)",
+        "kernel_ablation",
+        "mask_walk_scalar_m1024",
+        "mask_walk_chunked_m1024",
+        Some(0.50),
+    ),
 ];
 
 /// Extracts the string value of `"key":"…"` from a JSON line.
@@ -258,7 +289,11 @@ fn main() -> ExitCode {
         "{:<44} {:>10} {:>10} {:>8}  verdict",
         "key ratio (slow/fast medians)", "baseline", "fresh", "change"
     );
-    let mut failures = 0;
+    // Every tracked ratio is evaluated before any verdict is final, so
+    // one run reports the complete damage — a fix-one-rerun-find-the-
+    // next loop on a suite this slow would cost a full bench cycle per
+    // failure.
+    let mut failures: Vec<String> = Vec::new();
     for &(label, group, slow, fast, tol_override) in KEY_RATIOS {
         let tol = tol_override.unwrap_or(tolerance).max(tolerance);
         let base = ratio(&baseline, group, slow, fast);
@@ -268,7 +303,12 @@ fn main() -> ExitCode {
                 let change = n / b - 1.0;
                 let ok = n >= b * (1.0 - tol);
                 if !ok {
-                    failures += 1;
+                    failures.push(format!(
+                        "{label}: baseline {b:.2}x -> fresh {n:.2}x \
+                         ({:+.1}%, tolerance {:.0}%)",
+                        change * 100.0,
+                        tol * 100.0
+                    ));
                 }
                 println!(
                     "{label:<44} {b:>9.2}x {n:>9.2}x {:>+7.1}%  {} (tol {:.0}%)",
@@ -284,7 +324,7 @@ fn main() -> ExitCode {
                 );
             }
             (_, None) => {
-                failures += 1;
+                failures.push(format!("{label}: MISSING from fresh run"));
                 println!(
                     "{label:<44} {:>10} {:>10} {:>8}  MISSING from fresh run",
                     "?", "?", "-"
@@ -293,11 +333,15 @@ fn main() -> ExitCode {
         }
     }
 
-    if failures > 0 {
+    if !failures.is_empty() {
         eprintln!(
-            "\nbench_check: {failures} key ratio(s) regressed past their tolerance \
-             against {baseline_path}"
+            "\nbench_check: {} key ratio(s) regressed past their tolerance \
+             against {baseline_path}:",
+            failures.len()
         );
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
         eprintln!(
             "If the regression is intended (e.g. an ablation re-baseline), regenerate the \
              baseline with `cargo run --release -p osr-bench --bin bench_summary` and commit it \

@@ -4,7 +4,7 @@
 //! cargo run --release -p osr-bench --bin run_experiments -- \
 //!     [--quick] [--jobs N] [--dispatch-index linear|pruned] \
 //!     [--capacity-index incremental|rebuild] [--propagation eager|lazy] \
-//!     [--shards N] [ids…]
+//!     [--shards N] [--kernels chunked|scalar] [ids…]
 //! ```
 //!
 //! With no ids, runs all experiments. `--quick` uses the reduced sizes
@@ -14,7 +14,7 @@
 //! (see `osr_bench::experiments` for the determinism contract), so
 //! `--jobs` trades wall-clock only.
 //!
-//! The four runtime knobs are the shared [`osr_core::RuntimeDefaults`]
+//! The five runtime knobs are the shared [`osr_core::RuntimeDefaults`]
 //! vocabulary (same spellings and parsers as `osr run` / `osr serve`;
 //! the pre-unification spellings `--dispatch` and `--capacity` are kept
 //! as aliases). Every knob is **result-neutral** — the pruned index is
@@ -73,6 +73,12 @@ fn main() {
             "--shards" => {
                 defaults.shards =
                     Some(parsed(osr_core::parse_shards(value(&mut iter, "--shards"))));
+            }
+            "--kernels" => {
+                defaults.kernels = Some(parsed(osr_core::parse_kernels(value(
+                    &mut iter,
+                    "--kernels",
+                ))));
             }
             "--jobs" => {
                 let v = iter.next().unwrap_or_else(|| {

@@ -100,6 +100,9 @@ USAGE:
                [--shards N]                       (flow/wflow/energyflow: epoch-sharded
                                                    driver; 1 = serial oracle, results
                                                    byte-identical at any N)
+               [--kernels chunked|scalar]         (flow/wflow/energyflow: SoA hot-loop
+                                                   kernel layer — scalar is the
+                                                   bit-exact oracle)
                SPEC: flow:EPS | wflow:EPS | energyflow:EPS:ALPHA | energymin:ALPHA
                      | greedy:spt | greedy:fifo | speedaug:EPS_S:EPS_R
   osr serve    --algo flow:EPS|wflow:EPS|energyflow:EPS:ALPHA --machines M
@@ -256,6 +259,7 @@ pub(crate) struct BackendOpts {
     propagation: Option<osr_core::Propagation>,
     capacity_index: Option<CapacityIndexMode>,
     pub(crate) shards: Option<usize>,
+    kernels: Option<osr_core::KernelMode>,
 }
 
 impl BackendOpts {
@@ -294,15 +298,19 @@ impl BackendOpts {
             propagation: knob(args, "propagation", osr_core::parse_propagation)?,
             capacity_index: knob(args, "capacity-index", osr_core::parse_capacity_index)?,
             shards: knob(args, "shards", osr_core::parse_shards)?,
+            kernels: knob(args, "kernels", osr_core::parse_kernels)?,
         })
     }
 
-    /// The propagation toggle is a process-wide default (like
-    /// `run_experiments --propagation`); apply it before any scheduler
-    /// builds its dispatch index.
+    /// The propagation and kernel toggles are process-wide defaults
+    /// (like `run_experiments --propagation/--kernels`); apply them
+    /// before any scheduler builds its dispatch index.
     pub(crate) fn apply_propagation(&self) {
         if let Some(p) = self.propagation {
             osr_core::set_default_propagation(p);
+        }
+        if let Some(k) = self.kernels {
+            osr_core::set_default_kernel_mode(k);
         }
     }
 
@@ -325,6 +333,9 @@ impl BackendOpts {
         if let Some(s) = self.shards {
             config.shards = s;
         }
+        if let Some(k) = self.kernels {
+            config.kernels = k;
+        }
     }
 
     /// Errors when an option was given but the chosen algorithm cannot
@@ -342,12 +353,13 @@ impl BackendOpts {
             || self.dispatch.is_some()
             || self.propagation.is_some()
             || self.capacity_index.is_some()
-            || self.shards.is_some())
+            || self.shards.is_some()
+            || self.kernels.is_some())
             && !rest_ok
         {
             return Err(format!(
-                "--event-backend/--dispatch-index/--propagation/--capacity-index/--shards \
-                 do not apply to `{spec}`"
+                "--event-backend/--dispatch-index/--propagation/--capacity-index/--shards/\
+                 --kernels do not apply to `{spec}`"
             ));
         }
         Ok(())
@@ -1066,6 +1078,7 @@ mod tests {
             "--event-backend pairing",
             "--dispatch-index linear",
             "--propagation eager",
+            "--kernels scalar",
             "--queue-backend treap --event-backend binary --dispatch-index pruned --propagation lazy",
         ] {
             let out = cmd_run(&args(&format!(
@@ -1128,6 +1141,7 @@ mod tests {
             ("--event-backend fibonacci", "--event-backend"),
             ("--dispatch-index psychic", "--dispatch-index"),
             ("--propagation clairvoyant", "--propagation"),
+            ("--kernels quantum", "--kernels"),
             ("--shards zero", "--shards"),
             ("--shards 0", "--shards"),
         ] {

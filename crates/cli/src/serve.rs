@@ -31,7 +31,7 @@
 //! by reason, redispatch totals, and dispatch-index stats — with no
 //! dependency beyond a VT100 terminal.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write as _};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -41,7 +41,9 @@ use std::time::Duration;
 
 use osr_core::energyflow::EnergyFlowParams;
 use osr_core::flowtime::WeightedFlowParams;
-use osr_core::{EnergyFlowSession, FlowParams, FlowSession, ServeSession, WeightedFlowSession};
+use osr_core::{
+    Arrival, EnergyFlowSession, FlowParams, FlowSession, ServeSession, WeightedFlowSession,
+};
 use osr_model::{io as model_io, FinishedLog};
 use osr_sim::CapacityChange;
 
@@ -137,28 +139,9 @@ fn handle_line(
     }
     match cmd {
         "arrive" => {
-            let id_tok = toks.next().ok_or("arrive needs a job id")?;
-            let id: usize = id_tok
-                .parse()
-                .map_err(|_| format!("bad job id `{id_tok}`"))?;
-            if id != *next_id {
-                return Err(format!(
-                    "arrive id {id} out of order (expected {next_id}; ids are dense)"
-                ));
-            }
-            let mut release = *last_t;
-            let mut weight = 1.0;
-            let mut sizes = Vec::new();
-            for t in toks {
-                if let Some(v) = t.strip_prefix('@') {
-                    release = num(v, "release time")?;
-                } else if let Some(v) = t.strip_prefix("w=") {
-                    weight = num(v, "weight")?;
-                } else {
-                    sizes.push(num(t, "size")?);
-                }
-            }
-            sess.arrive(release, weight, sizes)?;
+            let a = parse_arrive(toks, *next_id, *last_t)?;
+            let release = a.release;
+            sess.arrive(a.release, a.weight, a.sizes)?;
             *next_id += 1;
             *last_t = release;
             Ok(Response::Quiet)
@@ -198,6 +181,122 @@ fn handle_line(
     }
 }
 
+/// Parse-only twin of [`handle_line`]'s `arrive` arm: validates the id
+/// against the stream cursor and resolves defaulted operands without
+/// touching the session. `toks` holds the operands after the `arrive`
+/// keyword. Shared with the burst coalescer in [`serve_loop`], which
+/// must parse a whole burst before ingesting any of it.
+fn parse_arrive<'a>(
+    toks: impl Iterator<Item = &'a str>,
+    next_id: usize,
+    last_t: f64,
+) -> Result<Arrival, String> {
+    let mut toks = toks;
+    let id_tok = toks.next().ok_or("arrive needs a job id")?;
+    let id: usize = id_tok
+        .parse()
+        .map_err(|_| format!("bad job id `{id_tok}`"))?;
+    if id != next_id {
+        return Err(format!(
+            "arrive id {id} out of order (expected {next_id}; ids are dense)"
+        ));
+    }
+    let mut release = last_t;
+    let mut weight = 1.0;
+    let mut sizes = Vec::new();
+    for t in toks {
+        if let Some(v) = t.strip_prefix('@') {
+            release = num(v, "release time")?;
+        } else if let Some(v) = t.strip_prefix("w=") {
+            weight = num(v, "weight")?;
+        } else {
+            sizes.push(num(t, "size")?);
+        }
+    }
+    Ok(Arrival {
+        release,
+        weight,
+        sizes,
+    })
+}
+
+/// Whether a protocol line is an `arrive` line (the only kind the
+/// serve loop coalesces).
+fn is_arrive(line: &str) -> bool {
+    line.split_whitespace().next() == Some("arrive")
+}
+
+/// Applies a coalesced burst of `arrive` lines as **one** ingest epoch
+/// (via [`ServeSession::arrive_batch`]), replying per line exactly as
+/// the serial loop would.
+///
+/// Parsing mirrors serial processing: each line parses against the
+/// running cursor, and a bad line leaves the cursor untouched — so a
+/// later dense id fails the same way it would one-by-one. If the
+/// session rejects the batch mid-way, the surviving prefix is
+/// committed and every later batch entry is replayed through the
+/// serial path, keeping replies and state line-for-line identical to
+/// the uncoalesced loop.
+fn process_arrive_batch(
+    sess: &mut dyn ServeSession,
+    next_id: &mut usize,
+    last_t: &mut f64,
+    lines: Vec<(String, Option<Sender<String>>)>,
+) {
+    enum Tag {
+        Parsed(usize),
+        Bad(String),
+    }
+    let mut batch: Vec<Arrival> = Vec::new();
+    let mut tagged: Vec<(String, Option<Sender<String>>, Tag)> = Vec::new();
+    let (mut tid, mut tt) = (*next_id, *last_t);
+    for (line, reply) in lines {
+        match parse_arrive(line.split_whitespace().skip(1), tid, tt) {
+            Ok(a) => {
+                tid += 1;
+                tt = a.release;
+                tagged.push((line, reply, Tag::Parsed(batch.len())));
+                batch.push(a);
+            }
+            Err(e) => tagged.push((line, reply, Tag::Bad(e))),
+        }
+    }
+    let releases: Vec<f64> = batch.iter().map(|a| a.release).collect();
+    let (ok_count, fail) = match sess.arrive_batch(batch) {
+        Ok(()) => (releases.len(), None),
+        Err((k, e)) => (k, Some(e)),
+    };
+    *next_id += ok_count;
+    if ok_count > 0 {
+        *last_t = releases[ok_count - 1];
+    }
+    let mut failed = fail;
+    for (line, reply, tag) in tagged {
+        let res = match tag {
+            Tag::Bad(e) => Err(e),
+            Tag::Parsed(i) if i < ok_count => Ok(()),
+            Tag::Parsed(i) if i == ok_count && failed.is_some() => {
+                Err(failed.take().expect("checked is_some"))
+            }
+            // Batch entries past a mid-batch failure replay serially.
+            Tag::Parsed(_) => handle_line(sess, next_id, last_t, &line).map(|_| ()),
+        };
+        match res {
+            Ok(()) => {
+                if let Some(tx) = reply {
+                    let _ = tx.send("ok\n".into());
+                }
+            }
+            Err(e) => match reply {
+                Some(tx) => {
+                    let _ = tx.send(format!("err {e}\n"));
+                }
+                None => eprintln!("serve: {e}"),
+            },
+        }
+    }
+}
+
 /// Renders a [`osr_core::ServeSnapshot`] as the wire stats block: one
 /// `key value` pair per line, terminated by `end`. Numbers use Rust's
 /// shortest-round-trip formatting so `top` re-parses them exactly.
@@ -226,6 +325,9 @@ fn render_stats(sess: &dyn ServeSession) -> String {
     let _ = writeln!(out, "flow_p50 {}", s.flow_p50);
     let _ = writeln!(out, "flow_p95 {}", s.flow_p95);
     let _ = writeln!(out, "flow_p99 {}", s.flow_p99);
+    for (m, depth) in &s.machine_depths {
+        let _ = writeln!(out, "load_{m} {depth}");
+    }
     if let Some(ix) = s.index {
         let _ = writeln!(out, "index_flat {}", ix.flat_searches);
         let _ = writeln!(out, "index_sparse {}", ix.sparse_searches);
@@ -316,7 +418,17 @@ fn serve_loop<R: BufRead + Send + 'static>(
     let has_socket = socket.is_some();
     let mut next_id = 0usize;
     let mut last_t = 0.0f64;
-    while let Ok(msg) = rx.recv() {
+    // Non-arrive messages drained while collecting a burst park here
+    // and are processed before blocking on the channel again.
+    let mut parked: VecDeque<Inbound> = VecDeque::new();
+    loop {
+        let msg = match parked.pop_front() {
+            Some(m) => m,
+            None => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            },
+        };
         match msg {
             Inbound::Eof => {
                 if !has_socket && !once {
@@ -327,6 +439,25 @@ fn serve_loop<R: BufRead + Send + 'static>(
                 }
             }
             Inbound::Line(line, reply) => {
+                if is_arrive(&line) {
+                    // Coalesce the already-queued tail of an arrival
+                    // burst into one ingest epoch. Result-neutral: the
+                    // determinism contract makes the batched log
+                    // byte-identical to per-line ingest, so this trades
+                    // ingest overhead only.
+                    let mut burst = vec![(line, reply)];
+                    while let Ok(next) = rx.try_recv() {
+                        match next {
+                            Inbound::Line(l, r) if is_arrive(&l) => burst.push((l, r)),
+                            other => {
+                                parked.push_back(other);
+                                break;
+                            }
+                        }
+                    }
+                    process_arrive_batch(sess.as_mut(), &mut next_id, &mut last_t, burst);
+                    continue;
+                }
                 match handle_line(sess.as_mut(), &mut next_id, &mut last_t, &line) {
                     Ok(Response::Quiet) => {
                         if let Some(tx) = reply {
@@ -502,6 +633,30 @@ fn render_frame(stats: &BTreeMap<String, String>) -> String {
         get("rejected_machine_lost"),
         get("rejected_other"),
     );
+    // Per-machine load pane: the k deepest pending queues, deepest
+    // first (ties to the lower machine id), scaled to the pane leader.
+    let mut loads: Vec<(usize, usize)> = stats
+        .iter()
+        .filter_map(|(k, v)| {
+            let m = k.strip_prefix("load_")?.parse::<usize>().ok()?;
+            Some((m, v.parse::<usize>().ok()?))
+        })
+        .collect();
+    if !loads.is_empty() {
+        loads.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        const TOP_K: usize = 8;
+        let shown = &loads[..loads.len().min(TOP_K)];
+        let lmax = shown.first().map_or(1, |&(_, d)| d.max(1));
+        let _ = writeln!(
+            out,
+            "  load    (top {} of {} machines by queue depth)",
+            shown.len(),
+            loads.len()
+        );
+        for &(m, d) in shown {
+            let _ = writeln!(out, "    m{m:<6} \x1b[34m{}\x1b[0m {d}", bar(d, lmax, W));
+        }
+    }
     if stats.contains_key("index_flat") {
         let _ = writeln!(
             out,
@@ -615,6 +770,70 @@ shutdown
         );
     }
 
+    /// Deterministic maximal coalescing: group every run of consecutive
+    /// `arrive` lines into one batch (what `serve_loop` converges to
+    /// when producers outpace ingest) and compare against the serial
+    /// line-at-a-time loop — cursors and final logs must be identical,
+    /// bad lines included.
+    #[test]
+    fn coalesced_arrive_bursts_match_serial_lines() {
+        let script = [
+            "arrive 0 @0 w=1 2 4",
+            "arrive 1 @1 w=2 3 1",
+            "arrive 7 @1.5 w=1 1 1", // out-of-order id: rejected either way
+            "arrive 2 @2.5 w=1 inf inf",
+            "arrive 3 @x 1 1", // malformed release: rejected either way
+            "drain 1 @3",
+            "arrive 3 @4 w=1 1.5 2.5",
+            "arrive 4 @3 w=1 1 1", // time regression: session-level reject
+            "arrive 5 @5 w=1 2 2",
+        ];
+        let mut serial = FlowSession::new(FlowParams::new(0.5), 2).unwrap();
+        let (mut sid, mut st) = (0usize, 0.0f64);
+        for line in script {
+            let _ = handle_line(&mut serial, &mut sid, &mut st, line);
+        }
+
+        let mut batched: Box<dyn ServeSession> =
+            Box::new(FlowSession::new(FlowParams::new(0.5), 2).unwrap());
+        let (mut bid, mut bt) = (0usize, 0.0f64);
+        let mut burst: Vec<(String, Option<Sender<String>>)> = Vec::new();
+        for line in script {
+            if is_arrive(line) {
+                burst.push((line.to_string(), None));
+                continue;
+            }
+            process_arrive_batch(
+                batched.as_mut(),
+                &mut bid,
+                &mut bt,
+                std::mem::take(&mut burst),
+            );
+            handle_line(batched.as_mut(), &mut bid, &mut bt, line).unwrap();
+        }
+        process_arrive_batch(batched.as_mut(), &mut bid, &mut bt, burst);
+
+        assert_eq!((sid, st), (bid, bt), "stream cursors diverged");
+        assert_eq!(
+            model_io::log_to_string(&Box::new(serial).finish().unwrap()),
+            model_io::log_to_string(&batched.finish().unwrap()),
+        );
+    }
+
+    /// The recorded `examples/serve` trace replays byte-identically to
+    /// its committed offline oracle through the coalescing loop (CI
+    /// repeats this end-to-end over the built binary for all three
+    /// schedulers).
+    #[test]
+    fn recorded_trace_replays_byte_identically_under_coalescing() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/serve");
+        let script = std::fs::read_to_string(root.join("trace.script")).unwrap();
+        let oracle = std::fs::read_to_string(root.join("offline-flow-0.25.csv")).unwrap();
+        let sess = Box::new(FlowSession::new(FlowParams::new(0.25), 6).unwrap());
+        let log = serve_loop(sess, Cursor::new(script), None, true).unwrap();
+        assert_eq!(model_io::log_to_string(&log), oracle);
+    }
+
     #[test]
     fn serve_loop_finishes_at_eof_without_shutdown() {
         // `--once` semantics: EOF ends the stream; defaulted times and
@@ -700,9 +919,51 @@ shutdown
         assert!(frame.contains("rule-1 2"), "{frame}");
         assert!(frame.contains("flat 120"), "{frame}");
         assert!(frame.contains('█'), "{frame}");
+        // No load_* keys — no load pane.
+        assert!(!frame.contains("load"), "{frame}");
         // Without index keys the frame says the linear scan ran.
         map.remove("index_flat");
         assert!(render_frame(&map).contains("linear scan"), "no-index frame");
+    }
+
+    #[test]
+    fn load_pane_shows_top_k_machines_deepest_first() {
+        let mut map = BTreeMap::new();
+        map.insert("algo".to_string(), "flow".to_string());
+        for m in 0..12 {
+            // Depths 0..11; machine 11 is the deepest.
+            map.insert(format!("load_{m}"), m.to_string());
+        }
+        let frame = render_frame(&map);
+        assert!(frame.contains("top 8 of 12 machines"), "{frame}");
+        // The deepest machine leads the pane with a full bar.
+        let pane: Vec<&str> = frame
+            .lines()
+            .filter(|l| l.trim_start().starts_with('m'))
+            .collect();
+        assert_eq!(pane.len(), 8, "{frame}");
+        assert!(
+            pane[0].contains("m11") && pane[0].contains("████"),
+            "{frame}"
+        );
+        // The shallowest shown is depth 4; depths 0–3 are cut.
+        assert!(pane[7].contains("m4"), "{frame}");
+        assert!(!frame.contains("m3 "), "{frame}");
+    }
+
+    /// End-to-end over a live session: the stats wire block carries one
+    /// `load_<machine>` line per machine and `top` parses them.
+    #[test]
+    fn stats_block_reports_per_machine_loads() {
+        let mut sess = FlowSession::new(FlowParams::new(0.5), 3).unwrap();
+        sess.arrive(0.0, 1.0, vec![1.0, 5.0, 5.0]).unwrap();
+        sess.arrive(0.0, 1.0, vec![1.0, 5.0, 5.0]).unwrap();
+        let block = render_stats(&sess);
+        for m in 0..3 {
+            assert!(block.contains(&format!("load_{m} ")), "{block}");
+        }
+        // One job runs, one is pending behind it on the same machine.
+        assert!(block.contains("load_0 1"), "{block}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   CLI help text and error messages are generated from so the docs
 //!   can never drift from the parser.
 
-use osr_dstruct::Propagation;
+use osr_dstruct::{KernelMode, Propagation};
 use osr_sim::EventBackend;
 
 use crate::dispatch::{self, CapacityIndexMode, DispatchIndex};
@@ -49,6 +49,9 @@ pub struct SchedulerConfig {
     /// Ancestor-propagation mode of the tournament dispatch index
     /// (`Eager` is the ablation baseline; `Lazy` batches repairs).
     pub propagation: Propagation,
+    /// Which kernel layer the SoA hot loops run (`Scalar` is the
+    /// bit-exact oracle; `Chunked` autovectorizes).
+    pub kernels: KernelMode,
     /// Requested shard count for the epoch-sharded driver (`1` is the
     /// serial oracle; requests clamp to one shard per 64-machine rack).
     pub shards: usize,
@@ -66,6 +69,7 @@ impl Default for SchedulerConfig {
             events: EventBackend::default(),
             capacity_index: dispatch::default_capacity_index(),
             propagation: osr_dstruct::default_propagation(),
+            kernels: osr_dstruct::default_kernel_mode(),
             shards: osr_sim::default_shards(),
         }
     }
@@ -107,6 +111,12 @@ impl SchedulerConfig {
         self
     }
 
+    /// Builder: sets the kernel layer of the SoA hot loops.
+    pub fn with_kernels(mut self, kernels: KernelMode) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
     /// Builder: sets the requested driver shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
@@ -130,8 +140,8 @@ pub struct KnobSpec {
     pub summary: &'static str,
 }
 
-/// The four process-default knobs, in display order.
-pub const KNOBS: [KnobSpec; 4] = [
+/// The five process-default knobs, in display order.
+pub const KNOBS: [KnobSpec; 5] = [
     KnobSpec {
         flag: "--dispatch-index",
         values: "linear|pruned",
@@ -149,6 +159,12 @@ pub const KNOBS: [KnobSpec; 4] = [
         values: "eager|lazy",
         default_value: "lazy",
         summary: "tournament-index ancestor repair (eager per mutation, lazy batched)",
+    },
+    KnobSpec {
+        flag: "--kernels",
+        values: "chunked|scalar",
+        default_value: "chunked",
+        summary: "SoA hot-loop kernel layer (scalar is the bit-exact oracle)",
     },
     KnobSpec {
         flag: "--shards",
@@ -213,6 +229,15 @@ pub fn parse_propagation(s: &str) -> Result<Propagation, String> {
     }
 }
 
+/// Parses a `--kernels` value.
+pub fn parse_kernels(s: &str) -> Result<KernelMode, String> {
+    match s {
+        "chunked" => Ok(KernelMode::Chunked),
+        "scalar" => Ok(KernelMode::Scalar),
+        other => Err(knob_err("--kernels", other)),
+    }
+}
+
 /// Parses a `--shards` value (a positive integer).
 pub fn parse_shards(s: &str) -> Result<usize, String> {
     match s.parse::<usize>() {
@@ -238,6 +263,8 @@ pub struct RuntimeDefaults {
     pub capacity_index: Option<CapacityIndexMode>,
     /// Process-default propagation mode override.
     pub propagation: Option<Propagation>,
+    /// Process-default kernel-layer override.
+    pub kernels: Option<KernelMode>,
     /// Process-default driver shard count override (clamped to ≥ 1).
     pub shards: Option<usize>,
 }
@@ -253,6 +280,9 @@ impl RuntimeDefaults {
         }
         if let Some(p) = self.propagation {
             osr_dstruct::set_default_propagation(p);
+        }
+        if let Some(k) = self.kernels {
+            osr_dstruct::set_default_kernel_mode(k);
         }
         if let Some(s) = self.shards {
             osr_sim::set_default_shards(s);
@@ -272,12 +302,14 @@ mod tests {
             .with_events(EventBackend::PairingHeap)
             .with_capacity_index(CapacityIndexMode::Rebuild)
             .with_propagation(Propagation::Eager)
+            .with_kernels(KernelMode::Scalar)
             .with_shards(4);
         assert_eq!(c.backend, QueueBackend::Naive);
         assert_eq!(c.dispatch, DispatchIndex::Linear);
         assert_eq!(c.events, EventBackend::PairingHeap);
         assert_eq!(c.capacity_index, CapacityIndexMode::Rebuild);
         assert_eq!(c.propagation, Propagation::Eager);
+        assert_eq!(c.kernels, KernelMode::Scalar);
         assert_eq!(c.shards, 4);
     }
 
@@ -291,18 +323,21 @@ mod tests {
             dispatch: None,
             capacity_index: Some(CapacityIndexMode::Rebuild),
             propagation: Some(Propagation::Eager),
+            kernels: Some(KernelMode::Scalar),
             shards: Some(3),
         }
         .apply();
         let c = SchedulerConfig::default();
         assert_eq!(c.capacity_index, CapacityIndexMode::Rebuild);
         assert_eq!(c.propagation, Propagation::Eager);
+        assert_eq!(c.kernels, KernelMode::Scalar);
         assert_eq!(c.shards, 3);
         // Restore the built-in defaults for other tests in the process.
         RuntimeDefaults {
             dispatch: None,
             capacity_index: Some(CapacityIndexMode::Incremental),
             propagation: Some(Propagation::Lazy),
+            kernels: Some(KernelMode::Chunked),
             shards: Some(1),
         }
         .apply();
@@ -322,6 +357,10 @@ mod tests {
         assert!(e.contains("incremental|rebuild"));
         let e = parse_propagation("bogus").unwrap_err();
         assert!(e.contains("eager|lazy"));
+        let e = parse_kernels("bogus").unwrap_err();
+        assert!(e.contains("--kernels") && e.contains("chunked|scalar"));
+        assert_eq!(parse_kernels("scalar").unwrap(), KernelMode::Scalar);
+        assert_eq!(parse_kernels("chunked").unwrap(), KernelMode::Chunked);
         assert!(parse_shards("0").is_err());
         assert_eq!(parse_shards("8").unwrap(), 8);
         assert_eq!(parse_dispatch("linear").unwrap(), DispatchIndex::Linear);

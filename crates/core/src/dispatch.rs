@@ -93,7 +93,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 use osr_dstruct::{
     tournament::{SearchMode, FLAT_MAX_MACHINES},
-    MachineIndex, MachineStats, MaskView, Propagation,
+    KernelMode, MachineIndex, MachineStats, MaskView, Propagation,
 };
 use osr_model::{EligMask, Job, OnlineSet, RackPHat};
 use osr_sim::CapacityChange;
@@ -288,7 +288,14 @@ pub fn rebuild_capacity_index(
     online: &OnlineSet,
     stats: impl Fn(usize) -> MachineStats,
 ) -> MachineIndex {
-    rebuild_shard_index(0, m, online, osr_dstruct::default_propagation(), stats)
+    rebuild_shard_index(
+        0,
+        m,
+        online,
+        osr_dstruct::default_propagation(),
+        osr_dstruct::default_kernel_mode(),
+        stats,
+    )
 }
 
 /// Shard-local sibling of [`rebuild_capacity_index`]: builds an index
@@ -296,15 +303,18 @@ pub fn rebuild_capacity_index(
 /// indexed **locally** (leaf `i` is global machine `base + i`). The
 /// `online` set and the `stats` closure stay in global coordinates.
 /// With `base = 0, len = m` this *is* the serial rebuild oracle.
-/// `prop` selects the index's ancestor-propagation mode
-/// (schedulers pass their [`crate::SchedulerConfig::propagation`]);
-/// the search mode keeps [`MachineIndex::new`]'s auto-selection
-/// (flat at or below [`FLAT_MAX_MACHINES`] leaves, heap beyond).
+/// `prop` selects the index's ancestor-propagation mode and `kern`
+/// its kernel layer (schedulers pass their
+/// [`crate::SchedulerConfig::propagation`] /
+/// [`crate::SchedulerConfig::kernels`]); the search mode keeps
+/// [`MachineIndex::new`]'s auto-selection (flat at or below
+/// [`FLAT_MAX_MACHINES`] leaves, heap beyond).
 pub fn rebuild_shard_index(
     base: usize,
     len: usize,
     online: &OnlineSet,
     prop: Propagation,
+    kern: KernelMode,
     stats: impl Fn(usize) -> MachineStats,
 ) -> MachineIndex {
     let mode = if len <= FLAT_MAX_MACHINES {
@@ -312,7 +322,7 @@ pub fn rebuild_shard_index(
     } else {
         SearchMode::Heap
     };
-    let mut ix = MachineIndex::with_config(len, mode, prop);
+    let mut ix = MachineIndex::with_kernels(len, mode, prop, kern);
     for i in 0..len {
         if online.is_online(base + i) {
             ix.update(i, stats(base + i));
@@ -345,6 +355,7 @@ pub fn sync_capacity_index(
         m,
         online,
         osr_dstruct::default_propagation(),
+        osr_dstruct::default_kernel_mode(),
         stats,
     )
 }
@@ -352,9 +363,10 @@ pub fn sync_capacity_index(
 /// Shard-local sibling of [`sync_capacity_index`]: applies one
 /// capacity change for global `machine` to the index of the shard
 /// owning machines `base..base + len`. `machine` must lie in the
-/// shard's range; `stats` stays global. `prop` is the propagation mode
-/// a [`CapacityIndexMode::Rebuild`] reconstruction carries over (the
-/// incremental arm mutates in place and never consults it).
+/// shard's range; `stats` stays global. `prop` and `kern` are the
+/// propagation and kernel modes a [`CapacityIndexMode::Rebuild`]
+/// reconstruction carries over (the incremental arm mutates in place
+/// and never consults them).
 #[allow(clippy::too_many_arguments)]
 pub fn sync_shard_index(
     dindex: &mut Option<MachineIndex>,
@@ -365,6 +377,7 @@ pub fn sync_shard_index(
     len: usize,
     online: &OnlineSet,
     prop: Propagation,
+    kern: KernelMode,
     stats: impl Fn(usize) -> MachineStats,
 ) {
     debug_assert!((base..base + len).contains(&machine));
@@ -376,7 +389,9 @@ pub fn sync_shard_index(
                 ix.tombstone(machine - base);
             }
         },
-        CapacityIndexMode::Rebuild => *ix = rebuild_shard_index(base, len, online, prop, stats),
+        CapacityIndexMode::Rebuild => {
+            *ix = rebuild_shard_index(base, len, online, prop, kern, stats)
+        }
     }
 }
 

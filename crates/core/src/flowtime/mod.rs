@@ -433,9 +433,14 @@ impl EventPolicy for FlowPolicy<'_> {
         let dindex = (self.params.dispatch == DispatchIndex::Pruned
             && self.m >= PRUNED_MIN_MACHINES)
             .then(|| {
-                dispatch::rebuild_shard_index(base, len, online, self.params.propagation, |_| {
-                    MachineStats::EMPTY
-                })
+                dispatch::rebuild_shard_index(
+                    base,
+                    len,
+                    online,
+                    self.params.propagation,
+                    self.params.kernels,
+                    |_| MachineStats::EMPTY,
+                )
             });
         FlowShard {
             base,
@@ -479,7 +484,7 @@ impl EventPolicy for FlowPolicy<'_> {
             Some(ix) => {
                 let ph = dispatch::p_hat_view(job);
                 let mask = scratch.rebase(dispatch::mask_view(job.elig()), base, len);
-                ix.search_masked(
+                ix.search_masked_rows(
                     mask,
                     |s, lo, span| {
                         dispatch::flow_lambda_bound(
@@ -488,6 +493,25 @@ impl EventPolicy for FlowPolicy<'_> {
                             ph.for_range(base + lo, span),
                             inv_eps,
                         )
+                    },
+                    // Leaf-row-slice form of the bound below: the same
+                    // per-lane expression over an aligned quad of stat
+                    // rows (bit-identical by construction), which is
+                    // what the chunked flat scan autovectorizes.
+                    |lo, rows, out| {
+                        for k in 0..osr_dstruct::kernel::LANES {
+                            let p = job.sizes[base + lo + k];
+                            out[k] = if p.is_finite() {
+                                dispatch::flow_lambda_bound(
+                                    rows[k].count,
+                                    rows[k].min_size,
+                                    p,
+                                    inv_eps,
+                                )
+                            } else {
+                                f64::INFINITY
+                            };
+                        }
                     },
                     |li, s| {
                         let p = job.sizes[base + li];
@@ -712,6 +736,7 @@ impl EventPolicy for FlowPolicy<'_> {
             *len,
             online,
             self.params.propagation,
+            self.params.kernels,
             |i| stats_of(&machines[i - base].pending),
         );
     }
@@ -765,6 +790,15 @@ impl EventPolicy for FlowPolicy<'_> {
             running: sh.machines.iter().filter(|ms| ms.running.is_some()).count(),
             index: sh.dindex.as_ref().map(|ix| ix.index_stats()),
         }
+    }
+
+    fn probe_machines(&self, sh: &FlowShard, out: &mut Vec<(usize, usize)>) {
+        out.extend(
+            sh.machines
+                .iter()
+                .enumerate()
+                .map(|(li, ms)| (sh.base + li, ms.pending.len())),
+        );
     }
 }
 

@@ -378,9 +378,14 @@ impl EventPolicy for WeightedPolicy {
         let dindex = (self.params.dispatch == DispatchIndex::Pruned
             && self.m >= PRUNED_MIN_MACHINES)
             .then(|| {
-                dispatch::rebuild_shard_index(base, len, online, self.params.propagation, |_| {
-                    MachineStats::EMPTY
-                })
+                dispatch::rebuild_shard_index(
+                    base,
+                    len,
+                    online,
+                    self.params.propagation,
+                    self.params.kernels,
+                    |_| MachineStats::EMPTY,
+                )
             });
         WeightedShard {
             base,
@@ -422,7 +427,7 @@ impl EventPolicy for WeightedPolicy {
                 let ph = dispatch::p_hat_view(job);
                 let w = job.weight;
                 let mask = scratch.rebase(dispatch::mask_view(job.elig()), base, len);
-                ix.search_masked(
+                ix.search_masked_rows(
                     mask,
                     |s, lo, span| {
                         dispatch::weighted_lambda_bound(
@@ -433,6 +438,25 @@ impl EventPolicy for WeightedPolicy {
                             w,
                             eps,
                         )
+                    },
+                    // Leaf-row-slice form: the scalar bound below, one
+                    // lane per stat row (bit-identical by construction).
+                    |lo, rows, out| {
+                        for k in 0..osr_dstruct::kernel::LANES {
+                            let p = job.sizes[base + lo + k];
+                            out[k] = if p.is_finite() {
+                                dispatch::weighted_lambda_bound(
+                                    rows[k].count,
+                                    rows[k].wsum,
+                                    rows[k].min_size,
+                                    p,
+                                    w,
+                                    eps,
+                                )
+                            } else {
+                                f64::INFINITY
+                            };
+                        }
                     },
                     |li, s| {
                         let p = job.sizes[base + li];
@@ -626,6 +650,7 @@ impl EventPolicy for WeightedPolicy {
             *len,
             online,
             self.params.propagation,
+            self.params.kernels,
             |i| machines[i - base].stats(),
         );
     }
@@ -667,6 +692,15 @@ impl EventPolicy for WeightedPolicy {
             running: sh.machines.iter().filter(|ms| ms.running.is_some()).count(),
             index: sh.dindex.as_ref().map(|ix| ix.index_stats()),
         }
+    }
+
+    fn probe_machines(&self, sh: &WeightedShard, out: &mut Vec<(usize, usize)>) {
+        out.extend(
+            sh.machines
+                .iter()
+                .enumerate()
+                .map(|(li, ms)| (sh.base + li, ms.pending.len())),
+        );
     }
 }
 

@@ -53,8 +53,8 @@ pub use bounds::{
     flowtime_competitive_bound, flowtime_rejection_budget, immediate_rejection_lower_bound,
 };
 pub use config::{
-    knob_help, parse_capacity_index, parse_dispatch, parse_propagation, parse_shards, KnobSpec,
-    RuntimeDefaults, SchedulerConfig, KNOBS,
+    knob_help, parse_capacity_index, parse_dispatch, parse_kernels, parse_propagation,
+    parse_shards, KnobSpec, RuntimeDefaults, SchedulerConfig, KNOBS,
 };
 pub use dispatch::{
     default_capacity_index, default_dispatch_index, effective_dispatch_index,
@@ -68,12 +68,17 @@ pub use energymin::{
 pub use epsilon::Thresholds;
 pub use flowtime::{FlowOutcome, FlowParams, FlowScheduler, QueueBackend};
 pub use session::{
-    EnergyFlowSession, FlowSession, ServeSession, ServeSnapshot, WeightedFlowSession,
+    Arrival, EnergyFlowSession, FlowSession, ServeSession, ServeSnapshot, WeightedFlowSession,
 };
 // The ancestor-propagation toggle of the tournament index, re-exported
 // so harnesses can ablate it beside the dispatch toggle
 // (`run_experiments --propagation eager|lazy`).
 pub use osr_dstruct::tournament::{default_propagation, set_default_propagation, Propagation};
+// The chunked-kernel toggle of the SoA hot loops, re-exported so
+// harnesses can ablate it beside the other knobs
+// (`run_experiments --kernels chunked|scalar`; scalar is the bit-exact
+// oracle).
+pub use osr_dstruct::{default_kernel_mode, set_default_kernel_mode, KernelMode};
 // The epoch-sharded driver's shard toggle, re-exported so harnesses can
 // ablate it beside the other toggles (`run_experiments --shards N`;
 // `1` = the serial oracle, byte-identical at any value).

@@ -52,7 +52,7 @@ const SERVE_CAP_HINT: usize = 64;
 /// ([`SessionStats`]) merged with fate totals and flow-time percentiles
 /// read off the in-progress schedule log. Rendered by `osr serve`'s
 /// `stats` command and the `osr top` TUI.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeSnapshot {
     /// High-water event time processed (`-∞` before any event).
     pub now: f64,
@@ -97,6 +97,22 @@ pub struct ServeSnapshot {
     /// Merged dispatch-index snapshot across shards (`None` when every
     /// shard runs the linear scan).
     pub index: Option<osr_dstruct::IndexStats>,
+    /// Per-machine pending-queue depths `(global machine index, depth)`
+    /// in ascending machine order — the `osr top` load pane's source.
+    pub machine_depths: Vec<(usize, usize)>,
+}
+
+/// One queued arrival for [`ServeSession::arrive_batch`]: the operands
+/// of a single [`ServeSession::arrive`] call, with any stream defaults
+/// (omitted `@T`) already resolved by the caller.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Release time (must respect the session's monotone clock).
+    pub release: f64,
+    /// Job weight.
+    pub weight: f64,
+    /// One processing time per machine (`f64::INFINITY` = ineligible).
+    pub sizes: Vec<f64>,
 }
 
 /// A scheduler running as a long-lived, incrementally-fed instance —
@@ -118,6 +134,25 @@ pub trait ServeSession: Send {
     /// one processing time per machine (`f64::INFINITY` = ineligible),
     /// dispatched online immediately. Returns the assigned dense id.
     fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String>;
+
+    /// Feeds a burst of arrivals as **one** ingest epoch. By the
+    /// determinism contract, ingesting a batch at once produces the
+    /// same log bytes as feeding its members through [`Self::arrive`]
+    /// one by one (epoch boundaries only add flush points), so
+    /// coalescing trades ingest overhead only — `osr serve` uses it to
+    /// absorb queued stdin/socket bursts.
+    ///
+    /// On `Err((k, e))`, arrivals before index `k` were validated and
+    /// ingested, arrival `k` failed with `e`, and later entries were
+    /// not attempted (the caller still holds their data and can replay
+    /// them individually).
+    fn arrive_batch(&mut self, batch: Vec<Arrival>) -> Result<(), (usize, String)> {
+        for (k, a) in batch.into_iter().enumerate() {
+            self.arrive(a.release, a.weight, a.sizes)
+                .map_err(|e| (k, e))?;
+        }
+        Ok(())
+    }
 
     /// Applies a pool-membership change at `time`: joins bring the
     /// machine back; drains and crashes evict its jobs and re-dispatch
@@ -192,6 +227,7 @@ fn compose_snapshot(stats: SessionStats, log: &ScheduleLog, jobs: &[Job]) -> Ser
         running: stats.running,
         completions_pending: stats.completions_pending,
         index: stats.index,
+        machine_depths: stats.machine_depths,
         ..ServeSnapshot::default()
     };
     let mut flows = Vec::new();
@@ -311,18 +347,10 @@ impl FlowSession {
             clock: 0.0,
         })
     }
-}
 
-impl ServeSession for FlowSession {
-    fn algorithm(&self) -> &'static str {
-        "flow"
-    }
-
-    fn machines(&self) -> usize {
-        self.m
-    }
-
-    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+    /// Validates and appends one arrival (job row plus its global-state
+    /// rows) without ingesting; callers ingest once per batch.
+    fn push_one(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
         let id = push_arrival(
             &mut self.jobs,
             self.m,
@@ -335,10 +363,45 @@ impl ServeSession for FlowSession {
         self.global.exit.push(f64::NAN);
         self.global.c_tilde.push(f64::NAN);
         self.global.machine_of.push(u32::MAX);
+        Ok(id)
+    }
+
+    /// Ingests every pushed-but-uningested arrival as one epoch batch.
+    fn ingest(&mut self) {
         let policy = flow_policy(&self.jobs, self.th, self.params, self.m);
         self.driver
             .ingest_all(&policy, &self.jobs, &mut self.global);
+    }
+}
+
+impl ServeSession for FlowSession {
+    fn algorithm(&self) -> &'static str {
+        "flow"
+    }
+
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+        let id = self.push_one(release, weight, sizes)?;
+        self.ingest();
         Ok(id)
+    }
+
+    fn arrive_batch(&mut self, batch: Vec<Arrival>) -> Result<(), (usize, String)> {
+        let mut err = None;
+        for (k, a) in batch.into_iter().enumerate() {
+            if let Err(e) = self.push_one(a.release, a.weight, a.sizes) {
+                err = Some((k, e));
+                break;
+            }
+        }
+        self.ingest();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn capacity(
@@ -453,6 +516,28 @@ impl ServeSession for WeightedFlowSession {
         Ok(id)
     }
 
+    fn arrive_batch(&mut self, batch: Vec<Arrival>) -> Result<(), (usize, String)> {
+        let mut err = None;
+        for (k, a) in batch.into_iter().enumerate() {
+            if let Err(e) = push_arrival(
+                &mut self.jobs,
+                self.m,
+                &mut self.clock,
+                a.release,
+                a.weight,
+                a.sizes,
+            ) {
+                err = Some((k, e));
+                break;
+            }
+        }
+        self.driver.ingest_all(&self.policy, &self.jobs, &mut ());
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn capacity(
         &mut self,
         change: CapacityChange,
@@ -557,18 +642,10 @@ impl EnergyFlowSession {
     pub fn gamma(&self) -> f64 {
         self.gamma
     }
-}
 
-impl ServeSession for EnergyFlowSession {
-    fn algorithm(&self) -> &'static str {
-        "energy"
-    }
-
-    fn machines(&self) -> usize {
-        self.m
-    }
-
-    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+    /// Validates and appends one arrival (job row plus its record row)
+    /// without ingesting; callers ingest once per batch.
+    fn push_one(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
         let id = push_arrival(
             &mut self.jobs,
             self.m,
@@ -585,10 +662,45 @@ impl ServeSession for EnergyFlowSession {
             exit: f64::NAN,
             def_finish: f64::NAN,
         });
+        Ok(id)
+    }
+
+    /// Ingests every pushed-but-uningested arrival as one epoch batch.
+    fn ingest(&mut self) {
         let policy = energy_policy(&self.jobs, self.params, self.gamma, self.m);
         self.driver
             .ingest_all(&policy, &self.jobs, &mut self.records);
+    }
+}
+
+impl ServeSession for EnergyFlowSession {
+    fn algorithm(&self) -> &'static str {
+        "energy"
+    }
+
+    fn machines(&self) -> usize {
+        self.m
+    }
+
+    fn arrive(&mut self, release: f64, weight: f64, sizes: Vec<f64>) -> Result<JobId, String> {
+        let id = self.push_one(release, weight, sizes)?;
+        self.ingest();
         Ok(id)
+    }
+
+    fn arrive_batch(&mut self, batch: Vec<Arrival>) -> Result<(), (usize, String)> {
+        let mut err = None;
+        for (k, a) in batch.into_iter().enumerate() {
+            if let Err(e) = self.push_one(a.release, a.weight, a.sizes) {
+                err = Some((k, e));
+                break;
+            }
+        }
+        self.ingest();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn capacity(
@@ -804,6 +916,74 @@ mod tests {
         let sess = EnergyFlowSession::with_offline(params, m, CHURN_OFFLINE).unwrap();
         let served = replay(Box::new(sess), &jobs, &plan);
         assert_eq!(log_to_string(&offline.log), log_to_string(&served));
+    }
+
+    /// Coalesced ingest: feeding bursts through `arrive_batch` must
+    /// reproduce the one-by-one `arrive` log byte-for-byte for all
+    /// three sessions (epoch boundaries only add flush points).
+    #[test]
+    fn arrive_batch_matches_serial_arrivals_byte_identically() {
+        let m = 5;
+        let jobs = gen_jobs(60, m, 41);
+        let build: [fn(usize) -> Box<dyn ServeSession>; 3] = [
+            |m| Box::new(FlowSession::new(FlowParams::new(0.5), m).unwrap()),
+            |m| Box::new(WeightedFlowSession::new(WeightedFlowParams::new(0.5), m).unwrap()),
+            |m| Box::new(EnergyFlowSession::new(EnergyFlowParams::new(0.5, 2.0), m).unwrap()),
+        ];
+        for mk in build {
+            let mut serial = mk(m);
+            for j in &jobs {
+                serial.arrive(j.release, j.weight, j.sizes.clone()).unwrap();
+            }
+            let mut batched = mk(m);
+            // Uneven burst sizes so batches straddle several epochs.
+            for chunk in jobs.chunks(7) {
+                batched
+                    .arrive_batch(
+                        chunk
+                            .iter()
+                            .map(|j| Arrival {
+                                release: j.release,
+                                weight: j.weight,
+                                sizes: j.sizes.clone(),
+                            })
+                            .collect(),
+                    )
+                    .unwrap();
+            }
+            assert_eq!(
+                log_to_string(&serial.finish().unwrap()),
+                log_to_string(&batched.finish().unwrap()),
+            );
+        }
+    }
+
+    /// A mid-batch validation failure ingests the prefix, reports the
+    /// failing index, and leaves the session usable.
+    #[test]
+    fn arrive_batch_reports_failure_index_and_keeps_prefix() {
+        let m = 2;
+        let mut sess = FlowSession::new(FlowParams::new(0.5), m).unwrap();
+        let a = |release: f64, sizes: Vec<f64>| Arrival {
+            release,
+            weight: 1.0,
+            sizes,
+        };
+        let (k, e) = sess
+            .arrive_batch(vec![
+                a(1.0, vec![1.0, 2.0]),
+                a(2.0, vec![1.0, 1.0]),
+                a(1.5, vec![1.0, 1.0]), // time regression
+                a(3.0, vec![1.0, 1.0]), // not attempted
+            ])
+            .unwrap_err();
+        assert_eq!(k, 2);
+        assert!(e.contains("time-ordered"), "{e}");
+        let snap = sess.snapshot();
+        assert_eq!(snap.arrived, 2);
+        // The stream continues past the rejected entry.
+        sess.arrive(3.0, 1.0, vec![1.0, 1.0]).unwrap();
+        assert_eq!(Box::new(sess).finish().unwrap().len(), 3);
     }
 
     #[test]

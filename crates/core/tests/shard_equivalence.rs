@@ -11,9 +11,14 @@
 //! per-job global-array writes commute. These tests check the contract
 //! end to end — schedule logs (fates, executions, redispatch counts)
 //! and the §2 dual vectors must match to the last bit.
+//!
+//! PR 9 makes each comparison straddle the **kernel** toggle too: the
+//! serial baseline runs the scalar oracle kernels, every sharded run
+//! the chunked `[f64;4]` layer, so shard reconciliation and the hot-loop
+//! kernels are pinned bit-identical in one stroke.
 
 use osr_core::flowtime::{WeightedFlowParams, WeightedFlowScheduler};
-use osr_core::{EnergyFlowParams, EnergyFlowScheduler, FlowParams, FlowScheduler};
+use osr_core::{EnergyFlowParams, EnergyFlowScheduler, FlowParams, FlowScheduler, KernelMode};
 use osr_model::{Instance, InstanceBuilder, InstanceKind, MachineId};
 use osr_sim::{CapacityChange, CapacityEvent, CapacityPlan};
 use proptest::prelude::*;
@@ -144,18 +149,19 @@ proptest! {
         let m = POOLS[pool];
         let inst = build_instance(m, InstanceKind::FlowTime, &jobs);
         let plan = build_plan(m, inst.horizon() * 1.2, &churn);
-        let run = |shards: usize| {
+        let run = |shards: usize, kern: KernelMode| {
             let mut p = FlowParams::new(0.25);
             p.shards = shards;
+            p.kernels = kern;
             FlowScheduler::new(p)
                 .unwrap()
                 .with_capacity(plan.clone())
                 .run(&inst)
         };
-        let serial = run(1);
+        let serial = run(1, KernelMode::Scalar);
         prop_assert_eq!(serial.effective_shards, 1);
         for shards in [2usize, 4] {
-            let out = run(shards);
+            let out = run(shards, KernelMode::Chunked);
             prop_assert_eq!(
                 osr_core::effective_shards(shards, m),
                 out.effective_shards
@@ -177,17 +183,18 @@ proptest! {
         let m = POOLS[pool];
         let inst = build_instance(m, InstanceKind::FlowEnergy, &jobs);
         let plan = build_plan(m, inst.horizon() * 1.2, &churn);
-        let run = |shards: usize| {
+        let run = |shards: usize, kern: KernelMode| {
             let mut p = WeightedFlowParams::new(0.25);
             p.shards = shards;
+            p.kernels = kern;
             WeightedFlowScheduler::new(p)
                 .unwrap()
                 .with_capacity(plan.clone())
                 .run(&inst)
         };
-        let serial = run(1);
+        let serial = run(1, KernelMode::Scalar);
         for shards in [2usize, 4] {
-            let out = run(shards);
+            let out = run(shards, KernelMode::Chunked);
             prop_assert_eq!(&out.log, &serial.log, "log diverged at m={} shards={}", m, shards);
         }
     }
@@ -201,17 +208,18 @@ proptest! {
         let m = POOLS[pool];
         let inst = build_instance(m, InstanceKind::FlowEnergy, &jobs);
         let plan = build_plan(m, inst.horizon() * 1.2, &churn);
-        let run = |shards: usize| {
+        let run = |shards: usize, kern: KernelMode| {
             let mut p = EnergyFlowParams::new(0.5, 3.0);
             p.shards = shards;
+            p.kernels = kern;
             EnergyFlowScheduler::new(p)
                 .unwrap()
                 .with_capacity(plan.clone())
                 .run(&inst)
         };
-        let serial = run(1);
+        let serial = run(1, KernelMode::Scalar);
         for shards in [2usize, 4] {
-            let out = run(shards);
+            let out = run(shards, KernelMode::Chunked);
             prop_assert_eq!(&out.log, &serial.log, "log diverged at m={} shards={}", m, shards);
             prop_assert_eq!(out.records.len(), serial.records.len());
             for (a, b) in out.records.iter().zip(&serial.records) {

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod fenwick;
+pub mod kernel;
 pub mod naive;
 pub mod pairing;
 pub mod total;
@@ -69,6 +70,7 @@ pub mod treap;
 pub mod treap_boxed;
 
 pub use fenwick::Fenwick;
+pub use kernel::{default_kernel_mode, set_default_kernel_mode, KernelMode};
 pub use naive::NaiveAggQueue;
 pub use pairing::PairingHeap;
 pub use total::TotalF64;

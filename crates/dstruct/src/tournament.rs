@@ -131,6 +131,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::kernel::{self, default_kernel_mode, KernelMode, LANES};
 use crate::total::TotalF64;
 
 /// Borrowed view of a per-job machine-eligibility bitmask, as consumed
@@ -240,11 +241,7 @@ impl ShardMaskScratch {
                 let local = &words[first..last];
                 self.summary.clear();
                 self.summary.resize(local.len().div_ceil(64), 0);
-                for (k, &w) in local.iter().enumerate() {
-                    if w != 0 {
-                        self.summary[k / 64] |= 1u64 << (k % 64);
-                    }
-                }
+                kernel::summarize_words4(default_kernel_mode(), local, &mut self.summary);
                 MaskView::Words {
                     words: local,
                     summary: &self.summary,
@@ -400,7 +397,7 @@ impl NodeStats {
         }
     }
 
-    fn combine(a: NodeStats, b: NodeStats) -> NodeStats {
+    pub(crate) fn combine(a: NodeStats, b: NodeStats) -> NodeStats {
         NodeStats {
             min_count: a.min_count.min(b.min_count),
             min_wsum: a.min_wsum.min(b.min_wsum),
@@ -499,6 +496,12 @@ pub struct MachineIndex {
     tombstones: usize,
     mode: SearchMode,
     prop: Propagation,
+    /// Which kernel layer the hot loops run ([`KernelMode::Chunked`]
+    /// or the scalar oracle); results are bit-identical either way.
+    kern: KernelMode,
+    /// Reusable per-leaf bound buffer for the chunked flat scan (no
+    /// per-search allocation once warm; empty under the scalar twin).
+    bound_scratch: Vec<f64>,
     /// Searches answered by each arm (see [`IndexStats`]).
     flat_searches: u64,
     sparse_searches: u64,
@@ -533,11 +536,23 @@ impl MachineIndex {
         Self::with_config(m, mode, default_propagation())
     }
 
-    /// Fully explicit constructor: search mode *and* propagation mode.
+    /// Explicit search mode *and* propagation mode, with the
+    /// process-default [`KernelMode`].
     ///
     /// # Panics
     /// Panics when `m == 0` (instances always have a machine).
     pub fn with_config(m: usize, mode: SearchMode, prop: Propagation) -> Self {
+        Self::with_kernels(m, mode, prop, default_kernel_mode())
+    }
+
+    /// Fully explicit constructor: search mode, propagation mode *and*
+    /// kernel mode (the latter for the kernel ablation benches and the
+    /// chunked-vs-scalar equivalence tests; production callers inherit
+    /// the process default via the other constructors).
+    ///
+    /// # Panics
+    /// Panics when `m == 0` (instances always have a machine).
+    pub fn with_kernels(m: usize, mode: SearchMode, prop: Propagation, kern: KernelMode) -> Self {
         assert!(m > 0, "MachineIndex needs at least one machine");
         let cap = m.next_power_of_two();
         let leaves = vec![MachineStats::EMPTY; m];
@@ -566,14 +581,14 @@ impl MachineIndex {
             tombstones: 0,
             mode,
             prop,
+            kern,
+            bound_scratch: Vec::new(),
             flat_searches: 0,
             sparse_searches: 0,
             heap_searches: 0,
         };
         if mode == SearchMode::Heap {
-            for k in (1..cap).rev() {
-                ix.recompute(k as u32);
-            }
+            ix.rebuild_all();
         }
         ix
     }
@@ -586,6 +601,11 @@ impl MachineIndex {
     /// The propagation mode in effect.
     pub fn propagation(&self) -> Propagation {
         self.prop
+    }
+
+    /// The kernel mode in effect.
+    pub fn kernels(&self) -> KernelMode {
+        self.kern
     }
 
     /// Number of machines indexed.
@@ -673,6 +693,59 @@ impl MachineIndex {
         self.inner[k] = NodeStats::combine(a, b);
     }
 
+    /// Rebuilds every internal node from the leaf table, bottom-up
+    /// level by level — equivalent to recomputing nodes `cap-1..=1` in
+    /// order, but the fully-internal levels run through
+    /// [`kernel::node_fix4`] (four parents, eight contiguous children
+    /// per chunk). Only the leaf-parent level reads [`Self::leaf_ns`]
+    /// (tombstone/padding resolution); everything above is a pure
+    /// `inner`-to-`inner` sweep.
+    fn rebuild_all(&mut self) {
+        if self.cap == 1 {
+            return; // a single leaf has no internal nodes
+        }
+        for k in (self.cap / 2..self.cap).rev() {
+            self.recompute(k as u32);
+        }
+        // Child level starts at `half`; its parents fill [half/2, half).
+        let mut half = self.cap / 2;
+        while half >= 2 {
+            let lvl = half / 2;
+            let (lo, hi) = self.inner.split_at_mut(half);
+            kernel::node_fix4(self.kern, &hi[..half], &mut lo[lvl..]);
+            half = lvl;
+        }
+    }
+
+    /// Recomputes one repair-sweep level: `ids` are node ids on a
+    /// single tree level, strictly increasing. Runs of four
+    /// *consecutive* fully-internal parents (children `2k..2k+8` all
+    /// internal, disjoint from the parent run — needs `k ≥ 4`) chunk
+    /// through [`kernel::node_fix4`]; everything else falls back to the
+    /// scalar [`Self::recompute`].
+    fn recompute_run(&mut self, ids: &[u32]) {
+        let mut i = 0;
+        while i < ids.len() {
+            let k = ids[i] as usize;
+            if self.kern == KernelMode::Chunked
+                && k >= LANES
+                && i + LANES <= ids.len()
+                && ids[i + LANES - 1] as usize == k + LANES - 1
+                && 2 * (k + LANES) <= self.cap
+            {
+                // `ids` is strictly increasing, so ids[i+3] == k+3
+                // implies the run is consecutive; `k ≥ 4` keeps the
+                // child slice [2k, 2k+8) disjoint from the parents.
+                let (lo, hi) = self.inner.split_at_mut(2 * k);
+                kernel::node_fix4(KernelMode::Chunked, &hi[..2 * LANES], &mut lo[k..k + LANES]);
+                i += LANES;
+            } else {
+                self.recompute(ids[i]);
+                i += 1;
+            }
+        }
+    }
+
     /// Replaces machine `i`'s stats. Under [`Propagation::Lazy`] (or
     /// [`SearchMode::Flat`], which has no ancestors at all) this is a
     /// single leaf-row store plus a dirty bit; under
@@ -731,24 +804,20 @@ impl MachineIndex {
         frontier.clear();
         // Dirty machines in increasing order → their (leaf-parent)
         // node ids are non-decreasing, so adjacent dedup suffices.
-        for (wi, word) in self.dirty.iter_mut().enumerate() {
-            let mut bits = *word;
-            *word = 0;
-            while bits != 0 {
-                let i = wi * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let parent = ((self.cap + i) / 2) as u32;
-                if frontier.last() != Some(&parent) {
-                    frontier.push(parent);
-                }
+        let cap = self.cap;
+        kernel::walk_set_bits(&self.dirty, |i| {
+            let parent = ((cap + i) / 2) as u32;
+            if frontier.last() != Some(&parent) {
+                frontier.push(parent);
             }
+        });
+        for word in &mut self.dirty {
+            *word = 0;
         }
         // All frontier nodes sit on one level; walk levels up to the
         // root, recomputing each dirty node once.
         loop {
-            for idx in 0..frontier.len() {
-                self.recompute(frontier[idx]);
-            }
+            self.recompute_run(&frontier);
             if frontier[0] == 1 {
                 break; // just recomputed the root
             }
@@ -956,10 +1025,46 @@ impl MachineIndex {
         mask: MaskView<'_>,
         node_bound: NB,
         leaf_bound: LB,
+        eval: EV,
+    ) -> Option<(usize, f64)>
+    where
+        NB: Fn(&NodeStats, usize, usize) -> f64,
+        LB: Fn(usize, &MachineStats) -> f64,
+        EV: FnMut(usize) -> Option<f64>,
+    {
+        // Generic quad wrapper: evaluates the scalar bound once per
+        // lane. The per-lane expression is the scalar expression, so
+        // bit-identity holds by construction; the schedulers pass
+        // hand-written leaf-row-slice forms instead (see
+        // `osr-core::dispatch`), which autovectorize better.
+        let lb4 = |lo: usize, rows: &[MachineStats; LANES], out: &mut [f64; LANES]| {
+            for k in 0..LANES {
+                out[k] = leaf_bound(lo + k, &rows[k]);
+            }
+        };
+        self.search_masked_rows(mask, node_bound, lb4, &leaf_bound, eval)
+    }
+
+    /// [`MachineIndex::search_masked`] with an explicit *leaf-row-slice*
+    /// bound form: `leaf_bound4` computes four leaves' bounds from an
+    /// aligned quad of [`MachineStats`] rows and must evaluate, lane
+    /// for lane, exactly what `leaf_bound` computes for one row (the
+    /// contract the kernel proptests and the scheduler equivalence
+    /// suites pin). Under [`KernelMode::Chunked`] the flat dense arm
+    /// runs the fused [`kernel::bound_min4`] fill over the leaf table
+    /// before the incumbent pass; under the scalar oracle (and on
+    /// every sparse/heap path) `leaf_bound4` is never called.
+    pub fn search_masked_rows<NB, LB4, LB, EV>(
+        &mut self,
+        mask: MaskView<'_>,
+        node_bound: NB,
+        leaf_bound4: LB4,
+        leaf_bound: LB,
         mut eval: EV,
     ) -> Option<(usize, f64)>
     where
         NB: Fn(&NodeStats, usize, usize) -> f64,
+        LB4: FnMut(usize, &[MachineStats; LANES], &mut [f64; LANES]),
         LB: Fn(usize, &MachineStats) -> f64,
         EV: FnMut(usize) -> Option<f64>,
     {
@@ -1030,7 +1135,39 @@ impl MachineIndex {
             // strict-improvement updates — the same visit order and
             // tie-break as the linear scan, minus the exact
             // evaluations the bounds rule out. Reads the leaf table
-            // only; no ancestors exist.
+            // only; no ancestors exist. Under the chunked kernels the
+            // bound evaluation runs first as one fused
+            // [`kernel::bound_min4`] fill over the whole leaf table
+            // (tombstoned rows are EMPTY, their bounds computed but
+            // never read), then the incumbent pass consumes the
+            // buffered bounds — same values bit for bit, same visit
+            // order, same tie-break.
+            if self.kern == KernelMode::Chunked {
+                let mut scratch = std::mem::take(&mut self.bound_scratch);
+                kernel::bound_min4(
+                    KernelMode::Chunked,
+                    &self.leaves,
+                    &mut scratch,
+                    leaf_bound4,
+                    &leaf_bound,
+                );
+                for idx in 0..self.m {
+                    if self.is_tombstoned(idx) {
+                        continue;
+                    }
+                    let lb = scratch[idx];
+                    if !beats(lb, idx, &best) {
+                        continue;
+                    }
+                    if let Some(val) = eval(idx) {
+                        if beats(val, idx, &best) {
+                            best = Some((val, idx));
+                        }
+                    }
+                }
+                self.bound_scratch = scratch;
+                return best.map(|(v, i)| (i, v));
+            }
             for idx in 0..self.m {
                 if self.is_tombstoned(idx) {
                     continue;
@@ -1054,16 +1191,9 @@ impl MachineIndex {
         // with the rack size.
         if let MaskView::Words { words, .. } = mask {
             // Only "is the count ≤ the threshold?" matters, so the
-            // popcount scan exits as soon as it cannot be — dense
-            // masks pay a couple of words here, not O(m/64).
-            let mut eligible = 0usize;
-            for &w in words {
-                eligible += w.count_ones() as usize;
-                if eligible > FLAT_MAX_MACHINES {
-                    break;
-                }
-            }
-            if eligible <= FLAT_MAX_MACHINES {
+            // capped popcount exits as soon as it cannot be — dense
+            // masks pay a few words here, not O(m/64).
+            if kernel::popcount_capped4(self.kern, words, FLAT_MAX_MACHINES).is_some() {
                 self.sparse_searches += 1;
                 bit_walk!(words);
             }

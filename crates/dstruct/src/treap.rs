@@ -27,12 +27,17 @@
 //! ## Packed aggregate rows (struct-of-arrays)
 //!
 //! The `(count, sum)` subtree aggregates live in their **own parallel
-//! array** of packed 16-byte rows (`PackedAgg`), not inside the node
-//! struct. The bottom-up aggregate fix after every mutation — two
-//! child-agg reads plus one write per level, which `treap_steady_churn`
-//! shows is the churn cost — therefore walks a dense array where four
-//! rows share a cache line, instead of pulling in each child's full
-//! node (key, priority, links) just to read 12 bytes of aggregate.
+//! array** of packed 16-byte rows ([`crate::kernel::AggRow`]), not
+//! inside the node struct. The bottom-up aggregate fix after every
+//! mutation — two child-agg reads plus one write per level, which
+//! `treap_steady_churn` shows is the churn cost — therefore walks a
+//! dense array where four rows share a cache line, instead of pulling
+//! in each child's full node (key, priority, links) just to read 12
+//! bytes of aggregate. Since PR 9 the fix runs through
+//! [`crate::kernel::agg_fix4`]: the path's operands (child links, own
+//! weights) gather in quads under [`crate::kernel::KernelMode::Chunked`],
+//! but the combine itself stays serial in both modes — each level reads
+//! the aggregate the level below just wrote, a true dependency chain.
 //! The arithmetic is unchanged expression for expression
 //! (`weight + left.sum + right.sum`), so aggregate sums stay
 //! bit-identical to the previous layout and to a fresh build — the
@@ -58,6 +63,8 @@
 //! Duplicate keys are permitted (they cannot arise with the composite
 //! `(p, r, id)` keys used by the schedulers, but the structure does not
 //! rely on uniqueness).
+
+use crate::kernel::{self, default_kernel_mode, AggFix, AggRow, KernelMode, LANES};
 
 /// Aggregate over a set of entries: how many, and their total weight.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -91,25 +98,13 @@ struct Node<K> {
     right: u32,
 }
 
-/// One packed subtree-aggregate row of the struct-of-arrays layout:
-/// 16 bytes, four to a cache line, indexed by the same slot id as the
-/// node array (see module docs).
-#[derive(Clone, Copy)]
-struct PackedAgg {
-    sum: f64,
-    count: u32,
-}
-
-impl PackedAgg {
-    const ZERO: PackedAgg = PackedAgg { sum: 0.0, count: 0 };
-}
-
 /// Order-statistic treap with weight aggregates; see module docs.
 pub struct AggTreap<K: Ord> {
     nodes: Vec<Node<K>>,
-    /// Subtree aggregates, parallel to `nodes` (packed rows — the
-    /// child-agg update pass reads this array only).
-    aggs: Vec<PackedAgg>,
+    /// Subtree aggregates, parallel to `nodes` (packed
+    /// [`kernel::AggRow`]s — the child-agg update pass reads this
+    /// array only).
+    aggs: Vec<AggRow>,
     free: Vec<u32>,
     root: u32,
     rng: u64,
@@ -118,6 +113,10 @@ pub struct AggTreap<K: Ord> {
     /// Reusable stack for descent paths (insert/remove/pop may run a
     /// split or merge mid-operation, which owns `scratch`).
     descent: Vec<u32>,
+    /// Which kernel layer the aggregate fix pass runs (captured from
+    /// the process default at construction); results are bit-identical
+    /// either way.
+    kern: KernelMode,
 }
 
 impl<K: Ord> Default for AggTreap<K> {
@@ -142,6 +141,7 @@ impl<K: Ord> AggTreap<K> {
             rng: seed | 1,
             scratch: Vec::new(),
             descent: Vec::new(),
+            kern: default_kernel_mode(),
         }
     }
 
@@ -196,9 +196,7 @@ impl<K: Ord> AggTreap<K> {
             }
             spine.push(x);
         }
-        for &i in spine.iter().rev() {
-            t.update(i);
-        }
+        t.fix_path_rev(&spine);
         t
     }
 
@@ -239,9 +237,9 @@ impl<K: Ord> AggTreap<K> {
 
     /// The packed aggregate row of slot `i` (zero for `NIL`).
     #[inline]
-    fn packed(&self, i: u32) -> PackedAgg {
+    fn packed(&self, i: u32) -> AggRow {
         if i == NIL {
-            PackedAgg::ZERO
+            AggRow::ZERO
         } else {
             self.aggs[i as usize]
         }
@@ -268,10 +266,44 @@ impl<K: Ord> AggTreap<K> {
         };
         let la = self.packed(l);
         let ra = self.packed(r);
-        self.aggs[i as usize] = PackedAgg {
+        self.aggs[i as usize] = AggRow {
             sum: w + la.sum + ra.sum,
             count: 1 + la.count + ra.count,
         };
+    }
+
+    /// Recomputes aggregates along a stored walk `path` bottom-up (the
+    /// stack is pushed root-first, so fixes run in reverse). This is
+    /// the treap's child-agg update pass, routed through
+    /// [`kernel::agg_fix4`]: under [`KernelMode::Chunked`] the
+    /// independent operands (child links and own weights) gather into
+    /// [`AggFix`] quads, but the combine itself is a parent-child
+    /// dependency chain and stays serial in both modes — bit-identical
+    /// by construction (and honestly ≈ 1× in the kernel ablation; see
+    /// BENCH.md "PR 9").
+    fn fix_path_rev(&mut self, path: &[u32]) {
+        match self.kern {
+            KernelMode::Scalar => {
+                for &i in path.iter().rev() {
+                    self.update(i);
+                }
+            }
+            KernelMode::Chunked => {
+                let mut batch = [AggFix::default(); LANES];
+                for chunk in path.rchunks(LANES) {
+                    for (k, &i) in chunk.iter().rev().enumerate() {
+                        let n = &self.nodes[i as usize];
+                        batch[k] = AggFix {
+                            node: i,
+                            left: n.left,
+                            right: n.right,
+                            weight: n.weight,
+                        };
+                    }
+                    kernel::agg_fix4(self.kern, &mut self.aggs, NIL, &batch[..chunk.len()]);
+                }
+            }
+        }
     }
 
     /// Takes a slot off the free list (or grows the arena) and
@@ -286,7 +318,7 @@ impl<K: Ord> AggTreap<K> {
                 n.pri = pri;
                 n.left = NIL;
                 n.right = NIL;
-                self.aggs[i as usize] = PackedAgg {
+                self.aggs[i as usize] = AggRow {
                     sum: weight,
                     count: 1,
                 };
@@ -302,7 +334,7 @@ impl<K: Ord> AggTreap<K> {
                     left: NIL,
                     right: NIL,
                 });
-                self.aggs.push(PackedAgg {
+                self.aggs.push(AggRow {
                     sum: weight,
                     count: 1,
                 });
@@ -348,9 +380,7 @@ impl<K: Ord> AggTreap<K> {
         if r_tail != NIL {
             self.nodes[r_tail as usize].left = NIL;
         }
-        for &i in path.iter().rev() {
-            self.update(i);
-        }
+        self.fix_path_rev(&path);
         path.clear();
         self.scratch = path;
         (l, r)
@@ -400,9 +430,7 @@ impl<K: Ord> AggTreap<K> {
                 b = self.node(x).left;
             }
         }
-        for &i in path.iter().rev() {
-            self.update(i);
-        }
+        self.fix_path_rev(&path);
         path.clear();
         self.scratch = path;
         root
@@ -455,9 +483,7 @@ impl<K: Ord> AggTreap<K> {
         // recompute, not `sum += w` patching, so aggregate sums stay
         // bit-identical to a fresh build — the naive-backend-equality
         // contract the schedulers test for).
-        for &i in path.iter().rev() {
-            self.update(i);
-        }
+        self.fix_path_rev(&path);
         path.clear();
         self.descent = path;
     }
@@ -506,9 +532,7 @@ impl<K: Ord> AggTreap<K> {
         self.free.push(cur);
         // Ancestors lost the victim: full bottom-up recompute (see
         // `insert` for why not `sum -= w` patching).
-        for &i in path.iter().rev() {
-            self.update(i);
-        }
+        self.fix_path_rev(&path);
         path.clear();
         self.descent = path;
         Some(weight)
@@ -592,9 +616,7 @@ impl<K: Ord> AggTreap<K> {
             None => self.root = orphan,
         }
         // Full bottom-up recompute; see `insert` for why.
-        for &i in path.iter().rev() {
-            self.update(i);
-        }
+        self.fix_path_rev(&path);
         path.clear();
         self.scratch = path;
         let key = self.node(cur).key.clone();

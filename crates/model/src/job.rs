@@ -24,6 +24,7 @@
 //! been desynchronized by direct mutation of the public `sizes` field.
 
 use crate::time::{valid_magnitude, valid_positive};
+use osr_dstruct::kernel::{self, default_kernel_mode};
 
 /// Machine-eligibility bitmask cached on a [`Job`].
 ///
@@ -65,11 +66,7 @@ impl EligMask {
             }
         }
         let mut summary = vec![0u64; words.len().div_ceil(64)];
-        for (k, w) in words.iter().enumerate() {
-            if *w != 0 {
-                summary[k / 64] |= 1u64 << (k % 64);
-            }
-        }
+        kernel::summarize_words4(default_kernel_mode(), &words, &mut summary);
         EligMask::Words {
             words: words.into_boxed_slice(),
             summary: summary.into_boxed_slice(),
@@ -89,7 +86,7 @@ impl EligMask {
     pub fn count(&self, machines: usize) -> usize {
         match self {
             EligMask::All => machines,
-            EligMask::Words { words, .. } => words.iter().map(|x| x.count_ones() as usize).sum(),
+            EligMask::Words { words, .. } => kernel::popcount_words4(default_kernel_mode(), words),
         }
     }
 
@@ -229,10 +226,11 @@ impl RackPHat {
         } else {
             let first = (lo / 4096).min(self.block_min.len());
             let last = ((lo + span) / 4096).min(self.block_min.len());
-            self.block_min[first..last]
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min)
+            // Entries are positive-or-∞ (never NaN, never -0.0), so the
+            // chunked lane regrouping returns the scalar fold's minimum
+            // bit for bit.
+            kernel::min4_with_index(default_kernel_mode(), &self.block_min[first..last])
+                .map_or(f64::INFINITY, |(v, _)| v)
         }
     }
 }

@@ -152,26 +152,23 @@ impl OnlineSet {
         scratch.words.clear();
         scratch.summary.clear();
         scratch.summary.resize(self.summary.len(), 0);
-        let mut any = false;
         match elig.word_layers() {
             None => {
                 scratch.words.extend_from_slice(&self.words);
                 scratch.summary.copy_from_slice(&self.summary);
-                any = self.online > 0;
+                self.online > 0
             }
             Some((jw, _)) => {
                 scratch.words.resize(self.words.len(), 0);
-                for (k, (&a, &b)) in jw.iter().zip(self.words.iter()).enumerate() {
-                    let w = a & b;
-                    scratch.words[k] = w;
-                    if w != 0 {
-                        scratch.summary[k / 64] |= 1u64 << (k % 64);
-                        any = true;
-                    }
-                }
+                osr_dstruct::kernel::intersect_words4(
+                    osr_dstruct::default_kernel_mode(),
+                    jw,
+                    &self.words,
+                    &mut scratch.words,
+                    &mut scratch.summary,
+                )
             }
         }
-        any
     }
 }
 

@@ -313,6 +313,13 @@ pub trait EventPolicy: Sync {
     fn probe(&self, _shard: &Self::Shard) -> ShardProbe {
         ShardProbe::default()
     }
+
+    /// Appends `(global machine index, pending-queue depth)` pairs for
+    /// the shard's machines to `out` — the per-machine load view behind
+    /// `osr top`'s load pane. Purely observational, like
+    /// [`EventPolicy::probe`]. The default reports nothing; policies
+    /// opt in by overriding.
+    fn probe_machines(&self, _shard: &Self::Shard, _out: &mut Vec<(usize, usize)>) {}
 }
 
 /// One shard's complete runtime state, moved by value through the
@@ -330,7 +337,7 @@ struct ShardSlot<S> {
 
 /// Pool-wide live snapshot assembled by [`DriverSession::probe`]:
 /// per-shard [`ShardProbe`]s merged with the driver's own counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SessionStats {
     /// Jobs pending (dispatched, not yet running) across all machines.
     pub queued: usize,
@@ -351,6 +358,10 @@ pub struct SessionStats {
     /// Merged dispatch-index snapshot across shards (`None` when every
     /// shard runs the linear scan).
     pub index: Option<osr_dstruct::IndexStats>,
+    /// Per-machine pending-queue depths `(global machine index, depth)`
+    /// in ascending machine order, from [`EventPolicy::probe_machines`]
+    /// (empty when the policy does not report them).
+    pub machine_depths: Vec<(usize, usize)>,
 }
 
 /// The epoch-sharded event loop as a **resumable session**: the same
@@ -691,6 +702,7 @@ impl<S: Send> DriverSession<S> {
             stats.queued += p.queued;
             stats.running += p.running;
             stats.completions_pending += slot.completions.len();
+            policy.probe_machines(&slot.shard, &mut stats.machine_depths);
             if let Some(ix) = p.index {
                 match &mut stats.index {
                     Some(acc) => acc.merge(&ix),

@@ -16,8 +16,13 @@
 //! so pruned-vs-linear bit-identity stays locked where it matters
 //! most.
 
+//! PR 9 extends every generator pair to straddle the **kernel** toggle
+//! too: the pruned side runs the chunked `[f64;4]` hot-loop kernels,
+//! the linear side the scalar oracle, so a tie-break or summation
+//! regression in either layer breaks bit-identity here.
+
 use online_sched_rejection::prelude::*;
-use osr_core::{DispatchIndex, PRUNED_MIN_MACHINES};
+use osr_core::{DispatchIndex, KernelMode, PRUNED_MIN_MACHINES};
 use osr_model::RejectReason;
 use proptest::prelude::*;
 
@@ -112,9 +117,15 @@ fn eligibility_instance() -> impl Strategy<Value = Instance> {
     })
 }
 
-fn flow_with(inst: &Instance, eps: f64, dispatch: DispatchIndex) -> osr_core::FlowOutcome {
+fn flow_with(
+    inst: &Instance,
+    eps: f64,
+    dispatch: DispatchIndex,
+    kern: KernelMode,
+) -> osr_core::FlowOutcome {
     let mut params = osr_core::FlowParams::new(eps);
     params.dispatch = dispatch;
+    params.kernels = kern;
     osr_core::FlowScheduler::new(params).unwrap().run(inst)
 }
 
@@ -126,15 +137,20 @@ proptest! {
         inst in tie_heavy_instance(),
         eps in 0.1f64..1.0,
     ) {
-        let a = flow_with(&inst, eps, DispatchIndex::Pruned);
-        let b = flow_with(&inst, eps, DispatchIndex::Linear);
+        let a = flow_with(&inst, eps, DispatchIndex::Pruned, KernelMode::Chunked);
+        let b = flow_with(&inst, eps, DispatchIndex::Linear, KernelMode::Scalar);
         // Same machine choice and λ for every job (machine_of pins the
         // argmin index; lambda pins the value), hence the same schedule
         // and dual solution, bit for bit.
         prop_assert_eq!(&a.dual.machine_of, &b.dual.machine_of);
         prop_assert_eq!(&a.dual.lambda, &b.dual.lambda);
         prop_assert_eq!(&a.dual.c_tilde, &b.dual.c_tilde);
-        prop_assert_eq!(a.log, b.log);
+        prop_assert_eq!(&a.log, &b.log);
+        // Isolate the kernel toggle on the index path: same dispatch
+        // strategy, scalar oracle kernels.
+        let c = flow_with(&inst, eps, DispatchIndex::Pruned, KernelMode::Scalar);
+        prop_assert_eq!(&a.dual.lambda, &c.dual.lambda);
+        prop_assert_eq!(&a.log, &c.log);
     }
 
     #[test]
@@ -142,12 +158,14 @@ proptest! {
         inst in eligibility_instance(),
         eps in 0.1f64..1.0,
     ) {
-        let a = flow_with(&inst, eps, DispatchIndex::Pruned);
-        let b = flow_with(&inst, eps, DispatchIndex::Linear);
+        let a = flow_with(&inst, eps, DispatchIndex::Pruned, KernelMode::Chunked);
+        let b = flow_with(&inst, eps, DispatchIndex::Linear, KernelMode::Scalar);
         prop_assert_eq!(&a.dual.machine_of, &b.dual.machine_of);
         prop_assert_eq!(&a.dual.lambda, &b.dual.lambda);
         prop_assert_eq!(&a.dual.c_tilde, &b.dual.c_tilde);
         prop_assert_eq!(&a.log, &b.log);
+        let c = flow_with(&inst, eps, DispatchIndex::Pruned, KernelMode::Scalar);
+        prop_assert_eq!(&a.log, &c.log);
         // Everywhere-ineligible jobs are rejected identically — at
         // arrival, by both strategies — never scheduled, never panicked
         // on.
@@ -167,16 +185,20 @@ proptest! {
     ) {
         let mut wp = osr_core::flowtime::WeightedFlowParams::new(eps);
         wp.dispatch = DispatchIndex::Pruned;
+        wp.kernels = KernelMode::Chunked;
         let mut wl = osr_core::flowtime::WeightedFlowParams::new(eps);
         wl.dispatch = DispatchIndex::Linear;
+        wl.kernels = KernelMode::Scalar;
         let a = osr_core::flowtime::WeightedFlowScheduler::new(wp).unwrap().run(&inst);
         let b = osr_core::flowtime::WeightedFlowScheduler::new(wl).unwrap().run(&inst);
         prop_assert_eq!(a.log, b.log);
 
         let mut ep = osr_core::EnergyFlowParams::new(eps, 2.2);
         ep.dispatch = DispatchIndex::Pruned;
+        ep.kernels = KernelMode::Chunked;
         let mut el = osr_core::EnergyFlowParams::new(eps, 2.2);
         el.dispatch = DispatchIndex::Linear;
+        el.kernels = KernelMode::Scalar;
         let a = osr_core::EnergyFlowScheduler::new(ep).unwrap().run(&inst);
         let b = osr_core::EnergyFlowScheduler::new(el).unwrap().run(&inst);
         prop_assert_eq!(a.log, b.log);
@@ -196,16 +218,20 @@ proptest! {
 
         let mut wp = osr_core::flowtime::WeightedFlowParams::new(eps);
         wp.dispatch = DispatchIndex::Pruned;
+        wp.kernels = KernelMode::Chunked;
         let mut wl = osr_core::flowtime::WeightedFlowParams::new(eps);
         wl.dispatch = DispatchIndex::Linear;
+        wl.kernels = KernelMode::Scalar;
         let a = osr_core::flowtime::WeightedFlowScheduler::new(wp).unwrap().run(&inst);
         let b = osr_core::flowtime::WeightedFlowScheduler::new(wl).unwrap().run(&inst);
         prop_assert_eq!(a.log, b.log);
 
         let mut ep = osr_core::EnergyFlowParams::new(eps, 2.2);
         ep.dispatch = DispatchIndex::Pruned;
+        ep.kernels = KernelMode::Chunked;
         let mut el = osr_core::EnergyFlowParams::new(eps, 2.2);
         el.dispatch = DispatchIndex::Linear;
+        el.kernels = KernelMode::Scalar;
         let a = osr_core::EnergyFlowScheduler::new(ep).unwrap().run(&inst);
         let b = osr_core::EnergyFlowScheduler::new(el).unwrap().run(&inst);
         prop_assert_eq!(a.log, b.log);
