@@ -18,7 +18,12 @@
 use std::fs;
 use std::process::Command;
 
-const SUITES: &[&str] = &["dstruct_ablation", "event_queue", "epoch_shard"];
+const SUITES: &[&str] = &[
+    "dstruct_ablation",
+    "event_queue",
+    "epoch_shard",
+    "serve_journal",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -32,7 +32,7 @@ use crate::args::{split_spec, Args};
 /// Boolean flags (options that take no value) across all subcommands —
 /// the single list `main` and the tests both register with
 /// [`Args::parse`].
-pub const FLAGS: &[&str] = &["gantt", "once"];
+pub const FLAGS: &[&str] = &["gantt", "once", "recover"];
 
 /// A command's result: the stdout payload plus informational notices
 /// destined for stderr. Keeping the two apart is a contract — stdout
@@ -60,8 +60,10 @@ impl From<String> for CmdOutput {
 /// [`osr_core::KNOBS`], so the help can never drift from the parsers.
 pub fn usage() -> String {
     format!(
-        "{USAGE}\nRUNTIME KNOBS (run/serve/run_experiments; all result-neutral):\n{}",
-        osr_core::knob_help("  ")
+        "{USAGE}\nRUNTIME KNOBS (run/serve/run_experiments; all result-neutral):\n{}\
+         \nSERVE DURABILITY (serve only; recovery reproduces the log byte-identically):\n{}",
+        osr_core::knob_help("  "),
+        osr_core::serve_knob_help("  ")
     )
 }
 
@@ -112,16 +114,26 @@ USAGE:
                [--once]              (finish at stdin EOF instead of waiting
                                       for `shutdown`)
                [--log FILE]          (also write the final log to FILE)
+               [--journal PATH]      (write-ahead event journal, fsync'd before
+                                      state mutates; snapshots to PATH.snap)
+               [--recover]           (replay an existing --journal before
+                                      accepting new events; torn tail dropped)
+               [--snap-every N]      (snapshot cadence in records; 0 disables)
+               [--ingest-buffer N]   (bounded ingest channel: stdin blocks,
+                                      socket lines shed `err overloaded`)
+               [--failpoint SPEC]    (fault injection, point[:nth][:action])
                runtime knobs as `osr run`; stdout carries exactly the final
                schedule log (byte-identical to the offline run over the same
                event stream). stdin/socket lines:
                  arrive <id> [@T] [w=W] <size>...   (size `inf` = ineligible)
                  join|drain|crash <machine> [@T]
                  advance <T> | stats | shutdown
-  osr top      --socket PATH [--frames N] [--interval-ms T]
+  osr top      --socket PATH [--frames N] [--interval-ms T] [--retries R]
                (live ops TUI over a serve socket: queue depths, flow-time
-                percentiles, reject counts by reason, redispatches, and
-                dispatch-index stats; N=0 polls until the server exits)
+                percentiles, reject counts by reason, redispatches, shed
+                counts, and dispatch-index stats; N=0 polls until the server
+                exits; transient socket failures retry R times with capped
+                exponential backoff before giving up)
   osr validate --input FILE --log FILE [--model flowtime|flowenergy|energy]
                [--capacity FILE]     (check runs against the failure trace's
                                       online windows)
@@ -1036,6 +1048,11 @@ mod tests {
         assert!(help.contains("osr top"));
         // The runtime-knob section is generated from the shared table.
         for k in &osr_core::KNOBS {
+            assert!(help.contains(k.flag), "help misses {}", k.flag);
+        }
+        // So is the serve-durability section.
+        assert!(help.contains("SERVE DURABILITY"), "{help}");
+        for k in &osr_core::SERVE_KNOBS {
             assert!(help.contains(k.flag), "help misses {}", k.flag);
         }
         assert!(dispatch(&args("nonsense")).is_err());

@@ -36,15 +36,19 @@ use std::io::{BufRead, BufReader, Write as _};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::{self, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender, SyncSender};
+use std::sync::Arc;
 use std::time::Duration;
 
 use osr_core::energyflow::EnergyFlowParams;
 use osr_core::flowtime::WeightedFlowParams;
 use osr_core::{
-    Arrival, EnergyFlowSession, FlowParams, FlowSession, ServeSession, WeightedFlowSession,
+    Arrival, EnergyFlowSession, FlowParams, FlowSession, JournaledSession, ServeSession,
+    WeightedFlowSession,
 };
 use osr_model::{io as model_io, FinishedLog};
+use osr_sim::failpoint;
 use osr_sim::CapacityChange;
 
 use crate::args::{split_spec, Args};
@@ -237,12 +241,15 @@ fn is_arrive(line: &str) -> bool {
 /// committed and every later batch entry is replayed through the
 /// serial path, keeping replies and state line-for-line identical to
 /// the uncoalesced loop.
+/// Returns `Some(message)` when a failpoint's `error` action fired
+/// inside the batch: the batch was neither journaled nor applied, and
+/// the serve loop must shut down gracefully (flush + final log).
 fn process_arrive_batch(
     sess: &mut dyn ServeSession,
     next_id: &mut usize,
     last_t: &mut f64,
     lines: Vec<(String, Option<Sender<String>>)>,
-) {
+) -> Option<String> {
     enum Tag {
         Parsed(usize),
         Bad(String),
@@ -270,11 +277,19 @@ fn process_arrive_batch(
     if ok_count > 0 {
         *last_t = releases[ok_count - 1];
     }
+    // An injected failure leaves the whole batch unapplied (and
+    // un-journaled); answer every pending line with it instead of
+    // replaying the tail, and hand it up as a shutdown request.
+    let injected = fail
+        .as_deref()
+        .filter(|e| failpoint::is_failpoint_error(e))
+        .map(str::to_string);
     let mut failed = fail;
     for (line, reply, tag) in tagged {
         let res = match tag {
             Tag::Bad(e) => Err(e),
             Tag::Parsed(i) if i < ok_count => Ok(()),
+            Tag::Parsed(_) if injected.is_some() => Err(injected.clone().expect("checked is_some")),
             Tag::Parsed(i) if i == ok_count && failed.is_some() => {
                 Err(failed.take().expect("checked is_some"))
             }
@@ -295,6 +310,7 @@ fn process_arrive_batch(
             },
         }
     }
+    injected
 }
 
 /// Renders a [`osr_core::ServeSnapshot`] as the wire stats block: one
@@ -340,6 +356,19 @@ fn render_stats(sess: &dyn ServeSession) -> String {
     out
 }
 
+/// Splices the overload-shed counter into a rendered stats block
+/// (before the `end` terminator). The counter lives in the serve loop,
+/// not the session — it counts socket lines the bounded ingest channel
+/// refused, which the session never saw.
+fn with_shed_line(block: String, shed: u64) -> String {
+    let mut out = block;
+    if out.ends_with("end\n") {
+        out.truncate(out.len() - "end\n".len());
+    }
+    out.push_str(&format!("shed_overload {shed}\nend\n"));
+    out
+}
+
 /// One message from a producer thread to the serve loop.
 enum Inbound {
     /// A protocol line, with a reply channel for socket clients (`None`
@@ -352,8 +381,13 @@ enum Inbound {
 /// Reads protocol lines from one accepted socket connection, routing
 /// each through the serve loop and writing the reply back. Lines get
 /// `ok`, `err <msg>`, or a multi-line stats block ending in `end`.
+///
+/// The ingest channel is bounded; when it is full, socket lines are
+/// *shed* (an immediate `err overloaded` reply, counted in `shed`)
+/// rather than queued without bound — stdin is the backpressured
+/// producer, the socket is the load-shedding one.
 #[cfg(unix)]
-fn handle_conn(stream: UnixStream, tx: Sender<Inbound>) {
+fn handle_conn(stream: UnixStream, tx: SyncSender<Inbound>, shed: Arc<AtomicU64>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -361,8 +395,16 @@ fn handle_conn(stream: UnixStream, tx: Sender<Inbound>) {
     for line in BufReader::new(read_half).lines() {
         let Ok(line) = line else { break };
         let (rtx, rrx) = mpsc::channel::<String>();
-        if tx.send(Inbound::Line(line, Some(rtx))).is_err() {
-            break; // server shut down
+        match tx.try_send(Inbound::Line(line, Some(rtx))) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                shed.fetch_add(1, Ordering::Relaxed);
+                if writer.write_all(b"err overloaded\n").is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => break, // server shut down
         }
         let Ok(reply) = rrx.recv() else { break };
         if writer.write_all(reply.as_bytes()).is_err() {
@@ -376,18 +418,33 @@ fn handle_conn(stream: UnixStream, tx: Sender<Inbound>) {
 /// to the session in arrival order, and finishes the log when the
 /// stream ends — via `shutdown`, or at reader EOF when `once` is set
 /// or no socket keeps the server reachable.
+///
+/// `cursor` is the starting stream position (`(0, 0.0)` for a fresh
+/// run; the recovered high-water mark after `--recover`). `buffer`
+/// bounds the producer→consumer channel: stdin blocks when it is full
+/// (backpressure), socket lines are shed with `err overloaded`.
+///
+/// A failpoint `error` action anywhere in line handling is a graceful
+/// shutdown request: the loop stops ingesting and finishes exactly as
+/// `shutdown` would, so the journal is flushed and the final log still
+/// comes out.
 fn serve_loop<R: BufRead + Send + 'static>(
     mut sess: Box<dyn ServeSession>,
     input: R,
     socket: Option<&Path>,
     once: bool,
+    cursor: (usize, f64),
+    buffer: usize,
 ) -> Result<FinishedLog, String> {
-    let (tx, rx) = mpsc::channel::<Inbound>();
+    let (tx, rx) = mpsc::sync_channel::<Inbound>(buffer.max(1));
+    let shed = Arc::new(AtomicU64::new(0));
 
     let stdin_tx = tx.clone();
     std::thread::spawn(move || {
         for line in input.lines() {
             let Ok(line) = line else { break };
+            // Blocking send on the bounded channel: stdin producers
+            // are backpressured, never shed.
             if stdin_tx.send(Inbound::Line(line, None)).is_err() {
                 return;
             }
@@ -401,11 +458,13 @@ fn serve_loop<R: BufRead + Send + 'static>(
         let listener =
             UnixListener::bind(path).map_err(|e| format!("binding {}: {e}", path.display()))?;
         let sock_tx = tx.clone();
+        let sock_shed = Arc::clone(&shed);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 let Ok(stream) = stream else { continue };
                 let conn_tx = sock_tx.clone();
-                std::thread::spawn(move || handle_conn(stream, conn_tx));
+                let conn_shed = Arc::clone(&sock_shed);
+                std::thread::spawn(move || handle_conn(stream, conn_tx, conn_shed));
             }
         });
     }
@@ -416,8 +475,7 @@ fn serve_loop<R: BufRead + Send + 'static>(
     drop(tx);
 
     let has_socket = socket.is_some();
-    let mut next_id = 0usize;
-    let mut last_t = 0.0f64;
+    let (mut next_id, mut last_t) = cursor;
     // Non-arrive messages drained while collecting a burst park here
     // and are processed before blocking on the channel again.
     let mut parked: VecDeque<Inbound> = VecDeque::new();
@@ -455,7 +513,12 @@ fn serve_loop<R: BufRead + Send + 'static>(
                             }
                         }
                     }
-                    process_arrive_batch(sess.as_mut(), &mut next_id, &mut last_t, burst);
+                    if let Some(e) =
+                        process_arrive_batch(sess.as_mut(), &mut next_id, &mut last_t, burst)
+                    {
+                        eprintln!("serve: {e}; shutting down gracefully");
+                        break;
+                    }
                     continue;
                 }
                 match handle_line(sess.as_mut(), &mut next_id, &mut last_t, &line) {
@@ -464,16 +527,26 @@ fn serve_loop<R: BufRead + Send + 'static>(
                             let _ = tx.send("ok\n".into());
                         }
                     }
-                    Ok(Response::Stats(block)) => match reply {
-                        Some(tx) => {
-                            let _ = tx.send(block);
+                    Ok(Response::Stats(block)) => {
+                        let block = with_shed_line(block, shed.load(Ordering::Relaxed));
+                        match reply {
+                            Some(tx) => {
+                                let _ = tx.send(block);
+                            }
+                            None => eprint!("{block}"),
                         }
-                        None => eprint!("{block}"),
-                    },
+                    }
                     Ok(Response::Shutdown) => {
                         if let Some(tx) = reply {
                             let _ = tx.send("ok\n".into());
                         }
+                        break;
+                    }
+                    Err(e) if failpoint::is_failpoint_error(&e) => {
+                        if let Some(tx) = reply {
+                            let _ = tx.send(format!("err {e}\n"));
+                        }
+                        eprintln!("serve: {e}; shutting down gracefully");
                         break;
                     }
                     Err(e) => match reply {
@@ -510,12 +583,67 @@ pub fn cmd_serve(args: &Args) -> Result<CmdOutput, String> {
     let once = args.flag("once");
     let socket = args.opt("socket").map(PathBuf::from);
 
+    let journal_path = args.opt("journal").map(PathBuf::from);
+    let recover = args.flag("recover");
+    if recover && journal_path.is_none() {
+        return Err("--recover needs --journal PATH (the journal to replay)".into());
+    }
+    let snap_every = match args.opt("snap-every") {
+        Some(s) => osr_core::parse_snap_every(s)?,
+        None => 32,
+    };
+    let buffer = match args.opt("ingest-buffer") {
+        Some(s) => osr_core::parse_ingest_buffer(s)?,
+        None => 1024,
+    };
+    match args.opt("failpoint") {
+        Some(fp) => failpoint::arm(fp)?,
+        None => {
+            failpoint::arm_from_env()?;
+        }
+    }
+
     let sess = build_session(spec, machines, &offline, &opts)?;
+    let mut cursor = (0usize, 0.0f64);
+    let sess: Box<dyn ServeSession> = match &journal_path {
+        Some(path) => {
+            let fp = osr_core::fingerprint(spec, machines, &offline);
+            if recover {
+                let (js, report, warnings) = JournaledSession::recover(sess, path, fp, snap_every)?;
+                for w in warnings {
+                    eprintln!("serve: {w}");
+                }
+                eprintln!(
+                    "serve: recovered {} journaled event(s) from {} \
+                     ({} torn record(s) dropped, {} deterministic rejection(s) replayed{}); \
+                     resuming at id {} t={}",
+                    report.records_replayed,
+                    path.display(),
+                    report.dropped_torn,
+                    report.rejected_replays,
+                    if report.snapshot_checked {
+                        ", snapshot cursor verified"
+                    } else {
+                        ""
+                    },
+                    report.next_id,
+                    report.clock
+                );
+                cursor = js.cursor();
+                Box::new(js)
+            } else {
+                Box::new(JournaledSession::create(sess, path, fp, snap_every)?)
+            }
+        }
+        None => sess,
+    };
     let log = serve_loop(
         sess,
         BufReader::new(std::io::stdin()),
         socket.as_deref(),
         once,
+        cursor,
+        buffer,
     )?;
     let text = model_io::log_to_string(&log);
     if let Some(path) = args.opt("log") {
@@ -595,11 +723,12 @@ fn render_frame(stats: &BTreeMap<String, String>) -> String {
     );
     let _ = writeln!(
         out,
-        "  arrived {:>8}   completed {:>8}   rejected {:>6}   redispatches {:>6}",
+        "  arrived {:>8}   completed {:>8}   rejected {:>6}   redispatches {:>6}   shed {:>6}",
         get("arrived"),
         get("completed"),
         get("rejected"),
         get("redispatches"),
+        get("shed_overload"),
     );
     let _ = writeln!(
         out,
@@ -674,19 +803,49 @@ fn render_frame(stats: &BTreeMap<String, String>) -> String {
     out
 }
 
+/// The reconnect schedule for `osr top`: capped exponential backoff
+/// (100 ms doubling to a 5 s ceiling) plus up to 25% deterministic
+/// jitter keyed by the attempt number, so a fleet of `top`s pointed at
+/// one recovering server does not reconnect in lockstep.
+fn backoff_delay_ms(attempt: u32) -> u64 {
+    let capped = (100u64 << attempt.min(6)).min(5000);
+    // SplitMix64-style mix of the attempt index — deterministic (no
+    // RNG dependency, reproducible in tests) but well spread.
+    let mut x = (u64::from(attempt) + 1).wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+    x ^= x >> 33;
+    capped + x % (capped / 4 + 1)
+}
+
 /// `osr top` — poll a serve socket and render the live ops TUI.
 /// `--frames 0` (the default) polls until the server goes away.
+/// Transient connect/poll failures retry with capped exponential
+/// backoff (`--retries`, default 10, counted per outage) and a
+/// "reconnecting…" status line instead of killing the TUI.
 pub fn cmd_top(args: &Args) -> Result<CmdOutput, String> {
     let path = args.require("socket")?;
     let frames: usize = args.opt_parse("frames", 0)?;
     let interval_ms: u64 = args.opt_parse("interval-ms", 500)?;
+    let retries: u32 = args.opt_parse("retries", 10)?;
 
     let mut rendered = 0usize;
+    let mut attempt = 0u32;
     loop {
         let stats = match fetch_stats(Path::new(path)) {
-            Ok(s) => s,
+            Ok(s) => {
+                attempt = 0; // outage over — reset the backoff clock
+                s
+            }
+            Err(e) if attempt < retries => {
+                let delay = backoff_delay_ms(attempt);
+                attempt += 1;
+                eprintln!("top: {e}; reconnecting in {delay} ms (attempt {attempt}/{retries})…");
+                std::thread::sleep(Duration::from_millis(delay));
+                continue;
+            }
             Err(e) if rendered > 0 => {
-                eprintln!("top: {e}; server gone, exiting");
+                eprintln!("top: {e}; retries exhausted, server gone, exiting");
                 break;
             }
             Err(e) => return Err(format!("connecting to {path}: {e}")),
@@ -763,7 +922,15 @@ arrive 3 @4 w=1 1.5 2.5
 shutdown
 ";
         let sess = Box::new(FlowSession::new(FlowParams::new(0.5), 2).unwrap());
-        let log = serve_loop(sess, Cursor::new(script.to_string()), None, false).unwrap();
+        let log = serve_loop(
+            sess,
+            Cursor::new(script.to_string()),
+            None,
+            false,
+            (0, 0.0),
+            1024,
+        )
+        .unwrap();
         assert_eq!(
             model_io::log_to_string(&offline.log),
             model_io::log_to_string(&log)
@@ -830,7 +997,7 @@ shutdown
         let script = std::fs::read_to_string(root.join("trace.script")).unwrap();
         let oracle = std::fs::read_to_string(root.join("offline-flow-0.25.csv")).unwrap();
         let sess = Box::new(FlowSession::new(FlowParams::new(0.25), 6).unwrap());
-        let log = serve_loop(sess, Cursor::new(script), None, true).unwrap();
+        let log = serve_loop(sess, Cursor::new(script), None, true, (0, 0.0), 1024).unwrap();
         assert_eq!(model_io::log_to_string(&log), oracle);
     }
 
@@ -839,7 +1006,15 @@ shutdown
         // `--once` semantics: EOF ends the stream; defaulted times and
         // weights apply (`arrive 0 1 1` = t=0, w=1).
         let sess = Box::new(FlowSession::new(FlowParams::new(0.5), 2).unwrap());
-        let log = serve_loop(sess, Cursor::new("arrive 0 1 1\n".to_string()), None, true).unwrap();
+        let log = serve_loop(
+            sess,
+            Cursor::new("arrive 0 1 1\n".to_string()),
+            None,
+            true,
+            (0, 0.0),
+            1024,
+        )
+        .unwrap();
         assert_eq!(log.len(), 1);
     }
 
@@ -972,5 +1147,91 @@ shutdown
         assert_eq!(bar(10, 10, 4), "████");
         assert_eq!(bar(5, 10, 4), "██··");
         assert_eq!(bar(3, 0, 4), "····");
+    }
+
+    #[test]
+    fn shed_line_splices_before_the_end_terminator() {
+        let sess = FlowSession::new(FlowParams::new(0.5), 2).unwrap();
+        let block = with_shed_line(render_stats(&sess), 7);
+        assert!(block.ends_with("shed_overload 7\nend\n"), "{block}");
+        // Exactly one terminator survives the splice.
+        assert_eq!(block.matches("end\n").count(), 1, "{block}");
+        // And `top` renders the count on the headline row.
+        let mut map = BTreeMap::new();
+        for line in block.lines() {
+            if let Some((k, v)) = line.split_once(' ') {
+                map.insert(k.to_string(), v.to_string());
+            }
+        }
+        let frame = render_frame(&map);
+        assert!(frame.contains("shed      7"), "{frame}");
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_jittered_and_deterministic() {
+        for attempt in 0..12 {
+            let d = backoff_delay_ms(attempt);
+            let base = (100u64 << attempt.min(6)).min(5000);
+            assert!(d >= base, "attempt {attempt}: {d} < base {base}");
+            assert!(
+                d <= base + base / 4,
+                "attempt {attempt}: {d} exceeds 25% jitter over {base}"
+            );
+            assert_eq!(
+                d,
+                backoff_delay_ms(attempt),
+                "schedule must be deterministic"
+            );
+        }
+        // The cap holds forever.
+        assert!(backoff_delay_ms(40) <= 5000 + 5000 / 4);
+        // Consecutive attempts don't share a jitter phase.
+        assert_ne!(
+            backoff_delay_ms(6) - 5000,
+            backoff_delay_ms(7) - 5000,
+            "jitter should vary by attempt"
+        );
+    }
+
+    /// A failpoint `error` action mid-batch is a graceful shutdown
+    /// request: the batch is rejected wholesale (nothing journaled or
+    /// applied), `process_arrive_batch` hands the message up, and the
+    /// session still finishes cleanly — identical to a run that never
+    /// saw the doomed batch.
+    #[test]
+    fn failpoint_error_in_a_batch_requests_graceful_shutdown() {
+        let dir = std::env::temp_dir().join(format!("osr-serve-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("events.journal");
+        let _ = std::fs::remove_file(&jpath);
+        let fp = osr_core::fingerprint("flow:0.5", 2, &[]);
+        let inner = Box::new(FlowSession::new(FlowParams::new(0.5), 2).unwrap());
+        let mut sess: Box<dyn ServeSession> =
+            Box::new(JournaledSession::create(inner, &jpath, fp, 0).unwrap());
+        let (mut id, mut t) = (0usize, 0.0f64);
+
+        // First batch lands normally.
+        failpoint::disarm();
+        let burst = vec![
+            ("arrive 0 @0 w=1 2 4".to_string(), None),
+            ("arrive 1 @1 w=2 3 1".to_string(), None),
+        ];
+        assert!(process_arrive_batch(sess.as_mut(), &mut id, &mut t, burst).is_none());
+        assert_eq!((id, t), (2, 1.0));
+
+        // Second batch trips the injected error: nothing applies, the
+        // cursor stays put, and the shutdown request comes back.
+        failpoint::arm("mid-batch:1:error").unwrap();
+        let burst = vec![("arrive 2 @2 w=1 1 1".to_string(), None)];
+        let msg = process_arrive_batch(sess.as_mut(), &mut id, &mut t, burst)
+            .expect("injected failure must request shutdown");
+        assert!(failpoint::is_failpoint_error(&msg), "{msg}");
+        failpoint::disarm();
+        assert_eq!((id, t), (2, 1.0), "doomed batch must not move the cursor");
+
+        // Graceful finish still works and reflects only the first batch.
+        let log = sess.finish().unwrap();
+        assert_eq!(log.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -38,8 +38,10 @@ fn run_ok(args: &str) -> (String, String) {
     )
 }
 
-/// Pipes `script` into `osr serve --once`, returning stdout bytes.
-fn serve_once(args: &str, script: &str) -> String {
+/// Pipes `script` into `osr serve`, returning the raw process output
+/// without asserting on the exit status (the kill-recover tests expect
+/// the injected death, exit code 17).
+fn serve_raw(args: &str, script: &str) -> std::process::Output {
     let mut child = osr()
         .args(args.split_whitespace())
         .stdin(Stdio::piped())
@@ -53,7 +55,12 @@ fn serve_once(args: &str, script: &str) -> String {
         .unwrap()
         .write_all(script.as_bytes())
         .unwrap();
-    let out = child.wait_with_output().unwrap();
+    child.wait_with_output().unwrap()
+}
+
+/// Pipes `script` into `osr serve --once`, returning stdout bytes.
+fn serve_once(args: &str, script: &str) -> String {
+    let out = serve_raw(args, script);
     assert!(
         out.status.success(),
         "serve failed: {}",
@@ -62,25 +69,25 @@ fn serve_once(args: &str, script: &str) -> String {
     String::from_utf8(out.stdout).unwrap()
 }
 
-#[test]
-fn serve_replay_is_byte_identical_to_offline_run_for_all_schedulers() {
-    let dir = tmpdir("replay");
-    let inst_path = dir.join("inst.csv");
-    let cap_path = dir.join("failures.csv");
-
-    // A churn scenario: the capacity plan exercises join/drain/crash
-    // (and machines that start offline) through the serve stream.
+/// Generates the shared churn fixture: a 90-job instance over 5
+/// machines with a join/drain/crash capacity plan (some machines start
+/// offline), rendered to a serve script. Returns the fixture directory
+/// (holding `inst.csv` / `failures.csv` for [`offline_oracle`]), the
+/// script text, and the `--offline` flag the serve runs need.
+fn churn_fixture(tag: &str) -> (PathBuf, String, String) {
+    let dir = tmpdir(tag);
     run_ok(&format!(
         "gen --scenario poisson-uniform-restricted-churn:0.6 --n 90 --machines 5 --seed 11 \
          --out {} --capacity-out {}",
-        inst_path.display(),
-        cap_path.display()
+        dir.join("inst.csv").display(),
+        dir.join("failures.csv").display()
     ));
-
-    let inst = osr_model::io::instance_from_str(&fs::read_to_string(&inst_path).unwrap()).unwrap();
-    let plan = osr_workload::parse_failure_trace(&fs::read_to_string(&cap_path).unwrap()).unwrap();
+    let inst = osr_model::io::instance_from_str(&fs::read_to_string(dir.join("inst.csv")).unwrap())
+        .unwrap();
+    let plan =
+        osr_workload::parse_failure_trace(&fs::read_to_string(dir.join("failures.csv")).unwrap())
+            .unwrap();
     let (script, offline) = osr_workload::serve_script(&inst, &plan).unwrap();
-
     let offline_flag = if offline.is_empty() {
         String::new()
     } else {
@@ -93,20 +100,33 @@ fn serve_replay_is_byte_identical_to_offline_run_for_all_schedulers() {
                 .join(",")
         )
     };
+    (dir, script, offline_flag)
+}
 
+/// The offline `osr run` log for `algo` over the fixture in `dir` —
+/// the byte-identity oracle every serve/recover run is diffed against.
+fn offline_oracle(dir: &std::path::Path, algo: &str) -> String {
+    let log_path = dir.join(format!("off-{}.csv", algo.replace(':', "-")));
+    run_ok(&format!(
+        "run --algo {algo} --input {} --capacity {} --log {}",
+        dir.join("inst.csv").display(),
+        dir.join("failures.csv").display(),
+        log_path.display()
+    ));
+    fs::read_to_string(&log_path).unwrap()
+}
+
+#[test]
+fn serve_replay_is_byte_identical_to_offline_run_for_all_schedulers() {
+    let (dir, script, offline_flag) = churn_fixture("replay");
+    let inst = osr_model::io::instance_from_str(&fs::read_to_string(dir.join("inst.csv")).unwrap())
+        .unwrap();
     for algo in ["flow:0.25", "wflow:0.25", "energyflow:0.25:2"] {
-        let log_path = dir.join(format!("off-{}.csv", algo.replace(':', "-")));
-        run_ok(&format!(
-            "run --algo {algo} --input {} --capacity {} --log {}",
-            inst_path.display(),
-            cap_path.display(),
-            log_path.display()
-        ));
+        let oracle = offline_oracle(&dir, algo);
         let served = serve_once(
             &format!("serve --algo {algo} --machines 5 {offline_flag} --once"),
             &script,
         );
-        let oracle = fs::read_to_string(&log_path).unwrap();
         assert_eq!(
             served, oracle,
             "{algo}: serve replay diverged from the offline log"
@@ -116,6 +136,133 @@ fn serve_replay_is_byte_identical_to_offline_run_for_all_schedulers() {
         let log = osr_model::io::log_from_str(&served).unwrap();
         assert_eq!(log.len(), inst.len());
     }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The kill–recover–diff contract, end to end through the real binary:
+/// a journaled serve killed at an armed failpoint (exit 17) must, after
+/// `--recover` over the same journal plus a re-feed of the full script,
+/// produce a log byte-identical to the offline oracle. Every failpoint
+/// window is exercised (kill and torn actions), the torn leg relying on
+/// recovery to detect and drop the manufactured partial record.
+#[test]
+fn killed_serve_recovers_to_byte_identical_logs_at_every_failpoint() {
+    let (dir, script, offline_flag) = churn_fixture("kill");
+    let cases: [(&str, &[&str]); 3] = [
+        (
+            "flow:0.25",
+            &[
+                "mid-batch",
+                "pre-fsync:3",
+                "epoch-barrier",
+                "snapshot-write",
+                "pre-fsync:5:torn",
+            ],
+        ),
+        ("wflow:0.25", &["mid-batch", "pre-fsync:4:torn"]),
+        ("energyflow:0.25:2", &["mid-batch:2", "snapshot-write"]),
+    ];
+    for (algo, points) in cases {
+        let oracle = offline_oracle(&dir, algo);
+        for fp in points {
+            let journal = dir.join(format!(
+                "{}-{}.journal",
+                algo.replace(':', "-"),
+                fp.replace(':', "-")
+            ));
+            let out = serve_raw(
+                &format!(
+                    "serve --algo {algo} --machines 5 {offline_flag} --once \
+                     --journal {} --snap-every 4 --failpoint {fp}",
+                    journal.display()
+                ),
+                &script,
+            );
+            assert_eq!(
+                out.status.code(),
+                Some(17),
+                "{algo} {fp}: expected the injected kill, stderr: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            assert!(
+                String::from_utf8_lossy(&out.stderr).contains("failpoint"),
+                "{algo} {fp}: the kill must identify itself on stderr"
+            );
+            let served = serve_once(
+                &format!(
+                    "serve --algo {algo} --machines 5 {offline_flag} --once \
+                     --journal {} --recover --snap-every 4",
+                    journal.display()
+                ),
+                &script,
+            );
+            assert_eq!(
+                served, oracle,
+                "{algo} {fp}: recovered run diverged from the offline log"
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The `error` failpoint action asks for a *graceful* shutdown: the
+/// journal is flushed, the final (partial) log still lands complete on
+/// stdout, the exit code is 0 — and recovery finishes the stream to the
+/// oracle bytes. Recovering under a different configuration must be
+/// refused by the journal fingerprint.
+#[test]
+fn failpoint_error_action_shuts_down_gracefully_and_recovery_completes() {
+    let (dir, script, offline_flag) = churn_fixture("graceful");
+    let algo = "flow:0.25";
+    let oracle = offline_oracle(&dir, algo);
+    let journal = dir.join("graceful.journal");
+
+    let out = serve_raw(
+        &format!(
+            "serve --algo {algo} --machines 5 {offline_flag} --once \
+             --journal {} --failpoint mid-batch:1:error",
+            journal.display()
+        ),
+        &script,
+    );
+    assert!(
+        out.status.success(),
+        "error action must shut down gracefully, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("shutting down gracefully"),
+        "stderr must explain the early exit: {stderr}"
+    );
+    // The partial log on stdout is complete and parseable — no torn
+    // output from the early shutdown.
+    let partial = String::from_utf8(out.stdout).unwrap();
+    osr_model::io::log_from_str(&partial).expect("partial log parses");
+
+    let served = serve_once(
+        &format!(
+            "serve --algo {algo} --machines 5 {offline_flag} --once --journal {} --recover",
+            journal.display()
+        ),
+        &script,
+    );
+    assert_eq!(served, oracle, "recovery after graceful exit diverged");
+
+    // Same journal, different algorithm: the fingerprint must refuse.
+    let out = serve_raw(
+        &format!(
+            "serve --algo wflow:0.25 --machines 5 {offline_flag} --once --journal {} --recover",
+            journal.display()
+        ),
+        "",
+    );
+    assert!(!out.status.success(), "fingerprint drift must be refused");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different configuration"),
+        "refusal must explain itself: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -210,6 +357,11 @@ fn serve_validates_its_options() {
         "serve --algo flow:0.25 --once",
         "serve --algo flow:0.25 --machines 2 --offline 5 --once",
         "serve --algo flow:0.25 --machines 2 --queue-backend quantum --once",
+        "serve --algo flow:0.25 --machines 2 --recover --once",
+        "serve --algo flow:0.25 --machines 2 --failpoint explode --once",
+        "serve --algo flow:0.25 --machines 2 --failpoint mid-batch:0 --once",
+        "serve --algo flow:0.25 --machines 2 --snap-every lots --once",
+        "serve --algo flow:0.25 --machines 2 --ingest-buffer 0 --once",
     ] {
         let out = osr()
             .args(args.split_whitespace())

@@ -174,17 +174,52 @@ pub const KNOBS: [KnobSpec; 5] = [
     },
 ];
 
-/// Renders the knob table as indented help lines, one per knob —
-/// the single source for every harness's `--help` section on runtime
-/// defaults.
-pub fn knob_help(indent: &str) -> String {
+/// The serve-durability knobs (`osr serve` only), in display order.
+/// Same vocabulary discipline as [`KNOBS`]: help text and parse errors
+/// are generated from these rows. Unlike the runtime knobs they are
+/// not result-neutral toggles — they add durability side effects — but
+/// the recovery contract keeps the *schedule* byte-identical.
+pub const SERVE_KNOBS: [KnobSpec; 5] = [
+    KnobSpec {
+        flag: "--journal",
+        values: "PATH",
+        default_value: "off",
+        summary: "write-ahead event journal (fsync'd before state mutates; sidecar PATH.snap)",
+    },
+    KnobSpec {
+        flag: "--recover",
+        values: "",
+        default_value: "off",
+        summary: "replay an existing --journal (torn tail dropped) before accepting new events",
+    },
+    KnobSpec {
+        flag: "--snap-every",
+        values: "N (0 disables)",
+        default_value: "32",
+        summary: "snapshot cadence in journaled records (cursor cross-check, not state dump)",
+    },
+    KnobSpec {
+        flag: "--ingest-buffer",
+        values: "N (>= 1)",
+        default_value: "1024",
+        summary: "bounded ingest channel depth (stdin blocks, socket lines shed `err overloaded`)",
+    },
+    KnobSpec {
+        flag: "--failpoint",
+        values: "point[:nth][:action]",
+        default_value: "off",
+        summary: "arm a fault-injection point (mid-batch|pre-fsync|epoch-barrier|snapshot-write; kill|error|torn)",
+    },
+];
+
+fn render_knobs(rows: &[KnobSpec], indent: &str) -> String {
     let mut out = String::new();
-    let width = KNOBS
+    let width = rows
         .iter()
         .map(|k| k.flag.len() + 1 + k.values.len())
         .max()
         .unwrap_or(0);
-    for k in &KNOBS {
+    for k in rows {
         let head = format!("{} {}", k.flag, k.values);
         out.push_str(&format!(
             "{indent}{head:width$}  {} [default: {}]\n",
@@ -194,11 +229,25 @@ pub fn knob_help(indent: &str) -> String {
     out
 }
 
+/// Renders the knob table as indented help lines, one per knob —
+/// the single source for every harness's `--help` section on runtime
+/// defaults.
+pub fn knob_help(indent: &str) -> String {
+    render_knobs(&KNOBS, indent)
+}
+
+/// Renders the serve-durability knob table ([`SERVE_KNOBS`]) as
+/// indented help lines for the `osr serve` usage section.
+pub fn serve_knob_help(indent: &str) -> String {
+    render_knobs(&SERVE_KNOBS, indent)
+}
+
 fn knob_err(flag: &str, got: &str) -> String {
     let spec = KNOBS
         .iter()
+        .chain(SERVE_KNOBS.iter())
         .find(|k| k.flag == flag)
-        .expect("flag is in the knob table");
+        .expect("flag is in a knob table");
     format!("{} must be {}, got '{got}'", spec.flag, spec.values)
 }
 
@@ -243,6 +292,20 @@ pub fn parse_shards(s: &str) -> Result<usize, String> {
     match s.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(knob_err("--shards", s)),
+    }
+}
+
+/// Parses a `--snap-every` value (a non-negative integer; `0` disables
+/// periodic snapshots).
+pub fn parse_snap_every(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| knob_err("--snap-every", s))
+}
+
+/// Parses an `--ingest-buffer` value (a positive integer).
+pub fn parse_ingest_buffer(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(knob_err("--ingest-buffer", s)),
     }
 }
 
@@ -359,6 +422,18 @@ mod tests {
         assert!(e.contains("eager|lazy"));
         let e = parse_kernels("bogus").unwrap_err();
         assert!(e.contains("--kernels") && e.contains("chunked|scalar"));
+        // The serve-durability table feeds its parsers the same way.
+        let serve_help = serve_knob_help("  ");
+        for k in &SERVE_KNOBS {
+            assert!(serve_help.contains(k.flag), "serve help misses {}", k.flag);
+        }
+        let e = parse_snap_every("lots").unwrap_err();
+        assert!(e.contains("--snap-every"), "{e}");
+        assert_eq!(parse_snap_every("0").unwrap(), 0);
+        assert_eq!(parse_snap_every("32").unwrap(), 32);
+        let e = parse_ingest_buffer("0").unwrap_err();
+        assert!(e.contains("--ingest-buffer"), "{e}");
+        assert_eq!(parse_ingest_buffer("64").unwrap(), 64);
         assert_eq!(parse_kernels("scalar").unwrap(), KernelMode::Scalar);
         assert_eq!(parse_kernels("chunked").unwrap(), KernelMode::Chunked);
         assert!(parse_shards("0").is_err());

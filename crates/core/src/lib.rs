@@ -28,7 +28,9 @@
 //! * [`bounds`] — closed-form competitive-ratio bounds from the
 //!   theorems (the curves experiments compare measurements against);
 //! * [`smooth`] — `(λ, µ)`-smoothness (Definition 1) of power functions
-//!   and the smooth-inequality audit used by Theorem 3.
+//!   and the smooth-inequality audit used by Theorem 3;
+//! * [`journal`] — the write-ahead event journal, snapshots, and
+//!   recovery-by-replay behind `osr serve --journal`/`--recover`.
 
 // Stylistic lints intentionally not followed:
 // - `needless_range_loop`: machine loops index several parallel state
@@ -45,6 +47,7 @@ pub mod energyflow;
 pub mod energymin;
 pub mod epsilon;
 pub mod flowtime;
+pub mod journal;
 pub mod session;
 pub mod smooth;
 
@@ -53,8 +56,9 @@ pub use bounds::{
     flowtime_competitive_bound, flowtime_rejection_budget, immediate_rejection_lower_bound,
 };
 pub use config::{
-    knob_help, parse_capacity_index, parse_dispatch, parse_kernels, parse_propagation,
-    parse_shards, KnobSpec, RuntimeDefaults, SchedulerConfig, KNOBS,
+    knob_help, parse_capacity_index, parse_dispatch, parse_ingest_buffer, parse_kernels,
+    parse_propagation, parse_shards, parse_snap_every, serve_knob_help, KnobSpec, RuntimeDefaults,
+    SchedulerConfig, KNOBS, SERVE_KNOBS,
 };
 pub use dispatch::{
     default_capacity_index, default_dispatch_index, effective_dispatch_index,
@@ -67,6 +71,10 @@ pub use energymin::{
 };
 pub use epsilon::Thresholds;
 pub use flowtime::{FlowOutcome, FlowParams, FlowScheduler, QueueBackend};
+pub use journal::{
+    fingerprint, Journal, JournaledSession, Record, Recovered, RecoveryReport, ReplayOutcome,
+    Snapshot,
+};
 pub use session::{
     Arrival, EnergyFlowSession, FlowSession, ServeSession, ServeSnapshot, WeightedFlowSession,
 };

@@ -105,7 +105,7 @@ pub struct ServeSnapshot {
 /// One queued arrival for [`ServeSession::arrive_batch`]: the operands
 /// of a single [`ServeSession::arrive`] call, with any stream defaults
 /// (omitted `@T`) already resolved by the caller.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Arrival {
     /// Release time (must respect the session's monotone clock).
     pub release: f64,

@@ -543,6 +543,10 @@ impl<S: Send> DriverSession<S> {
             // the epoch horizon.
             self.run_shards(policy, jobs, horizon, batched);
             self.flush_io(policy, global);
+            // Crash-recovery kill site: the serial barrier between the
+            // parallel phase and cross-shard resolution. Kill-only (no
+            // error path exists here); free when disarmed.
+            crate::failpoint::hit_kill("epoch-barrier");
 
             // ---- Phase 2: resolve a cross-shard arrival serially.
             match barrier {

@@ -19,6 +19,10 @@
 //!   discipline, and the shared reject accounting, with rack-partitioned
 //!   shard parallelism (`shards = 1` is the byte-identical serial
 //!   oracle);
+//! * [`failpoint`] — the fault-injection registry crash-recovery tests
+//!   arm to kill or error the consumer at chosen protocol points
+//!   (mid-batch, pre-fsync, the epoch barrier, snapshot write);
+//!   disarmed cost is one relaxed atomic load per site;
 //! * [`capacity`] — the elastic machine pool: join/drain/crash event
 //!   streams ([`capacity::CapacityPlan`]) replayed alongside arrivals,
 //!   with failure-trace parsing and the online-window vocabulary the
@@ -45,6 +49,7 @@
 pub mod capacity;
 pub mod driver;
 pub mod event;
+pub mod failpoint;
 pub mod gantt;
 pub mod scheduler;
 pub mod stats;
@@ -57,6 +62,7 @@ pub use driver::{
     SessionStats, ShardCtx, ShardIo, ShardLayout, ShardProbe,
 };
 pub use event::{EventBackend, EventQueue};
+pub use failpoint::{FailAction, FailHit, KILL_EXIT_CODE};
 pub use gantt::render_gantt;
 pub use scheduler::{
     reject_ineligible, reject_machine_lost, run_validated, OnlineScheduler, SimError,
